@@ -1,0 +1,150 @@
+//! E2 — the §5 deployment claim.
+//!
+//! "Our largest scale deployment monitors application protocol
+//! performance over two Gigabit Ethernet links for one of our customers.
+//! At peak periods, Gigascope processes 1.2 million packets per second
+//! using an inexpensive dual 2.4 Ghz CPU server."
+//!
+//! This harness runs the analogous query set — per-second, per-port
+//! application accounting on each of two interfaces, with LFTA
+//! pre-aggregation and HFTA super-aggregation — in the threaded
+//! deployment configuration, and measures real sustained packets/second
+//! on this machine. Absolute numbers depend on the host; the claim being
+//! reproduced is that a two-level commodity-CPU configuration sustains
+//! millions of packets per second because the per-packet path is just
+//! prefilter + a handful of field interpretations + a table probe.
+//!
+//! Run with: `cargo run --release -p gs-bench --bin repro_e2`
+
+use gigascope::manager::run_threaded;
+use gigascope::Gigascope;
+
+use gs_netgen::{merge_sources, MixConfig, PacketMix};
+use gs_packet::capture::LinkType;
+use gs_packet::CapPacket;
+use std::time::Instant;
+
+/// Replay a recorded burst `cycles` times with shifted timestamps, so a
+/// modest capture buys an arbitrarily long run without measuring the
+/// generator.
+struct Replay {
+    pkts: Vec<CapPacket>,
+    span_ns: u64,
+    cycle: u64,
+    idx: usize,
+    cycles: u64,
+}
+
+impl Iterator for Replay {
+    type Item = CapPacket;
+    fn next(&mut self) -> Option<CapPacket> {
+        if self.cycle >= self.cycles {
+            return None;
+        }
+        let mut p = self.pkts[self.idx].clone();
+        p.ts_ns += self.cycle * self.span_ns;
+        self.idx += 1;
+        if self.idx == self.pkts.len() {
+            self.idx = 0;
+            self.cycle += 1;
+        }
+        Some(p)
+    }
+}
+
+fn main() {
+    let mut gs = Gigascope::new();
+    gs.add_interface("eth0", 0, LinkType::Ethernet);
+    gs.add_interface("eth1", 1, LinkType::Ethernet);
+    gs.add_program(
+        "DEFINE { query_name app0; } \
+         Select time, destPort, count(*), sum(len) From eth0.tcp \
+         Group By time, destPort; \
+         DEFINE { query_name app1; } \
+         Select time, destPort, count(*), sum(len) From eth1.tcp \
+         Group By time, destPort;",
+    )
+    .expect("query set compiles");
+
+    // One second of two-link traffic, recorded once.
+    let mk = |iface: u16, seed: u64| {
+        PacketMix::new(MixConfig {
+            seed,
+            iface,
+            duration_ms: 1_000,
+            http_rate_mbps: 200.0,
+            background_rate_mbps: 300.0,
+            flows: 5_000,
+            ..MixConfig::default()
+        })
+    };
+    let pkts: Vec<CapPacket> = merge_sources(vec![
+        Box::new(mk(0, 1)) as Box<dyn Iterator<Item = CapPacket>>,
+        Box::new(mk(1, 2)),
+    ])
+    .collect();
+    println!("recorded burst: {} packets over 1 s of two-link traffic", pkts.len());
+
+    let cycles = (2_000_000 / pkts.len() as u64).max(2);
+    let total = pkts.len() as u64 * cycles;
+    let replay = Replay { span_ns: 1_000_000_000, pkts, cycle: 0, idx: 0, cycles };
+
+    let start = Instant::now();
+    let out = run_threaded(&gs, replay, &["app0", "app1"]).expect("threaded run");
+    let wall = start.elapsed();
+
+    let pkts_per_sec = out.packets as f64 / wall.as_secs_f64();
+    println!("\nprocessed {} packets in {:.2} s across LFTA + HFTA threads", total, wall.as_secs_f64());
+    println!("sustained rate: {:.2} M packets/s   (paper: 1.2 M packets/s on a 2003 dual 2.4 GHz server)", pkts_per_sec / 1e6);
+    println!(
+        "app0 rows: {}, app1 rows: {}",
+        out.stream("app0").len(),
+        out.stream("app1").len()
+    );
+    assert!(out.stream("app0").len() > cycles as usize, "per-second groups must flush");
+    assert!(
+        pkts_per_sec > 200_000.0,
+        "a commodity CPU must sustain at least hundreds of kpkts/s on this path"
+    );
+
+    // The paper ran on a *dual*-CPU server: the two-level split is what
+    // lets LFTAs (capture thread) and HFTAs (worker threads) use both.
+    // Compare against the single-threaded inline engine on the same work.
+    let replay2 = Replay {
+        span_ns: 1_000_000_000,
+        pkts: merge_sources(vec![
+            Box::new(mk(0, 1)) as Box<dyn Iterator<Item = CapPacket>>,
+            Box::new(mk(1, 2)),
+        ])
+        .collect(),
+        cycle: 0,
+        idx: 0,
+        cycles,
+    };
+    let start = Instant::now();
+    let sync_out = gs.run_capture(replay2, &["app0", "app1"]).expect("inline run");
+    let sync_wall = start.elapsed();
+    let sync_rate = sync_out.stats.packets as f64 / sync_wall.as_secs_f64();
+    println!(
+        "single-threaded inline engine: {:.2} M packets/s ({:.2}x vs threaded)",
+        sync_rate / 1e6,
+        pkts_per_sec / sync_rate,
+    );
+    println!(
+        "(with LFTA pre-aggregation the capture path dominates and the two \
+         engines tie; threads pay off when HFTAs do heavy work, e.g. the \
+         E1 regex split)"
+    );
+    // Same answers either way.
+    let norm = |rows: &[gigascope::Tuple]| {
+        let mut v: Vec<Vec<u64>> = rows
+            .iter()
+            .map(|t| t.values().iter().map(|x| x.as_uint().unwrap()).collect())
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(norm(out.stream("app0")), norm(sync_out.stream("app0")));
+    assert_eq!(norm(out.stream("app1")), norm(sync_out.stream("app1")));
+    println!("threaded and inline engines agree row-for-row.");
+}

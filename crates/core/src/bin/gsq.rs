@@ -1,0 +1,268 @@
+//! `gsq` — run GSQL queries over packet traces or synthetic traffic from
+//! the command line.
+//!
+//! ```text
+//! gsq --program queries.gsql --subscribe tcpdest [options]
+//!
+//! options:
+//!   --program <file>         GSQL program (required; `-` for stdin)
+//!   --subscribe <a,b,...>    streams to print (default: every query)
+//!   --iface <name=id[:link]> register an interface (default: eth0=0:ether)
+//!                            links: ether | rawip | netflow | bgp
+//!   --trace <file>           replay a .gsc capture trace
+//!   --synthetic <mbps>x<ms>  generate a traffic mix instead (default 100x1000)
+//!   --seed <n>               synthetic traffic seed (default 0)
+//!   --param <q.name=value>   bind a query parameter
+//!   --heartbeat <off|N|ondemand>  LFTA heartbeat policy (default 1 second)
+//!   --explain                print the deployed plans and exit (no run)
+//!   --stats                  print LFTA/engine statistics to stderr
+//! ```
+//!
+//! Output is CSV: `stream,field1,field2,...` with a header per stream.
+
+use gigascope::{Gigascope, ParamBindings, Value};
+use gs_netgen::{MixConfig, PacketMix};
+use gs_packet::capture::LinkType;
+use gs_packet::CapPacket;
+use gs_runtime::punct::HeartbeatMode;
+use std::io::Read;
+use std::process::exit;
+
+struct Args {
+    program: Option<String>,
+    subscribe: Vec<String>,
+    ifaces: Vec<(String, u16, LinkType)>,
+    trace: Option<String>,
+    synthetic: (f64, u64),
+    seed: u64,
+    params: Vec<(String, String, String)>,
+    heartbeat: HeartbeatMode,
+    explain: bool,
+    stats: bool,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("gsq: {msg}\n\nusage: gsq --program <file> [--subscribe a,b] [--iface name=id[:link]]");
+    eprintln!("           [--trace file.gsc | --synthetic <mbps>x<ms>] [--seed n]");
+    eprintln!("           [--param q.name=value] [--heartbeat off|N|ondemand] [--stats]");
+    exit(2);
+}
+
+fn parse_link(s: &str) -> LinkType {
+    match s {
+        "ether" | "ethernet" => LinkType::Ethernet,
+        "rawip" | "ip" => LinkType::RawIp,
+        "netflow" => LinkType::NetflowRecord,
+        "bgp" => LinkType::BgpUpdate,
+        other => usage(&format!("unknown link type `{other}`")),
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        program: None,
+        subscribe: Vec::new(),
+        ifaces: Vec::new(),
+        trace: None,
+        synthetic: (100.0, 1000),
+        seed: 0,
+        params: Vec::new(),
+        heartbeat: HeartbeatMode::Periodic { interval: 1 },
+        explain: false,
+        stats: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")));
+        match flag.as_str() {
+            "--program" => args.program = Some(val()),
+            "--subscribe" => {
+                args.subscribe = val().split(',').map(str::to_string).collect();
+            }
+            "--iface" => {
+                let v = val();
+                let (name, rest) = v.split_once('=').unwrap_or_else(|| usage("--iface name=id[:link]"));
+                let (id, link) = match rest.split_once(':') {
+                    Some((id, link)) => (id, parse_link(link)),
+                    None => (rest, LinkType::Ethernet),
+                };
+                let id: u16 = id.parse().unwrap_or_else(|_| usage("interface id must be a number"));
+                args.ifaces.push((name.to_string(), id, link));
+            }
+            "--trace" => args.trace = Some(val()),
+            "--synthetic" => {
+                let v = val();
+                let (mbps, ms) =
+                    v.split_once('x').unwrap_or_else(|| usage("--synthetic <mbps>x<ms>"));
+                args.synthetic = (
+                    mbps.parse().unwrap_or_else(|_| usage("bad mbps")),
+                    ms.parse().unwrap_or_else(|_| usage("bad ms")),
+                );
+            }
+            "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage("bad seed")),
+            "--param" => {
+                let v = val();
+                let (qn, value) = v.split_once('=').unwrap_or_else(|| usage("--param q.name=value"));
+                let (q, n) = qn.split_once('.').unwrap_or_else(|| usage("--param q.name=value"));
+                args.params.push((q.to_string(), n.to_string(), value.to_string()));
+            }
+            "--heartbeat" => {
+                let v = val();
+                args.heartbeat = match v.as_str() {
+                    "off" => HeartbeatMode::Off,
+                    "ondemand" => HeartbeatMode::OnDemand,
+                    n => HeartbeatMode::Periodic {
+                        interval: n.parse().unwrap_or_else(|_| usage("bad heartbeat")),
+                    },
+                };
+            }
+            "--explain" => args.explain = true,
+            "--stats" => args.stats = true,
+            "--help" | "-h" => usage("help"),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    args
+}
+
+fn parse_value(s: &str) -> Value {
+    if let Ok(v) = s.parse::<u64>() {
+        return Value::UInt(v);
+    }
+    if let Ok(v) = s.parse::<f64>() {
+        return Value::Float(v);
+    }
+    if let Some(ip) = gs_packet::ip::parse_ipv4(s) {
+        return Value::Ip(ip);
+    }
+    match s {
+        "true" | "TRUE" => Value::Bool(true),
+        "false" | "FALSE" => Value::Bool(false),
+        other => Value::Str(bytes::Bytes::copy_from_slice(other.as_bytes())),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(program_path) = &args.program else { usage("--program is required") };
+    let program = if program_path == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).unwrap_or_else(|e| {
+            eprintln!("gsq: reading stdin: {e}");
+            exit(1);
+        });
+        s
+    } else {
+        std::fs::read_to_string(program_path).unwrap_or_else(|e| {
+            eprintln!("gsq: {program_path}: {e}");
+            exit(1);
+        })
+    };
+
+    let mut gs = Gigascope::new();
+    gs.heartbeat = args.heartbeat;
+    if args.ifaces.is_empty() {
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+    }
+    for (name, id, link) in &args.ifaces {
+        gs.add_interface(name, *id, *link);
+    }
+
+    let infos = gs.add_program(&program).unwrap_or_else(|e| {
+        eprintln!("gsq: {e}");
+        exit(1);
+    });
+    for i in &infos {
+        for w in &i.warnings {
+            eprintln!("gsq: warning: query `{}`: {w}", i.name);
+        }
+    }
+
+    if args.explain {
+        print!("{}", gs.explain_all());
+        return;
+    }
+
+    for (q, n, v) in &args.params {
+        let mut p = gs
+            .queries()
+            .iter()
+            .find(|d| &d.name == q)
+            .map(|_| ParamBindings::new())
+            .unwrap_or_else(|| {
+                eprintln!("gsq: --param references unknown query `{q}`");
+                exit(1);
+            });
+        p.set(n.clone(), parse_value(v));
+        gs.set_params(q, p).unwrap();
+    }
+
+    let subscriptions: Vec<String> = if args.subscribe.is_empty() {
+        // Hoisted FROM-clause subqueries are plumbing, not output the
+        // user asked for.
+        infos
+            .iter()
+            .filter(|i| !i.hoisted)
+            .map(|i| i.name.clone())
+            .collect()
+    } else {
+        args.subscribe.clone()
+    };
+    let sub_refs: Vec<&str> = subscriptions.iter().map(String::as_str).collect();
+
+    let packets: Box<dyn Iterator<Item = CapPacket>> = match &args.trace {
+        Some(path) => {
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("gsq: {path}: {e}");
+                exit(1);
+            });
+            let pkts = gs_packet::capture::read_trace(&bytes).unwrap_or_else(|e| {
+                eprintln!("gsq: {path}: {e}");
+                exit(1);
+            });
+            Box::new(pkts.into_iter())
+        }
+        None => {
+            let (mbps, ms) = args.synthetic;
+            Box::new(PacketMix::new(MixConfig {
+                seed: args.seed,
+                duration_ms: ms,
+                http_rate_mbps: mbps.min(60.0),
+                background_rate_mbps: (mbps - 60.0).max(0.0),
+                ..MixConfig::default()
+            }))
+        }
+    };
+
+    let out = gs.run_capture(packets, &sub_refs).unwrap_or_else(|e| {
+        eprintln!("gsq: {e}");
+        exit(1);
+    });
+
+    for name in &subscriptions {
+        if let Some(schema) = gs.schema(name) {
+            println!(
+                "# {name}({})",
+                schema.iter().map(|c| format!("{}:{}", c.name, c.ty)).collect::<Vec<_>>().join(",")
+            );
+        }
+        for t in out.stream(name) {
+            let row: Vec<String> = t.values().iter().map(|v| v.to_string()).collect();
+            println!("{name},{}", row.join(","));
+        }
+    }
+
+    if args.stats {
+        eprintln!("packets: {}", out.stats.packets);
+        eprintln!("heartbeat rounds: {}", out.stats.heartbeats);
+        let mut names: Vec<_> = out.stats.lfta.keys().collect();
+        names.sort();
+        for n in names {
+            let s = &out.stats.lfta[n];
+            eprintln!(
+                "lfta {n}: in={} bpf_rejected={} sampled_out={} not_proto={} filtered={} out={}",
+                s.packets_in, s.prefiltered, s.sampled_out, s.not_protocol, s.filtered, s.tuples_out
+            );
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! The synchronous execution engine.
+//!
+//! Runs every deployed query over a time-ordered capture stream in one
+//! thread: LFTAs execute inline in the capture loop (exactly as the paper
+//! links them into the run time system), and HFTA nodes execute
+//! immediately when their input streams produce items. Deterministic by
+//! construction, which the test suite and the experiment harnesses rely
+//! on. The threaded deployment configuration lives in [`crate::manager`].
+
+use crate::{Error, Gigascope};
+use gs_runtime::ops::build::{build_hfta, build_lfta, BuildCtx, HftaNode};
+use gs_runtime::ops::lfta::{Lfta, LftaStats};
+use gs_runtime::punct::HeartbeatMode;
+use gs_runtime::tuple::{StreamItem, Tuple};
+use gs_packet::CapPacket;
+use std::collections::HashMap;
+
+/// Per-run statistics.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Packets consumed from the capture stream.
+    pub packets: u64,
+    /// Heartbeat rounds issued.
+    pub heartbeats: u64,
+    /// Per-LFTA execution counters, keyed by stream name.
+    pub lfta: HashMap<String, LftaStats>,
+    /// Per-LFTA direct-mapped table statistics (aggregation LFTAs only).
+    pub lfta_tables: HashMap<String, gs_runtime::ops::agg::DmStats>,
+    /// Peak buffered tuples per merge/join node, keyed by query name.
+    pub peak_buffered: HashMap<String, usize>,
+}
+
+/// The collected output of a run.
+#[derive(Debug, Default)]
+pub struct RunOutput {
+    /// Collected tuples per subscribed stream.
+    pub streams: HashMap<String, Vec<Tuple>>,
+    /// Execution statistics.
+    pub stats: EngineStats,
+}
+
+impl RunOutput {
+    /// Tuples of one subscribed stream (empty if absent).
+    pub fn stream(&self, name: &str) -> &[Tuple] {
+        self.streams.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+struct LftaHost {
+    lfta: Lfta,
+    iface_id: u16,
+    out_sid: usize,
+}
+
+struct NodeHost {
+    name: String,
+    node: HftaNode,
+    out_sid: usize,
+}
+
+/// The wired-up execution graph.
+pub struct Engine {
+    lftas: Vec<LftaHost>,
+    nodes: Vec<NodeHost>,
+    /// stream id -> (node index, port) consumers.
+    consumers: Vec<Vec<(usize, usize)>>,
+    /// stream id -> collection bucket.
+    collect: Vec<Option<String>>,
+    stream_ids: HashMap<String, usize>,
+    heartbeat: HeartbeatMode,
+    outputs: HashMap<String, Vec<Tuple>>,
+    stats: EngineStats,
+    clock_sec: u64,
+    last_heartbeat_sec: Option<u64>,
+}
+
+impl Engine {
+    /// Instantiate every deployed query of `gs`.
+    pub fn build(gs: &Gigascope) -> Result<Engine, Error> {
+        let mut engine = Engine {
+            lftas: Vec::new(),
+            nodes: Vec::new(),
+            consumers: Vec::new(),
+            collect: Vec::new(),
+            stream_ids: HashMap::new(),
+            heartbeat: gs.heartbeat,
+            outputs: HashMap::new(),
+            stats: EngineStats::default(),
+            clock_sec: 0,
+            last_heartbeat_sec: None,
+        };
+        for dq in gs.queries() {
+            let params = gs.params_for(&dq.name);
+            params
+                .validate(&dq.params)
+                .map_err(|e| Error::Runtime(gs_runtime::RuntimeError::msg(format!(
+                    "query `{}`: {e}",
+                    dq.name
+                ))))?;
+            let ctx = BuildCtx {
+                catalog: gs.catalog(),
+                params: &params,
+                registry: gs.registry(),
+                resolver: gs.resolver(),
+                lfta_table_size: gs.lfta_table_size,
+            };
+            for spec in &dq.lftas {
+                let lfta = build_lfta(spec, &ctx)?;
+                let iface_id = lfta_iface_id(gs, spec)?;
+                let out_sid = engine.sid(&spec.name);
+                engine.lftas.push(LftaHost { lfta, iface_id, out_sid });
+            }
+            if let Some(hplan) = &dq.hfta {
+                let node = build_hfta(hplan, &ctx)?;
+                let node_idx = engine.nodes.len();
+                for (port, input) in node.inputs.iter().enumerate() {
+                    let sid = engine.sid(input);
+                    engine.consumers[sid].push((node_idx, port));
+                }
+                let out_sid = engine.sid(&dq.name);
+                engine.nodes.push(NodeHost { name: dq.name.clone(), node, out_sid });
+            }
+        }
+        Ok(engine)
+    }
+
+    fn sid(&mut self, name: &str) -> usize {
+        if let Some(&s) = self.stream_ids.get(name) {
+            return s;
+        }
+        let s = self.consumers.len();
+        self.stream_ids.insert(name.to_string(), s);
+        self.consumers.push(Vec::new());
+        self.collect.push(None);
+        s
+    }
+
+    /// Collect the named streams into the run output.
+    pub fn subscribe(&mut self, names: &[&str]) -> Result<(), Error> {
+        for n in names {
+            let Some(&sid) = self.stream_ids.get(*n) else {
+                return Err(Error::Config(format!("no stream named `{n}` to subscribe to")));
+            };
+            self.collect[sid] = Some(n.to_string());
+            self.outputs.entry(n.to_string()).or_default();
+        }
+        Ok(())
+    }
+
+    fn propagate(&mut self, sid: usize, items: Vec<StreamItem>) {
+        let mut work = vec![(sid, items)];
+        while let Some((sid, items)) = work.pop() {
+            if let Some(name) = &self.collect[sid] {
+                let bucket = self.outputs.entry(name.clone()).or_default();
+                bucket.extend(items.iter().filter_map(|i| i.as_tuple().cloned()));
+            }
+            let consumers = self.consumers[sid].clone();
+            for (node_idx, port) in consumers {
+                let mut out = Vec::new();
+                for item in items.iter().cloned() {
+                    self.nodes[node_idx].node.push(port, item, &mut out);
+                }
+                if !out.is_empty() {
+                    work.push((self.nodes[node_idx].out_sid, out));
+                }
+            }
+        }
+    }
+
+    fn heartbeat_all(&mut self) {
+        self.stats.heartbeats += 1;
+        let now = self.clock_sec;
+        for i in 0..self.lftas.len() {
+            let mut out = Vec::new();
+            self.lftas[i].lfta.heartbeat(now, &mut out);
+            if !out.is_empty() {
+                let sid = self.lftas[i].out_sid;
+                self.propagate(sid, out);
+            }
+        }
+        self.last_heartbeat_sec = Some(now);
+    }
+
+    fn maybe_heartbeat(&mut self) {
+        match self.heartbeat {
+            HeartbeatMode::Off => {}
+            HeartbeatMode::Periodic { interval } => {
+                let due = self
+                    .last_heartbeat_sec
+                    .is_none_or(|l| self.clock_sec >= l + interval.max(1));
+                if due {
+                    self.heartbeat_all();
+                }
+            }
+            HeartbeatMode::OnDemand => {
+                // An operator "detects that it might be blocked" (§3):
+                // any starved merge triggers one round per clock advance.
+                let starved = self
+                    .nodes
+                    .iter()
+                    .any(|n| n.node.merge_state().is_some_and(|(_, _, s)| s));
+                let fresh = self.last_heartbeat_sec.is_none_or(|l| self.clock_sec > l);
+                if starved && fresh {
+                    self.heartbeat_all();
+                }
+            }
+        }
+    }
+
+    /// Run to completion over a time-ordered capture stream.
+    pub fn run<I>(&mut self, packets: I) -> RunOutput
+    where
+        I: Iterator<Item = CapPacket>,
+    {
+        for pkt in packets {
+            self.stats.packets += 1;
+            self.clock_sec = u64::from(pkt.time_sec());
+            for i in 0..self.lftas.len() {
+                if self.lftas[i].iface_id != pkt.iface {
+                    continue;
+                }
+                let mut out = Vec::new();
+                self.lftas[i].lfta.push_packet(&pkt, &mut out);
+                if !out.is_empty() {
+                    let sid = self.lftas[i].out_sid;
+                    self.propagate(sid, out);
+                }
+            }
+            self.maybe_heartbeat();
+        }
+
+        // Capture over: flush LFTAs, end their streams, then finish the
+        // HFTA nodes in topological (submission) order.
+        for i in 0..self.lftas.len() {
+            let mut out = Vec::new();
+            self.lftas[i].lfta.finish(&mut out);
+            let sid = self.lftas[i].out_sid;
+            if !out.is_empty() {
+                self.propagate(sid, out);
+            }
+            self.end_stream(sid);
+        }
+        for i in 0..self.nodes.len() {
+            let mut out = Vec::new();
+            self.nodes[i].node.finish(&mut out);
+            let sid = self.nodes[i].out_sid;
+            if !out.is_empty() {
+                self.propagate(sid, out);
+            }
+            self.end_stream(sid);
+        }
+
+        // Gather statistics.
+        for h in &self.lftas {
+            self.stats.lfta.insert(h.lfta.name.clone(), h.lfta.stats);
+            if let Some(dm) = h.lfta.dm_stats() {
+                self.stats.lfta_tables.insert(h.lfta.name.clone(), dm);
+            }
+        }
+        for n in &self.nodes {
+            if let Some((_, peak, _)) = n.node.merge_state() {
+                self.stats.peak_buffered.insert(n.name.clone(), peak);
+            }
+            if let Some((_, peak)) = n.node.join_state() {
+                self.stats.peak_buffered.insert(n.name.clone(), peak);
+            }
+        }
+        RunOutput {
+            streams: std::mem::take(&mut self.outputs),
+            stats: std::mem::take(&mut self.stats),
+        }
+    }
+
+    fn end_stream(&mut self, sid: usize) {
+        let consumers = self.consumers[sid].clone();
+        for (node_idx, port) in consumers {
+            let mut out = Vec::new();
+            self.nodes[node_idx].node.finish_input(port, &mut out);
+            if !out.is_empty() {
+                let out_sid = self.nodes[node_idx].out_sid;
+                self.propagate(out_sid, out);
+            }
+        }
+    }
+}
+
+pub(crate) fn lfta_iface_id(gs: &Gigascope, spec: &gs_gsql::split::LftaSpec) -> Result<u16, Error> {
+    let mut iface_name = None;
+    spec.plan.visit(&mut |p| {
+        if let gs_gsql::plan::Plan::ProtocolScan { interface, .. } = p {
+            iface_name = Some(interface.clone());
+        }
+    });
+    let name = iface_name
+        .ok_or_else(|| Error::Config(format!("LFTA `{}` has no protocol scan", spec.name)))?;
+    gs.catalog()
+        .interface(&name)
+        .map(|d| d.id)
+        .ok_or_else(|| Error::Config(format!("unknown interface `{name}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ParamBindings, Value};
+    use gs_packet::builder::FrameBuilder;
+    use gs_packet::capture::LinkType;
+
+    fn pkt(ts_sec: u64, iface: u16, dport: u16, payload: &[u8]) -> CapPacket {
+        let f = FrameBuilder::tcp(0x0a000001, 0x0a000002, 999, dport)
+            .payload(payload)
+            .build_ethernet();
+        CapPacket::full(ts_sec * 1_000_000_000, iface, LinkType::Ethernet, f)
+    }
+
+    fn system() -> Gigascope {
+        let mut gs = Gigascope::new();
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+        gs.add_interface("eth1", 1, LinkType::Ethernet);
+        gs
+    }
+
+    #[test]
+    fn simple_lfta_query_end_to_end() {
+        let mut gs = system();
+        gs.add_program(
+            "DEFINE { query_name dest80; } \
+             Select time, destPort From eth0.tcp Where destPort = 80",
+        )
+        .unwrap();
+        let pkts =
+            vec![pkt(1, 0, 80, b"a"), pkt(1, 0, 443, b"b"), pkt(2, 0, 80, b"c"), pkt(2, 1, 80, b"d")];
+        let out = gs.run_capture(pkts.into_iter(), &["dest80"]).unwrap();
+        let rows = out.stream("dest80");
+        assert_eq!(rows.len(), 2, "only eth0 port-80 packets qualify");
+        assert!(rows.iter().all(|t| t.get(1).as_uint() == Some(80)));
+        assert_eq!(out.stats.packets, 4);
+        let ls = out.stats.lfta.get("dest80").unwrap();
+        assert_eq!(ls.packets_in, 3, "only eth0 packets reach the LFTA");
+    }
+
+    #[test]
+    fn split_aggregation_equals_expected_counts() {
+        let mut gs = system();
+        gs.add_program(
+            "DEFINE { query_name persec; } \
+             Select time, count(*) From eth0.tcp Where destPort = 80 Group By time",
+        )
+        .unwrap();
+        let mut pkts = Vec::new();
+        for s in 1..=3u64 {
+            for k in 0..(s as usize) {
+                pkts.push(pkt(s, 0, 80, &[k as u8]));
+            }
+            pkts.push(pkt(s, 0, 443, b"x"));
+        }
+        let out = gs.run_capture(pkts.into_iter(), &["persec"]).unwrap();
+        let mut rows: Vec<(u64, u64)> = out
+            .stream("persec")
+            .iter()
+            .map(|t| (t.get(0).as_uint().unwrap(), t.get(1).as_uint().unwrap()))
+            .collect();
+        rows.sort();
+        assert_eq!(rows, vec![(1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn composed_merge_of_two_interfaces() {
+        // The paper's tcpdest example: per-interface selections composed
+        // into an order-preserving merge.
+        let mut gs = system();
+        gs.add_program(
+            "DEFINE { query_name tcpdest0; } \
+             Select time, destPort From eth0.tcp Where destPort = 80; \
+             DEFINE { query_name tcpdest1; } \
+             Select time, destPort From eth1.tcp Where destPort = 80; \
+             DEFINE { query_name tcpdest; } \
+             Merge tcpdest0.time : tcpdest1.time From tcpdest0, tcpdest1",
+        )
+        .unwrap();
+        let pkts = vec![
+            pkt(1, 0, 80, b"a"),
+            pkt(2, 1, 80, b"b"),
+            pkt(3, 0, 80, b"c"),
+            pkt(4, 1, 80, b"d"),
+            pkt(5, 0, 80, b"e"),
+        ];
+        let out = gs.run_capture(pkts.into_iter(), &["tcpdest"]).unwrap();
+        let times: Vec<u64> =
+            out.stream("tcpdest").iter().map(|t| t.get(0).as_uint().unwrap()).collect();
+        assert_eq!(times, vec![1, 2, 3, 4, 5], "merge preserves time order");
+    }
+
+    #[test]
+    fn subscription_to_unknown_stream_fails() {
+        let gs = system();
+        let err = gs.run_capture(std::iter::empty(), &["ghost"]).unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
+    }
+
+    #[test]
+    fn lfta_streams_are_subscribable_with_mangled_names() {
+        // "If the GSQL processor splits a query ... both streams are
+        // available to the application, though the LFTA query will have a
+        // mangled name." (§3)
+        let mut gs = system();
+        gs.add_program(
+            "DEFINE { query_name counts; } \
+             Select time, count(*) From eth0.tcp Group By time",
+        )
+        .unwrap();
+        let pkts = vec![pkt(1, 0, 80, b"a"), pkt(2, 0, 80, b"b")];
+        let out = gs.run_capture(pkts.into_iter(), &["counts__lfta0", "counts"]).unwrap();
+        assert!(!out.stream("counts__lfta0").is_empty());
+        assert!(!out.stream("counts").is_empty());
+    }
+
+    #[test]
+    fn parameterized_query_reinstantiates() {
+        let mut gs = system();
+        gs.add_program(
+            "DEFINE { query_name byport; } \
+             Select time From eth0.tcp Where destPort = $port",
+        )
+        .unwrap();
+        let mk = || vec![pkt(1, 0, 80, b"a"), pkt(2, 0, 443, b"b"), pkt(3, 0, 80, b"c")];
+
+        gs.set_params("byport", ParamBindings::new().with("port", Value::UInt(80))).unwrap();
+        let out = gs.run_capture(mk().into_iter(), &["byport"]).unwrap();
+        assert_eq!(out.stream("byport").len(), 2);
+
+        // Change the parameter on the fly and rerun.
+        gs.set_params("byport", ParamBindings::new().with("port", Value::UInt(443))).unwrap();
+        let out = gs.run_capture(mk().into_iter(), &["byport"]).unwrap();
+        assert_eq!(out.stream("byport").len(), 1);
+
+        // Missing binding is an instantiation error.
+        gs.set_params("byport", ParamBindings::new()).unwrap();
+        assert!(gs.run_capture(mk().into_iter(), &["byport"]).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! Gigascope: a stream database for network applications.
+//!
+//! A from-scratch Rust reproduction of *Gigascope: A Stream Database for
+//! Network Applications* (Cranor, Johnson, Spatscheck, Shkapenyuk —
+//! SIGMOD 2003). Queries are written in GSQL, a pure stream restriction of
+//! SQL; the compiler splits each query into low-level LFTAs that run at
+//! the capture point (with BPF prefilters and snap lengths pushed toward
+//! the NIC) and high-level HFTAs that run as ordinary stream operators,
+//! and the whole plan streams without sliding windows by exploiting the
+//! *ordering properties* of timestamp-like attributes.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gigascope::Gigascope;
+//! use gs_packet::capture::LinkType;
+//! use gs_netgen::{MixConfig, PacketMix};
+//!
+//! let mut gs = Gigascope::new();
+//! gs.add_interface("eth0", 0, LinkType::Ethernet);
+//! gs.add_program(
+//!     "DEFINE { query_name tcpdest; }
+//!      Select destIP, destPort, time From eth0.tcp
+//!      Where IPVersion = 4 and Protocol = 6",
+//! ).unwrap();
+//!
+//! let traffic = PacketMix::new(MixConfig { duration_ms: 50, ..MixConfig::default() });
+//! let out = gs.run_capture(traffic, &["tcpdest"]).unwrap();
+//! assert!(!out.stream("tcpdest").is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod manager;
+
+pub use engine::{EngineStats, RunOutput};
+pub use gs_gsql::split::DeployedQuery;
+pub use gs_runtime::{ParamBindings, StreamItem, Tuple, Value};
+
+use gs_gsql::catalog::{Catalog, InterfaceDef, UdfCost, UdfSig};
+use gs_gsql::plan::Schema;
+use gs_gsql::split::split_query;
+use gs_packet::capture::LinkType;
+use gs_packet::CapPacket;
+use gs_runtime::punct::HeartbeatMode;
+use gs_runtime::udf::{FileStore, UdfFactory, UdfRegistry};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Anything that can go wrong building or running queries.
+#[derive(Debug)]
+pub enum Error {
+    /// GSQL front-end failure (lex/parse/analyze/plan).
+    Gsql(gs_gsql::GsqlError),
+    /// Instantiation or execution failure.
+    Runtime(gs_runtime::RuntimeError),
+    /// API misuse (duplicate names, unknown queries...).
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Gsql(e) => write!(f, "{e}"),
+            Error::Runtime(e) => write!(f, "{e}"),
+            Error::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<gs_gsql::GsqlError> for Error {
+    fn from(e: gs_gsql::GsqlError) -> Error {
+        Error::Gsql(e)
+    }
+}
+
+impl From<gs_runtime::RuntimeError> for Error {
+    fn from(e: gs_runtime::RuntimeError) -> Error {
+        Error::Runtime(e)
+    }
+}
+
+/// Metadata about one registered query.
+#[derive(Debug, Clone)]
+pub struct QueryInfo {
+    /// Registered name.
+    pub name: String,
+    /// Output schema.
+    pub schema: Schema,
+    /// Number of LFTAs the splitter produced.
+    pub lftas: usize,
+    /// Whether an HFTA part exists.
+    pub has_hfta: bool,
+    /// Analyzer warnings (e.g. aggregation without an ordered key).
+    pub warnings: Vec<String>,
+    /// Whether the parser hoisted this query out of a FROM clause
+    /// (subquery plumbing rather than a user-named query).
+    pub hoisted: bool,
+}
+
+/// The Gigascope system: catalog, function registry, and the set of
+/// deployed queries. Build one, register interfaces and queries, then
+/// [`run_capture`](Gigascope::run_capture) over a packet source.
+pub struct Gigascope {
+    catalog: Catalog,
+    registry: UdfRegistry,
+    resolver: FileStore,
+    deployed: Vec<DeployedQuery>,
+    params: HashMap<String, ParamBindings>,
+    /// Heartbeat (ordering-update token) policy for LFTAs.
+    pub heartbeat: HeartbeatMode,
+    /// Direct-mapped LFTA pre-aggregation table size, in slots.
+    pub lfta_table_size: usize,
+}
+
+impl Default for Gigascope {
+    fn default() -> Self {
+        Gigascope::new()
+    }
+}
+
+impl Gigascope {
+    /// A system with the built-in protocols and function library, no
+    /// interfaces, and periodic 1-second heartbeats.
+    pub fn new() -> Gigascope {
+        Gigascope {
+            catalog: Catalog::with_builtins(),
+            registry: UdfRegistry::with_builtins(),
+            resolver: FileStore::new(),
+            deployed: Vec::new(),
+            params: HashMap::new(),
+            heartbeat: HeartbeatMode::Periodic { interval: 1 },
+            lfta_table_size: 4096,
+        }
+    }
+
+    /// Register an interface binding a symbolic name to a packet source.
+    /// The first interface registered becomes the default.
+    pub fn add_interface(&mut self, name: &str, id: u16, link: LinkType) {
+        self.catalog.add_interface(InterfaceDef { name: name.to_string(), id, link });
+    }
+
+    /// Register an in-memory file for pass-by-handle parameters (prefix
+    /// tables etc.). Unregistered names fall back to the filesystem.
+    pub fn add_file(&mut self, name: &str, contents: impl Into<Vec<u8>>) {
+        self.resolver.insert(name, contents);
+    }
+
+    /// Register a user-defined function: prototype in the catalog plus the
+    /// implementation factory ("adding the code for the function to the
+    /// function library, and registering the function prototype in the
+    /// function registry", §2.2).
+    pub fn add_udf(&mut self, sig: UdfSig, factory: UdfFactory) {
+        self.registry.register(sig.name.clone(), factory);
+        self.catalog.add_udf(sig);
+    }
+
+    /// Mark a UDF's cost class (affects LFTA/HFTA placement).
+    pub fn set_udf_cost(&mut self, name: &str, cost: UdfCost) -> Result<(), Error> {
+        let mut sig = self
+            .catalog
+            .udf(name)
+            .cloned()
+            .ok_or_else(|| Error::Config(format!("unknown function `{name}`")))?;
+        sig.cost = cost;
+        self.catalog.add_udf(sig);
+        Ok(())
+    }
+
+    /// Parse, analyze, split, and register every query in `gsql`.
+    /// Later queries (and later programs) may read earlier ones by name.
+    pub fn add_program(&mut self, gsql: &str) -> Result<Vec<QueryInfo>, Error> {
+        let program = gs_gsql::parse_program_full(gsql)?;
+        for d in &program.interfaces {
+            self.add_interface(&d.name, d.id, d.link);
+        }
+        let queries = program.queries;
+        let mut infos = Vec::with_capacity(queries.len());
+        for q in &queries {
+            let aq = gs_gsql::analyze(q, &self.catalog)?;
+            if self.catalog.stream(&aq.name).is_some() {
+                return Err(Error::Config(format!("query `{}` is already registered", aq.name)));
+            }
+            let dq = split_query(&aq, &self.catalog)?;
+            // Register the LFTA streams and the query's own stream so
+            // downstream queries can subscribe by name.
+            for l in &dq.lftas {
+                if l.name != dq.name {
+                    self.catalog.add_stream(&l.name, l.plan.schema().clone());
+                }
+            }
+            self.catalog.add_stream(&dq.name, dq.schema.clone());
+            let mut warnings = aq.warnings.clone();
+            if aq.sample.is_some() && dq.lftas.is_empty() {
+                warnings.push(
+                    concat!(
+                        "DEFINE sample applies at the capture point, but this query ",
+                        "reads only streams: no packets are sampled (set sample on ",
+                        "the query that scans the interface)",
+                    )
+                    .to_string(),
+                );
+            }
+            infos.push(QueryInfo {
+                name: dq.name.clone(),
+                schema: dq.schema.clone(),
+                lftas: dq.lftas.len(),
+                has_hfta: dq.hfta.is_some(),
+                warnings,
+                hoisted: q.is_hoisted(),
+            });
+            self.deployed.push(dq);
+        }
+        Ok(infos)
+    }
+
+    /// Bind query parameters for the next run ("specified at query
+    /// instantiation time and ... changed on-the-fly", §3). Parameters are
+    /// rebound by calling this again between runs.
+    pub fn set_params(&mut self, query: &str, params: ParamBindings) -> Result<(), Error> {
+        if !self.deployed.iter().any(|d| d.name == query) {
+            return Err(Error::Config(format!("unknown query `{query}`")));
+        }
+        self.params.insert(query.to_string(), params);
+        Ok(())
+    }
+
+    /// The deployed queries, in submission order.
+    pub fn queries(&self) -> &[DeployedQuery] {
+        &self.deployed
+    }
+
+    /// The catalog (for inspection).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Output schema of a registered stream.
+    pub fn schema(&self, stream: &str) -> Option<&Schema> {
+        self.catalog.stream(stream)
+    }
+
+    /// Render the deployed plan of one query (LFTA/HFTA split, pushed-down
+    /// BPF prefilter, snap length, operators) — what the paper's optimizer
+    /// decided.
+    pub fn explain(&self, query: &str) -> Option<String> {
+        self.deployed
+            .iter()
+            .find(|d| d.name == query)
+            .map(gs_gsql::explain::explain)
+    }
+
+    /// Render the deployed plans of every registered query.
+    pub fn explain_all(&self) -> String {
+        self.deployed.iter().map(gs_gsql::explain::explain).collect::<Vec<_>>().join("\n")
+    }
+
+    /// Run all deployed queries over a time-ordered capture stream,
+    /// collecting the named `subscriptions`. Packets must carry interface
+    /// ids matching the registered interfaces.
+    pub fn run_capture<I>(&self, packets: I, subscriptions: &[&str]) -> Result<RunOutput, Error>
+    where
+        I: Iterator<Item = CapPacket>,
+    {
+        let mut exec = engine::Engine::build(self)?;
+        exec.subscribe(subscriptions)?;
+        Ok(exec.run(packets))
+    }
+
+    pub(crate) fn params_for(&self, query: &str) -> ParamBindings {
+        self.params.get(query).cloned().unwrap_or_default()
+    }
+
+    pub(crate) fn registry(&self) -> &UdfRegistry {
+        &self.registry
+    }
+
+    pub(crate) fn resolver(&self) -> &FileStore {
+        &self.resolver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_query_names_rejected() {
+        let mut gs = Gigascope::new();
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+        gs.add_program("DEFINE { query_name q; } Select time From eth0.tcp").unwrap();
+        let err = gs
+            .add_program("DEFINE { query_name q; } Select time From eth0.tcp")
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
+    }
+
+    #[test]
+    fn set_params_requires_known_query() {
+        let mut gs = Gigascope::new();
+        assert!(gs.set_params("nope", ParamBindings::new()).is_err());
+    }
+
+    #[test]
+    fn query_info_reports_split() {
+        let mut gs = Gigascope::new();
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+        let infos = gs
+            .add_program(
+                "DEFINE { query_name simple; } Select time From eth0.tcp Where destPort = 80",
+            )
+            .unwrap();
+        assert_eq!(infos[0].lftas, 1);
+        assert!(!infos[0].has_hfta, "simple query runs entirely as an LFTA");
+        let infos = gs
+            .add_program(
+                "DEFINE { query_name agg; } \
+                 Select tb, count(*) From eth0.ip Group By time/60 as tb",
+            )
+            .unwrap();
+        assert!(infos[0].has_hfta);
+    }
+
+    #[test]
+    fn set_udf_cost_changes_placement() {
+        let mut gs = Gigascope::new();
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+        gs.set_udf_cost("str_len", UdfCost::Expensive).unwrap();
+        let infos = gs
+            .add_program(
+                "DEFINE { query_name q; } \
+                 Select time From eth0.tcp Where str_len(payload) > 10",
+            )
+            .unwrap();
+        assert!(infos[0].has_hfta, "expensive predicate forces an HFTA");
+        assert!(gs.set_udf_cost("nosuch", UdfCost::Cheap).is_err());
+    }
+}

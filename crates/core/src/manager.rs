@@ -1,0 +1,292 @@
+//! The stream manager: the deployment (threaded) configuration.
+//!
+//! "The central component of Gigascope is a stream manager which tracks
+//! the query nodes that can be activated. Query nodes ... are processes.
+//! When they are started, they register themselves with the registry of
+//! the stream manager. When a user application or query node needs to
+//! subscribe to the output of a query, it submits the query name to the
+//! registry and receives a query handle in return." (paper §3)
+//!
+//! Here query nodes are threads and the shared-memory channels are
+//! bounded crossbeam channels (backpressure instead of unbounded growth).
+//! LFTAs run inline in the capture thread, exactly as the paper links
+//! them into the run time system; each HFTA runs on its own thread. This
+//! is the configuration the deployment-throughput experiment (E2)
+//! measures; the deterministic single-threaded engine is
+//! [`crate::engine`].
+
+use crate::{Error, Gigascope};
+use crossbeam_channel::{bounded, Receiver, Select, Sender};
+use gs_packet::CapPacket;
+use gs_runtime::ops::build::{build_hfta, build_lfta, BuildCtx};
+use gs_runtime::punct::HeartbeatMode;
+use gs_runtime::tuple::{StreamItem, Tuple};
+use std::collections::HashMap;
+use std::thread;
+
+/// Channel capacity between query nodes ("communication through shared
+/// memory"); a bounded ring like the paper's buffers.
+pub const CHANNEL_CAPACITY: usize = 8_192;
+
+/// Result of a threaded run.
+#[derive(Debug, Default)]
+pub struct ThreadedOutput {
+    /// Collected tuples per subscribed stream.
+    pub streams: HashMap<String, Vec<Tuple>>,
+    /// Packets consumed by the capture loop.
+    pub packets: u64,
+}
+
+impl ThreadedOutput {
+    /// Tuples of one subscribed stream (empty if absent).
+    pub fn stream(&self, name: &str) -> &[Tuple] {
+        self.streams.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Run all deployed queries over `packets` with one thread per HFTA.
+///
+/// Packets must be time-ordered; subscriptions are collected in the
+/// calling thread after all nodes drain.
+pub fn run_threaded<I>(
+    gs: &Gigascope,
+    packets: I,
+    subscriptions: &[&str],
+) -> Result<ThreadedOutput, Error>
+where
+    I: Iterator<Item = CapPacket>,
+{
+    // ---- Wire the graph -------------------------------------------------
+    struct NodeSpec {
+        node: gs_runtime::ops::build::HftaNode,
+        out_name: String,
+    }
+    let mut lftas = Vec::new();
+    let mut nodes: Vec<NodeSpec> = Vec::new();
+    for dq in gs.queries() {
+        let params = gs.params_for(&dq.name);
+        params.validate(&dq.params).map_err(Error::Runtime)?;
+        let ctx = BuildCtx {
+            catalog: gs.catalog(),
+            params: &params,
+            registry: gs.registry(),
+            resolver: gs.resolver(),
+            lfta_table_size: gs.lfta_table_size,
+        };
+        for spec in &dq.lftas {
+            let lfta = build_lfta(spec, &ctx)?;
+            let iface_id = crate::engine::lfta_iface_id(gs, spec)?;
+            lftas.push((lfta, iface_id));
+        }
+        if let Some(hplan) = &dq.hfta {
+            nodes.push(NodeSpec { node: build_hfta(hplan, &ctx)?, out_name: dq.name.clone() });
+        }
+    }
+
+    // Senders per stream name (fan-out to every consumer).
+    let mut producers: HashMap<String, Vec<Sender<StreamItem>>> = HashMap::new();
+    // Receivers per node, in port order.
+    let mut node_inputs: Vec<Vec<Receiver<StreamItem>>> = Vec::new();
+    for spec in &nodes {
+        let mut ports = Vec::new();
+        for input in &spec.node.inputs {
+            let (tx, rx) = bounded(CHANNEL_CAPACITY);
+            producers.entry(input.clone()).or_default().push(tx);
+            ports.push(rx);
+        }
+        node_inputs.push(ports);
+    }
+    // Subscription collectors.
+    let mut collectors: HashMap<String, Receiver<StreamItem>> = HashMap::new();
+    for name in subscriptions {
+        let (tx, rx) = bounded(CHANNEL_CAPACITY);
+        producers.entry((*name).to_string()).or_default().push(tx);
+        collectors.insert((*name).to_string(), rx);
+    }
+
+    // ---- Spawn node threads ---------------------------------------------
+    let mut handles = Vec::new();
+    for (spec, inputs) in nodes.into_iter().zip(node_inputs) {
+        let out_senders: Vec<Sender<StreamItem>> =
+            producers.get(&spec.out_name).cloned().unwrap_or_default();
+        let NodeSpec { mut node, .. } = spec;
+        handles.push(thread::spawn(move || {
+            let send_all = |items: Vec<StreamItem>| {
+                for item in items {
+                    for (i, tx) in out_senders.iter().enumerate() {
+                        // Last consumer takes the original; others clone.
+                        if i + 1 == out_senders.len() {
+                            let _ = tx.send(item);
+                            break;
+                        }
+                        let _ = tx.send(item.clone());
+                    }
+                }
+            };
+            let mut open: Vec<bool> = vec![true; inputs.len()];
+            let mut out = Vec::new();
+            while open.iter().any(|&o| o) {
+                let mut sel = Select::new();
+                let mut ports = Vec::new();
+                for (p, rx) in inputs.iter().enumerate() {
+                    if open[p] {
+                        sel.recv(rx);
+                        ports.push(p);
+                    }
+                }
+                let op = sel.select();
+                let p = ports[op.index()];
+                match op.recv(&inputs[p]) {
+                    Ok(item) => {
+                        out.clear();
+                        node.push(p, item, &mut out);
+                        send_all(std::mem::take(&mut out));
+                    }
+                    Err(_) => {
+                        open[p] = false;
+                        out.clear();
+                        node.finish_input(p, &mut out);
+                        send_all(std::mem::take(&mut out));
+                    }
+                }
+            }
+            out.clear();
+            node.finish(&mut out);
+            send_all(out);
+            // Dropping `out_senders` closes downstream channels.
+        }));
+    }
+
+    // ---- Capture loop (this thread) --------------------------------------
+    let lfta_senders: Vec<Vec<Sender<StreamItem>>> = lftas
+        .iter()
+        .map(|(l, _)| producers.get(&l.name).cloned().unwrap_or_default())
+        .collect();
+    // Drop the producer map so node threads hold the only remaining
+    // senders for their output streams.
+    drop(producers);
+
+    let heartbeat = gs.heartbeat;
+    let mut last_hb: Option<u64> = None;
+    let mut n_packets = 0u64;
+    let mut out = Vec::new();
+    for pkt in packets {
+        n_packets += 1;
+        let clock = u64::from(pkt.time_sec());
+        for (i, (lfta, iface)) in lftas.iter_mut().enumerate() {
+            if *iface != pkt.iface {
+                continue;
+            }
+            out.clear();
+            lfta.push_packet(&pkt, &mut out);
+            send_to(&lfta_senders[i], &mut out);
+        }
+        if let HeartbeatMode::Periodic { interval } = heartbeat {
+            if last_hb.is_none_or(|l| clock >= l + interval.max(1)) {
+                last_hb = Some(clock);
+                for (i, (lfta, _)) in lftas.iter_mut().enumerate() {
+                    out.clear();
+                    lfta.heartbeat(clock, &mut out);
+                    send_to(&lfta_senders[i], &mut out);
+                }
+            }
+        }
+    }
+    for (i, (lfta, _)) in lftas.iter_mut().enumerate() {
+        out.clear();
+        lfta.finish(&mut out);
+        send_to(&lfta_senders[i], &mut out);
+    }
+    drop(lfta_senders); // close LFTA output streams
+
+    // ---- Drain ------------------------------------------------------------
+    let mut streams: HashMap<String, Vec<Tuple>> = HashMap::new();
+    for (name, rx) in collectors {
+        let bucket: &mut Vec<Tuple> = streams.entry(name).or_default();
+        while let Ok(item) = rx.recv() {
+            if let StreamItem::Tuple(t) = item {
+                bucket.push(t);
+            }
+        }
+    }
+    for h in handles {
+        h.join().map_err(|_| Error::Config("query node thread panicked".to_string()))?;
+    }
+    Ok(ThreadedOutput { streams, packets: n_packets })
+}
+
+fn send_to(senders: &[Sender<StreamItem>], items: &mut Vec<StreamItem>) {
+    for item in items.drain(..) {
+        for (i, tx) in senders.iter().enumerate() {
+            if i + 1 == senders.len() {
+                let _ = tx.send(item);
+                break;
+            }
+            let _ = tx.send(item.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_packet::builder::FrameBuilder;
+    use gs_packet::capture::LinkType;
+
+    fn pkt(ts_sec: u64, dport: u16, pay: &[u8]) -> CapPacket {
+        let f = FrameBuilder::tcp(1, 2, 999, dport).payload(pay).build_ethernet();
+        CapPacket::full(ts_sec * 1_000_000_000, 0, LinkType::Ethernet, f)
+    }
+
+    #[test]
+    fn threaded_matches_synchronous() {
+        let mut gs = Gigascope::new();
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+        gs.add_program(
+            "DEFINE { query_name persec; } \
+             Select time, count(*) From eth0.tcp Where destPort = 80 Group By time",
+        )
+        .unwrap();
+        let mk = || {
+            (0..200u64)
+                .map(|i| pkt(i / 40, if i % 3 == 0 { 80 } else { 25 }, b"x"))
+                .collect::<Vec<_>>()
+        };
+        let sync_out = gs.run_capture(mk().into_iter(), &["persec"]).unwrap();
+        let thr_out = run_threaded(&gs, mk().into_iter(), &["persec"]).unwrap();
+        let norm = |ts: &[Tuple]| {
+            let mut v: Vec<(u64, u64)> = ts
+                .iter()
+                .map(|t| (t.get(0).as_uint().unwrap(), t.get(1).as_uint().unwrap()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(sync_out.stream("persec")), norm(thr_out.stream("persec")));
+        assert_eq!(thr_out.packets, 200);
+    }
+
+    #[test]
+    fn threaded_merge_pipeline() {
+        let mut gs = Gigascope::new();
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+        gs.add_interface("eth1", 1, LinkType::Ethernet);
+        gs.add_program(
+            "DEFINE { query_name a; } Select time From eth0.tcp; \
+             DEFINE { query_name b; } Select time From eth1.tcp; \
+             DEFINE { query_name m; } Merge a.time : b.time From a, b",
+        )
+        .unwrap();
+        let mut pkts = Vec::new();
+        for s in 0..50u64 {
+            let f = FrameBuilder::tcp(1, 2, 9, 80).build_ethernet();
+            pkts.push(CapPacket::full(s * 1_000_000_000, (s % 2) as u16, LinkType::Ethernet, f));
+        }
+        let out = run_threaded(&gs, pkts.into_iter(), &["m"]).unwrap();
+        let times: Vec<u64> = out.stream("m").iter().map(|t| t.get(0).as_uint().unwrap()).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted, "merge output stays ordered under threading");
+        assert_eq!(times.len(), 50);
+    }
+}

@@ -1,0 +1,415 @@
+//! Abstract syntax for GSQL.
+
+use std::fmt;
+
+/// An interface declaration from the data definition language:
+/// `INTERFACE eth0 0 ether;` binds a symbolic name to a packet source
+/// ("To completely specify a data source, the Protocol must be bound to an
+/// Interface — a symbolic name which the run time system can bind to a
+/// source of packets", paper §2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceDecl {
+    /// Symbolic name (`eth0`).
+    pub name: String,
+    /// Numeric id carried by captured packets.
+    pub id: u16,
+    /// Link-level interpretation of the interface's bytes.
+    pub link: gs_packet::capture::LinkType,
+}
+
+/// A parsed GSQL program: interface declarations plus queries, in source
+/// order (FROM-clause subqueries appear desugared before their parents).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramAst {
+    /// Interface declarations.
+    pub interfaces: Vec<InterfaceDecl>,
+    /// The queries.
+    pub queries: Vec<Query>,
+}
+
+/// A complete GSQL query: optional DEFINE block plus a SELECT or MERGE body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `DEFINE { key value; ... }` properties (query name, parameters...).
+    pub defines: Vec<(String, String)>,
+    /// The query body.
+    pub body: QueryBody,
+}
+
+impl Query {
+    /// The query's name from the DEFINE block, if present.
+    pub fn name(&self) -> Option<&str> {
+        self.defines
+            .iter()
+            .find(|(k, _)| k == "query_name")
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether this query was hoisted out of a FROM clause by the parser
+    /// (plumbing for subquery desugaring, not a user-named query).
+    pub fn is_hoisted(&self) -> bool {
+        self.defines.iter().any(|(k, v)| k == "hoisted" && v == "true")
+    }
+}
+
+/// SELECT or MERGE.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryBody {
+    /// Selection / projection / join / aggregation query.
+    Select(SelectBody),
+    /// Order-preserving union (the GSQL `Merge` extension, §2.2).
+    Merge(MergeBody),
+}
+
+/// The clauses of a SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectBody {
+    /// Projected expressions.
+    pub projections: Vec<SelectItem>,
+    /// One stream (scan) or two streams (join).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions (with the paper's `expr AS name` extension).
+    pub group_by: Vec<SelectItem>,
+    /// HAVING predicate over group/aggregate values.
+    pub having: Option<Expr>,
+}
+
+/// The clauses of a MERGE query: `Merge a.ts : b.ts From a, b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeBody {
+    /// `(stream, column)` pairs, one per merged input, colon-separated in
+    /// the source; all must name the same ordered attribute role.
+    pub columns: Vec<(String, String)>,
+    /// The merged input streams.
+    pub from: Vec<TableRef>,
+}
+
+/// One projected or grouping expression with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: Expr,
+    /// `AS alias`, if given.
+    pub alias: Option<String>,
+}
+
+/// A FROM-clause source: `eth0.tcp`, `tcpdest0`, or `tcp B` (with alias).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Interface qualifier (`eth0` in `eth0.tcp`). Absent means either a
+    /// named-query stream or the default interface.
+    pub interface: Option<String>,
+    /// Protocol or named-query identifier.
+    pub name: String,
+    /// Binding alias (`FROM tcp B` makes `B.destPort` valid).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this source binds in column qualifiers.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (integer division on `uint` — the `time/60` bucket idiom)
+    Div,
+    /// `%`
+    Mod,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+}
+
+impl BinOp {
+    /// Whether this is a comparison producing `bool`.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    /// Whether this is a boolean connective.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// GSQL surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `NOT`
+    Not,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `count(*)` / `count(expr)`
+    Count,
+    /// `sum(expr)`
+    Sum,
+    /// `min(expr)`
+    Min,
+    /// `max(expr)`
+    Max,
+    /// `avg(expr)`
+    Avg,
+}
+
+impl AggFunc {
+    /// Parse an aggregate function name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            "avg" => AggFunc::Avg,
+            _ => return None,
+        })
+    }
+
+    /// Surface name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A GSQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, optionally qualified: `B.ts` or `destPort`.
+    Column {
+        /// Stream binding qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Unsigned integer literal (decimal or `0x` hex).
+    UIntLit(u64),
+    /// Floating-point literal.
+    FloatLit(f64),
+    /// Single-quoted string literal.
+    StrLit(String),
+    /// Dotted-quad IPv4 address literal.
+    IpLit(u32),
+    /// `TRUE` / `FALSE`.
+    BoolLit(bool),
+    /// Query parameter `$name`, bound at instantiation (paper §3).
+    Param(String),
+    /// `*` (only legal inside `count(*)`).
+    Star,
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        arg: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// User-defined function call, e.g. `getlpmid(destIP, 'peerid.tbl')`.
+    Func {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Aggregate call; `arg == None` means `count(*)`.
+    Agg {
+        /// Which aggregate.
+        func: AggFunc,
+        /// Aggregated expression (absent for `count(*)`).
+        arg: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// Visit this expression and all subexpressions, pre-order.
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Unary { arg, .. } => arg.walk(f),
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Agg { arg: Some(a), .. } => a.walk(f),
+            _ => {}
+        }
+    }
+
+    /// Whether any aggregate call appears in this expression.
+    pub fn contains_agg(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Agg { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Split a predicate into its top-level AND conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn go<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::Binary { op: BinOp::And, left, right } => {
+                    go(left, out);
+                    go(right, out);
+                }
+                other => out.push(other),
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+
+    /// Rebuild a predicate from conjuncts (AND-fold); `None` when empty.
+    pub fn and_all(mut exprs: Vec<Expr>) -> Option<Expr> {
+        let first = if exprs.is_empty() { return None } else { exprs.remove(0) };
+        Some(exprs.into_iter().fold(first, |acc, e| Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(acc),
+            right: Box::new(e),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(n: &str) -> Expr {
+        Expr::Column { qualifier: None, name: n.into() }
+    }
+
+    #[test]
+    fn conjuncts_flatten_nested_ands() {
+        let e = Expr::and_all(vec![col("a"), col("b"), col("c")]).unwrap();
+        let cs = e.conjuncts();
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0], &col("a"));
+        assert_eq!(cs[2], &col("c"));
+    }
+
+    #[test]
+    fn or_is_a_single_conjunct() {
+        let e = Expr::Binary {
+            op: BinOp::Or,
+            left: Box::new(col("a")),
+            right: Box::new(col("b")),
+        };
+        assert_eq!(e.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn contains_agg_detects_nested() {
+        let e = Expr::Binary {
+            op: BinOp::Div,
+            left: Box::new(Expr::Agg { func: AggFunc::Count, arg: None }),
+            right: Box::new(col("n")),
+        };
+        assert!(e.contains_agg());
+        assert!(!col("x").contains_agg());
+    }
+
+    #[test]
+    fn and_all_empty_is_none() {
+        assert_eq!(Expr::and_all(vec![]), None);
+        assert_eq!(Expr::and_all(vec![col("x")]), Some(col("x")));
+    }
+
+    #[test]
+    fn table_ref_binding_prefers_alias() {
+        let t = TableRef { interface: None, name: "tcp".into(), alias: Some("B".into()) };
+        assert_eq!(t.binding(), "B");
+        let t = TableRef { interface: Some("eth0".into()), name: "tcp".into(), alias: None };
+        assert_eq!(t.binding(), "tcp");
+    }
+
+    #[test]
+    fn query_name_from_defines() {
+        let q = Query {
+            defines: vec![("query_name".into(), "tcpdest0".into())],
+            body: QueryBody::Merge(MergeBody { columns: vec![], from: vec![] }),
+        };
+        assert_eq!(q.name(), Some("tcpdest0"));
+    }
+}

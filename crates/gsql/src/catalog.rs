@@ -1,0 +1,229 @@
+//! The schema catalog: protocols, interfaces, named query streams, and the
+//! user-defined function registry.
+//!
+//! "Users can make new functions available by adding the code for the
+//! function to the function library, and registering the function
+//! prototype in the function registry" (paper §2.2). The catalog holds the
+//! prototypes; implementations are registered with the runtime under the
+//! same names.
+
+use crate::ordering::OrderProp;
+use crate::plan::{ColumnInfo, Schema};
+use crate::types::DataType;
+use gs_packet::capture::LinkType;
+use gs_packet::interp::ProtocolDef;
+use std::collections::HashMap;
+
+/// Cost class of a UDF, used by the LFTA/HFTA splitter: expensive
+/// functions never run in an LFTA ("Regular expression finding is too
+/// expensive for an LFTA", §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UdfCost {
+    /// Cheap enough for the capture path.
+    Cheap,
+    /// Must run in an HFTA.
+    Expensive,
+}
+
+/// A UDF prototype in the function registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UdfSig {
+    /// Function name as written in GSQL.
+    pub name: String,
+    /// Argument types.
+    pub args: Vec<DataType>,
+    /// Return type.
+    pub ret: DataType,
+    /// Partial functions may not return a value; the tuple is then
+    /// discarded, "the same as if there is no result from a join".
+    pub partial: bool,
+    /// Indices of pass-by-handle parameters: literals or query parameters
+    /// that need expensive pre-processing at instantiation (compiled
+    /// regexes, loaded prefix tables).
+    pub handle_params: Vec<usize>,
+    /// Cost class for the splitter.
+    pub cost: UdfCost,
+}
+
+/// An interface declaration binding a symbolic name to a packet source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceDef {
+    /// Symbolic name (`eth0`).
+    pub name: String,
+    /// Numeric id stamped on captured packets.
+    pub id: u16,
+    /// How this interface's bytes are interpreted.
+    pub link: LinkType,
+}
+
+/// The catalog against which queries are analyzed.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    interfaces: HashMap<String, InterfaceDef>,
+    streams: HashMap<String, Schema>,
+    udfs: HashMap<String, UdfSig>,
+    default_interface: Option<String>,
+}
+
+impl Catalog {
+    /// An empty catalog with the built-in UDF prototypes registered.
+    pub fn with_builtins() -> Catalog {
+        let mut c = Catalog::default();
+        c.add_udf(UdfSig {
+            name: "getlpmid".into(),
+            args: vec![DataType::Ip, DataType::Str],
+            ret: DataType::UInt,
+            partial: true,
+            handle_params: vec![1],
+            cost: UdfCost::Cheap,
+        });
+        c.add_udf(UdfSig {
+            name: "str_match_regex".into(),
+            args: vec![DataType::Str, DataType::Str],
+            ret: DataType::Bool,
+            partial: false,
+            handle_params: vec![1],
+            cost: UdfCost::Expensive,
+        });
+        c.add_udf(UdfSig {
+            name: "str_find_substr".into(),
+            args: vec![DataType::Str, DataType::Str],
+            ret: DataType::Bool,
+            partial: false,
+            handle_params: vec![],
+            cost: UdfCost::Expensive,
+        });
+        c.add_udf(UdfSig {
+            name: "str_len".into(),
+            args: vec![DataType::Str],
+            ret: DataType::UInt,
+            partial: false,
+            handle_params: vec![],
+            cost: UdfCost::Cheap,
+        });
+        c.add_udf(UdfSig {
+            name: "to_float".into(),
+            args: vec![DataType::UInt],
+            ret: DataType::Float,
+            partial: false,
+            handle_params: vec![],
+            cost: UdfCost::Cheap,
+        });
+        c
+    }
+
+    /// Register an interface. The first registered interface becomes the
+    /// default ("if no Interface is given, a default Interface is
+    /// implied").
+    pub fn add_interface(&mut self, def: InterfaceDef) {
+        if self.default_interface.is_none() {
+            self.default_interface = Some(def.name.clone());
+        }
+        self.interfaces.insert(def.name.clone(), def);
+    }
+
+    /// Look up an interface by name.
+    pub fn interface(&self, name: &str) -> Option<&InterfaceDef> {
+        self.interfaces.get(name)
+    }
+
+    /// The default interface, if any is registered.
+    pub fn default_interface(&self) -> Option<&InterfaceDef> {
+        self.default_interface.as_deref().and_then(|n| self.interfaces.get(n))
+    }
+
+    /// Register a named query's output schema so other queries can read it
+    /// by name in their FROM clause.
+    pub fn add_stream(&mut self, name: impl Into<String>, schema: Schema) {
+        self.streams.insert(name.into(), schema);
+    }
+
+    /// Look up a named stream's schema.
+    pub fn stream(&self, name: &str) -> Option<&Schema> {
+        self.streams.get(name)
+    }
+
+    /// Register a UDF prototype (replacing any previous one of that name).
+    pub fn add_udf(&mut self, sig: UdfSig) {
+        self.udfs.insert(sig.name.clone(), sig);
+    }
+
+    /// Look up a UDF prototype.
+    pub fn udf(&self, name: &str) -> Option<&UdfSig> {
+        self.udfs.get(name)
+    }
+
+    /// Look up a built-in protocol definition.
+    pub fn protocol(&self, name: &str) -> Option<&'static ProtocolDef> {
+        gs_packet::interp::protocol(name)
+    }
+
+    /// The analyzer-facing schema of a protocol stream: field types from
+    /// the interpretation library, ordering properties from its hints.
+    pub fn protocol_schema(&self, name: &str) -> Option<Schema> {
+        let def = self.protocol(name)?;
+        Some(
+            def.fields
+                .iter()
+                .map(|f| ColumnInfo {
+                    name: f.name.to_string(),
+                    ty: DataType::from_field(f.ty),
+                    order: OrderProp::from_hint(f.order),
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_udfs_present() {
+        let c = Catalog::with_builtins();
+        let lpm = c.udf("getlpmid").unwrap();
+        assert!(lpm.partial);
+        assert_eq!(lpm.handle_params, vec![1]);
+        assert_eq!(lpm.cost, UdfCost::Cheap);
+        let re = c.udf("str_match_regex").unwrap();
+        assert_eq!(re.cost, UdfCost::Expensive);
+        assert!(c.udf("nope").is_none());
+    }
+
+    #[test]
+    fn first_interface_is_default() {
+        let mut c = Catalog::with_builtins();
+        assert!(c.default_interface().is_none());
+        c.add_interface(InterfaceDef { name: "eth0".into(), id: 0, link: LinkType::Ethernet });
+        c.add_interface(InterfaceDef { name: "eth1".into(), id: 1, link: LinkType::Ethernet });
+        assert_eq!(c.default_interface().unwrap().name, "eth0");
+        assert_eq!(c.interface("eth1").unwrap().id, 1);
+    }
+
+    #[test]
+    fn protocol_schema_has_ordering() {
+        let c = Catalog::with_builtins();
+        let s = c.protocol_schema("tcp").unwrap();
+        let time = s.iter().find(|c| c.name == "time").unwrap();
+        assert_eq!(time.order, OrderProp::Increasing { strict: false });
+        assert_eq!(time.ty, DataType::UInt);
+        let payload = s.iter().find(|c| c.name == "payload").unwrap();
+        assert_eq!(payload.ty, DataType::Str);
+        assert!(c.protocol_schema("nosuch").is_none());
+    }
+
+    #[test]
+    fn streams_register_and_resolve() {
+        let mut c = Catalog::with_builtins();
+        c.add_stream(
+            "tcpdest0",
+            vec![ColumnInfo {
+                name: "time".into(),
+                ty: DataType::UInt,
+                order: OrderProp::Increasing { strict: false },
+            }],
+        );
+        assert_eq!(c.stream("tcpdest0").unwrap().len(), 1);
+    }
+}

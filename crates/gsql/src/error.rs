@@ -1,0 +1,96 @@
+//! Diagnostics for the GSQL front end.
+
+use std::fmt;
+
+/// Source position (byte offset and 1-based line/column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// Byte offset into the source text.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Any error produced while lexing, parsing, analyzing, or splitting GSQL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GsqlError {
+    /// Which phase rejected the input.
+    pub phase: Phase,
+    /// Human-readable description.
+    pub message: String,
+    /// Source position, when known.
+    pub pos: Option<Pos>,
+}
+
+/// Front-end phase that produced an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenizer.
+    Lex,
+    /// Parser.
+    Parse,
+    /// Semantic analysis (names, types, restrictions).
+    Analyze,
+    /// Query splitting / optimization.
+    Plan,
+}
+
+impl GsqlError {
+    /// Build a lexer error.
+    pub fn lex(message: impl Into<String>, pos: Pos) -> GsqlError {
+        GsqlError { phase: Phase::Lex, message: message.into(), pos: Some(pos) }
+    }
+
+    /// Build a parser error.
+    pub fn parse(message: impl Into<String>, pos: Pos) -> GsqlError {
+        GsqlError { phase: Phase::Parse, message: message.into(), pos: Some(pos) }
+    }
+
+    /// Build an analyzer error.
+    pub fn analyze(message: impl Into<String>) -> GsqlError {
+        GsqlError { phase: Phase::Analyze, message: message.into(), pos: None }
+    }
+
+    /// Build a planner error.
+    pub fn plan(message: impl Into<String>) -> GsqlError {
+        GsqlError { phase: Phase::Plan, message: message.into(), pos: None }
+    }
+}
+
+impl fmt::Display for GsqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Analyze => "analyze",
+            Phase::Plan => "plan",
+        };
+        match self.pos {
+            Some(p) => write!(f, "{phase} error at {p}: {}", self.message),
+            None => write!(f, "{phase} error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for GsqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_pos() {
+        let e = GsqlError::parse("expected FROM", Pos { offset: 10, line: 2, col: 3 });
+        assert_eq!(e.to_string(), "parse error at 2:3: expected FROM");
+        let e = GsqlError::analyze("unknown column x");
+        assert_eq!(e.to_string(), "analyze error: unknown column x");
+    }
+}

@@ -1,0 +1,304 @@
+//! Human-readable rendering of deployed query plans.
+//!
+//! Shows exactly what the paper's optimizer decided: which part of a query
+//! became an LFTA at the capture point, what was pushed further down into
+//! the (simulated) NIC as a BPF prefilter and snap length, and what remains
+//! as HFTA stream operators.
+
+use crate::ast::UnOp;
+use crate::plan::{AggSpec, Literal, PExpr, Plan, Schema};
+use crate::split::DeployedQuery;
+use std::fmt::Write;
+
+/// Render a deployed query as an indented plan description.
+pub fn explain(dq: &DeployedQuery) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "query {}:", dq.name);
+    if !dq.params.is_empty() {
+        let ps: Vec<String> =
+            dq.params.iter().map(|(n, t)| format!("${n}:{t}")).collect();
+        let _ = writeln!(s, "  parameters: {}", ps.join(", "));
+    }
+    for l in &dq.lftas {
+        let _ = writeln!(s, "  LFTA {} (at the capture point):", l.name);
+        if let Some(p) = &l.prefilter {
+            let _ = writeln!(
+                s,
+                "    NIC prefilter: BPF, {} instructions{}",
+                p.insns().len(),
+                match l.snaplen {
+                    Some(sn) => format!(", snap length {sn} B"),
+                    None => String::new(),
+                }
+            );
+        } else if let Some(sn) = l.snaplen {
+            let _ = writeln!(s, "    NIC snap length: {sn} B");
+        }
+        if let Some(p) = l.sample {
+            let _ = writeln!(s, "    sampling: p = {p}");
+        }
+        if l.pre_aggregated {
+            let _ = writeln!(s, "    pre-aggregation: direct-mapped eviction table");
+        }
+        render_plan(&mut s, &l.plan, 2);
+    }
+    match &dq.hfta {
+        Some(h) => {
+            let _ = writeln!(s, "  HFTA (stream operators):");
+            render_plan(&mut s, h, 2);
+        }
+        None => {
+            let _ = writeln!(s, "  HFTA: none (the query executes entirely as an LFTA)");
+        }
+    }
+    let cols: Vec<String> = dq
+        .schema
+        .iter()
+        .map(|c| format!("{}:{} [{}]", c.name, c.ty, c.order))
+        .collect();
+    let _ = writeln!(s, "  output: {}", cols.join(", "));
+    s
+}
+
+/// Render one plan subtree, deepest (source) last, like EXPLAIN output.
+pub fn render_plan(out: &mut String, plan: &Plan, indent: usize) {
+    let pad = "  ".repeat(indent);
+    match plan {
+        Plan::ProtocolScan { interface, protocol, .. } => {
+            let _ = writeln!(out, "{pad}scan {interface}.{protocol}");
+        }
+        Plan::StreamScan { stream, .. } => {
+            let _ = writeln!(out, "{pad}read stream {stream}");
+        }
+        Plan::Filter { pred, input } => {
+            let _ = writeln!(out, "{pad}filter {}", expr_str(pred, input.schema()));
+            render_plan(out, input, indent);
+        }
+        Plan::Project { cols, input, .. } => {
+            let cs: Vec<String> = cols
+                .iter()
+                .map(|(n, e)| {
+                    let rendered = expr_str(e, input.schema());
+                    if &rendered == n {
+                        rendered
+                    } else {
+                        format!("{rendered} as {n}")
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "{pad}project {}", cs.join(", "));
+            render_plan(out, input, indent);
+        }
+        Plan::Aggregate { group, aggs, flush_group_idx, input, .. } => {
+            let gs: Vec<String> = group
+                .iter()
+                .enumerate()
+                .map(|(i, (n, e))| {
+                    let star = if Some(i) == *flush_group_idx { "*" } else { "" };
+                    format!("{}{star} = {}", n, expr_str(e, input.schema()))
+                })
+                .collect();
+            let as_: Vec<String> =
+                aggs.iter().map(|a| agg_str(a, input.schema())).collect();
+            let _ = writeln!(
+                out,
+                "{pad}aggregate [{}] compute [{}]  (* = ordered flush key)",
+                gs.join(", "),
+                as_.join(", ")
+            );
+            render_plan(out, input, indent);
+        }
+        Plan::Join { left, right, window, residual, cols, .. } => {
+            let l = left.schema();
+            let r = right.schema();
+            let win = if window.lo == window.hi {
+                format!(
+                    "{} = {}{}",
+                    col_name(l, window.left_col),
+                    col_name(r, window.right_col),
+                    if window.lo != 0 { format!(" {}", fmt_signed(window.lo)) } else { String::new() }
+                )
+            } else {
+                format!(
+                    "{} in [{} {}, {} {}]",
+                    col_name(l, window.left_col),
+                    col_name(r, window.right_col),
+                    fmt_signed(window.lo),
+                    col_name(r, window.right_col),
+                    fmt_signed(window.hi),
+                )
+            };
+            let mut concat = l.clone();
+            concat.extend(r.iter().cloned());
+            let mut line = format!("{pad}join window [{win}]");
+            if let Some(res) = residual {
+                // The same classification the executor applies, so EXPLAIN
+                // shows exactly what will run.
+                let (eq_keys, rest) =
+                    crate::plan::split_join_conjuncts(res, l.len());
+                if !eq_keys.is_empty() {
+                    let hk: Vec<String> = eq_keys
+                        .iter()
+                        .map(|&(li, ri)| {
+                            format!("{} = {}", col_name(l, li), col_name(r, ri))
+                        })
+                        .collect();
+                    let _ = write!(line, " hash [{}]", hk.join(", "));
+                }
+                if !rest.is_empty() {
+                    let rs: Vec<String> =
+                        rest.iter().map(|c| expr_str(c, &concat)).collect();
+                    let _ = write!(line, " residual {}", rs.join(" AND "));
+                }
+            }
+            let cs: Vec<String> =
+                cols.iter().map(|(n, e)| {
+                    let rendered = expr_str(e, &concat);
+                    if &rendered == n { rendered } else { format!("{rendered} as {n}") }
+                }).collect();
+            let _ = writeln!(out, "{line} project {}", cs.join(", "));
+            render_plan(out, left, indent + 1);
+            render_plan(out, right, indent + 1);
+        }
+        Plan::Merge { inputs, on_col, schema } => {
+            let _ = writeln!(out, "{pad}merge on {}", col_name(schema, *on_col));
+            for i in inputs {
+                render_plan(out, i, indent + 1);
+            }
+        }
+    }
+}
+
+fn fmt_signed(v: i64) -> String {
+    if v >= 0 {
+        format!("+ {v}")
+    } else {
+        format!("- {}", -v)
+    }
+}
+
+fn col_name(schema: &Schema, i: usize) -> String {
+    schema.get(i).map(|c| c.name.clone()).unwrap_or_else(|| format!("#{i}"))
+}
+
+fn agg_str(a: &AggSpec, schema: &Schema) -> String {
+    match &a.arg {
+        Some(e) => format!("{} = {}({})", a.name, a.func, expr_str(e, schema)),
+        None => format!("{} = {}(*)", a.name, a.func),
+    }
+}
+
+/// Render a resolved expression with column names from `schema`.
+pub fn expr_str(e: &PExpr, schema: &Schema) -> String {
+    match e {
+        PExpr::Col { index, .. } => col_name(schema, *index),
+        PExpr::Lit(l) => lit_str(l),
+        PExpr::Param { name, .. } => format!("${name}"),
+        PExpr::Unary { op: UnOp::Not, arg } => format!("NOT ({})", expr_str(arg, schema)),
+        PExpr::Binary { op, left, right, .. } => {
+            let l = expr_str(left, schema);
+            let r = expr_str(right, schema);
+            // Parenthesize nested binaries for unambiguous output.
+            let wrap = |s: String, e: &PExpr| {
+                if matches!(e, PExpr::Binary { .. }) {
+                    format!("({s})")
+                } else {
+                    s
+                }
+            };
+            format!("{} {} {}", wrap(l, left), op.symbol(), wrap(r, right))
+        }
+        PExpr::Call { udf, args, .. } => {
+            let a: Vec<String> = args.iter().map(|x| expr_str(x, schema)).collect();
+            format!("{udf}({})", a.join(", "))
+        }
+    }
+}
+
+fn lit_str(l: &Literal) -> String {
+    match l {
+        Literal::Bool(b) => b.to_string().to_uppercase(),
+        Literal::UInt(v) => v.to_string(),
+        Literal::Float(v) => format!("{v}"),
+        Literal::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Literal::Ip(v) => gs_packet::ip::fmt_ipv4(*v),
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::catalog::{Catalog, InterfaceDef};
+    use crate::parser::parse_query;
+    use crate::split::split_query;
+    use gs_packet::capture::LinkType;
+
+    fn deploy(src: &str) -> DeployedQuery {
+        let mut c = Catalog::with_builtins();
+        c.add_interface(InterfaceDef { name: "eth0".into(), id: 0, link: LinkType::Ethernet });
+        c.add_interface(InterfaceDef { name: "eth1".into(), id: 1, link: LinkType::Ethernet });
+        let aq = analyze(&parse_query(src).unwrap(), &c).unwrap();
+        split_query(&aq, &c).unwrap()
+    }
+
+    #[test]
+    fn explains_single_lfta_query() {
+        let text = explain(&deploy(
+            "DEFINE { query_name q; } \
+             Select time, destPort From eth0.tcp Where destPort = 80",
+        ));
+        assert!(text.contains("LFTA q (at the capture point):"), "{text}");
+        assert!(text.contains("NIC prefilter: BPF"), "{text}");
+        assert!(text.contains("snap length 128 B"), "{text}");
+        assert!(text.contains("filter destPort = 80"), "{text}");
+        assert!(text.contains("scan eth0.tcp"), "{text}");
+        assert!(text.contains("HFTA: none"), "{text}");
+        assert!(text.contains("time:uint [increasing]"), "{text}");
+    }
+
+    #[test]
+    fn explains_split_aggregation() {
+        let text = explain(&deploy(
+            "DEFINE { query_name counts; } \
+             Select tb, count(*), sum(len) From eth0.ip Group By time/60 as tb",
+        ));
+        assert!(text.contains("pre-aggregation: direct-mapped eviction table"), "{text}");
+        assert!(text.contains("aggregate [tb* = time / 60]"), "{text}");
+        assert!(text.contains("HFTA (stream operators):"), "{text}");
+        assert!(text.contains("read stream counts__lfta0"), "{text}");
+        assert!(text.contains("sum(count)"), "{text}");
+    }
+
+    #[test]
+    fn explains_join_with_window_and_residual() {
+        let text = explain(&deploy(
+            "DEFINE { query_name j; } \
+             Select B.time FROM eth0.tcp B, eth1.tcp C \
+             WHERE B.time >= C.time - 1 and B.time <= C.time + 1 \
+             and B.srcIP = C.srcIP and B.len > C.len",
+        ));
+        assert!(text.contains("join window [time in [time - 1, time + 1]]"), "{text}");
+        assert!(text.contains("hash [srcIP = srcIP]"), "{text}");
+        assert!(text.contains("residual len > len"), "{text}");
+        assert!(text.contains("banded-increasing(2)"), "{text}");
+    }
+
+    #[test]
+    fn explains_parameters_and_sampling() {
+        let mut c = Catalog::with_builtins();
+        c.add_interface(InterfaceDef { name: "eth0".into(), id: 0, link: LinkType::Ethernet });
+        let q = parse_query(
+            "DEFINE { query_name s; sample 0.25; } \
+             Select time From eth0.tcp Where destPort = $port",
+        )
+        .unwrap();
+        let aq = analyze(&q, &c).unwrap();
+        let dq = split_query(&aq, &c).unwrap();
+        let text = explain(&dq);
+        assert!(text.contains("parameters: $port:uint"), "{text}");
+        assert!(text.contains("sampling: p = 0.25"), "{text}");
+        assert!(text.contains("$port"), "{text}");
+    }
+}

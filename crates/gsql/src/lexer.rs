@@ -1,0 +1,463 @@
+//! GSQL tokenizer.
+//!
+//! Keywords are case-insensitive (SQL convention); identifiers preserve
+//! case (packet field names like `destPort` are camel-cased). IPv4
+//! literals (`192.168.0.1`) are lexed as single tokens so address
+//! constants work without quoting.
+
+use crate::error::{GsqlError, Pos};
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub pos: Pos,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (uppercased).
+    Keyword(Keyword),
+    /// Identifier (case preserved).
+    Ident(String),
+    /// Unsigned integer literal.
+    UInt(u64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// IPv4 literal, host order.
+    Ip(u32),
+    /// `$param`.
+    Param(String),
+    /// Punctuation / operator.
+    Sym(Sym),
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    As,
+    And,
+    Or,
+    Not,
+    Merge,
+    Define,
+    True,
+    False,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "GROUP" => Keyword::Group,
+            "BY" => Keyword::By,
+            "HAVING" => Keyword::Having,
+            "AS" => Keyword::As,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "MERGE" => Keyword::Merge,
+            "DEFINE" => Keyword::Define,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            _ => return None,
+        })
+    }
+}
+
+/// Operator and punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Sym {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Colon,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Amp,
+    Pipe,
+    Caret,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    off: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn pos(&self) -> Pos {
+        Pos { offset: self.off, line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.off).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.off + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.off += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+/// Tokenize GSQL source text. The result always ends with [`TokenKind::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, GsqlError> {
+    let mut cur = Cursor { src: src.as_bytes(), off: 0, line: 1, col: 1 };
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace and comments (`--` to end of line, `//` likewise).
+        loop {
+            match cur.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    cur.bump();
+                }
+                Some(b'-') if cur.peek2() == Some(b'-') => skip_line(&mut cur),
+                Some(b'/') if cur.peek2() == Some(b'/') => skip_line(&mut cur),
+                _ => break,
+            }
+        }
+        let pos = cur.pos();
+        let Some(b) = cur.peek() else {
+            out.push(Token { kind: TokenKind::Eof, pos });
+            return Ok(out);
+        };
+        let kind = match b {
+            b'(' => sym(&mut cur, Sym::LParen),
+            b')' => sym(&mut cur, Sym::RParen),
+            b'{' => sym(&mut cur, Sym::LBrace),
+            b'}' => sym(&mut cur, Sym::RBrace),
+            b',' => sym(&mut cur, Sym::Comma),
+            b';' => sym(&mut cur, Sym::Semi),
+            b':' => sym(&mut cur, Sym::Colon),
+            b'.' => sym(&mut cur, Sym::Dot),
+            b'*' => sym(&mut cur, Sym::Star),
+            b'+' => sym(&mut cur, Sym::Plus),
+            b'-' => sym(&mut cur, Sym::Minus),
+            b'/' => sym(&mut cur, Sym::Slash),
+            b'%' => sym(&mut cur, Sym::Percent),
+            b'&' => sym(&mut cur, Sym::Amp),
+            b'|' => sym(&mut cur, Sym::Pipe),
+            b'^' => sym(&mut cur, Sym::Caret),
+            b'=' => sym(&mut cur, Sym::Eq),
+            b'<' => {
+                cur.bump();
+                match cur.peek() {
+                    Some(b'=') => {
+                        cur.bump();
+                        TokenKind::Sym(Sym::Le)
+                    }
+                    Some(b'>') => {
+                        cur.bump();
+                        TokenKind::Sym(Sym::Ne)
+                    }
+                    _ => TokenKind::Sym(Sym::Lt),
+                }
+            }
+            b'>' => {
+                cur.bump();
+                if cur.peek() == Some(b'=') {
+                    cur.bump();
+                    TokenKind::Sym(Sym::Ge)
+                } else {
+                    TokenKind::Sym(Sym::Gt)
+                }
+            }
+            b'!' => {
+                cur.bump();
+                if cur.peek() == Some(b'=') {
+                    cur.bump();
+                    TokenKind::Sym(Sym::Ne)
+                } else {
+                    return Err(GsqlError::lex("unexpected `!` (did you mean `!=`?)", pos));
+                }
+            }
+            b'\'' => lex_string(&mut cur, pos)?,
+            b'$' => {
+                cur.bump();
+                let name = lex_ident_raw(&mut cur);
+                if name.is_empty() {
+                    return Err(GsqlError::lex("`$` must be followed by a parameter name", pos));
+                }
+                TokenKind::Param(name)
+            }
+            b'0'..=b'9' => lex_number(&mut cur, pos)?,
+            b if b.is_ascii_alphabetic() || b == b'_' => {
+                let word = lex_ident_raw(&mut cur);
+                match Keyword::from_str(&word) {
+                    Some(kw) => TokenKind::Keyword(kw),
+                    None => TokenKind::Ident(word),
+                }
+            }
+            other => {
+                return Err(GsqlError::lex(format!("unexpected byte `{}`", other as char), pos))
+            }
+        };
+        out.push(Token { kind, pos });
+    }
+}
+
+fn skip_line(cur: &mut Cursor<'_>) {
+    while let Some(b) = cur.bump() {
+        if b == b'\n' {
+            break;
+        }
+    }
+}
+
+fn sym(cur: &mut Cursor<'_>, s: Sym) -> TokenKind {
+    cur.bump();
+    TokenKind::Sym(s)
+}
+
+fn lex_ident_raw(cur: &mut Cursor<'_>) -> String {
+    let mut s = String::new();
+    while let Some(b) = cur.peek() {
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            s.push(b as char);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+fn lex_string(cur: &mut Cursor<'_>, pos: Pos) -> Result<TokenKind, GsqlError> {
+    cur.bump(); // opening quote
+    let mut s = String::new();
+    loop {
+        match cur.bump() {
+            None => return Err(GsqlError::lex("unterminated string literal", pos)),
+            Some(b'\'') => {
+                // `''` escapes a quote.
+                if cur.peek() == Some(b'\'') {
+                    cur.bump();
+                    s.push('\'');
+                } else {
+                    return Ok(TokenKind::Str(s));
+                }
+            }
+            Some(b) => s.push(b as char),
+        }
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>, pos: Pos) -> Result<TokenKind, GsqlError> {
+    // Hex?
+    if cur.peek() == Some(b'0') && matches!(cur.peek2(), Some(b'x') | Some(b'X')) {
+        cur.bump();
+        cur.bump();
+        let mut v: u64 = 0;
+        let mut digits = 0;
+        while let Some(b) = cur.peek() {
+            let d = match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                b'A'..=b'F' => b - b'A' + 10,
+                _ => break,
+            };
+            v = v
+                .checked_mul(16)
+                .and_then(|v| v.checked_add(u64::from(d)))
+                .ok_or_else(|| GsqlError::lex("hex literal overflows u64", pos))?;
+            digits += 1;
+            cur.bump();
+        }
+        if digits == 0 {
+            return Err(GsqlError::lex("`0x` needs hex digits", pos));
+        }
+        return Ok(TokenKind::UInt(v));
+    }
+
+    let mut text = String::new();
+    let mut dots = 0;
+    while let Some(b) = cur.peek() {
+        match b {
+            b'0'..=b'9' => {
+                text.push(b as char);
+                cur.bump();
+            }
+            b'.' if cur.peek2().is_some_and(|n| n.is_ascii_digit()) => {
+                dots += 1;
+                text.push('.');
+                cur.bump();
+            }
+            _ => break,
+        }
+    }
+    match dots {
+        0 => text
+            .parse::<u64>()
+            .map(TokenKind::UInt)
+            .map_err(|_| GsqlError::lex("integer literal overflows u64", pos)),
+        1 => text
+            .parse::<f64>()
+            .map(TokenKind::Float)
+            .map_err(|_| GsqlError::lex("bad float literal", pos)),
+        3 => gs_packet::ip::parse_ipv4(&text)
+            .map(TokenKind::Ip)
+            .ok_or_else(|| GsqlError::lex(format!("bad IPv4 literal `{text}`"), pos)),
+        _ => Err(GsqlError::lex(format!("malformed numeric literal `{text}`"), pos)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("select FROM Where"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Keyword(Keyword::Where),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn idents_preserve_case() {
+        assert_eq!(kinds("destPort"), vec![TokenKind::Ident("destPort".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn numbers_hex_float_ip() {
+        assert_eq!(kinds("42"), vec![TokenKind::UInt(42), TokenKind::Eof]);
+        assert_eq!(kinds("0xFF"), vec![TokenKind::UInt(255), TokenKind::Eof]);
+        assert_eq!(kinds("1.5"), vec![TokenKind::Float(1.5), TokenKind::Eof]);
+        assert_eq!(kinds("10.0.0.1"), vec![TokenKind::Ip(0x0a000001), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn dotted_column_is_not_ip() {
+        // `B.ts` lexes as ident dot ident.
+        assert_eq!(
+            kinds("B.ts"),
+            vec![
+                TokenKind::Ident("B".into()),
+                TokenKind::Sym(Sym::Dot),
+                TokenKind::Ident("ts".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds("'abc'"), vec![TokenKind::Str("abc".into()), TokenKind::Eof]);
+        assert_eq!(kinds("'a''b'"), vec![TokenKind::Str("a'b".into()), TokenKind::Eof]);
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn params() {
+        assert_eq!(kinds("$port"), vec![TokenKind::Param("port".into()), TokenKind::Eof]);
+        assert!(lex("$ ").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("<= >= <> != < > ="),
+            vec![
+                TokenKind::Sym(Sym::Le),
+                TokenKind::Sym(Sym::Ge),
+                TokenKind::Sym(Sym::Ne),
+                TokenKind::Sym(Sym::Ne),
+                TokenKind::Sym(Sym::Lt),
+                TokenKind::Sym(Sym::Gt),
+                TokenKind::Sym(Sym::Eq),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("select -- comment\nfrom // another\nwhere"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Keyword(Keyword::Where),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("select\n  foo").unwrap();
+        assert_eq!(toks[0].pos.line, 1);
+        assert_eq!(toks[1].pos.line, 2);
+        assert_eq!(toks[1].pos.col, 3);
+    }
+
+    #[test]
+    fn bad_bytes_error() {
+        assert!(lex("select @").is_err());
+        assert!(lex("! a").is_err());
+    }
+
+    #[test]
+    fn time_div_bucket_idiom() {
+        assert_eq!(
+            kinds("time/60"),
+            vec![
+                TokenKind::Ident("time".into()),
+                TokenKind::Sym(Sym::Slash),
+                TokenKind::UInt(60),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! The GSQL language front end.
+//!
+//! GSQL is "a pure stream query language with SQL-like syntax (being mostly
+//! a restriction of SQL)" (paper §2). All inputs are streams, the output is
+//! a stream, and blocking operators are made streaming by analyzing the
+//! *ordering properties* of attributes rather than by sliding windows.
+//!
+//! Pipeline:
+//!
+//! ```text
+//! GSQL text ──lexer──▶ tokens ──parser──▶ AST ──analyze──▶ logical Plan
+//!                                                     │
+//!                                 (catalog: protocols, streams, UDFs,
+//!                                  interfaces, ordering properties)
+//!                                                     │
+//!                    optimizer: predicate pushdown, LFTA/HFTA split,
+//!                    aggregate splitting, BPF compilation
+//!                                                     ▼
+//!                               DeployedQuery { lfta plans, hfta plans }
+//! ```
+//!
+//! The runtime crate consumes the plans; this crate is purely front end
+//! and depends only on the packet schema definitions.
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod ast;
+pub mod catalog;
+pub mod error;
+pub mod explain;
+pub mod lexer;
+pub mod ordering;
+pub mod parser;
+pub mod plan;
+pub mod pretty;
+pub mod pushdown;
+pub mod split;
+pub mod types;
+
+pub use analyze::{analyze, AnalyzedQuery};
+pub use ast::{Expr, Query, QueryBody};
+pub use catalog::{Catalog, UdfCost, UdfSig};
+pub use error::GsqlError;
+pub use ordering::OrderProp;
+pub use ast::{InterfaceDecl, ProgramAst};
+pub use parser::{parse_program, parse_program_full, parse_query};
+pub use plan::{ColumnInfo, Plan, Schema};
+pub use split::{split_query, DeployedQuery};
+pub use types::DataType;

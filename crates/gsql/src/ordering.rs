@@ -1,0 +1,225 @@
+//! Ordering properties of stream attributes (paper §2.1).
+//!
+//! "We make use of timestamps and sequence numbers by defining them to be
+//! ordered attributes having ordering properties." The properties here are
+//! the paper's illustrative set:
+//!
+//! - strictly / monotonically increasing (and decreasing),
+//! - monotone nonrepeating,
+//! - banded-increasing(B) — within `B` of the high-water mark,
+//! - increasing within a group of fields.
+//!
+//! Query operators *impute* the ordering properties of their outputs from
+//! those of their inputs; the imputation rules live here so both the
+//! analyzer and the splitter use the same lattice.
+
+use std::fmt;
+
+/// Ordering property of one attribute within its stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderProp {
+    /// No known ordering.
+    None,
+    /// Nondecreasing with stream position; `strict` means strictly
+    /// increasing.
+    Increasing {
+        /// Whether repeats are impossible.
+        strict: bool,
+    },
+    /// Nonincreasing with stream position; `strict` means strictly
+    /// decreasing.
+    Decreasing {
+        /// Whether repeats are impossible.
+        strict: bool,
+    },
+    /// Values never repeat but are otherwise unordered (e.g. a hash of a
+    /// monotone attribute).
+    MonotoneNonrepeating,
+    /// Always within `band` of the running maximum
+    /// (banded-increasing(B)).
+    BandedIncreasing {
+        /// Band width, in the attribute's own units.
+        band: u64,
+    },
+    /// Increasing among tuples that agree on the named group fields.
+    IncreasingInGroup {
+        /// The grouping fields (names in the same schema).
+        group: Vec<String>,
+    },
+}
+
+impl OrderProp {
+    /// Whether this property lets an operator advance a window / close
+    /// groups when it observes a new value: any banded or monotone
+    /// increase qualifies.
+    pub fn is_progressing(&self) -> bool {
+        matches!(
+            self,
+            OrderProp::Increasing { .. }
+                | OrderProp::Decreasing { .. }
+                | OrderProp::BandedIncreasing { .. }
+        )
+    }
+
+    /// The slack (in attribute units) by which a new maximum may still be
+    /// followed by smaller values: 0 for monotone, `band` for banded,
+    /// `None` when the attribute gives no progress guarantee at all.
+    pub fn slack(&self) -> Option<u64> {
+        match self {
+            OrderProp::Increasing { .. } | OrderProp::Decreasing { .. } => Some(0),
+            OrderProp::BandedIncreasing { band } => Some(*band),
+            _ => None,
+        }
+    }
+
+    /// Imputed property after dividing the attribute by a positive
+    /// constant (the `time/60` bucket idiom): monotonicity survives but
+    /// strictness does not; bands shrink by the divisor (rounded up).
+    pub fn after_div(&self, divisor: u64) -> OrderProp {
+        if divisor == 0 {
+            return OrderProp::None;
+        }
+        match self {
+            OrderProp::Increasing { .. } => OrderProp::Increasing { strict: false },
+            OrderProp::Decreasing { .. } => OrderProp::Decreasing { strict: false },
+            OrderProp::BandedIncreasing { band } => {
+                OrderProp::BandedIncreasing { band: band.div_ceil(divisor) }
+            }
+            _ => OrderProp::None,
+        }
+    }
+
+    /// Imputed property after adding/subtracting/multiplying by a positive
+    /// constant: order-preserving transforms keep the property (bands
+    /// scale under multiplication).
+    pub fn after_monotone_map(&self, scale: u64) -> OrderProp {
+        match self {
+            OrderProp::Increasing { strict } => OrderProp::Increasing { strict: *strict },
+            OrderProp::Decreasing { strict } => OrderProp::Decreasing { strict: *strict },
+            OrderProp::BandedIncreasing { band } => {
+                OrderProp::BandedIncreasing { band: band.saturating_mul(scale.max(1)) }
+            }
+            OrderProp::MonotoneNonrepeating => OrderProp::MonotoneNonrepeating,
+            _ => OrderProp::None,
+        }
+    }
+
+    /// Meet of two properties: the strongest property that holds for a
+    /// stream interleaved from two streams having `self` and `other` on
+    /// the same attribute **when the interleaving preserves that
+    /// attribute's order** (the merge operator's contract).
+    pub fn merge_meet(&self, other: &OrderProp) -> OrderProp {
+        use OrderProp::*;
+        match (self, other) {
+            (Increasing { strict: a }, Increasing { strict: b }) => {
+                // An order-preserving merge can still interleave equal
+                // values from the two sides, so strictness is lost.
+                let _ = (a, b);
+                Increasing { strict: false }
+            }
+            (Decreasing { .. }, Decreasing { .. }) => Decreasing { strict: false },
+            (BandedIncreasing { band: a }, BandedIncreasing { band: b }) => {
+                BandedIncreasing { band: *a.max(b) }
+            }
+            (BandedIncreasing { band }, Increasing { .. })
+            | (Increasing { .. }, BandedIncreasing { band }) => {
+                BandedIncreasing { band: *band }
+            }
+            _ => None,
+        }
+    }
+
+    /// Convert a packet-schema ordering hint.
+    pub fn from_hint(hint: gs_packet::interp::OrderHint) -> OrderProp {
+        match hint {
+            gs_packet::interp::OrderHint::None => OrderProp::None,
+            gs_packet::interp::OrderHint::Increasing => OrderProp::Increasing { strict: false },
+            gs_packet::interp::OrderHint::BandedIncreasing(b) => {
+                OrderProp::BandedIncreasing { band: b }
+            }
+            gs_packet::interp::OrderHint::IncreasingInGroup(fields) => {
+                OrderProp::IncreasingInGroup {
+                    group: fields.iter().map(|s| s.to_string()).collect(),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for OrderProp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrderProp::None => write!(f, "unordered"),
+            OrderProp::Increasing { strict: true } => write!(f, "strictly-increasing"),
+            OrderProp::Increasing { strict: false } => write!(f, "increasing"),
+            OrderProp::Decreasing { strict: true } => write!(f, "strictly-decreasing"),
+            OrderProp::Decreasing { strict: false } => write!(f, "decreasing"),
+            OrderProp::MonotoneNonrepeating => write!(f, "monotone-nonrepeating"),
+            OrderProp::BandedIncreasing { band } => write!(f, "banded-increasing({band})"),
+            OrderProp::IncreasingInGroup { group } => {
+                write!(f, "increasing-in-group({})", group.join(","))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_and_slack() {
+        assert!(OrderProp::Increasing { strict: true }.is_progressing());
+        assert!(OrderProp::BandedIncreasing { band: 30 }.is_progressing());
+        assert!(!OrderProp::MonotoneNonrepeating.is_progressing());
+        assert_eq!(OrderProp::Increasing { strict: false }.slack(), Some(0));
+        assert_eq!(OrderProp::BandedIncreasing { band: 30 }.slack(), Some(30));
+        assert_eq!(OrderProp::None.slack(), None);
+    }
+
+    #[test]
+    fn division_weakens_strictness_and_shrinks_bands() {
+        let p = OrderProp::Increasing { strict: true }.after_div(60);
+        assert_eq!(p, OrderProp::Increasing { strict: false });
+        let p = OrderProp::BandedIncreasing { band: 30_000 }.after_div(1_000);
+        assert_eq!(p, OrderProp::BandedIncreasing { band: 30 });
+        // Ceil: band 31 / 10 -> 4.
+        let p = OrderProp::BandedIncreasing { band: 31 }.after_div(10);
+        assert_eq!(p, OrderProp::BandedIncreasing { band: 4 });
+        assert_eq!(OrderProp::Increasing { strict: true }.after_div(0), OrderProp::None);
+    }
+
+    #[test]
+    fn merge_meet_rules() {
+        let inc = OrderProp::Increasing { strict: true };
+        assert_eq!(inc.merge_meet(&inc), OrderProp::Increasing { strict: false });
+        let b30 = OrderProp::BandedIncreasing { band: 30 };
+        let b10 = OrderProp::BandedIncreasing { band: 10 };
+        assert_eq!(b30.merge_meet(&b10), OrderProp::BandedIncreasing { band: 30 });
+        assert_eq!(inc.merge_meet(&b10), OrderProp::BandedIncreasing { band: 10 });
+        assert_eq!(inc.merge_meet(&OrderProp::None), OrderProp::None);
+    }
+
+    #[test]
+    fn from_hint_roundtrip() {
+        use gs_packet::interp::OrderHint as H;
+        assert_eq!(OrderProp::from_hint(H::Increasing), OrderProp::Increasing { strict: false });
+        assert_eq!(
+            OrderProp::from_hint(H::BandedIncreasing(30_000)),
+            OrderProp::BandedIncreasing { band: 30_000 }
+        );
+        assert!(matches!(
+            OrderProp::from_hint(H::IncreasingInGroup(&["peer"])),
+            OrderProp::IncreasingInGroup { .. }
+        ));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(OrderProp::BandedIncreasing { band: 30 }.to_string(), "banded-increasing(30)");
+        assert_eq!(
+            OrderProp::IncreasingInGroup { group: vec!["a".into(), "b".into()] }.to_string(),
+            "increasing-in-group(a,b)"
+        );
+    }
+}

@@ -1,0 +1,747 @@
+//! Recursive-descent parser for GSQL.
+
+use crate::ast::*;
+use crate::error::{GsqlError, Pos};
+use crate::lexer::{lex, Keyword, Sym, Token, TokenKind};
+
+/// Parse a single GSQL query. FROM-clause subqueries are rejected here —
+/// they desugar into extra named queries and need [`parse_program`].
+pub fn parse_query(src: &str) -> Result<Query, GsqlError> {
+    let mut p = Parser::new(src)?;
+    let q = p.query()?;
+    p.expect_eof_or_semi()?;
+    if !p.hoisted.is_empty() {
+        return Err(GsqlError::parse(
+            "FROM-clause subqueries need a program context (use parse_program)",
+            Pos::default(),
+        ));
+    }
+    Ok(q)
+}
+
+/// Parse a program: one or more queries, optionally semicolon-separated.
+///
+/// FROM-clause subqueries are supported by desugaring (the paper §5:
+/// "supporting subqueries in the FROM clause requires only an update of
+/// the parser"): each `(Select ...) alias` becomes a hoisted named query
+/// `<parent>__sub<i>` emitted before its parent, and the FROM clause
+/// reads it by name — exactly GSQL's existing composition mechanism.
+pub fn parse_program(src: &str) -> Result<Vec<Query>, GsqlError> {
+    let prog = parse_program_full(src)?;
+    if let Some(i) = prog.interfaces.first() {
+        return Err(GsqlError {
+            phase: crate::error::Phase::Parse,
+            message: format!("interface declaration `{}` needs parse_program_full", i.name),
+            pos: None,
+        });
+    }
+    Ok(prog.queries)
+}
+
+/// Parse a full program: `INTERFACE` declarations (the DDL binding
+/// symbolic names to packet sources) interleaved with queries.
+///
+/// ```text
+/// INTERFACE eth0 0 ether;
+/// INTERFACE nf0 2 netflow;
+/// DEFINE { query_name q; } Select ... From eth0.tcp ...
+/// ```
+pub fn parse_program_full(src: &str) -> Result<ProgramAst, GsqlError> {
+    let mut p = Parser::new(src)?;
+    let mut queries = Vec::new();
+    let mut interfaces = Vec::new();
+    loop {
+        while p.eat_sym(Sym::Semi) {}
+        if p.at_eof() {
+            if queries.is_empty() && interfaces.is_empty() {
+                return Err(GsqlError::parse("empty program", p.pos()));
+            }
+            return Ok(ProgramAst { interfaces, queries });
+        }
+        if p.at_interface_decl() {
+            interfaces.push(p.interface_decl()?);
+            continue;
+        }
+        let q = p.query()?;
+        queries.append(&mut p.hoisted);
+        queries.push(q);
+    }
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    idx: usize,
+    /// Subqueries hoisted out of FROM clauses, emitted before their parent.
+    hoisted: Vec<Query>,
+    /// Name of the query currently being parsed (for subquery mangling).
+    current_query: String,
+    sub_counter: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser, GsqlError> {
+        Ok(Parser {
+            toks: lex(src)?,
+            idx: 0,
+            hoisted: Vec::new(),
+            current_query: "_anon".to_string(),
+            sub_counter: 0,
+        })
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.idx].kind
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.idx].pos
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.toks[self.idx].kind.clone();
+        if !matches!(t, TokenKind::Eof) {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if self.peek() == &TokenKind::Keyword(kw) {
+            self.idx += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_sym(&mut self, s: Sym) -> bool {
+        if self.peek() == &TokenKind::Sym(s) {
+            self.idx += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword, what: &str) -> Result<(), GsqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(GsqlError::parse(format!("expected {what}"), self.pos()))
+        }
+    }
+
+    fn expect_sym(&mut self, s: Sym, what: &str) -> Result<(), GsqlError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(GsqlError::parse(format!("expected {what}"), self.pos()))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, GsqlError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.idx += 1;
+                Ok(s)
+            }
+            _ => Err(GsqlError::parse(format!("expected {what}"), self.pos())),
+        }
+    }
+
+    fn expect_eof_or_semi(&mut self) -> Result<(), GsqlError> {
+        while self.eat_sym(Sym::Semi) {}
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(GsqlError::parse("trailing input after query", self.pos()))
+        }
+    }
+
+    // ---- DDL -----------------------------------------------------------
+
+    fn at_interface_decl(&self) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s.eq_ignore_ascii_case("interface"))
+    }
+
+    /// `INTERFACE <name> <id> [<link>];` — link is one of `ether`,
+    /// `rawip`, `netflow`, `bgp` (default `ether`).
+    fn interface_decl(&mut self) -> Result<InterfaceDecl, GsqlError> {
+        self.bump(); // the INTERFACE word
+        let name = self.expect_ident("an interface name")?;
+        let id = match self.bump() {
+            TokenKind::UInt(v) if v <= u64::from(u16::MAX) => v as u16,
+            _ => {
+                return Err(GsqlError::parse(
+                    "expected a numeric interface id (0..65535)",
+                    self.pos(),
+                ))
+            }
+        };
+        use gs_packet::capture::LinkType;
+        let link = match self.peek() {
+            TokenKind::Ident(s) => {
+                let link = match s.to_ascii_lowercase().as_str() {
+                    "ether" | "ethernet" => LinkType::Ethernet,
+                    "rawip" | "ip" => LinkType::RawIp,
+                    "netflow" => LinkType::NetflowRecord,
+                    "bgp" => LinkType::BgpUpdate,
+                    other => {
+                        return Err(GsqlError::parse(
+                            format!("unknown link type `{other}` (ether|rawip|netflow|bgp)"),
+                            self.pos(),
+                        ))
+                    }
+                };
+                self.idx += 1;
+                link
+            }
+            _ => LinkType::Ethernet,
+        };
+        self.expect_sym(Sym::Semi, "`;` after an interface declaration")?;
+        Ok(InterfaceDecl { name, id, link })
+    }
+
+    // ---- queries -------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query, GsqlError> {
+        let defines = if self.eat_kw(Keyword::Define) { self.define_block()? } else { Vec::new() };
+        if let Some((_, name)) = defines.iter().find(|(k, _)| k == "query_name") {
+            self.current_query = name.clone();
+        }
+        let body = if self.eat_kw(Keyword::Select) {
+            QueryBody::Select(self.select_body()?)
+        } else if self.eat_kw(Keyword::Merge) {
+            QueryBody::Merge(self.merge_body()?)
+        } else {
+            return Err(GsqlError::parse("expected SELECT or MERGE", self.pos()));
+        };
+        Ok(Query { defines, body })
+    }
+
+    /// `DEFINE { key value; key value; ... }`
+    fn define_block(&mut self) -> Result<Vec<(String, String)>, GsqlError> {
+        self.expect_sym(Sym::LBrace, "`{` after DEFINE")?;
+        let mut out = Vec::new();
+        while !self.eat_sym(Sym::RBrace) {
+            let key = self.expect_ident("a DEFINE property name")?;
+            let value = match self.bump() {
+                TokenKind::Ident(s) | TokenKind::Str(s) => s,
+                TokenKind::UInt(v) => v.to_string(),
+                TokenKind::Float(v) => v.to_string(),
+                TokenKind::Ip(v) => gs_packet::ip::fmt_ipv4(v),
+                _ => {
+                    return Err(GsqlError::parse(
+                        format!("expected a value for DEFINE property `{key}`"),
+                        self.pos(),
+                    ))
+                }
+            };
+            self.expect_sym(Sym::Semi, "`;` after DEFINE property")?;
+            out.push((key, value));
+        }
+        Ok(out)
+    }
+
+    fn select_body(&mut self) -> Result<SelectBody, GsqlError> {
+        let projections = self.select_list()?;
+        self.expect_kw(Keyword::From, "FROM")?;
+        let from = self.table_list()?;
+        let where_clause = if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
+        let group_by = if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By, "BY after GROUP")?;
+            self.group_list()?
+        } else {
+            Vec::new()
+        };
+        let having = if self.eat_kw(Keyword::Having) { Some(self.expr()?) } else { None };
+        Ok(SelectBody { projections, from, where_clause, group_by, having })
+    }
+
+    /// `MERGE a.ts : b.ts [: c.ts ...] FROM a, b [, c ...]`
+    fn merge_body(&mut self) -> Result<MergeBody, GsqlError> {
+        let mut columns = Vec::new();
+        loop {
+            let stream = self.expect_ident("a stream name in the MERGE list")?;
+            self.expect_sym(Sym::Dot, "`.` in MERGE column")?;
+            let col = self.expect_ident("a column name in the MERGE list")?;
+            columns.push((stream, col));
+            if !self.eat_sym(Sym::Colon) {
+                break;
+            }
+        }
+        self.expect_kw(Keyword::From, "FROM in MERGE")?;
+        let from = self.table_list()?;
+        Ok(MergeBody { columns, from })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, GsqlError> {
+        let mut out = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let alias = if self.eat_kw(Keyword::As) {
+                Some(self.expect_ident("an alias after AS")?)
+            } else {
+                None
+            };
+            out.push(SelectItem { expr, alias });
+            if !self.eat_sym(Sym::Comma) {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn group_list(&mut self) -> Result<Vec<SelectItem>, GsqlError> {
+        // Same grammar as the select list: GSQL allows `GROUP BY time/60 as tb`.
+        self.select_list()
+    }
+
+    fn table_list(&mut self) -> Result<Vec<TableRef>, GsqlError> {
+        let mut out = Vec::new();
+        loop {
+            out.push(self.table_ref()?);
+            if !self.eat_sym(Sym::Comma) {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// `eth0.tcp [alias]` | `streamname [alias]` | `(Select ...) alias`
+    fn table_ref(&mut self) -> Result<TableRef, GsqlError> {
+        if self.eat_sym(Sym::LParen) {
+            // FROM-clause subquery: parse, hoist as a named query, and
+            // reference it by its mangled name.
+            let parent = self.current_query.clone();
+            let inner = self.query()?;
+            self.expect_sym(Sym::RParen, "`)` closing the subquery")?;
+            self.current_query = parent.clone();
+            let name = match inner.name() {
+                Some(n) => n.to_string(),
+                None => {
+                    let n = format!("{parent}__sub{}", self.sub_counter);
+                    self.sub_counter += 1;
+                    n
+                }
+            };
+            let mut inner = inner;
+            if inner.name().is_none() {
+                inner.defines.push(("query_name".to_string(), name.clone()));
+            }
+            // Structural marker: downstream tooling can tell plumbing from
+            // user-named queries without name sniffing.
+            inner.defines.push(("hoisted".to_string(), "true".to_string()));
+            self.hoisted.push(inner);
+            let alias = self.expect_ident("an alias after a FROM-clause subquery")?;
+            return Ok(TableRef { interface: None, name, alias: Some(alias) });
+        }
+        let first = self.expect_ident("a stream or interface name")?;
+        let (interface, name) = if self.eat_sym(Sym::Dot) {
+            let proto = self.expect_ident("a protocol name after `.`")?;
+            (Some(first), proto)
+        } else {
+            (None, first)
+        };
+        let alias = match self.peek() {
+            TokenKind::Ident(_) => Some(self.expect_ident("alias")?),
+            _ => None,
+        };
+        Ok(TableRef { interface, name, alias })
+    }
+
+    // ---- expressions ---------------------------------------------------
+    // Precedence (low→high): OR, AND, NOT, comparison, |, ^, &,
+    // + -, * / %, primary.
+
+    fn expr(&mut self) -> Result<Expr, GsqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, GsqlError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw(Keyword::Or) {
+            let right = self.and_expr()?;
+            left = Expr::Binary { op: BinOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, GsqlError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw(Keyword::And) {
+            let right = self.not_expr()?;
+            left = Expr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, GsqlError> {
+        if self.eat_kw(Keyword::Not) {
+            let arg = self.not_expr()?;
+            Ok(Expr::Unary { op: UnOp::Not, arg: Box::new(arg) })
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, GsqlError> {
+        let left = self.bitor_expr()?;
+        let op = match self.peek() {
+            TokenKind::Sym(Sym::Eq) => BinOp::Eq,
+            TokenKind::Sym(Sym::Ne) => BinOp::Ne,
+            TokenKind::Sym(Sym::Lt) => BinOp::Lt,
+            TokenKind::Sym(Sym::Le) => BinOp::Le,
+            TokenKind::Sym(Sym::Gt) => BinOp::Gt,
+            TokenKind::Sym(Sym::Ge) => BinOp::Ge,
+            _ => return Ok(left),
+        };
+        self.idx += 1;
+        let right = self.bitor_expr()?;
+        Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) })
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr, GsqlError> {
+        let mut left = self.bitxor_expr()?;
+        while self.eat_sym(Sym::Pipe) {
+            let right = self.bitxor_expr()?;
+            left = Expr::Binary { op: BinOp::BitOr, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr, GsqlError> {
+        let mut left = self.bitand_expr()?;
+        while self.eat_sym(Sym::Caret) {
+            let right = self.bitand_expr()?;
+            left = Expr::Binary { op: BinOp::BitXor, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr, GsqlError> {
+        let mut left = self.add_expr()?;
+        while self.eat_sym(Sym::Amp) {
+            let right = self.add_expr()?;
+            left = Expr::Binary { op: BinOp::BitAnd, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, GsqlError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Sym(Sym::Plus) => BinOp::Add,
+                TokenKind::Sym(Sym::Minus) => BinOp::Sub,
+                _ => return Ok(left),
+            };
+            self.idx += 1;
+            let right = self.mul_expr()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, GsqlError> {
+        let mut left = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Sym(Sym::Star) => BinOp::Mul,
+                TokenKind::Sym(Sym::Slash) => BinOp::Div,
+                TokenKind::Sym(Sym::Percent) => BinOp::Mod,
+                _ => return Ok(left),
+            };
+            self.idx += 1;
+            let right = self.primary()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, GsqlError> {
+        let pos = self.pos();
+        match self.bump() {
+            TokenKind::UInt(v) => Ok(Expr::UIntLit(v)),
+            TokenKind::Float(v) => Ok(Expr::FloatLit(v)),
+            TokenKind::Str(s) => Ok(Expr::StrLit(s)),
+            TokenKind::Ip(v) => Ok(Expr::IpLit(v)),
+            TokenKind::Param(p) => Ok(Expr::Param(p)),
+            TokenKind::Keyword(Keyword::True) => Ok(Expr::BoolLit(true)),
+            TokenKind::Keyword(Keyword::False) => Ok(Expr::BoolLit(false)),
+            TokenKind::Sym(Sym::LParen) => {
+                let e = self.expr()?;
+                self.expect_sym(Sym::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if self.eat_sym(Sym::LParen) {
+                    return self.call(name);
+                }
+                if self.eat_sym(Sym::Dot) {
+                    let col = self.expect_ident("a column name after `.`")?;
+                    return Ok(Expr::Column { qualifier: Some(name), name: col });
+                }
+                Ok(Expr::Column { qualifier: None, name })
+            }
+            other => Err(GsqlError::parse(format!("unexpected token {other:?} in expression"), pos)),
+        }
+    }
+
+    /// Arguments of `name(...)` — aggregate or UDF.
+    fn call(&mut self, name: String) -> Result<Expr, GsqlError> {
+        if let Some(func) = AggFunc::from_name(&name) {
+            // count(*) special case.
+            if func == AggFunc::Count && self.eat_sym(Sym::Star) {
+                self.expect_sym(Sym::RParen, "`)` after count(*)")?;
+                return Ok(Expr::Agg { func, arg: None });
+            }
+            let arg = self.expr()?;
+            self.expect_sym(Sym::RParen, "`)` after aggregate argument")?;
+            return Ok(Expr::Agg { func, arg: Some(Box::new(arg)) });
+        }
+        let mut args = Vec::new();
+        if !self.eat_sym(Sym::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if self.eat_sym(Sym::RParen) {
+                    break;
+                }
+                self.expect_sym(Sym::Comma, "`,` or `)` in argument list")?;
+            }
+        }
+        Ok(Expr::Func { name, args })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_tcpdest0() {
+        // The paper's first example query (§2.2).
+        let q = parse_query(
+            "DEFINE { query_name tcpdest0; }\n\
+             Select destIP, destPort, time From eth0.tcp\n\
+             Where IPVersion = 4 and Protocol = 6",
+        )
+        .unwrap();
+        assert_eq!(q.name(), Some("tcpdest0"));
+        let QueryBody::Select(s) = &q.body else { panic!("expected select") };
+        assert_eq!(s.projections.len(), 3);
+        assert_eq!(s.from.len(), 1);
+        assert_eq!(s.from[0].interface.as_deref(), Some("eth0"));
+        assert_eq!(s.from[0].name, "tcp");
+        let w = s.where_clause.as_ref().unwrap();
+        assert_eq!(w.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn parses_paper_merge() {
+        let q = parse_query(
+            "DEFINE { query_name tcpdest; }\n\
+             Merge tcpdest0.time : tcpdest1.time From tcpdest0, tcpdest1",
+        )
+        .unwrap();
+        let QueryBody::Merge(m) = &q.body else { panic!("expected merge") };
+        assert_eq!(m.columns.len(), 2);
+        assert_eq!(m.columns[0], ("tcpdest0".into(), "time".into()));
+        assert_eq!(m.from.len(), 2);
+    }
+
+    #[test]
+    fn parses_paper_lpm_aggregation() {
+        // The paper's getlpmid example (§2.2), modulo the SELECT/GROUP BY
+        // alias plumbing.
+        let q = parse_query(
+            "Select peerid, tb, count(*) FROM tcpdest \
+             Group by time/60 as tb, getlpmid(destIP, 'peerid.tbl') as peerid",
+        )
+        .unwrap();
+        let QueryBody::Select(s) = &q.body else { panic!() };
+        assert_eq!(s.group_by.len(), 2);
+        assert_eq!(s.group_by[0].alias.as_deref(), Some("tb"));
+        assert!(matches!(s.group_by[0].expr, Expr::Binary { op: BinOp::Div, .. }));
+        assert!(matches!(s.group_by[1].expr, Expr::Func { .. }));
+        assert!(matches!(s.projections[2].expr, Expr::Agg { func: AggFunc::Count, arg: None }));
+    }
+
+    #[test]
+    fn parses_join_with_window() {
+        let q = parse_query(
+            "Select B.time, B.srcIP FROM backbone B, customer C \
+             WHERE B.srcIP = C.srcIP and B.time >= C.time - 1 and B.time <= C.time + 1",
+        )
+        .unwrap();
+        let QueryBody::Select(s) = &q.body else { panic!() };
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.from[0].binding(), "B");
+        assert_eq!(s.where_clause.as_ref().unwrap().conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let q = parse_query("Select a + b * c, (a + b) * c FROM s").unwrap();
+        let QueryBody::Select(s) = &q.body else { panic!() };
+        // a + (b*c)
+        let Expr::Binary { op: BinOp::Add, right, .. } = &s.projections[0].expr else {
+            panic!()
+        };
+        assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+        // (a+b) * c
+        let Expr::Binary { op: BinOp::Mul, left, .. } = &s.projections[1].expr else { panic!() };
+        assert!(matches!(**left, Expr::Binary { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn comparison_binds_looser_than_bitand() {
+        // flags & 2 = 2 parses as (flags & 2) = 2.
+        let q = parse_query("Select x FROM s WHERE flags & 2 = 2").unwrap();
+        let QueryBody::Select(s) = &q.body else { panic!() };
+        let Expr::Binary { op: BinOp::Eq, left, .. } = s.where_clause.as_ref().unwrap() else {
+            panic!()
+        };
+        assert!(matches!(**left, Expr::Binary { op: BinOp::BitAnd, .. }));
+    }
+
+    #[test]
+    fn params_and_literals() {
+        let q = parse_query(
+            "Select 1, 2.5, 'str', 10.0.0.1, TRUE, $thresh FROM s WHERE destPort = $port",
+        )
+        .unwrap();
+        let QueryBody::Select(s) = &q.body else { panic!() };
+        assert_eq!(s.projections.len(), 6);
+        assert!(matches!(s.projections[3].expr, Expr::IpLit(0x0a000001)));
+        assert!(matches!(s.projections[5].expr, Expr::Param(_)));
+    }
+
+    #[test]
+    fn having_and_aggregates() {
+        let q = parse_query(
+            "Select tb, sum(len) FROM ip Group by time/60 as tb Having count(*) > 100",
+        )
+        .unwrap();
+        let QueryBody::Select(s) = &q.body else { panic!() };
+        assert!(s.having.as_ref().unwrap().contains_agg());
+    }
+
+    #[test]
+    fn program_with_multiple_queries() {
+        let qs = parse_program(
+            "DEFINE { query_name a; } Select x FROM s;\n\
+             DEFINE { query_name b; } Select y FROM a;",
+        )
+        .unwrap();
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[1].name(), Some("b"));
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = parse_query("Select FROM s").unwrap_err();
+        assert!(err.pos.is_some());
+        assert!(parse_query("Select x").is_err()); // missing FROM
+        assert!(parse_query("Merge a.t FROM").is_err());
+        assert!(parse_query("").is_err());
+        assert!(parse_query("Select x FROM s extra garbage ,").is_err());
+    }
+
+    #[test]
+    fn not_and_nested_not() {
+        let q = parse_query("Select x FROM s WHERE NOT NOT a = b").unwrap();
+        let QueryBody::Select(s) = &q.body else { panic!() };
+        let Expr::Unary { op: UnOp::Not, arg } = s.where_clause.as_ref().unwrap() else {
+            panic!()
+        };
+        assert!(matches!(**arg, Expr::Unary { .. }));
+    }
+
+    #[test]
+    fn interface_ddl_parses() {
+        use gs_packet::capture::LinkType;
+        let p = crate::parser::parse_program_full(
+            "INTERFACE eth0 0 ether;\n\
+             interface nf0 2 netflow;\n\
+             INTERFACE oc48 3 rawip;\n\
+             DEFINE { query_name q; } Select time From eth0.tcp",
+        )
+        .unwrap();
+        assert_eq!(p.interfaces.len(), 3);
+        assert_eq!(p.interfaces[0], InterfaceDecl { name: "eth0".into(), id: 0, link: LinkType::Ethernet });
+        assert_eq!(p.interfaces[1].link, LinkType::NetflowRecord);
+        assert_eq!(p.interfaces[2].link, LinkType::RawIp);
+        assert_eq!(p.queries.len(), 1);
+        // Link type defaults to Ethernet.
+        let p = crate::parser::parse_program_full("INTERFACE e 1; Select time From e.tcp").unwrap();
+        assert_eq!(p.interfaces[0].link, LinkType::Ethernet);
+    }
+
+    #[test]
+    fn interface_ddl_errors() {
+        assert!(crate::parser::parse_program_full("INTERFACE eth0 99999;").is_err());
+        assert!(crate::parser::parse_program_full("INTERFACE eth0 1 warp;").is_err());
+        assert!(crate::parser::parse_program_full("INTERFACE eth0 1 ether").is_err()); // missing ;
+        // The queries-only entry point rejects DDL.
+        assert!(parse_program("INTERFACE eth0 0 ether; Select time From eth0.tcp").is_err());
+    }
+
+    #[test]
+    fn from_clause_subquery_is_hoisted() {
+        let qs = parse_program(
+            "DEFINE { query_name outer_q; } \
+             Select tb, count(*) FROM (Select time/60 as tb FROM eth0.tcp Where destPort = 80) S \
+             Group By tb",
+        )
+        .unwrap();
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[0].name(), Some("outer_q__sub0"));
+        assert_eq!(qs[1].name(), Some("outer_q"));
+        let QueryBody::Select(outer) = &qs[1].body else { panic!() };
+        assert_eq!(outer.from[0].name, "outer_q__sub0");
+        assert_eq!(outer.from[0].alias.as_deref(), Some("S"));
+        let QueryBody::Select(inner) = &qs[0].body else { panic!() };
+        assert_eq!(inner.from[0].interface.as_deref(), Some("eth0"));
+    }
+
+    #[test]
+    fn named_subquery_keeps_its_name() {
+        let qs = parse_program(
+            "Select x FROM (DEFINE { query_name inner_q; } Select destPort as x FROM eth0.tcp) S",
+        )
+        .unwrap();
+        assert_eq!(qs[0].name(), Some("inner_q"));
+        let QueryBody::Select(outer) = &qs[1].body else { panic!() };
+        assert_eq!(outer.from[0].name, "inner_q");
+    }
+
+    #[test]
+    fn nested_subqueries_hoist_innermost_first() {
+        let qs = parse_program(
+            "DEFINE { query_name top_q; } \
+             Select a FROM (Select a FROM (Select time as a FROM eth0.tcp) T) S",
+        )
+        .unwrap();
+        assert_eq!(qs.len(), 3);
+        // Innermost first, then the middle, then the parent.
+        assert!(qs[0].name().unwrap().contains("__sub"));
+        assert!(qs[1].name().unwrap().contains("__sub"));
+        assert_eq!(qs[2].name(), Some("top_q"));
+    }
+
+    #[test]
+    fn subquery_requires_alias_and_program_context() {
+        assert!(parse_program("Select x FROM (Select y FROM s)").is_err());
+        assert!(parse_query("Select x FROM (Select y FROM s) S").is_err());
+    }
+
+    #[test]
+    fn udf_with_no_args() {
+        let q = parse_query("Select now() FROM s").unwrap();
+        let QueryBody::Select(s) = &q.body else { panic!() };
+        let Expr::Func { name, args } = &s.projections[0].expr else { panic!() };
+        assert_eq!(name, "now");
+        assert!(args.is_empty());
+    }
+}

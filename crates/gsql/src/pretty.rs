@@ -1,0 +1,223 @@
+//! Pretty-printer: renders an AST back to GSQL text. Used for diagnostics
+//! and for parse → print → parse round-trip testing.
+
+use crate::ast::{Expr, MergeBody, Query, QueryBody, SelectBody, SelectItem, TableRef, UnOp};
+use std::fmt::Write;
+
+/// Render a query as GSQL source.
+pub fn print_query(q: &Query) -> String {
+    let mut s = String::new();
+    if !q.defines.is_empty() {
+        s.push_str("DEFINE { ");
+        for (k, v) in &q.defines {
+            let _ = write!(s, "{k} {v}; ");
+        }
+        s.push_str("}\n");
+    }
+    match &q.body {
+        QueryBody::Select(b) => print_select(&mut s, b),
+        QueryBody::Merge(b) => print_merge(&mut s, b),
+    }
+    s
+}
+
+fn print_select(s: &mut String, b: &SelectBody) {
+    s.push_str("SELECT ");
+    print_items(s, &b.projections);
+    s.push_str(" FROM ");
+    print_tables(s, &b.from);
+    if let Some(w) = &b.where_clause {
+        s.push_str(" WHERE ");
+        print_expr(s, w, 0);
+    }
+    if !b.group_by.is_empty() {
+        s.push_str(" GROUP BY ");
+        print_items(s, &b.group_by);
+    }
+    if let Some(h) = &b.having {
+        s.push_str(" HAVING ");
+        print_expr(s, h, 0);
+    }
+}
+
+fn print_merge(s: &mut String, b: &MergeBody) {
+    s.push_str("MERGE ");
+    for (i, (stream, col)) in b.columns.iter().enumerate() {
+        if i > 0 {
+            s.push_str(" : ");
+        }
+        let _ = write!(s, "{stream}.{col}");
+    }
+    s.push_str(" FROM ");
+    print_tables(s, &b.from);
+}
+
+fn print_items(s: &mut String, items: &[SelectItem]) {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        print_expr(s, &item.expr, 0);
+        if let Some(a) = &item.alias {
+            let _ = write!(s, " AS {a}");
+        }
+    }
+}
+
+fn print_tables(s: &mut String, tables: &[TableRef]) {
+    for (i, t) in tables.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        if let Some(iface) = &t.interface {
+            let _ = write!(s, "{iface}.");
+        }
+        s.push_str(&t.name);
+        if let Some(a) = &t.alias {
+            let _ = write!(s, " {a}");
+        }
+    }
+}
+
+/// Binding power for parenthesization; mirrors the parser's precedence.
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary { op, .. } => {
+            use crate::ast::BinOp::*;
+            match op {
+                Or => 1,
+                And => 2,
+                Eq | Ne | Lt | Le | Gt | Ge => 4,
+                BitOr => 5,
+                BitXor => 6,
+                BitAnd => 7,
+                Add | Sub => 8,
+                Mul | Div | Mod => 9,
+            }
+        }
+        Expr::Unary { .. } => 3,
+        _ => 10,
+    }
+}
+
+fn print_expr(s: &mut String, e: &Expr, min_prec: u8) {
+    let p = prec(e);
+    let need_parens = p < min_prec;
+    if need_parens {
+        s.push('(');
+    }
+    match e {
+        Expr::Column { qualifier, name } => {
+            if let Some(q) = qualifier {
+                let _ = write!(s, "{q}.");
+            }
+            s.push_str(name);
+        }
+        Expr::UIntLit(v) => {
+            let _ = write!(s, "{v}");
+        }
+        Expr::FloatLit(v) => {
+            // Keep a decimal point so it re-lexes as a float.
+            if v.fract() == 0.0 {
+                let _ = write!(s, "{v:.1}");
+            } else {
+                let _ = write!(s, "{v}");
+            }
+        }
+        Expr::StrLit(v) => {
+            let _ = write!(s, "'{}'", v.replace('\'', "''"));
+        }
+        Expr::IpLit(v) => {
+            s.push_str(&gs_packet::ip::fmt_ipv4(*v));
+        }
+        Expr::BoolLit(b) => s.push_str(if *b { "TRUE" } else { "FALSE" }),
+        Expr::Param(p) => {
+            let _ = write!(s, "${p}");
+        }
+        Expr::Star => s.push('*'),
+        Expr::Unary { op: UnOp::Not, arg } => {
+            s.push_str("NOT ");
+            print_expr(s, arg, 3);
+        }
+        Expr::Binary { op, left, right } => {
+            // Comparisons are non-associative in the grammar: a nested
+            // comparison operand must be parenthesized on either side.
+            let left_min = if op.is_comparison() { p + 1 } else { p };
+            print_expr(s, left, left_min);
+            let _ = write!(s, " {} ", op.symbol());
+            // Right side binds one tighter to keep left-associativity.
+            print_expr(s, right, p + 1);
+        }
+        Expr::Func { name, args } => {
+            let _ = write!(s, "{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                print_expr(s, a, 0);
+            }
+            s.push(')');
+        }
+        Expr::Agg { func, arg } => {
+            let _ = write!(s, "{func}(");
+            match arg {
+                Some(a) => print_expr(s, a, 0),
+                None => s.push('*'),
+            }
+            s.push(')');
+        }
+    }
+    if need_parens {
+        s.push(')');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn roundtrip(src: &str) {
+        let q1 = parse_query(src).unwrap();
+        let printed = print_query(&q1);
+        let q2 = parse_query(&printed).unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"));
+        assert_eq!(q1, q2, "print/reparse changed the AST for `{printed}`");
+    }
+
+    #[test]
+    fn roundtrips_paper_queries() {
+        roundtrip(
+            "DEFINE { query_name tcpdest0; } \
+             Select destIP, destPort, time From eth0.tcp \
+             Where IPVersion = 4 and Protocol = 6",
+        );
+        roundtrip("Merge tcpdest0.time : tcpdest1.time From tcpdest0, tcpdest1");
+        roundtrip(
+            "Select peerid, tb, count(*) FROM tcpdest \
+             Group by time/60 as tb, getlpmid(destIP, 'peerid.tbl') as peerid",
+        );
+    }
+
+    #[test]
+    fn roundtrips_precedence() {
+        roundtrip("Select (a + b) * c, a + b * c FROM s");
+        roundtrip("Select x FROM s WHERE a = 1 AND (b = 2 OR c = 3)");
+        roundtrip("Select x FROM s WHERE NOT (a = 1 OR b = 2)");
+        roundtrip("Select x FROM s WHERE flags & 2 = 2");
+        roundtrip("Select a - (b - c) FROM s");
+    }
+
+    #[test]
+    fn roundtrips_literals() {
+        roundtrip("Select 1, 2.5, 'it''s', 10.0.0.1, TRUE, $p FROM s");
+        roundtrip("Select f(), g(x, 1) FROM s HAVING count(*) > 3");
+    }
+
+    #[test]
+    fn roundtrips_join() {
+        roundtrip(
+            "Select B.time FROM eth0.tcp B, eth1.tcp C \
+             WHERE B.time >= C.time - 1 AND B.time <= C.time + 1",
+        );
+    }
+}

@@ -1,0 +1,447 @@
+//! Predicate pushdown to the NIC: compile simple selection conjuncts into
+//! BPF programs ("push the query as far down the processing stack as
+//! possible, even into the network interface card itself", paper §3).
+//!
+//! A conjunct compiles when it compares a fixed-offset packet field with a
+//! constant (literal, or a parameter whose binding is supplied). The
+//! emitted program always begins with the protocol guards (ethertype,
+//! IP version, transport protocol, zero fragment offset when transport
+//! fields are read), so it implements the Protocol prefilter too.
+
+use crate::ast::BinOp;
+use crate::plan::{Literal, PExpr};
+use gs_nic::bpf::{BpfProgram, Insn};
+use gs_packet::capture::LinkType;
+use std::collections::HashMap;
+
+/// Result of attempting pushdown for one LFTA.
+#[derive(Debug, Clone)]
+pub struct Pushdown {
+    /// The compiled prefilter, when at least the protocol guard compiled.
+    pub program: Option<BpfProgram>,
+    /// Indices (into the supplied conjunct list) that the program absorbs.
+    /// They may safely stay in the LFTA as well — the program is a
+    /// data-reduction prefilter, not a replacement.
+    pub compiled_conjuncts: Vec<usize>,
+}
+
+/// A packet field the compiler knows how to load.
+struct FieldLoad {
+    /// Instructions leaving the field value in `A`.
+    insns: Vec<Insn>,
+    /// Whether the load needs the transport guards (frag offset 0).
+    needs_transport: bool,
+}
+
+/// Compile the prefilter for a protocol scan.
+///
+/// * `protocol` — the Protocol stream (`ip`, `tcp`, `udp`, `icmp`);
+///   Netflow/BGP links have no packet-level prefilter.
+/// * `link` — the interface link type (affects the L3 offset).
+/// * `conjuncts` — candidate cheap conjuncts over the protocol schema.
+/// * `field_of_col` — maps a `PExpr::Col` index to its field name.
+/// * `params` — bound parameter values, if instantiated.
+/// * `snaplen` — snap length to return on accept (`None` = whole packet).
+pub fn compile_prefilter(
+    protocol: &str,
+    link: LinkType,
+    conjuncts: &[PExpr],
+    field_of_col: &dyn Fn(usize) -> Option<String>,
+    params: &HashMap<String, Literal>,
+    snaplen: Option<u32>,
+) -> Pushdown {
+    let l3: u32 = match link {
+        LinkType::Ethernet => 14,
+        LinkType::RawIp => 0,
+        // Record-oriented links carry no packet headers to filter on.
+        LinkType::NetflowRecord | LinkType::BgpUpdate => {
+            return Pushdown { program: None, compiled_conjuncts: Vec::new() }
+        }
+    };
+    let transport_proto: Option<u32> = match protocol {
+        "tcp" => Some(6),
+        "udp" => Some(17),
+        "icmp" => Some(1),
+        "ip" => None,
+        // `pkt` accepts non-IP traffic; no guard can be emitted.
+        _ => return Pushdown { program: None, compiled_conjuncts: Vec::new() },
+    };
+
+    let mut asm = Asm::new();
+    // Protocol guards.
+    if link == LinkType::Ethernet {
+        asm.push(Insn::LdH(12));
+        asm.jump_unless_eq(0x0800);
+    }
+    asm.push(Insn::LdB(l3));
+    asm.push(Insn::Rsh(4));
+    asm.jump_unless_eq(4);
+    if let Some(proto) = transport_proto {
+        asm.push(Insn::LdB(l3 + 9));
+        asm.jump_unless_eq(proto);
+    }
+
+    // Compile each conjunct that fits the `field cmp const` shape.
+    let mut compiled = Vec::new();
+    let mut needs_transport = transport_proto.is_some() && protocol != "ip";
+    let mut tests: Vec<(FieldLoad, BinOp, u32)> = Vec::new();
+    for (i, c) in conjuncts.iter().enumerate() {
+        if let Some((load, op, k)) = compile_comparison(c, l3, field_of_col, params) {
+            needs_transport |= load.needs_transport;
+            tests.push((load, op, k));
+            compiled.push(i);
+        }
+    }
+    if needs_transport {
+        // Transport fields of non-first fragments are payload bytes;
+        // reject fragments before testing them.
+        asm.push(Insn::LdH(l3 + 6));
+        asm.jump_if_set(0x1fff);
+    }
+    for (load, op, k) in tests {
+        for insn in load.insns {
+            asm.push(insn);
+        }
+        asm.jump_unless(op, k);
+    }
+
+    let program = asm.finish(snaplen.unwrap_or(u32::MAX));
+    let compiled_conjuncts = if program.is_some() { compiled } else { Vec::new() };
+    Pushdown { program, compiled_conjuncts }
+}
+
+/// Compile `col cmp literal` (either orientation) into a field load plus a
+/// comparison against a 32-bit constant.
+fn compile_comparison(
+    pe: &PExpr,
+    l3: u32,
+    field_of_col: &dyn Fn(usize) -> Option<String>,
+    params: &HashMap<String, Literal>,
+) -> Option<(FieldLoad, BinOp, u32)> {
+    let PExpr::Binary { op, left, right, .. } = pe else { return None };
+    if !op.is_comparison() {
+        return None;
+    }
+    let (col, lit, op) = match (const_value(left, params), const_value(right, params)) {
+        (None, Some(k)) => (left, k, *op),
+        (Some(k), None) => (right, k, mirror(*op)),
+        _ => return None,
+    };
+    let PExpr::Col { index, .. } = **col else { return None };
+    let field = field_of_col(index)?;
+    let load = field_load(&field, l3)?;
+    Some((load, op, lit))
+}
+
+fn mirror(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+fn const_value(e: &PExpr, params: &HashMap<String, Literal>) -> Option<u32> {
+    let lit = match e {
+        PExpr::Lit(l) => l,
+        PExpr::Param { name, .. } => params.get(name)?,
+        _ => return None,
+    };
+    match lit {
+        Literal::UInt(v) => u32::try_from(*v).ok(),
+        Literal::Ip(v) => Some(*v),
+        Literal::Bool(b) => Some(u32::from(*b)),
+        _ => None,
+    }
+}
+
+/// Loader for a protocol field, or `None` if it cannot be read at a fixed
+/// or IHL-relative offset.
+fn field_load(field: &str, l3: u32) -> Option<FieldLoad> {
+    let fixed = |insns: Vec<Insn>| Some(FieldLoad { insns, needs_transport: false });
+    let transport = |insns: Vec<Insn>| Some(FieldLoad { insns, needs_transport: true });
+    match field {
+        "IPVersion" => fixed(vec![Insn::LdB(l3), Insn::Rsh(4)]),
+        "Protocol" => fixed(vec![Insn::LdB(l3 + 9)]),
+        "tos" => fixed(vec![Insn::LdB(l3 + 1)]),
+        "ttl" => fixed(vec![Insn::LdB(l3 + 8)]),
+        "id" => fixed(vec![Insn::LdH(l3 + 4)]),
+        "totalLen" => fixed(vec![Insn::LdH(l3 + 2)]),
+        "srcIP" => fixed(vec![Insn::LdW(l3 + 12)]),
+        "destIP" => fixed(vec![Insn::LdW(l3 + 16)]),
+        // Transport fields: X = IP header length, loads are X-relative.
+        "srcPort" => transport(vec![Insn::LdxMshB(l3), Insn::LdIndH(l3)]),
+        "destPort" => transport(vec![Insn::LdxMshB(l3), Insn::LdIndH(l3 + 2)]),
+        "icmpType" => transport(vec![Insn::LdxMshB(l3), Insn::LdIndB(l3)]),
+        "icmpCode" => transport(vec![Insn::LdxMshB(l3), Insn::LdIndB(l3 + 1)]),
+        _ => None,
+    }
+}
+
+/// Tiny assembler: straight-line tests that each either fall through or
+/// jump to a shared reject label at the end.
+struct Asm {
+    insns: Vec<Insn>,
+    /// Positions of jumps whose reject offset needs patching, with which
+    /// slot (`true` = jt is the reject branch).
+    fixups: Vec<(usize, bool)>,
+}
+
+impl Asm {
+    fn new() -> Asm {
+        Asm { insns: Vec::new(), fixups: Vec::new() }
+    }
+
+    fn push(&mut self, i: Insn) {
+        self.insns.push(i);
+    }
+
+    /// Fall through when `A == k`, else reject.
+    fn jump_unless_eq(&mut self, k: u32) {
+        self.fixups.push((self.insns.len(), false));
+        self.insns.push(Insn::Jeq(k, 0, 0xFF));
+    }
+
+    /// Reject when `A & k != 0` (fragment test).
+    fn jump_if_set(&mut self, k: u32) {
+        self.fixups.push((self.insns.len(), true));
+        self.insns.push(Insn::Jset(k, 0xFF, 0));
+    }
+
+    /// Fall through when `A op k` holds, else reject.
+    fn jump_unless(&mut self, op: BinOp, k: u32) {
+        let (insn, reject_on_true) = match op {
+            BinOp::Eq => (Insn::Jeq(k, 0, 0xFF), false),
+            BinOp::Ne => (Insn::Jeq(k, 0xFF, 0), true),
+            BinOp::Gt => (Insn::Jgt(k, 0, 0xFF), false),
+            BinOp::Ge => (Insn::Jge(k, 0, 0xFF), false),
+            BinOp::Lt => (Insn::Jge(k, 0xFF, 0), true),
+            BinOp::Le => (Insn::Jgt(k, 0xFF, 0), true),
+            _ => unreachable!("comparison ops only"),
+        };
+        self.fixups.push((self.insns.len(), reject_on_true));
+        self.insns.push(insn);
+    }
+
+    /// Append accept/reject returns and patch the reject offsets.
+    fn finish(mut self, accept: u32) -> Option<BpfProgram> {
+        let accept_idx = self.insns.len();
+        self.insns.push(Insn::RetImm(accept));
+        self.insns.push(Insn::RetImm(0));
+        let reject_idx = accept_idx + 1;
+        for (pc, reject_is_jt) in self.fixups {
+            let delta = reject_idx - pc - 1;
+            let delta = u8::try_from(delta).ok()?;
+            match &mut self.insns[pc] {
+                Insn::Jeq(_, jt, jf)
+                | Insn::Jgt(_, jt, jf)
+                | Insn::Jge(_, jt, jf)
+                | Insn::Jset(_, jt, jf) => {
+                    if reject_is_jt {
+                        *jt = delta;
+                    } else {
+                        *jf = delta;
+                    }
+                }
+                _ => unreachable!("fixups only reference jumps"),
+            }
+        }
+        BpfProgram::new(self.insns).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+    use gs_packet::builder::FrameBuilder;
+
+    /// TCP protocol schema column mapping for tests.
+    fn tcp_fields(i: usize) -> Option<String> {
+        gs_packet::interp::protocol("tcp").unwrap().fields.get(i).map(|f| f.name.to_string())
+    }
+
+    fn col(name: &str) -> PExpr {
+        let p = gs_packet::interp::protocol("tcp").unwrap();
+        let i = p.field_index(name).unwrap();
+        PExpr::Col { index: i, ty: DataType::UInt }
+    }
+
+    fn cmp(l: PExpr, op: BinOp, k: u64) -> PExpr {
+        PExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(PExpr::Lit(Literal::UInt(k))),
+            ty: DataType::Bool,
+        }
+    }
+
+    fn push(conjuncts: &[PExpr]) -> Pushdown {
+        compile_prefilter(
+            "tcp",
+            LinkType::Ethernet,
+            conjuncts,
+            &tcp_fields,
+            &HashMap::new(),
+            None,
+        )
+    }
+
+    #[test]
+    fn port_filter_compiles_and_filters() {
+        let pd = push(&[cmp(col("destPort"), BinOp::Eq, 80)]);
+        let prog = pd.program.unwrap();
+        assert_eq!(pd.compiled_conjuncts, vec![0]);
+        let yes = FrameBuilder::tcp(1, 2, 999, 80).payload(b"x").build_ethernet();
+        let no = FrameBuilder::tcp(1, 2, 999, 81).payload(b"x").build_ethernet();
+        let udp = FrameBuilder::udp(1, 2, 999, 80).payload(b"x").build_ethernet();
+        assert!(prog.accepts(&yes));
+        assert!(!prog.accepts(&no));
+        assert!(!prog.accepts(&udp), "protocol guard rejects UDP");
+    }
+
+    #[test]
+    fn guards_alone_when_nothing_compiles() {
+        // A payload comparison cannot compile, but the TCP guard still can.
+        let payload_idx =
+            gs_packet::interp::protocol("tcp").unwrap().field_index("payload").unwrap();
+        let pd = push(&[cmp(
+            PExpr::Col { index: payload_idx, ty: DataType::Str },
+            BinOp::Eq,
+            0,
+        )]);
+        let prog = pd.program.unwrap();
+        let tcp = FrameBuilder::tcp(1, 2, 1, 2).build_ethernet();
+        let udp = FrameBuilder::udp(1, 2, 1, 2).build_ethernet();
+        assert!(prog.accepts(&tcp));
+        assert!(!prog.accepts(&udp));
+    }
+
+    #[test]
+    fn range_and_ip_comparisons() {
+        let src_idx = gs_packet::interp::protocol("tcp").unwrap().field_index("srcIP").unwrap();
+        let pd = push(&[
+            cmp(col("ttl"), BinOp::Gt, 5),
+            PExpr::Binary {
+                op: BinOp::Eq,
+                left: Box::new(PExpr::Col { index: src_idx, ty: DataType::Ip }),
+                right: Box::new(PExpr::Lit(Literal::Ip(0x0a000001))),
+                ty: DataType::Bool,
+            },
+        ]);
+        let prog = pd.program.unwrap();
+        assert_eq!(pd.compiled_conjuncts, vec![0, 1]);
+        let ok = FrameBuilder::tcp(0x0a000001, 2, 1, 2).ttl(64).build_ethernet();
+        let low_ttl = FrameBuilder::tcp(0x0a000001, 2, 1, 2).ttl(3).build_ethernet();
+        let wrong_src = FrameBuilder::tcp(0x0a000002, 2, 1, 2).ttl(64).build_ethernet();
+        assert!(prog.accepts(&ok));
+        assert!(!prog.accepts(&low_ttl));
+        assert!(!prog.accepts(&wrong_src));
+    }
+
+    #[test]
+    fn mirrored_literal_first() {
+        // `80 = destPort`
+        let pd = push(&[PExpr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(PExpr::Lit(Literal::UInt(80))),
+            right: Box::new(col("destPort")),
+            ty: DataType::Bool,
+        }]);
+        let prog = pd.program.unwrap();
+        assert!(prog.accepts(&FrameBuilder::tcp(1, 2, 9, 80).build_ethernet()));
+        assert!(!prog.accepts(&FrameBuilder::tcp(1, 2, 9, 81).build_ethernet()));
+    }
+
+    #[test]
+    fn bound_params_compile() {
+        let mut params = HashMap::new();
+        params.insert("port".to_string(), Literal::UInt(443));
+        let conj = PExpr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(col("destPort")),
+            right: Box::new(PExpr::Param { name: "port".into(), ty: DataType::UInt }),
+            ty: DataType::Bool,
+        };
+        let pd = compile_prefilter(
+            "tcp",
+            LinkType::Ethernet,
+            std::slice::from_ref(&conj),
+            &tcp_fields,
+            &params,
+            Some(96),
+        );
+        let prog = pd.program.unwrap();
+        let yes = FrameBuilder::tcp(1, 2, 9, 443).build_ethernet();
+        assert_eq!(prog.run(&yes), 96, "accept returns the snap length");
+        // Unbound parameter: the conjunct is skipped but guards remain.
+        let pd2 = compile_prefilter(
+            "tcp",
+            LinkType::Ethernet,
+            std::slice::from_ref(&conj),
+            &tcp_fields,
+            &HashMap::new(),
+            None,
+        );
+        assert!(pd2.compiled_conjuncts.is_empty());
+        assert!(pd2.program.unwrap().accepts(&FrameBuilder::tcp(1, 2, 9, 80).build_ethernet()));
+    }
+
+    #[test]
+    fn fragments_rejected_when_ports_tested() {
+        let pd = push(&[cmp(col("destPort"), BinOp::Eq, 80)]);
+        let prog = pd.program.unwrap();
+        let frag = FrameBuilder::tcp(1, 2, 9, 80)
+            .payload(&[0u8; 64])
+            .fragment(4, false)
+            .build_ethernet();
+        assert!(!prog.accepts(&frag));
+    }
+
+    #[test]
+    fn record_links_have_no_prefilter() {
+        let pd = compile_prefilter(
+            "netflow",
+            LinkType::NetflowRecord,
+            &[],
+            &|_| None,
+            &HashMap::new(),
+            None,
+        );
+        assert!(pd.program.is_none());
+    }
+
+    #[test]
+    fn raw_ip_link_offsets() {
+        let pd = compile_prefilter(
+            "tcp",
+            LinkType::RawIp,
+            &[cmp(col("destPort"), BinOp::Eq, 80)],
+            &tcp_fields,
+            &HashMap::new(),
+            None,
+        );
+        let prog = pd.program.unwrap();
+        assert!(prog.accepts(&FrameBuilder::tcp(1, 2, 9, 80).build_raw_ip()));
+        assert!(!prog.accepts(&FrameBuilder::tcp(1, 2, 9, 81).build_raw_ip()));
+    }
+
+    #[test]
+    fn ne_lt_le_ops() {
+        for (op, port, pass) in [
+            (BinOp::Ne, 80u64, false),
+            (BinOp::Ne, 81, true),
+            (BinOp::Lt, 81, true),
+            (BinOp::Lt, 80, false),
+            (BinOp::Le, 80, true),
+            (BinOp::Le, 79, false),
+        ] {
+            let pd = push(&[cmp(col("destPort"), op, port)]);
+            let prog = pd.program.unwrap();
+            let pkt = FrameBuilder::tcp(1, 2, 9, 80).build_ethernet();
+            assert_eq!(prog.accepts(&pkt), pass, "destPort(80) {op:?} {port}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The GSQL type system.
+//!
+//! Deliberately small: network monitoring data is unsigned integers, IP
+//! addresses, byte strings, booleans, and the occasional ratio (float).
+
+use std::fmt;
+
+/// A GSQL value type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// Unsigned 64-bit integer (all packet counters/ports/timestamps).
+    UInt,
+    /// 64-bit float (ratios, averages).
+    Float,
+    /// IPv4 address (a `u32` with address literal syntax).
+    Ip,
+    /// Byte string (payloads, matched text).
+    Str,
+}
+
+impl DataType {
+    /// Whether values of this type can be compared with `<`/`>`.
+    pub fn is_ordered(self) -> bool {
+        !matches!(self, DataType::Bool)
+    }
+
+    /// Whether this type supports arithmetic.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::UInt | DataType::Float)
+    }
+
+    /// Convert a packet-schema field type.
+    pub fn from_field(ft: gs_packet::interp::FieldType) -> DataType {
+        match ft {
+            gs_packet::interp::FieldType::Bool => DataType::Bool,
+            gs_packet::interp::FieldType::UInt => DataType::UInt,
+            gs_packet::interp::FieldType::Ip => DataType::Ip,
+            gs_packet::interp::FieldType::Str => DataType::Str,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "bool",
+            DataType::UInt => "uint",
+            DataType::Float => "float",
+            DataType::Ip => "ip",
+            DataType::Str => "string",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(DataType::UInt.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Ip.is_numeric());
+        assert!(DataType::Ip.is_ordered());
+        assert!(!DataType::Bool.is_ordered());
+        assert!(DataType::Str.is_ordered());
+    }
+
+    #[test]
+    fn from_field_maps() {
+        use gs_packet::interp::FieldType as F;
+        assert_eq!(DataType::from_field(F::UInt), DataType::UInt);
+        assert_eq!(DataType::from_field(F::Ip), DataType::Ip);
+        assert_eq!(DataType::from_field(F::Str), DataType::Str);
+        assert_eq!(DataType::from_field(F::Bool), DataType::Bool);
+    }
+}

@@ -1,0 +1,170 @@
+//! Bursty arrival processes.
+//!
+//! The paper motivates heartbeats with "network traffic is notoriously
+//! bursty". We model arrivals two ways:
+//!
+//! - [`PoissonArrivals`]: memoryless inter-arrival gaps at a target rate —
+//!   the smooth baseline;
+//! - [`OnOffArrivals`]: an on/off source with bounded-Pareto sojourn times.
+//!   During ON periods packets arrive at the peak rate; during OFF periods
+//!   nothing arrives. Heavy-tailed sojourns produce the long silences and
+//!   intense bursts that stress rings and merge buffers.
+
+use rand::Rng;
+
+/// Exponential inter-arrival gaps at `rate_per_sec`, yielding timestamps
+/// in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals<R> {
+    rng: R,
+    now_ns: u64,
+    mean_gap_ns: f64,
+}
+
+impl<R: Rng> PoissonArrivals<R> {
+    /// Create a process starting at `start_ns` with the given average rate.
+    ///
+    /// # Panics
+    /// Panics if `rate_per_sec` is not strictly positive.
+    pub fn new(rng: R, start_ns: u64, rate_per_sec: f64) -> Self {
+        assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+        PoissonArrivals { rng, now_ns: start_ns, mean_gap_ns: 1e9 / rate_per_sec }
+    }
+}
+
+impl<R: Rng> Iterator for PoissonArrivals<R> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let u: f64 = self.rng.gen_range(1e-12..1.0f64);
+        let gap = (-u.ln() * self.mean_gap_ns).max(1.0);
+        self.now_ns = self.now_ns.saturating_add(gap as u64);
+        Some(self.now_ns)
+    }
+}
+
+/// On/off arrival process: bursts at `peak_rate_per_sec` during ON periods
+/// whose durations are bounded-Pareto, separated by OFF periods likewise.
+#[derive(Debug, Clone)]
+pub struct OnOffArrivals<R> {
+    rng: R,
+    now_ns: u64,
+    on_until_ns: u64,
+    peak_gap_ns: f64,
+    alpha: f64,
+    mean_on_ns: f64,
+    mean_off_ns: f64,
+}
+
+impl<R: Rng> OnOffArrivals<R> {
+    /// Create an on/off process.
+    ///
+    /// `peak_rate_per_sec` applies during ON periods; `mean_on_ms` and
+    /// `mean_off_ms` set the sojourn scales; `alpha` (1 < α ≤ 2 for heavy
+    /// tails) shapes the Pareto sojourns.
+    ///
+    /// # Panics
+    /// Panics if any rate/duration is non-positive.
+    pub fn new(
+        rng: R,
+        start_ns: u64,
+        peak_rate_per_sec: f64,
+        mean_on_ms: f64,
+        mean_off_ms: f64,
+        alpha: f64,
+    ) -> Self {
+        assert!(peak_rate_per_sec > 0.0 && mean_on_ms > 0.0 && mean_off_ms > 0.0);
+        assert!(alpha > 0.0);
+        OnOffArrivals {
+            rng,
+            now_ns: start_ns,
+            on_until_ns: start_ns,
+            peak_gap_ns: 1e9 / peak_rate_per_sec,
+            alpha,
+            mean_on_ns: mean_on_ms * 1e6,
+            mean_off_ns: mean_off_ms * 1e6,
+        }
+    }
+
+    fn pareto_sojourn(&mut self, mean_ns: f64) -> u64 {
+        // Bounded Pareto with lo chosen so the mean ≈ mean_ns for the
+        // configured alpha, capped at 100× the mean to bound single draws.
+        let lo = mean_ns * (self.alpha - 1.0).max(0.1) / self.alpha;
+        let hi = mean_ns * 100.0;
+        let u: f64 = self.rng.gen_range(1e-12..1.0f64);
+        let la = lo.powf(self.alpha);
+        let ha = hi.powf(self.alpha);
+        let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / self.alpha);
+        x.max(1.0) as u64
+    }
+}
+
+impl<R: Rng> Iterator for OnOffArrivals<R> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.now_ns >= self.on_until_ns {
+            // Take an OFF sojourn, then start a new ON period.
+            let off = self.pareto_sojourn(self.mean_off_ns);
+            let on = self.pareto_sojourn(self.mean_on_ns);
+            self.now_ns = self.now_ns.saturating_add(off);
+            self.on_until_ns = self.now_ns.saturating_add(on);
+        }
+        let u: f64 = self.rng.gen_range(1e-12..1.0f64);
+        let gap = (-u.ln() * self.peak_gap_ns).max(1.0);
+        self.now_ns = self.now_ns.saturating_add(gap as u64);
+        Some(self.now_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_rate_is_close() {
+        let rng = SmallRng::seed_from_u64(11);
+        let mut p = PoissonArrivals::new(rng, 0, 10_000.0);
+        let n = 100_000;
+        let last = p.nth(n - 1).unwrap();
+        let achieved = n as f64 / (last as f64 / 1e9);
+        assert!((achieved - 10_000.0).abs() / 10_000.0 < 0.05, "rate {achieved}");
+    }
+
+    #[test]
+    fn poisson_is_monotone() {
+        let rng = SmallRng::seed_from_u64(3);
+        let p = PoissonArrivals::new(rng, 5, 1e6);
+        let ts: Vec<u64> = p.take(10_000).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        assert!(ts[0] >= 5);
+    }
+
+    #[test]
+    fn onoff_is_monotone_and_bursty() {
+        let rng = SmallRng::seed_from_u64(42);
+        let p = OnOffArrivals::new(rng, 0, 1e6, 10.0, 10.0, 1.5);
+        let ts: Vec<u64> = p.take(50_000).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        // Burstiness: the max gap should dwarf the median gap.
+        let mut gaps: Vec<u64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
+        gaps.sort_unstable();
+        let median = gaps[gaps.len() / 2];
+        let max = *gaps.last().unwrap();
+        assert!(max > median * 50, "median {median} max {max}");
+    }
+
+    #[test]
+    fn onoff_long_run_rate_below_peak() {
+        let rng = SmallRng::seed_from_u64(9);
+        let p = OnOffArrivals::new(rng, 0, 1e6, 5.0, 15.0, 1.5);
+        let ts: Vec<u64> = p.take(100_000).collect();
+        let rate = ts.len() as f64 / (*ts.last().unwrap() as f64 / 1e9);
+        // Duty cycle ~25% of the 1e6/s peak; allow a broad band since the
+        // sojourns are heavy-tailed.
+        assert!(rate < 0.9e6, "rate {rate}");
+        assert!(rate > 0.02e6, "rate {rate}");
+    }
+}

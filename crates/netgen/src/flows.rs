@@ -1,0 +1,116 @@
+//! Flow population model.
+//!
+//! A [`FlowPopulation`] is a fixed set of five-tuples with Zipf-skewed
+//! popularity. Drawing packets from it produces the temporal locality that
+//! the paper's LFTA direct-mapped aggregation hash exploits ("Because of
+//! temporal locality, aggregation even with a small hash table is effective
+//! in early data reduction").
+
+use crate::zipf::Zipf;
+use rand::Rng;
+
+/// A transport five-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FiveTuple {
+    /// Source address, host order.
+    pub src_ip: u32,
+    /// Destination address, host order.
+    pub dst_ip: u32,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// IP protocol number.
+    pub protocol: u8,
+}
+
+/// A population of flows with skewed popularity.
+#[derive(Debug, Clone)]
+pub struct FlowPopulation {
+    flows: Vec<FiveTuple>,
+    zipf: Zipf,
+}
+
+impl FlowPopulation {
+    /// Build `n` distinct flows towards `dst_port`, drawn deterministically
+    /// from `rng`, with Zipf(`skew`) popularity.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, n: usize, dst_port: u16, skew: f64) -> FlowPopulation {
+        assert!(n > 0, "flow population must be non-empty");
+        let mut flows = Vec::with_capacity(n);
+        for i in 0..n {
+            flows.push(FiveTuple {
+                // Spread sources over a /8 and destinations over a /16 so
+                // LPM queries over the population hit different prefixes.
+                src_ip: 0x0a00_0000 | rng.gen_range(0..0x00ff_ffff),
+                dst_ip: 0xc0a8_0000 | (i as u32 & 0xffff),
+                src_port: rng.gen_range(1024..u16::MAX),
+                dst_port,
+                protocol: gs_packet::ip::PROTO_TCP,
+            });
+        }
+        FlowPopulation { flows, zipf: Zipf::new(n, skew) }
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the population is empty (never true).
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Draw one flow according to the popularity distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> FiveTuple {
+        self.flows[self.zipf.sample(rng)]
+    }
+
+    /// The flow at `rank` (0 = most popular).
+    pub fn flow(&self, rank: usize) -> FiveTuple {
+        self.flows[rank]
+    }
+
+    /// All flows, most popular first.
+    pub fn flows(&self) -> &[FiveTuple] {
+        &self.flows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn sampling_respects_skew() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let pop = FlowPopulation::new(&mut rng, 500, 80, 1.0);
+        let mut counts: HashMap<FiveTuple, usize> = HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(pop.sample(&mut rng)).or_default() += 1;
+        }
+        let top = counts.get(&pop.flow(0)).copied().unwrap_or(0);
+        let mid = counts.get(&pop.flow(250)).copied().unwrap_or(0);
+        assert!(top > mid * 20, "top {top} mid {mid}");
+    }
+
+    #[test]
+    fn flows_have_requested_port() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let pop = FlowPopulation::new(&mut rng, 10, 443, 0.0);
+        assert!(pop.flows().iter().all(|f| f.dst_port == 443));
+        assert_eq!(pop.len(), 10);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut rng = SmallRng::seed_from_u64(99);
+            FlowPopulation::new(&mut rng, 50, 80, 1.0).flows().to_vec()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,149 @@
+//! Port-80 payload generation for the §4 experiment.
+//!
+//! The experiment computes "the fraction of port 80 traffic which is due to
+//! the HTTP protocol (port 80 is used to tunnel through firewalls)" by
+//! matching payloads against `^[^\n]*HTTP/1.*`. We generate three payload
+//! classes:
+//!
+//! - genuine HTTP request/response heads, which match;
+//! - tunneled binary/other-protocol payloads on port 80, which do not;
+//! - adversarial near-misses (e.g. `HTTP/1` after the first newline) that
+//!   distinguish an anchored matcher from a substring search.
+
+use rand::Rng;
+
+/// The regular expression the experiment matches payloads against,
+/// verbatim from the paper.
+pub const HTTP_REGEX: &str = "^[^\\n]*HTTP/1.*";
+
+static METHODS: [&str; 5] = ["GET", "POST", "HEAD", "PUT", "DELETE"];
+static PATHS: [&str; 6] = ["/", "/index.html", "/images/logo.gif", "/cgi-bin/q", "/a/b/c", "/favicon.ico"];
+static STATUS: [&str; 5] = ["200 OK", "304 Not Modified", "404 Not Found", "302 Found", "500 Oops"];
+
+/// Payload class emitted by [`payload`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadClass {
+    /// An HTTP request head — matches the regex.
+    HttpRequest,
+    /// An HTTP response head — matches the regex.
+    HttpResponse,
+    /// Non-HTTP bytes tunneled over port 80 — does not match.
+    Tunnel,
+    /// `HTTP/1` appears, but only after a newline — must not match the
+    /// anchored regex.
+    NearMiss,
+}
+
+/// Generate a payload of the given class, roughly `target_len` bytes.
+pub fn payload<R: Rng + ?Sized>(rng: &mut R, class: PayloadClass, target_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(target_len.max(16));
+    match class {
+        PayloadClass::HttpRequest => {
+            let m = METHODS[rng.gen_range(0..METHODS.len())];
+            let p = PATHS[rng.gen_range(0..PATHS.len())];
+            let minor = rng.gen_range(0..2);
+            out.extend_from_slice(format!("{m} {p} HTTP/1.{minor}\r\nHost: example.com\r\n\r\n").as_bytes());
+        }
+        PayloadClass::HttpResponse => {
+            let s = STATUS[rng.gen_range(0..STATUS.len())];
+            let minor = rng.gen_range(0..2);
+            out.extend_from_slice(format!("HTTP/1.{minor} {s}\r\nContent-Length: 0\r\n\r\n").as_bytes());
+        }
+        PayloadClass::Tunnel => {
+            // Arbitrary binary-ish bytes, guaranteed free of the literal
+            // "HTTP/1" and of newlines in awkward places.
+            for _ in 0..target_len.max(8) {
+                out.push(rng.gen_range(0x20..0x7e));
+            }
+            scrub(&mut out);
+        }
+        PayloadClass::NearMiss => {
+            // First line clean, then "HTTP/1" on a later line.
+            for _ in 0..16 {
+                out.push(rng.gen_range(b'a'..=b'z'));
+            }
+            out.push(b'\n');
+            out.extend_from_slice(b"something HTTP/1.1 later");
+        }
+    }
+    // Pad to the target length with body bytes (after a blank line these are
+    // entity bytes and do not affect the first-line match either way).
+    while out.len() < target_len {
+        out.push(rng.gen_range(0x20..0x7e));
+    }
+    if matches!(class, PayloadClass::Tunnel) {
+        scrub(&mut out);
+    }
+    out
+}
+
+/// Remove accidental "HTTP/1" occurrences from tunneled payloads so the
+/// class labels stay ground truth.
+fn scrub(buf: &mut [u8]) {
+    let pat = b"HTTP/1";
+    if buf.len() < pat.len() {
+        return;
+    }
+    for i in 0..=buf.len() - pat.len() {
+        if &buf[i..i + pat.len()] == pat {
+            buf[i] = b'X';
+        }
+    }
+}
+
+/// Ground truth: does this payload match the anchored experiment regex?
+/// A reference implementation used by tests to validate the runtime's
+/// regex engine; scans the first line only.
+pub fn matches_http(payload: &[u8]) -> bool {
+    let first_line = match payload.iter().position(|&b| b == b'\n') {
+        Some(i) => &payload[..i],
+        None => payload,
+    };
+    first_line.windows(6).any(|w| w == b"HTTP/1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn request_and_response_match() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let p = payload(&mut rng, PayloadClass::HttpRequest, 200);
+            assert!(matches_http(&p), "request must match: {:?}", String::from_utf8_lossy(&p));
+            let p = payload(&mut rng, PayloadClass::HttpResponse, 200);
+            assert!(matches_http(&p), "response must match");
+        }
+    }
+
+    #[test]
+    fn tunnel_never_matches() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let p = payload(&mut rng, PayloadClass::Tunnel, 300);
+            assert!(!matches_http(&p), "tunnel must not match: {:?}", String::from_utf8_lossy(&p));
+        }
+    }
+
+    #[test]
+    fn near_miss_never_matches_anchored() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let p = payload(&mut rng, PayloadClass::NearMiss, 64);
+            assert!(!matches_http(&p));
+            // ...but a naive substring search over the whole payload would
+            // be fooled:
+            assert!(p.windows(6).any(|w| w == b"HTTP/1"));
+        }
+    }
+
+    #[test]
+    fn padding_reaches_target() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let p = payload(&mut rng, PayloadClass::HttpRequest, 512);
+        assert!(p.len() >= 512);
+    }
+}

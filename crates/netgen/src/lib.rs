@@ -1,0 +1,44 @@
+//! Synthetic network traffic and workload generation.
+//!
+//! The paper's experiments run against live optical links and AT&T traffic
+//! feeds we do not have. This crate builds the closest synthetic
+//! equivalents that exercise the same code paths (see DESIGN.md §3):
+//!
+//! - [`http`]: port-80 traffic where a configurable fraction of payloads
+//!   actually match `^[^\n]*HTTP/1.*` — the §4 experiment's workload;
+//! - [`burst`]: heavy-tailed on/off arrival processes ("network traffic is
+//!   notoriously bursty in this manner");
+//! - [`flows`]: a flow population with Zipf-skewed popularity driving the
+//!   temporal locality that makes the LFTA direct-mapped hash effective;
+//! - [`netflowgen`]: Netflow export streams with the paper's §2.1 ordering
+//!   semantics (end time monotone, start time banded-increasing(30 s));
+//! - [`bgpgen`]: BGP update streams with per-peer monotone sequence numbers;
+//! - [`prefixes`]: synthetic AS prefix tables standing in for the
+//!   `peerid.tbl` routing-table file used by `getlpmid`;
+//! - [`mix`]: rate-controlled packet mixes that merge the above into a
+//!   single time-ordered arrival stream for the capture-path simulator.
+//!
+//! All generators are deterministic given a seed and yield packets in
+//! nondecreasing timestamp order.
+
+#![warn(missing_docs)]
+
+pub mod bgpgen;
+pub mod burst;
+pub mod flows;
+pub mod http;
+pub mod merge;
+pub mod mix;
+pub mod netflowgen;
+pub mod prefixes;
+pub mod zipf;
+
+pub use merge::merge_sources;
+pub use mix::{GroundTruth, MixConfig, PacketMix, SizeDist};
+
+/// A source of timestamped packets in nondecreasing `ts_ns` order.
+///
+/// This is just a named iterator bound: generators implement `Iterator`
+/// and the capture simulator consumes any `PacketSource`.
+pub trait PacketSource: Iterator<Item = gs_packet::CapPacket> {}
+impl<T: Iterator<Item = gs_packet::CapPacket>> PacketSource for T {}

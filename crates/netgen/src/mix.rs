@@ -1,0 +1,412 @@
+//! Rate-controlled packet mixes: the workload driver for the paper's §4
+//! experiment and the other benches.
+//!
+//! A [`PacketMix`] interleaves two sub-streams by timestamp:
+//!
+//! - *port-80 traffic* at a configured rate, a configured fraction of which
+//!   is genuine HTTP (the rest tunneled bytes and anchored near-misses);
+//! - *background traffic* to other ports, optionally bursty.
+//!
+//! The mix yields [`CapPacket`]s in nondecreasing timestamp order and keeps
+//! running [`GroundTruth`] counters so harnesses can check query outputs
+//! against what was actually generated.
+
+use crate::burst::{OnOffArrivals, PoissonArrivals};
+use crate::flows::FlowPopulation;
+use crate::http::{payload, PayloadClass};
+use gs_packet::builder::FrameBuilder;
+use gs_packet::capture::{CapPacket, LinkType};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Packet wire-size distribution: `(bytes, weight)` pairs.
+///
+/// The default is the classic trimodal Internet mix.
+#[derive(Debug, Clone)]
+pub struct SizeDist {
+    sizes: Vec<(usize, f64)>,
+    mean: f64,
+}
+
+impl SizeDist {
+    /// Build a size distribution from `(bytes, weight)` pairs.
+    ///
+    /// # Panics
+    /// Panics if empty, or if any size is below 64 bytes (minimum frame) or
+    /// weight non-positive.
+    pub fn new(pairs: &[(usize, f64)]) -> SizeDist {
+        assert!(!pairs.is_empty(), "size distribution must be non-empty");
+        let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0.0);
+        for &(s, w) in pairs {
+            assert!(s >= 64, "frame sizes below 64 bytes are not representable");
+            assert!(w > 0.0);
+        }
+        let mean = pairs.iter().map(|&(s, w)| s as f64 * w).sum::<f64>() / total;
+        let sizes = pairs.iter().map(|&(s, w)| (s, w / total)).collect();
+        SizeDist { sizes, mean }
+    }
+
+    /// The classic trimodal Internet mix (64 / 576 / 1500 bytes).
+    pub fn internet() -> SizeDist {
+        SizeDist::new(&[(64, 0.5), (576, 0.25), (1500, 0.25)])
+    }
+
+    /// Mean wire size in bytes.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Draw a wire size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let mut u: f64 = rng.gen();
+        for &(s, p) in &self.sizes {
+            if u < p {
+                return s;
+            }
+            u -= p;
+        }
+        self.sizes.last().expect("non-empty").0
+    }
+}
+
+/// Configuration for [`PacketMix`].
+#[derive(Debug, Clone)]
+pub struct MixConfig {
+    /// RNG seed; equal seeds give byte-identical traffic.
+    pub seed: u64,
+    /// Interface id stamped on generated packets.
+    pub iface: u16,
+    /// Trace duration in milliseconds of virtual time.
+    pub duration_ms: u64,
+    /// Offered port-80 rate, megabits per second (0 disables the stream).
+    pub http_rate_mbps: f64,
+    /// Fraction of port-80 payloads that genuinely match the HTTP regex.
+    pub http_match_fraction: f64,
+    /// Fraction of non-matching port-80 payloads that are anchored
+    /// near-misses rather than plain tunnel bytes.
+    pub near_miss_fraction: f64,
+    /// Offered background (non-port-80) rate, megabits per second.
+    pub background_rate_mbps: f64,
+    /// Whether background arrivals are heavy-tailed on/off (vs Poisson).
+    pub bursty_background: bool,
+    /// Wire-size distribution.
+    pub sizes: SizeDist,
+    /// Number of distinct flows per sub-stream.
+    pub flows: usize,
+    /// Zipf skew of flow popularity.
+    pub flow_skew: f64,
+}
+
+impl Default for MixConfig {
+    fn default() -> MixConfig {
+        MixConfig {
+            seed: 0,
+            iface: 0,
+            duration_ms: 1_000,
+            http_rate_mbps: 60.0,
+            http_match_fraction: 0.7,
+            near_miss_fraction: 0.1,
+            background_rate_mbps: 100.0,
+            bursty_background: false,
+            sizes: SizeDist::internet(),
+            flows: 1_000,
+            flow_skew: 1.0,
+        }
+    }
+}
+
+/// Ground-truth counters accumulated while a mix is drained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Total packets generated.
+    pub total_pkts: u64,
+    /// Total wire bytes generated.
+    pub total_bytes: u64,
+    /// Packets with TCP destination port 80.
+    pub port80_pkts: u64,
+    /// Port-80 packets whose payload matches the HTTP regex.
+    pub http_match_pkts: u64,
+}
+
+enum Arrivals {
+    Poisson(PoissonArrivals<SmallRng>),
+    OnOff(OnOffArrivals<SmallRng>),
+    Never,
+}
+
+impl Arrivals {
+    fn next_ts(&mut self) -> u64 {
+        match self {
+            Arrivals::Poisson(p) => p.next().expect("infinite process"),
+            Arrivals::OnOff(p) => p.next().expect("infinite process"),
+            Arrivals::Never => u64::MAX,
+        }
+    }
+}
+
+/// Iterator over a generated two-class traffic mix.
+///
+/// ```
+/// use gs_netgen::{MixConfig, PacketMix};
+///
+/// let mut mix = PacketMix::new(MixConfig { duration_ms: 20, ..MixConfig::default() });
+/// let pkts: Vec<_> = (&mut mix).collect();
+/// assert!(!pkts.is_empty());
+/// assert!(pkts.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns), "time-ordered");
+/// assert_eq!(mix.truth().total_pkts as usize, pkts.len());
+/// ```
+pub struct PacketMix {
+    cfg: MixConfig,
+    rng: SmallRng,
+    http_flows: Option<FlowPopulation>,
+    bg_flows: Option<FlowPopulation>,
+    next_http_ts: u64,
+    next_bg_ts: u64,
+    http_arrivals: Arrivals,
+    bg_arrivals: Arrivals,
+    end_ns: u64,
+    truth: GroundTruth,
+    /// Wrapping IP identification counter (real stacks number datagrams).
+    ip_id: u16,
+}
+
+impl PacketMix {
+    /// Build a mix from `cfg`.
+    pub fn new(cfg: MixConfig) -> PacketMix {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mean = cfg.sizes.mean();
+        let pkt_rate = |mbps: f64| mbps * 1e6 / 8.0 / mean;
+
+        let (http_flows, mut http_arrivals) = if cfg.http_rate_mbps > 0.0 {
+            let flows = FlowPopulation::new(&mut rng, cfg.flows, 80, cfg.flow_skew);
+            let arr = Arrivals::Poisson(PoissonArrivals::new(
+                SmallRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15),
+                0,
+                pkt_rate(cfg.http_rate_mbps),
+            ));
+            (Some(flows), arr)
+        } else {
+            (None, Arrivals::Never)
+        };
+
+        let (bg_flows, mut bg_arrivals) = if cfg.background_rate_mbps > 0.0 {
+            let flows = FlowPopulation::new(&mut rng, cfg.flows, 8080, cfg.flow_skew);
+            let rate = pkt_rate(cfg.background_rate_mbps);
+            let rng2 = SmallRng::seed_from_u64(cfg.seed ^ 0xdead_beef_cafe_f00d);
+            let arr = if cfg.bursty_background {
+                // Peak at 4x the mean rate with a 25% duty cycle keeps the
+                // long-run rate at the target while stressing buffers.
+                Arrivals::OnOff(OnOffArrivals::new(rng2, 0, rate * 4.0, 10.0, 30.0, 1.5))
+            } else {
+                Arrivals::Poisson(PoissonArrivals::new(rng2, 0, rate))
+            };
+            (Some(flows), arr)
+        } else {
+            (None, Arrivals::Never)
+        };
+
+        let next_http_ts = http_arrivals.next_ts();
+        let next_bg_ts = bg_arrivals.next_ts();
+        PacketMix {
+            end_ns: cfg.duration_ms * 1_000_000,
+            cfg,
+            rng,
+            http_flows,
+            bg_flows,
+            next_http_ts,
+            next_bg_ts,
+            http_arrivals,
+            bg_arrivals,
+            truth: GroundTruth::default(),
+            ip_id: 0,
+        }
+    }
+
+    /// Ground truth accumulated so far (complete once the iterator is
+    /// exhausted).
+    pub fn truth(&self) -> GroundTruth {
+        self.truth
+    }
+
+    fn build_http(&mut self, ts: u64) -> CapPacket {
+        let flow = self
+            .http_flows
+            .as_ref()
+            .expect("http stream enabled")
+            .sample(&mut self.rng);
+        let wire = self.cfg.sizes.sample(&mut self.rng);
+        // Headroom: 14 ether + 20 ip + 20 tcp.
+        let pay_len = wire.saturating_sub(54).max(8);
+        let u: f64 = self.rng.gen();
+        let class = if u < self.cfg.http_match_fraction {
+            if self.rng.gen_bool(0.5) {
+                PayloadClass::HttpRequest
+            } else {
+                PayloadClass::HttpResponse
+            }
+        } else if self.rng.gen::<f64>()
+            < self.cfg.near_miss_fraction.clamp(0.0, 1.0)
+        {
+            PayloadClass::NearMiss
+        } else {
+            PayloadClass::Tunnel
+        };
+        let pay = payload(&mut self.rng, class, pay_len);
+        self.ip_id = self.ip_id.wrapping_add(1);
+        let frame = FrameBuilder::tcp(flow.src_ip, flow.dst_ip, flow.src_port, 80)
+            .payload(&pay)
+            .ip_id(self.ip_id)
+            .build_ethernet();
+        self.truth.port80_pkts += 1;
+        if crate::http::matches_http(&pay) {
+            self.truth.http_match_pkts += 1;
+        }
+        CapPacket::full(ts, self.cfg.iface, LinkType::Ethernet, frame)
+    }
+
+    fn build_bg(&mut self, ts: u64) -> CapPacket {
+        let flow = self
+            .bg_flows
+            .as_ref()
+            .expect("background stream enabled")
+            .sample(&mut self.rng);
+        let wire = self.cfg.sizes.sample(&mut self.rng);
+        let pay_len = wire.saturating_sub(54);
+        let mut pay = vec![0u8; pay_len];
+        self.rng.fill(pay.as_mut_slice());
+        // Mix of TCP and UDP on non-80 ports.
+        self.ip_id = self.ip_id.wrapping_add(1);
+        let frame = if self.rng.gen_bool(0.8) {
+            FrameBuilder::tcp(flow.src_ip, flow.dst_ip, flow.src_port, flow.dst_port)
+                .payload(&pay)
+                .ip_id(self.ip_id)
+                .build_ethernet()
+        } else {
+            FrameBuilder::udp(flow.src_ip, flow.dst_ip, flow.src_port, flow.dst_port)
+                .payload(&pay)
+                .ip_id(self.ip_id)
+                .build_ethernet()
+        };
+        CapPacket::full(ts, self.cfg.iface, LinkType::Ethernet, frame)
+    }
+}
+
+impl Iterator for PacketMix {
+    type Item = CapPacket;
+
+    fn next(&mut self) -> Option<CapPacket> {
+        let (is_http, ts) = if self.next_http_ts <= self.next_bg_ts {
+            (true, self.next_http_ts)
+        } else {
+            (false, self.next_bg_ts)
+        };
+        if ts >= self.end_ns {
+            return None;
+        }
+        let pkt = if is_http {
+            self.next_http_ts = self.http_arrivals.next_ts();
+            self.build_http(ts)
+        } else {
+            self.next_bg_ts = self.bg_arrivals.next_ts();
+            self.build_bg(ts)
+        };
+        self.truth.total_pkts += 1;
+        self.truth.total_bytes += u64::from(pkt.wire_len);
+        Some(pkt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(cfg: MixConfig) -> (Vec<CapPacket>, GroundTruth) {
+        let mut mix = PacketMix::new(cfg);
+        let pkts: Vec<_> = (&mut mix).collect();
+        let truth = mix.truth();
+        (pkts, truth)
+    }
+
+    #[test]
+    fn timestamps_are_monotone_and_bounded() {
+        let (pkts, _) = drain(MixConfig { duration_ms: 200, ..MixConfig::default() });
+        assert!(!pkts.is_empty());
+        assert!(pkts.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        assert!(pkts.last().unwrap().ts_ns < 200_000_000);
+    }
+
+    #[test]
+    fn achieved_rate_tracks_config() {
+        let cfg = MixConfig {
+            duration_ms: 1_000,
+            http_rate_mbps: 60.0,
+            background_rate_mbps: 140.0,
+            ..MixConfig::default()
+        };
+        let (_, truth) = drain(cfg);
+        let mbps = truth.total_bytes as f64 * 8.0 / 1e6; // over 1 s
+        assert!((mbps - 200.0).abs() / 200.0 < 0.10, "achieved {mbps} Mbit/s");
+    }
+
+    #[test]
+    fn match_fraction_tracks_config() {
+        let cfg = MixConfig {
+            duration_ms: 2_000,
+            http_rate_mbps: 50.0,
+            background_rate_mbps: 0.0,
+            http_match_fraction: 0.7,
+            ..MixConfig::default()
+        };
+        let (_, truth) = drain(cfg);
+        assert!(truth.port80_pkts > 1_000);
+        let frac = truth.http_match_pkts as f64 / truth.port80_pkts as f64;
+        assert!((frac - 0.7).abs() < 0.05, "match fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = MixConfig { duration_ms: 50, seed: 77, ..MixConfig::default() };
+        let (a, ta) = drain(cfg.clone());
+        let (b, tb) = drain(cfg);
+        assert_eq!(a, b);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn background_only_has_no_port80() {
+        let cfg = MixConfig {
+            duration_ms: 100,
+            http_rate_mbps: 0.0,
+            background_rate_mbps: 80.0,
+            ..MixConfig::default()
+        };
+        let (pkts, truth) = drain(cfg);
+        assert!(!pkts.is_empty());
+        assert_eq!(truth.port80_pkts, 0);
+        assert_eq!(truth.http_match_pkts, 0);
+    }
+
+    #[test]
+    fn bursty_background_still_monotone() {
+        let cfg = MixConfig {
+            duration_ms: 300,
+            bursty_background: true,
+            background_rate_mbps: 200.0,
+            ..MixConfig::default()
+        };
+        let (pkts, _) = drain(cfg);
+        assert!(pkts.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn size_dist_mean() {
+        let d = SizeDist::internet();
+        assert!((d.mean() - (0.5 * 64.0 + 0.25 * 576.0 + 0.25 * 1500.0)).abs() < 1e-9);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let s = d.sample(&mut rng);
+            assert!(s == 64 || s == 576 || s == 1500);
+        }
+    }
+}

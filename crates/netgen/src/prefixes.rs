@@ -1,0 +1,132 @@
+//! Synthetic AS prefix tables.
+//!
+//! The paper's `getlpmid(destIP, 'peerid.tbl')` example loads "a file
+//! containing the prefixes of the autonomous systems (AS) of AT&T IP
+//! peers (i.e., obtained from a routing table)". We generate an equivalent
+//! table: one line per prefix, `a.b.c.d/len id`, with nested prefixes so
+//! that longest-prefix-match is actually exercised (a /16 and a more
+//! specific /24 inside it mapping to different ids).
+
+use gs_packet::ip::fmt_ipv4;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixEntry {
+    /// Network address, host order, host bits zero.
+    pub prefix: u32,
+    /// Prefix length in bits.
+    pub len: u8,
+    /// The peer/AS id the prefix maps to.
+    pub id: u32,
+}
+
+/// Generate `coarse` top-level prefixes (each /8../16) and, inside a third
+/// of them, a more-specific child prefix with a *different* id, so LPM and
+/// first-match disagree.
+pub fn generate_prefixes(seed: u64, coarse: usize) -> Vec<PrefixEntry> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(coarse * 2);
+    let mut next_id = 1u32;
+    for i in 0..coarse {
+        let len = rng.gen_range(8u8..=16);
+        // Spread the coarse prefixes across the space deterministically so
+        // they do not collide with one another.
+        let base = ((i as u32) << 24) | (rng.gen::<u32>() & 0x00ff_ffff);
+        let prefix = base & (u32::MAX << (32 - len));
+        let id = next_id;
+        next_id += 1;
+        out.push(PrefixEntry { prefix, len, id });
+        if i % 3 == 0 {
+            // A more specific child inside this prefix, different id.
+            let child_len = rng.gen_range(len + 4..=28);
+            let child =
+                (prefix | (rng.gen::<u32>() & !(u32::MAX << (32 - len)))) & (u32::MAX << (32 - child_len));
+            out.push(PrefixEntry { prefix: child, len: child_len, id: next_id });
+            next_id += 1;
+        }
+    }
+    out
+}
+
+/// Render a table in the `peerid.tbl` text format the UDF loads.
+pub fn render_table(entries: &[PrefixEntry]) -> String {
+    let mut s = String::with_capacity(entries.len() * 24);
+    for e in entries {
+        s.push_str(&fmt_ipv4(e.prefix));
+        s.push('/');
+        s.push_str(&e.len.to_string());
+        s.push(' ');
+        s.push_str(&e.id.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+/// Reference longest-prefix match over the entry list (linear scan), used
+/// by tests to validate the runtime's trie.
+pub fn reference_lpm(entries: &[PrefixEntry], addr: u32) -> Option<u32> {
+    entries
+        .iter()
+        .filter(|e| {
+            let mask = if e.len == 0 { 0 } else { u32::MAX << (32 - e.len) };
+            addr & mask == e.prefix
+        })
+        .max_by_key(|e| e.len)
+        .map(|e| e.id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn children_are_nested_with_distinct_ids() {
+        let entries = generate_prefixes(1, 30);
+        assert!(entries.len() > 30);
+        // Find at least one (parent, child) nesting where LPM picks the child.
+        let mut found = false;
+        for c in &entries {
+            for p in &entries {
+                if p.len < c.len
+                    && c.prefix & (u32::MAX << (32 - p.len)) == p.prefix
+                    && p.id != c.id
+                {
+                    // An address inside the child must resolve to the child id.
+                    assert_eq!(reference_lpm(&entries, c.prefix), Some(c.id));
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "generator must produce nested prefixes");
+    }
+
+    #[test]
+    fn render_parses_back() {
+        let entries = generate_prefixes(2, 10);
+        let text = render_table(&entries);
+        for (line, e) in text.lines().zip(&entries) {
+            let (net, rest) = line.split_once('/').unwrap();
+            let (len, id) = rest.split_once(' ').unwrap();
+            assert_eq!(gs_packet::ip::parse_ipv4(net), Some(e.prefix));
+            assert_eq!(len.parse::<u8>().unwrap(), e.len);
+            assert_eq!(id.parse::<u32>().unwrap(), e.id);
+        }
+    }
+
+    #[test]
+    fn host_bits_are_clean() {
+        for e in generate_prefixes(3, 50) {
+            let mask = if e.len == 0 { 0 } else { u32::MAX << (32 - e.len) };
+            assert_eq!(e.prefix & !mask, 0);
+        }
+    }
+
+    #[test]
+    fn reference_lpm_miss() {
+        let entries = vec![PrefixEntry { prefix: 0x0a000000, len: 8, id: 9 }];
+        assert_eq!(reference_lpm(&entries, 0x0b000001), None);
+        assert_eq!(reference_lpm(&entries, 0x0a123456), Some(9));
+    }
+}

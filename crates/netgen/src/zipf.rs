@@ -1,0 +1,104 @@
+//! Zipf-distributed sampling over a finite population.
+//!
+//! Flow popularity on backbone links is heavily skewed; a Zipf law is the
+//! standard synthetic model. This sampler precomputes the CDF once and
+//! draws by binary search, so sampling is O(log n) with no rejection.
+
+use rand::Rng;
+
+/// A Zipf(`s`) sampler over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s` (`s = 0` is
+    /// uniform; typical traffic skew is `s ≈ 1`).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf population must be non-empty");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the population is empty (never true; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw a rank in `0..n`; rank 0 is the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf > u.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_one() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut top10 = 0usize;
+        let n = 50_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        // With s=1 and n=1000, H(10)/H(1000) ≈ 2.93/7.49 ≈ 0.39.
+        let frac = top10 as f64 / n as f64;
+        assert!((0.3..0.5).contains(&frac), "top-10 fraction {frac}");
+    }
+
+    #[test]
+    fn sample_always_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_population_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

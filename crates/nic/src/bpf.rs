@@ -1,0 +1,391 @@
+//! A classic-BPF-style packet filter machine.
+//!
+//! The paper (§3): "Other NICs allow us to specify a bpf (berkeley packet
+//! filter) preliminary filter, and to specify the number of bytes of
+//! qualifying packets (the snap length) to be returned (that is, we can
+//! push a simple selection/projection operator into the NIC)."
+//!
+//! This module defines the instruction set, a verifier enforcing the
+//! classic safety rules (forward-only jumps, in-bounds targets, terminating
+//! programs), and an interpreter over raw frame bytes. The GSQL optimizer
+//! compiles pushable predicates to these programs (`gs-gsql::pushdown`).
+
+use std::fmt;
+
+/// Maximum instructions a program may contain (classic BPF limit).
+pub const MAX_INSNS: usize = 4096;
+
+/// One filter instruction. `A` is the accumulator, `X` the index register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insn {
+    /// `A = pkt[k]` (byte), reject packet if out of bounds.
+    LdB(u32),
+    /// `A = be16(pkt[k..])`, reject if out of bounds.
+    LdH(u32),
+    /// `A = be32(pkt[k..])`, reject if out of bounds.
+    LdW(u32),
+    /// `A = pkt[X + k]` (byte), reject if out of bounds.
+    LdIndB(u32),
+    /// `A = be16(pkt[X + k..])`, reject if out of bounds.
+    LdIndH(u32),
+    /// `A = be32(pkt[X + k..])`, reject if out of bounds.
+    LdIndW(u32),
+    /// `A = k`.
+    LdImm(u32),
+    /// `X = 4 * (pkt[k] & 0x0f)` — the classic IP-header-length idiom.
+    LdxMshB(u32),
+    /// `X = k`.
+    LdxImm(u32),
+    /// `X = A`.
+    Tax,
+    /// `A = X`.
+    Txa,
+    /// `A = A + k` (wrapping).
+    Add(u32),
+    /// `A = A - k` (wrapping).
+    Sub(u32),
+    /// `A = A & k`.
+    And(u32),
+    /// `A = A | k`.
+    Or(u32),
+    /// `A = A << k` (masked shift).
+    Lsh(u32),
+    /// `A = A >> k` (masked shift).
+    Rsh(u32),
+    /// If `A == k` jump forward `jt` insns, else `jf`.
+    Jeq(u32, u8, u8),
+    /// If `A > k` jump forward `jt` insns, else `jf`.
+    Jgt(u32, u8, u8),
+    /// If `A >= k` jump forward `jt` insns, else `jf`.
+    Jge(u32, u8, u8),
+    /// If `A & k != 0` jump forward `jt` insns, else `jf`.
+    Jset(u32, u8, u8),
+    /// Unconditional forward jump by `k` insns.
+    Ja(u32),
+    /// Accept the packet (classic BPF returns a snap length; we treat any
+    /// nonzero return as accept and expose the value).
+    RetImm(u32),
+    /// Return `A`.
+    RetA,
+}
+
+/// Errors from [`BpfProgram::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BpfError {
+    /// Program is empty.
+    Empty,
+    /// Program exceeds [`MAX_INSNS`].
+    TooLong(usize),
+    /// A jump at `pc` lands at or beyond the end of the program.
+    JumpOutOfBounds {
+        /// Instruction index of the offending jump.
+        pc: usize,
+    },
+    /// The instruction at `pc` can fall through past the end of the
+    /// program (the last instruction must be a return or jump past-end is
+    /// caught above).
+    FallsOffEnd {
+        /// Instruction index that falls through.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for BpfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BpfError::Empty => write!(f, "empty program"),
+            BpfError::TooLong(n) => write!(f, "program has {n} insns (max {MAX_INSNS})"),
+            BpfError::JumpOutOfBounds { pc } => write!(f, "jump at insn {pc} out of bounds"),
+            BpfError::FallsOffEnd { pc } => write!(f, "insn {pc} can fall off the end"),
+        }
+    }
+}
+
+impl std::error::Error for BpfError {}
+
+/// A verified filter program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BpfProgram {
+    insns: Vec<Insn>,
+}
+
+impl BpfProgram {
+    /// Verify and wrap a program.
+    ///
+    /// The verifier enforces the classic BPF safety conditions: bounded
+    /// length, forward-only jumps with in-bounds targets, and no
+    /// fall-through past the end — together these guarantee termination in
+    /// at most `len` steps.
+    pub fn new(insns: Vec<Insn>) -> Result<BpfProgram, BpfError> {
+        if insns.is_empty() {
+            return Err(BpfError::Empty);
+        }
+        if insns.len() > MAX_INSNS {
+            return Err(BpfError::TooLong(insns.len()));
+        }
+        let n = insns.len();
+        for (pc, insn) in insns.iter().enumerate() {
+            match *insn {
+                Insn::Jeq(_, jt, jf)
+                | Insn::Jgt(_, jt, jf)
+                | Insn::Jge(_, jt, jf)
+                | Insn::Jset(_, jt, jf) => {
+                    // Both successor targets must be real instructions.
+                    if pc + 1 + jt as usize >= n || pc + 1 + jf as usize >= n {
+                        return Err(BpfError::JumpOutOfBounds { pc });
+                    }
+                }
+                Insn::Ja(k) => {
+                    if pc + 1 + k as usize >= n {
+                        return Err(BpfError::JumpOutOfBounds { pc });
+                    }
+                }
+                Insn::RetImm(_) | Insn::RetA => {}
+                _ => {
+                    // Straight-line instruction: must not fall off the end.
+                    if pc + 1 >= n {
+                        return Err(BpfError::FallsOffEnd { pc });
+                    }
+                }
+            }
+        }
+        Ok(BpfProgram { insns })
+    }
+
+    /// The verified instructions.
+    pub fn insns(&self) -> &[Insn] {
+        &self.insns
+    }
+
+    /// Run the filter over `pkt`. Returns the accept value (0 = reject;
+    /// nonzero = accept, conventionally the snap length to keep).
+    ///
+    /// Out-of-bounds loads reject the packet, as in classic BPF.
+    pub fn run(&self, pkt: &[u8]) -> u32 {
+        let mut a: u32 = 0;
+        let mut x: u32 = 0;
+        let mut pc = 0usize;
+        // The verifier guarantees forward progress; the loop bound is a
+        // defensive backstop.
+        for _ in 0..=self.insns.len() {
+            let Some(insn) = self.insns.get(pc) else { return 0 };
+            pc += 1;
+            match *insn {
+                Insn::LdB(k) => match pkt.get(k as usize) {
+                    Some(&b) => a = u32::from(b),
+                    None => return 0,
+                },
+                Insn::LdH(k) => match load16(pkt, k as usize) {
+                    Some(v) => a = v,
+                    None => return 0,
+                },
+                Insn::LdW(k) => match load32(pkt, k as usize) {
+                    Some(v) => a = v,
+                    None => return 0,
+                },
+                Insn::LdIndB(k) => match pkt.get((x as usize).wrapping_add(k as usize)) {
+                    Some(&b) => a = u32::from(b),
+                    None => return 0,
+                },
+                Insn::LdIndH(k) => match load16(pkt, (x as usize).wrapping_add(k as usize)) {
+                    Some(v) => a = v,
+                    None => return 0,
+                },
+                Insn::LdIndW(k) => match load32(pkt, (x as usize).wrapping_add(k as usize)) {
+                    Some(v) => a = v,
+                    None => return 0,
+                },
+                Insn::LdImm(k) => a = k,
+                Insn::LdxMshB(k) => match pkt.get(k as usize) {
+                    Some(&b) => x = 4 * u32::from(b & 0x0f),
+                    None => return 0,
+                },
+                Insn::LdxImm(k) => x = k,
+                Insn::Tax => x = a,
+                Insn::Txa => a = x,
+                Insn::Add(k) => a = a.wrapping_add(k),
+                Insn::Sub(k) => a = a.wrapping_sub(k),
+                Insn::And(k) => a &= k,
+                Insn::Or(k) => a |= k,
+                Insn::Lsh(k) => a = a.wrapping_shl(k),
+                Insn::Rsh(k) => a = a.wrapping_shr(k),
+                Insn::Jeq(k, jt, jf) => pc += if a == k { jt as usize } else { jf as usize },
+                Insn::Jgt(k, jt, jf) => pc += if a > k { jt as usize } else { jf as usize },
+                Insn::Jge(k, jt, jf) => pc += if a >= k { jt as usize } else { jf as usize },
+                Insn::Jset(k, jt, jf) => pc += if a & k != 0 { jt as usize } else { jf as usize },
+                Insn::Ja(k) => pc += k as usize,
+                Insn::RetImm(k) => return k,
+                Insn::RetA => return a,
+            }
+        }
+        0
+    }
+
+    /// Whether the program accepts `pkt`.
+    #[inline]
+    pub fn accepts(&self, pkt: &[u8]) -> bool {
+        self.run(pkt) != 0
+    }
+}
+
+#[inline]
+fn load16(pkt: &[u8], k: usize) -> Option<u32> {
+    pkt.get(k..k.checked_add(2)?)
+        .map(|s| u32::from(u16::from_be_bytes([s[0], s[1]])))
+}
+
+#[inline]
+fn load32(pkt: &[u8], k: usize) -> Option<u32> {
+    pkt.get(k..k.checked_add(4)?)
+        .map(|s| u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+/// Build the canonical "IPv4 TCP to port `port` over Ethernet" filter —
+///
+/// ```
+/// use gs_nic::bpf::tcp_dst_port_filter;
+/// use gs_packet::builder::FrameBuilder;
+///
+/// let f = tcp_dst_port_filter(80);
+/// assert!(f.accepts(&FrameBuilder::tcp(1, 2, 999, 80).build_ethernet()));
+/// assert!(!f.accepts(&FrameBuilder::udp(1, 2, 999, 80).build_ethernet()));
+/// ```
+///
+/// the LFTA prefilter of the paper's §4 experiment — handling variable IP
+/// header lengths and skipping fragments with nonzero offsets (their bytes
+/// are not a TCP header).
+pub fn tcp_dst_port_filter(port: u16) -> BpfProgram {
+    use Insn::*;
+    BpfProgram::new(vec![
+        LdH(12),                        // 0: ethertype
+        Jeq(0x0800, 0, 8),              // 1: not IPv4 -> reject (insn 10)
+        LdB(23),                        // 2: IP protocol
+        Jeq(6, 0, 6),                   // 3: not TCP -> reject
+        LdH(20),                        // 4: flags+frag
+        Jset(0x1fff, 4, 0),             // 5: nonzero frag offset -> reject
+        LdxMshB(14),                    // 6: X = IP header length
+        LdIndH(16),                     // 7: dst port at 14 + X + 2
+        Jeq(u32::from(port), 0, 1),     // 8: not the port -> reject
+        RetImm(u32::MAX),               // 9: accept whole packet
+        RetImm(0),                      // 10: reject
+    ])
+    .expect("static filter verifies")
+}
+
+/// Build an "accept everything, snap to `snaplen`" program.
+pub fn accept_all(snaplen: u32) -> BpfProgram {
+    BpfProgram::new(vec![Insn::RetImm(snaplen)]).expect("single ret verifies")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_packet::builder::FrameBuilder;
+
+    #[test]
+    fn verifier_rejects_empty_and_overlong() {
+        assert_eq!(BpfProgram::new(vec![]).unwrap_err(), BpfError::Empty);
+        let long = vec![Insn::LdImm(0); MAX_INSNS + 1];
+        assert!(matches!(BpfProgram::new(long), Err(BpfError::TooLong(_))));
+    }
+
+    #[test]
+    fn verifier_rejects_fall_off_end() {
+        let p = BpfProgram::new(vec![Insn::LdImm(1)]);
+        assert!(matches!(p, Err(BpfError::FallsOffEnd { pc: 0 })));
+    }
+
+    #[test]
+    fn verifier_rejects_oob_jump() {
+        let p = BpfProgram::new(vec![Insn::Jeq(0, 5, 0), Insn::RetImm(0)]);
+        assert!(matches!(p, Err(BpfError::JumpOutOfBounds { pc: 0 })));
+        let p = BpfProgram::new(vec![Insn::Ja(1), Insn::RetImm(0)]);
+        assert!(matches!(p, Err(BpfError::JumpOutOfBounds { pc: 0 })));
+    }
+
+    #[test]
+    fn port_filter_matches_only_tcp_port() {
+        let f = tcp_dst_port_filter(80);
+        let yes = FrameBuilder::tcp(1, 2, 1000, 80).payload(b"x").build_ethernet();
+        let no_port = FrameBuilder::tcp(1, 2, 1000, 81).payload(b"x").build_ethernet();
+        let no_udp = FrameBuilder::udp(1, 2, 1000, 80).payload(b"x").build_ethernet();
+        assert!(f.accepts(&yes));
+        assert!(!f.accepts(&no_port));
+        assert!(!f.accepts(&no_udp));
+    }
+
+    #[test]
+    fn port_filter_rejects_fragments_and_garbage() {
+        let f = tcp_dst_port_filter(80);
+        let frag = FrameBuilder::tcp(1, 2, 1000, 80)
+            .payload(&[0u8; 32])
+            .fragment(4, false)
+            .build_ethernet();
+        assert!(!f.accepts(&frag));
+        assert!(!f.accepts(&[0u8; 6]));
+        assert!(!f.accepts(&[]));
+    }
+
+    #[test]
+    fn ldxmsh_handles_ip_options() {
+        // Hand-build an Ethernet+IPv4 frame with IHL=6 (24-byte header).
+        let mut frame = vec![0u8; 14 + 24 + 20];
+        frame[12] = 0x08; // IPv4 ethertype
+        frame[14] = 0x46; // version 4, IHL 6
+        frame[23] = 6; // TCP
+        // dst port at 14 + 24 + 2 = 40
+        frame[40] = 0;
+        frame[41] = 80;
+        assert!(tcp_dst_port_filter(80).accepts(&frame));
+        assert!(!tcp_dst_port_filter(79).accepts(&frame));
+    }
+
+    #[test]
+    fn alu_and_ret_a() {
+        use Insn::*;
+        let p = BpfProgram::new(vec![
+            LdImm(0b1100),
+            And(0b1010),
+            Or(1),
+            Lsh(2),
+            Rsh(1),
+            Add(5),
+            Sub(2),
+            RetA,
+        ])
+        .unwrap();
+        // ((0b1100 & 0b1010) | 1) = 0b1001 = 9; <<2 = 36; >>1 = 18; +5-2 = 21
+        assert_eq!(p.run(&[]), 21);
+    }
+
+    #[test]
+    fn tax_txa_and_indexed_loads() {
+        use Insn::*;
+        let p = BpfProgram::new(vec![LdImm(2), Tax, LdIndB(1), RetA]).unwrap();
+        assert_eq!(p.run(&[10, 20, 30, 40]), 40);
+        // Out-of-bounds indexed load rejects.
+        assert_eq!(p.run(&[10, 20, 30]), 0);
+        let p = BpfProgram::new(vec![LdxImm(7), Txa, RetA]).unwrap();
+        assert_eq!(p.run(&[]), 7);
+    }
+
+    #[test]
+    fn accept_all_returns_snaplen() {
+        assert_eq!(accept_all(96).run(&[1, 2, 3]), 96);
+    }
+
+    #[test]
+    fn jgt_jge_branches() {
+        use Insn::*;
+        let gt = |v| {
+            BpfProgram::new(vec![LdImm(v), Jgt(5, 0, 1), RetImm(1), RetImm(0)]).unwrap().run(&[])
+        };
+        assert_eq!(gt(6), 1);
+        assert_eq!(gt(5), 0);
+        let ge = |v| {
+            BpfProgram::new(vec![LdImm(v), Jge(5, 0, 1), RetImm(1), RetImm(0)]).unwrap().run(&[])
+        };
+        assert_eq!(ge(5), 1);
+        assert_eq!(ge(4), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! The dump-to-disk host action — the paper's option 1.
+//!
+//! "Touching disk kills performance not because it is slow but because it
+//! generates long and unpredictable delays throughout the system." The
+//! model charges a per-byte sequential write cost plus a long stall every
+//! `disk_stall_every_bytes` written (filesystem flush / seek). The stalls
+//! are what overflow the RX ring in bursts well before the nominal
+//! sequential bandwidth is reached.
+
+use crate::cost::CostModel;
+use crate::sim::HostAction;
+use gs_packet::CapPacket;
+
+/// Host action modelling a trace dump to striped disks.
+#[derive(Debug)]
+pub struct DiskDumpHost {
+    per_byte_ns: f64,
+    stall_ns: u64,
+    stall_every_bytes: u64,
+    bytes_since_stall: u64,
+    /// Total bytes "written".
+    pub bytes_written: u64,
+    /// Number of stalls incurred.
+    pub stalls: u64,
+}
+
+impl DiskDumpHost {
+    /// Build from the cost model's disk constants.
+    pub fn new(costs: &CostModel) -> DiskDumpHost {
+        DiskDumpHost {
+            per_byte_ns: costs.disk_per_byte_ns,
+            stall_ns: costs.disk_stall_ns,
+            stall_every_bytes: costs.disk_stall_every_bytes.max(1),
+            bytes_since_stall: 0,
+            bytes_written: 0,
+            stalls: 0,
+        }
+    }
+}
+
+impl HostAction for DiskDumpHost {
+    fn handle(&mut self, pkt: &CapPacket) -> u64 {
+        let n = pkt.data.len() as u64;
+        self.bytes_written += n;
+        self.bytes_since_stall += n;
+        let mut cost = (self.per_byte_ns * n as f64) as u64;
+        while self.bytes_since_stall >= self.stall_every_bytes {
+            self.bytes_since_stall -= self.stall_every_bytes;
+            self.stalls += 1;
+            cost += self.stall_ns;
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{CaptureSim, DiscardHost};
+    use bytes::Bytes;
+    use gs_packet::capture::LinkType;
+
+    fn arrivals(n: u64, size: usize, gap_ns: u64) -> impl Iterator<Item = CapPacket> {
+        (0..n).map(move |i| {
+            CapPacket::full(i * gap_ns, 0, LinkType::RawIp, Bytes::from(vec![0u8; size]))
+        })
+    }
+
+    #[test]
+    fn stall_accounting() {
+        let costs = CostModel { disk_stall_every_bytes: 1000, ..CostModel::default() };
+        let mut d = DiskDumpHost::new(&costs);
+        let pkt = CapPacket::full(0, 0, LinkType::RawIp, Bytes::from(vec![0u8; 600]));
+        let c1 = d.handle(&pkt);
+        assert_eq!(d.stalls, 0);
+        let c2 = d.handle(&pkt); // crosses 1000 bytes
+        assert_eq!(d.stalls, 1);
+        assert!(c2 > c1);
+        assert_eq!(d.bytes_written, 1200);
+    }
+
+    #[test]
+    fn disk_path_loses_before_discard_path() {
+        let sim = CaptureSim::default();
+        // ~220 Mbit/s at 551 B packets: gap = 551*8/220e6 s ≈ 20 µs.
+        let gap = 20_000;
+        let mut discard = DiscardHost::default();
+        let r_discard = sim.run(arrivals(150_000, 551, gap), None, &mut discard);
+        let mut disk = DiskDumpHost::new(&sim.costs);
+        let r_disk = sim.run(arrivals(150_000, 551, gap), None, &mut disk);
+        assert!(r_discard.loss_rate() < 0.005, "discard loss {}", r_discard.loss_rate());
+        assert!(r_disk.loss_rate() > 0.02, "disk loss {}", r_disk.loss_rate());
+    }
+
+    #[test]
+    fn stalls_cause_bursty_ring_occupancy() {
+        let sim = CaptureSim::default();
+        // Below nominal disk bandwidth, stalls still push the ring high.
+        let gap = 40_000;
+        let mut disk = DiskDumpHost::new(&sim.costs);
+        let r = sim.run(arrivals(100_000, 551, gap), None, &mut disk);
+        assert!(disk.stalls > 10);
+        assert!(r.ring_high_water > 32, "high water {}", r.ring_high_water);
+    }
+}

@@ -1,0 +1,115 @@
+//! Functional (untimed) capture-path combinators for the real runtime.
+//!
+//! When Gigascope runs for real (not under the discrete-event model), the
+//! NIC pushdown still has a *semantic* effect: a BPF prefilter removes
+//! packets before interpretation and a snap length truncates what is
+//! captured. [`CapturePath`] applies both to any packet stream; the engine
+//! builds one per `Interface.Protocol` binding.
+
+use crate::bpf::BpfProgram;
+use gs_packet::CapPacket;
+
+/// A named capture point: packets flow through an optional BPF prefilter
+/// and snap-length truncation, mirroring what the paper pushes into NICs.
+pub struct CapturePath<I> {
+    inner: I,
+    filter: Option<BpfProgram>,
+    snaplen: Option<usize>,
+    seen: u64,
+    passed: u64,
+}
+
+impl<I: Iterator<Item = CapPacket>> CapturePath<I> {
+    /// Wrap a raw packet stream with no filtering.
+    pub fn new(inner: I) -> CapturePath<I> {
+        CapturePath { inner, filter: None, snaplen: None, seen: 0, passed: 0 }
+    }
+
+    /// Install a BPF prefilter ("specify a bpf preliminary filter").
+    pub fn with_filter(mut self, prog: BpfProgram) -> Self {
+        self.filter = Some(prog);
+        self
+    }
+
+    /// Install a snap length ("the number of bytes of qualifying packets
+    /// to be returned").
+    pub fn with_snaplen(mut self, snaplen: usize) -> Self {
+        self.snaplen = Some(snaplen);
+        self
+    }
+
+    /// Packets seen on the wire so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Packets that passed the prefilter so far.
+    pub fn passed(&self) -> u64 {
+        self.passed
+    }
+}
+
+impl<I: Iterator<Item = CapPacket>> Iterator for CapturePath<I> {
+    type Item = CapPacket;
+
+    fn next(&mut self) -> Option<CapPacket> {
+        loop {
+            let pkt = self.inner.next()?;
+            self.seen += 1;
+            if let Some(f) = &self.filter {
+                if !f.accepts(&pkt.data) {
+                    continue;
+                }
+            }
+            self.passed += 1;
+            return Some(match self.snaplen {
+                Some(s) => pkt.snap(s),
+                None => pkt,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bpf::tcp_dst_port_filter;
+    use gs_packet::builder::FrameBuilder;
+    use gs_packet::capture::LinkType;
+
+    fn pkts() -> Vec<CapPacket> {
+        let mut v = Vec::new();
+        for i in 0..10u64 {
+            let port = if i % 2 == 0 { 80 } else { 25 };
+            let frame = FrameBuilder::tcp(1, 2, 999, port).payload(&[0u8; 200]).build_ethernet();
+            v.push(CapPacket::full(i, 0, LinkType::Ethernet, frame));
+        }
+        v
+    }
+
+    #[test]
+    fn filter_and_snap_apply() {
+        let path = CapturePath::new(pkts().into_iter())
+            .with_filter(tcp_dst_port_filter(80))
+            .with_snaplen(60);
+        let out: Vec<_> = path.collect();
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|p| p.data.len() == 60));
+        assert!(out.iter().all(|p| p.wire_len == 254));
+    }
+
+    #[test]
+    fn counters_track() {
+        let mut path = CapturePath::new(pkts().into_iter()).with_filter(tcp_dst_port_filter(80));
+        let n = path.by_ref().count();
+        assert_eq!(n, 5);
+        assert_eq!(path.seen(), 10);
+        assert_eq!(path.passed(), 5);
+    }
+
+    #[test]
+    fn no_filter_passes_everything() {
+        let out: Vec<_> = CapturePath::new(pkts().into_iter()).collect();
+        assert_eq!(out.len(), 10);
+    }
+}

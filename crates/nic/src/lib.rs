@@ -1,0 +1,36 @@
+//! Simulated NIC and host capture path.
+//!
+//! The paper's §4 experiment compares four capture configurations on a
+//! 733 MHz host with a programmable Tigon gigabit NIC. We do not have that
+//! hardware; this crate substitutes a discrete-event model of the capture
+//! path whose *structure* — where per-packet work happens, and how much
+//! happens before data reduction — determines the outcome, exactly as in
+//! the paper (see DESIGN.md §3):
+//!
+//! - [`ring`]: the fixed-capacity RX ring; overflow = packet drop;
+//! - [`bpf`]: a classic-BPF-style filter machine the optimizer can push
+//!   selections into ("Other NICs allow us to specify a bpf preliminary
+//!   filter, and ... the snap length");
+//! - [`cost`]: the calibrated per-packet cost model standing in for the
+//!   733 MHz host, the Tigon firmware, and the striped disks;
+//! - [`sim`]: the event-driven capture simulator with an interrupt model
+//!   that reproduces receive livelock;
+//! - [`disk`]: the dump-to-disk host action with periodic long stalls
+//!   ("Touching disk kills performance ... because it generates long and
+//!   unpredictable delays");
+//! - [`iface`]: functional (untimed) capture-path combinators used by the
+//!   real runtime: BPF prefilter + snap length applied to a packet stream.
+
+#![warn(missing_docs)]
+
+pub mod bpf;
+pub mod cost;
+pub mod disk;
+pub mod iface;
+pub mod ring;
+pub mod sim;
+
+pub use bpf::{BpfError, BpfProgram, Insn};
+pub use cost::CostModel;
+pub use ring::RxRing;
+pub use sim::{CaptureSim, HostAction, NicAction, NicVerdict, SimReport};

@@ -1,0 +1,133 @@
+//! The RX ring: a fixed-capacity FIFO between the interrupt path and the
+//! host service loop. When the ring is full an arriving packet is dropped
+//! and counted — the quantity the whole §4 experiment measures.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO with drop accounting.
+#[derive(Debug)]
+pub struct RxRing<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+    accepted: u64,
+    high_water: usize,
+}
+
+impl<T> RxRing<T> {
+    /// Create a ring holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> RxRing<T> {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RxRing {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+            accepted: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Offer an entry; returns `true` if enqueued, `false` if dropped.
+    pub fn offer(&mut self, item: T) -> bool {
+        if self.buf.len() >= self.capacity {
+            self.dropped += 1;
+            false
+        } else {
+            self.buf.push_back(item);
+            self.accepted += 1;
+            self.high_water = self.high_water.max(self.buf.len());
+            true
+        }
+    }
+
+    /// Dequeue the oldest entry.
+    pub fn pop(&mut self) -> Option<T> {
+        self.buf.pop_front()
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the next offer would drop.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() >= self.capacity
+    }
+
+    /// Total entries dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total entries successfully enqueued.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Maximum occupancy observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut r = RxRing::new(4);
+        for i in 0..4 {
+            assert!(r.offer(i));
+        }
+        assert_eq!(r.pop(), Some(0));
+        assert_eq!(r.pop(), Some(1));
+        assert!(r.offer(4));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(4));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn drops_when_full() {
+        let mut r = RxRing::new(2);
+        assert!(r.offer(1));
+        assert!(r.offer(2));
+        assert!(r.is_full());
+        assert!(!r.offer(3));
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.accepted(), 2);
+        r.pop();
+        assert!(r.offer(3));
+        assert_eq!(r.accepted(), 3);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut r = RxRing::new(8);
+        for i in 0..5 {
+            r.offer(i);
+        }
+        for _ in 0..5 {
+            r.pop();
+        }
+        r.offer(9);
+        assert_eq!(r.high_water(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = RxRing::<u8>::new(0);
+    }
+}

@@ -1,0 +1,395 @@
+//! The discrete-event capture-path simulator.
+//!
+//! Models one monitoring host receiving a timestamped arrival stream:
+//!
+//! ```text
+//!   arrivals ──▶ [NIC stage: optional BPF/LFTA offload] ──▶ interrupt
+//!                  │ (drop: filtered or NIC saturated)        │
+//!                  ▼                                          ▼
+//!               NIC drop                           [RX ring] ──▶ host
+//!                                                    │ (full: drop)
+//!                                                    ▼
+//!                                              host service loop
+//! ```
+//!
+//! Virtual time advances with the arrival stream. Each arrival charges the
+//! host an interrupt cost *before* any service work — interrupts preempt
+//! the service loop, so when the arrival rate times the interrupt cost
+//! approaches 1 the host performs no service at all and the ring overflows:
+//! receive livelock, exactly the failure mode the paper observed at the
+//! libpcap limit ("At this point the system experienced interrupt
+//! livelock").
+//!
+//! The host action runs *real* code per packet (e.g. an actual compiled
+//! LFTA) and returns the additional virtual cost to charge, so simulated
+//! experiments produce genuine query answers and calibrated timings at
+//! once.
+
+use crate::cost::CostModel;
+use crate::ring::RxRing;
+use gs_packet::CapPacket;
+
+/// NIC-stage decision for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NicVerdict {
+    /// Filtered out on the NIC; never reaches the host.
+    Filtered,
+    /// Deliver to the host, optionally truncated to a snap length.
+    Pass {
+        /// Truncate the captured bytes to this length if set.
+        snaplen: Option<usize>,
+    },
+}
+
+/// Packet processing performed on the NIC (firmware BPF filter or an
+/// offloaded LFTA). The simulator charges [`CostModel::nic_per_pkt_ns`]
+/// per handled packet.
+pub trait NicAction {
+    /// Inspect a packet and decide its fate.
+    fn handle(&mut self, pkt: &CapPacket) -> NicVerdict;
+}
+
+/// Packet processing performed on the host after the ring. Implementations
+/// do real work (count, run an LFTA, "write" to disk) and return the extra
+/// virtual cost in nanoseconds beyond the interrupt + copy charges.
+pub trait HostAction {
+    /// Process one packet; returns additional virtual service cost (ns).
+    fn handle(&mut self, pkt: &CapPacket) -> u64;
+}
+
+/// Host action that reads and discards — the paper's option 2 ("reading
+/// data from the ethernet card using libpcap, then discarding the packet
+/// (best case processing)").
+#[derive(Debug, Default)]
+pub struct DiscardHost {
+    /// Packets seen.
+    pub count: u64,
+}
+
+impl HostAction for DiscardHost {
+    fn handle(&mut self, _pkt: &CapPacket) -> u64 {
+        self.count += 1;
+        0
+    }
+}
+
+/// Host action with a fixed extra cost per packet; useful in tests and
+/// calibration sweeps.
+#[derive(Debug)]
+pub struct FixedCostHost(
+    /// Extra virtual cost charged per packet, nanoseconds.
+    pub u64,
+);
+
+impl HostAction for FixedCostHost {
+    fn handle(&mut self, _pkt: &CapPacket) -> u64 {
+        self.0
+    }
+}
+
+/// NIC action applying a verified BPF program: reject on 0, otherwise snap
+/// to the returned length.
+#[derive(Debug)]
+pub struct BpfNicFilter {
+    prog: crate::bpf::BpfProgram,
+    /// Packets the filter rejected.
+    pub rejected: u64,
+}
+
+impl BpfNicFilter {
+    /// Wrap a program as a NIC action.
+    pub fn new(prog: crate::bpf::BpfProgram) -> BpfNicFilter {
+        BpfNicFilter { prog, rejected: 0 }
+    }
+}
+
+impl NicAction for BpfNicFilter {
+    fn handle(&mut self, pkt: &CapPacket) -> NicVerdict {
+        match self.prog.run(&pkt.data) {
+            0 => {
+                self.rejected += 1;
+                NicVerdict::Filtered
+            }
+            u32::MAX => NicVerdict::Pass { snaplen: None },
+            snap => NicVerdict::Pass { snaplen: Some(snap as usize) },
+        }
+    }
+}
+
+/// Outcome counters of one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimReport {
+    /// Packets offered on the wire.
+    pub offered: u64,
+    /// Wire bytes offered.
+    pub offered_bytes: u64,
+    /// Packets dropped because the NIC stage was saturated.
+    pub nic_dropped: u64,
+    /// Packets intentionally filtered by the NIC stage (not a loss).
+    pub nic_filtered: u64,
+    /// Packets dropped because the RX ring was full.
+    pub ring_dropped: u64,
+    /// Packets the host service loop processed.
+    pub host_processed: u64,
+    /// Peak ring occupancy.
+    pub ring_high_water: usize,
+    /// Virtual time at which the last packet finished service.
+    pub end_ns: u64,
+}
+
+impl SimReport {
+    /// Fraction of offered packets lost (NIC saturation + ring overflow).
+    /// Intentional NIC filtering is data reduction, not loss.
+    pub fn loss_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            (self.nic_dropped + self.ring_dropped) as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Configuration of a capture simulation.
+pub struct CaptureSim {
+    /// Cost constants.
+    pub costs: CostModel,
+    /// RX ring capacity in packets (256 descriptors was typical for the
+    /// era's gigabit NICs).
+    pub ring_capacity: usize,
+    /// Bound on NIC-stage backlog (ns of work queued) before the NIC drops;
+    /// models the small on-card buffer.
+    pub nic_queue_ns: u64,
+}
+
+impl Default for CaptureSim {
+    fn default() -> CaptureSim {
+        CaptureSim { costs: CostModel::default(), ring_capacity: 256, nic_queue_ns: 1_000_000 }
+    }
+}
+
+impl CaptureSim {
+    /// Run the simulation over `arrivals` (must be timestamp-ordered).
+    ///
+    /// `nic` is the optional NIC offload stage; `host` is the per-packet
+    /// host work. Returns drop accounting and timing.
+    pub fn run<I>(
+        &self,
+        arrivals: I,
+        mut nic: Option<&mut dyn NicAction>,
+        host: &mut dyn HostAction,
+    ) -> SimReport
+    where
+        I: Iterator<Item = CapPacket>,
+    {
+        let mut ring: RxRing<CapPacket> = RxRing::new(self.ring_capacity);
+        let mut report = SimReport::default();
+        let mut nic_busy_ns: u64 = 0;
+
+        // The host is a preempt-resume priority server: interrupt work
+        // always runs before service work. Between consecutive arrivals it
+        // first pays down outstanding interrupt debt, then spends whatever
+        // time remains servicing ring entries. When the offered interrupt
+        // load alone reaches 1, no service time remains — livelock.
+        let mut prev_t: u64 = 0;
+        let mut intr_debt_ns: u64 = 0; // unpaid interrupt work
+        let mut svc_rem_ns: u64 = 0; // remaining work on the in-flight packet
+        let mut in_flight = false; // whether svc_rem refers to a popped packet
+
+        for pkt in arrivals {
+            let t = pkt.ts_ns.max(prev_t);
+            report.offered += 1;
+            report.offered_bytes += u64::from(pkt.wire_len);
+
+            // ---- Advance the host through (prev_t, t] ----
+            let mut dt = t - prev_t;
+            prev_t = t;
+            let paid = dt.min(intr_debt_ns);
+            intr_debt_ns -= paid;
+            dt -= paid;
+            while dt > 0 {
+                if !in_flight {
+                    let Some(queued) = ring.pop() else { break };
+                    svc_rem_ns = self.costs.host_copy_ns(queued.data.len()) + host.handle(&queued);
+                    in_flight = true;
+                }
+                let spent = dt.min(svc_rem_ns);
+                svc_rem_ns -= spent;
+                dt -= spent;
+                if svc_rem_ns == 0 {
+                    in_flight = false;
+                    report.host_processed += 1;
+                }
+            }
+
+            // ---- NIC stage ----
+            let delivered = if let Some(nic) = nic.as_deref_mut() {
+                let start = nic_busy_ns.max(t);
+                if start - t > self.nic_queue_ns {
+                    // The firmware cannot keep up; the on-card buffer is
+                    // exhausted and the packet is lost before filtering.
+                    report.nic_dropped += 1;
+                    continue;
+                }
+                nic_busy_ns = start + self.costs.nic_per_pkt_ns;
+                match nic.handle(&pkt) {
+                    NicVerdict::Filtered => {
+                        report.nic_filtered += 1;
+                        continue;
+                    }
+                    NicVerdict::Pass { snaplen } => {
+                        nic_busy_ns += self.costs.nic_to_host_ns;
+                        match snaplen {
+                            Some(s) => pkt.snap(s),
+                            None => pkt,
+                        }
+                    }
+                }
+            } else {
+                pkt
+            };
+
+            // ---- Interrupt: preempts service, charged unconditionally ----
+            intr_debt_ns += self.costs.host_intr_ns;
+
+            // ---- Ring admission ----
+            if !ring.offer(delivered) {
+                report.ring_dropped += 1;
+            }
+        }
+
+        // Stream over: the host drains the remainder at leisure.
+        let mut end_ns = prev_t + intr_debt_ns + svc_rem_ns;
+        if in_flight {
+            // Finish the packet whose service the stream's end interrupted.
+            report.host_processed += 1;
+        }
+        while let Some(queued) = ring.pop() {
+            let svc = self.costs.host_copy_ns(queued.data.len()) + host.handle(&queued);
+            end_ns += svc;
+            report.host_processed += 1;
+        }
+
+        report.ring_high_water = ring.high_water();
+        report.ring_dropped = ring.dropped();
+        report.end_ns = end_ns.max(nic_busy_ns);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use gs_packet::capture::LinkType;
+
+    /// `n` packets of `size` bytes at fixed `gap_ns` spacing.
+    fn arrivals(n: u64, size: usize, gap_ns: u64) -> impl Iterator<Item = CapPacket> {
+        (0..n).map(move |i| {
+            CapPacket::full(i * gap_ns, 0, LinkType::RawIp, Bytes::from(vec![0u8; size]))
+        })
+    }
+
+    #[test]
+    fn low_rate_is_lossless() {
+        let sim = CaptureSim::default();
+        // 10 kpkt/s of 551 B: far below capacity.
+        let mut host = DiscardHost::default();
+        let r = sim.run(arrivals(10_000, 551, 100_000), None, &mut host);
+        assert_eq!(r.loss_rate(), 0.0);
+        assert_eq!(r.host_processed, 10_000);
+        assert_eq!(host.count, 10_000);
+    }
+
+    #[test]
+    fn overload_drops_roughly_excess() {
+        let sim = CaptureSim::default();
+        // At a 7.5 µs gap the 6 µs interrupt eats 80% of the host; the
+        // 1.5 µs left per arrival covers half of the ~3 µs copy cost, so
+        // roughly half the packets should drop.
+        let mut host = DiscardHost::default();
+        let r = sim.run(arrivals(200_000, 551, 7_500), None, &mut host);
+        let loss = r.loss_rate();
+        assert!((0.35..0.65).contains(&loss), "loss {loss}");
+        assert_eq!(r.offered, r.host_processed + r.ring_dropped);
+    }
+
+    #[test]
+    fn livelock_at_extreme_rate() {
+        let sim = CaptureSim::default();
+        // Gap below the interrupt cost: the host does nothing but take
+        // interrupts. Once the ring fills, *everything* drops.
+        let mut host = DiscardHost::default();
+        let r = sim.run(arrivals(100_000, 551, 3_000), None, &mut host);
+        // Only the initial ring fill (plus the final drain) is processed.
+        assert!(r.host_processed <= sim.ring_capacity as u64 + 1);
+        assert!(r.loss_rate() > 0.99 - sim.ring_capacity as f64 / 100_000.0);
+    }
+
+    #[test]
+    fn nic_filter_reduces_host_load() {
+        let sim = CaptureSim::default();
+        // All packets are bare IP, so the port-80 Ethernet filter rejects
+        // them on the NIC: the host sees nothing even at a hostile rate.
+        let mut nic = BpfNicFilter::new(crate::bpf::tcp_dst_port_filter(80));
+        let mut host = DiscardHost::default();
+        let r = sim.run(arrivals(100_000, 551, 2_000), Some(&mut nic), &mut host);
+        assert_eq!(r.nic_filtered, 100_000);
+        assert_eq!(r.host_processed, 0);
+        assert_eq!(r.loss_rate(), 0.0, "filtering is not loss");
+    }
+
+    #[test]
+    fn nic_saturates_when_gap_below_firmware_cost() {
+        let sim = CaptureSim::default();
+        let mut nic = BpfNicFilter::new(crate::bpf::accept_all(u32::MAX));
+        let mut host = DiscardHost::default();
+        // Gap 600 ns < 1200 ns firmware cost: NIC backlog grows until the
+        // queue bound trips, then the NIC drops.
+        let r = sim.run(arrivals(50_000, 551, 600), Some(&mut nic), &mut host);
+        assert!(r.nic_dropped > 0);
+    }
+
+    #[test]
+    fn snaplen_cuts_host_copy_cost() {
+        let sim = CaptureSim::default();
+        // Accept-all with a 96-byte snap: the host copy cost per packet
+        // falls, raising capacity. Compare processed counts at a rate that
+        // overloads the unsnapped path.
+        let gap = 8_200; // just below the full-size capacity
+        let mut full_nic = BpfNicFilter::new(crate::bpf::accept_all(u32::MAX));
+        let mut snap_nic = BpfNicFilter::new(crate::bpf::accept_all(96));
+        let mut h1 = DiscardHost::default();
+        let mut h2 = DiscardHost::default();
+        let r_full = sim.run(arrivals(100_000, 1500, gap), Some(&mut full_nic), &mut h1);
+        let r_snap = sim.run(arrivals(100_000, 1500, gap), Some(&mut snap_nic), &mut h2);
+        assert!(
+            r_snap.loss_rate() < r_full.loss_rate(),
+            "snap {} vs full {}",
+            r_snap.loss_rate(),
+            r_full.loss_rate()
+        );
+    }
+
+    #[test]
+    fn extra_host_cost_lowers_capacity() {
+        let sim = CaptureSim::default();
+        let gap = 9_200;
+        let mut cheap = DiscardHost::default();
+        let r_cheap = sim.run(arrivals(100_000, 551, gap), None, &mut cheap);
+        let mut expensive = FixedCostHost(20_000);
+        let r_exp = sim.run(arrivals(100_000, 551, gap), None, &mut expensive);
+        assert!(r_exp.loss_rate() > r_cheap.loss_rate() + 0.1);
+    }
+
+    #[test]
+    fn accounting_identity_holds() {
+        let sim = CaptureSim::default();
+        let mut nic = BpfNicFilter::new(crate::bpf::accept_all(u32::MAX));
+        let mut host = DiscardHost::default();
+        let r = sim.run(arrivals(60_000, 551, 5_000), Some(&mut nic), &mut host);
+        assert_eq!(
+            r.offered,
+            r.nic_dropped + r.nic_filtered + r.ring_dropped + r.host_processed
+        );
+    }
+}

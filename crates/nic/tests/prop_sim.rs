@@ -1,0 +1,147 @@
+//! Property tests on the capture-path simulator and the BPF machine.
+
+use bytes::Bytes;
+use gs_nic::bpf::{BpfProgram, Insn};
+use gs_nic::sim::{BpfNicFilter, CaptureSim, DiscardHost, FixedCostHost};
+use gs_nic::CostModel;
+use gs_packet::capture::{CapPacket, LinkType};
+use proptest::prelude::*;
+
+fn arrivals(gaps: Vec<u32>, sizes: Vec<u16>) -> Vec<CapPacket> {
+    let mut t = 0u64;
+    gaps.into_iter()
+        .zip(sizes)
+        .map(|(g, s)| {
+            t += u64::from(g);
+            CapPacket::full(
+                t,
+                0,
+                LinkType::RawIp,
+                Bytes::from(vec![0u8; usize::from(s.max(20))]),
+            )
+        })
+        .collect()
+}
+
+/// Arbitrary (possibly invalid) instructions for verifier fuzzing.
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        any::<u32>().prop_map(Insn::LdB),
+        any::<u32>().prop_map(Insn::LdH),
+        any::<u32>().prop_map(Insn::LdW),
+        any::<u32>().prop_map(Insn::LdImm),
+        any::<u32>().prop_map(Insn::LdxImm),
+        any::<u32>().prop_map(Insn::LdxMshB),
+        any::<u32>().prop_map(Insn::LdIndB),
+        Just(Insn::Tax),
+        Just(Insn::Txa),
+        any::<u32>().prop_map(Insn::Add),
+        any::<u32>().prop_map(Insn::And),
+        (0u32..16).prop_map(Insn::Lsh),
+        (any::<u32>(), 0u8..8, 0u8..8).prop_map(|(k, jt, jf)| Insn::Jeq(k, jt, jf)),
+        (any::<u32>(), 0u8..8, 0u8..8).prop_map(|(k, jt, jf)| Insn::Jgt(k, jt, jf)),
+        (0u32..8).prop_map(Insn::Ja),
+        any::<u32>().prop_map(Insn::RetImm),
+        Just(Insn::RetA),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sim_accounting_identity(
+        gaps in proptest::collection::vec(1_000u32..40_000, 1..400),
+        sizes in proptest::collection::vec(64u16..1500, 1..400),
+        host_cost in 0u64..30_000,
+        use_nic in any::<bool>(),
+    ) {
+        let n = gaps.len().min(sizes.len());
+        let pkts = arrivals(gaps[..n].to_vec(), sizes[..n].to_vec());
+        let sim = CaptureSim::default();
+        let mut host = FixedCostHost(host_cost);
+        let mut nic = BpfNicFilter::new(gs_nic::bpf::accept_all(u32::MAX));
+        let r = sim.run(
+            pkts.into_iter(),
+            use_nic.then_some(&mut nic as &mut dyn gs_nic::sim::NicAction),
+            &mut host,
+        );
+        prop_assert_eq!(
+            r.offered,
+            r.nic_dropped + r.nic_filtered + r.ring_dropped + r.host_processed,
+            "every packet must be accounted exactly once"
+        );
+        prop_assert!(r.loss_rate() >= 0.0 && r.loss_rate() <= 1.0);
+    }
+
+    #[test]
+    fn sim_loss_monotone_in_host_cost(
+        gaps in proptest::collection::vec(2_000u32..20_000, 50..200),
+        sizes in proptest::collection::vec(64u16..1500, 50..200),
+    ) {
+        let n = gaps.len().min(sizes.len());
+        let sim = CaptureSim::default();
+        let mut cheap = FixedCostHost(0);
+        let mut costly = FixedCostHost(50_000);
+        let l0 = sim
+            .run(arrivals(gaps[..n].to_vec(), sizes[..n].to_vec()).into_iter(), None, &mut cheap)
+            .loss_rate();
+        let l1 = sim
+            .run(arrivals(gaps[..n].to_vec(), sizes[..n].to_vec()).into_iter(), None, &mut costly)
+            .loss_rate();
+        prop_assert!(l1 >= l0, "more host work cannot reduce loss ({l0} vs {l1})");
+    }
+
+    #[test]
+    fn zero_loss_below_capacity(
+        sizes in proptest::collection::vec(64u16..1500, 1..300),
+    ) {
+        // 100 µs gaps = 10 kpkt/s, far below every capacity in the model.
+        let gaps = vec![100_000u32; sizes.len()];
+        let sim = CaptureSim::default();
+        let mut host = DiscardHost::default();
+        let r = sim.run(arrivals(gaps, sizes).into_iter(), None, &mut host);
+        prop_assert_eq!(r.loss_rate(), 0.0);
+        prop_assert_eq!(r.host_processed, r.offered);
+    }
+
+    #[test]
+    fn verifier_accepts_only_safe_programs(
+        insns in proptest::collection::vec(arb_insn(), 0..24),
+        pkt in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Whatever the verifier accepts must run without panicking and
+        // terminate (the interpreter has a defensive step bound; reaching
+        // it would return 0 rather than loop).
+        if let Ok(prog) = BpfProgram::new(insns) {
+            let _ = prog.run(&pkt);
+        }
+    }
+
+    #[test]
+    fn snap_never_increases_loss(
+        gaps in proptest::collection::vec(3_000u32..15_000, 50..200),
+    ) {
+        let sizes = vec![1500u16; gaps.len()];
+        let sim = CaptureSim::default();
+        let mut full_nic = BpfNicFilter::new(gs_nic::bpf::accept_all(u32::MAX));
+        let mut snap_nic = BpfNicFilter::new(gs_nic::bpf::accept_all(96));
+        let mut h1 = DiscardHost::default();
+        let mut h2 = DiscardHost::default();
+        let l_full = sim
+            .run(arrivals(gaps.clone(), sizes.clone()).into_iter(), Some(&mut full_nic), &mut h1)
+            .loss_rate();
+        let l_snap = sim
+            .run(arrivals(gaps, sizes).into_iter(), Some(&mut snap_nic), &mut h2)
+            .loss_rate();
+        prop_assert!(l_snap <= l_full + 1e-9, "snapping reduces copy cost ({l_snap} vs {l_full})");
+    }
+
+    #[test]
+    fn cost_model_copy_monotone(a in 0usize..4096, b in 0usize..4096) {
+        let m = CostModel::default();
+        if a <= b {
+            prop_assert!(m.host_copy_ns(a) <= m.host_copy_ns(b));
+        }
+    }
+}

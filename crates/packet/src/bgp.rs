@@ -1,0 +1,121 @@
+//! Simplified BGP UPDATE messages for router-configuration monitoring
+//! queries (the paper lists "router configuration analysis (e.g. BGP
+//! monitoring)" among Gigascope's applications).
+//!
+//! We encode one announced-or-withdrawn prefix per message together with the
+//! peer, origin AS, and AS-path length — the attributes BGP monitoring
+//! queries actually group and filter on. Full RFC 4271 attribute encoding is
+//! out of scope for a monitoring substrate.
+
+use crate::error::PacketError;
+use crate::{be16, be32};
+
+/// Wire length of a simplified BGP update record.
+pub const MESSAGE_LEN: usize = 20;
+
+/// Message type: prefix announcement.
+pub const TYPE_ANNOUNCE: u8 = 1;
+/// Message type: prefix withdrawal.
+pub const TYPE_WITHDRAW: u8 = 2;
+
+/// A simplified BGP UPDATE: one prefix event from one peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BgpUpdate {
+    /// Announce or withdraw (see [`TYPE_ANNOUNCE`], [`TYPE_WITHDRAW`]).
+    pub msg_type: u8,
+    /// Peer router address, host order.
+    pub peer: u32,
+    /// Peer autonomous system number.
+    pub peer_as: u16,
+    /// Announced/withdrawn prefix, host order.
+    pub prefix: u32,
+    /// Prefix length in bits (0–32).
+    pub prefix_len: u8,
+    /// Origin AS of the route (0 for withdrawals).
+    pub origin_as: u16,
+    /// Length of the AS path (0 for withdrawals).
+    pub path_len: u8,
+    /// Sequence number assigned by the collector, monotone per peer session.
+    pub seq: u32,
+}
+
+impl BgpUpdate {
+    /// Decode an update from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<BgpUpdate, PacketError> {
+        if buf.len() < MESSAGE_LEN {
+            return Err(PacketError::Truncated {
+                layer: "bgp",
+                needed: MESSAGE_LEN,
+                have: buf.len(),
+            });
+        }
+        let msg_type = buf[0];
+        if msg_type != TYPE_ANNOUNCE && msg_type != TYPE_WITHDRAW {
+            return Err(PacketError::BadVersion { layer: "bgp", found: msg_type });
+        }
+        let prefix_len = buf[1];
+        if prefix_len > 32 {
+            return Err(PacketError::BadLength { layer: "bgp", what: "prefix_len > 32" });
+        }
+        Ok(BgpUpdate {
+            msg_type,
+            prefix_len,
+            peer: be32(buf, 2).expect("bounds checked"),
+            peer_as: be16(buf, 6).expect("bounds checked"),
+            prefix: be32(buf, 8).expect("bounds checked"),
+            origin_as: be16(buf, 12).expect("bounds checked"),
+            path_len: buf[14],
+            seq: be32(buf, 16).expect("bounds checked"),
+        })
+    }
+
+    /// Encode this update into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) -> Result<(), PacketError> {
+        if self.prefix_len > 32 {
+            return Err(PacketError::FieldOverflow { layer: "bgp", field: "prefix_len" });
+        }
+        out.push(self.msg_type);
+        out.push(self.prefix_len);
+        out.extend_from_slice(&self.peer.to_be_bytes());
+        out.extend_from_slice(&self.peer_as.to_be_bytes());
+        out.extend_from_slice(&self.prefix.to_be_bytes());
+        out.extend_from_slice(&self.origin_as.to_be_bytes());
+        out.push(self.path_len);
+        out.push(0); // pad
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let u = BgpUpdate {
+            msg_type: TYPE_ANNOUNCE,
+            peer: 0x0101_0101,
+            peer_as: 7018,
+            prefix: 0x0C22_0000,
+            prefix_len: 16,
+            origin_as: 3356,
+            path_len: 4,
+            seq: 77,
+        };
+        let mut buf = Vec::new();
+        u.encode(&mut buf).unwrap();
+        assert_eq!(buf.len(), MESSAGE_LEN);
+        assert_eq!(BgpUpdate::decode(&buf).unwrap(), u);
+    }
+
+    #[test]
+    fn rejects_bad_type_and_prefix_len() {
+        let mut buf = vec![0u8; MESSAGE_LEN];
+        buf[0] = 9;
+        assert!(matches!(BgpUpdate::decode(&buf), Err(PacketError::BadVersion { .. })));
+        buf[0] = TYPE_WITHDRAW;
+        buf[1] = 33;
+        assert!(matches!(BgpUpdate::decode(&buf), Err(PacketError::BadLength { .. })));
+    }
+}

@@ -1,0 +1,253 @@
+//! Frame construction helpers used by the traffic generator and tests.
+
+use crate::ether::{EtherHeader, MacAddr, ETHERTYPE_IPV4};
+use crate::icmp::IcmpHeader;
+use crate::ip::{Ipv4Header, FLAG_MF, PROTO_ICMP, PROTO_TCP, PROTO_UDP};
+use crate::tcp::TcpHeader;
+use crate::udp::UdpHeader;
+use bytes::Bytes;
+
+/// Transport selector for [`FrameBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Tcp { src_port: u16, dst_port: u16, seq: u32, flags: u8 },
+    Udp { src_port: u16, dst_port: u16 },
+    Icmp { icmp_type: u8, code: u8, rest: u32 },
+}
+
+/// Builds well-formed IPv4 frames (optionally Ethernet-encapsulated) from
+/// high-level intent: addresses, ports, payload, fragmentation.
+#[derive(Debug, Clone)]
+pub struct FrameBuilder {
+    src: u32,
+    dst: u32,
+    kind: Kind,
+    ttl: u8,
+    tos: u8,
+    id: u16,
+    frag_units: u16,
+    more_frags: bool,
+    payload: Vec<u8>,
+}
+
+impl FrameBuilder {
+    /// Start a TCP frame from `src`/`dst` addresses and ports.
+    pub fn tcp(src: u32, dst: u32, src_port: u16, dst_port: u16) -> FrameBuilder {
+        FrameBuilder::new(src, dst, Kind::Tcp { src_port, dst_port, seq: 0, flags: crate::tcp::FLAG_ACK })
+    }
+
+    /// Start a UDP frame.
+    pub fn udp(src: u32, dst: u32, src_port: u16, dst_port: u16) -> FrameBuilder {
+        FrameBuilder::new(src, dst, Kind::Udp { src_port, dst_port })
+    }
+
+    /// Start an ICMP frame.
+    pub fn icmp(src: u32, dst: u32, icmp_type: u8, code: u8) -> FrameBuilder {
+        FrameBuilder::new(src, dst, Kind::Icmp { icmp_type, code, rest: 0 })
+    }
+
+    fn new(src: u32, dst: u32, kind: Kind) -> FrameBuilder {
+        FrameBuilder {
+            src,
+            dst,
+            kind,
+            ttl: 64,
+            tos: 0,
+            id: 0,
+            frag_units: 0,
+            more_frags: false,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Set the transport payload.
+    pub fn payload(mut self, p: &[u8]) -> FrameBuilder {
+        self.payload = p.to_vec();
+        self
+    }
+
+    /// Set the TCP sequence number (ignored for other transports).
+    pub fn seq(mut self, seq: u32) -> FrameBuilder {
+        if let Kind::Tcp { seq: s, .. } = &mut self.kind {
+            *s = seq;
+        }
+        self
+    }
+
+    /// Set the TCP flag bits (ignored for other transports).
+    pub fn tcp_flags(mut self, flags: u8) -> FrameBuilder {
+        if let Kind::Tcp { flags: f, .. } = &mut self.kind {
+            *f = flags;
+        }
+        self
+    }
+
+    /// Set the IP identification field (fragments of one datagram share it).
+    pub fn ip_id(mut self, id: u16) -> FrameBuilder {
+        self.id = id;
+        self
+    }
+
+    /// Set the TTL.
+    pub fn ttl(mut self, ttl: u8) -> FrameBuilder {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Set the TOS byte.
+    pub fn tos(mut self, tos: u8) -> FrameBuilder {
+        self.tos = tos;
+        self
+    }
+
+    /// Mark this frame as a fragment at `offset_8byte_units`, with `more`
+    /// indicating whether further fragments follow. For non-zero offsets the
+    /// "payload" is raw datagram bytes and no transport header is emitted.
+    pub fn fragment(mut self, offset_8byte_units: u16, more: bool) -> FrameBuilder {
+        self.frag_units = offset_8byte_units & crate::ip::FRAG_OFFSET_MASK;
+        self.more_frags = more;
+        self
+    }
+
+    fn transport_bytes(&self) -> Vec<u8> {
+        // Non-first fragments carry no transport header.
+        if self.frag_units != 0 {
+            return self.payload.clone();
+        }
+        let mut out = Vec::with_capacity(20 + self.payload.len());
+        match self.kind {
+            Kind::Tcp { src_port, dst_port, seq, flags } => {
+                TcpHeader {
+                    src_port,
+                    dst_port,
+                    seq,
+                    ack: 0,
+                    header_len: 20,
+                    flags,
+                    window: 65535,
+                    checksum: 0,
+                    urgent: 0,
+                }
+                .encode(&mut out)
+                .expect("fixed 20-byte header");
+            }
+            Kind::Udp { src_port, dst_port } => {
+                UdpHeader {
+                    src_port,
+                    dst_port,
+                    length: (crate::udp::HEADER_LEN + self.payload.len()) as u16,
+                    checksum: 0,
+                }
+                .encode(&mut out);
+            }
+            Kind::Icmp { icmp_type, code, rest } => {
+                IcmpHeader { icmp_type, code, checksum: 0, rest }.encode(&mut out);
+            }
+        }
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    fn ip_bytes(&self) -> Vec<u8> {
+        let transport = self.transport_bytes();
+        let protocol = match self.kind {
+            Kind::Tcp { .. } => PROTO_TCP,
+            Kind::Udp { .. } => PROTO_UDP,
+            Kind::Icmp { .. } => PROTO_ICMP,
+        };
+        let mut flags_frag = self.frag_units;
+        if self.more_frags {
+            flags_frag |= FLAG_MF;
+        }
+        let mut out = Vec::with_capacity(20 + transport.len());
+        Ipv4Header {
+            header_len: 20,
+            tos: self.tos,
+            total_len: (20 + transport.len()) as u16,
+            id: self.id,
+            flags_frag,
+            ttl: self.ttl,
+            protocol,
+            checksum: 0,
+            src: self.src,
+            dst: self.dst,
+        }
+        .encode(&mut out)
+        .expect("fixed 20-byte header");
+        out.extend_from_slice(&transport);
+        out
+    }
+
+    /// Build the frame as a raw IP packet (no link header).
+    pub fn build_raw_ip(&self) -> Bytes {
+        Bytes::from(self.ip_bytes())
+    }
+
+    /// Build the frame with an Ethernet II header.
+    pub fn build_ethernet(&self) -> Bytes {
+        let ip = self.ip_bytes();
+        let mut out = Vec::with_capacity(crate::ether::HEADER_LEN + ip.len());
+        EtherHeader {
+            dst: MacAddr([2, 0, 0, 0, 0, 2]),
+            src: MacAddr([2, 0, 0, 0, 0, 1]),
+            ethertype: ETHERTYPE_IPV4,
+        }
+        .encode(&mut out);
+        out.extend_from_slice(&ip);
+        Bytes::from(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::Ipv4Header;
+
+    #[test]
+    fn tcp_frame_shape() {
+        let f = FrameBuilder::tcp(10, 20, 1000, 80).payload(b"hello").build_ethernet();
+        assert_eq!(f.len(), 14 + 20 + 20 + 5);
+        let ih = Ipv4Header::decode(&f[14..]).unwrap();
+        assert_eq!(ih.total_len as usize, 20 + 20 + 5);
+        assert_eq!(ih.protocol, PROTO_TCP);
+        let th = TcpHeader::decode(&f[34..]).unwrap();
+        assert_eq!(th.dst_port, 80);
+        assert_eq!(&f[54..], b"hello");
+    }
+
+    #[test]
+    fn udp_frame_shape() {
+        let f = FrameBuilder::udp(1, 2, 53, 5353).payload(b"abc").build_raw_ip();
+        assert_eq!(f.len(), 20 + 8 + 3);
+        let uh = UdpHeader::decode(&f[20..]).unwrap();
+        assert_eq!(uh.length, 11);
+    }
+
+    #[test]
+    fn fragment_has_no_transport_header() {
+        let f = FrameBuilder::tcp(1, 2, 1000, 80)
+            .payload(&[0xAA; 16])
+            .fragment(2, false)
+            .build_raw_ip();
+        let ih = Ipv4Header::decode(&f).unwrap();
+        assert_eq!(ih.frag_offset(), 16);
+        assert!(!ih.more_fragments());
+        // Total = IP header + raw 16 bytes, no TCP header.
+        assert_eq!(ih.total_len as usize, 20 + 16);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let f = FrameBuilder::tcp(1, 2, 3, 4)
+            .seq(42)
+            .tcp_flags(crate::tcp::FLAG_SYN)
+            .ttl(7)
+            .tos(0xB8)
+            .ip_id(555)
+            .build_raw_ip();
+        let ih = Ipv4Header::decode(&f).unwrap();
+        assert_eq!((ih.ttl, ih.tos, ih.id), (7, 0xB8, 555));
+        let th = TcpHeader::decode(&f[20..]).unwrap();
+        assert_eq!((th.seq, th.flags), (42, crate::tcp::FLAG_SYN));
+    }
+}

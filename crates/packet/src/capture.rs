@@ -1,0 +1,191 @@
+//! Timestamped captured packets and a simple on-disk trace format.
+//!
+//! A [`CapPacket`] is what an interface hands to the run time system: a
+//! capture timestamp, the interface id, the original wire length, and
+//! however many bytes the snap length preserved. The trace format is a
+//! minimal pcap-like container used by the examples and tests to replay
+//! deterministic captures.
+
+use crate::error::PacketError;
+use bytes::Bytes;
+
+/// How the bytes of a captured packet should be interpreted by the
+/// protocol interpretation library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkType {
+    /// Ethernet II frame (the common case: GigE monitoring ports).
+    Ethernet,
+    /// Raw IP packet with no link header (e.g. OC48 POS after HDLC strip).
+    RawIp,
+    /// One Netflow v5 record (export packets are split upstream).
+    NetflowRecord,
+    /// One simplified BGP update record.
+    BgpUpdate,
+}
+
+impl LinkType {
+    /// Stable numeric tag used by the trace format.
+    pub fn tag(self) -> u8 {
+        match self {
+            LinkType::Ethernet => 0,
+            LinkType::RawIp => 1,
+            LinkType::NetflowRecord => 2,
+            LinkType::BgpUpdate => 3,
+        }
+    }
+
+    /// Inverse of [`LinkType::tag`].
+    pub fn from_tag(t: u8) -> Option<LinkType> {
+        Some(match t {
+            0 => LinkType::Ethernet,
+            1 => LinkType::RawIp,
+            2 => LinkType::NetflowRecord,
+            3 => LinkType::BgpUpdate,
+            _ => return None,
+        })
+    }
+}
+
+/// A captured packet as delivered to the run time system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapPacket {
+    /// Capture timestamp, nanoseconds since an arbitrary epoch.
+    pub ts_ns: u64,
+    /// Numeric id of the capturing interface.
+    pub iface: u16,
+    /// Link-level interpretation of `data`.
+    pub link: LinkType,
+    /// Original length of the packet on the wire, before snap truncation.
+    pub wire_len: u32,
+    /// Captured bytes (possibly truncated to the snap length).
+    pub data: Bytes,
+}
+
+impl CapPacket {
+    /// Construct a capture record with `data` captured in full.
+    pub fn full(ts_ns: u64, iface: u16, link: LinkType, data: Bytes) -> CapPacket {
+        let wire_len = data.len() as u32;
+        CapPacket { ts_ns, iface, link, wire_len, data }
+    }
+
+    /// Capture timestamp truncated to whole seconds — the GSQL `time`
+    /// attribute (the paper: "a 1-second granularity timer").
+    #[inline]
+    pub fn time_sec(&self) -> u32 {
+        (self.ts_ns / 1_000_000_000) as u32
+    }
+
+    /// Return a copy truncated to `snaplen` captured bytes (the wire length
+    /// is preserved, as with pcap's snap length).
+    pub fn snap(&self, snaplen: usize) -> CapPacket {
+        if self.data.len() <= snaplen {
+            self.clone()
+        } else {
+            CapPacket { data: self.data.slice(..snaplen), ..self.clone() }
+        }
+    }
+}
+
+/// Magic bytes identifying the trace format.
+pub const TRACE_MAGIC: [u8; 4] = *b"GSC1";
+
+/// Serialize packets to the trace format.
+pub fn write_trace(packets: &[CapPacket]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + packets.iter().map(|p| 20 + p.data.len()).sum::<usize>());
+    out.extend_from_slice(&TRACE_MAGIC);
+    out.extend_from_slice(&(packets.len() as u32).to_be_bytes());
+    for p in packets {
+        out.extend_from_slice(&p.ts_ns.to_be_bytes());
+        out.extend_from_slice(&p.iface.to_be_bytes());
+        out.push(p.link.tag());
+        out.push(0); // reserved
+        out.extend_from_slice(&p.wire_len.to_be_bytes());
+        out.extend_from_slice(&(p.data.len() as u32).to_be_bytes());
+        out.extend_from_slice(&p.data);
+    }
+    out
+}
+
+/// Deserialize a trace produced by [`write_trace`].
+pub fn read_trace(buf: &[u8]) -> Result<Vec<CapPacket>, PacketError> {
+    if buf.len() < 8 || buf[0..4] != TRACE_MAGIC {
+        return Err(PacketError::TraceCorrupt("missing magic"));
+    }
+    let count = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]) as usize;
+    let mut packets = Vec::with_capacity(count.min(1 << 20));
+    let mut off = 8usize;
+    let body = Bytes::copy_from_slice(buf);
+    for _ in 0..count {
+        if buf.len() < off + 20 {
+            return Err(PacketError::TraceCorrupt("record header truncated"));
+        }
+        let ts_ns = u64::from_be_bytes(buf[off..off + 8].try_into().expect("fixed slice"));
+        let iface = u16::from_be_bytes([buf[off + 8], buf[off + 9]]);
+        let link = LinkType::from_tag(buf[off + 10])
+            .ok_or(PacketError::TraceCorrupt("unknown link type"))?;
+        let wire_len =
+            u32::from_be_bytes(buf[off + 12..off + 16].try_into().expect("fixed slice"));
+        let cap_len =
+            u32::from_be_bytes(buf[off + 16..off + 20].try_into().expect("fixed slice")) as usize;
+        off += 20;
+        if buf.len() < off + cap_len {
+            return Err(PacketError::TraceCorrupt("record body truncated"));
+        }
+        packets.push(CapPacket {
+            ts_ns,
+            iface,
+            link,
+            wire_len,
+            data: body.slice(off..off + cap_len),
+        });
+        off += cap_len;
+    }
+    Ok(packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(ts: u64, bytes: &[u8]) -> CapPacket {
+        CapPacket::full(ts, 0, LinkType::Ethernet, Bytes::copy_from_slice(bytes))
+    }
+
+    #[test]
+    fn time_sec_truncates() {
+        assert_eq!(pkt(1_999_999_999, &[]).time_sec(), 1);
+        assert_eq!(pkt(2_000_000_000, &[]).time_sec(), 2);
+    }
+
+    #[test]
+    fn snap_preserves_wire_len() {
+        let p = pkt(0, &[1, 2, 3, 4, 5]);
+        let s = p.snap(3);
+        assert_eq!(s.data.as_ref(), &[1, 2, 3]);
+        assert_eq!(s.wire_len, 5);
+        // Snapping longer than the data is a no-op.
+        assert_eq!(p.snap(100), p);
+    }
+
+    #[test]
+    fn trace_roundtrip() {
+        let pkts = vec![
+            pkt(10, &[1, 2, 3]),
+            CapPacket::full(20, 3, LinkType::NetflowRecord, Bytes::from_static(&[9; 48])),
+            pkt(30, &[]),
+        ];
+        let buf = write_trace(&pkts);
+        let back = read_trace(&buf).unwrap();
+        assert_eq!(back, pkts);
+    }
+
+    #[test]
+    fn trace_corruption_detected() {
+        let pkts = vec![pkt(10, &[1, 2, 3])];
+        let mut buf = write_trace(&pkts);
+        buf.truncate(buf.len() - 1);
+        assert!(read_trace(&buf).is_err());
+        buf[0] = b'X';
+        assert!(read_trace(&buf).is_err());
+    }
+}

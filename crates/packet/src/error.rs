@@ -1,0 +1,76 @@
+//! Error type shared by the packet codecs.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// The buffer was shorter than the fixed header requires.
+    Truncated {
+        /// Protocol layer that failed to decode (e.g. `"ipv4"`).
+        layer: &'static str,
+        /// Bytes needed to decode the header.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// A version / type discriminator did not match the expected protocol.
+    BadVersion {
+        /// Protocol layer that failed to decode.
+        layer: &'static str,
+        /// The value found in the packet.
+        found: u8,
+    },
+    /// A length field was inconsistent with the buffer (e.g. IHL too small,
+    /// total length beyond the frame).
+    BadLength {
+        /// Protocol layer that failed to decode.
+        layer: &'static str,
+        /// Human-readable description of the inconsistency.
+        what: &'static str,
+    },
+    /// A field value supplied to an encoder does not fit its wire encoding.
+    FieldOverflow {
+        /// Protocol layer being encoded.
+        layer: &'static str,
+        /// The field that overflowed.
+        field: &'static str,
+    },
+    /// The trace stream ended in the middle of a record.
+    TraceCorrupt(&'static str),
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::Truncated { layer, needed, have } => {
+                write!(f, "{layer}: truncated packet (need {needed} bytes, have {have})")
+            }
+            PacketError::BadVersion { layer, found } => {
+                write!(f, "{layer}: unexpected version/type {found}")
+            }
+            PacketError::BadLength { layer, what } => write!(f, "{layer}: bad length: {what}"),
+            PacketError::FieldOverflow { layer, field } => {
+                write!(f, "{layer}: field `{field}` does not fit its wire encoding")
+            }
+            PacketError::TraceCorrupt(what) => write!(f, "trace corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = PacketError::Truncated { layer: "ipv4", needed: 20, have: 7 };
+        assert_eq!(e.to_string(), "ipv4: truncated packet (need 20 bytes, have 7)");
+        let e = PacketError::BadVersion { layer: "ipv4", found: 9 };
+        assert!(e.to_string().contains("unexpected version"));
+        let e = PacketError::BadLength { layer: "tcp", what: "data offset < 5" };
+        assert!(e.to_string().contains("data offset"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Ethernet II framing.
+
+use crate::error::PacketError;
+
+/// Length of an Ethernet II header: two MAC addresses plus the EtherType.
+pub const HEADER_LEN: usize = 14;
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// EtherType for IPv6.
+pub const ETHERTYPE_IPV6: u16 = 0x86DD;
+/// EtherType for ARP (decoded only as "not IP" by the interpretation layer).
+pub const ETHERTYPE_ARP: u16 = 0x0806;
+
+/// A MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+}
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// A decoded Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EtherHeader {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// EtherType of the encapsulated payload.
+    pub ethertype: u16,
+}
+
+impl EtherHeader {
+    /// Decode an Ethernet header from the front of `frame`.
+    pub fn decode(frame: &[u8]) -> Result<EtherHeader, PacketError> {
+        if frame.len() < HEADER_LEN {
+            return Err(PacketError::Truncated {
+                layer: "ether",
+                needed: HEADER_LEN,
+                have: frame.len(),
+            });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&frame[0..6]);
+        src.copy_from_slice(&frame[6..12]);
+        Ok(EtherHeader {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype: u16::from_be_bytes([frame[12], frame[13]]),
+        })
+    }
+
+    /// Encode this header into `out`, appending exactly [`HEADER_LEN`] bytes.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.dst.0);
+        out.extend_from_slice(&self.src.0);
+        out.extend_from_slice(&self.ethertype.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = EtherHeader {
+            dst: MacAddr([1, 2, 3, 4, 5, 6]),
+            src: MacAddr([9, 8, 7, 6, 5, 4]),
+            ethertype: ETHERTYPE_IPV4,
+        };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        assert_eq!(EtherHeader::decode(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn truncated() {
+        let err = EtherHeader::decode(&[0u8; 13]).unwrap_err();
+        assert!(matches!(err, PacketError::Truncated { layer: "ether", .. }));
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(MacAddr([0, 0x1a, 0xff, 3, 4, 5]).to_string(), "00:1a:ff:03:04:05");
+        assert_eq!(MacAddr::BROADCAST.to_string(), "ff:ff:ff:ff:ff:ff");
+    }
+}

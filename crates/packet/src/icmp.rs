@@ -1,0 +1,95 @@
+//! ICMP header encoding and decoding (enough for echo and unreachable
+//! monitoring queries).
+
+use crate::be16;
+use crate::error::PacketError;
+
+/// ICMP header length (type, code, checksum, rest-of-header).
+pub const HEADER_LEN: usize = 8;
+
+/// Echo reply message type.
+pub const TYPE_ECHO_REPLY: u8 = 0;
+/// Destination unreachable message type.
+pub const TYPE_DEST_UNREACHABLE: u8 = 3;
+/// Echo request message type.
+pub const TYPE_ECHO_REQUEST: u8 = 8;
+/// Time exceeded message type.
+pub const TYPE_TIME_EXCEEDED: u8 = 11;
+
+/// A decoded ICMP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IcmpHeader {
+    /// Message type.
+    pub icmp_type: u8,
+    /// Message code.
+    pub code: u8,
+    /// Checksum as found on the wire.
+    pub checksum: u16,
+    /// The type-specific rest-of-header word (identifier/sequence for echo).
+    pub rest: u32,
+}
+
+impl IcmpHeader {
+    /// Decode an ICMP header from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<IcmpHeader, PacketError> {
+        if buf.len() < HEADER_LEN {
+            return Err(PacketError::Truncated {
+                layer: "icmp",
+                needed: HEADER_LEN,
+                have: buf.len(),
+            });
+        }
+        Ok(IcmpHeader {
+            icmp_type: buf[0],
+            code: buf[1],
+            checksum: be16(buf, 2).expect("bounds checked"),
+            rest: crate::be32(buf, 4).expect("bounds checked"),
+        })
+    }
+
+    /// Encode this header into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.icmp_type);
+        out.push(self.code);
+        out.extend_from_slice(&self.checksum.to_be_bytes());
+        out.extend_from_slice(&self.rest.to_be_bytes());
+    }
+
+    /// Identifier for echo request/reply messages.
+    #[inline]
+    pub fn echo_id(&self) -> u16 {
+        (self.rest >> 16) as u16
+    }
+
+    /// Sequence number for echo request/reply messages.
+    #[inline]
+    pub fn echo_seq(&self) -> u16 {
+        self.rest as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = IcmpHeader {
+            icmp_type: TYPE_ECHO_REQUEST,
+            code: 0,
+            checksum: 0xFFEE,
+            rest: 0x1234_0007,
+        };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        let d = IcmpHeader::decode(&buf).unwrap();
+        assert_eq!(d, h);
+        assert_eq!(d.echo_id(), 0x1234);
+        assert_eq!(d.echo_seq(), 7);
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(matches!(IcmpHeader::decode(&[0; 7]), Err(PacketError::Truncated { .. })));
+    }
+}

@@ -1,0 +1,596 @@
+//! The protocol field interpretation library.
+//!
+//! A Gigascope *Protocol* stream's schema "maps field names to the
+//! interpretation functions to invoke" (paper §2.2). This module defines
+//! that mapping: a [`ProtocolDef`] names a protocol (`pkt`, `ip`, `tcp`,
+//! `udp`, `icmp`, `netflow`, `bgp`), a prefilter deciding whether a captured
+//! packet belongs to the protocol at all, and an ordered list of
+//! [`FieldDef`]s whose [`Accessor`] functions pull typed values out of a
+//! [`PacketView`].
+//!
+//! Accessors return `None` when the field is not present (e.g. `destPort`
+//! of a non-TCP packet); the run time system discards such tuples, which is
+//! exactly how `eth0.tcp` yields only TCP packets.
+
+use crate::view::PacketView;
+use bytes::Bytes;
+
+/// A typed field value extracted from a packet.
+///
+/// This is deliberately smaller than the runtime's full value type: packets
+/// only yield unsigned integers, booleans, IP addresses, and byte strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    /// Boolean flag.
+    Bool(bool),
+    /// Unsigned integer, up to 64 bits.
+    UInt(u64),
+    /// IPv4 address, host order.
+    Ip(u32),
+    /// Byte string sharing the capture buffer.
+    Str(Bytes),
+}
+
+/// Declared type of a protocol field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldType {
+    /// Boolean.
+    Bool,
+    /// Unsigned integer (width is advisory; values travel as `u64`).
+    UInt,
+    /// IPv4 address.
+    Ip,
+    /// Byte string.
+    Str,
+}
+
+/// Ordering hint attached to a source field, from which the GSQL catalog
+/// derives its ordering properties (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderHint {
+    /// No known ordering.
+    None,
+    /// Monotonically non-decreasing with stream position.
+    Increasing,
+    /// Within `band` of the running maximum (banded-increasing(B)).
+    BandedIncreasing(u64),
+    /// Increasing within each group defined by the named fields.
+    IncreasingInGroup(&'static [&'static str]),
+}
+
+/// Function extracting one field from a parsed packet.
+pub type Accessor = fn(&PacketView) -> Option<FieldValue>;
+
+/// One field of a protocol schema.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldDef {
+    /// Field name as written in GSQL (`destPort`, `srcIP`, ...).
+    pub name: &'static str,
+    /// Declared type.
+    pub ty: FieldType,
+    /// Ordering hint for the catalog.
+    pub order: OrderHint,
+    /// The interpretation function.
+    pub accessor: Accessor,
+}
+
+/// A protocol schema: prefilter plus field list.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtocolDef {
+    /// Protocol name as written in GSQL FROM clauses (`eth0.tcp` → `tcp`).
+    pub name: &'static str,
+    /// Returns whether the packet belongs to this protocol at all.
+    pub matches: fn(&PacketView) -> bool,
+    /// The fields of the protocol stream, in schema order.
+    pub fields: &'static [FieldDef],
+}
+
+impl ProtocolDef {
+    /// Look up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldDef> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Index of a field by name.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+}
+
+// ------------------------------------------------------------------
+// Accessor functions. Small, branchy, and allocation-free.
+// ------------------------------------------------------------------
+
+fn time(v: &PacketView) -> Option<FieldValue> {
+    Some(FieldValue::UInt(u64::from(v.cap.time_sec())))
+}
+fn time_ns(v: &PacketView) -> Option<FieldValue> {
+    Some(FieldValue::UInt(v.cap.ts_ns))
+}
+fn caplen(v: &PacketView) -> Option<FieldValue> {
+    Some(FieldValue::UInt(v.cap.data.len() as u64))
+}
+fn wirelen(v: &PacketView) -> Option<FieldValue> {
+    Some(FieldValue::UInt(u64::from(v.cap.wire_len)))
+}
+fn iface(v: &PacketView) -> Option<FieldValue> {
+    Some(FieldValue::UInt(u64::from(v.cap.iface)))
+}
+fn ip_version(v: &PacketView) -> Option<FieldValue> {
+    v.ip_version().map(|x| FieldValue::UInt(u64::from(x)))
+}
+fn ip_protocol(v: &PacketView) -> Option<FieldValue> {
+    v.ip_protocol().map(|x| FieldValue::UInt(u64::from(x)))
+}
+fn src_ip(v: &PacketView) -> Option<FieldValue> {
+    v.ipv4().map(|h| FieldValue::Ip(h.src))
+}
+fn dest_ip(v: &PacketView) -> Option<FieldValue> {
+    v.ipv4().map(|h| FieldValue::Ip(h.dst))
+}
+fn ip_tos(v: &PacketView) -> Option<FieldValue> {
+    v.ipv4().map(|h| FieldValue::UInt(u64::from(h.tos)))
+}
+fn ip_ttl(v: &PacketView) -> Option<FieldValue> {
+    v.ipv4().map(|h| FieldValue::UInt(u64::from(h.ttl)))
+}
+fn ip_id(v: &PacketView) -> Option<FieldValue> {
+    v.ipv4().map(|h| FieldValue::UInt(u64::from(h.id)))
+}
+fn ip_total_len(v: &PacketView) -> Option<FieldValue> {
+    v.ipv4().map(|h| FieldValue::UInt(u64::from(h.total_len)))
+}
+fn ip_frag_offset(v: &PacketView) -> Option<FieldValue> {
+    v.ipv4().map(|h| FieldValue::UInt(u64::from(h.frag_offset())))
+}
+fn ip_more_frags(v: &PacketView) -> Option<FieldValue> {
+    v.ipv4().map(|h| FieldValue::Bool(h.more_fragments()))
+}
+fn tcp_src_port(v: &PacketView) -> Option<FieldValue> {
+    v.tcp().map(|h| FieldValue::UInt(u64::from(h.src_port)))
+}
+fn tcp_dst_port(v: &PacketView) -> Option<FieldValue> {
+    v.tcp().map(|h| FieldValue::UInt(u64::from(h.dst_port)))
+}
+fn tcp_seq(v: &PacketView) -> Option<FieldValue> {
+    v.tcp().map(|h| FieldValue::UInt(u64::from(h.seq)))
+}
+fn tcp_ack(v: &PacketView) -> Option<FieldValue> {
+    v.tcp().map(|h| FieldValue::UInt(u64::from(h.ack)))
+}
+fn tcp_flags(v: &PacketView) -> Option<FieldValue> {
+    v.tcp().map(|h| FieldValue::UInt(u64::from(h.flags)))
+}
+fn tcp_window(v: &PacketView) -> Option<FieldValue> {
+    v.tcp().map(|h| FieldValue::UInt(u64::from(h.window)))
+}
+fn udp_src_port(v: &PacketView) -> Option<FieldValue> {
+    v.udp().map(|h| FieldValue::UInt(u64::from(h.src_port)))
+}
+fn udp_dst_port(v: &PacketView) -> Option<FieldValue> {
+    v.udp().map(|h| FieldValue::UInt(u64::from(h.dst_port)))
+}
+fn udp_len(v: &PacketView) -> Option<FieldValue> {
+    v.udp().map(|h| FieldValue::UInt(u64::from(h.length)))
+}
+fn icmp_type(v: &PacketView) -> Option<FieldValue> {
+    v.icmp().map(|h| FieldValue::UInt(u64::from(h.icmp_type)))
+}
+fn icmp_code(v: &PacketView) -> Option<FieldValue> {
+    v.icmp().map(|h| FieldValue::UInt(u64::from(h.code)))
+}
+fn payload(v: &PacketView) -> Option<FieldValue> {
+    v.payload().map(FieldValue::Str)
+}
+fn payload_len(v: &PacketView) -> Option<FieldValue> {
+    v.payload().map(|p| FieldValue::UInt(p.len() as u64))
+}
+
+// Netflow record fields.
+fn nf_src(v: &PacketView) -> Option<FieldValue> {
+    v.netflow.map(|r| FieldValue::Ip(r.src_addr))
+}
+fn nf_dst(v: &PacketView) -> Option<FieldValue> {
+    v.netflow.map(|r| FieldValue::Ip(r.dst_addr))
+}
+fn nf_src_port(v: &PacketView) -> Option<FieldValue> {
+    v.netflow.map(|r| FieldValue::UInt(u64::from(r.src_port)))
+}
+fn nf_dst_port(v: &PacketView) -> Option<FieldValue> {
+    v.netflow.map(|r| FieldValue::UInt(u64::from(r.dst_port)))
+}
+fn nf_proto(v: &PacketView) -> Option<FieldValue> {
+    v.netflow.map(|r| FieldValue::UInt(u64::from(r.protocol)))
+}
+fn nf_pkts(v: &PacketView) -> Option<FieldValue> {
+    v.netflow.map(|r| FieldValue::UInt(u64::from(r.packets)))
+}
+fn nf_octets(v: &PacketView) -> Option<FieldValue> {
+    v.netflow.map(|r| FieldValue::UInt(u64::from(r.octets)))
+}
+fn nf_first(v: &PacketView) -> Option<FieldValue> {
+    v.netflow.map(|r| FieldValue::UInt(u64::from(r.first)))
+}
+fn nf_last(v: &PacketView) -> Option<FieldValue> {
+    v.netflow.map(|r| FieldValue::UInt(u64::from(r.last)))
+}
+fn nf_tcp_flags(v: &PacketView) -> Option<FieldValue> {
+    v.netflow.map(|r| FieldValue::UInt(u64::from(r.tcp_flags)))
+}
+fn nf_src_as(v: &PacketView) -> Option<FieldValue> {
+    v.netflow.map(|r| FieldValue::UInt(u64::from(r.src_as)))
+}
+fn nf_dst_as(v: &PacketView) -> Option<FieldValue> {
+    v.netflow.map(|r| FieldValue::UInt(u64::from(r.dst_as)))
+}
+
+// IPv6 fields. 128-bit addresses travel as hi/lo 64-bit halves (GSQL's
+// value types are 64-bit; monitoring queries group on the halves).
+fn v6_src_hi(v: &PacketView) -> Option<FieldValue> {
+    v.ipv6().map(|h| FieldValue::UInt((h.src >> 64) as u64))
+}
+fn v6_src_lo(v: &PacketView) -> Option<FieldValue> {
+    v.ipv6().map(|h| FieldValue::UInt(h.src as u64))
+}
+fn v6_dst_hi(v: &PacketView) -> Option<FieldValue> {
+    v.ipv6().map(|h| FieldValue::UInt((h.dst >> 64) as u64))
+}
+fn v6_dst_lo(v: &PacketView) -> Option<FieldValue> {
+    v.ipv6().map(|h| FieldValue::UInt(h.dst as u64))
+}
+fn v6_hop_limit(v: &PacketView) -> Option<FieldValue> {
+    v.ipv6().map(|h| FieldValue::UInt(u64::from(h.hop_limit)))
+}
+fn v6_flow_label(v: &PacketView) -> Option<FieldValue> {
+    v.ipv6().map(|h| FieldValue::UInt(u64::from(h.flow_label)))
+}
+fn v6_traffic_class(v: &PacketView) -> Option<FieldValue> {
+    v.ipv6().map(|h| FieldValue::UInt(u64::from(h.traffic_class)))
+}
+fn v6_payload_len(v: &PacketView) -> Option<FieldValue> {
+    v.ipv6().map(|h| FieldValue::UInt(u64::from(h.payload_len)))
+}
+
+// BGP update fields.
+fn bgp_type(v: &PacketView) -> Option<FieldValue> {
+    v.bgp.map(|u| FieldValue::UInt(u64::from(u.msg_type)))
+}
+fn bgp_peer(v: &PacketView) -> Option<FieldValue> {
+    v.bgp.map(|u| FieldValue::Ip(u.peer))
+}
+fn bgp_peer_as(v: &PacketView) -> Option<FieldValue> {
+    v.bgp.map(|u| FieldValue::UInt(u64::from(u.peer_as)))
+}
+fn bgp_prefix(v: &PacketView) -> Option<FieldValue> {
+    v.bgp.map(|u| FieldValue::Ip(u.prefix))
+}
+fn bgp_prefix_len(v: &PacketView) -> Option<FieldValue> {
+    v.bgp.map(|u| FieldValue::UInt(u64::from(u.prefix_len)))
+}
+fn bgp_origin_as(v: &PacketView) -> Option<FieldValue> {
+    v.bgp.map(|u| FieldValue::UInt(u64::from(u.origin_as)))
+}
+fn bgp_path_len(v: &PacketView) -> Option<FieldValue> {
+    v.bgp.map(|u| FieldValue::UInt(u64::from(u.path_len)))
+}
+fn bgp_seq(v: &PacketView) -> Option<FieldValue> {
+    v.bgp.map(|u| FieldValue::UInt(u64::from(u.seq)))
+}
+
+// ------------------------------------------------------------------
+// Prefilters and schemas.
+// ------------------------------------------------------------------
+
+fn any_packet(_: &PacketView) -> bool {
+    true
+}
+fn is_ip(v: &PacketView) -> bool {
+    v.ip_version().is_some()
+}
+fn is_tcp(v: &PacketView) -> bool {
+    v.tcp().is_some()
+}
+fn is_udp(v: &PacketView) -> bool {
+    v.udp().is_some()
+}
+fn is_icmp(v: &PacketView) -> bool {
+    v.icmp().is_some()
+}
+fn is_ipv6(v: &PacketView) -> bool {
+    v.ipv6().is_some()
+}
+fn is_netflow(v: &PacketView) -> bool {
+    v.netflow.is_some()
+}
+fn is_bgp(v: &PacketView) -> bool {
+    v.bgp.is_some()
+}
+
+/// Capture-level fields shared by every packet-based protocol.
+macro_rules! base_fields {
+    () => {
+        [
+            FieldDef { name: "time", ty: FieldType::UInt, order: OrderHint::Increasing, accessor: time },
+            FieldDef { name: "timeNS", ty: FieldType::UInt, order: OrderHint::Increasing, accessor: time_ns },
+            FieldDef { name: "caplen", ty: FieldType::UInt, order: OrderHint::None, accessor: caplen },
+            FieldDef { name: "len", ty: FieldType::UInt, order: OrderHint::None, accessor: wirelen },
+            FieldDef { name: "iface", ty: FieldType::UInt, order: OrderHint::None, accessor: iface },
+        ]
+    };
+}
+
+macro_rules! ip_fields {
+    () => {
+        [
+            FieldDef { name: "IPVersion", ty: FieldType::UInt, order: OrderHint::None, accessor: ip_version },
+            FieldDef { name: "Protocol", ty: FieldType::UInt, order: OrderHint::None, accessor: ip_protocol },
+            FieldDef { name: "srcIP", ty: FieldType::Ip, order: OrderHint::None, accessor: src_ip },
+            FieldDef { name: "destIP", ty: FieldType::Ip, order: OrderHint::None, accessor: dest_ip },
+            FieldDef { name: "tos", ty: FieldType::UInt, order: OrderHint::None, accessor: ip_tos },
+            FieldDef { name: "ttl", ty: FieldType::UInt, order: OrderHint::None, accessor: ip_ttl },
+            FieldDef { name: "id", ty: FieldType::UInt, order: OrderHint::None, accessor: ip_id },
+            FieldDef { name: "totalLen", ty: FieldType::UInt, order: OrderHint::None, accessor: ip_total_len },
+            FieldDef { name: "fragOffset", ty: FieldType::UInt, order: OrderHint::None, accessor: ip_frag_offset },
+            FieldDef { name: "moreFrags", ty: FieldType::Bool, order: OrderHint::None, accessor: ip_more_frags },
+        ]
+    };
+}
+
+// Static field tables, spliced together in const context so that
+// `ProtocolDef` can be `Copy` and live in a `&'static` registry.
+
+static PKT_FIELDS: [FieldDef; 5] = base_fields!();
+
+static IP_FIELDS: [FieldDef; 15] = {
+    let base = base_fields!();
+    let ip = ip_fields!();
+    [
+        base[0], base[1], base[2], base[3], base[4], //
+        ip[0], ip[1], ip[2], ip[3], ip[4], ip[5], ip[6], ip[7], ip[8], ip[9],
+    ]
+};
+
+static TCP_FIELDS: [FieldDef; 23] = {
+    let base = base_fields!();
+    let ip = ip_fields!();
+    [
+        base[0], base[1], base[2], base[3], base[4], //
+        ip[0], ip[1], ip[2], ip[3], ip[4], ip[5], ip[6], ip[7], ip[8], ip[9],
+        FieldDef { name: "srcPort", ty: FieldType::UInt, order: OrderHint::None, accessor: tcp_src_port },
+        FieldDef { name: "destPort", ty: FieldType::UInt, order: OrderHint::None, accessor: tcp_dst_port },
+        FieldDef { name: "seqNum", ty: FieldType::UInt, order: OrderHint::None, accessor: tcp_seq },
+        FieldDef { name: "ackNum", ty: FieldType::UInt, order: OrderHint::None, accessor: tcp_ack },
+        FieldDef { name: "flags", ty: FieldType::UInt, order: OrderHint::None, accessor: tcp_flags },
+        FieldDef { name: "window", ty: FieldType::UInt, order: OrderHint::None, accessor: tcp_window },
+        FieldDef { name: "payload", ty: FieldType::Str, order: OrderHint::None, accessor: payload },
+        FieldDef { name: "payloadLen", ty: FieldType::UInt, order: OrderHint::None, accessor: payload_len },
+    ]
+};
+
+static UDP_FIELDS: [FieldDef; 20] = {
+    let base = base_fields!();
+    let ip = ip_fields!();
+    [
+        base[0], base[1], base[2], base[3], base[4], //
+        ip[0], ip[1], ip[2], ip[3], ip[4], ip[5], ip[6], ip[7], ip[8], ip[9],
+        FieldDef { name: "srcPort", ty: FieldType::UInt, order: OrderHint::None, accessor: udp_src_port },
+        FieldDef { name: "destPort", ty: FieldType::UInt, order: OrderHint::None, accessor: udp_dst_port },
+        FieldDef { name: "udpLen", ty: FieldType::UInt, order: OrderHint::None, accessor: udp_len },
+        FieldDef { name: "payload", ty: FieldType::Str, order: OrderHint::None, accessor: payload },
+        FieldDef { name: "payloadLen", ty: FieldType::UInt, order: OrderHint::None, accessor: payload_len },
+    ]
+};
+
+static ICMP_FIELDS: [FieldDef; 17] = {
+    let base = base_fields!();
+    let ip = ip_fields!();
+    [
+        base[0], base[1], base[2], base[3], base[4], //
+        ip[0], ip[1], ip[2], ip[3], ip[4], ip[5], ip[6], ip[7], ip[8], ip[9],
+        FieldDef { name: "icmpType", ty: FieldType::UInt, order: OrderHint::None, accessor: icmp_type },
+        FieldDef { name: "icmpCode", ty: FieldType::UInt, order: OrderHint::None, accessor: icmp_code },
+    ]
+};
+
+static IPV6_FIELDS: [FieldDef; 15] = {
+    let base = base_fields!();
+    [
+        base[0], base[1], base[2], base[3], base[4], //
+        FieldDef { name: "IPVersion", ty: FieldType::UInt, order: OrderHint::None, accessor: ip_version },
+        FieldDef { name: "Protocol", ty: FieldType::UInt, order: OrderHint::None, accessor: ip_protocol },
+        FieldDef { name: "srcIPv6hi", ty: FieldType::UInt, order: OrderHint::None, accessor: v6_src_hi },
+        FieldDef { name: "srcIPv6lo", ty: FieldType::UInt, order: OrderHint::None, accessor: v6_src_lo },
+        FieldDef { name: "destIPv6hi", ty: FieldType::UInt, order: OrderHint::None, accessor: v6_dst_hi },
+        FieldDef { name: "destIPv6lo", ty: FieldType::UInt, order: OrderHint::None, accessor: v6_dst_lo },
+        FieldDef { name: "hopLimit", ty: FieldType::UInt, order: OrderHint::None, accessor: v6_hop_limit },
+        FieldDef { name: "flowLabel", ty: FieldType::UInt, order: OrderHint::None, accessor: v6_flow_label },
+        FieldDef { name: "trafficClass", ty: FieldType::UInt, order: OrderHint::None, accessor: v6_traffic_class },
+        FieldDef { name: "payloadLen", ty: FieldType::UInt, order: OrderHint::None, accessor: v6_payload_len },
+    ]
+};
+
+/// Netflow dump interval assumed by the `first` banded-increasing hint,
+/// milliseconds (the paper: "all Netflow records are dumped every 30
+/// seconds... the start attribute is banded-increasing(30 sec.)").
+pub const NETFLOW_DUMP_INTERVAL_MS: u64 = 30_000;
+
+static NETFLOW_GROUP: [&str; 5] = ["srcIP", "destIP", "srcPort", "destPort", "protocol"];
+
+static NETFLOW_FIELDS: [FieldDef; 14] = [
+    FieldDef { name: "time", ty: FieldType::UInt, order: OrderHint::Increasing, accessor: time },
+    FieldDef { name: "timeNS", ty: FieldType::UInt, order: OrderHint::Increasing, accessor: time_ns },
+    FieldDef { name: "srcIP", ty: FieldType::Ip, order: OrderHint::None, accessor: nf_src },
+    FieldDef { name: "destIP", ty: FieldType::Ip, order: OrderHint::None, accessor: nf_dst },
+    FieldDef { name: "srcPort", ty: FieldType::UInt, order: OrderHint::None, accessor: nf_src_port },
+    FieldDef { name: "destPort", ty: FieldType::UInt, order: OrderHint::None, accessor: nf_dst_port },
+    FieldDef { name: "protocol", ty: FieldType::UInt, order: OrderHint::None, accessor: nf_proto },
+    FieldDef { name: "pkts", ty: FieldType::UInt, order: OrderHint::None, accessor: nf_pkts },
+    FieldDef { name: "octets", ty: FieldType::UInt, order: OrderHint::None, accessor: nf_octets },
+    FieldDef {
+        name: "first",
+        ty: FieldType::UInt,
+        order: OrderHint::BandedIncreasing(NETFLOW_DUMP_INTERVAL_MS),
+        accessor: nf_first,
+    },
+    FieldDef { name: "last", ty: FieldType::UInt, order: OrderHint::Increasing, accessor: nf_last },
+    FieldDef { name: "tcpFlags", ty: FieldType::UInt, order: OrderHint::None, accessor: nf_tcp_flags },
+    FieldDef { name: "srcAS", ty: FieldType::UInt, order: OrderHint::None, accessor: nf_src_as },
+    FieldDef { name: "destAS", ty: FieldType::UInt, order: OrderHint::None, accessor: nf_dst_as },
+];
+
+static BGP_FIELDS: [FieldDef; 10] = [
+    FieldDef { name: "time", ty: FieldType::UInt, order: OrderHint::Increasing, accessor: time },
+    FieldDef { name: "timeNS", ty: FieldType::UInt, order: OrderHint::Increasing, accessor: time_ns },
+    FieldDef { name: "msgType", ty: FieldType::UInt, order: OrderHint::None, accessor: bgp_type },
+    FieldDef { name: "peer", ty: FieldType::Ip, order: OrderHint::None, accessor: bgp_peer },
+    FieldDef { name: "peerAS", ty: FieldType::UInt, order: OrderHint::None, accessor: bgp_peer_as },
+    FieldDef { name: "prefix", ty: FieldType::Ip, order: OrderHint::None, accessor: bgp_prefix },
+    FieldDef { name: "prefixLen", ty: FieldType::UInt, order: OrderHint::None, accessor: bgp_prefix_len },
+    FieldDef { name: "originAS", ty: FieldType::UInt, order: OrderHint::None, accessor: bgp_origin_as },
+    FieldDef { name: "pathLen", ty: FieldType::UInt, order: OrderHint::None, accessor: bgp_path_len },
+    FieldDef {
+        name: "seq",
+        ty: FieldType::UInt,
+        order: OrderHint::IncreasingInGroup(&["peer"]),
+        accessor: bgp_seq,
+    },
+];
+
+/// The built-in protocol registry.
+pub static PROTOCOLS: [ProtocolDef; 8] = [
+    ProtocolDef { name: "pkt", matches: any_packet, fields: &PKT_FIELDS },
+    ProtocolDef { name: "ip", matches: is_ip, fields: &IP_FIELDS },
+    ProtocolDef { name: "ipv6", matches: is_ipv6, fields: &IPV6_FIELDS },
+    ProtocolDef { name: "tcp", matches: is_tcp, fields: &TCP_FIELDS },
+    ProtocolDef { name: "udp", matches: is_udp, fields: &UDP_FIELDS },
+    ProtocolDef { name: "icmp", matches: is_icmp, fields: &ICMP_FIELDS },
+    ProtocolDef { name: "netflow", matches: is_netflow, fields: &NETFLOW_FIELDS },
+    ProtocolDef { name: "bgp", matches: is_bgp, fields: &BGP_FIELDS },
+];
+
+/// Look up a built-in protocol by name.
+pub fn protocol(name: &str) -> Option<&'static ProtocolDef> {
+    PROTOCOLS.iter().find(|p| p.name == name)
+}
+
+/// The field names of the Netflow five-tuple group within which `first`
+/// increases (paper §2.1, ordering property 3).
+pub fn netflow_group_fields() -> &'static [&'static str] {
+    &NETFLOW_GROUP
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FrameBuilder;
+    use crate::capture::{CapPacket, LinkType};
+
+    fn tcp_view() -> PacketView {
+        let frame = FrameBuilder::tcp(0x0a000001, 0x0a000002, 4321, 80)
+            .payload(b"HTTP/1.1 200 OK")
+            .build_ethernet();
+        PacketView::parse(CapPacket::full(3_000_000_000, 2, LinkType::Ethernet, frame))
+    }
+
+    #[test]
+    fn registry_lookup() {
+        assert!(protocol("tcp").is_some());
+        assert!(protocol("netflow").is_some());
+        assert!(protocol("nosuch").is_none());
+    }
+
+    #[test]
+    fn tcp_fields_extract() {
+        let v = tcp_view();
+        let p = protocol("tcp").unwrap();
+        assert!((p.matches)(&v));
+        let get = |n: &str| (p.field(n).unwrap().accessor)(&v);
+        assert_eq!(get("destPort"), Some(FieldValue::UInt(80)));
+        assert_eq!(get("srcPort"), Some(FieldValue::UInt(4321)));
+        assert_eq!(get("time"), Some(FieldValue::UInt(3)));
+        assert_eq!(get("iface"), Some(FieldValue::UInt(2)));
+        assert_eq!(get("IPVersion"), Some(FieldValue::UInt(4)));
+        assert_eq!(get("Protocol"), Some(FieldValue::UInt(6)));
+        assert_eq!(get("srcIP"), Some(FieldValue::Ip(0x0a000001)));
+        match get("payload") {
+            Some(FieldValue::Str(b)) => assert_eq!(b.as_ref(), b"HTTP/1.1 200 OK"),
+            other => panic!("unexpected payload {other:?}"),
+        }
+        assert_eq!(get("payloadLen"), Some(FieldValue::UInt(15)));
+    }
+
+    #[test]
+    fn udp_packet_does_not_match_tcp() {
+        let frame = FrameBuilder::udp(1, 2, 53, 53).build_ethernet();
+        let v = PacketView::parse(CapPacket::full(0, 0, LinkType::Ethernet, frame));
+        assert!(!(protocol("tcp").unwrap().matches)(&v));
+        assert!((protocol("udp").unwrap().matches)(&v));
+        assert!((protocol("ip").unwrap().matches)(&v));
+        assert!((protocol("pkt").unwrap().matches)(&v));
+        // TCP field accessors yield None on a UDP packet.
+        let p = protocol("tcp").unwrap();
+        assert_eq!((p.field("destPort").unwrap().accessor)(&v), None);
+    }
+
+    #[test]
+    fn ordering_hints() {
+        let p = protocol("netflow").unwrap();
+        assert_eq!(p.field("last").unwrap().order, OrderHint::Increasing);
+        assert_eq!(
+            p.field("first").unwrap().order,
+            OrderHint::BandedIncreasing(NETFLOW_DUMP_INTERVAL_MS)
+        );
+        let b = protocol("bgp").unwrap();
+        assert!(matches!(b.field("seq").unwrap().order, OrderHint::IncreasingInGroup(_)));
+    }
+
+    #[test]
+    fn ipv6_fields_extract() {
+        let mut buf = Vec::new();
+        crate::ipv6::Ipv6Header {
+            traffic_class: 0xA0,
+            flow_label: 0x12345,
+            payload_len: 40,
+            next_header: 6,
+            hop_limit: 61,
+            src: 0x2001_0db8_0000_0000_0000_0000_0000_0005,
+            dst: 0xfe80_0000_0000_0000_0000_0000_0000_0009,
+        }
+        .encode(&mut buf);
+        let mut frame = Vec::new();
+        crate::ether::EtherHeader {
+            dst: crate::ether::MacAddr([0; 6]),
+            src: crate::ether::MacAddr([1; 6]),
+            ethertype: crate::ether::ETHERTYPE_IPV6,
+        }
+        .encode(&mut frame);
+        frame.extend_from_slice(&buf);
+        let v = PacketView::parse(CapPacket::full(0, 0, LinkType::Ethernet, frame.into()));
+        let p = protocol("ipv6").unwrap();
+        assert!((p.matches)(&v));
+        let get = |n: &str| (p.field(n).unwrap().accessor)(&v);
+        assert_eq!(get("IPVersion"), Some(FieldValue::UInt(6)));
+        assert_eq!(get("Protocol"), Some(FieldValue::UInt(6)));
+        assert_eq!(get("srcIPv6hi"), Some(FieldValue::UInt(0x2001_0db8_0000_0000)));
+        assert_eq!(get("srcIPv6lo"), Some(FieldValue::UInt(5)));
+        assert_eq!(get("destIPv6lo"), Some(FieldValue::UInt(9)));
+        assert_eq!(get("hopLimit"), Some(FieldValue::UInt(61)));
+        assert_eq!(get("flowLabel"), Some(FieldValue::UInt(0x12345)));
+        // An IPv4 packet does not match the ipv6 protocol.
+        let v4 = PacketView::parse(CapPacket::full(
+            0,
+            0,
+            LinkType::Ethernet,
+            crate::builder::FrameBuilder::tcp(1, 2, 3, 4).build_ethernet(),
+        ));
+        assert!(!(p.matches)(&v4));
+    }
+
+    #[test]
+    fn field_index_matches_order() {
+        let p = protocol("tcp").unwrap();
+        for (i, f) in p.fields.iter().enumerate() {
+            assert_eq!(p.field_index(f.name), Some(i));
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! IPv4 header encoding and decoding, including the fragmentation fields
+//! needed by the defragmentation operator.
+
+use crate::error::PacketError;
+use crate::{be16, be32};
+
+/// Minimum IPv4 header length (no options).
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// IP protocol number for ICMP.
+pub const PROTO_ICMP: u8 = 1;
+/// IP protocol number for TCP.
+pub const PROTO_TCP: u8 = 6;
+/// IP protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+
+/// The "more fragments" flag bit within `flags_frag`.
+pub const FLAG_MF: u16 = 0x2000;
+/// The "don't fragment" flag bit within `flags_frag`.
+pub const FLAG_DF: u16 = 0x4000;
+/// Mask selecting the 13-bit fragment offset (in 8-byte units).
+pub const FRAG_OFFSET_MASK: u16 = 0x1FFF;
+
+/// A decoded IPv4 header.
+///
+/// Addresses are kept as host-order `u32` values: GSQL treats IP addresses as
+/// unsigned integers with address literals, matching the paper's examples
+/// (`IPVersion = 4 and Protocol = 6`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Header length in bytes (IHL × 4, 20–60).
+    pub header_len: u8,
+    /// Differentiated services / TOS byte.
+    pub tos: u8,
+    /// Total datagram length in bytes, including this header.
+    pub total_len: u16,
+    /// Identification field (shared by all fragments of a datagram).
+    pub id: u16,
+    /// Raw flags + fragment-offset field.
+    pub flags_frag: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol number (see [`PROTO_TCP`] etc.).
+    pub protocol: u8,
+    /// Header checksum as found on the wire (not verified on decode).
+    pub checksum: u16,
+    /// Source address, host byte order.
+    pub src: u32,
+    /// Destination address, host byte order.
+    pub dst: u32,
+}
+
+impl Ipv4Header {
+    /// Fragment offset in bytes.
+    #[inline]
+    pub fn frag_offset(&self) -> u32 {
+        u32::from(self.flags_frag & FRAG_OFFSET_MASK) * 8
+    }
+
+    /// Whether the "more fragments" flag is set.
+    #[inline]
+    pub fn more_fragments(&self) -> bool {
+        self.flags_frag & FLAG_MF != 0
+    }
+
+    /// Whether this packet is a fragment (offset non-zero or MF set).
+    #[inline]
+    pub fn is_fragment(&self) -> bool {
+        self.more_fragments() || self.frag_offset() != 0
+    }
+
+    /// Decode an IPv4 header from the front of `buf`.
+    ///
+    /// Verifies the version nibble, that IHL is at least 5, and that the
+    /// buffer holds the full header. The checksum is *not* verified — the
+    /// capture path (like libpcap consumers) treats it as data.
+    pub fn decode(buf: &[u8]) -> Result<Ipv4Header, PacketError> {
+        if buf.len() < MIN_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                layer: "ipv4",
+                needed: MIN_HEADER_LEN,
+                have: buf.len(),
+            });
+        }
+        let version = buf[0] >> 4;
+        if version != 4 {
+            return Err(PacketError::BadVersion { layer: "ipv4", found: version });
+        }
+        let ihl = buf[0] & 0x0f;
+        if ihl < 5 {
+            return Err(PacketError::BadLength { layer: "ipv4", what: "IHL < 5" });
+        }
+        let header_len = usize::from(ihl) * 4;
+        if buf.len() < header_len {
+            return Err(PacketError::Truncated {
+                layer: "ipv4",
+                needed: header_len,
+                have: buf.len(),
+            });
+        }
+        Ok(Ipv4Header {
+            header_len: header_len as u8,
+            tos: buf[1],
+            total_len: be16(buf, 2).expect("bounds checked"),
+            id: be16(buf, 4).expect("bounds checked"),
+            flags_frag: be16(buf, 6).expect("bounds checked"),
+            ttl: buf[8],
+            protocol: buf[9],
+            checksum: be16(buf, 10).expect("bounds checked"),
+            src: be32(buf, 12).expect("bounds checked"),
+            dst: be32(buf, 16).expect("bounds checked"),
+        })
+    }
+
+    /// Encode this header (without options) into `out`, computing the
+    /// checksum. `header_len` values other than 20 are rejected — the
+    /// builder never emits options.
+    pub fn encode(&self, out: &mut Vec<u8>) -> Result<(), PacketError> {
+        if self.header_len != 20 {
+            return Err(PacketError::FieldOverflow { layer: "ipv4", field: "header_len" });
+        }
+        let start = out.len();
+        out.push(0x45);
+        out.push(self.tos);
+        out.extend_from_slice(&self.total_len.to_be_bytes());
+        out.extend_from_slice(&self.id.to_be_bytes());
+        out.extend_from_slice(&self.flags_frag.to_be_bytes());
+        out.push(self.ttl);
+        out.push(self.protocol);
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.src.to_be_bytes());
+        out.extend_from_slice(&self.dst.to_be_bytes());
+        let cksum = checksum(&out[start..start + MIN_HEADER_LEN]);
+        out[start + 10] = (cksum >> 8) as u8;
+        out[start + 11] = (cksum & 0xff) as u8;
+        Ok(())
+    }
+}
+
+/// RFC 1071 Internet checksum over `data` (assumed to have the checksum
+/// field zeroed).
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(*last) << 8;
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Format a host-order IPv4 address in dotted-quad notation.
+pub fn fmt_ipv4(addr: u32) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        (addr >> 24) & 0xff,
+        (addr >> 16) & 0xff,
+        (addr >> 8) & 0xff,
+        addr & 0xff
+    )
+}
+
+/// Parse a dotted-quad IPv4 address into a host-order `u32`.
+pub fn parse_ipv4(s: &str) -> Option<u32> {
+    let mut parts = s.split('.');
+    let mut addr: u32 = 0;
+    for _ in 0..4 {
+        let octet: u32 = parts.next()?.parse().ok()?;
+        if octet > 255 {
+            return None;
+        }
+        addr = (addr << 8) | octet;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        Ipv4Header {
+            header_len: 20,
+            tos: 0,
+            total_len: 60,
+            id: 0xBEEF,
+            flags_frag: FLAG_DF,
+            ttl: 64,
+            protocol: PROTO_TCP,
+            checksum: 0,
+            src: parse_ipv4("10.1.2.3").unwrap(),
+            dst: parse_ipv4("192.168.0.1").unwrap(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample();
+        let mut buf = Vec::new();
+        h.encode(&mut buf).unwrap();
+        let d = Ipv4Header::decode(&buf).unwrap();
+        assert_eq!(d.src, h.src);
+        assert_eq!(d.dst, h.dst);
+        assert_eq!(d.total_len, 60);
+        assert_eq!(d.protocol, PROTO_TCP);
+        // Encoded checksum must validate: re-summing the header with the
+        // checksum in place yields zero.
+        assert_eq!(checksum(&buf), 0);
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        sample().encode(&mut buf).unwrap();
+        buf[0] = 0x65; // version 6
+        assert!(matches!(
+            Ipv4Header::decode(&buf),
+            Err(PacketError::BadVersion { layer: "ipv4", found: 6 })
+        ));
+    }
+
+    #[test]
+    fn rejects_short_ihl() {
+        let mut buf = Vec::new();
+        sample().encode(&mut buf).unwrap();
+        buf[0] = 0x44; // IHL 4
+        assert!(matches!(Ipv4Header::decode(&buf), Err(PacketError::BadLength { .. })));
+    }
+
+    #[test]
+    fn fragment_fields() {
+        let mut h = sample();
+        h.flags_frag = FLAG_MF | 100; // offset 100*8 bytes, more coming
+        assert!(h.is_fragment());
+        assert!(h.more_fragments());
+        assert_eq!(h.frag_offset(), 800);
+        h.flags_frag = 0;
+        assert!(!h.is_fragment());
+    }
+
+    #[test]
+    fn addr_parse_format() {
+        assert_eq!(parse_ipv4("0.0.0.0"), Some(0));
+        assert_eq!(parse_ipv4("255.255.255.255"), Some(u32::MAX));
+        assert_eq!(parse_ipv4("256.0.0.1"), None);
+        assert_eq!(parse_ipv4("1.2.3"), None);
+        assert_eq!(parse_ipv4("1.2.3.4.5"), None);
+        assert_eq!(fmt_ipv4(parse_ipv4("12.34.56.78").unwrap()), "12.34.56.78");
+    }
+
+    #[test]
+    fn checksum_odd_length() {
+        // Odd-length data exercises the remainder path.
+        let c = checksum(&[0x01, 0x02, 0x03]);
+        // Manual: 0x0102 + 0x0300 = 0x0402 -> !0x0402
+        assert_eq!(c, !0x0402);
+    }
+}

@@ -1,0 +1,113 @@
+//! IPv6 fixed header. The interpretation library exposes only what the
+//! monitoring schemas need (version, next header, addresses as 128-bit
+//! values split hi/lo, payload length, hop limit).
+
+use crate::be16;
+use crate::error::PacketError;
+
+/// Length of the fixed IPv6 header.
+pub const HEADER_LEN: usize = 40;
+
+/// A decoded IPv6 fixed header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv6Header {
+    /// Traffic class.
+    pub traffic_class: u8,
+    /// 20-bit flow label.
+    pub flow_label: u32,
+    /// Payload length (bytes following this header).
+    pub payload_len: u16,
+    /// Next header (protocol) number.
+    pub next_header: u8,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Source address.
+    pub src: u128,
+    /// Destination address.
+    pub dst: u128,
+}
+
+impl Ipv6Header {
+    /// Decode an IPv6 fixed header from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<Ipv6Header, PacketError> {
+        if buf.len() < HEADER_LEN {
+            return Err(PacketError::Truncated {
+                layer: "ipv6",
+                needed: HEADER_LEN,
+                have: buf.len(),
+            });
+        }
+        let version = buf[0] >> 4;
+        if version != 6 {
+            return Err(PacketError::BadVersion { layer: "ipv6", found: version });
+        }
+        let mut src = [0u8; 16];
+        let mut dst = [0u8; 16];
+        src.copy_from_slice(&buf[8..24]);
+        dst.copy_from_slice(&buf[24..40]);
+        Ok(Ipv6Header {
+            traffic_class: (buf[0] << 4) | (buf[1] >> 4),
+            flow_label: (u32::from(buf[1] & 0x0f) << 16)
+                | (u32::from(buf[2]) << 8)
+                | u32::from(buf[3]),
+            payload_len: be16(buf, 4).expect("bounds checked"),
+            next_header: buf[6],
+            hop_limit: buf[7],
+            src: u128::from_be_bytes(src),
+            dst: u128::from_be_bytes(dst),
+        })
+    }
+
+    /// Encode this header into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(0x60 | (self.traffic_class >> 4));
+        out.push(((self.traffic_class & 0x0f) << 4) | ((self.flow_label >> 16) as u8 & 0x0f));
+        out.push((self.flow_label >> 8) as u8);
+        out.push(self.flow_label as u8);
+        out.extend_from_slice(&self.payload_len.to_be_bytes());
+        out.push(self.next_header);
+        out.push(self.hop_limit);
+        out.extend_from_slice(&self.src.to_be_bytes());
+        out.extend_from_slice(&self.dst.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = Ipv6Header {
+            traffic_class: 0xAB,
+            flow_label: 0xF_FF_FF,
+            payload_len: 1280,
+            next_header: 6,
+            hop_limit: 62,
+            src: 0x2001_0db8_0000_0000_0000_0000_0000_0001,
+            dst: 0x2001_0db8_ffff_ffff_ffff_ffff_ffff_fffe,
+        };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        assert_eq!(Ipv6Header::decode(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn rejects_v4() {
+        let mut buf = vec![0u8; HEADER_LEN];
+        buf[0] = 0x45;
+        assert!(matches!(
+            Ipv6Header::decode(&buf),
+            Err(PacketError::BadVersion { layer: "ipv6", found: 4 })
+        ));
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(matches!(
+            Ipv6Header::decode(&[0x60; 39]),
+            Err(PacketError::Truncated { layer: "ipv6", .. })
+        ));
+    }
+}

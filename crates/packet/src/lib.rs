@@ -1,0 +1,76 @@
+//! Packet formats and the protocol field interpretation library.
+//!
+//! Gigascope's *Protocol* streams are defined by interpreting raw data
+//! packets with a library of interpretation functions (paper §2.2: "The
+//! Gigascope run time system interprets the data packets as a collection of
+//! fields using a library of interpretation functions"). This crate provides:
+//!
+//! - byte-level codecs for the protocols the paper's deployments monitor:
+//!   Ethernet, IPv4, IPv6, TCP, UDP, ICMP, Netflow-v5-style export records,
+//!   and simplified BGP UPDATE messages;
+//! - [`view::PacketView`], a zero-copy lazily-parsed view over a captured
+//!   frame with cached layer offsets;
+//! - [`interp`], the registry of named field accessors that maps a
+//!   Protocol-stream schema (e.g. `tcp.destPort`) to the function that
+//!   extracts it from a raw packet;
+//! - [`capture`], timestamped captured packets and a simple trace format.
+//!
+//! Everything here is allocation-free on the per-packet hot path: accessors
+//! return either fixed-width integers or [`bytes::Bytes`] slices that share
+//! the frame's backing buffer.
+
+#![warn(missing_docs)]
+
+pub mod bgp;
+pub mod builder;
+pub mod capture;
+pub mod error;
+pub mod ether;
+pub mod icmp;
+pub mod interp;
+pub mod ip;
+pub mod ipv6;
+pub mod netflow;
+pub mod tcp;
+pub mod udp;
+pub mod view;
+
+pub use capture::CapPacket;
+pub use error::PacketError;
+pub use interp::{Accessor, FieldDef, FieldValue, OrderHint, ProtocolDef};
+pub use view::PacketView;
+
+/// Read a big-endian `u16` at `off`, if in bounds.
+#[inline]
+pub(crate) fn be16(b: &[u8], off: usize) -> Option<u16> {
+    b.get(off..off.checked_add(2)?)
+        .map(|s| u16::from_be_bytes([s[0], s[1]]))
+}
+
+/// Read a big-endian `u32` at `off`, if in bounds.
+#[inline]
+pub(crate) fn be32(b: &[u8], off: usize) -> Option<u32> {
+    b.get(off..off.checked_add(4)?)
+        .map(|s| u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn be_readers_in_bounds() {
+        let b = [0x12, 0x34, 0x56, 0x78];
+        assert_eq!(be16(&b, 0), Some(0x1234));
+        assert_eq!(be16(&b, 2), Some(0x5678));
+        assert_eq!(be32(&b, 0), Some(0x1234_5678));
+    }
+
+    #[test]
+    fn be_readers_out_of_bounds() {
+        let b = [0u8; 3];
+        assert_eq!(be16(&b, 2), None);
+        assert_eq!(be32(&b, 0), None);
+        assert_eq!(be16(&b, usize::MAX - 1), None);
+    }
+}

@@ -1,0 +1,270 @@
+//! Netflow v5-style flow export records.
+//!
+//! The paper's motivating ordering example (§2.1): a router emits Netflow
+//! records sorted by flow *end* time, dumping its cache every 30 seconds, so
+//! the *start* time is "banded-increasing(30 sec.)" — always within the dump
+//! interval of the high-water mark. The decoder here preserves both
+//! timestamps so the catalog can attach those ordering properties.
+
+use crate::error::PacketError;
+use crate::{be16, be32};
+
+/// Length of the export packet header.
+pub const PACKET_HEADER_LEN: usize = 24;
+/// Length of one flow record.
+pub const RECORD_LEN: usize = 48;
+/// Netflow export format version encoded by this module.
+pub const VERSION: u16 = 5;
+/// Maximum records per export packet (v5 limit is 30).
+pub const MAX_RECORDS: usize = 30;
+
+/// Header of a Netflow v5 export packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetflowPacketHeader {
+    /// Number of records following the header.
+    pub count: u16,
+    /// Router uptime in milliseconds at export.
+    pub sys_uptime_ms: u32,
+    /// Export wall-clock time, seconds since the epoch.
+    pub unix_secs: u32,
+    /// Residual nanoseconds of the export time.
+    pub unix_nsecs: u32,
+    /// Sequence number of the first flow in this export.
+    pub flow_sequence: u32,
+}
+
+/// A single Netflow v5 flow record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetflowRecord {
+    /// Flow source address, host order.
+    pub src_addr: u32,
+    /// Flow destination address, host order.
+    pub dst_addr: u32,
+    /// Packets in the flow.
+    pub packets: u32,
+    /// Octets (bytes) in the flow.
+    pub octets: u32,
+    /// Uptime at the first packet of the flow, milliseconds.
+    pub first: u32,
+    /// Uptime at the last packet of the flow, milliseconds.
+    pub last: u32,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Cumulative TCP flags observed.
+    pub tcp_flags: u8,
+    /// IP protocol number.
+    pub protocol: u8,
+    /// Type of service byte.
+    pub tos: u8,
+    /// Source autonomous system number.
+    pub src_as: u16,
+    /// Destination autonomous system number.
+    pub dst_as: u16,
+}
+
+impl NetflowPacketHeader {
+    /// Decode the export packet header from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<NetflowPacketHeader, PacketError> {
+        if buf.len() < PACKET_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                layer: "netflow",
+                needed: PACKET_HEADER_LEN,
+                have: buf.len(),
+            });
+        }
+        let version = be16(buf, 0).expect("bounds checked");
+        if version != VERSION {
+            return Err(PacketError::BadVersion { layer: "netflow", found: version as u8 });
+        }
+        Ok(NetflowPacketHeader {
+            count: be16(buf, 2).expect("bounds checked"),
+            sys_uptime_ms: be32(buf, 4).expect("bounds checked"),
+            unix_secs: be32(buf, 8).expect("bounds checked"),
+            unix_nsecs: be32(buf, 12).expect("bounds checked"),
+            flow_sequence: be32(buf, 16).expect("bounds checked"),
+        })
+    }
+
+    /// Encode the header into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&VERSION.to_be_bytes());
+        out.extend_from_slice(&self.count.to_be_bytes());
+        out.extend_from_slice(&self.sys_uptime_ms.to_be_bytes());
+        out.extend_from_slice(&self.unix_secs.to_be_bytes());
+        out.extend_from_slice(&self.unix_nsecs.to_be_bytes());
+        out.extend_from_slice(&self.flow_sequence.to_be_bytes());
+        out.extend_from_slice(&[0u8; 4]); // engine type/id, sampling interval
+    }
+}
+
+impl NetflowRecord {
+    /// Decode one record starting at the front of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<NetflowRecord, PacketError> {
+        if buf.len() < RECORD_LEN {
+            return Err(PacketError::Truncated {
+                layer: "netflow",
+                needed: RECORD_LEN,
+                have: buf.len(),
+            });
+        }
+        Ok(NetflowRecord {
+            src_addr: be32(buf, 0).expect("bounds checked"),
+            dst_addr: be32(buf, 4).expect("bounds checked"),
+            // bytes 8..16 are nexthop + ifindexes, not exposed in the schema
+            packets: be32(buf, 16).expect("bounds checked"),
+            octets: be32(buf, 20).expect("bounds checked"),
+            first: be32(buf, 24).expect("bounds checked"),
+            last: be32(buf, 28).expect("bounds checked"),
+            src_port: be16(buf, 32).expect("bounds checked"),
+            dst_port: be16(buf, 34).expect("bounds checked"),
+            tcp_flags: buf[37],
+            protocol: buf[38],
+            tos: buf[39],
+            src_as: be16(buf, 40).expect("bounds checked"),
+            dst_as: be16(buf, 42).expect("bounds checked"),
+        })
+    }
+
+    /// Encode this record into `out`, emitting exactly [`RECORD_LEN`] bytes.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.src_addr.to_be_bytes());
+        out.extend_from_slice(&self.dst_addr.to_be_bytes());
+        out.extend_from_slice(&[0u8; 8]); // nexthop, input/output ifindex
+        out.extend_from_slice(&self.packets.to_be_bytes());
+        out.extend_from_slice(&self.octets.to_be_bytes());
+        out.extend_from_slice(&self.first.to_be_bytes());
+        out.extend_from_slice(&self.last.to_be_bytes());
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.push(0); // pad
+        out.push(self.tcp_flags);
+        out.push(self.protocol);
+        out.push(self.tos);
+        out.extend_from_slice(&self.src_as.to_be_bytes());
+        out.extend_from_slice(&self.dst_as.to_be_bytes());
+        out.extend_from_slice(&[0u8; 4]); // masks, pad
+    }
+}
+
+/// Encode a full export packet (header plus up to [`MAX_RECORDS`] records).
+pub fn encode_packet(
+    header: &NetflowPacketHeader,
+    records: &[NetflowRecord],
+) -> Result<Vec<u8>, PacketError> {
+    if records.len() > MAX_RECORDS {
+        return Err(PacketError::FieldOverflow { layer: "netflow", field: "count" });
+    }
+    let mut hdr = *header;
+    hdr.count = records.len() as u16;
+    let mut out = Vec::with_capacity(PACKET_HEADER_LEN + records.len() * RECORD_LEN);
+    hdr.encode(&mut out);
+    for r in records {
+        r.encode(&mut out);
+    }
+    Ok(out)
+}
+
+/// Decode a full export packet into its header and records.
+pub fn decode_packet(buf: &[u8]) -> Result<(NetflowPacketHeader, Vec<NetflowRecord>), PacketError> {
+    let header = NetflowPacketHeader::decode(buf)?;
+    let mut records = Vec::with_capacity(usize::from(header.count));
+    let mut off = PACKET_HEADER_LEN;
+    for _ in 0..header.count {
+        let rest = buf.get(off..).ok_or(PacketError::Truncated {
+            layer: "netflow",
+            needed: off + RECORD_LEN,
+            have: buf.len(),
+        })?;
+        records.push(NetflowRecord::decode(rest)?);
+        off += RECORD_LEN;
+    }
+    Ok((header, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: u32) -> NetflowRecord {
+        NetflowRecord {
+            src_addr: 0x0a00_0001 + i,
+            dst_addr: 0xc0a8_0001,
+            packets: 10 + i,
+            octets: 1000 + i,
+            first: 5000 + i,
+            last: 9000 + i,
+            src_port: 1024,
+            dst_port: 80,
+            tcp_flags: 0x1b,
+            protocol: 6,
+            tos: 0,
+            src_as: 7018,
+            dst_as: 701,
+        }
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let r = rec(3);
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        assert_eq!(buf.len(), RECORD_LEN);
+        assert_eq!(NetflowRecord::decode(&buf).unwrap(), r);
+    }
+
+    #[test]
+    fn packet_roundtrip() {
+        let hdr = NetflowPacketHeader {
+            count: 0,
+            sys_uptime_ms: 123456,
+            unix_secs: 1_050_000_000,
+            unix_nsecs: 42,
+            flow_sequence: 999,
+        };
+        let recs: Vec<_> = (0..5).map(rec).collect();
+        let buf = encode_packet(&hdr, &recs).unwrap();
+        let (h2, r2) = decode_packet(&buf).unwrap();
+        assert_eq!(h2.count, 5);
+        assert_eq!(h2.flow_sequence, 999);
+        assert_eq!(r2, recs);
+    }
+
+    #[test]
+    fn too_many_records_rejected() {
+        let hdr = NetflowPacketHeader {
+            count: 0,
+            sys_uptime_ms: 0,
+            unix_secs: 0,
+            unix_nsecs: 0,
+            flow_sequence: 0,
+        };
+        let recs: Vec<_> = (0..31).map(rec).collect();
+        assert!(encode_packet(&hdr, &recs).is_err());
+    }
+
+    #[test]
+    fn truncated_record_tail() {
+        let hdr = NetflowPacketHeader {
+            count: 0,
+            sys_uptime_ms: 0,
+            unix_secs: 0,
+            unix_nsecs: 0,
+            flow_sequence: 0,
+        };
+        let mut buf = encode_packet(&hdr, &[rec(0), rec(1)]).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(decode_packet(&buf).is_err());
+    }
+
+    #[test]
+    fn bad_version() {
+        let mut buf = vec![0u8; PACKET_HEADER_LEN];
+        buf[1] = 9;
+        assert!(matches!(
+            NetflowPacketHeader::decode(&buf),
+            Err(PacketError::BadVersion { .. })
+        ));
+    }
+}

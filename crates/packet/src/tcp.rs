@@ -1,0 +1,145 @@
+//! TCP header encoding and decoding.
+
+use crate::error::PacketError;
+use crate::{be16, be32};
+
+/// Minimum TCP header length (no options).
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// FIN flag bit.
+pub const FLAG_FIN: u8 = 0x01;
+/// SYN flag bit.
+pub const FLAG_SYN: u8 = 0x02;
+/// RST flag bit.
+pub const FLAG_RST: u8 = 0x04;
+/// PSH flag bit.
+pub const FLAG_PSH: u8 = 0x08;
+/// ACK flag bit.
+pub const FLAG_ACK: u8 = 0x10;
+/// URG flag bit.
+pub const FLAG_URG: u8 = 0x20;
+
+/// A decoded TCP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Header length in bytes (data offset × 4).
+    pub header_len: u8,
+    /// Flag bits (FIN..URG).
+    pub flags: u8,
+    /// Receive window.
+    pub window: u16,
+    /// Checksum as found on the wire.
+    pub checksum: u16,
+    /// Urgent pointer.
+    pub urgent: u16,
+}
+
+impl TcpHeader {
+    /// Decode a TCP header from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<TcpHeader, PacketError> {
+        if buf.len() < MIN_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                layer: "tcp",
+                needed: MIN_HEADER_LEN,
+                have: buf.len(),
+            });
+        }
+        let data_off = buf[12] >> 4;
+        if data_off < 5 {
+            return Err(PacketError::BadLength { layer: "tcp", what: "data offset < 5" });
+        }
+        let header_len = usize::from(data_off) * 4;
+        if buf.len() < header_len {
+            return Err(PacketError::Truncated { layer: "tcp", needed: header_len, have: buf.len() });
+        }
+        Ok(TcpHeader {
+            src_port: be16(buf, 0).expect("bounds checked"),
+            dst_port: be16(buf, 2).expect("bounds checked"),
+            seq: be32(buf, 4).expect("bounds checked"),
+            ack: be32(buf, 8).expect("bounds checked"),
+            header_len: header_len as u8,
+            flags: buf[13] & 0x3f,
+            window: be16(buf, 14).expect("bounds checked"),
+            checksum: be16(buf, 16).expect("bounds checked"),
+            urgent: be16(buf, 18).expect("bounds checked"),
+        })
+    }
+
+    /// Encode this header (without options) into `out`. Like the IPv4
+    /// encoder, option-bearing headers are rejected.
+    pub fn encode(&self, out: &mut Vec<u8>) -> Result<(), PacketError> {
+        if self.header_len != 20 {
+            return Err(PacketError::FieldOverflow { layer: "tcp", field: "header_len" });
+        }
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.push(5 << 4);
+        out.push(self.flags);
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&self.checksum.to_be_bytes());
+        out.extend_from_slice(&self.urgent.to_be_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = TcpHeader {
+            src_port: 49152,
+            dst_port: 80,
+            seq: 0xDEAD_BEEF,
+            ack: 0x0102_0304,
+            header_len: 20,
+            flags: FLAG_SYN | FLAG_ACK,
+            window: 65535,
+            checksum: 0x1234,
+            urgent: 0,
+        };
+        let mut buf = Vec::new();
+        h.encode(&mut buf).unwrap();
+        assert_eq!(buf.len(), MIN_HEADER_LEN);
+        assert_eq!(TcpHeader::decode(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn decode_with_options() {
+        // Build a 24-byte header (data offset 6) by hand.
+        let mut buf = vec![0u8; 24];
+        buf[0..2].copy_from_slice(&1234u16.to_be_bytes());
+        buf[2..4].copy_from_slice(&80u16.to_be_bytes());
+        buf[12] = 6 << 4;
+        buf[13] = FLAG_PSH | FLAG_ACK;
+        let h = TcpHeader::decode(&buf).unwrap();
+        assert_eq!(h.header_len, 24);
+        assert_eq!(h.dst_port, 80);
+        assert_eq!(h.flags, FLAG_PSH | FLAG_ACK);
+    }
+
+    #[test]
+    fn rejects_truncated_options() {
+        let mut buf = vec![0u8; 20];
+        buf[12] = 8 << 4; // claims 32-byte header
+        assert!(matches!(TcpHeader::decode(&buf), Err(PacketError::Truncated { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_offset() {
+        let mut buf = vec![0u8; 20];
+        buf[12] = 4 << 4;
+        assert!(matches!(TcpHeader::decode(&buf), Err(PacketError::BadLength { .. })));
+    }
+}

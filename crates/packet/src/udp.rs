@@ -1,0 +1,78 @@
+//! UDP header encoding and decoding.
+
+use crate::be16;
+use crate::error::PacketError;
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// A decoded UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header plus payload.
+    pub length: u16,
+    /// Checksum as found on the wire (0 means "not computed").
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Decode a UDP header from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<UdpHeader, PacketError> {
+        if buf.len() < HEADER_LEN {
+            return Err(PacketError::Truncated {
+                layer: "udp",
+                needed: HEADER_LEN,
+                have: buf.len(),
+            });
+        }
+        let h = UdpHeader {
+            src_port: be16(buf, 0).expect("bounds checked"),
+            dst_port: be16(buf, 2).expect("bounds checked"),
+            length: be16(buf, 4).expect("bounds checked"),
+            checksum: be16(buf, 6).expect("bounds checked"),
+        };
+        if usize::from(h.length) < HEADER_LEN {
+            return Err(PacketError::BadLength { layer: "udp", what: "length < 8" });
+        }
+        Ok(h)
+    }
+
+    /// Encode this header into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.length.to_be_bytes());
+        out.extend_from_slice(&self.checksum.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = UdpHeader { src_port: 53, dst_port: 33000, length: 120, checksum: 0xABCD };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        assert_eq!(UdpHeader::decode(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn rejects_short_length_field() {
+        let h = UdpHeader { src_port: 1, dst_port: 2, length: 7, checksum: 0 };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert!(matches!(UdpHeader::decode(&buf), Err(PacketError::BadLength { .. })));
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(matches!(UdpHeader::decode(&[0; 7]), Err(PacketError::Truncated { .. })));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests: every codec round-trips arbitrary field values, and the
+//! trace container round-trips arbitrary packet lists.
+
+use bytes::Bytes;
+use gs_packet::capture::{read_trace, write_trace, CapPacket, LinkType};
+use gs_packet::ether::{EtherHeader, MacAddr};
+use gs_packet::ip::{checksum, fmt_ipv4, parse_ipv4, Ipv4Header};
+use gs_packet::netflow::{decode_packet, encode_packet, NetflowPacketHeader, NetflowRecord};
+use gs_packet::tcp::TcpHeader;
+use gs_packet::udp::UdpHeader;
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_ipv4_header()(
+        tos in any::<u8>(),
+        total_len in 20u16..,
+        id in any::<u16>(),
+        flags_frag in any::<u16>(),
+        ttl in any::<u8>(),
+        protocol in any::<u8>(),
+        src in any::<u32>(),
+        dst in any::<u32>(),
+    ) -> Ipv4Header {
+        Ipv4Header {
+            header_len: 20, tos, total_len, id,
+            // bit 15 is reserved-zero on encode/decode equality; keep it clear
+            flags_frag: flags_frag & 0x7fff,
+            ttl, protocol, checksum: 0, src, dst,
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn ipv4_roundtrip(h in arb_ipv4_header()) {
+        let mut buf = Vec::new();
+        h.encode(&mut buf).unwrap();
+        let d = Ipv4Header::decode(&buf).unwrap();
+        prop_assert_eq!(d.tos, h.tos);
+        prop_assert_eq!(d.total_len, h.total_len);
+        prop_assert_eq!(d.id, h.id);
+        prop_assert_eq!(d.flags_frag, h.flags_frag);
+        prop_assert_eq!(d.ttl, h.ttl);
+        prop_assert_eq!(d.protocol, h.protocol);
+        prop_assert_eq!(d.src, h.src);
+        prop_assert_eq!(d.dst, h.dst);
+        // The emitted checksum always validates.
+        prop_assert_eq!(checksum(&buf), 0);
+    }
+
+    #[test]
+    fn ipv4_decode_never_panics(buf in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Ipv4Header::decode(&buf);
+    }
+
+    #[test]
+    fn addr_text_roundtrip(addr in any::<u32>()) {
+        prop_assert_eq!(parse_ipv4(&fmt_ipv4(addr)), Some(addr));
+    }
+
+    #[test]
+    fn tcp_roundtrip(
+        src_port in any::<u16>(), dst_port in any::<u16>(),
+        seq in any::<u32>(), ack in any::<u32>(),
+        flags in 0u8..=0x3f, window in any::<u16>(),
+        cksum in any::<u16>(), urgent in any::<u16>(),
+    ) {
+        let h = TcpHeader {
+            src_port, dst_port, seq, ack, header_len: 20,
+            flags, window, checksum: cksum, urgent,
+        };
+        let mut buf = Vec::new();
+        h.encode(&mut buf).unwrap();
+        prop_assert_eq!(TcpHeader::decode(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn udp_roundtrip(
+        src_port in any::<u16>(), dst_port in any::<u16>(),
+        length in 8u16.., cksum in any::<u16>(),
+    ) {
+        let h = UdpHeader { src_port, dst_port, length, checksum: cksum };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        prop_assert_eq!(UdpHeader::decode(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn ether_roundtrip(dst in any::<[u8; 6]>(), src in any::<[u8; 6]>(), ethertype in any::<u16>()) {
+        let h = EtherHeader { dst: MacAddr(dst), src: MacAddr(src), ethertype };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        prop_assert_eq!(EtherHeader::decode(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn netflow_packet_roundtrip(
+        uptime in any::<u32>(), secs in any::<u32>(), seq in any::<u32>(),
+        recs in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(),
+             any::<u16>(), any::<u16>(), any::<u8>(), any::<u8>()),
+            0..30,
+        ),
+    ) {
+        let records: Vec<NetflowRecord> = recs.into_iter().map(
+            |(src_addr, dst_addr, packets, octets, first, last, src_port, dst_port, tcp_flags, protocol)|
+            NetflowRecord {
+                src_addr, dst_addr, packets, octets, first, last,
+                src_port, dst_port, tcp_flags, protocol,
+                tos: 0, src_as: 7018, dst_as: 1,
+            }
+        ).collect();
+        let hdr = NetflowPacketHeader {
+            count: 0, sys_uptime_ms: uptime, unix_secs: secs, unix_nsecs: 0, flow_sequence: seq,
+        };
+        let buf = encode_packet(&hdr, &records).unwrap();
+        let (h2, r2) = decode_packet(&buf).unwrap();
+        prop_assert_eq!(h2.count as usize, records.len());
+        prop_assert_eq!(r2, records);
+    }
+
+    #[test]
+    fn trace_roundtrip(
+        pkts in proptest::collection::vec(
+            (any::<u64>(), any::<u16>(), 0u8..4, proptest::collection::vec(any::<u8>(), 0..128)),
+            0..40,
+        ),
+    ) {
+        let packets: Vec<CapPacket> = pkts.into_iter().map(|(ts, iface, link, data)| CapPacket::full(
+            ts, iface, LinkType::from_tag(link).unwrap(), Bytes::from(data),
+        )).collect();
+        let buf = write_trace(&packets);
+        prop_assert_eq!(read_trace(&buf).unwrap(), packets);
+    }
+
+    #[test]
+    fn trace_reader_never_panics(buf in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = read_trace(&buf);
+    }
+
+    #[test]
+    fn view_never_panics_on_garbage(
+        link in 0u8..4,
+        data in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let cap = CapPacket::full(0, 0, LinkType::from_tag(link).unwrap(), Bytes::from(data));
+        let v = gs_packet::PacketView::parse(cap);
+        // Exercising every accessor must be safe on arbitrary bytes.
+        for proto in gs_packet::interp::PROTOCOLS.iter() {
+            let _ = (proto.matches)(&v);
+            for f in proto.fields {
+                let _ = (f.accessor)(&v);
+            }
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! The expression compiler.
+//!
+//! "The GSQL processor is actually a code generator" (paper §3). Our
+//! analogue: a resolved [`PExpr`] compiles into a flat register-machine
+//! [`Program`] — straight-line instructions over a reusable register file,
+//! evaluated with no per-tuple allocation. Query parameters are bound at
+//! compile (instantiation) time, as are UDF handle parameters, so each
+//! instantiated program is as close to generated code as safe Rust gets.
+//!
+//! Programs evaluate over any [`FieldSource`]: a materialized [`Tuple`]
+//! (HFTA operators) or a parsed packet via the protocol interpretation
+//! library (LFTA operators). A missing field (e.g. `destPort` of a
+//! malformed packet) or a partial-UDF miss aborts evaluation, discarding
+//! the tuple — the paper's foreign-key-join semantics.
+
+use crate::params::ParamBindings;
+use crate::tuple::Tuple;
+use crate::udf::{HandleResolver, ScalarUdf, UdfRegistry};
+use crate::value::Value;
+use crate::RuntimeError;
+use gs_gsql::ast::{BinOp, UnOp};
+use gs_gsql::plan::PExpr;
+use gs_packet::interp::FieldDef;
+use gs_packet::PacketView;
+
+/// Anything a program can read input fields from.
+pub trait FieldSource {
+    /// Field by schema index; `None` discards the tuple.
+    fn field(&self, idx: usize) -> Option<Value>;
+}
+
+impl FieldSource for Tuple {
+    #[inline]
+    fn field(&self, idx: usize) -> Option<Value> {
+        Some(self.get(idx).clone())
+    }
+}
+
+/// A parsed packet exposed through a protocol's interpretation functions.
+pub struct PacketFields<'a> {
+    view: &'a PacketView,
+    fields: &'static [FieldDef],
+}
+
+impl<'a> PacketFields<'a> {
+    /// Wrap a parsed packet with its protocol's field accessors.
+    pub fn new(view: &'a PacketView, fields: &'static [FieldDef]) -> PacketFields<'a> {
+        PacketFields { view, fields }
+    }
+}
+
+impl FieldSource for PacketFields<'_> {
+    #[inline]
+    fn field(&self, idx: usize) -> Option<Value> {
+        let f = self.fields.get(idx)?;
+        (f.accessor)(self.view).map(Value::from_field)
+    }
+}
+
+/// One instruction.
+enum Instr {
+    /// `reg[dst] = source.field(src)`.
+    Field { src: usize, dst: usize },
+    /// `reg[dst] = val`.
+    Const { val: Value, dst: usize },
+    /// `reg[dst] = reg[a] op reg[b]`.
+    Bin { op: BinOp, a: usize, b: usize, dst: usize },
+    /// `reg[dst] = !reg[a]`.
+    Not { a: usize, dst: usize },
+    /// `reg[dst] = udf(reg[args]...)`; a `None` result aborts (partial).
+    Call { f: usize, args: Vec<usize>, dst: usize },
+}
+
+/// A compiled expression program.
+pub struct Program {
+    instrs: Vec<Instr>,
+    udfs: Vec<Box<dyn ScalarUdf>>,
+    out: usize,
+    n_regs: usize,
+}
+
+/// Reusable register file; create once per operator and reuse per tuple.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    regs: Vec<Value>,
+}
+
+impl Program {
+    /// Compile `pe`, binding parameters and pre-processing UDF handles.
+    pub fn compile(
+        pe: &PExpr,
+        params: &ParamBindings,
+        registry: &UdfRegistry,
+        resolver: &dyn HandleResolver,
+    ) -> Result<Program, RuntimeError> {
+        let mut c = Compiler {
+            instrs: Vec::new(),
+            udfs: Vec::new(),
+            next_reg: 0,
+            params,
+            registry,
+            resolver,
+        };
+        let out = c.emit(pe)?;
+        Ok(Program { instrs: c.instrs, udfs: c.udfs, out, n_regs: c.next_reg })
+    }
+
+    /// Evaluate over `src`. `None` discards the tuple.
+    pub fn eval<S: FieldSource>(&self, src: &S, scratch: &mut EvalScratch) -> Option<Value> {
+        scratch.regs.resize(self.n_regs.max(1), Value::UInt(0));
+        let regs = &mut scratch.regs;
+        for ins in &self.instrs {
+            match ins {
+                Instr::Field { src: i, dst } => regs[*dst] = src.field(*i)?,
+                Instr::Const { val, dst } => regs[*dst] = val.clone(),
+                Instr::Bin { op, a, b, dst } => {
+                    regs[*dst] = eval_bin(*op, &regs[*a], &regs[*b])?;
+                }
+                Instr::Not { a, dst } => regs[*dst] = Value::Bool(!regs[*a].as_bool()?),
+                Instr::Call { f, args, dst } => {
+                    // Arguments are gathered into a small stack buffer.
+                    let mut buf: [Value; MAX_UDF_ARGS] =
+                        std::array::from_fn(|_| Value::UInt(0));
+                    for (k, &r) in args.iter().enumerate() {
+                        buf[k] = regs[r].clone();
+                    }
+                    regs[*dst] = self.udfs[*f].eval(&buf[..args.len()])?;
+                }
+            }
+        }
+        Some(regs[self.out].clone())
+    }
+
+    /// Evaluate as a predicate; a discarded tuple fails the predicate.
+    #[inline]
+    pub fn eval_bool<S: FieldSource>(&self, src: &S, scratch: &mut EvalScratch) -> bool {
+        matches!(self.eval(src, scratch), Some(Value::Bool(true)))
+    }
+
+    /// Instruction count (diagnostics).
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty (never true for compiled expressions).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+/// Maximum UDF arity supported by the evaluator's stack buffer.
+pub const MAX_UDF_ARGS: usize = 8;
+
+struct Compiler<'a> {
+    instrs: Vec<Instr>,
+    udfs: Vec<Box<dyn ScalarUdf>>,
+    next_reg: usize,
+    params: &'a ParamBindings,
+    registry: &'a UdfRegistry,
+    resolver: &'a dyn HandleResolver,
+}
+
+impl<'a> Compiler<'a> {
+    fn reg(&mut self) -> usize {
+        self.next_reg += 1;
+        self.next_reg - 1
+    }
+
+    fn emit(&mut self, pe: &PExpr) -> Result<usize, RuntimeError> {
+        match pe {
+            PExpr::Col { index, .. } => {
+                let dst = self.reg();
+                self.instrs.push(Instr::Field { src: *index, dst });
+                Ok(dst)
+            }
+            PExpr::Lit(l) => {
+                let dst = self.reg();
+                self.instrs.push(Instr::Const { val: Value::from_literal(l), dst });
+                Ok(dst)
+            }
+            PExpr::Param { name, .. } => {
+                let v = self
+                    .params
+                    .get(name)
+                    .ok_or_else(|| {
+                        RuntimeError::msg(format!("unbound query parameter `${name}`"))
+                    })?
+                    .clone();
+                let dst = self.reg();
+                self.instrs.push(Instr::Const { val: v, dst });
+                Ok(dst)
+            }
+            PExpr::Unary { op: UnOp::Not, arg } => {
+                let a = self.emit(arg)?;
+                let dst = self.reg();
+                self.instrs.push(Instr::Not { a, dst });
+                Ok(dst)
+            }
+            PExpr::Binary { op, left, right, .. } => {
+                let a = self.emit(left)?;
+                let b = self.emit(right)?;
+                let dst = self.reg();
+                self.instrs.push(Instr::Bin { op: *op, a, b, dst });
+                Ok(dst)
+            }
+            PExpr::Call { udf, args, .. } => {
+                if args.len() > MAX_UDF_ARGS {
+                    return Err(RuntimeError::msg(format!(
+                        "function `{udf}` exceeds the {MAX_UDF_ARGS}-argument limit"
+                    )));
+                }
+                // Constant-evaluable arguments double as handle bindings.
+                let handles: Vec<Option<Value>> = args
+                    .iter()
+                    .map(|a| match a {
+                        PExpr::Lit(l) => Some(Value::from_literal(l)),
+                        PExpr::Param { name, .. } => self.params.get(name).cloned(),
+                        _ => None,
+                    })
+                    .collect();
+                let instance = self.registry.instantiate(udf, &handles, self.resolver)?;
+                let f = self.udfs.len();
+                self.udfs.push(instance);
+                let mut arg_regs = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_regs.push(self.emit(a)?);
+                }
+                let dst = self.reg();
+                self.instrs.push(Instr::Call { f, args: arg_regs, dst });
+                Ok(dst)
+            }
+        }
+    }
+}
+
+/// Binary operation on values. `None` discards the tuple (type confusion
+/// cannot happen on analyzer-produced programs; division by zero can).
+fn eval_bin(op: BinOp, a: &Value, b: &Value) -> Option<Value> {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | Div | Mod => match (a, b) {
+            (Value::UInt(x), Value::UInt(y)) => Some(Value::UInt(match op {
+                Add => x.wrapping_add(*y),
+                Sub => x.wrapping_sub(*y),
+                Mul => x.wrapping_mul(*y),
+                Div => x.checked_div(*y)?,
+                Mod => x.checked_rem(*y)?,
+                _ => unreachable!(),
+            })),
+            _ => {
+                let x = a.as_float()?;
+                let y = b.as_float()?;
+                Some(Value::Float(match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => x / y,
+                    Mod => x % y,
+                    _ => unreachable!(),
+                }))
+            }
+        },
+        BitAnd => Some(Value::UInt(a.as_uint()? & b.as_uint()?)),
+        BitOr => Some(Value::UInt(a.as_uint()? | b.as_uint()?)),
+        BitXor => Some(Value::UInt(a.as_uint()? ^ b.as_uint()?)),
+        And => Some(Value::Bool(a.as_bool()? && b.as_bool()?)),
+        Or => Some(Value::Bool(a.as_bool()? || b.as_bool()?)),
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let ord = a.total_cmp(b);
+            Some(Value::Bool(match op {
+                Eq => ord.is_eq(),
+                Ne => ord.is_ne(),
+                Lt => ord.is_lt(),
+                Le => ord.is_le(),
+                Gt => ord.is_gt(),
+                Ge => ord.is_ge(),
+                _ => unreachable!(),
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udf::FileStore;
+    use gs_gsql::plan::Literal;
+    use gs_gsql::types::DataType;
+
+    fn compile(pe: &PExpr) -> Program {
+        Program::compile(
+            pe,
+            &ParamBindings::new(),
+            &UdfRegistry::with_builtins(),
+            &FileStore::new(),
+        )
+        .unwrap()
+    }
+
+    fn col(i: usize) -> PExpr {
+        PExpr::Col { index: i, ty: DataType::UInt }
+    }
+
+    fn lit(v: u64) -> PExpr {
+        PExpr::Lit(Literal::UInt(v))
+    }
+
+    fn bin(op: BinOp, l: PExpr, r: PExpr, ty: DataType) -> PExpr {
+        PExpr::Binary { op, left: Box::new(l), right: Box::new(r), ty }
+    }
+
+    #[test]
+    fn arithmetic_over_tuple() {
+        // (c0 + 5) * c1
+        let e = bin(
+            BinOp::Mul,
+            bin(BinOp::Add, col(0), lit(5), DataType::UInt),
+            col(1),
+            DataType::UInt,
+        );
+        let p = compile(&e);
+        let t = Tuple::new(vec![Value::UInt(3), Value::UInt(2)]);
+        let mut s = EvalScratch::default();
+        assert_eq!(p.eval(&t, &mut s), Some(Value::UInt(16)));
+        // Scratch reuse across tuples.
+        let t2 = Tuple::new(vec![Value::UInt(0), Value::UInt(100)]);
+        assert_eq!(p.eval(&t2, &mut s), Some(Value::UInt(500)));
+    }
+
+    #[test]
+    fn bucket_division_truncates() {
+        let e = bin(BinOp::Div, col(0), lit(60), DataType::UInt);
+        let p = compile(&e);
+        let mut s = EvalScratch::default();
+        let t = Tuple::new(vec![Value::UInt(119)]);
+        assert_eq!(p.eval(&t, &mut s), Some(Value::UInt(1)));
+    }
+
+    #[test]
+    fn division_by_zero_discards() {
+        let e = bin(BinOp::Div, col(0), lit(0), DataType::UInt);
+        let p = compile(&e);
+        let mut s = EvalScratch::default();
+        assert_eq!(p.eval(&Tuple::new(vec![Value::UInt(4)]), &mut s), None);
+    }
+
+    #[test]
+    fn float_mixing() {
+        let e = bin(BinOp::Div, PExpr::Lit(Literal::Float(1.0)), lit(4), DataType::Float);
+        let p = compile(&e);
+        let mut s = EvalScratch::default();
+        assert_eq!(p.eval(&Tuple::new(vec![]), &mut s), Some(Value::Float(0.25)));
+    }
+
+    #[test]
+    fn predicates_and_logic() {
+        // c0 = 80 AND NOT (c1 > 10)
+        let e = bin(
+            BinOp::And,
+            bin(BinOp::Eq, col(0), lit(80), DataType::Bool),
+            PExpr::Unary {
+                op: UnOp::Not,
+                arg: Box::new(bin(BinOp::Gt, col(1), lit(10), DataType::Bool)),
+            },
+            DataType::Bool,
+        );
+        let p = compile(&e);
+        let mut s = EvalScratch::default();
+        assert!(p.eval_bool(&Tuple::new(vec![Value::UInt(80), Value::UInt(5)]), &mut s));
+        assert!(!p.eval_bool(&Tuple::new(vec![Value::UInt(80), Value::UInt(11)]), &mut s));
+        assert!(!p.eval_bool(&Tuple::new(vec![Value::UInt(81), Value::UInt(5)]), &mut s));
+    }
+
+    #[test]
+    fn bit_operations() {
+        let e = bin(BinOp::BitAnd, col(0), lit(0x12), DataType::UInt);
+        let p = compile(&e);
+        let mut s = EvalScratch::default();
+        assert_eq!(p.eval(&Tuple::new(vec![Value::UInt(0x1F)]), &mut s), Some(Value::UInt(0x12)));
+    }
+
+    #[test]
+    fn params_bind_at_compile_time() {
+        let e = bin(
+            BinOp::Eq,
+            col(0),
+            PExpr::Param { name: "port".into(), ty: DataType::UInt },
+            DataType::Bool,
+        );
+        let params = ParamBindings::new().with("port", Value::UInt(443));
+        let p = Program::compile(
+            &e,
+            &params,
+            &UdfRegistry::with_builtins(),
+            &FileStore::new(),
+        )
+        .unwrap();
+        let mut s = EvalScratch::default();
+        assert!(p.eval_bool(&Tuple::new(vec![Value::UInt(443)]), &mut s));
+        assert!(!p.eval_bool(&Tuple::new(vec![Value::UInt(80)]), &mut s));
+        // Unbound parameter fails instantiation, not evaluation.
+        assert!(Program::compile(
+            &e,
+            &ParamBindings::new(),
+            &UdfRegistry::with_builtins(),
+            &FileStore::new()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn partial_udf_discards_tuple() {
+        let mut store = FileStore::new();
+        store.insert("t.tbl", b"10.0.0.0/8 7\n".to_vec());
+        let e = PExpr::Call {
+            udf: "getlpmid".into(),
+            args: vec![
+                PExpr::Col { index: 0, ty: DataType::Ip },
+                PExpr::Lit(Literal::Str("t.tbl".into())),
+            ],
+            ret: DataType::UInt,
+            partial: true,
+        };
+        let p = Program::compile(
+            &e,
+            &ParamBindings::new(),
+            &UdfRegistry::with_builtins(),
+            &store,
+        )
+        .unwrap();
+        let mut s = EvalScratch::default();
+        assert_eq!(
+            p.eval(&Tuple::new(vec![Value::Ip(0x0a010101)]), &mut s),
+            Some(Value::UInt(7))
+        );
+        assert_eq!(p.eval(&Tuple::new(vec![Value::Ip(0x0b000001)]), &mut s), None);
+    }
+
+    #[test]
+    fn packet_field_source() {
+        let frame = gs_packet::builder::FrameBuilder::tcp(0x0a000001, 2, 999, 80)
+            .payload(b"GET / HTTP/1.0")
+            .build_ethernet();
+        let view = PacketView::parse(gs_packet::CapPacket::full(
+            5_000_000_000,
+            0,
+            gs_packet::capture::LinkType::Ethernet,
+            frame,
+        ));
+        let proto = gs_packet::interp::protocol("tcp").unwrap();
+        let src = PacketFields::new(&view, proto.fields);
+        let dp = proto.field_index("destPort").unwrap();
+        let e = bin(BinOp::Eq, col(dp), lit(80), DataType::Bool);
+        let p = compile(&e);
+        let mut s = EvalScratch::default();
+        assert!(p.eval_bool(&src, &mut s));
+
+        // A UDP packet read through the TCP schema discards.
+        let udp = gs_packet::builder::FrameBuilder::udp(1, 2, 53, 53).build_ethernet();
+        let uview = PacketView::parse(gs_packet::CapPacket::full(
+            0,
+            0,
+            gs_packet::capture::LinkType::Ethernet,
+            udp,
+        ));
+        let usrc = PacketFields::new(&uview, proto.fields);
+        assert_eq!(p.eval(&usrc, &mut s), None);
+    }
+
+    #[test]
+    fn string_comparisons() {
+        let e = PExpr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(PExpr::Col { index: 0, ty: DataType::Str }),
+            right: Box::new(PExpr::Lit(Literal::Str("abc".into()))),
+            ty: DataType::Bool,
+        };
+        let p = compile(&e);
+        let mut s = EvalScratch::default();
+        let t = Tuple::new(vec![Value::Str(bytes::Bytes::from_static(b"abc"))]);
+        assert!(p.eval_bool(&t, &mut s));
+    }
+}

@@ -1,0 +1,710 @@
+//! Group-by / aggregation.
+//!
+//! Two engines share one core:
+//!
+//! - [`GroupAggregator`]: the exact hash aggregation HFTAs run, with
+//!   ordered-attribute flushing — "When a tuple arrives for aggregation
+//!   whose ordered attribute is larger than that in any current group, we
+//!   can deduce that all of the current groups are closed ... All of the
+//!   closed groups are flushed to the output" (paper §2.1);
+//! - [`DirectMappedAggregator`]: the LFTA's small direct-mapped table —
+//!   "Hash table collisions result in a tuple computed from the ejected
+//!   group being written to the output stream. Because of temporal
+//!   locality, aggregation even with a small hash table is effective in
+//!   early data reduction" (paper §3).
+//!
+//! Both are generic over [`FieldSource`], so the same code aggregates
+//! materialized tuples (HFTA) and raw packets through the interpretation
+//! library (LFTA).
+
+use crate::expr::{EvalScratch, FieldSource, Program};
+use crate::ops::Operator;
+use crate::punct::Punct;
+use crate::tuple::{StreamItem, Tuple};
+use crate::value::Value;
+use gs_gsql::ast::AggFunc;
+use gs_gsql::types::DataType;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// One aggregate accumulator.
+#[derive(Debug, Clone)]
+pub enum Acc {
+    /// Tuple count.
+    Count(u64),
+    /// Integer sum (wrapping).
+    SumU(u64),
+    /// Float sum.
+    SumF(f64),
+    /// Running minimum.
+    Min(Option<Value>),
+    /// Running maximum.
+    Max(Option<Value>),
+}
+
+impl Acc {
+    /// Fresh accumulator for a spec.
+    pub fn new(func: AggFunc, ty: DataType) -> Acc {
+        match func {
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => {
+                if ty == DataType::Float {
+                    Acc::SumF(0.0)
+                } else {
+                    Acc::SumU(0)
+                }
+            }
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            // `avg` is split into sum+count by the planner; an unsplit avg
+            // (pure-HFTA aggregation) accumulates as a float sum and the
+            // surrounding plan divides.
+            AggFunc::Avg => Acc::SumF(0.0),
+        }
+    }
+
+    /// Fold one argument value (`None` only for `count(*)`).
+    pub fn update(&mut self, v: Option<&Value>) {
+        match self {
+            Acc::Count(c) => *c += 1,
+            Acc::SumU(s) => {
+                if let Some(v) = v.and_then(|v| v.as_uint()) {
+                    *s = s.wrapping_add(v);
+                }
+            }
+            Acc::SumF(s) => {
+                if let Some(v) = v.and_then(|v| v.as_float()) {
+                    *s += v;
+                }
+            }
+            Acc::Min(m) => {
+                if let Some(v) = v {
+                    let better =
+                        m.as_ref().is_none_or(|cur| v.total_cmp(cur).is_lt());
+                    if better {
+                        *m = Some(v.clone());
+                    }
+                }
+            }
+            Acc::Max(m) => {
+                if let Some(v) = v {
+                    let better =
+                        m.as_ref().is_none_or(|cur| v.total_cmp(cur).is_gt());
+                    if better {
+                        *m = Some(v.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// The accumulated value.
+    pub fn value(&self) -> Value {
+        match self {
+            Acc::Count(c) => Value::UInt(*c),
+            Acc::SumU(s) => Value::UInt(*s),
+            Acc::SumF(s) => Value::Float(*s),
+            // Empty min/max can only be emitted if every contributing
+            // tuple's argument failed to evaluate; emit zero.
+            Acc::Min(m) | Acc::Max(m) => m.clone().unwrap_or(Value::UInt(0)),
+        }
+    }
+}
+
+/// Shared configuration: compiled group and aggregate expressions.
+pub struct AggCore {
+    group_progs: Vec<Program>,
+    aggs: Vec<(AggFunc, Option<Program>, DataType)>,
+    /// Index within the group key of the ordered (flush) attribute.
+    flush_idx: Option<usize>,
+    /// Banded slack of the flush attribute (0 for monotone).
+    slack: u64,
+}
+
+impl AggCore {
+    /// Build the core.
+    pub fn new(
+        group_progs: Vec<Program>,
+        aggs: Vec<(AggFunc, Option<Program>, DataType)>,
+        flush_idx: Option<usize>,
+        slack: u64,
+    ) -> AggCore {
+        AggCore { group_progs, aggs, flush_idx, slack }
+    }
+
+    fn eval_key<S: FieldSource>(
+        &self,
+        src: &S,
+        scratch: &mut EvalScratch,
+    ) -> Option<Box<[Value]>> {
+        let mut key = Vec::with_capacity(self.group_progs.len());
+        for p in &self.group_progs {
+            key.push(p.eval(src, scratch)?);
+        }
+        Some(key.into_boxed_slice())
+    }
+
+    fn fresh_accs(&self) -> Vec<Acc> {
+        self.aggs.iter().map(|(f, _, ty)| Acc::new(*f, *ty)).collect()
+    }
+
+    fn update_accs<S: FieldSource>(
+        &self,
+        accs: &mut [Acc],
+        src: &S,
+        scratch: &mut EvalScratch,
+    ) {
+        for (acc, (_, arg, _)) in accs.iter_mut().zip(&self.aggs) {
+            match arg {
+                None => acc.update(None),
+                Some(p) => {
+                    // A failed argument does not contribute; the tuple
+                    // still counts for other aggregates.
+                    let v = p.eval(src, scratch);
+                    if matches!(acc, Acc::Count(_)) {
+                        if v.is_some() {
+                            acc.update(None);
+                        }
+                    } else {
+                        acc.update(v.as_ref());
+                    }
+                }
+            }
+        }
+    }
+
+    fn flush_value(&self, key: &[Value]) -> Option<u64> {
+        let i = self.flush_idx?;
+        key.get(i).and_then(|v| v.as_uint())
+    }
+
+    fn emit(key: &[Value], accs: &[Acc], out: &mut Vec<StreamItem>) {
+        let mut vals = Vec::with_capacity(key.len() + accs.len());
+        vals.extend_from_slice(key);
+        vals.extend(accs.iter().map(|a| a.value()));
+        out.push(StreamItem::Tuple(Tuple::new(vals)));
+    }
+}
+
+fn hash_key(key: &[Value]) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Sort closed groups so the flush attribute is nondecreasing in the
+/// output (the imputed ordering property of the aggregate's output).
+fn sort_closed(closed: &mut [(Box<[Value]>, Vec<Acc>)], flush_idx: Option<usize>) {
+    if let Some(i) = flush_idx {
+        closed.sort_by(|(a, _), (b, _)| a[i].total_cmp(&b[i]));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exact aggregation (HFTA).
+// ---------------------------------------------------------------------
+
+/// Exact hash aggregation with ordered flushing.
+pub struct GroupAggregator {
+    core: AggCore,
+    groups: HashMap<Box<[Value]>, Vec<Acc>>,
+    watermark: Option<u64>,
+    scratch: EvalScratch,
+    /// Groups emitted so far.
+    pub emitted: u64,
+    /// Peak number of simultaneously open groups.
+    pub peak_groups: usize,
+}
+
+impl GroupAggregator {
+    /// Build an exact aggregator.
+    pub fn new(core: AggCore) -> GroupAggregator {
+        GroupAggregator {
+            core,
+            groups: HashMap::new(),
+            watermark: None,
+            scratch: EvalScratch::default(),
+            emitted: 0,
+            peak_groups: 0,
+        }
+    }
+
+    /// Fold one input record.
+    pub fn update<S: FieldSource>(&mut self, src: &S, out: &mut Vec<StreamItem>) {
+        let Some(key) = self.core.eval_key(src, &mut self.scratch) else { return };
+        if let Some(v) = self.core.flush_value(&key) {
+            if self.watermark.is_none_or(|w| v > w) {
+                self.watermark = Some(v);
+                self.close_below(v.saturating_sub(self.core.slack), out);
+            }
+        }
+        let accs = self.groups.entry(key).or_insert_with(|| self.core.fresh_accs());
+        self.core.update_accs(accs, src, &mut self.scratch);
+        self.peak_groups = self.peak_groups.max(self.groups.len());
+    }
+
+    /// Punctuation: future flush values are `>= bound`; close groups below.
+    pub fn advance_bound(&mut self, bound: u64, out: &mut Vec<StreamItem>) {
+        self.close_below(bound, out);
+    }
+
+    fn close_below(&mut self, bound: u64, out: &mut Vec<StreamItem>) {
+        if self.core.flush_idx.is_none() {
+            return;
+        }
+        let mut closed: Vec<(Box<[Value]>, Vec<Acc>)> = Vec::new();
+        self.groups.retain(|key, accs| {
+            let keep = self
+                .core
+                .flush_value(key)
+                .is_none_or(|gv| gv >= bound);
+            if !keep {
+                closed.push((key.clone(), std::mem::take(accs)));
+            }
+            keep
+        });
+        sort_closed(&mut closed, self.core.flush_idx);
+        for (key, accs) in closed {
+            self.emitted += 1;
+            AggCore::emit(&key, &accs, out);
+        }
+    }
+
+    /// Flush everything (end of stream).
+    pub fn finish(&mut self, out: &mut Vec<StreamItem>) {
+        let mut closed: Vec<(Box<[Value]>, Vec<Acc>)> = self.groups.drain().collect();
+        sort_closed(&mut closed, self.core.flush_idx);
+        for (key, accs) in closed {
+            self.emitted += 1;
+            AggCore::emit(&key, &accs, out);
+        }
+    }
+
+    /// Currently open groups.
+    pub fn open_groups(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// HFTA aggregation as an [`Operator`], with punctuation translation.
+pub struct AggregateOp {
+    inner: GroupAggregator,
+    /// Translation of input punctuation to flush-attribute bounds:
+    /// `(input col, divisor)`.
+    punct_in: Option<(usize, u64)>,
+    /// Output column index of the flush attribute (for forwarded puncts).
+    punct_out: Option<usize>,
+}
+
+impl AggregateOp {
+    /// Wrap an aggregator.
+    pub fn new(
+        inner: GroupAggregator,
+        punct_in: Option<(usize, u64)>,
+        punct_out: Option<usize>,
+    ) -> AggregateOp {
+        AggregateOp { inner, punct_in, punct_out }
+    }
+
+    /// Shared-state access for diagnostics.
+    pub fn aggregator(&self) -> &GroupAggregator {
+        &self.inner
+    }
+}
+
+impl Operator for AggregateOp {
+    fn push(&mut self, _port: usize, item: StreamItem, out: &mut Vec<StreamItem>) {
+        match item {
+            StreamItem::Tuple(t) => self.inner.update(&t, out),
+            StreamItem::Punct(p) => {
+                if let Some((col, div)) = self.punct_in {
+                    if p.col == col {
+                        if let Some(v) = p.low.as_uint() {
+                            let bound = v / div.max(1);
+                            self.inner.advance_bound(bound, out);
+                            if let Some(oc) = self.punct_out {
+                                out.push(StreamItem::Punct(Punct::new(
+                                    oc,
+                                    Value::UInt(bound),
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<StreamItem>) {
+        self.inner.finish(out);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Direct-mapped aggregation (LFTA).
+// ---------------------------------------------------------------------
+
+/// Statistics of a direct-mapped table (experiment E3 reads these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DmStats {
+    /// Input records folded.
+    pub inputs: u64,
+    /// Partial tuples emitted (evictions + flushes + final drain).
+    pub outputs: u64,
+    /// Collision evictions specifically.
+    pub evictions: u64,
+}
+
+struct Slot {
+    key: Box<[Value]>,
+    accs: Vec<Acc>,
+}
+
+/// The LFTA's fixed-size direct-mapped eviction hash.
+pub struct DirectMappedAggregator {
+    core: AggCore,
+    slots: Vec<Option<Slot>>,
+    mask: usize,
+    watermark: Option<u64>,
+    scratch: EvalScratch,
+    /// Table statistics.
+    pub stats: DmStats,
+}
+
+impl DirectMappedAggregator {
+    /// Build a table with `size` slots (rounded up to a power of two).
+    pub fn new(core: AggCore, size: usize) -> DirectMappedAggregator {
+        let size = size.max(1).next_power_of_two();
+        DirectMappedAggregator {
+            core,
+            slots: (0..size).map(|_| None).collect(),
+            mask: size - 1,
+            watermark: None,
+            scratch: EvalScratch::default(),
+            stats: DmStats::default(),
+        }
+    }
+
+    /// Fold one input record, possibly emitting partials.
+    pub fn update<S: FieldSource>(&mut self, src: &S, out: &mut Vec<StreamItem>) {
+        let Some(key) = self.core.eval_key(src, &mut self.scratch) else { return };
+        self.stats.inputs += 1;
+
+        // Ordered-attribute advance closes every current group (§2.1).
+        if let Some(v) = self.core.flush_value(&key) {
+            if self.watermark.is_none_or(|w| v > w) {
+                self.watermark = Some(v);
+                self.flush_below(v.saturating_sub(self.core.slack), out);
+            }
+        }
+
+        let idx = (hash_key(&key) as usize) & self.mask;
+        match &mut self.slots[idx] {
+            Some(slot) if slot.key == key => {
+                self.core.update_accs(&mut slot.accs, src, &mut self.scratch);
+            }
+            occupied @ Some(_) => {
+                // Collision: eject the resident group as a partial.
+                let old = occupied.take().expect("checked occupied");
+                self.stats.evictions += 1;
+                self.stats.outputs += 1;
+                AggCore::emit(&old.key, &old.accs, out);
+                let mut accs = self.core.fresh_accs();
+                self.core.update_accs(&mut accs, src, &mut self.scratch);
+                *occupied = Some(Slot { key, accs });
+            }
+            empty @ None => {
+                let mut accs = self.core.fresh_accs();
+                self.core.update_accs(&mut accs, src, &mut self.scratch);
+                *empty = Some(Slot { key, accs });
+            }
+        }
+    }
+
+    /// Close groups whose flush value is below `bound` (heartbeats call
+    /// this to flush without packet arrivals).
+    pub fn flush_below(&mut self, bound: u64, out: &mut Vec<StreamItem>) {
+        if self.core.flush_idx.is_none() {
+            return;
+        }
+        let mut closed: Vec<(Box<[Value]>, Vec<Acc>)> = Vec::new();
+        for s in &mut self.slots {
+            let close = s
+                .as_ref()
+                .and_then(|slot| self.core.flush_value(&slot.key))
+                .is_some_and(|gv| gv < bound);
+            if close {
+                let slot = s.take().expect("checked some");
+                closed.push((slot.key, slot.accs));
+            }
+        }
+        sort_closed(&mut closed, self.core.flush_idx);
+        for (key, accs) in closed {
+            self.stats.outputs += 1;
+            AggCore::emit(&key, &accs, out);
+        }
+    }
+
+    /// Flush everything (end of stream).
+    pub fn finish(&mut self, out: &mut Vec<StreamItem>) {
+        let mut closed: Vec<(Box<[Value]>, Vec<Acc>)> = Vec::new();
+        for s in &mut self.slots {
+            if let Some(slot) = s.take() {
+                closed.push((slot.key, slot.accs));
+            }
+        }
+        sort_closed(&mut closed, self.core.flush_idx);
+        for (key, accs) in closed {
+            self.stats.outputs += 1;
+            AggCore::emit(&key, &accs, out);
+        }
+    }
+
+    /// Occupied slot count.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Table size in slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamBindings;
+    use crate::udf::{FileStore, UdfRegistry};
+    use gs_gsql::plan::PExpr;
+
+    fn prog(i: usize) -> Program {
+        Program::compile(
+            &PExpr::Col { index: i, ty: DataType::UInt },
+            &ParamBindings::new(),
+            &UdfRegistry::with_builtins(),
+            &FileStore::new(),
+        )
+        .unwrap()
+    }
+
+    fn tup(vals: &[u64]) -> Tuple {
+        Tuple::new(vals.iter().map(|&v| Value::UInt(v)).collect())
+    }
+
+    /// Core: group by col0 (ordered, slack 0), count(*) and sum(col1).
+    fn core() -> AggCore {
+        AggCore::new(
+            vec![prog(0)],
+            vec![
+                (AggFunc::Count, None, DataType::UInt),
+                (AggFunc::Sum, Some(prog(1)), DataType::UInt),
+            ],
+            Some(0),
+            0,
+        )
+    }
+
+    fn as_rows(out: &[StreamItem]) -> Vec<Vec<u64>> {
+        out.iter()
+            .filter_map(|i| i.as_tuple())
+            .map(|t| t.values().iter().map(|v| v.as_uint().unwrap()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn exact_ordered_flush() {
+        let mut agg = GroupAggregator::new(core());
+        let mut out = Vec::new();
+        agg.update(&tup(&[1, 10]), &mut out);
+        agg.update(&tup(&[1, 5]), &mut out);
+        assert!(out.is_empty(), "group 1 still open");
+        agg.update(&tup(&[2, 7]), &mut out);
+        assert_eq!(as_rows(&out), vec![vec![1, 2, 15]], "advance closes group 1");
+        out.clear();
+        agg.finish(&mut out);
+        assert_eq!(as_rows(&out), vec![vec![2, 1, 7]]);
+        assert_eq!(agg.emitted, 2);
+    }
+
+    #[test]
+    fn banded_slack_keeps_recent_groups_open() {
+        let core = AggCore::new(
+            vec![prog(0)],
+            vec![(AggFunc::Count, None, DataType::UInt)],
+            Some(0),
+            2, // banded-increasing(2)
+        );
+        let mut agg = GroupAggregator::new(core);
+        let mut out = Vec::new();
+        agg.update(&tup(&[10, 0]), &mut out);
+        agg.update(&tup(&[11, 0]), &mut out);
+        assert!(out.is_empty(), "10 >= 11-2: still open");
+        agg.update(&tup(&[13, 0]), &mut out);
+        // Bound 11: closes group 10 only.
+        assert_eq!(as_rows(&out), vec![vec![10, 1]]);
+        // A laggard within the band is still accepted.
+        agg.update(&tup(&[11, 0]), &mut out);
+        out.clear();
+        agg.finish(&mut out);
+        assert_eq!(as_rows(&out), vec![vec![11, 2], vec![13, 1]]);
+    }
+
+    #[test]
+    fn multiple_groups_flush_sorted() {
+        // Group by (col0 bucket, col1), both in the key; flush on col0.
+        let core = AggCore::new(
+            vec![prog(0), prog(1)],
+            vec![(AggFunc::Count, None, DataType::UInt)],
+            Some(0),
+            0,
+        );
+        let mut agg = GroupAggregator::new(core);
+        let mut out = Vec::new();
+        agg.update(&tup(&[1, 9]), &mut out);
+        agg.update(&tup(&[1, 3]), &mut out);
+        agg.update(&tup(&[1, 9]), &mut out);
+        agg.update(&tup(&[2, 0]), &mut out);
+        let rows = as_rows(&out);
+        assert_eq!(rows.len(), 2);
+        // Both closed rows carry bucket 1; sorted deterministically.
+        assert!(rows.iter().all(|r| r[0] == 1));
+        assert_eq!(rows.iter().map(|r| r[2]).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn punct_closes_without_tuples() {
+        let mut op = AggregateOp::new(GroupAggregator::new(core()), Some((0, 1)), Some(0));
+        let mut out = Vec::new();
+        op.push(0, StreamItem::Tuple(tup(&[5, 1])), &mut out);
+        assert!(out.is_empty());
+        op.push(0, StreamItem::Punct(Punct::new(0, Value::UInt(6))), &mut out);
+        let rows = as_rows(&out);
+        assert_eq!(rows, vec![vec![5, 1, 1]]);
+        // And the punct is forwarded on the output flush column.
+        assert!(out.iter().any(
+            |i| matches!(i, StreamItem::Punct(p) if p.col == 0 && p.low == Value::UInt(6))
+        ));
+    }
+
+    #[test]
+    fn unordered_aggregation_waits_for_finish() {
+        let core = AggCore::new(
+            vec![prog(0)],
+            vec![(AggFunc::Count, None, DataType::UInt)],
+            None,
+            0,
+        );
+        let mut agg = GroupAggregator::new(core);
+        let mut out = Vec::new();
+        for v in [3u64, 1, 3, 2, 1] {
+            agg.update(&tup(&[v, 0]), &mut out);
+        }
+        assert!(out.is_empty());
+        agg.finish(&mut out);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn min_max_avg_accumulators() {
+        let core = AggCore::new(
+            vec![prog(0)],
+            vec![
+                (AggFunc::Min, Some(prog(1)), DataType::UInt),
+                (AggFunc::Max, Some(prog(1)), DataType::UInt),
+            ],
+            Some(0),
+            0,
+        );
+        let mut agg = GroupAggregator::new(core);
+        let mut out = Vec::new();
+        agg.update(&tup(&[1, 5]), &mut out);
+        agg.update(&tup(&[1, 2]), &mut out);
+        agg.update(&tup(&[1, 9]), &mut out);
+        agg.finish(&mut out);
+        assert_eq!(as_rows(&out), vec![vec![1, 2, 9]]);
+    }
+
+    #[test]
+    fn direct_mapped_eviction_on_collision() {
+        // A 1-slot table: every distinct key evicts the previous one.
+        let core = AggCore::new(
+            vec![prog(1)], // group by col1 (not ordered)
+            vec![(AggFunc::Count, None, DataType::UInt)],
+            None,
+            0,
+        );
+        let mut dm = DirectMappedAggregator::new(core, 1);
+        let mut out = Vec::new();
+        dm.update(&tup(&[0, 7]), &mut out);
+        dm.update(&tup(&[0, 7]), &mut out);
+        assert!(out.is_empty(), "same key aggregates in place");
+        dm.update(&tup(&[0, 8]), &mut out);
+        assert_eq!(dm.stats.evictions, 1);
+        assert_eq!(as_rows(&out), vec![vec![7, 2]]);
+        out.clear();
+        dm.finish(&mut out);
+        assert_eq!(as_rows(&out), vec![vec![8, 1]]);
+        assert_eq!(dm.stats.inputs, 3);
+        assert_eq!(dm.stats.outputs, 2);
+    }
+
+    #[test]
+    fn direct_mapped_plus_exact_equals_exact() {
+        // Partial aggregation through a tiny direct-mapped table, combined
+        // by an exact aggregator, must equal direct exact aggregation.
+        let mk_core = || {
+            AggCore::new(
+                vec![prog(0), prog(1)],
+                vec![(AggFunc::Count, None, DataType::UInt)],
+                Some(0),
+                0,
+            )
+        };
+        // Combine: group by (col0, col1), sum partial counts (col2).
+        let combine_core = AggCore::new(
+            vec![prog(0), prog(1)],
+            vec![(AggFunc::Sum, Some(prog(2)), DataType::UInt)],
+            Some(0),
+            0,
+        );
+        let mut dm = DirectMappedAggregator::new(mk_core(), 2);
+        let mut exact = GroupAggregator::new(mk_core());
+        let mut combine = GroupAggregator::new(combine_core);
+
+        // A skewed input with bucket advances.
+        let data: Vec<[u64; 2]> = (0..500)
+            .map(|i| [i / 100, if i % 7 == 0 { 1 } else { i % 3 }])
+            .collect();
+        let mut partials = Vec::new();
+        let mut direct = Vec::new();
+        for d in &data {
+            dm.update(&tup(d), &mut partials);
+            exact.update(&tup(d), &mut direct);
+        }
+        dm.finish(&mut partials);
+        exact.finish(&mut direct);
+
+        let mut combined = Vec::new();
+        for p in crate::tuple::tuples_of(partials) {
+            combine.update(&p, &mut combined);
+        }
+        combine.finish(&mut combined);
+
+        let norm = |rows: Vec<Vec<u64>>| {
+            let mut r = rows;
+            r.sort();
+            r
+        };
+        assert_eq!(norm(as_rows(&combined)), norm(as_rows(&direct)));
+        assert!(dm.stats.evictions > 0, "tiny table must evict on this input");
+    }
+
+    #[test]
+    fn occupancy_and_capacity() {
+        let dm = DirectMappedAggregator::new(core(), 100);
+        assert_eq!(dm.capacity(), 128, "rounded to a power of two");
+        assert_eq!(dm.occupancy(), 0);
+    }
+}

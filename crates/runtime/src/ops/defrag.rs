@@ -1,0 +1,349 @@
+//! IP defragmentation: the paper's example of a user-written query node.
+//!
+//! "Users can write their own query nodes to implement special operators
+//! by following this API. For example, we have implemented a special IP
+//! defragmentation operator in this manner and have built a query tree
+//! using it." (paper §3)
+//!
+//! The operator consumes captured IPv4 packets and emits whole datagrams:
+//! non-fragments pass through untouched; fragments are reassembled keyed
+//! by (src, dst, protocol, id) and emitted once complete. Incomplete
+//! reassemblies are garbage-collected after a timeout, like a real IP
+//! stack.
+
+use gs_packet::capture::{CapPacket, LinkType};
+use gs_packet::ip::Ipv4Header;
+use gs_packet::PacketView;
+use std::collections::HashMap;
+
+/// Reassembly timeout (seconds of capture time), mirroring the classic
+/// IP reassembly timer.
+pub const REASSEMBLY_TIMEOUT_SEC: u64 = 30;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FragKey {
+    src: u32,
+    dst: u32,
+    protocol: u8,
+    id: u16,
+}
+
+struct Reassembly {
+    /// (offset, payload bytes) pieces seen so far.
+    pieces: Vec<(u32, Vec<u8>)>,
+    /// Total datagram payload length, known once the last fragment is seen.
+    total_len: Option<u32>,
+    /// First-fragment header (offset 0), template for the output packet.
+    first_header: Option<Ipv4Header>,
+    /// Capture metadata from the first-arriving fragment.
+    ts_ns: u64,
+    iface: u16,
+    started_sec: u64,
+}
+
+impl Reassembly {
+    fn covered(&self) -> Option<u32> {
+        let total = self.total_len?;
+        self.first_header.as_ref()?;
+        // Merge intervals; the pieces are few, sort each time.
+        let mut iv: Vec<(u32, u32)> =
+            self.pieces.iter().map(|(off, d)| (*off, off + d.len() as u32)).collect();
+        iv.sort_unstable();
+        let mut end = 0u32;
+        for (s, e) in iv {
+            if s > end {
+                return None; // hole
+            }
+            end = end.max(e);
+        }
+        (end >= total).then_some(total)
+    }
+}
+
+/// Counters for the defragmenter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DefragStats {
+    /// Packets consumed.
+    pub packets_in: u64,
+    /// Non-fragment packets passed through.
+    pub passthrough: u64,
+    /// Datagrams reassembled.
+    pub reassembled: u64,
+    /// Reassemblies abandoned on timeout.
+    pub timed_out: u64,
+}
+
+/// The defragmentation node.
+///
+/// ```
+/// use gs_runtime::ops::defrag::Defragmenter;
+/// use gs_packet::builder::FrameBuilder;
+/// use gs_packet::capture::{CapPacket, LinkType};
+///
+/// let mut d = Defragmenter::new();
+/// let whole = CapPacket::full(
+///     0, 0, LinkType::RawIp,
+///     FrameBuilder::tcp(1, 2, 9, 80).payload(b"unfragmented").build_raw_ip(),
+/// );
+/// let mut out = Vec::new();
+/// d.push(whole, &mut out);
+/// assert_eq!(out.len(), 1, "whole datagrams pass straight through");
+/// ```
+pub struct Defragmenter {
+    table: HashMap<FragKey, Reassembly>,
+    /// Counters.
+    pub stats: DefragStats,
+}
+
+impl Default for Defragmenter {
+    fn default() -> Self {
+        Defragmenter::new()
+    }
+}
+
+impl Defragmenter {
+    /// New, empty defragmenter.
+    pub fn new() -> Defragmenter {
+        Defragmenter { table: HashMap::new(), stats: DefragStats::default() }
+    }
+
+    /// Reassemblies currently in progress.
+    pub fn pending(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Consume one captured packet; emits completed datagrams into `out`.
+    pub fn push(&mut self, cap: CapPacket, out: &mut Vec<CapPacket>) {
+        self.stats.packets_in += 1;
+        self.gc(cap.time_sec().into());
+        let view = PacketView::parse(cap.clone());
+        let Some(ih) = view.ipv4().copied() else {
+            // Not IPv4 (or malformed): pass through untouched.
+            self.stats.passthrough += 1;
+            out.push(cap);
+            return;
+        };
+        if !ih.is_fragment() {
+            self.stats.passthrough += 1;
+            out.push(cap);
+            return;
+        }
+
+        let l3 = match cap.link {
+            LinkType::Ethernet => gs_packet::ether::HEADER_LEN,
+            _ => 0,
+        };
+        let hdr_end = l3 + usize::from(ih.header_len);
+        let Some(payload) = cap.data.get(hdr_end..) else { return };
+        let key = FragKey { src: ih.src, dst: ih.dst, protocol: ih.protocol, id: ih.id };
+        let entry = self.table.entry(key).or_insert_with(|| Reassembly {
+            pieces: Vec::new(),
+            total_len: None,
+            first_header: None,
+            ts_ns: cap.ts_ns,
+            iface: cap.iface,
+            started_sec: cap.time_sec().into(),
+        });
+        entry.pieces.push((ih.frag_offset(), payload.to_vec()));
+        if ih.frag_offset() == 0 {
+            entry.first_header = Some(ih);
+        }
+        if !ih.more_fragments() {
+            entry.total_len = Some(ih.frag_offset() + payload.len() as u32);
+        }
+
+        if let Some(total) = entry.covered() {
+            let entry = self.table.remove(&key).expect("entry just updated");
+            let header = entry.first_header.expect("covered() checked it");
+            // Rebuild the datagram: fresh IPv4 header (no frag bits) plus
+            // the reassembled payload.
+            let mut payload = vec![0u8; total as usize];
+            for (off, d) in &entry.pieces {
+                let s = *off as usize;
+                let e = (s + d.len()).min(payload.len());
+                payload[s..e].copy_from_slice(&d[..e - s]);
+            }
+            let mut ip_bytes = Vec::with_capacity(20 + payload.len());
+            let out_header = Ipv4Header {
+                header_len: 20,
+                flags_frag: 0,
+                total_len: (20 + payload.len()) as u16,
+                checksum: 0,
+                ..header
+            };
+            out_header.encode(&mut ip_bytes).expect("fixed 20-byte header");
+            ip_bytes.extend_from_slice(&payload);
+            self.stats.reassembled += 1;
+            out.push(CapPacket::full(entry.ts_ns, entry.iface, LinkType::RawIp, ip_bytes.into()));
+        }
+    }
+
+    /// Drop reassemblies older than the timeout relative to `now_sec`.
+    pub fn gc(&mut self, now_sec: u64) {
+        let before = self.table.len();
+        self.table.retain(|_, r| now_sec.saturating_sub(r.started_sec) < REASSEMBLY_TIMEOUT_SEC);
+        self.stats.timed_out += (before - self.table.len()) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gs_packet::builder::FrameBuilder;
+
+    /// Split a TCP datagram into `n`-byte fragments.
+    fn fragments(payload: &[u8], chunk: usize, id: u16, ts: u64) -> Vec<CapPacket> {
+        // Build the full transport section first (TCP header + payload).
+        let whole = FrameBuilder::tcp(0x0a000001, 0x0a000002, 1000, 80)
+            .payload(payload)
+            .ip_id(id)
+            .build_raw_ip();
+        let transport = &whole[20..];
+        let mut out = Vec::new();
+        let mut off = 0usize;
+        while off < transport.len() {
+            let end = (off + chunk).min(transport.len());
+            let more = end < transport.len();
+            let frag = FrameBuilder::tcp(0x0a000001, 0x0a000002, 1000, 80)
+                .ip_id(id)
+                .payload(&transport[off..end])
+                .fragment((off / 8) as u16, more)
+                .build_raw_ip();
+            // Note: fragment() with offset 0 still emits the TCP header via
+            // the builder only when offset==0; we bypass by reusing raw
+            // transport bytes, so rebuild the first fragment by hand.
+            let frag = if off == 0 {
+                let mut b = Vec::new();
+                Ipv4Header {
+                    header_len: 20,
+                    tos: 0,
+                    total_len: (20 + end - off) as u16,
+                    id,
+                    flags_frag: if more { gs_packet::ip::FLAG_MF } else { 0 },
+                    ttl: 64,
+                    protocol: gs_packet::ip::PROTO_TCP,
+                    checksum: 0,
+                    src: 0x0a000001,
+                    dst: 0x0a000002,
+                }
+                .encode(&mut b)
+                .unwrap();
+                b.extend_from_slice(&transport[off..end]);
+                bytes::Bytes::from(b)
+            } else {
+                frag
+            };
+            out.push(CapPacket::full(ts + off as u64, 0, LinkType::RawIp, frag));
+            off = end;
+        }
+        out
+    }
+
+    #[test]
+    fn passthrough_for_whole_packets() {
+        let mut d = Defragmenter::new();
+        let mut out = Vec::new();
+        let p = CapPacket::full(
+            0,
+            0,
+            LinkType::RawIp,
+            FrameBuilder::tcp(1, 2, 3, 4).payload(b"whole").build_raw_ip(),
+        );
+        d.push(p.clone(), &mut out);
+        assert_eq!(out, vec![p]);
+        assert_eq!(d.stats.passthrough, 1);
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn reassembles_in_order_fragments() {
+        let payload: Vec<u8> = (0..200u16).map(|i| i as u8).collect();
+        let mut d = Defragmenter::new();
+        let mut out = Vec::new();
+        for f in fragments(&payload, 64, 42, 1_000_000_000) {
+            d.push(f, &mut out);
+        }
+        assert_eq!(out.len(), 1);
+        assert_eq!(d.stats.reassembled, 1);
+        let v = PacketView::parse(out.pop().unwrap());
+        let th = v.tcp().expect("transport visible after reassembly");
+        assert_eq!(th.dst_port, 80);
+        assert_eq!(v.payload().unwrap().as_ref(), &payload[..]);
+        assert!(!v.ipv4().unwrap().is_fragment());
+    }
+
+    #[test]
+    fn reassembles_out_of_order_and_duplicates() {
+        let payload: Vec<u8> = (0..160u32).map(|i| (i * 7) as u8).collect();
+        let mut frags = fragments(&payload, 48, 7, 0);
+        frags.reverse();
+        frags.push(frags[0].clone()); // duplicate last-arriving fragment
+        let mut d = Defragmenter::new();
+        let mut out = Vec::new();
+        for f in frags {
+            d.push(f, &mut out);
+        }
+        assert_eq!(d.stats.reassembled, 1);
+        let v = PacketView::parse(out.remove(0));
+        assert_eq!(v.payload().unwrap().as_ref(), &payload[..]);
+    }
+
+    #[test]
+    fn interleaved_flows_do_not_mix() {
+        let pa: Vec<u8> = vec![0xAA; 100];
+        let pb: Vec<u8> = vec![0xBB; 100];
+        let fa = fragments(&pa, 40, 1, 0);
+        let fb = fragments(&pb, 40, 2, 0);
+        let mut d = Defragmenter::new();
+        let mut out = Vec::new();
+        for (a, b) in fa.into_iter().zip(fb) {
+            d.push(a, &mut out);
+            d.push(b, &mut out);
+        }
+        assert_eq!(d.stats.reassembled, 2);
+        for pkt in out {
+            let v = PacketView::parse(pkt);
+            let pay = v.payload().unwrap();
+            assert!(pay.iter().all(|&b| b == pay[0]), "flows must not interleave bytes");
+        }
+    }
+
+    #[test]
+    fn hole_never_emits_and_times_out() {
+        let payload = vec![1u8; 200];
+        let frags = fragments(&payload, 64, 9, 0);
+        let mut d = Defragmenter::new();
+        let mut out = Vec::new();
+        // Drop the middle fragment.
+        for (i, f) in frags.into_iter().enumerate() {
+            if i != 1 {
+                d.push(f, &mut out);
+            }
+        }
+        assert!(out.is_empty());
+        assert_eq!(d.pending(), 1);
+        d.gc(REASSEMBLY_TIMEOUT_SEC + 1);
+        assert_eq!(d.pending(), 0);
+        assert_eq!(d.stats.timed_out, 1);
+    }
+
+    #[test]
+    fn tcp_header_visible_only_after_reassembly() {
+        // The motivating case: queries on destPort cannot see non-first
+        // fragments; after defragmentation they can see the whole flow.
+        let payload = vec![3u8; 120];
+        let frags = fragments(&payload, 48, 5, 0);
+        // Raw fragments: only the first has a visible TCP header.
+        let with_tcp = frags
+            .iter()
+            .filter(|f| PacketView::parse((*f).clone()).tcp().is_some())
+            .count();
+        assert_eq!(with_tcp, 1);
+        let mut d = Defragmenter::new();
+        let mut out = Vec::new();
+        for f in frags {
+            d.push(f, &mut out);
+        }
+        assert!(PacketView::parse(out.pop().unwrap()).tcp().is_some());
+    }
+}

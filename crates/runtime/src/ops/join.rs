@@ -1,0 +1,717 @@
+//! The two-stream window join.
+//!
+//! "The join predicate must contain a constraint on an ordered attribute
+//! from each table which can be used to define a join window. For example,
+//! `B.ts = C.ts` or `B.ts >= C.ts - 1 and B.ts <= C.ts + 1`." (paper §2.1)
+//!
+//! Symmetric probe-then-insert hash join: equality conjuncts beyond the
+//! window (e.g. `B.srcIP = C.srcIP`) become the hash key, so each arriving
+//! tuple probes only the bucket it can match; the window constraint then
+//! prunes by the ordered attribute, and whatever is left of the predicate
+//! runs as a residual. Each matching pair is produced exactly once, by
+//! whichever tuple arrives second. Ordered-attribute watermarks — advanced
+//! by tuples and by punctuation — garbage-collect buffer entries that no
+//! future tuple can match, bounding state without sliding windows.
+
+use crate::expr::{EvalScratch, Program};
+use crate::ops::Operator;
+use crate::tuple::{StreamItem, Tuple};
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Configuration of a window join.
+pub struct JoinConfig {
+    /// Ordered column index in the left schema.
+    pub left_col: usize,
+    /// Ordered column index in the right schema.
+    pub right_col: usize,
+    /// Matches require `left ∈ [right + lo, right + hi]`.
+    pub lo: i64,
+    /// See `lo`.
+    pub hi: i64,
+    /// Banded slack of the left ordered column.
+    pub left_slack: u64,
+    /// Banded slack of the right ordered column.
+    pub right_slack: u64,
+    /// Equality pairs `(left col, right col)` used as the hash key.
+    pub eq_keys: Vec<(usize, usize)>,
+    /// Output-ordering mode (the §5 optimization dimension: "the choice of
+    /// operator implementation affects the attribute ordering properties
+    /// of its output ... monotonically increasing requires more buffer
+    /// space").
+    pub emit: EmitMode,
+    /// For [`EmitMode::Sorted`], the output column carrying the left
+    /// ordered attribute (tuples are held and released in its order).
+    pub sort_out_col: usize,
+}
+
+/// How join results are released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EmitMode {
+    /// Emit each match immediately: minimal buffering, output ordering is
+    /// banded-increasing(window width).
+    #[default]
+    Banded,
+    /// Hold matches and release them in nondecreasing order of the left
+    /// ordered attribute: monotone output at the cost of buffer space.
+    Sorted,
+}
+
+type Key = Box<[Value]>;
+
+use crate::ops::OrderedTupleEntry as PendingEntry;
+
+/// One side's buffer: hash buckets plus a global insertion-order queue
+/// for watermark GC. Bucket deques are insertion-ordered, so the entry a
+/// GC record refers to is always its bucket's front.
+#[derive(Default)]
+struct Side {
+    buckets: HashMap<Key, VecDeque<(u64, Tuple)>>,
+    order: VecDeque<(u64, Key)>,
+    /// Multiset of buffered ordered values (banded inputs buffer out of
+    /// insertion order, so the true minimum is not `order.front()`).
+    ts_counts: BTreeMap<u64, usize>,
+    /// Amortization for the straggler compaction: a full scan is allowed
+    /// only when this reaches zero, then recharged to the scan's size.
+    compact_countdown: usize,
+    watermark: Option<u64>,
+    done: bool,
+    len: usize,
+}
+
+impl Side {
+    fn insert(&mut self, key: Key, ts: u64, t: Tuple) {
+        self.buckets.entry(key.clone()).or_default().push_back((ts, t));
+        self.order.push_back((ts, key));
+        *self.ts_counts.entry(ts).or_insert(0) += 1;
+        self.len += 1;
+    }
+
+    fn clear(&mut self) {
+        self.buckets.clear();
+        self.order.clear();
+        self.ts_counts.clear();
+        self.len = 0;
+    }
+
+    /// Smallest buffered ordered value.
+    fn min_ts(&self) -> Option<u64> {
+        self.ts_counts.keys().next().copied()
+    }
+
+    fn forget_ts(&mut self, ts: u64) {
+        if let Some(c) = self.ts_counts.get_mut(&ts) {
+            *c -= 1;
+            if *c == 0 {
+                self.ts_counts.remove(&ts);
+            }
+        }
+    }
+
+    /// Drop entries whose ordered value satisfies `dead`. The scan walks
+    /// the insertion order from the front; with banded inputs a live entry
+    /// may precede dead ones, so the walk continues past live entries up
+    /// to the band (bounded work: at most the entries within one band of
+    /// the front are re-examined).
+    fn gc(&mut self, dead: impl Fn(u64) -> bool) {
+        // Fast path: pop dead entries from the front.
+        while let Some(&(ts, _)) = self.order.front() {
+            if !dead(ts) {
+                break;
+            }
+            let (ts, key) = self.order.pop_front().expect("peeked front");
+            self.remove_bucket_entry(ts, &key);
+        }
+        // Slow path: dead stragglers parked behind a live front (possible
+        // only for banded inputs). Deferred removal is safe — a dead entry
+        // can never match and only costs memory — so the O(n) compaction is
+        // amortized to O(1) per call by allowing one scan per n calls.
+        if self.ts_counts.keys().next().is_some_and(|&min| dead(min)) {
+            if self.compact_countdown > 0 {
+                self.compact_countdown -= 1;
+                return;
+            }
+            let mut order = std::mem::take(&mut self.order);
+            self.compact_countdown = order.len();
+            for (ts, key) in order.drain(..) {
+                if dead(ts) {
+                    self.remove_bucket_entry(ts, &key);
+                } else {
+                    self.order.push_back((ts, key));
+                }
+            }
+        }
+    }
+
+    fn remove_bucket_entry(&mut self, ts: u64, key: &Key) {
+        if let Some(bucket) = self.buckets.get_mut(key) {
+            // Remove the specific (ts, _) entry: the front in FIFO death
+            // order, else the first matching ts (banded stragglers).
+            if let Some(pos) = bucket.iter().position(|(t, _)| *t == ts) {
+                bucket.remove(pos);
+            }
+            if bucket.is_empty() {
+                self.buckets.remove(key);
+            }
+        }
+        self.forget_ts(ts);
+        self.len -= 1;
+    }
+}
+
+/// The join operator. Residual predicate and projections run over the
+/// concatenated tuple (left fields then right fields).
+pub struct JoinOp {
+    cfg: JoinConfig,
+    residual: Option<Program>,
+    projections: Vec<Program>,
+    left: Side,
+    right: Side,
+    scratch: EvalScratch,
+    /// Result tuples held back by [`EmitMode::Sorted`], keyed by the sort
+    /// value (min-heap via `Reverse`).
+    pending: std::collections::BinaryHeap<std::cmp::Reverse<PendingEntry>>,
+    pending_seq: u64,
+    /// Peak buffered tuples across both sides.
+    pub peak_buffered: usize,
+    /// Peak result tuples held for ordered release (Sorted mode only).
+    pub peak_pending: usize,
+    /// Output tuples produced.
+    pub produced: u64,
+}
+
+impl JoinOp {
+    /// Build a join.
+    pub fn new(cfg: JoinConfig, residual: Option<Program>, projections: Vec<Program>) -> JoinOp {
+        JoinOp {
+            cfg,
+            residual,
+            projections,
+            left: Side::default(),
+            right: Side::default(),
+            scratch: EvalScratch::default(),
+            pending: std::collections::BinaryHeap::new(),
+            pending_seq: 0,
+            peak_buffered: 0,
+            peak_pending: 0,
+            produced: 0,
+        }
+    }
+
+    /// Tuples currently buffered on both sides.
+    pub fn buffered(&self) -> usize {
+        self.left.len + self.right.len
+    }
+
+    fn key_of(&self, t: &Tuple, left: bool) -> Key {
+        self.cfg
+            .eq_keys
+            .iter()
+            .map(|&(l, r)| t.get(if left { l } else { r }).clone())
+            .collect()
+    }
+
+    fn emit_match(&mut self, l: &Tuple, r: &Tuple, out: &mut Vec<StreamItem>) {
+        let joined = l.concat(r);
+        if let Some(res) = &self.residual {
+            if !res.eval_bool(&joined, &mut self.scratch) {
+                return;
+            }
+        }
+        let mut vals = Vec::with_capacity(self.projections.len());
+        for p in &self.projections {
+            match p.eval(&joined, &mut self.scratch) {
+                Some(v) => vals.push(v),
+                None => return,
+            }
+        }
+        self.produced += 1;
+        let tuple = Tuple::new(vals);
+        match self.cfg.emit {
+            EmitMode::Banded => out.push(StreamItem::Tuple(tuple)),
+            EmitMode::Sorted => {
+                // `sort_out_col` must project the left ordered attribute;
+                // a non-integer column keys everything at 0, which defers
+                // release until end of stream (safe, never wrong-ordered).
+                let sort_val = tuple.values().get(self.cfg.sort_out_col).and_then(|v| v.as_uint());
+                debug_assert!(
+                    sort_val.is_some(),
+                    "EmitMode::Sorted requires sort_out_col to be an integer column"
+                );
+                let v = sort_val.unwrap_or(0);
+                self.pending_seq += 1;
+                self.pending.push(std::cmp::Reverse(PendingEntry {
+                    v,
+                    seq: self.pending_seq,
+                    tuple,
+                }));
+                self.peak_pending = self.peak_pending.max(self.pending.len());
+            }
+        }
+    }
+
+    /// Release held results whose sort value can no longer be undercut by
+    /// a future match: future left arrivals emit at `>= left_wm - slack`,
+    /// and buffered left tuples may still pair at their own values.
+    fn release_sorted(&mut self, out: &mut Vec<StreamItem>) {
+        if self.cfg.emit != EmitMode::Sorted {
+            return;
+        }
+        let mut bound = match (self.left.watermark, self.left.done) {
+            (_, true) => u64::MAX,
+            (Some(wm), false) => wm.saturating_sub(self.cfg.left_slack),
+            (None, false) => return,
+        };
+        if let Some(min_buf) = self.left.min_ts() {
+            bound = bound.min(min_buf);
+        }
+        while let Some(std::cmp::Reverse(e)) = self.pending.peek() {
+            if e.v > bound {
+                break;
+            }
+            let std::cmp::Reverse(e) = self.pending.pop().expect("peeked entry");
+            out.push(StreamItem::Tuple(e.tuple));
+        }
+    }
+
+    /// `left ∈ [right + lo, right + hi]`, in i128 to dodge overflow at
+    /// the u64 edges.
+    fn window_match(&self, lv: u64, rv: u64) -> bool {
+        let d = i128::from(lv) - i128::from(rv);
+        i128::from(self.cfg.lo) <= d && d <= i128::from(self.cfg.hi)
+    }
+
+    /// Drop buffer entries no future opposite tuple can match.
+    fn gc(&mut self) {
+        // Future left values are >= left_wm - left_slack =: fl. A right
+        // entry r matches left values in [r+lo, r+hi]; it is dead once
+        // r + hi < fl.
+        if let Some(wm) = self.left.watermark {
+            if !self.left.done {
+                let fl = i128::from(wm.saturating_sub(self.cfg.left_slack));
+                let hi = i128::from(self.cfg.hi);
+                self.right.gc(|rv| i128::from(rv) + hi < fl);
+            }
+        }
+        if self.left.done {
+            self.right.clear();
+        }
+        // Future right values are >= right_wm - right_slack =: fr. A left
+        // entry l matches right values in [l-hi, l-lo]; dead once
+        // l - lo < fr.
+        if let Some(wm) = self.right.watermark {
+            if !self.right.done {
+                let fr = i128::from(wm.saturating_sub(self.cfg.right_slack));
+                let lo = i128::from(self.cfg.lo);
+                self.left.gc(|lv| i128::from(lv) - lo < fr);
+            }
+        }
+        if self.right.done {
+            self.left.clear();
+        }
+    }
+
+    fn push_side(&mut self, is_left: bool, t: Tuple, out: &mut Vec<StreamItem>) {
+        let ord_col = if is_left { self.cfg.left_col } else { self.cfg.right_col };
+        let Some(v) = t.get(ord_col).as_uint() else { return };
+        let side = if is_left { &mut self.left } else { &mut self.right };
+        side.watermark = Some(side.watermark.map_or(v, |w| w.max(v)));
+
+        // Probe the opposite side's bucket.
+        let key = self.key_of(&t, is_left);
+        let opposite = if is_left { &self.right } else { &self.left };
+        let matches: Vec<Tuple> = opposite
+            .buckets
+            .get(&key)
+            .map(|bucket| {
+                bucket
+                    .iter()
+                    .filter(|(ov, _)| {
+                        if is_left {
+                            self.window_match(v, *ov)
+                        } else {
+                            self.window_match(*ov, v)
+                        }
+                    })
+                    .map(|(_, o)| o.clone())
+                    .collect()
+            })
+            .unwrap_or_default();
+        for o in &matches {
+            if is_left {
+                self.emit_match(&t, o, out);
+            } else {
+                self.emit_match(o, &t, out);
+            }
+        }
+
+        let opposite_done = if is_left { self.right.done } else { self.left.done };
+        if !opposite_done {
+            let side = if is_left { &mut self.left } else { &mut self.right };
+            side.insert(key, v, t);
+        }
+        self.gc();
+        self.release_sorted(out);
+        self.peak_buffered = self.peak_buffered.max(self.buffered());
+    }
+
+    /// Mark one side exhausted (its buffer side can then be dropped as the
+    /// other side advances).
+    pub fn finish_input(&mut self, port: usize) {
+        if port == 0 {
+            self.left.done = true;
+        } else {
+            self.right.done = true;
+        }
+        self.gc();
+    }
+
+}
+
+impl Operator for JoinOp {
+    fn n_inputs(&self) -> usize {
+        2
+    }
+
+    fn push(&mut self, port: usize, item: StreamItem, out: &mut Vec<StreamItem>) {
+        match item {
+            StreamItem::Tuple(t) => self.push_side(port == 0, t, out),
+            StreamItem::Punct(p) => {
+                // Punctuation on the window column advances the side's
+                // watermark, enabling GC of the opposite buffer even when
+                // the side is silent.
+                if let Some(low) = p.low.as_uint() {
+                    if port == 0 && p.col == self.cfg.left_col {
+                        // Future left values >= low: express as watermark
+                        // with the slack pre-compensated.
+                        let wm = low.saturating_add(self.cfg.left_slack);
+                        self.left.watermark =
+                            Some(self.left.watermark.map_or(wm, |w| w.max(wm)));
+                    } else if port == 1 && p.col == self.cfg.right_col {
+                        let wm = low.saturating_add(self.cfg.right_slack);
+                        self.right.watermark =
+                            Some(self.right.watermark.map_or(wm, |w| w.max(wm)));
+                    }
+                    self.gc();
+                    self.release_sorted(out);
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<StreamItem>) {
+        self.left.done = true;
+        self.right.done = true;
+        self.left.clear();
+        self.right.clear();
+        self.release_sorted(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamBindings;
+    use crate::udf::{FileStore, UdfRegistry};
+    use gs_gsql::ast::BinOp;
+    use gs_gsql::plan::PExpr;
+    use gs_gsql::types::DataType;
+
+    fn prog(pe: &PExpr) -> Program {
+        Program::compile(pe, &ParamBindings::new(), &UdfRegistry::with_builtins(), &FileStore::new())
+            .unwrap()
+    }
+
+    fn col(i: usize) -> PExpr {
+        PExpr::Col { index: i, ty: DataType::UInt }
+    }
+
+    fn config(lo: i64, hi: i64, eq_keys: Vec<(usize, usize)>) -> JoinConfig {
+        JoinConfig {
+            left_col: 0,
+            right_col: 0,
+            lo,
+            hi,
+            left_slack: 0,
+            right_slack: 0,
+            eq_keys,
+            emit: EmitMode::Banded,
+            sort_out_col: 0,
+        }
+    }
+
+    /// Join on ts (col 0 both sides), projecting (l.ts, l.v, r.v) where
+    /// tuples are (ts, v) pairs.
+    fn join(lo: i64, hi: i64, residual_on_v: bool) -> JoinOp {
+        let residual = residual_on_v.then(|| {
+            prog(&PExpr::Binary {
+                op: BinOp::Eq,
+                left: Box::new(col(1)),
+                right: Box::new(col(3)),
+                ty: DataType::Bool,
+            })
+        });
+        JoinOp::new(
+            config(lo, hi, vec![]),
+            residual,
+            vec![prog(&col(0)), prog(&col(1)), prog(&col(3))],
+        )
+    }
+
+    fn tup(ts: u64, v: u64) -> StreamItem {
+        StreamItem::Tuple(Tuple::new(vec![Value::UInt(ts), Value::UInt(v)]))
+    }
+
+    fn rows(out: &[StreamItem]) -> Vec<(u64, u64, u64)> {
+        out.iter()
+            .filter_map(|i| i.as_tuple())
+            .map(|t| {
+                (
+                    t.get(0).as_uint().unwrap(),
+                    t.get(1).as_uint().unwrap(),
+                    t.get(2).as_uint().unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn equality_window_matches_same_ts() {
+        let mut j = join(0, 0, false);
+        let mut out = Vec::new();
+        j.push(0, tup(1, 10), &mut out);
+        j.push(1, tup(1, 20), &mut out);
+        j.push(1, tup(2, 21), &mut out);
+        j.push(0, tup(2, 11), &mut out);
+        assert_eq!(rows(&out), vec![(1, 10, 20), (2, 11, 21)]);
+        assert_eq!(j.produced, 2);
+    }
+
+    #[test]
+    fn band_window_matches_within_band() {
+        let mut j = join(-1, 1, false);
+        let mut out = Vec::new();
+        j.push(0, tup(5, 1), &mut out);
+        j.push(1, tup(4, 2), &mut out); // 5-4 = 1 <= 1 ✓
+        j.push(1, tup(6, 3), &mut out); // 5-6 = -1 ✓
+        j.push(1, tup(7, 4), &mut out); // 5-7 = -2 ✗
+        let r = rows(&out);
+        assert_eq!(r, vec![(5, 1, 2), (5, 1, 3)]);
+    }
+
+    #[test]
+    fn no_duplicate_pairs() {
+        let mut j = join(0, 0, false);
+        let mut out = Vec::new();
+        // Same-ts tuples arriving in both orders must pair exactly once.
+        j.push(0, tup(3, 1), &mut out);
+        j.push(1, tup(3, 2), &mut out);
+        j.push(0, tup(3, 5), &mut out); // pairs with the buffered right
+        assert_eq!(rows(&out).len(), 2);
+    }
+
+    #[test]
+    fn residual_predicate_filters() {
+        let mut j = join(0, 0, true);
+        let mut out = Vec::new();
+        j.push(0, tup(1, 7), &mut out);
+        j.push(1, tup(1, 7), &mut out);
+        j.push(1, tup(1, 8), &mut out);
+        assert_eq!(rows(&out), vec![(1, 7, 7)], "only v-equal pairs survive");
+    }
+
+    #[test]
+    fn hash_keys_prune_probes_with_same_results() {
+        // The same v-equality expressed as a hash key instead of residual.
+        let mk_hash = || {
+            JoinOp::new(
+                config(0, 0, vec![(1, 1)]),
+                None,
+                vec![prog(&col(0)), prog(&col(1)), prog(&col(3))],
+            )
+        };
+        let mut hash_join = mk_hash();
+        let mut residual_join = join(0, 0, true);
+        let data: Vec<(usize, u64, u64)> = (0..200)
+            .map(|i| ((i % 2), (i / 10) as u64, (i % 7) as u64))
+            .collect();
+        let mut out_h = Vec::new();
+        let mut out_r = Vec::new();
+        for &(port, ts, v) in &data {
+            hash_join.push(port, tup(ts, v), &mut out_h);
+            residual_join.push(port, tup(ts, v), &mut out_r);
+        }
+        let mut rh = rows(&out_h);
+        let mut rr = rows(&out_r);
+        rh.sort();
+        rr.sort();
+        assert_eq!(rh, rr, "hash keys must not change join semantics");
+        assert!(!rh.is_empty());
+    }
+
+    #[test]
+    fn watermarks_bound_buffers() {
+        let mut j = join(0, 0, false);
+        let mut out = Vec::new();
+        for ts in 0..1000u64 {
+            j.push(0, tup(ts, 0), &mut out);
+            j.push(1, tup(ts, 0), &mut out);
+        }
+        // With an equality window and synchronized sides, buffers stay tiny.
+        assert!(j.peak_buffered <= 4, "peak {}", j.peak_buffered);
+        assert_eq!(j.produced, 1000);
+    }
+
+    #[test]
+    fn punctuation_gcs_a_silent_side() {
+        let mut j = join(0, 0, false);
+        let mut out = Vec::new();
+        for ts in 0..100u64 {
+            j.push(1, tup(ts, 0), &mut out);
+        }
+        assert_eq!(j.buffered(), 100, "right side waits for left matches");
+        // The left side is silent but punctuates: everything below 1000.
+        j.push(0, StreamItem::Punct(crate::punct::Punct::new(0, Value::UInt(1_000))), &mut out);
+        assert_eq!(j.buffered(), 0);
+    }
+
+    #[test]
+    fn banded_slack_retains_window() {
+        let mut j = JoinOp::new(
+            JoinConfig {
+                left_col: 0,
+                right_col: 0,
+                lo: 0,
+                hi: 0,
+                left_slack: 5,
+                right_slack: 0,
+                eq_keys: vec![],
+                emit: EmitMode::Banded,
+                sort_out_col: 0,
+            },
+            None,
+            vec![prog(&col(0)), prog(&col(1)), prog(&col(3))],
+        );
+        let mut out = Vec::new();
+        j.push(1, tup(10, 1), &mut out);
+        j.push(0, tup(14, 2), &mut out); // no match, but left watermark = 14
+        // left is banded(5): future left can still be 9 or 10 — right@10
+        // must survive GC.
+        j.push(0, tup(10, 3), &mut out);
+        assert_eq!(rows(&out), vec![(10, 3, 1)]);
+    }
+
+    #[test]
+    fn finish_input_clears_opposite_buffer() {
+        let mut j = join(0, 0, false);
+        let mut out = Vec::new();
+        j.push(1, tup(1, 0), &mut out);
+        j.push(1, tup(2, 0), &mut out);
+        j.finish_input(0);
+        assert_eq!(j.buffered(), 0, "no left tuples can ever match");
+    }
+
+    #[test]
+    fn sorted_emission_is_monotone_where_banded_is_not() {
+        // Band window ±2 over out-of-order-within-band arrivals.
+        let mk = |emit| {
+            JoinOp::new(
+                JoinConfig {
+                    left_col: 0,
+                    right_col: 0,
+                    lo: -2,
+                    hi: 2,
+                    left_slack: 2,
+                    right_slack: 0,
+                    eq_keys: vec![],
+                    emit,
+                    sort_out_col: 0,
+                },
+                None,
+                vec![prog(&col(0)), prog(&col(1)), prog(&col(3))],
+            )
+        };
+        let feed = |j: &mut JoinOp| {
+            let mut out = Vec::new();
+            for ts in [5u64, 3, 6, 4, 8, 7, 10, 9, 14, 12, 16, 15] {
+                j.push(0, tup(ts, 1), &mut out);
+                j.push(1, tup(ts, 2), &mut out);
+            }
+            j.finish(&mut out);
+            rows(&out).iter().map(|r| r.0).collect::<Vec<u64>>()
+        };
+        let mut banded = mk(EmitMode::Banded);
+        let banded_vals = feed(&mut banded);
+        let mut sorted = mk(EmitMode::Sorted);
+        let sorted_vals = feed(&mut sorted);
+
+        // Same multiset of results...
+        let norm = |mut v: Vec<u64>| {
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(norm(banded_vals.clone()), norm(sorted_vals.clone()));
+        // ...but only Sorted is monotone, and it pays with buffering.
+        assert!(
+            banded_vals.windows(2).any(|w| w[0] > w[1]),
+            "banded emission should be out of order on this input: {banded_vals:?}"
+        );
+        assert!(
+            sorted_vals.windows(2).all(|w| w[0] <= w[1]),
+            "sorted emission must be monotone: {sorted_vals:?}"
+        );
+        assert!(
+            sorted.peak_pending > 0,
+            "monotone output requires extra buffer space (the paper's trade-off)"
+        );
+    }
+
+    #[test]
+    fn sorted_emission_equality_window() {
+        let mut j = JoinOp::new(
+            JoinConfig {
+                left_col: 0,
+                right_col: 0,
+                lo: 0,
+                hi: 0,
+                left_slack: 0,
+                right_slack: 0,
+                eq_keys: vec![],
+                emit: EmitMode::Sorted,
+                sort_out_col: 0,
+            },
+            None,
+            vec![prog(&col(0)), prog(&col(1)), prog(&col(3))],
+        );
+        let mut out = Vec::new();
+        for ts in 0..50u64 {
+            j.push(0, tup(ts, 0), &mut out);
+            j.push(1, tup(ts, 0), &mut out);
+        }
+        j.finish(&mut out);
+        let vals: Vec<u64> = rows(&out).iter().map(|r| r.0).collect();
+        assert_eq!(vals.len(), 50);
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn gc_keeps_bucket_order_consistent() {
+        // Interleave two keys, GC part of the window, and check no stale
+        // matches appear.
+        let mut j = JoinOp::new(
+            config(0, 0, vec![(1, 1)]),
+            None,
+            vec![prog(&col(0)), prog(&col(1)), prog(&col(3))],
+        );
+        let mut out = Vec::new();
+        j.push(1, tup(1, 7), &mut out);
+        j.push(1, tup(1, 8), &mut out);
+        j.push(1, tup(2, 7), &mut out);
+        // Left advances to 2: right entries at ts 1 die.
+        j.push(0, tup(2, 9), &mut out);
+        assert!(rows(&out).is_empty());
+        assert_eq!(j.right.len, 1, "only the ts-2 right entry survives");
+        j.push(0, tup(2, 7), &mut out);
+        assert_eq!(rows(&out), vec![(2, 7, 7)]);
+    }
+}

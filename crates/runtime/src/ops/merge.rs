@@ -1,0 +1,313 @@
+//! The order-preserving merge operator.
+//!
+//! "GSQL contains an extension to SQL, the merge operator, which is a
+//! Union operator which preserves the ordering properties of an attribute.
+//! ... This operator is surprisingly important — we implemented it before
+//! the join operator." (paper §2.2). Optical links are simplex; seeing a
+//! full duplex conversation requires merging two interfaces.
+//!
+//! The operator is a watermark merge: a buffered tuple is emitted once its
+//! merge-attribute value is at or below every input's *future bound* (the
+//! largest value below which no input can produce further tuples). The
+//! future bound advances with data tuples and with punctuation — without
+//! punctuation a silent input blocks the merge and buffers grow without
+//! bound, exactly the failure mode of §3's 100 Mbyte/s-vs-1-tuple/minute
+//! example.
+
+use crate::ops::{Operator, OrderedTupleEntry as Entry};
+use crate::punct::Punct;
+use crate::tuple::StreamItem;
+use crate::value::Value;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+struct Input {
+    heap: BinaryHeap<Reverse<Entry>>,
+    /// Largest merge-attribute value seen.
+    watermark: Option<u64>,
+    /// Best-known lower bound on future values.
+    future_bound: Option<u64>,
+    finished: bool,
+}
+
+impl Input {
+    fn bound(&self) -> Option<u64> {
+        if self.finished {
+            return Some(u64::MAX);
+        }
+        self.future_bound
+    }
+}
+
+/// K-way order-preserving union on one ordered attribute.
+pub struct MergeOp {
+    inputs: Vec<Input>,
+    on_col: usize,
+    /// Banded slack per input (0 for monotone inputs).
+    slacks: Vec<u64>,
+    seq: u64,
+    last_punct_bound: Option<u64>,
+    /// Total buffered tuples right now.
+    buffered: usize,
+    /// Peak total buffered tuples (experiment E5 reads this).
+    pub peak_buffered: usize,
+    /// Set when the operator would benefit from a heartbeat: some input's
+    /// unknown/lagging bound is holding buffered tuples back (the paper's
+    /// on-demand punctuation trigger).
+    pub starved: bool,
+}
+
+impl MergeOp {
+    /// Build a merge of `n` inputs on column `on_col`, with per-input
+    /// banded slack.
+    ///
+    /// # Panics
+    /// Panics unless `n >= 2` and `slacks.len() == n`.
+    pub fn new(n: usize, on_col: usize, slacks: Vec<u64>) -> MergeOp {
+        assert!(n >= 2, "merge needs at least two inputs");
+        assert_eq!(slacks.len(), n, "one slack per input");
+        MergeOp {
+            inputs: (0..n)
+                .map(|_| Input {
+                    heap: BinaryHeap::new(),
+                    watermark: None,
+                    future_bound: None,
+                    finished: false,
+                })
+                .collect(),
+            on_col,
+            slacks,
+            seq: 0,
+            last_punct_bound: None,
+            buffered: 0,
+            peak_buffered: 0,
+            starved: false,
+        }
+    }
+
+    /// The merge-attribute bound below which output is complete.
+    fn safe_bound(&self) -> Option<u64> {
+        let mut b = u64::MAX;
+        for i in &self.inputs {
+            b = b.min(i.bound()?);
+        }
+        Some(b)
+    }
+
+    fn drain_ready(&mut self, out: &mut Vec<StreamItem>) {
+        let Some(bound) = self.safe_bound() else {
+            self.starved = self.buffered > 0;
+            return;
+        };
+        loop {
+            // Pop the globally smallest buffered entry if it is safe.
+            let mut best: Option<(usize, u64, u64)> = None;
+            for (i, input) in self.inputs.iter().enumerate() {
+                if let Some(Reverse(e)) = input.heap.peek() {
+                    if e.v <= bound {
+                        let cand = (i, e.v, e.seq);
+                        best = match best {
+                            None => Some(cand),
+                            Some(b) if (cand.1, cand.2) < (b.1, b.2) => Some(cand),
+                            keep => keep,
+                        };
+                    }
+                }
+            }
+            let Some((i, _, _)) = best else { break };
+            let Reverse(e) = self.inputs[i].heap.pop().expect("peeked entry");
+            self.buffered -= 1;
+            out.push(StreamItem::Tuple(e.tuple));
+        }
+        self.starved = self.buffered > 0;
+        // Forward progress downstream, once per bound advance.
+        if self.inputs.iter().all(|i| !i.finished)
+            && self.last_punct_bound.is_none_or(|b| bound > b)
+        {
+            self.last_punct_bound = Some(bound);
+            out.push(StreamItem::Punct(Punct::new(self.on_col, Value::UInt(bound))));
+        }
+    }
+
+    /// Mark one input as exhausted.
+    pub fn finish_input(&mut self, port: usize, out: &mut Vec<StreamItem>) {
+        self.inputs[port].finished = true;
+        self.drain_ready(out);
+    }
+
+    /// Tuples currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buffered
+    }
+}
+
+impl Operator for MergeOp {
+    fn n_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    fn push(&mut self, port: usize, item: StreamItem, out: &mut Vec<StreamItem>) {
+        match item {
+            StreamItem::Tuple(t) => {
+                let Some(v) = t.get(self.on_col).as_uint() else { return };
+                let input = &mut self.inputs[port];
+                input.watermark = Some(input.watermark.map_or(v, |w| w.max(v)));
+                let wm_bound = input.watermark.expect("just set").saturating_sub(self.slacks[port]);
+                input.future_bound =
+                    Some(input.future_bound.map_or(wm_bound, |b| b.max(wm_bound)));
+                self.seq += 1;
+                input.heap.push(Reverse(Entry { v, seq: self.seq, tuple: t }));
+                self.buffered += 1;
+                self.peak_buffered = self.peak_buffered.max(self.buffered);
+                self.drain_ready(out);
+            }
+            StreamItem::Punct(p) => {
+                if p.col == self.on_col {
+                    if let Some(low) = p.low.as_uint() {
+                        let input = &mut self.inputs[port];
+                        input.future_bound =
+                            Some(input.future_bound.map_or(low, |b| b.max(low)));
+                        self.drain_ready(out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<StreamItem>) {
+        for i in &mut self.inputs {
+            i.finished = true;
+        }
+        self.drain_ready(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    fn tup(v: u64) -> StreamItem {
+        StreamItem::Tuple(Tuple::new(vec![Value::UInt(v)]))
+    }
+
+    fn vals(out: &[StreamItem]) -> Vec<u64> {
+        out.iter()
+            .filter_map(|i| i.as_tuple())
+            .map(|t| t.get(0).as_uint().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn interleaves_in_order() {
+        let mut m = MergeOp::new(2, 0, vec![0, 0]);
+        let mut out = Vec::new();
+        for v in [1u64, 4, 9] {
+            m.push(0, tup(v), &mut out);
+        }
+        for v in [2u64, 3, 10] {
+            m.push(1, tup(v), &mut out);
+        }
+        m.finish(&mut out);
+        assert_eq!(vals(&out), vec![1, 2, 3, 4, 9, 10]);
+    }
+
+    #[test]
+    fn holds_back_until_both_sides_progress() {
+        let mut m = MergeOp::new(2, 0, vec![0, 0]);
+        let mut out = Vec::new();
+        m.push(0, tup(5), &mut out);
+        m.push(0, tup(6), &mut out);
+        assert!(vals(&out).is_empty(), "input 1 has no bound yet");
+        assert!(m.starved, "the operator reports potential blockage");
+        m.push(1, tup(7), &mut out);
+        // Input 1's future bound is 7: both 5 and 6 are safe.
+        assert_eq!(vals(&out), vec![5, 6]);
+        assert_eq!(m.buffered(), 1);
+    }
+
+    #[test]
+    fn punctuation_unblocks_a_silent_input() {
+        let mut m = MergeOp::new(2, 0, vec![0, 0]);
+        let mut out = Vec::new();
+        for v in 1..=100u64 {
+            m.push(0, tup(v), &mut out);
+        }
+        assert_eq!(m.buffered(), 100, "silent second input blocks everything");
+        m.push(1, StreamItem::Punct(Punct::new(0, Value::UInt(1_000))), &mut out);
+        assert_eq!(vals(&out).len(), 100);
+        assert_eq!(m.buffered(), 0);
+        assert!(!m.starved);
+    }
+
+    #[test]
+    fn banded_input_respects_slack() {
+        // Input 0 is banded-increasing(10): seeing 50 only guarantees
+        // future values >= 40.
+        let mut m = MergeOp::new(2, 0, vec![10, 0]);
+        let mut out = Vec::new();
+        m.push(0, tup(50), &mut out);
+        m.push(1, tup(45), &mut out);
+        // Bound = min(50-10, 45) = 40: nothing emits yet.
+        assert!(vals(&out).is_empty());
+        // A late in-band tuple on input 0 still merges correctly.
+        m.push(0, tup(42), &mut out);
+        m.push(1, tup(60), &mut out);
+        // Bounds: input0 = 40, input1 = 60 -> nothing <= 40... still held.
+        assert!(vals(&out).is_empty());
+        m.push(0, tup(70), &mut out);
+        // Input0 bound = 60; emit everything <= 60 in order.
+        assert_eq!(vals(&out), vec![42, 45, 50, 60]);
+        m.finish(&mut out);
+        assert_eq!(vals(&out), vec![42, 45, 50, 60, 70]);
+    }
+
+    #[test]
+    fn peak_buffer_tracks_blockage() {
+        let mut m = MergeOp::new(2, 0, vec![0, 0]);
+        let mut out = Vec::new();
+        for v in 1..=50u64 {
+            m.push(0, tup(v), &mut out);
+        }
+        m.push(1, tup(100), &mut out);
+        m.finish(&mut out);
+        assert_eq!(m.peak_buffered, 51);
+        assert_eq!(vals(&out).len(), 51);
+    }
+
+    #[test]
+    fn forwards_progress_punctuation() {
+        let mut m = MergeOp::new(2, 0, vec![0, 0]);
+        let mut out = Vec::new();
+        m.push(0, tup(5), &mut out);
+        m.push(1, tup(8), &mut out);
+        assert!(
+            out.iter().any(|i| matches!(i, StreamItem::Punct(p) if p.low == Value::UInt(5))),
+            "downstream learns the merge's own bound"
+        );
+    }
+
+    #[test]
+    fn three_way_merge() {
+        let mut m = MergeOp::new(3, 0, vec![0, 0, 0]);
+        let mut out = Vec::new();
+        m.push(0, tup(1), &mut out);
+        m.push(1, tup(2), &mut out);
+        m.push(2, tup(3), &mut out);
+        m.push(0, tup(4), &mut out);
+        m.push(1, tup(5), &mut out);
+        m.push(2, tup(6), &mut out);
+        m.finish(&mut out);
+        assert_eq!(vals(&out), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn finish_input_releases_its_hold() {
+        let mut m = MergeOp::new(2, 0, vec![0, 0]);
+        let mut out = Vec::new();
+        m.push(0, tup(9), &mut out);
+        assert!(vals(&out).is_empty());
+        m.finish_input(1, &mut out);
+        assert_eq!(vals(&out), vec![9]);
+    }
+}

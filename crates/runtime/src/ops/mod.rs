@@ -1,0 +1,145 @@
+//! Stream operators.
+//!
+//! Operators are push-based state machines: tuples (and punctuation) go
+//! in, zero or more items come out. They are synchronous and scheduler
+//! agnostic — the engine can run them inline in a capture loop (LFTAs),
+//! single-threaded for deterministic tests, or one-per-thread connected
+//! by channels (the deployment configuration).
+
+pub mod agg;
+pub mod build;
+pub mod defrag;
+pub mod join;
+pub mod lfta;
+pub mod merge;
+pub mod select;
+
+use crate::tuple::{StreamItem, Tuple};
+
+/// Heap entry ordering tuples by an ordered-attribute value with an
+/// insertion sequence as tiebreak; shared by the merge operator's input
+/// buffers and the join's sorted-release queue.
+pub(crate) struct OrderedTupleEntry {
+    pub(crate) v: u64,
+    pub(crate) seq: u64,
+    pub(crate) tuple: Tuple,
+}
+
+impl PartialEq for OrderedTupleEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.v, self.seq) == (other.v, other.seq)
+    }
+}
+impl Eq for OrderedTupleEntry {}
+impl PartialOrd for OrderedTupleEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedTupleEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.v, self.seq).cmp(&(other.v, other.seq))
+    }
+}
+
+/// A push-based stream operator.
+pub trait Operator: Send {
+    /// Number of input ports (1 except for join/merge).
+    fn n_inputs(&self) -> usize {
+        1
+    }
+
+    /// Feed one item into `port`; outputs are appended to `out`.
+    fn push(&mut self, port: usize, item: StreamItem, out: &mut Vec<StreamItem>);
+
+    /// All inputs are exhausted: flush any remaining state.
+    fn finish(&mut self, out: &mut Vec<StreamItem>);
+}
+
+/// Run a chain of single-input operators over one item: the output of each
+/// stage feeds the next. `scratch` vectors are caller-provided to avoid
+/// per-item allocation.
+pub fn cascade(
+    ops: &mut [Box<dyn Operator>],
+    item: StreamItem,
+    out: &mut Vec<StreamItem>,
+) {
+    debug_assert!(ops.iter().all(|o| o.n_inputs() == 1));
+    let mut cur = vec![item];
+    let mut next = Vec::new();
+    for op in ops.iter_mut() {
+        for it in cur.drain(..) {
+            op.push(0, it, &mut next);
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    out.extend(cur);
+}
+
+/// Finish a chain: flush each stage, feeding its tail output onward.
+pub fn cascade_finish(ops: &mut [Box<dyn Operator>], out: &mut Vec<StreamItem>) {
+    let mut pending: Vec<StreamItem> = Vec::new();
+    for i in 0..ops.len() {
+        let mut flushed = Vec::new();
+        ops[i].finish(&mut flushed);
+        pending.extend(flushed);
+        // Feed everything pending through the REMAINING stages.
+        let mut cur = std::mem::take(&mut pending);
+        let mut next = Vec::new();
+        for op in ops[i + 1..].iter_mut() {
+            for it in cur.drain(..) {
+                op.push(0, it, &mut next);
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        if i + 1 < ops.len() {
+            // `cur` now holds items that already passed through all later
+            // stages; hold them until those stages have also finished.
+            out.extend(cur);
+        } else {
+            out.extend(cur);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use crate::value::Value;
+
+    /// Doubles every uint in a 1-field tuple; flushes a sentinel.
+    struct Doubler;
+    impl Operator for Doubler {
+        fn push(&mut self, _p: usize, item: StreamItem, out: &mut Vec<StreamItem>) {
+            if let StreamItem::Tuple(t) = item {
+                let v = t.get(0).as_uint().unwrap();
+                out.push(StreamItem::Tuple(Tuple::new(vec![Value::UInt(v * 2)])));
+            }
+        }
+        fn finish(&mut self, out: &mut Vec<StreamItem>) {
+            out.push(StreamItem::Tuple(Tuple::new(vec![Value::UInt(999)])));
+        }
+    }
+
+    #[test]
+    fn cascade_applies_in_order() {
+        let mut ops: Vec<Box<dyn Operator>> = vec![Box::new(Doubler), Box::new(Doubler)];
+        let mut out = Vec::new();
+        cascade(&mut ops, StreamItem::Tuple(Tuple::new(vec![Value::UInt(3)])), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].as_tuple().unwrap().get(0), &Value::UInt(12));
+    }
+
+    #[test]
+    fn cascade_finish_propagates_flushes() {
+        let mut ops: Vec<Box<dyn Operator>> = vec![Box::new(Doubler), Box::new(Doubler)];
+        let mut out = Vec::new();
+        cascade_finish(&mut ops, &mut out);
+        // First stage's sentinel passes through the second (999*2), then
+        // the second stage's own sentinel.
+        let vals: Vec<u64> =
+            out.iter().filter_map(|i| i.as_tuple().map(|t| t.get(0).as_uint().unwrap())).collect();
+        assert_eq!(vals, vec![1998, 999]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Selection / projection over tuple streams.
+
+use crate::expr::{EvalScratch, Program};
+use crate::ops::Operator;
+use crate::punct::Punct;
+use crate::tuple::{StreamItem, Tuple};
+use crate::value::Value;
+
+/// Filter + project in one pass. Punctuation is translated through the
+/// projection when the punctuated column survives as an identity (or
+/// divided-bucket) projection; otherwise it is dropped, which is always
+/// safe (punctuation is an optimization, never required for correctness).
+pub struct SelectProject {
+    filter: Option<Program>,
+    projections: Vec<Program>,
+    /// `(input col, output col, divisor)` triples for punctuation
+    /// translation: output value = input value / divisor.
+    punct_map: Vec<(usize, usize, u64)>,
+    scratch: EvalScratch,
+    /// Tuples seen / kept (diagnostics).
+    pub seen: u64,
+    /// Tuples that passed the filter and projected successfully.
+    pub kept: u64,
+}
+
+impl SelectProject {
+    /// Build from compiled programs.
+    pub fn new(
+        filter: Option<Program>,
+        projections: Vec<Program>,
+        punct_map: Vec<(usize, usize, u64)>,
+    ) -> SelectProject {
+        SelectProject {
+            filter,
+            projections,
+            punct_map,
+            scratch: EvalScratch::default(),
+            seen: 0,
+            kept: 0,
+        }
+    }
+}
+
+impl Operator for SelectProject {
+    fn push(&mut self, _port: usize, item: StreamItem, out: &mut Vec<StreamItem>) {
+        match item {
+            StreamItem::Tuple(t) => {
+                self.seen += 1;
+                if let Some(f) = &self.filter {
+                    if !f.eval_bool(&t, &mut self.scratch) {
+                        return;
+                    }
+                }
+                let mut vals = Vec::with_capacity(self.projections.len());
+                for p in &self.projections {
+                    match p.eval(&t, &mut self.scratch) {
+                        Some(v) => vals.push(v),
+                        None => return, // partial UDF / missing field: discard
+                    }
+                }
+                self.kept += 1;
+                out.push(StreamItem::Tuple(Tuple::new(vals)));
+            }
+            StreamItem::Punct(p) => {
+                for (in_col, out_col, div) in &self.punct_map {
+                    if p.col == *in_col {
+                        if let Some(v) = p.low.as_uint() {
+                            out.push(StreamItem::Punct(Punct::new(
+                                *out_col,
+                                Value::UInt(v / div.max(&1)),
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, _out: &mut Vec<StreamItem>) {}
+}
+
+/// Pure filter: drops tuples failing the predicate, passes punctuation
+/// through unchanged (the schema is unchanged, so bounds stay valid).
+pub struct FilterOp {
+    pred: Program,
+    scratch: EvalScratch,
+    /// Tuples seen.
+    pub seen: u64,
+    /// Tuples kept.
+    pub kept: u64,
+}
+
+impl FilterOp {
+    /// Build from a compiled boolean program.
+    pub fn new(pred: Program) -> FilterOp {
+        FilterOp { pred, scratch: EvalScratch::default(), seen: 0, kept: 0 }
+    }
+}
+
+impl Operator for FilterOp {
+    fn push(&mut self, _port: usize, item: StreamItem, out: &mut Vec<StreamItem>) {
+        match item {
+            StreamItem::Tuple(t) => {
+                self.seen += 1;
+                if self.pred.eval_bool(&t, &mut self.scratch) {
+                    self.kept += 1;
+                    out.push(StreamItem::Tuple(t));
+                }
+            }
+            p @ StreamItem::Punct(_) => out.push(p),
+        }
+    }
+
+    fn finish(&mut self, _out: &mut Vec<StreamItem>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamBindings;
+    use crate::udf::{FileStore, UdfRegistry};
+    use gs_gsql::ast::BinOp;
+    use gs_gsql::plan::{Literal, PExpr};
+    use gs_gsql::types::DataType;
+
+    fn prog(pe: &PExpr) -> Program {
+        Program::compile(pe, &ParamBindings::new(), &UdfRegistry::with_builtins(), &FileStore::new())
+            .unwrap()
+    }
+
+    fn col(i: usize) -> PExpr {
+        PExpr::Col { index: i, ty: DataType::UInt }
+    }
+
+    #[test]
+    fn filters_and_projects() {
+        let filter = prog(&PExpr::Binary {
+            op: BinOp::Gt,
+            left: Box::new(col(0)),
+            right: Box::new(PExpr::Lit(Literal::UInt(10))),
+            ty: DataType::Bool,
+        });
+        let mut op = SelectProject::new(Some(filter), vec![prog(&col(1))], vec![]);
+        let mut out = Vec::new();
+        op.push(0, StreamItem::Tuple(Tuple::new(vec![Value::UInt(11), Value::UInt(7)])), &mut out);
+        op.push(0, StreamItem::Tuple(Tuple::new(vec![Value::UInt(9), Value::UInt(8)])), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].as_tuple().unwrap().get(0), &Value::UInt(7));
+        assert_eq!((op.seen, op.kept), (2, 1));
+    }
+
+    #[test]
+    fn punct_translated_through_identity_and_bucket() {
+        let mut op = SelectProject::new(None, vec![prog(&col(0))], vec![(0, 0, 60)]);
+        let mut out = Vec::new();
+        op.push(0, StreamItem::Punct(Punct::new(0, Value::UInt(120))), &mut out);
+        assert_eq!(out, vec![StreamItem::Punct(Punct::new(0, Value::UInt(2)))]);
+        // Punct on an untranslated column is dropped.
+        out.clear();
+        op.push(0, StreamItem::Punct(Punct::new(5, Value::UInt(9))), &mut out);
+        assert!(out.is_empty());
+    }
+}

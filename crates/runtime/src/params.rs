@@ -1,0 +1,120 @@
+//! Query-parameter bindings.
+//!
+//! "Queries can accept query parameters, which are similar to constants
+//! but which are specified at query instantiation time and which can be
+//! changed on-the-fly. The RTS can execute multiple instances of the same
+//! LFTA, each with different parameters." (paper §3)
+
+use crate::value::Value;
+use crate::RuntimeError;
+use gs_gsql::plan::Literal;
+use gs_gsql::types::DataType;
+use std::collections::HashMap;
+
+/// A set of parameter bindings for one query instantiation.
+#[derive(Debug, Clone, Default)]
+pub struct ParamBindings {
+    vals: HashMap<String, Value>,
+}
+
+impl ParamBindings {
+    /// Empty bindings.
+    pub fn new() -> ParamBindings {
+        ParamBindings::default()
+    }
+
+    /// Bind `name` to a value (replacing any previous binding).
+    pub fn set(&mut self, name: impl Into<String>, v: Value) -> &mut Self {
+        self.vals.insert(name.into(), v);
+        self
+    }
+
+    /// Builder-style bind.
+    pub fn with(mut self, name: impl Into<String>, v: Value) -> Self {
+        self.set(name, v);
+        self
+    }
+
+    /// Look up a binding.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.vals.get(name)
+    }
+
+    /// Check that every `(name, type)` requirement is satisfied.
+    pub fn validate(&self, required: &[(String, DataType)]) -> Result<(), RuntimeError> {
+        for (name, ty) in required {
+            match self.vals.get(name) {
+                None => {
+                    return Err(RuntimeError::msg(format!("missing query parameter `${name}`")))
+                }
+                Some(v) => {
+                    let ok = v.ty() == *ty
+                        || (v.ty() == DataType::UInt && *ty == DataType::Float);
+                    if !ok {
+                        return Err(RuntimeError::msg(format!(
+                            "parameter `${name}` must be {ty}, got {}",
+                            v.ty()
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convert bindings into plan literals for BPF re-compilation at
+    /// instantiation (only representable values appear).
+    pub fn as_literals(&self) -> HashMap<String, Literal> {
+        self.vals
+            .iter()
+            .map(|(k, v)| {
+                let lit = match v {
+                    Value::Bool(b) => Literal::Bool(*b),
+                    Value::UInt(u) => Literal::UInt(*u),
+                    Value::Float(f) => Literal::Float(*f),
+                    Value::Ip(ip) => Literal::Ip(*ip),
+                    Value::Str(s) => {
+                        Literal::Str(String::from_utf8_lossy(s).into_owned())
+                    }
+                };
+                (k.clone(), lit)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_overwrite() {
+        let mut p = ParamBindings::new();
+        p.set("port", Value::UInt(80));
+        assert_eq!(p.get("port"), Some(&Value::UInt(80)));
+        p.set("port", Value::UInt(443));
+        assert_eq!(p.get("port"), Some(&Value::UInt(443)));
+    }
+
+    #[test]
+    fn validate_checks_presence_and_type() {
+        let p = ParamBindings::new().with("port", Value::UInt(80));
+        assert!(p.validate(&[("port".into(), DataType::UInt)]).is_ok());
+        assert!(p.validate(&[("other".into(), DataType::UInt)]).is_err());
+        assert!(p.validate(&[("port".into(), DataType::Str)]).is_err());
+        // UInt widens to Float.
+        assert!(p.validate(&[("port".into(), DataType::Float)]).is_ok());
+    }
+
+    #[test]
+    fn literals_roundtrip() {
+        let p = ParamBindings::new()
+            .with("a", Value::UInt(1))
+            .with("b", Value::Ip(7))
+            .with("c", Value::Str(bytes::Bytes::from_static(b"x")));
+        let lits = p.as_literals();
+        assert_eq!(lits["a"], Literal::UInt(1));
+        assert_eq!(lits["b"], Literal::Ip(7));
+        assert_eq!(lits["c"], Literal::Str("x".into()));
+    }
+}

@@ -1,0 +1,65 @@
+//! Ordering-update tokens (punctuation).
+//!
+//! Paper §3, "Unblocking Operators": "the presence of a tuple allows us to
+//! advance the window over which a query operates, but we do not get this
+//! information in the absence of a tuple. To overcome this problem, we use
+//! a mechanism similar to the one proposed by [Tucker & Maier] of
+//! injecting ordering update tokens into the query stream. These tokens
+//! contain lower bounds on the ordering attributes in the stream."
+//!
+//! A [`Punct`] promises that no later tuple on this stream will carry a
+//! value of column `col` below `low`. Sources emit them periodically or on
+//! demand (when a downstream merge/join reports that it might be blocked).
+
+use crate::value::Value;
+
+/// An ordering-update token: a lower bound on an ordered attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Punct {
+    /// Index of the ordered column in the stream's schema.
+    pub col: usize,
+    /// Lower bound: every future tuple `t` satisfies `t[col] >= low`.
+    pub low: Value,
+}
+
+impl Punct {
+    /// Build a token.
+    pub fn new(col: usize, low: Value) -> Punct {
+        Punct { col, low }
+    }
+}
+
+/// How a source decides when to emit punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeartbeatMode {
+    /// Never emit (the paper's problem case: a slow stream can block a
+    /// merge indefinitely and overflow its buffers).
+    Off,
+    /// Emit a token every `interval` units of the ordered attribute
+    /// (Tucker & Maier's periodic injection).
+    Periodic {
+        /// Injection interval, in units of the ordered attribute.
+        interval: u64,
+    },
+    /// Emit only when a downstream operator signals that it might be
+    /// blocked (the paper's "on-demand system" experiment).
+    OnDemand,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let p = Punct::new(2, Value::UInt(100));
+        assert_eq!(p.col, 2);
+        assert_eq!(p.low, Value::UInt(100));
+    }
+
+    #[test]
+    fn modes_compare() {
+        assert_ne!(HeartbeatMode::Off, HeartbeatMode::OnDemand);
+        assert_eq!(HeartbeatMode::Periodic { interval: 5 }, HeartbeatMode::Periodic { interval: 5 });
+    }
+}

@@ -1,0 +1,166 @@
+//! Overload shedding policies.
+//!
+//! Paper §4, closing discussion: "we use a simple heuristic which is easy
+//! to understand and implement: highly processed tuples (produced further
+//! in the query chain) are more valuable than less-processed tuples,
+//! because of the filters and aggregations that have been applied."
+//!
+//! A [`Shedder`] sits in front of an overloaded consumer holding a bounded
+//! buffer of work items, each tagged with its *processing depth* (how far
+//! along the query chain it has come). When the buffer is full the policy
+//! decides what to drop.
+
+use std::collections::VecDeque;
+
+/// What to drop under overload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// Drop the arriving item (tail drop), regardless of value.
+    TailDrop,
+    /// Drop the buffered item with the *lowest* processing depth; the
+    /// arriving item is dropped only if nothing shallower is buffered —
+    /// the paper's heuristic.
+    LeastProcessedFirst,
+}
+
+/// A bounded buffer with value-aware shedding.
+///
+/// ```
+/// use gs_runtime::qos::{DropPolicy, Shedder};
+///
+/// let mut s = Shedder::new(1, DropPolicy::LeastProcessedFirst);
+/// s.offer(0, "raw packet");
+/// // A highly processed tuple evicts the raw one (the paper's heuristic).
+/// assert!(s.offer(3, "joined result"));
+/// assert_eq!(s.pop().unwrap().1, "joined result");
+/// ```
+#[derive(Debug)]
+pub struct Shedder<T> {
+    buf: VecDeque<(u32, T)>,
+    capacity: usize,
+    policy: DropPolicy,
+    /// Items dropped, by their processing depth (index = depth, saturated
+    /// at the vector's end).
+    pub dropped_by_depth: Vec<u64>,
+}
+
+impl<T> Shedder<T> {
+    /// Create a shedder with the given capacity and policy.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, policy: DropPolicy) -> Shedder<T> {
+        assert!(capacity > 0, "shedder capacity must be positive");
+        Shedder {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            policy,
+            dropped_by_depth: vec![0; 8],
+        }
+    }
+
+    fn count_drop(&mut self, depth: u32) {
+        let i = (depth as usize).min(self.dropped_by_depth.len() - 1);
+        self.dropped_by_depth[i] += 1;
+    }
+
+    /// Offer an item of the given processing depth. Returns `true` if the
+    /// arriving item was kept (possibly at the cost of a buffered one).
+    pub fn offer(&mut self, depth: u32, item: T) -> bool {
+        if self.buf.len() < self.capacity {
+            self.buf.push_back((depth, item));
+            return true;
+        }
+        match self.policy {
+            DropPolicy::TailDrop => {
+                self.count_drop(depth);
+                false
+            }
+            DropPolicy::LeastProcessedFirst => {
+                // Find the shallowest buffered item.
+                let (idx, &(min_depth, _)) = self
+                    .buf
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (d, _))| *d)
+                    .expect("buffer is full, hence non-empty");
+                if min_depth < depth {
+                    self.buf.remove(idx);
+                    self.count_drop(min_depth);
+                    self.buf.push_back((depth, item));
+                    true
+                } else {
+                    self.count_drop(depth);
+                    false
+                }
+            }
+        }
+    }
+
+    /// Take the oldest buffered item.
+    pub fn pop(&mut self) -> Option<(u32, T)> {
+        self.buf.pop_front()
+    }
+
+    /// Buffered item count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total items dropped.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped_by_depth.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_drop_ignores_value() {
+        let mut s = Shedder::new(2, DropPolicy::TailDrop);
+        assert!(s.offer(0, "a"));
+        assert!(s.offer(0, "b"));
+        assert!(!s.offer(9, "precious"));
+        assert_eq!(s.total_dropped(), 1);
+        assert_eq!(s.pop().unwrap().1, "a");
+    }
+
+    #[test]
+    fn least_processed_first_protects_deep_tuples() {
+        let mut s = Shedder::new(2, DropPolicy::LeastProcessedFirst);
+        s.offer(0, "raw1");
+        s.offer(3, "agg");
+        // A deeper item evicts the shallow one.
+        assert!(s.offer(5, "joined"));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dropped_by_depth[0], 1);
+        // A shallow item cannot evict deeper ones.
+        assert!(!s.offer(1, "raw2"));
+        assert_eq!(s.dropped_by_depth[1], 1);
+        let kept: Vec<&str> = std::iter::from_fn(|| s.pop().map(|(_, v)| v)).collect();
+        assert_eq!(kept, vec!["agg", "joined"]);
+    }
+
+    #[test]
+    fn equal_depth_prefers_resident() {
+        let mut s = Shedder::new(1, DropPolicy::LeastProcessedFirst);
+        s.offer(2, "first");
+        assert!(!s.offer(2, "second"), "ties keep the already-buffered item");
+        assert_eq!(s.pop().unwrap().1, "first");
+    }
+
+    #[test]
+    fn depth_counter_saturates() {
+        let mut s = Shedder::new(1, DropPolicy::TailDrop);
+        s.offer(0, ());
+        s.offer(100, ());
+        assert_eq!(*s.dropped_by_depth.last().unwrap(), 1);
+    }
+}

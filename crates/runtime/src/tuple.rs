@@ -1,0 +1,130 @@
+//! Tuples and stream items.
+
+use crate::punct::Punct;
+use crate::value::Value;
+use std::fmt;
+
+/// A tuple: the fields of one stream record, "packed in a standard
+/// fashion" (paper §2.2). Cloning shares string payloads.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    vals: Box<[Value]>,
+}
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(vals: Vec<Value>) -> Tuple {
+        Tuple { vals: vals.into_boxed_slice() }
+    }
+
+    /// Field count.
+    pub fn arity(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Field by index.
+    #[inline]
+    pub fn get(&self, i: usize) -> &Value {
+        &self.vals[i]
+    }
+
+    /// All fields.
+    pub fn values(&self) -> &[Value] {
+        &self.vals
+    }
+
+    /// Concatenate two tuples (join output construction).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.vals.len() + other.vals.len());
+        v.extend_from_slice(&self.vals);
+        v.extend_from_slice(&other.vals);
+        Tuple::new(v)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.vals.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Tuple {
+        Tuple::new(v)
+    }
+}
+
+/// What flows on a stream: data tuples interleaved with ordering-update
+/// tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamItem {
+    /// A data tuple.
+    Tuple(Tuple),
+    /// An ordering-update token (punctuation).
+    Punct(Punct),
+}
+
+impl StreamItem {
+    /// The tuple, if this is one.
+    pub fn as_tuple(&self) -> Option<&Tuple> {
+        match self {
+            StreamItem::Tuple(t) => Some(t),
+            StreamItem::Punct(_) => None,
+        }
+    }
+
+    /// How a stream of items renders in tests/examples.
+    pub fn is_punct(&self) -> bool {
+        matches!(self, StreamItem::Punct(_))
+    }
+}
+
+/// Extract only the tuples from a drained item list (test helper).
+pub fn tuples_of(items: Vec<StreamItem>) -> Vec<Tuple> {
+    items
+        .into_iter()
+        .filter_map(|i| match i {
+            StreamItem::Tuple(t) => Some(t),
+            StreamItem::Punct(_) => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_and_access() {
+        let a = Tuple::new(vec![Value::UInt(1), Value::UInt(2)]);
+        let b = Tuple::new(vec![Value::Bool(true)]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.get(2), &Value::Bool(true));
+        assert_eq!(a.values().len(), 2);
+    }
+
+    #[test]
+    fn display() {
+        let t = Tuple::new(vec![Value::UInt(1), Value::Ip(0x01020304)]);
+        assert_eq!(t.to_string(), "(1, 1.2.3.4)");
+    }
+
+    #[test]
+    fn stream_item_helpers() {
+        let t = StreamItem::Tuple(Tuple::new(vec![Value::UInt(1)]));
+        assert!(!t.is_punct());
+        assert!(t.as_tuple().is_some());
+        let p = StreamItem::Punct(crate::punct::Punct { col: 0, low: Value::UInt(5) });
+        assert!(p.is_punct());
+        assert!(p.as_tuple().is_none());
+        assert_eq!(tuples_of(vec![t, p]).len(), 1);
+    }
+}

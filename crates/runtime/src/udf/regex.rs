@@ -1,0 +1,647 @@
+//! A byte-oriented regular-expression engine: the `str_match_regex`
+//! function.
+//!
+//! The §4 experiment matches packet payloads against `^[^\n]*HTTP/1.*`,
+//! which is "too expensive for an LFTA" and runs in the HFTA. The engine
+//! is a Thompson construction simulated Pike-VM style: linear in
+//! `pattern × input` with no backtracking, so hostile payloads cannot
+//! blow up matching time — a property a packet monitor needs.
+//!
+//! Supported syntax: literals, `.` (any byte but `\n`), classes
+//! `[a-z0-9]` / `[^...]`, escapes (`\n`, `\t`, `\r`, `\0`, `\d`, `\w`,
+//! `\s` and their upper-case negations, escaped metacharacters),
+//! repetition `*`, `+`, `?`, alternation `|`, grouping `(...)`, and the
+//! `^` / `$` anchors at the pattern edges. Unanchored patterns use search
+//! (match anywhere) semantics, like grep.
+//!
+//! The pattern is a pass-by-handle parameter: it is parsed and compiled
+//! once at query instantiation.
+
+use crate::udf::{HandleResolver, ScalarUdf};
+use crate::value::Value;
+use crate::RuntimeError;
+
+/// A compiled regular expression.
+///
+/// ```
+/// use gs_runtime::udf::regex::Regex;
+///
+/// // The paper's §4 pattern: anchored to the first line of the payload.
+/// let re = Regex::compile("^[^\\n]*HTTP/1.*").unwrap();
+/// assert!(re.is_match(b"GET / HTTP/1.1\r\nHost: x"));
+/// assert!(!re.is_match(b"line one\nHTTP/1.1 later"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Regex {
+    prog: Vec<State>,
+    start: usize,
+    anchored_start: bool,
+    anchored_end: bool,
+}
+
+/// A byte class: sorted inclusive ranges, possibly negated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Class {
+    neg: bool,
+    ranges: Vec<(u8, u8)>,
+}
+
+impl Class {
+    fn lit(b: u8) -> Class {
+        Class { neg: false, ranges: vec![(b, b)] }
+    }
+
+    fn dot() -> Class {
+        // Any byte except newline.
+        Class { neg: true, ranges: vec![(b'\n', b'\n')] }
+    }
+
+    fn matches(&self, b: u8) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| lo <= b && b <= hi);
+        inside != self.neg
+    }
+}
+
+#[derive(Debug, Clone)]
+enum State {
+    Byte { class: Class, next: usize },
+    Split { a: usize, b: usize },
+    Match,
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Ast {
+    Empty,
+    Byte(Class),
+    Concat(Vec<Ast>),
+    Alt(Vec<Ast>),
+    Star(Box<Ast>),
+    Plus(Box<Ast>),
+    Quest(Box<Ast>),
+}
+
+struct Parser<'a> {
+    pat: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> RuntimeError {
+        RuntimeError::msg(format!("regex error at byte {}: {msg}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.pat.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn alt(&mut self) -> Result<Ast, RuntimeError> {
+        let mut branches = vec![self.concat()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 { branches.pop().expect("one branch") } else { Ast::Alt(branches) })
+    }
+
+    fn concat(&mut self) -> Result<Ast, RuntimeError> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, RuntimeError> {
+        let mut a = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.bump();
+                    a = Ast::Star(Box::new(a));
+                }
+                Some(b'+') => {
+                    self.bump();
+                    a = Ast::Plus(Box::new(a));
+                }
+                Some(b'?') => {
+                    self.bump();
+                    a = Ast::Quest(Box::new(a));
+                }
+                _ => return Ok(a),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Ast, RuntimeError> {
+        match self.bump() {
+            None => Err(self.err("unexpected end of pattern")),
+            Some(b'(') => {
+                let inner = self.alt()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.err("unclosed `(`"));
+                }
+                Ok(inner)
+            }
+            Some(b'[') => Ok(Ast::Byte(self.class()?)),
+            Some(b'.') => Ok(Ast::Byte(Class::dot())),
+            Some(b'\\') => Ok(Ast::Byte(self.escape()?)),
+            Some(b'*') | Some(b'+') | Some(b'?') => Err(self.err("dangling repetition operator")),
+            // `^`/`$` away from the pattern edges are literals (the edges
+            // are stripped before parsing).
+            Some(b) => Ok(Ast::Byte(Class::lit(b))),
+        }
+    }
+
+    fn escape(&mut self) -> Result<Class, RuntimeError> {
+        let Some(b) = self.bump() else { return Err(self.err("trailing backslash")) };
+        Ok(match b {
+            b'n' => Class::lit(b'\n'),
+            b't' => Class::lit(b'\t'),
+            b'r' => Class::lit(b'\r'),
+            b'0' => Class::lit(0),
+            b'd' => Class { neg: false, ranges: vec![(b'0', b'9')] },
+            b'D' => Class { neg: true, ranges: vec![(b'0', b'9')] },
+            b'w' => Class {
+                neg: false,
+                ranges: vec![(b'0', b'9'), (b'A', b'Z'), (b'_', b'_'), (b'a', b'z')],
+            },
+            b'W' => Class {
+                neg: true,
+                ranges: vec![(b'0', b'9'), (b'A', b'Z'), (b'_', b'_'), (b'a', b'z')],
+            },
+            b's' => Class { neg: false, ranges: vec![(b'\t', b'\r'), (b' ', b' ')] },
+            b'S' => Class { neg: true, ranges: vec![(b'\t', b'\r'), (b' ', b' ')] },
+            other => Class::lit(other),
+        })
+    }
+
+    fn class(&mut self) -> Result<Class, RuntimeError> {
+        let neg = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges: Vec<(u8, u8)> = Vec::new();
+        let mut first = true;
+        loop {
+            let Some(b) = self.bump() else { return Err(self.err("unclosed `[`")) };
+            let lo = match b {
+                b']' if !first => break,
+                b'\\' => {
+                    let c = self.escape()?;
+                    if c.neg || c.ranges.len() != 1 || c.ranges[0].0 != c.ranges[0].1 {
+                        // A multi-range escape inside a class: splice in.
+                        if c.neg {
+                            return Err(self.err("negated escape inside a class"));
+                        }
+                        ranges.extend(c.ranges);
+                        first = false;
+                        continue;
+                    }
+                    c.ranges[0].0
+                }
+                other => other,
+            };
+            first = false;
+            // Range?
+            if self.peek() == Some(b'-')
+                && self.pat.get(self.pos + 1).is_some_and(|&n| n != b']')
+            {
+                self.bump(); // '-'
+                let hi = match self.bump() {
+                    Some(b'\\') => {
+                        let c = self.escape()?;
+                        if c.neg || c.ranges.len() != 1 || c.ranges[0].0 != c.ranges[0].1 {
+                            return Err(self.err("bad range endpoint"));
+                        }
+                        c.ranges[0].0
+                    }
+                    Some(h) => h,
+                    None => return Err(self.err("unclosed `[`")),
+                };
+                if hi < lo {
+                    return Err(self.err("reversed range"));
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        if ranges.is_empty() {
+            return Err(self.err("empty class"));
+        }
+        Ok(Class { neg, ranges })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thompson construction.
+// ---------------------------------------------------------------------
+
+struct Builder {
+    prog: Vec<State>,
+}
+
+impl Builder {
+    /// Compile `ast`; returns (entry, exits-to-patch). Exits are state
+    /// indices whose `next`/`b` field should point at whatever follows.
+    fn compile(&mut self, ast: &Ast) -> (usize, Vec<Patch>) {
+        match ast {
+            Ast::Empty => {
+                // A Split with both arms unpatched-as-one acts as epsilon.
+                let s = self.push(State::Split { a: usize::MAX, b: usize::MAX });
+                (s, vec![Patch::SplitA(s), Patch::SplitB(s)])
+            }
+            Ast::Byte(c) => {
+                let s = self.push(State::Byte { class: c.clone(), next: usize::MAX });
+                (s, vec![Patch::Next(s)])
+            }
+            Ast::Concat(parts) => {
+                let mut entry = None;
+                let mut pending: Vec<Patch> = Vec::new();
+                for p in parts {
+                    let (e, outs) = self.compile(p);
+                    for patch in pending.drain(..) {
+                        self.apply(patch, e);
+                    }
+                    if entry.is_none() {
+                        entry = Some(e);
+                    }
+                    pending = outs;
+                }
+                (entry.expect("concat is non-empty"), pending)
+            }
+            Ast::Alt(branches) => {
+                let mut outs = Vec::new();
+                let mut entries = Vec::new();
+                for b in branches {
+                    let (e, o) = self.compile(b);
+                    entries.push(e);
+                    outs.extend(o);
+                }
+                // Chain of splits fanning out to the branch entries.
+                let mut entry = entries.pop().expect("alt is non-empty");
+                while let Some(e) = entries.pop() {
+                    entry = self.push(State::Split { a: e, b: entry });
+                }
+                (entry, outs)
+            }
+            Ast::Star(inner) => {
+                let split = self.push(State::Split { a: usize::MAX, b: usize::MAX });
+                let (e, outs) = self.compile(inner);
+                self.apply(Patch::SplitA(split), e);
+                for p in outs {
+                    self.apply(p, split);
+                }
+                (split, vec![Patch::SplitB(split)])
+            }
+            Ast::Plus(inner) => {
+                let (e, outs) = self.compile(inner);
+                let split = self.push(State::Split { a: e, b: usize::MAX });
+                for p in outs {
+                    self.apply(p, split);
+                }
+                (e, vec![Patch::SplitB(split)])
+            }
+            Ast::Quest(inner) => {
+                let (e, mut outs) = self.compile(inner);
+                let split = self.push(State::Split { a: e, b: usize::MAX });
+                outs.push(Patch::SplitB(split));
+                (split, outs)
+            }
+        }
+    }
+
+    fn push(&mut self, s: State) -> usize {
+        self.prog.push(s);
+        self.prog.len() - 1
+    }
+
+    fn apply(&mut self, p: Patch, target: usize) {
+        match (p, &mut self.prog) {
+            (Patch::Next(i), prog) => {
+                if let State::Byte { next, .. } = &mut prog[i] {
+                    *next = target;
+                }
+            }
+            (Patch::SplitA(i), prog) => {
+                if let State::Split { a, .. } = &mut prog[i] {
+                    *a = target;
+                }
+            }
+            (Patch::SplitB(i), prog) => {
+                if let State::Split { b, .. } = &mut prog[i] {
+                    *b = target;
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Patch {
+    Next(usize),
+    SplitA(usize),
+    SplitB(usize),
+}
+
+impl Regex {
+    /// Parse and compile a pattern.
+    pub fn compile(pattern: &str) -> Result<Regex, RuntimeError> {
+        let mut pat = pattern.as_bytes();
+        let anchored_start = pat.first() == Some(&b'^');
+        if anchored_start {
+            pat = &pat[1..];
+        }
+        // `$` at the very end anchors unless escaped.
+        let anchored_end = pat.last() == Some(&b'$')
+            && !(pat.len() >= 2 && pat[pat.len() - 2] == b'\\');
+        if anchored_end {
+            pat = &pat[..pat.len() - 1];
+        }
+        let mut parser = Parser { pat, pos: 0 };
+        let ast = parser.alt()?;
+        if parser.pos != pat.len() {
+            return Err(parser.err("unbalanced `)`"));
+        }
+        let mut builder = Builder { prog: Vec::new() };
+        let (start, outs) = builder.compile(&ast);
+        let m = builder.push(State::Match);
+        for p in outs {
+            builder.apply(p, m);
+        }
+        Ok(Regex { prog: builder.prog, start, anchored_start, anchored_end })
+    }
+
+    /// Whether the pattern matches anywhere in `hay` (respecting anchors).
+    pub fn is_match(&self, hay: &[u8]) -> bool {
+        // Pike-VM simulation with a visited-generation trick.
+        let n = self.prog.len();
+        let mut cur: Vec<usize> = Vec::with_capacity(n);
+        let mut next: Vec<usize> = Vec::with_capacity(n);
+        let mut seen = vec![u32::MAX; n];
+        let mut generation: u32 = 0;
+
+        let mut matched_midway = false;
+        add_state(&self.prog, self.start, &mut cur, &mut seen, generation, &mut matched_midway);
+        if matched_midway && !self.anchored_end {
+            return true;
+        }
+        for (i, &b) in hay.iter().enumerate() {
+            generation += 1;
+            let mut matched_now = false;
+            for &s in &cur {
+                if let State::Byte { class, next: nx } = &self.prog[s] {
+                    if class.matches(b) {
+                        add_state(&self.prog, *nx, &mut next, &mut seen, generation, &mut matched_now);
+                    }
+                }
+            }
+            if !self.anchored_start {
+                // Search semantics: a match may start at the next byte.
+                add_state(
+                    &self.prog,
+                    self.start,
+                    &mut next,
+                    &mut seen,
+                    generation,
+                    &mut matched_now,
+                );
+            }
+            if matched_now {
+                if !self.anchored_end {
+                    return true;
+                }
+                if i + 1 == hay.len() {
+                    return true;
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+            next.clear();
+            if cur.is_empty() && self.anchored_start {
+                return false;
+            }
+        }
+        // Anchored-end (or empty-input) check: was Match in the final set?
+        if hay.is_empty() {
+            return matched_midway;
+        }
+        self.anchored_end
+            && cur.iter().any(|&s| matches!(self.prog[s], State::Match))
+    }
+
+    /// Number of NFA states (diagnostics).
+    pub fn state_count(&self) -> usize {
+        self.prog.len()
+    }
+}
+
+fn add_state(
+    prog: &[State],
+    s: usize,
+    list: &mut Vec<usize>,
+    seen: &mut [u32],
+    generation: u32,
+    matched: &mut bool,
+) {
+    if seen[s] == generation {
+        return;
+    }
+    seen[s] = generation;
+    match &prog[s] {
+        State::Split { a, b } => {
+            add_state(prog, *a, list, seen, generation, matched);
+            add_state(prog, *b, list, seen, generation, matched);
+        }
+        State::Match => {
+            *matched = true;
+            list.push(s);
+        }
+        State::Byte { .. } => list.push(s),
+    }
+}
+
+/// The `str_match_regex(text, 'pattern')` instance.
+pub struct StrMatchRegex {
+    re: Regex,
+}
+
+impl ScalarUdf for StrMatchRegex {
+    fn eval(&self, args: &[Value]) -> Option<Value> {
+        let text = args.first()?.as_bytes()?;
+        Some(Value::Bool(self.re.is_match(text)))
+    }
+}
+
+/// Factory wired into the registry: compiles the pattern handle.
+pub fn make_str_match_regex(
+    handles: &[Option<Value>],
+    _resolver: &dyn HandleResolver,
+) -> Result<Box<dyn ScalarUdf>, RuntimeError> {
+    let pat = match handles.get(1) {
+        Some(Some(Value::Str(s))) => String::from_utf8_lossy(s).into_owned(),
+        _ => {
+            return Err(RuntimeError::msg(
+                "str_match_regex requires its pattern handle to be bound at instantiation",
+            ))
+        }
+    };
+    Ok(Box::new(StrMatchRegex { re: Regex::compile(&pat)? }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, hay: &[u8]) -> bool {
+        Regex::compile(pat).unwrap_or_else(|e| panic!("compile `{pat}`: {e}")).is_match(hay)
+    }
+
+    #[test]
+    fn paper_pattern() {
+        let pat = "^[^\\n]*HTTP/1.*";
+        assert!(m(pat, b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+        assert!(m(pat, b"HTTP/1.0 200 OK"));
+        assert!(!m(pat, b"random tunneled bytes"));
+        // HTTP/1 after the first newline must NOT match.
+        assert!(!m(pat, b"line one\nGET / HTTP/1.1"));
+        // ...but a substring search would be fooled; that's the point.
+        assert!(m("HTTP/1", b"line one\nGET / HTTP/1.1"));
+    }
+
+    #[test]
+    fn literals_and_search_semantics() {
+        assert!(m("abc", b"abc"));
+        assert!(m("abc", b"xxabcxx"));
+        assert!(!m("abc", b"ab"));
+        assert!(!m("abc", b"axbxc"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^ab", b"abc"));
+        assert!(!m("^ab", b"xab"));
+        assert!(m("bc$", b"abc"));
+        assert!(!m("bc$", b"bcd"));
+        assert!(m("^abc$", b"abc"));
+        assert!(!m("^abc$", b"abcd"));
+        assert!(m("^$", b""));
+        assert!(!m("^$", b"x"));
+    }
+
+    #[test]
+    fn repetition() {
+        assert!(m("ab*c", b"ac"));
+        assert!(m("ab*c", b"abbbc"));
+        assert!(m("ab+c", b"abc"));
+        assert!(!m("ab+c", b"ac"));
+        assert!(m("ab?c", b"ac"));
+        assert!(m("ab?c", b"abc"));
+        assert!(!m("^a+$", b"aab"));
+        assert!(m("(ab)+", b"xxababxx"));
+        assert!(m("(ab)*c", b"c"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("cat|dog", b"hotdog"));
+        assert!(m("cat|dog", b"catnip"));
+        assert!(!m("^(cat|dog)$", b"cow"));
+        assert!(m("^(GET|POST|HEAD) ", b"POST /x HTTP/1.0"));
+        assert!(m("a(b|c)*d", b"abcbcd"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(m("[a-z]+", b"hello"));
+        assert!(!m("^[a-z]+$", b"Hello"));
+        assert!(m("[^0-9]", b"a"));
+        assert!(!m("^[^0-9]+$", b"a1"));
+        assert!(m("[]x]", b"]")); // literal ] first in class
+        assert!(m("[-x]", b"-")); // literal - at edge
+        assert!(m("^[\\d]+$", b"123"));
+        assert!(m("[\\]]", b"]"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m("a\\.b", b"a.b"));
+        assert!(!m("a\\.b", b"axb"));
+        assert!(m("\\d+", b"no 42 here"));
+        assert!(m("^\\w+$", b"under_score9"));
+        assert!(!m("^\\w+$", b"has space"));
+        assert!(m("\\s", b"a b"));
+        assert!(m("a\\\\b", b"a\\b"));
+        assert!(m("x\\$", b"x$"));
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        assert!(m("^a.c$", b"abc"));
+        assert!(!m("^a.c$", b"a\nc"));
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert!(Regex::compile("(ab").is_err());
+        assert!(Regex::compile("ab)").is_err());
+        assert!(Regex::compile("[ab").is_err());
+        assert!(Regex::compile("*a").is_err());
+        assert!(Regex::compile("a\\").is_err());
+        assert!(Regex::compile("[z-a]").is_err());
+    }
+
+    #[test]
+    fn no_catastrophic_backtracking() {
+        // (a+)+b against aaaa...c is exponential for backtrackers; the
+        // Pike VM stays linear.
+        let hay = vec![b'a'; 4096];
+        let start = std::time::Instant::now();
+        assert!(!m("^(a+)+b$", &hay));
+        assert!(start.elapsed().as_millis() < 2_000, "matching must stay linear");
+    }
+
+    #[test]
+    fn udf_instance() {
+        let f = make_str_match_regex(
+            &[None, Some(Value::Str(bytes::Bytes::from_static(b"^[^\\n]*HTTP/1.*")))],
+            &crate::udf::FileStore::new(),
+        )
+        .unwrap();
+        assert_eq!(
+            f.eval(&[Value::Str(bytes::Bytes::from_static(b"GET / HTTP/1.1"))]),
+            Some(Value::Bool(true))
+        );
+        assert_eq!(
+            f.eval(&[Value::Str(bytes::Bytes::from_static(b"nope"))]),
+            Some(Value::Bool(false))
+        );
+        assert_eq!(f.eval(&[Value::UInt(3)]), None);
+        assert!(make_str_match_regex(&[None, None], &crate::udf::FileStore::new()).is_err());
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        assert!(m("", b""));
+        assert!(m("", b"anything"));
+        assert!(m("a||b", b"zzz"), "empty alternation branch matches");
+    }
+}

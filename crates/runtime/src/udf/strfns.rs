@@ -1,0 +1,97 @@
+//! Small string/byte utility functions.
+
+use crate::udf::{HandleResolver, ScalarUdf};
+use crate::value::Value;
+use crate::RuntimeError;
+
+/// `str_find_substr(text, needle)` — substring containment.
+pub struct StrFindSubstr;
+
+impl ScalarUdf for StrFindSubstr {
+    fn eval(&self, args: &[Value]) -> Option<Value> {
+        let hay = args.first()?.as_bytes()?;
+        let needle = args.get(1)?.as_bytes()?;
+        Some(Value::Bool(find(hay, needle)))
+    }
+}
+
+/// Naive byte search; needles here are short protocol tokens.
+fn find(hay: &[u8], needle: &[u8]) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    if hay.len() < needle.len() {
+        return false;
+    }
+    hay.windows(needle.len()).any(|w| w == needle)
+}
+
+/// `str_len(text)`.
+pub struct StrLen;
+
+impl ScalarUdf for StrLen {
+    fn eval(&self, args: &[Value]) -> Option<Value> {
+        Some(Value::UInt(args.first()?.as_bytes()?.len() as u64))
+    }
+}
+
+/// `to_float(uint)` — explicit widening for ratio queries.
+pub struct ToFloat;
+
+impl ScalarUdf for ToFloat {
+    fn eval(&self, args: &[Value]) -> Option<Value> {
+        args.first()?.as_float().map(Value::Float)
+    }
+}
+
+/// Registry factory for [`StrFindSubstr`].
+pub fn make_str_find_substr(
+    _handles: &[Option<Value>],
+    _resolver: &dyn HandleResolver,
+) -> Result<Box<dyn ScalarUdf>, RuntimeError> {
+    Ok(Box::new(StrFindSubstr))
+}
+
+/// Registry factory for [`StrLen`].
+pub fn make_str_len(
+    _handles: &[Option<Value>],
+    _resolver: &dyn HandleResolver,
+) -> Result<Box<dyn ScalarUdf>, RuntimeError> {
+    Ok(Box::new(StrLen))
+}
+
+/// Registry factory for [`ToFloat`].
+pub fn make_to_float(
+    _handles: &[Option<Value>],
+    _resolver: &dyn HandleResolver,
+) -> Result<Box<dyn ScalarUdf>, RuntimeError> {
+    Ok(Box::new(ToFloat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn s(b: &'static [u8]) -> Value {
+        Value::Str(Bytes::from_static(b))
+    }
+
+    #[test]
+    fn substr() {
+        let f = StrFindSubstr;
+        assert_eq!(f.eval(&[s(b"hello world"), s(b"lo wo")]), Some(Value::Bool(true)));
+        assert_eq!(f.eval(&[s(b"hello"), s(b"xyz")]), Some(Value::Bool(false)));
+        assert_eq!(f.eval(&[s(b"short"), s(b"longer needle")]), Some(Value::Bool(false)));
+        assert_eq!(f.eval(&[s(b"any"), s(b"")]), Some(Value::Bool(true)));
+        assert_eq!(f.eval(&[Value::UInt(1), s(b"x")]), None);
+    }
+
+    #[test]
+    fn len_and_float() {
+        assert_eq!(StrLen.eval(&[s(b"abcd")]), Some(Value::UInt(4)));
+        assert_eq!(ToFloat.eval(&[Value::UInt(3)]), Some(Value::Float(3.0)));
+        assert_eq!(ToFloat.eval(&[Value::Float(2.5)]), Some(Value::Float(2.5)));
+        assert_eq!(ToFloat.eval(&[s(b"x")]), None);
+    }
+}

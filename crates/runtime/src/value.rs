@@ -1,0 +1,210 @@
+//! Runtime values.
+
+use bytes::Bytes;
+use gs_gsql::plan::Literal;
+use gs_gsql::types::DataType;
+use gs_packet::interp::FieldValue;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A runtime value. `Str` shares the capture buffer, so cloning a payload
+/// value never copies packet bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// 64-bit float.
+    Float(f64),
+    /// IPv4 address.
+    Ip(u32),
+    /// Byte string.
+    Str(Bytes),
+}
+
+impl Value {
+    /// The value's type.
+    pub fn ty(&self) -> DataType {
+        match self {
+            Value::Bool(_) => DataType::Bool,
+            Value::UInt(_) => DataType::UInt,
+            Value::Float(_) => DataType::Float,
+            Value::Ip(_) => DataType::Ip,
+            Value::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Interpret as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Interpret as an unsigned integer.
+    pub fn as_uint(&self) -> Option<u64> {
+        match self {
+            Value::UInt(v) => Some(*v),
+            Value::Ip(v) => Some(u64::from(*v)),
+            _ => None,
+        }
+    }
+
+    /// Interpret as a float (widening uint).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::UInt(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Interpret as bytes.
+    pub fn as_bytes(&self) -> Option<&Bytes> {
+        match self {
+            Value::Str(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Total order used by min/max, ordered flushing, and sort-based
+    /// operators. Values of different types order by type tag (operators
+    /// never mix types on one attribute; this keeps the order total).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (UInt(a), UInt(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Ip(a), Ip(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (UInt(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), UInt(b)) => a.total_cmp(&(*b as f64)),
+            _ => self.tag().cmp(&other.tag()),
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            Value::Bool(_) => 0,
+            Value::UInt(_) => 1,
+            Value::Float(_) => 2,
+            Value::Ip(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+
+    /// Convert a packet interpretation value.
+    pub fn from_field(fv: FieldValue) -> Value {
+        match fv {
+            FieldValue::Bool(b) => Value::Bool(b),
+            FieldValue::UInt(v) => Value::UInt(v),
+            FieldValue::Ip(v) => Value::Ip(v),
+            FieldValue::Str(b) => Value::Str(b),
+        }
+    }
+
+    /// Convert a plan literal.
+    pub fn from_literal(l: &Literal) -> Value {
+        match l {
+            Literal::Bool(b) => Value::Bool(*b),
+            Literal::UInt(v) => Value::UInt(*v),
+            Literal::Float(v) => Value::Float(*v),
+            Literal::Str(s) => Value::Str(Bytes::copy_from_slice(s.as_bytes())),
+            Literal::Ip(v) => Value::Ip(*v),
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Bool(b) => b.hash(state),
+            Value::UInt(v) => v.hash(state),
+            Value::Float(v) => v.to_bits().hash(state),
+            Value::Ip(v) => {
+                // Distinguish Ip from UInt of the same numeric value.
+                state.write_u8(3);
+                v.hash(state);
+            }
+            Value::Str(b) => b.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::UInt(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Ip(v) => write!(f, "{}", gs_packet::ip::fmt_ipv4(*v)),
+            Value::Str(b) => match std::str::from_utf8(b) {
+                Ok(s) => write!(f, "{s:?}"),
+                Err(_) => write!(f, "<{} bytes>", b.len()),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::UInt(5).as_uint(), Some(5));
+        assert_eq!(Value::Ip(7).as_uint(), Some(7));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::UInt(2).as_float(), Some(2.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::UInt(2).as_bool(), None);
+        assert!(Value::Str(Bytes::from_static(b"x")).as_bytes().is_some());
+    }
+
+    #[test]
+    fn total_order_within_types() {
+        assert_eq!(Value::UInt(1).total_cmp(&Value::UInt(2)), Ordering::Less);
+        assert_eq!(
+            Value::Str(Bytes::from_static(b"a")).total_cmp(&Value::Str(Bytes::from_static(b"b"))),
+            Ordering::Less
+        );
+        assert_eq!(Value::Float(f64::NAN).total_cmp(&Value::Float(f64::NAN)), Ordering::Equal);
+        assert_eq!(Value::UInt(3).total_cmp(&Value::Float(3.5)), Ordering::Less);
+    }
+
+    #[test]
+    fn hash_distinguishes_ip_from_uint() {
+        use std::collections::hash_map::DefaultHasher;
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_ne!(h(&Value::Ip(5)), h(&Value::UInt(5)));
+        assert_eq!(h(&Value::UInt(5)), h(&Value::UInt(5)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Ip(0x0a000001).to_string(), "10.0.0.1");
+        assert_eq!(Value::UInt(9).to_string(), "9");
+        assert_eq!(Value::Str(Bytes::from_static(b"hi")).to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from_field(FieldValue::UInt(4)), Value::UInt(4));
+        assert_eq!(Value::from_field(FieldValue::Ip(4)), Value::Ip(4));
+        assert_eq!(Value::from_literal(&Literal::Float(1.5)), Value::Float(1.5));
+        assert_eq!(
+            Value::from_literal(&Literal::Str("ab".into())),
+            Value::Str(Bytes::from_static(b"ab"))
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Merging simplex optical links (§2.2) and why heartbeats matter (§3).
+//!
+//! "We developed Gigascope to monitor optical links, which are usually
+//! simplex rather than duplex. To obtain a full view of the traffic on a
+//! logical link, we need to monitor two interfaces and merge the
+//! resulting streams."
+//!
+//! This example replays a wildly asymmetric pair of interfaces (the
+//! paper's 100 Mbyte/s vs one-tuple-per-minute pathology) and compares
+//! merge buffer growth with heartbeats off, periodic, and on-demand.
+//!
+//! Run with: `cargo run -p gs-examples --bin link_merge`
+
+use gigascope::Gigascope;
+use gs_netgen::{merge_sources, MixConfig, PacketMix};
+use gs_packet::capture::LinkType;
+use gs_runtime::punct::HeartbeatMode;
+
+fn build(heartbeat: HeartbeatMode) -> Gigascope {
+    let mut gs = Gigascope::new();
+    gs.heartbeat = heartbeat;
+    gs.add_interface("eth0", 0, LinkType::Ethernet);
+    gs.add_interface("eth1", 1, LinkType::Ethernet);
+    gs.add_program(
+        "DEFINE { query_name tcpdest0; } \
+         Select time, destPort From eth0.tcp Where destPort = 80; \
+         DEFINE { query_name tcpdest1; } \
+         Select time, destPort From eth1.tcp Where destPort = 80; \
+         DEFINE { query_name tcpdest; } \
+         Merge tcpdest0.time : tcpdest1.time From tcpdest0, tcpdest1",
+    )
+    .expect("queries compile");
+    gs
+}
+
+fn traffic() -> impl Iterator<Item = gs_packet::CapPacket> {
+    // eth0: busy. eth1: nearly silent (a packet every ~4 s).
+    let busy = PacketMix::new(MixConfig {
+        duration_ms: 10_000,
+        seed: 1,
+        iface: 0,
+        http_rate_mbps: 40.0,
+        background_rate_mbps: 0.0,
+        ..MixConfig::default()
+    });
+    let quiet = PacketMix::new(MixConfig {
+        duration_ms: 10_000,
+        seed: 2,
+        iface: 1,
+        http_rate_mbps: 0.001,
+        background_rate_mbps: 0.0,
+        ..MixConfig::default()
+    });
+    merge_sources(vec![
+        Box::new(busy) as Box<dyn Iterator<Item = gs_packet::CapPacket>>,
+        Box::new(quiet),
+    ])
+}
+
+fn main() {
+    println!("merge of a busy link with a nearly-silent one, 10 s of traffic\n");
+    println!("{:<22}{:>14}{:>12}{:>12}", "heartbeats", "peak buffered", "merged", "hb rounds");
+    for (name, mode) in [
+        ("off", HeartbeatMode::Off),
+        ("periodic (1 s)", HeartbeatMode::Periodic { interval: 1 }),
+        ("on-demand", HeartbeatMode::OnDemand),
+    ] {
+        let gs = build(mode);
+        let out = gs.run_capture(traffic(), &["tcpdest"]).expect("run");
+        let peak = out.stats.peak_buffered.get("tcpdest").copied().unwrap_or(0);
+        println!(
+            "{:<22}{:>14}{:>12}{:>12}",
+            name,
+            peak,
+            out.stream("tcpdest").len(),
+            out.stats.heartbeats
+        );
+    }
+    println!(
+        "\nWithout ordering-update tokens the silent link holds every tuple of the \
+         busy link in the merge buffer (the paper's §3 overflow scenario); \
+         heartbeats bound the buffer at roughly one second of traffic."
+    );
+}

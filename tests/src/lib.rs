@@ -1,0 +1,204 @@
+//! Shared helpers for the cross-crate integration tests: straightforward
+//! *oracle* implementations the engine's output is compared against, and a
+//! reference backtracking regex matcher for property tests.
+
+use gs_packet::{CapPacket, PacketView};
+use std::collections::BTreeMap;
+
+/// Oracle: per-second counts of TCP packets to `port`, computed by direct
+/// iteration (no query engine involved).
+pub fn oracle_port_counts(pkts: &[CapPacket], port: u16) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    for p in pkts {
+        let v = PacketView::parse(p.clone());
+        if v.tcp().is_some_and(|t| t.dst_port == port) {
+            *out.entry(u64::from(p.time_sec())).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+/// Oracle: per-second `(count, byte sum)` of TCP packets to `port`.
+pub fn oracle_port_count_bytes(pkts: &[CapPacket], port: u16) -> BTreeMap<u64, (u64, u64)> {
+    let mut out: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for p in pkts {
+        let v = PacketView::parse(p.clone());
+        if v.tcp().is_some_and(|t| t.dst_port == port) {
+            let e = out.entry(u64::from(p.time_sec())).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += u64::from(p.wire_len);
+        }
+    }
+    out
+}
+
+/// Oracle: per-(second, srcIP) packet counts over IPv4 traffic.
+pub fn oracle_src_counts(pkts: &[CapPacket]) -> BTreeMap<(u64, u32), u64> {
+    let mut out = BTreeMap::new();
+    for p in pkts {
+        let v = PacketView::parse(p.clone());
+        if let Some(ih) = v.ipv4() {
+            *out.entry((u64::from(p.time_sec()), ih.src)).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+/// Reference regex matcher: a transparent exponential backtracker over the
+/// same restricted syntax subset used by the property tests (literals,
+/// `.`, `*`, `?`, `|`, groups, `^`/`$`). Slow but obviously correct.
+pub fn backtrack_match(pattern: &str, hay: &[u8]) -> bool {
+    let pat: Vec<char> = pattern.chars().collect();
+    let (anchored_start, pat) = match pat.split_first() {
+        Some(('^', rest)) => (true, rest.to_vec()),
+        _ => (false, pat),
+    };
+    let (anchored_end, pat) = match pat.split_last() {
+        Some(('$', rest)) => (true, rest.to_vec()),
+        _ => (false, pat),
+    };
+    let starts: Vec<usize> = if anchored_start { vec![0] } else { (0..=hay.len()).collect() };
+    for s in starts {
+        let mut ends = Vec::new();
+        alt_ends(&pat, 0, pat.len(), hay, s, &mut ends);
+        if ends.iter().any(|&e| !anchored_end || e == hay.len()) {
+            return true;
+        }
+    }
+    false
+}
+
+/// All `hay` positions reachable by matching `pat[lo..hi]` starting at `at`
+/// (top-level alternation).
+fn alt_ends(pat: &[char], lo: usize, hi: usize, hay: &[u8], at: usize, out: &mut Vec<usize>) {
+    // Split on top-level `|`.
+    let mut depth = 0usize;
+    let mut start = lo;
+    let mut branches = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        match pat[i] {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            '|' if depth == 0 => {
+                branches.push((start, i));
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    branches.push((start, hi));
+    for (blo, bhi) in branches {
+        concat_ends(pat, blo, bhi, hay, at, out);
+    }
+}
+
+fn concat_ends(pat: &[char], lo: usize, hi: usize, hay: &[u8], at: usize, out: &mut Vec<usize>) {
+    if lo >= hi {
+        out.push(at);
+        return;
+    }
+    // Parse one atom.
+    let (atom_lo, atom_hi, next) = match pat[lo] {
+        '(' => {
+            let mut depth = 1;
+            let mut j = lo + 1;
+            while j < hi && depth > 0 {
+                match pat[j] {
+                    '(' => depth += 1,
+                    ')' => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            (lo + 1, j - 1, j)
+        }
+        _ => (lo, lo + 1, lo + 1),
+    };
+    let (op, rest) = if next < hi && (pat[next] == '*' || pat[next] == '?') {
+        (Some(pat[next]), next + 1)
+    } else {
+        (None, next)
+    };
+
+    let one = |at: usize, out: &mut Vec<usize>| {
+        if atom_hi - atom_lo == 1 && pat[atom_lo] != '(' {
+            let c = pat[atom_lo];
+            if at < hay.len() && (c == '.' && hay[at] != b'\n' || c as u32 == u32::from(hay[at])) {
+                out.push(at + 1);
+            }
+        } else {
+            alt_ends(pat, atom_lo, atom_hi, hay, at, out);
+        }
+    };
+
+    let mut mids: Vec<usize> = Vec::new();
+    match op {
+        None => one(at, &mut mids),
+        Some('?') => {
+            mids.push(at);
+            one(at, &mut mids);
+        }
+        Some('*') => {
+            // Reachability closure: zero or more atom applications.
+            let mut seen = vec![at];
+            let mut frontier = vec![at];
+            while let Some(p) = frontier.pop() {
+                let mut next_pos = Vec::new();
+                one(p, &mut next_pos);
+                for n in next_pos {
+                    if !seen.contains(&n) {
+                        seen.push(n);
+                        frontier.push(n);
+                    }
+                }
+            }
+            mids = seen;
+        }
+        _ => unreachable!(),
+    }
+    mids.sort_unstable();
+    mids.dedup();
+    for m in mids {
+        concat_ends(pat, rest, hi, hay, m, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backtracker_basics() {
+        assert!(backtrack_match("abc", b"xxabc"));
+        assert!(!backtrack_match("abc", b"ab"));
+        assert!(backtrack_match("^ab", b"abc"));
+        assert!(!backtrack_match("^ab", b"xab"));
+        assert!(backtrack_match("bc$", b"abc"));
+        assert!(!backtrack_match("bc$", b"bcd"));
+        assert!(backtrack_match("a*b", b"b"));
+        assert!(backtrack_match("a*b", b"aaab"));
+        assert!(backtrack_match("a?b", b"ab"));
+        assert!(backtrack_match("(ab)*c", b"ababc"));
+        assert!(backtrack_match("cat|dog", b"hotdog"));
+        assert!(!backtrack_match("^(cat|dog)$", b"cow"));
+        assert!(backtrack_match("a.c", b"abc"));
+        assert!(!backtrack_match("^a.c$", b"a\nc"));
+    }
+
+    #[test]
+    fn oracle_counts_count() {
+        use gs_packet::builder::FrameBuilder;
+        use gs_packet::capture::LinkType;
+        let pkts: Vec<CapPacket> = (0..10u64)
+            .map(|i| {
+                let f = FrameBuilder::tcp(1, 2, 9, if i % 2 == 0 { 80 } else { 25 })
+                    .build_ethernet();
+                CapPacket::full(i * 500_000_000, 0, LinkType::Ethernet, f)
+            })
+            .collect();
+        let counts = oracle_port_counts(&pkts, 80);
+        assert_eq!(counts.values().sum::<u64>(), 5);
+    }
+}

@@ -1,0 +1,200 @@
+//! Robustness matrix: a grid of query shapes × traffic profiles, each run
+//! end-to-end. The assertions are intentionally loose (no panics, schema
+//! respected, conservation where it must hold) — the point is coverage of
+//! combinations no single scenario test exercises.
+
+use gigascope::{Gigascope, Value};
+use gs_netgen::{MixConfig, PacketMix, SizeDist};
+use gs_packet::capture::{CapPacket, LinkType};
+use gs_runtime::punct::HeartbeatMode;
+
+const QUERIES: &[(&str, &str)] = &[
+    ("sel_all", "Select time, len From eth0.pkt"),
+    ("sel_ip", "Select time, srcIP, destIP, ttl From eth0.ip Where ttl > 0"),
+    ("sel_tcp", "Select time, destPort, payloadLen From eth0.tcp"),
+    ("sel_udp", "Select time, destPort From eth0.udp"),
+    ("agg_sec", "Select time, count(*), sum(len), min(len), max(len) From eth0.ip Group By time"),
+    ("agg_bucket", "Select tb, avg(len) From eth0.ip Group By time/2 as tb"),
+    ("agg_flow", "Select time, srcIP, destPort, count(*) From eth0.tcp Group By time, srcIP, destPort"),
+    ("agg_having", "Select time, count(*) From eth0.ip Group By time Having count(*) > 1"),
+    (
+        "regex_split",
+        "Select time, count(*) From eth0.tcp \
+         Where destPort = 80 and str_match_regex(payload, 'HTTP/1') Group By time",
+    ),
+    ("bits", "Select time, flags & 18, len % 7 From eth0.tcp Where flags & 2 = 2"),
+    ("ip_lit", "Select time From eth0.ip Where srcIP <> 255.255.255.255"),
+    ("bool_expr", "Select time From eth0.tcp Where NOT (destPort = 80 OR destPort = 443)"),
+];
+
+fn profiles() -> Vec<(&'static str, Vec<CapPacket>)> {
+    let mk = |cfg: MixConfig| PacketMix::new(cfg).collect::<Vec<_>>();
+    vec![
+        (
+            "smooth",
+            mk(MixConfig { seed: 1, duration_ms: 400, ..MixConfig::default() }),
+        ),
+        (
+            "bursty",
+            mk(MixConfig {
+                seed: 2,
+                duration_ms: 400,
+                bursty_background: true,
+                background_rate_mbps: 150.0,
+                ..MixConfig::default()
+            }),
+        ),
+        (
+            "http_only",
+            mk(MixConfig {
+                seed: 3,
+                duration_ms: 400,
+                background_rate_mbps: 0.0,
+                http_match_fraction: 1.0,
+                ..MixConfig::default()
+            }),
+        ),
+        (
+            "tiny_packets",
+            mk(MixConfig {
+                seed: 4,
+                duration_ms: 300,
+                sizes: SizeDist::new(&[(64, 1.0)]),
+                ..MixConfig::default()
+            }),
+        ),
+        (
+            "jumbo",
+            mk(MixConfig {
+                seed: 5,
+                duration_ms: 300,
+                sizes: SizeDist::new(&[(1500, 1.0)]),
+                flows: 10,
+                flow_skew: 0.0,
+                ..MixConfig::default()
+            }),
+        ),
+        ("empty", Vec::new()),
+        (
+            "single_packet",
+            mk(MixConfig { seed: 6, duration_ms: 1, background_rate_mbps: 0.0, ..MixConfig::default() })
+                .into_iter()
+                .take(1)
+                .collect(),
+        ),
+    ]
+}
+
+#[test]
+fn every_query_shape_runs_on_every_profile() {
+    for (profile_name, pkts) in profiles() {
+        for (qname, body) in QUERIES {
+            for hb in [HeartbeatMode::Off, HeartbeatMode::Periodic { interval: 1 }] {
+                let mut gs = Gigascope::new();
+                gs.heartbeat = hb;
+                gs.add_interface("eth0", 0, LinkType::Ethernet);
+                gs.add_program(&format!("DEFINE {{ query_name {qname}; }} {body}"))
+                    .unwrap_or_else(|e| panic!("{qname} failed to compile: {e}"));
+                let out = gs
+                    .run_capture(pkts.iter().cloned(), &[qname])
+                    .unwrap_or_else(|e| panic!("{qname} on {profile_name}: {e}"));
+                // Schema respected on every tuple.
+                let schema = gs.schema(qname).expect("registered").clone();
+                for t in out.stream(qname) {
+                    assert_eq!(
+                        t.arity(),
+                        schema.len(),
+                        "{qname} on {profile_name}: arity mismatch"
+                    );
+                    for (v, c) in t.values().iter().zip(&schema) {
+                        assert_eq!(
+                            v.ty(),
+                            c.ty,
+                            "{qname} on {profile_name}: column {} type",
+                            c.name
+                        );
+                    }
+                }
+                assert_eq!(out.stats.packets as usize, pkts.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn aggregation_conserves_counts_on_every_profile() {
+    for (profile_name, pkts) in profiles() {
+        let ip_packets = pkts
+            .iter()
+            .filter(|p| gs_packet::PacketView::parse((*p).clone()).ipv4().is_some())
+            .count() as u64;
+        let mut gs = Gigascope::new();
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+        gs.add_program("DEFINE { query_name c; } Select time, count(*) From eth0.ip Group By time")
+            .unwrap();
+        let out = gs.run_capture(pkts.iter().cloned(), &["c"]).unwrap();
+        let total: u64 = out.stream("c").iter().map(|t| t.get(1).as_uint().unwrap()).sum();
+        assert_eq!(total, ip_packets, "profile {profile_name}: no packet lost or duplicated");
+    }
+}
+
+#[test]
+fn merge_of_split_traffic_conserves_on_every_profile() {
+    for (profile_name, pkts) in profiles() {
+        // Route packets alternately to two interfaces, then merge back.
+        let routed: Vec<CapPacket> = pkts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let mut p = p.clone();
+                p.iface = (i % 2) as u16;
+                p
+            })
+            .collect();
+        let mut gs = Gigascope::new();
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+        gs.add_interface("eth1", 1, LinkType::Ethernet);
+        gs.add_program(
+            "DEFINE { query_name a; } Select time From eth0.pkt; \
+             DEFINE { query_name b; } Select time From eth1.pkt; \
+             DEFINE { query_name m; } Merge a.time : b.time From a, b",
+        )
+        .unwrap();
+        let out = gs.run_capture(routed.iter().cloned(), &["m"]).unwrap();
+        assert_eq!(
+            out.stream("m").len(),
+            routed.len(),
+            "profile {profile_name}: merge must be a lossless union"
+        );
+        let times: Vec<u64> =
+            out.stream("m").iter().map(|t| t.get(0).as_uint().unwrap()).collect();
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "profile {profile_name}: merge output must stay ordered"
+        );
+    }
+}
+
+#[test]
+fn parameters_flow_through_every_shape() {
+    let pkts: Vec<CapPacket> =
+        PacketMix::new(MixConfig { seed: 9, duration_ms: 300, ..MixConfig::default() }).collect();
+    for (qname, body, param, value) in [
+        ("p_sel", "Select time From eth0.tcp Where destPort = $p", "p", 80u64),
+        ("p_arith", "Select time From eth0.ip Where len > $p", "p", 100),
+        (
+            "p_having",
+            "Select time, count(*) From eth0.ip Group By time Having count(*) > $p",
+            "p",
+            3,
+        ),
+    ] {
+        let mut gs = Gigascope::new();
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+        gs.add_program(&format!("DEFINE {{ query_name {qname}; }} {body}")).unwrap();
+        gs.set_params(qname, gigascope::ParamBindings::new().with(param, Value::UInt(value)))
+            .unwrap();
+        gs.run_capture(pkts.iter().cloned(), &[qname])
+            .unwrap_or_else(|e| panic!("{qname}: {e}"));
+    }
+}

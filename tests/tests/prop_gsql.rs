@@ -1,0 +1,149 @@
+//! Property tests on the GSQL front end: print/reparse stability, lexer
+//! robustness, and window-extraction consistency.
+
+use gs_gsql::ast::{BinOp, Expr, Query, QueryBody, SelectBody, SelectItem, TableRef};
+use gs_gsql::catalog::{Catalog, InterfaceDef};
+use gs_gsql::pretty::print_query;
+use gs_packet::capture::LinkType;
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.to_ascii_uppercase().as_str(),
+            "SELECT" | "FROM" | "WHERE" | "GROUP" | "BY" | "HAVING" | "AS" | "AND" | "OR"
+                | "NOT" | "MERGE" | "DEFINE" | "TRUE" | "FALSE"
+        )
+    })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_name().prop_map(|n| Expr::Column { qualifier: None, name: n }),
+        (arb_name(), arb_name())
+            .prop_map(|(q, n)| Expr::Column { qualifier: Some(q), name: n }),
+        (0u64..10_000).prop_map(Expr::UIntLit),
+        any::<bool>().prop_map(Expr::BoolLit),
+        any::<u32>().prop_map(Expr::IpLit),
+        "[a-z ]{0,8}".prop_map(Expr::StrLit),
+        arb_name().prop_map(Expr::Param),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(l, r, op)| Expr::Binary {
+                op,
+                left: Box::new(l),
+                right: Box::new(r),
+            }),
+            inner.clone().prop_map(|a| Expr::Unary {
+                op: gs_gsql::ast::UnOp::Not,
+                arg: Box::new(a)
+            }),
+            (arb_name(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(n, args)| Expr::Func { name: n, args }),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Mod),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::BitAnd),
+        Just(BinOp::BitOr),
+        Just(BinOp::BitXor),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        arb_name(),
+        proptest::collection::vec((arb_expr(), proptest::option::of(arb_name())), 1..4),
+        arb_name(),
+        proptest::option::of(arb_expr()),
+        proptest::collection::vec((arb_expr(), proptest::option::of(arb_name())), 0..3),
+    )
+        .prop_map(|(qname, projs, table, where_c, group)| Query {
+            defines: vec![("query_name".into(), qname)],
+            body: QueryBody::Select(SelectBody {
+                projections: projs
+                    .into_iter()
+                    .map(|(e, a)| SelectItem { expr: e, alias: a })
+                    .collect(),
+                from: vec![TableRef { interface: None, name: table, alias: None }],
+                where_clause: where_c,
+                group_by: group
+                    .into_iter()
+                    .map(|(e, a)| SelectItem { expr: e, alias: a })
+                    .collect(),
+                having: None,
+            }),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_reparse_is_identity(q in arb_query()) {
+        let text = print_query(&q);
+        let q2 = gs_gsql::parse_query(&text)
+            .unwrap_or_else(|e| panic!("printed query failed to reparse: {e}\n{text}"));
+        prop_assert_eq!(q, q2, "roundtrip changed the AST:\n{}", text);
+    }
+
+    #[test]
+    fn lexer_never_panics(src in "\\PC{0,64}") {
+        let _ = gs_gsql::lexer::lex(&src);
+    }
+
+    #[test]
+    fn parser_never_panics(src in "[a-zA-Z0-9_.,;:()'$*/+<>=&|^ \\n-]{0,96}") {
+        let _ = gs_gsql::parse_query(&src);
+        let _ = gs_gsql::parse_program(&src);
+    }
+
+    #[test]
+    fn analyzer_never_panics_on_valid_parse(src in "[a-zA-Z0-9_.,;()'$* ]{0,64}") {
+        if let Ok(q) = gs_gsql::parse_query(&src) {
+            let mut catalog = Catalog::with_builtins();
+            catalog.add_interface(InterfaceDef {
+                name: "eth0".into(),
+                id: 0,
+                link: LinkType::Ethernet,
+            });
+            let _ = gs_gsql::analyze(&q, &catalog);
+        }
+    }
+
+    #[test]
+    fn window_bounds_are_consistent(k1 in 0i64..50, k2 in 0i64..50) {
+        // B.time >= C.time - k1 AND B.time <= C.time + k2 must extract
+        // window [-k1, k2] whenever non-empty.
+        let src = format!(
+            "Select B.time FROM eth0.tcp B, eth1.tcp C \
+             WHERE B.time >= C.time - {k1} and B.time <= C.time + {k2}"
+        );
+        let mut catalog = Catalog::with_builtins();
+        catalog.add_interface(InterfaceDef { name: "eth0".into(), id: 0, link: LinkType::Ethernet });
+        catalog.add_interface(InterfaceDef { name: "eth1".into(), id: 1, link: LinkType::Ethernet });
+        let q = gs_gsql::parse_query(&src).unwrap();
+        let aq = gs_gsql::analyze(&q, &catalog).unwrap();
+        let gs_gsql::plan::Plan::Join { window, .. } = &aq.plan else {
+            return Err(TestCaseError::fail("expected join plan"));
+        };
+        prop_assert_eq!(window.lo, -k1);
+        prop_assert_eq!(window.hi, k2);
+    }
+}

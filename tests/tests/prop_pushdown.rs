@@ -1,0 +1,144 @@
+//! Property test: the two compilation paths must agree.
+//!
+//! A cheap conjunct can execute (a) as a compiled expression program over
+//! interpreted packet fields in the LFTA, or (b) pushed down into the NIC
+//! as a BPF program. For random predicates over random packets, BPF
+//! acceptance must equal [protocol matches AND predicate holds] — the BPF
+//! path embeds the protocol guard, and a false mismatch in either
+//! direction would either lose qualifying packets or leak work the LFTA
+//! then filters (safe but wasteful; a loss is a correctness bug).
+
+use gs_gsql::ast::BinOp;
+use gs_gsql::plan::{Literal, PExpr};
+use gs_gsql::pushdown::compile_prefilter;
+use gs_gsql::types::DataType;
+use gs_packet::builder::FrameBuilder;
+use gs_packet::capture::{CapPacket, LinkType};
+use gs_packet::PacketView;
+use gs_runtime::expr::{EvalScratch, PacketFields, Program};
+use gs_runtime::udf::{FileStore, UdfRegistry};
+use gs_runtime::ParamBindings;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Fields the pushdown compiler knows, with generators for literal values
+/// in a range that straddles realistic packet values.
+const FIELDS: &[&str] = &["Protocol", "tos", "ttl", "id", "totalLen", "srcIP", "destIP", "srcPort", "destPort"];
+
+fn arb_cmp() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+    ]
+}
+
+/// One conjunct: (field index, op, literal).
+fn arb_conjunct() -> impl Strategy<Value = (usize, BinOp, u64)> {
+    (0..FIELDS.len(), arb_cmp(), prop_oneof![0u64..100, Just(80u64), Just(6), Just(64), 0u64..70000])
+}
+
+fn arb_packet() -> impl Strategy<Value = CapPacket> {
+    (
+        any::<u32>(),           // src
+        any::<u32>(),           // dst
+        1024u16..65535,         // sport
+        prop_oneof![Just(80u16), Just(443), 1u16..1024], // dport
+        0u8..=255,              // ttl
+        0u8..=255,              // tos
+        any::<u16>(),           // id
+        0usize..200,            // payload
+        any::<bool>(),          // tcp or udp
+    )
+        .prop_map(|(src, dst, sport, dport, ttl, tos, id, plen, is_tcp)| {
+            let pay = vec![0xAAu8; plen];
+            let frame = if is_tcp {
+                FrameBuilder::tcp(src, dst, sport, dport).ttl(ttl).tos(tos).ip_id(id).payload(&pay).build_ethernet()
+            } else {
+                FrameBuilder::udp(src, dst, sport, dport).ttl(ttl).tos(tos).ip_id(id).payload(&pay).build_ethernet()
+            };
+            CapPacket::full(0, 0, LinkType::Ethernet, frame)
+        })
+}
+
+fn tcp_col(name: &str) -> PExpr {
+    let proto = gs_packet::interp::protocol("tcp").unwrap();
+    let i = proto.field_index(name).unwrap();
+    let ty = if name.ends_with("IP") { DataType::Ip } else { DataType::UInt };
+    PExpr::Col { index: i, ty }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(384))]
+
+    #[test]
+    fn bpf_pushdown_agrees_with_interpreter(
+        conjuncts in proptest::collection::vec(arb_conjunct(), 1..4),
+        pkts in proptest::collection::vec(arb_packet(), 1..24),
+    ) {
+        // Build the predicate both ways.
+        let pexprs: Vec<PExpr> = conjuncts
+            .iter()
+            .map(|&(f, op, lit)| {
+                let field = FIELDS[f];
+                let right = if field.ends_with("IP") {
+                    PExpr::Lit(Literal::Ip(lit as u32))
+                } else {
+                    PExpr::Lit(Literal::UInt(lit))
+                };
+                PExpr::Binary {
+                    op,
+                    left: Box::new(tcp_col(field)),
+                    right: Box::new(right),
+                    ty: DataType::Bool,
+                }
+            })
+            .collect();
+
+        let proto = gs_packet::interp::protocol("tcp").unwrap();
+        let pd = compile_prefilter(
+            "tcp",
+            LinkType::Ethernet,
+            &pexprs,
+            &|i| proto.fields.get(i).map(|c| c.name.to_string()),
+            &HashMap::new(),
+            None,
+        );
+        let Some(bpf) = pd.program else {
+            return Err(TestCaseError::fail("tcp prefilter must always compile"));
+        };
+        // Literals > u32::MAX are skipped by the compiler; only compiled
+        // conjuncts participate in the equivalence check.
+        let compiled: Vec<&PExpr> =
+            pd.compiled_conjuncts.iter().map(|&i| &pexprs[i]).collect();
+
+        let registry = UdfRegistry::with_builtins();
+        let resolver = FileStore::new();
+        let params = ParamBindings::new();
+        let progs: Vec<Program> = compiled
+            .iter()
+            .map(|e| Program::compile(e, &params, &registry, &resolver).unwrap())
+            .collect();
+
+        let mut scratch = EvalScratch::default();
+        for pkt in &pkts {
+            let bpf_accepts = bpf.accepts(&pkt.data);
+            let view = PacketView::parse(pkt.clone());
+            let is_tcp = (proto.matches)(&view);
+            let interp_accepts = is_tcp && {
+                let src = PacketFields::new(&view, proto.fields);
+                progs.iter().all(|p| p.eval_bool(&src, &mut scratch))
+            };
+            prop_assert_eq!(
+                bpf_accepts,
+                interp_accepts,
+                "BPF and interpreter disagree for {:?} on a {} packet",
+                conjuncts,
+                if is_tcp { "tcp" } else { "non-tcp" }
+            );
+        }
+    }
+}

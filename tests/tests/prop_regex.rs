@@ -1,0 +1,93 @@
+//! Property tests: the runtime's Thompson-NFA regex engine agrees with a
+//! transparent backtracking reference on a generated pattern subset, and
+//! never panics on arbitrary input.
+
+use gs_runtime::udf::regex::Regex;
+use gs_tests::backtrack_match;
+use proptest::prelude::*;
+
+/// Patterns over {a, b, ., *, ?, |, (), ^, $} — the subset the reference
+/// matcher implements.
+fn arb_pattern() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string()),
+        Just(".".to_string()),
+    ];
+    let node = leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            // concat
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a}{b}")),
+            // alternation (grouped to keep precedence unambiguous)
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}|{b})")),
+            // star / quest over a group
+            inner.clone().prop_map(|a| format!("({a})*")),
+            inner.clone().prop_map(|a| format!("({a})?")),
+        ]
+    });
+    (any::<bool>(), node, any::<bool>()).prop_map(|(anchor_s, body, anchor_e)| {
+        format!(
+            "{}{}{}",
+            if anchor_s { "^" } else { "" },
+            body,
+            if anchor_e { "$" } else { "" }
+        )
+    })
+}
+
+fn arb_hay() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'x')], 0..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn nfa_agrees_with_backtracker(pat in arb_pattern(), hay in arb_hay()) {
+        let re = Regex::compile(&pat).expect("generated patterns are valid");
+        let nfa = re.is_match(&hay);
+        let reference = backtrack_match(&pat, &hay);
+        prop_assert_eq!(
+            nfa,
+            reference,
+            "pattern `{}` over {:?}",
+            pat,
+            String::from_utf8_lossy(&hay)
+        );
+    }
+
+    #[test]
+    fn compile_never_panics(pat in "[ab.()|*?+\\[\\]^$\\\\]{0,16}") {
+        let _ = Regex::compile(&pat);
+    }
+
+    #[test]
+    fn match_never_panics_on_arbitrary_bytes(
+        pat in arb_pattern(),
+        hay in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let re = Regex::compile(&pat).expect("generated patterns are valid");
+        let _ = re.is_match(&hay);
+    }
+
+    #[test]
+    fn anchored_is_stricter(pat_core in arb_pattern()) {
+        // ^p (resp. p$) can only match where p matches.
+        let pat = pat_core.trim_start_matches('^').trim_end_matches('$').to_string();
+        let anchored = Regex::compile(&format!("^{pat}")).unwrap();
+        let free = Regex::compile(&pat).unwrap();
+        for hay in [&b"abcx"[..], b"xabc", b"", b"aaa", b"cba"] {
+            if anchored.is_match(hay) {
+                prop_assert!(free.is_match(hay), "`^{}` matched but `{}` did not", pat, pat);
+            }
+        }
+    }
+
+    #[test]
+    fn literal_patterns_equal_substring_search(lit in "[abc]{1,8}", hay in arb_hay()) {
+        let re = Regex::compile(&lit).unwrap();
+        let expected = hay.windows(lit.len()).any(|w| w == lit.as_bytes());
+        prop_assert_eq!(re.is_match(&hay), expected);
+    }
+}
