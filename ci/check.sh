@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Offline CI gate for the gigascope-rs workspace.
+#
+# The workspace is hermetic: every dependency is a path dependency inside
+# this repository (see DESIGN.md §8). This script is the enforcement point —
+# it must pass on a machine with no network access and an empty cargo
+# registry cache.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== offline release build =="
+cargo build --release --offline
+
+echo "== offline test suite =="
+cargo test -q --offline
+
+echo "== offline bench compile =="
+cargo bench -p gs-bench --no-run --offline
+
+echo "== manifest gate: no registry dependencies =="
+# Every dependency declaration in every manifest must be a path dependency
+# (or the bare workspace = true inheritance of one). Anything with a
+# version requirement or registry source is a hermeticity regression.
+fail=0
+while IFS= read -r manifest; do
+    # Pull the bodies of all *dependencies* tables and keep lines that
+    # declare a dependency without `path =` / `workspace = true`.
+    bad=$(awk '
+        /^\[/ { in_deps = ($0 ~ /dependencies(\.[a-zA-Z0-9_-]+)?\]$/) ; next }
+        in_deps && NF && $0 !~ /^[[:space:]]*#/ \
+                     && $0 !~ /path[[:space:]]*=/ \
+                     && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/ { print }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "non-path dependency in $manifest:" >&2
+        echo "$bad" | sed 's/^/    /' >&2
+        fail=1
+    fi
+done < <(find . -name Cargo.toml -not -path './target/*')
+
+# Belt and braces: the resolved metadata must contain only local packages.
+if command -v python3 >/dev/null 2>&1; then
+    cargo metadata --format-version 1 --offline --all-features 2>/dev/null |
+        python3 -c '
+import json, sys
+meta = json.load(sys.stdin)
+remote = [p["name"] for p in meta["packages"] if p["source"] is not None]
+if remote:
+    print("registry packages in resolved graph: %s" % ", ".join(remote), file=sys.stderr)
+    sys.exit(1)
+'
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "FAIL: registry dependencies found — keep the workspace hermetic" >&2
+    exit 1
+fi
+echo "OK: hermetic"

@@ -1,7 +1,9 @@
-//! Criterion micro-benchmarks: per-operator and per-substrate
-//! throughputs underpinning the experiment-level results.
+//! Micro-benchmarks: per-operator and per-substrate throughputs
+//! underpinning the experiment-level results. Runs on the in-repo
+//! `std::time::Instant` harness ([`gs_bench::harness`]); metric names
+//! (`group/function`) are unchanged from the original criterion runs.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gs_bench::harness::{black_box, BatchSize, Criterion, Throughput};
 use gs_gsql::catalog::{Catalog, InterfaceDef};
 use gs_nic::bpf::tcp_dst_port_filter;
 use gs_packet::builder::FrameBuilder;
@@ -320,17 +322,16 @@ fn bench_defrag(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_bpf,
-    bench_packet_parse,
-    bench_regex,
-    bench_lpm,
-    bench_lfta,
-    bench_aggregation,
-    bench_expr,
-    bench_frontend,
-    bench_merge_join,
-    bench_defrag
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_bpf(&mut c);
+    bench_packet_parse(&mut c);
+    bench_regex(&mut c);
+    bench_lpm(&mut c);
+    bench_lfta(&mut c);
+    bench_aggregation(&mut c);
+    bench_expr(&mut c);
+    bench_frontend(&mut c);
+    bench_merge_join(&mut c);
+    bench_defrag(&mut c);
+}

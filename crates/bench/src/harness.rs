@@ -1,0 +1,151 @@
+//! A tiny `std::time::Instant` micro-benchmark harness.
+//!
+//! Replaces the external `criterion` dev-dependency (hermetic build: no
+//! registry crates). It keeps criterion's call shape — groups,
+//! `bench_function`, `Throughput`, `iter`/`iter_batched` — so
+//! `benches/micro.rs` reads the same, and prints one line per benchmark
+//! under the same `group/function` metric names:
+//!
+//! ```text
+//! bpf/tcp_port80_filter            12_345 ns/iter      83.17 Melem/s
+//! ```
+//!
+//! Timing model: warm up for ~50 ms, then take several timed batches and
+//! report the *fastest* batch (minimum is the standard low-noise
+//! estimator for micro-benchmarks; variance here is one-sided).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work items per harness iteration, used to derive a rate column.
+#[derive(Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Batch-size hint, accepted for criterion compatibility (the harness
+/// re-runs setup per iteration either way).
+#[derive(Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+}
+
+const WARMUP: Duration = Duration::from_millis(50);
+const SAMPLE: Duration = Duration::from_millis(120);
+const SAMPLES: usize = 5;
+
+/// The harness root; criterion's `Criterion` stand-in (aliased so bench
+/// files keep the upstream spelling).
+#[derive(Default)]
+pub struct Harness {}
+
+/// Upstream-compatible name for [`Harness`].
+pub type Criterion = Harness;
+
+impl Harness {
+    pub fn new() -> Harness {
+        Harness {}
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> Group {
+        Group { name: name.to_string(), throughput: None }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct Group {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl Group {
+    /// Declare the per-iteration work, enabling the rate column.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Measure one benchmark and print its line.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: f64::INFINITY };
+        f(&mut b);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("{:>10.2} Melem/s", n as f64 * 1e3 / b.ns_per_iter)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("{:>10.2} MB/s", n as f64 * 1e3 / b.ns_per_iter)
+            }
+            None => String::new(),
+        };
+        println!("{:<34} {:>12.0} ns/iter  {}", format!("{}/{}", self.name, id), b.ns_per_iter, rate);
+        self
+    }
+
+    /// End the group (newline separator, like criterion's summary break).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the workload.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `f` called in a loop.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        self.ns_per_iter = measure(|batch| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        self.ns_per_iter = measure(|batch| {
+            let inputs: Vec<S> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for s in inputs {
+                black_box(routine(s));
+            }
+            start.elapsed()
+        });
+    }
+}
+
+/// Calibrate a batch size against the target sample duration, then take
+/// [`SAMPLES`] timed batches and return the fastest ns/iteration.
+fn measure(mut run_batch: impl FnMut(u64) -> Duration) -> f64 {
+    // Calibration doubles the batch until one batch covers the warmup
+    // budget, so each timed sample amortizes clock overhead.
+    let mut batch = 1u64;
+    loop {
+        let t = run_batch(batch);
+        if t >= WARMUP || batch >= 1 << 40 {
+            let scale = SAMPLE.as_secs_f64() / t.as_secs_f64().max(1e-9);
+            batch = ((batch as f64 * scale).max(1.0)) as u64;
+            break;
+        }
+        batch *= 2;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t = run_batch(batch);
+        best = best.min(t.as_nanos() as f64 / batch as f64);
+    }
+    best
+}

@@ -7,6 +7,8 @@
 //! inside the calibrated capture-path simulator, and small table/crossing
 //! helpers.
 
+pub mod harness;
+
 use gs_gsql::catalog::{Catalog, InterfaceDef};
 use gs_gsql::split::split_query;
 use gs_netgen::{MixConfig, PacketMix};

@@ -1,0 +1,333 @@
+//! A hermetic, std-only stand-in for the `bytes` crate.
+//!
+//! The workspace builds offline; every dependency is an in-repo path
+//! crate (see the "Hermetic build" section of README.md). This crate
+//! provides exactly the [`Bytes`] surface gigascope uses — cheap
+//! reference-counted clones, zero-copy `slice`, `Deref<Target = [u8]>` —
+//! and nothing else. The packet hot path relies on two invariants that
+//! `tests/tests/hermetic.rs` pins down:
+//!
+//! 1. `clone()` and `slice()` never copy payload bytes (pointer-equal
+//!    views into one shared buffer), and
+//! 2. `slice(a..b).slice(c..d)` composes offsets exactly like `&s[a..b][c..d]`.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// The backing store: either borrowed static memory (`from_static`) or a
+/// shared heap allocation. Both clone in O(1).
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+/// A cheaply cloneable, contiguous, immutable slice of memory.
+///
+/// API-compatible with the subset of `bytes::Bytes` used across the
+/// workspace: `new`, `from_static`, `copy_from_slice`, `From<Vec<u8>>`,
+/// `slice`, and `Deref<Target = [u8]>`.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    #[inline]
+    pub const fn new() -> Bytes {
+        Bytes { repr: Repr::Static(&[]), off: 0, len: 0 }
+    }
+
+    /// A zero-copy view of static memory.
+    #[inline]
+    pub const fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes { repr: Repr::Static(bytes), off: 0, len: bytes.len() }
+    }
+
+    /// Copy `data` into a fresh shared buffer.
+    #[inline]
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from_arc(Arc::from(data))
+    }
+
+    /// Number of bytes in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A zero-copy sub-view; panics (like upstream) when the range is out
+    /// of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end, "slice start {start} > end {end}");
+        assert!(end <= self.len, "slice end {end} out of bounds (len {})", self.len);
+        Bytes { repr: self.repr.clone(), off: self.off + start, len: end - start }
+    }
+
+    /// Copy the view into an owned `Vec<u8>`.
+    #[inline]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    #[inline]
+    fn from_arc(arc: Arc<[u8]>) -> Bytes {
+        let len = arc.len();
+        Bytes { repr: Repr::Shared(arc), off: 0, len }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        let base: &[u8] = match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => a,
+        };
+        &base[self.off..self.off + self.len]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    #[inline]
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Default for Bytes {
+    #[inline]
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    #[inline]
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes::from_arc(Arc::from(v))
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    #[inline]
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl<const N: usize> From<&'static [u8; N]> for Bytes {
+    #[inline]
+    fn from(s: &'static [u8; N]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    #[inline]
+    fn from(b: Box<[u8]>) -> Bytes {
+        Bytes::from_arc(Arc::from(b))
+    }
+}
+
+impl From<String> for Bytes {
+    #[inline]
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    #[inline]
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    #[inline]
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    #[inline]
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    #[inline]
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    #[inline]
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    #[inline]
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialOrd for Bytes {
+    #[inline]
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    #[inline]
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            // Match upstream's escape-ASCII rendering closely enough for
+            // assert diagnostics.
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_static() {
+        assert!(Bytes::new().is_empty());
+        let b = Bytes::from_static(b"hello");
+        assert_eq!(b.len(), 5);
+        assert_eq!(&b[..], b"hello");
+    }
+
+    #[test]
+    fn slice_forms() {
+        let b = Bytes::from(b"0123456789".to_vec());
+        assert_eq!(&b.slice(2..5)[..], b"234");
+        assert_eq!(&b.slice(..3)[..], b"012");
+        assert_eq!(&b.slice(7..)[..], b"789");
+        assert_eq!(&b.slice(..)[..], b"0123456789");
+        assert_eq!(&b.slice(2..=4)[..], b"234");
+    }
+
+    #[test]
+    fn nested_slices_compose() {
+        let b = Bytes::from(b"abcdefgh".to_vec());
+        let s = b.slice(2..7); // cdefg
+        assert_eq!(&s.slice(1..3)[..], b"de");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_oob_panics() {
+        let _ = Bytes::from_static(b"ab").slice(..3);
+    }
+
+    #[test]
+    fn clone_is_zero_copy() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let c = b.clone();
+        assert_eq!(b.as_ptr(), c.as_ptr());
+        let s = b.slice(1..3);
+        assert_eq!(unsafe { b.as_ptr().add(1) }, s.as_ptr());
+    }
+
+    #[test]
+    fn equality_and_ordering() {
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::copy_from_slice(b"abc");
+        assert_eq!(a, b);
+        assert_eq!(a, *b"abc");
+        assert!(Bytes::from_static(b"a") < Bytes::from_static(b"b"));
+    }
+
+    #[test]
+    fn debug_escapes() {
+        assert_eq!(format!("{:?}", Bytes::from_static(b"a\x00")), "b\"a\\x00\"");
+    }
+}

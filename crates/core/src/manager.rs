@@ -8,25 +8,59 @@
 //! registry and receives a query handle in return." (paper §3)
 //!
 //! Here query nodes are threads and the shared-memory channels are
-//! bounded crossbeam channels (backpressure instead of unbounded growth).
-//! LFTAs run inline in the capture thread, exactly as the paper links
-//! them into the run time system; each HFTA runs on its own thread. This
-//! is the configuration the deployment-throughput experiment (E2)
-//! measures; the deterministic single-threaded engine is
+//! bounded std `mpsc` channels (backpressure instead of unbounded
+//! growth). LFTAs run inline in the capture thread, exactly as the paper
+//! links them into the run time system; each HFTA runs on its own
+//! thread. This is the configuration the deployment-throughput
+//! experiment (E2) measures; the deterministic single-threaded engine is
 //! [`crate::engine`].
+//!
+//! Fan-in without `select`: every node owns ONE bounded ready-queue; each
+//! upstream producer holds a clone of its `SyncSender` and tags messages
+//! with the destination port, so a node just blocks on `recv()` and
+//! multiplexes by tag. End-of-stream is an explicit `Close(port)` message
+//! (std channels only signal disconnect when *all* senders drop, which a
+//! shared queue can't use per-port). Per-producer FIFO order is
+//! preserved, which is all the merge/join watermark logic requires.
 
 use crate::{Error, Gigascope};
-use crossbeam_channel::{bounded, Receiver, Select, Sender};
 use gs_packet::CapPacket;
 use gs_runtime::ops::build::{build_hfta, build_lfta, BuildCtx};
 use gs_runtime::punct::HeartbeatMode;
 use gs_runtime::tuple::{StreamItem, Tuple};
 use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread;
 
-/// Channel capacity between query nodes ("communication through shared
+/// Ready-queue capacity per query node ("communication through shared
 /// memory"); a bounded ring like the paper's buffers.
 pub const CHANNEL_CAPACITY: usize = 8_192;
+
+/// A tagged message on a node's shared ready-queue.
+enum Msg {
+    /// Payload for one input port.
+    Item(usize, StreamItem),
+    /// The producer feeding this port is done; no more items will come.
+    Close(usize),
+}
+
+/// One consumer endpoint: the consumer's shared queue plus the input
+/// port this producer feeds.
+#[derive(Clone)]
+struct PortSender {
+    tx: SyncSender<Msg>,
+    port: usize,
+}
+
+impl PortSender {
+    fn send(&self, item: StreamItem) {
+        let _ = self.tx.send(Msg::Item(self.port, item));
+    }
+
+    fn close(&self) {
+        let _ = self.tx.send(Msg::Close(self.port));
+    }
+}
 
 /// Result of a threaded run.
 #[derive(Debug, Default)]
@@ -83,31 +117,47 @@ where
         }
     }
 
-    // Senders per stream name (fan-out to every consumer).
-    let mut producers: HashMap<String, Vec<Sender<StreamItem>>> = HashMap::new();
-    // Receivers per node, in port order.
-    let mut node_inputs: Vec<Vec<Receiver<StreamItem>>> = Vec::new();
+    // Consumer endpoints per stream name (fan-out to every consumer).
+    let mut producers: HashMap<String, Vec<PortSender>> = HashMap::new();
+    // One shared ready-queue per node; every input port sends into it.
+    let mut node_inputs: Vec<(Receiver<Msg>, usize)> = Vec::new();
     for spec in &nodes {
-        let mut ports = Vec::new();
-        for input in &spec.node.inputs {
-            let (tx, rx) = bounded(CHANNEL_CAPACITY);
-            producers.entry(input.clone()).or_default().push(tx);
-            ports.push(rx);
+        let (tx, rx) = sync_channel(CHANNEL_CAPACITY);
+        for (port, input) in spec.node.inputs.iter().enumerate() {
+            producers
+                .entry(input.clone())
+                .or_default()
+                .push(PortSender { tx: tx.clone(), port });
         }
-        node_inputs.push(ports);
+        node_inputs.push((rx, spec.node.inputs.len()));
     }
-    // Subscription collectors.
-    let mut collectors: HashMap<String, Receiver<StreamItem>> = HashMap::new();
+    // Subscription collectors (single-port queues). Each gets its own
+    // drainer thread: a subscribed stream can emit far more than
+    // CHANNEL_CAPACITY tuples while the capture loop is still feeding
+    // packets, and a full collector queue would back-pressure the node
+    // graph into a deadlock if nothing consumed it until after capture.
+    let mut collectors: Vec<(String, thread::JoinHandle<Vec<Tuple>>)> = Vec::new();
     for name in subscriptions {
-        let (tx, rx) = bounded(CHANNEL_CAPACITY);
-        producers.entry((*name).to_string()).or_default().push(tx);
-        collectors.insert((*name).to_string(), rx);
+        let (tx, rx) = sync_channel::<Msg>(CHANNEL_CAPACITY);
+        producers.entry((*name).to_string()).or_default().push(PortSender { tx, port: 0 });
+        let drainer = thread::spawn(move || {
+            let mut bucket = Vec::new();
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    Msg::Item(_, StreamItem::Tuple(t)) => bucket.push(t),
+                    Msg::Item(..) => {}
+                    Msg::Close(_) => break,
+                }
+            }
+            bucket
+        });
+        collectors.push(((*name).to_string(), drainer));
     }
 
     // ---- Spawn node threads ---------------------------------------------
     let mut handles = Vec::new();
-    for (spec, inputs) in nodes.into_iter().zip(node_inputs) {
-        let out_senders: Vec<Sender<StreamItem>> =
+    for (spec, (rx, n_ports)) in nodes.into_iter().zip(node_inputs) {
+        let out_senders: Vec<PortSender> =
             producers.get(&spec.out_name).cloned().unwrap_or_default();
         let NodeSpec { mut node, .. } = spec;
         handles.push(thread::spawn(move || {
@@ -116,49 +166,57 @@ where
                     for (i, tx) in out_senders.iter().enumerate() {
                         // Last consumer takes the original; others clone.
                         if i + 1 == out_senders.len() {
-                            let _ = tx.send(item);
+                            tx.send(item);
                             break;
                         }
-                        let _ = tx.send(item.clone());
+                        tx.send(item.clone());
                     }
                 }
             };
-            let mut open: Vec<bool> = vec![true; inputs.len()];
+            let mut open: Vec<bool> = vec![true; n_ports];
+            let mut open_count = n_ports;
             let mut out = Vec::new();
-            while open.iter().any(|&o| o) {
-                let mut sel = Select::new();
-                let mut ports = Vec::new();
-                for (p, rx) in inputs.iter().enumerate() {
-                    if open[p] {
-                        sel.recv(rx);
-                        ports.push(p);
-                    }
-                }
-                let op = sel.select();
-                let p = ports[op.index()];
-                match op.recv(&inputs[p]) {
-                    Ok(item) => {
+            while open_count > 0 {
+                match rx.recv() {
+                    Ok(Msg::Item(p, item)) => {
                         out.clear();
                         node.push(p, item, &mut out);
                         send_all(std::mem::take(&mut out));
                     }
-                    Err(_) => {
+                    Ok(Msg::Close(p)) if open[p] => {
                         open[p] = false;
+                        open_count -= 1;
                         out.clear();
                         node.finish_input(p, &mut out);
                         send_all(std::mem::take(&mut out));
+                    }
+                    Ok(Msg::Close(_)) => {}
+                    Err(_) => {
+                        // Every producer dropped without a Close (a panic
+                        // upstream); flush what the still-open ports hold.
+                        for (p, o) in open.iter_mut().enumerate() {
+                            if std::mem::take(o) {
+                                out.clear();
+                                node.finish_input(p, &mut out);
+                                send_all(std::mem::take(&mut out));
+                            }
+                        }
+                        open_count = 0;
                     }
                 }
             }
             out.clear();
             node.finish(&mut out);
             send_all(out);
-            // Dropping `out_senders` closes downstream channels.
+            // This node's streams end: close every consumer port.
+            for tx in &out_senders {
+                tx.close();
+            }
         }));
     }
 
     // ---- Capture loop (this thread) --------------------------------------
-    let lfta_senders: Vec<Vec<Sender<StreamItem>>> = lftas
+    let lfta_senders: Vec<Vec<PortSender>> = lftas
         .iter()
         .map(|(l, _)| producers.get(&l.name).cloned().unwrap_or_default())
         .collect();
@@ -197,17 +255,21 @@ where
         lfta.finish(&mut out);
         send_to(&lfta_senders[i], &mut out);
     }
-    drop(lfta_senders); // close LFTA output streams
+    // Close LFTA output streams port by port.
+    for senders in &lfta_senders {
+        for tx in senders {
+            tx.close();
+        }
+    }
+    drop(lfta_senders);
 
     // ---- Drain ------------------------------------------------------------
     let mut streams: HashMap<String, Vec<Tuple>> = HashMap::new();
-    for (name, rx) in collectors {
-        let bucket: &mut Vec<Tuple> = streams.entry(name).or_default();
-        while let Ok(item) = rx.recv() {
-            if let StreamItem::Tuple(t) = item {
-                bucket.push(t);
-            }
-        }
+    for (name, drainer) in collectors {
+        let bucket = drainer
+            .join()
+            .map_err(|_| Error::Config("subscription collector thread panicked".to_string()))?;
+        streams.insert(name, bucket);
     }
     for h in handles {
         h.join().map_err(|_| Error::Config("query node thread panicked".to_string()))?;
@@ -215,14 +277,14 @@ where
     Ok(ThreadedOutput { streams, packets: n_packets })
 }
 
-fn send_to(senders: &[Sender<StreamItem>], items: &mut Vec<StreamItem>) {
+fn send_to(senders: &[PortSender], items: &mut Vec<StreamItem>) {
     for item in items.drain(..) {
         for (i, tx) in senders.iter().enumerate() {
             if i + 1 == senders.len() {
-                let _ = tx.send(item);
+                tx.send(item);
                 break;
             }
-            let _ = tx.send(item.clone());
+            tx.send(item.clone());
         }
     }
 }
@@ -288,5 +350,28 @@ mod tests {
         sorted.sort();
         assert_eq!(times, sorted, "merge output stays ordered under threading");
         assert_eq!(times.len(), 50);
+    }
+
+    /// A subscribed stream emitting far more than CHANNEL_CAPACITY tuples
+    /// must not deadlock: without a live drainer per collector the node
+    /// blocks on the full subscription queue, back-pressure reaches the
+    /// capture loop, and the post-capture drain never starts.
+    #[test]
+    fn threaded_subscription_exceeding_channel_capacity() {
+        let mut gs = Gigascope::new();
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+        gs.add_program(
+            "DEFINE { query_name a; } Select time From eth0.tcp; \
+             DEFINE { query_name m; } Merge a.time : a.time From a, a",
+        )
+        .unwrap();
+        let n = (CHANNEL_CAPACITY * 2 + 100) as u64;
+        let pkts = (0..n).map(|s| {
+            let f = FrameBuilder::tcp(1, 2, 9, 80).build_ethernet();
+            CapPacket::full(s * 1_000_000, 0, LinkType::Ethernet, f)
+        });
+        let out = run_threaded(&gs, pkts, &["m"]).unwrap();
+        // The self-merge sees every tuple on both ports.
+        assert_eq!(out.stream("m").len(), 2 * n as usize);
     }
 }

@@ -1,11 +1,14 @@
 //! Property tests on the capture-path simulator and the BPF machine.
+//!
+//! Runs on the in-repo deterministic harness ([`gs_tests::prop`]); the
+//! property assertions are unchanged from the original proptest suite.
 
 use bytes::Bytes;
 use gs_nic::bpf::{BpfProgram, Insn};
 use gs_nic::sim::{BpfNicFilter, CaptureSim, DiscardHost, FixedCostHost};
 use gs_nic::CostModel;
 use gs_packet::capture::{CapPacket, LinkType};
-use proptest::prelude::*;
+use gs_tests::prop::{check, Gen, DEFAULT_CASES};
 
 fn arrivals(gaps: Vec<u32>, sizes: Vec<u16>) -> Vec<CapPacket> {
     let mut t = 0u64;
@@ -24,38 +27,35 @@ fn arrivals(gaps: Vec<u32>, sizes: Vec<u16>) -> Vec<CapPacket> {
 }
 
 /// Arbitrary (possibly invalid) instructions for verifier fuzzing.
-fn arb_insn() -> impl Strategy<Value = Insn> {
-    prop_oneof![
-        any::<u32>().prop_map(Insn::LdB),
-        any::<u32>().prop_map(Insn::LdH),
-        any::<u32>().prop_map(Insn::LdW),
-        any::<u32>().prop_map(Insn::LdImm),
-        any::<u32>().prop_map(Insn::LdxImm),
-        any::<u32>().prop_map(Insn::LdxMshB),
-        any::<u32>().prop_map(Insn::LdIndB),
-        Just(Insn::Tax),
-        Just(Insn::Txa),
-        any::<u32>().prop_map(Insn::Add),
-        any::<u32>().prop_map(Insn::And),
-        (0u32..16).prop_map(Insn::Lsh),
-        (any::<u32>(), 0u8..8, 0u8..8).prop_map(|(k, jt, jf)| Insn::Jeq(k, jt, jf)),
-        (any::<u32>(), 0u8..8, 0u8..8).prop_map(|(k, jt, jf)| Insn::Jgt(k, jt, jf)),
-        (0u32..8).prop_map(Insn::Ja),
-        any::<u32>().prop_map(Insn::RetImm),
-        Just(Insn::RetA),
-    ]
+fn arb_insn(g: &mut Gen) -> Insn {
+    match g.usize(0..17) {
+        0 => Insn::LdB(g.any()),
+        1 => Insn::LdH(g.any()),
+        2 => Insn::LdW(g.any()),
+        3 => Insn::LdImm(g.any()),
+        4 => Insn::LdxImm(g.any()),
+        5 => Insn::LdxMshB(g.any()),
+        6 => Insn::LdIndB(g.any()),
+        7 => Insn::Tax,
+        8 => Insn::Txa,
+        9 => Insn::Add(g.any()),
+        10 => Insn::And(g.any()),
+        11 => Insn::Lsh(g.u32(0..16)),
+        12 => Insn::Jeq(g.any(), g.u8(0..8), g.u8(0..8)),
+        13 => Insn::Jgt(g.any(), g.u8(0..8), g.u8(0..8)),
+        14 => Insn::Ja(g.u32(0..8)),
+        15 => Insn::RetImm(g.any()),
+        _ => Insn::RetA,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn sim_accounting_identity(
-        gaps in proptest::collection::vec(1_000u32..40_000, 1..400),
-        sizes in proptest::collection::vec(64u16..1500, 1..400),
-        host_cost in 0u64..30_000,
-        use_nic in any::<bool>(),
-    ) {
+#[test]
+fn sim_accounting_identity() {
+    check("sim_accounting_identity", DEFAULT_CASES, |g| {
+        let gaps = g.vec_with(1..400, |g| g.u32(1_000..40_000));
+        let sizes = g.vec_with(1..400, |g| g.u16(64..1500));
+        let host_cost = g.u64(0..30_000);
+        let use_nic: bool = g.bool();
         let n = gaps.len().min(sizes.len());
         let pkts = arrivals(gaps[..n].to_vec(), sizes[..n].to_vec());
         let sim = CaptureSim::default();
@@ -66,19 +66,20 @@ proptest! {
             use_nic.then_some(&mut nic as &mut dyn gs_nic::sim::NicAction),
             &mut host,
         );
-        prop_assert_eq!(
+        assert_eq!(
             r.offered,
             r.nic_dropped + r.nic_filtered + r.ring_dropped + r.host_processed,
             "every packet must be accounted exactly once"
         );
-        prop_assert!(r.loss_rate() >= 0.0 && r.loss_rate() <= 1.0);
-    }
+        assert!(r.loss_rate() >= 0.0 && r.loss_rate() <= 1.0);
+    });
+}
 
-    #[test]
-    fn sim_loss_monotone_in_host_cost(
-        gaps in proptest::collection::vec(2_000u32..20_000, 50..200),
-        sizes in proptest::collection::vec(64u16..1500, 50..200),
-    ) {
+#[test]
+fn sim_loss_monotone_in_host_cost() {
+    check("sim_loss_monotone_in_host_cost", DEFAULT_CASES, |g| {
+        let gaps = g.vec_with(50..200, |g| g.u32(2_000..20_000));
+        let sizes = g.vec_with(50..200, |g| g.u16(64..1500));
         let n = gaps.len().min(sizes.len());
         let sim = CaptureSim::default();
         let mut cheap = FixedCostHost(0);
@@ -89,39 +90,42 @@ proptest! {
         let l1 = sim
             .run(arrivals(gaps[..n].to_vec(), sizes[..n].to_vec()).into_iter(), None, &mut costly)
             .loss_rate();
-        prop_assert!(l1 >= l0, "more host work cannot reduce loss ({l0} vs {l1})");
-    }
+        assert!(l1 >= l0, "more host work cannot reduce loss ({l0} vs {l1})");
+    });
+}
 
-    #[test]
-    fn zero_loss_below_capacity(
-        sizes in proptest::collection::vec(64u16..1500, 1..300),
-    ) {
+#[test]
+fn zero_loss_below_capacity() {
+    check("zero_loss_below_capacity", DEFAULT_CASES, |g| {
+        let sizes = g.vec_with(1..300, |g| g.u16(64..1500));
         // 100 µs gaps = 10 kpkt/s, far below every capacity in the model.
         let gaps = vec![100_000u32; sizes.len()];
         let sim = CaptureSim::default();
         let mut host = DiscardHost::default();
         let r = sim.run(arrivals(gaps, sizes).into_iter(), None, &mut host);
-        prop_assert_eq!(r.loss_rate(), 0.0);
-        prop_assert_eq!(r.host_processed, r.offered);
-    }
+        assert_eq!(r.loss_rate(), 0.0);
+        assert_eq!(r.host_processed, r.offered);
+    });
+}
 
-    #[test]
-    fn verifier_accepts_only_safe_programs(
-        insns in proptest::collection::vec(arb_insn(), 0..24),
-        pkt in proptest::collection::vec(any::<u8>(), 0..64),
-    ) {
+#[test]
+fn verifier_accepts_only_safe_programs() {
+    check("verifier_accepts_only_safe_programs", DEFAULT_CASES, |g| {
+        let insns = g.vec_with(0..24, arb_insn);
+        let pkt = g.bytes(0..64);
         // Whatever the verifier accepts must run without panicking and
         // terminate (the interpreter has a defensive step bound; reaching
         // it would return 0 rather than loop).
         if let Ok(prog) = BpfProgram::new(insns) {
             let _ = prog.run(&pkt);
         }
-    }
+    });
+}
 
-    #[test]
-    fn snap_never_increases_loss(
-        gaps in proptest::collection::vec(3_000u32..15_000, 50..200),
-    ) {
+#[test]
+fn snap_never_increases_loss() {
+    check("snap_never_increases_loss", DEFAULT_CASES, |g| {
+        let gaps = g.vec_with(50..200, |g| g.u32(3_000..15_000));
         let sizes = vec![1500u16; gaps.len()];
         let sim = CaptureSim::default();
         let mut full_nic = BpfNicFilter::new(gs_nic::bpf::accept_all(u32::MAX));
@@ -134,14 +138,18 @@ proptest! {
         let l_snap = sim
             .run(arrivals(gaps, sizes).into_iter(), Some(&mut snap_nic), &mut h2)
             .loss_rate();
-        prop_assert!(l_snap <= l_full + 1e-9, "snapping reduces copy cost ({l_snap} vs {l_full})");
-    }
+        assert!(l_snap <= l_full + 1e-9, "snapping reduces copy cost ({l_snap} vs {l_full})");
+    });
+}
 
-    #[test]
-    fn cost_model_copy_monotone(a in 0usize..4096, b in 0usize..4096) {
+#[test]
+fn cost_model_copy_monotone() {
+    check("cost_model_copy_monotone", DEFAULT_CASES, |g| {
+        let a = g.usize(0..4096);
+        let b = g.usize(0..4096);
         let m = CostModel::default();
         if a <= b {
-            prop_assert!(m.host_copy_ns(a) <= m.host_copy_ns(b));
+            assert!(m.host_copy_ns(a) <= m.host_copy_ns(b));
         }
-    }
+    });
 }

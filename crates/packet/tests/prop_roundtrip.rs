@@ -1,5 +1,8 @@
 //! Property tests: every codec round-trips arbitrary field values, and the
 //! trace container round-trips arbitrary packet lists.
+//!
+//! Runs on the in-repo deterministic harness ([`gs_tests::prop`]); the
+//! property assertions are unchanged from the original proptest suite.
 
 use bytes::Bytes;
 use gs_packet::capture::{read_trace, write_trace, CapPacket, LinkType};
@@ -8,142 +11,169 @@ use gs_packet::ip::{checksum, fmt_ipv4, parse_ipv4, Ipv4Header};
 use gs_packet::netflow::{decode_packet, encode_packet, NetflowPacketHeader, NetflowRecord};
 use gs_packet::tcp::TcpHeader;
 use gs_packet::udp::UdpHeader;
-use proptest::prelude::*;
+use gs_tests::prop::{check, Gen, DEFAULT_CASES};
+use rand::Rng;
 
-prop_compose! {
-    fn arb_ipv4_header()(
-        tos in any::<u8>(),
-        total_len in 20u16..,
-        id in any::<u16>(),
-        flags_frag in any::<u16>(),
-        ttl in any::<u8>(),
-        protocol in any::<u8>(),
-        src in any::<u32>(),
-        dst in any::<u32>(),
-    ) -> Ipv4Header {
-        Ipv4Header {
-            header_len: 20, tos, total_len, id,
-            // bit 15 is reserved-zero on encode/decode equality; keep it clear
-            flags_frag: flags_frag & 0x7fff,
-            ttl, protocol, checksum: 0, src, dst,
-        }
+fn arb_ipv4_header(g: &mut Gen) -> Ipv4Header {
+    Ipv4Header {
+        header_len: 20,
+        tos: g.any(),
+        total_len: g.rng().gen_range(20u16..=u16::MAX),
+        id: g.any(),
+        // bit 15 is reserved-zero on encode/decode equality; keep it clear
+        flags_frag: g.any::<u16>() & 0x7fff,
+        ttl: g.any(),
+        protocol: g.any(),
+        checksum: 0,
+        src: g.any(),
+        dst: g.any(),
     }
 }
 
-proptest! {
-    #[test]
-    fn ipv4_roundtrip(h in arb_ipv4_header()) {
+#[test]
+fn ipv4_roundtrip() {
+    check("ipv4_roundtrip", DEFAULT_CASES, |g| {
+        let h = arb_ipv4_header(g);
         let mut buf = Vec::new();
         h.encode(&mut buf).unwrap();
         let d = Ipv4Header::decode(&buf).unwrap();
-        prop_assert_eq!(d.tos, h.tos);
-        prop_assert_eq!(d.total_len, h.total_len);
-        prop_assert_eq!(d.id, h.id);
-        prop_assert_eq!(d.flags_frag, h.flags_frag);
-        prop_assert_eq!(d.ttl, h.ttl);
-        prop_assert_eq!(d.protocol, h.protocol);
-        prop_assert_eq!(d.src, h.src);
-        prop_assert_eq!(d.dst, h.dst);
+        assert_eq!(d.tos, h.tos);
+        assert_eq!(d.total_len, h.total_len);
+        assert_eq!(d.id, h.id);
+        assert_eq!(d.flags_frag, h.flags_frag);
+        assert_eq!(d.ttl, h.ttl);
+        assert_eq!(d.protocol, h.protocol);
+        assert_eq!(d.src, h.src);
+        assert_eq!(d.dst, h.dst);
         // The emitted checksum always validates.
-        prop_assert_eq!(checksum(&buf), 0);
-    }
+        assert_eq!(checksum(&buf), 0);
+    });
+}
 
-    #[test]
-    fn ipv4_decode_never_panics(buf in proptest::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn ipv4_decode_never_panics() {
+    check("ipv4_decode_never_panics", DEFAULT_CASES, |g| {
+        let buf = g.bytes(0..64);
         let _ = Ipv4Header::decode(&buf);
-    }
+    });
+}
 
-    #[test]
-    fn addr_text_roundtrip(addr in any::<u32>()) {
-        prop_assert_eq!(parse_ipv4(&fmt_ipv4(addr)), Some(addr));
-    }
+#[test]
+fn addr_text_roundtrip() {
+    check("addr_text_roundtrip", DEFAULT_CASES, |g| {
+        let addr: u32 = g.any();
+        assert_eq!(parse_ipv4(&fmt_ipv4(addr)), Some(addr));
+    });
+}
 
-    #[test]
-    fn tcp_roundtrip(
-        src_port in any::<u16>(), dst_port in any::<u16>(),
-        seq in any::<u32>(), ack in any::<u32>(),
-        flags in 0u8..=0x3f, window in any::<u16>(),
-        cksum in any::<u16>(), urgent in any::<u16>(),
-    ) {
+#[test]
+fn tcp_roundtrip() {
+    check("tcp_roundtrip", DEFAULT_CASES, |g| {
         let h = TcpHeader {
-            src_port, dst_port, seq, ack, header_len: 20,
-            flags, window, checksum: cksum, urgent,
+            src_port: g.any(),
+            dst_port: g.any(),
+            seq: g.any(),
+            ack: g.any(),
+            header_len: 20,
+            flags: g.any::<u8>() & 0x3f,
+            window: g.any(),
+            checksum: g.any(),
+            urgent: g.any(),
         };
         let mut buf = Vec::new();
         h.encode(&mut buf).unwrap();
-        prop_assert_eq!(TcpHeader::decode(&buf).unwrap(), h);
-    }
+        assert_eq!(TcpHeader::decode(&buf).unwrap(), h);
+    });
+}
 
-    #[test]
-    fn udp_roundtrip(
-        src_port in any::<u16>(), dst_port in any::<u16>(),
-        length in 8u16.., cksum in any::<u16>(),
-    ) {
-        let h = UdpHeader { src_port, dst_port, length, checksum: cksum };
+#[test]
+fn udp_roundtrip() {
+    check("udp_roundtrip", DEFAULT_CASES, |g| {
+        let h = UdpHeader {
+            src_port: g.any(),
+            dst_port: g.any(),
+            length: g.rng().gen_range(8u16..=u16::MAX),
+            checksum: g.any(),
+        };
         let mut buf = Vec::new();
         h.encode(&mut buf);
-        prop_assert_eq!(UdpHeader::decode(&buf).unwrap(), h);
-    }
+        assert_eq!(UdpHeader::decode(&buf).unwrap(), h);
+    });
+}
 
-    #[test]
-    fn ether_roundtrip(dst in any::<[u8; 6]>(), src in any::<[u8; 6]>(), ethertype in any::<u16>()) {
-        let h = EtherHeader { dst: MacAddr(dst), src: MacAddr(src), ethertype };
+#[test]
+fn ether_roundtrip() {
+    check("ether_roundtrip", DEFAULT_CASES, |g| {
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.fill_with(|| g.any());
+        src.fill_with(|| g.any());
+        let h = EtherHeader { dst: MacAddr(dst), src: MacAddr(src), ethertype: g.any() };
         let mut buf = Vec::new();
         h.encode(&mut buf);
-        prop_assert_eq!(EtherHeader::decode(&buf).unwrap(), h);
-    }
+        assert_eq!(EtherHeader::decode(&buf).unwrap(), h);
+    });
+}
 
-    #[test]
-    fn netflow_packet_roundtrip(
-        uptime in any::<u32>(), secs in any::<u32>(), seq in any::<u32>(),
-        recs in proptest::collection::vec(
-            (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(),
-             any::<u16>(), any::<u16>(), any::<u8>(), any::<u8>()),
-            0..30,
-        ),
-    ) {
-        let records: Vec<NetflowRecord> = recs.into_iter().map(
-            |(src_addr, dst_addr, packets, octets, first, last, src_port, dst_port, tcp_flags, protocol)|
-            NetflowRecord {
-                src_addr, dst_addr, packets, octets, first, last,
-                src_port, dst_port, tcp_flags, protocol,
-                tos: 0, src_as: 7018, dst_as: 1,
-            }
-        ).collect();
+#[test]
+fn netflow_packet_roundtrip() {
+    check("netflow_packet_roundtrip", DEFAULT_CASES, |g| {
+        let records: Vec<NetflowRecord> = g.vec_with(0..30, |g| NetflowRecord {
+            src_addr: g.any(),
+            dst_addr: g.any(),
+            packets: g.any(),
+            octets: g.any(),
+            first: g.any(),
+            last: g.any(),
+            src_port: g.any(),
+            dst_port: g.any(),
+            tcp_flags: g.any(),
+            protocol: g.any(),
+            tos: 0,
+            src_as: 7018,
+            dst_as: 1,
+        });
         let hdr = NetflowPacketHeader {
-            count: 0, sys_uptime_ms: uptime, unix_secs: secs, unix_nsecs: 0, flow_sequence: seq,
+            count: 0,
+            sys_uptime_ms: g.any(),
+            unix_secs: g.any(),
+            unix_nsecs: 0,
+            flow_sequence: g.any(),
         };
         let buf = encode_packet(&hdr, &records).unwrap();
         let (h2, r2) = decode_packet(&buf).unwrap();
-        prop_assert_eq!(h2.count as usize, records.len());
-        prop_assert_eq!(r2, records);
-    }
+        assert_eq!(h2.count as usize, records.len());
+        assert_eq!(r2, records);
+    });
+}
 
-    #[test]
-    fn trace_roundtrip(
-        pkts in proptest::collection::vec(
-            (any::<u64>(), any::<u16>(), 0u8..4, proptest::collection::vec(any::<u8>(), 0..128)),
-            0..40,
-        ),
-    ) {
-        let packets: Vec<CapPacket> = pkts.into_iter().map(|(ts, iface, link, data)| CapPacket::full(
-            ts, iface, LinkType::from_tag(link).unwrap(), Bytes::from(data),
-        )).collect();
+#[test]
+fn trace_roundtrip() {
+    check("trace_roundtrip", DEFAULT_CASES, |g| {
+        let packets: Vec<CapPacket> = g.vec_with(0..40, |g| {
+            let link = LinkType::from_tag(g.u8(0..4)).unwrap();
+            let data = g.bytes(0..128);
+            CapPacket::full(g.any(), g.any(), link, Bytes::from(data))
+        });
         let buf = write_trace(&packets);
-        prop_assert_eq!(read_trace(&buf).unwrap(), packets);
-    }
+        assert_eq!(read_trace(&buf).unwrap(), packets);
+    });
+}
 
-    #[test]
-    fn trace_reader_never_panics(buf in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn trace_reader_never_panics() {
+    check("trace_reader_never_panics", DEFAULT_CASES, |g| {
+        let buf = g.bytes(0..256);
         let _ = read_trace(&buf);
-    }
+    });
+}
 
-    #[test]
-    fn view_never_panics_on_garbage(
-        link in 0u8..4,
-        data in proptest::collection::vec(any::<u8>(), 0..128),
-    ) {
-        let cap = CapPacket::full(0, 0, LinkType::from_tag(link).unwrap(), Bytes::from(data));
+#[test]
+fn view_never_panics_on_garbage() {
+    check("view_never_panics_on_garbage", DEFAULT_CASES, |g| {
+        let link = LinkType::from_tag(g.u8(0..4)).unwrap();
+        let data = g.bytes(0..128);
+        let cap = CapPacket::full(0, 0, link, Bytes::from(data));
         let v = gs_packet::PacketView::parse(cap);
         // Exercising every accessor must be safe on arbitrary bytes.
         for proto in gs_packet::interp::PROTOCOLS.iter() {
@@ -152,5 +182,5 @@ proptest! {
                 let _ = (f.accessor)(&v);
             }
         }
-    }
+    });
 }

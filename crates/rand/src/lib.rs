@@ -1,0 +1,384 @@
+//! A hermetic, std-only stand-in for the `rand` crate.
+//!
+//! The workspace builds offline; every dependency is an in-repo path
+//! crate (see the "Hermetic build" section of README.md). This crate
+//! provides the `rand` 0.8 subset gigascope uses — `rngs::SmallRng`,
+//! `SeedableRng::seed_from_u64`, and the [`Rng`] methods `gen`,
+//! `gen_range`, `gen_bool`, and `fill` — over a xoshiro256++ generator
+//! seeded through SplitMix64, the same algorithm pair upstream `SmallRng`
+//! uses on 64-bit targets. Workload generators seed explicitly
+//! (`seed_from_u64`), so every packet mix, trace, and experiment is
+//! reproducible run-to-run; there is deliberately no `thread_rng()` or
+//! OS-entropy constructor here. Golden-value tests in
+//! `tests/tests/hermetic.rs` pin the exact output streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core generator interface: a source of uniform raw bits.
+pub trait RngCore {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniform bits (low half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    /// Fill `dest` with uniform bytes (little-endian 8-byte blocks).
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&last[..rest.len()]);
+        }
+    }
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64` by expanding it through SplitMix64 —
+    /// the same derivation upstream `rand` uses, so seeds keep their
+    /// meaning across the shim boundary.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64: expands a 64-bit seed into a stream of well-mixed words.
+/// Used only for seeding (never as the workload generator itself).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Types samplable uniformly over their whole domain (`rng.gen()`);
+/// the shim's equivalent of sampling `rand`'s `Standard` distribution.
+pub trait Standard: Sized {
+    /// Draw one uniform value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        // Top bit, like upstream.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types `gen_range` can sample uniformly between two bounds. The single
+/// generic [`SampleRange`] impl below dispatches through this trait, so
+/// integer-literal ranges unify with the surrounding expression's type
+/// exactly as they do with upstream `rand`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw uniformly from `[lo, hi)` (`inclusive = false`) or
+    /// `[lo, hi]` (`inclusive = true`). Panics when the range is empty.
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+        -> Self;
+}
+
+/// Uniform draw from `[0, n)` without modulo bias: rejection-sample the
+/// zone that divides evenly into `n`.
+#[inline]
+fn next_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let zone = u64::MAX - (u64::MAX - n + 1) % n;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+            ) -> $t {
+                assert!(
+                    if inclusive { lo <= hi } else { lo < hi },
+                    "gen_range called with empty range"
+                );
+                // Width in the unsigned 64-bit domain (two's-complement
+                // subtraction is order-preserving for signed types too).
+                let width = (hi as u64).wrapping_sub(lo as u64);
+                if inclusive {
+                    if width == u64::MAX {
+                        // Full 64-bit domain: every raw draw is in range.
+                        return lo.wrapping_add(rng.next_u64() as $t);
+                    }
+                    lo.wrapping_add(next_below(rng, width + 1) as $t)
+                } else {
+                    lo.wrapping_add(next_below(rng, width) as $t)
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64, inclusive: bool) -> f64 {
+        assert!(
+            if inclusive { lo <= hi } else { lo < hi },
+            "gen_range called with empty range"
+        );
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: f32, hi: f32, inclusive: bool) -> f32 {
+        assert!(
+            if inclusive { lo <= hi } else { lo < hi },
+            "gen_range called with empty range"
+        );
+        lo + f32::sample(rng) * (hi - lo)
+    }
+}
+
+/// Ranges a value can be drawn from (`rng.gen_range(..)`).
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range. Panics on empty ranges.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Slice types [`Rng::fill`] can populate in place.
+pub trait Fill {
+    /// Overwrite `self` with uniform random content.
+    fn try_fill<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    #[inline]
+    fn try_fill<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`] — the `rand::Rng` subset the workspace calls.
+pub trait Rng: RngCore {
+    /// A uniform value over `T`'s whole domain.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform value in `range`.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Fill `dest` with random content.
+    #[inline]
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.try_fill(self);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators (upstream layout: `rand::rngs::SmallRng`).
+
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256++ — the algorithm behind upstream `SmallRng` on 64-bit
+    /// targets. Not cryptographic; fast, small, and good enough for
+    /// workload synthesis and property-test case generation.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> SmallRng {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // The all-zero state is a fixed point of xoshiro; redirect it
+            // through SplitMix64 like upstream.
+            if s == [0; 4] {
+                return SmallRng::seed_from_u64(0);
+            }
+            SmallRng { s }
+        }
+
+        fn seed_from_u64(state: u64) -> SmallRng {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u16..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(3u8..=5);
+            assert!((3..=5).contains(&w));
+            let f = rng.gen_range(1e-12..1.0f64);
+            assert!((1e-12..1.0).contains(&f));
+            let neg = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "{hits} hits for p=0.25");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut buf = [0u8; 13];
+        rng.fill(&mut buf[..]);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn zero_full_seed_is_redirected() {
+        let mut z = SmallRng::from_seed([0; 32]);
+        assert_ne!(z.next_u64(), 0);
+    }
+}

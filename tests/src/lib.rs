@@ -5,6 +5,8 @@
 use gs_packet::{CapPacket, PacketView};
 use std::collections::BTreeMap;
 
+pub mod prop;
+
 /// Oracle: per-second counts of TCP packets to `port`, computed by direct
 /// iteration (no query engine involved).
 pub fn oracle_port_counts(pkts: &[CapPacket], port: u16) -> BTreeMap<u64, u64> {

@@ -1,0 +1,204 @@
+//! A small deterministic property-test harness.
+//!
+//! Replaces the external `proptest` dev-dependency (hermetic build: no
+//! registry crates). Each property runs a fixed number of cases; every
+//! case gets a fresh `SmallRng` whose seed is derived from the property
+//! name and the case index, so failures are reproducible bit-for-bit on
+//! any machine — there is no shrinking, but the failure report names the
+//! case index and seed, and `check_seed` replays a single case under a
+//! debugger.
+//!
+//! ```no_run
+//! use gs_tests::prop::{check, Gen};
+//!
+//! check("addition_commutes", 256, |g| {
+//!     let (a, b) = (g.u64(0..1000), g.u64(0..1000));
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Default case count, matching the `ProptestConfig` the replaced suites
+/// used most often.
+pub const DEFAULT_CASES: usize = 256;
+
+/// Per-case random source with ergonomic draw helpers. `Deref`s to the
+/// underlying [`SmallRng`], so `rand::Rng` methods work directly too.
+pub struct Gen {
+    rng: SmallRng,
+}
+
+impl Gen {
+    /// Uniform `u8` in `range`.
+    pub fn u8(&mut self, range: std::ops::Range<u8>) -> u8 {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform `u16` in `range`.
+    pub fn u16(&mut self, range: std::ops::Range<u16>) -> u16 {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform `u32` in `range`.
+    pub fn u32(&mut self, range: std::ops::Range<u32>) -> u32 {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform `u64` in `range`.
+    pub fn u64(&mut self, range: std::ops::Range<u64>) -> u64 {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform `usize` in `range`.
+    pub fn usize(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.rng.gen_range(range)
+    }
+
+    /// A value over the whole domain (`any::<T>()` equivalent).
+    pub fn any<T: rand::Standard>(&mut self) -> T {
+        self.rng.gen()
+    }
+
+    /// `true` with probability 1/2.
+    pub fn bool(&mut self) -> bool {
+        self.rng.gen()
+    }
+
+    /// A `Vec` with length drawn from `len` and elements from `f`
+    /// (`proptest::collection::vec` equivalent).
+    pub fn vec_with<T>(
+        &mut self,
+        len: std::ops::Range<usize>,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.usize(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A `Vec<u8>` of arbitrary bytes with length drawn from `len`.
+    pub fn bytes(&mut self, len: std::ops::Range<usize>) -> Vec<u8> {
+        self.vec_with(len, |g| g.any())
+    }
+
+    /// One uniformly chosen element of `options`.
+    pub fn choice<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[self.rng.gen_range(0..options.len())]
+    }
+
+    /// A string of `len` characters drawn uniformly from `alphabet`.
+    pub fn string_of(&mut self, alphabet: &[u8], len: std::ops::Range<usize>) -> String {
+        let n = self.usize(len);
+        (0..n).map(|_| *self.choice(alphabet) as char).collect()
+    }
+
+    /// `Some(f(..))` with probability 1/2 (`proptest::option::of`).
+    pub fn option<T>(&mut self, mut f: impl FnMut(&mut Gen) -> T) -> Option<T> {
+        if self.bool() {
+            Some(f(self))
+        } else {
+            None
+        }
+    }
+
+    /// The raw generator, for `rand::Rng` calls the helpers don't cover.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// Stable 64-bit FNV-1a over the property name: case seeds must not move
+/// when unrelated properties are added or reordered.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The seed for one case of one property.
+pub fn case_seed(name: &str, case: usize) -> u64 {
+    fnv1a(name) ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Run `cases` deterministic cases of property `f`; panics with the
+/// property name, case index, and replay seed on the first failure.
+pub fn check(name: &str, cases: usize, mut f: impl FnMut(&mut Gen)) {
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut g = Gen { rng: SmallRng::seed_from_u64(seed) };
+            f(&mut g);
+        }));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!(
+                "property `{name}` failed at case {case}/{cases} \
+                 (replay: gs_tests::prop::check_seed({seed:#018x}, ..)):\n{msg}"
+            );
+        }
+    }
+}
+
+/// Replay a single case from a seed reported by [`check`].
+pub fn check_seed(seed: u64, mut f: impl FnMut(&mut Gen)) {
+    let mut g = Gen { rng: SmallRng::seed_from_u64(seed) };
+    f(&mut g);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(case_seed("p", 3), case_seed("p", 3));
+        assert_ne!(case_seed("p", 3), case_seed("p", 4));
+        assert_ne!(case_seed("p", 3), case_seed("q", 3));
+    }
+
+    #[test]
+    fn failure_reports_name_case_and_seed() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            check("always_fails", 5, |_| panic!("boom"));
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("case 0/5"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn cases_vary_and_replay_identically() {
+        let mut first = Vec::new();
+        check("varies", 10, |g| first.push(g.u64(0..1_000_000)));
+        let mut second = Vec::new();
+        check("varies", 10, |g| second.push(g.u64(0..1_000_000)));
+        assert_eq!(first, second, "same property, same draws");
+        first.dedup();
+        assert!(first.len() > 5, "cases draw different values");
+    }
+
+    #[test]
+    fn helpers_cover_domains() {
+        check("helpers", 64, |g| {
+            assert!(g.u8(1..5) < 5);
+            let v = g.vec_with(0..4, |g| g.u16(0..10));
+            assert!(v.len() < 4);
+            let s = g.string_of(b"ab", 1..4);
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+            let _ = g.option(|g| g.bool());
+            let b = g.bytes(0..16);
+            assert!(b.len() < 16);
+        });
+    }
+}

@@ -1,121 +1,191 @@
 //! Property tests on the GSQL front end: print/reparse stability, lexer
 //! robustness, and window-extraction consistency.
+//!
+//! Runs on the in-repo deterministic harness ([`gs_tests::prop`]); the
+//! property assertions are unchanged from the original proptest suite.
 
 use gs_gsql::ast::{BinOp, Expr, Query, QueryBody, SelectBody, SelectItem, TableRef};
 use gs_gsql::catalog::{Catalog, InterfaceDef};
 use gs_gsql::pretty::print_query;
 use gs_packet::capture::LinkType;
-use proptest::prelude::*;
+use gs_tests::prop::{check, Gen, DEFAULT_CASES};
 
-fn arb_name() -> impl Strategy<Value = String> {
-    "[a-z][a-zA-Z0-9_]{0,6}".prop_filter("not a keyword", |s| {
-        !matches!(
+fn arb_name(g: &mut Gen) -> String {
+    loop {
+        let mut s = g.string_of(b"abcdefghijklmnopqrstuvwxyz", 1..2);
+        s.push_str(&g.string_of(
+            b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_",
+            0..7,
+        ));
+        let keyword = matches!(
             s.to_ascii_uppercase().as_str(),
             "SELECT" | "FROM" | "WHERE" | "GROUP" | "BY" | "HAVING" | "AS" | "AND" | "OR"
                 | "NOT" | "MERGE" | "DEFINE" | "TRUE" | "FALSE"
-        )
-    })
-}
-
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        arb_name().prop_map(|n| Expr::Column { qualifier: None, name: n }),
-        (arb_name(), arb_name())
-            .prop_map(|(q, n)| Expr::Column { qualifier: Some(q), name: n }),
-        (0u64..10_000).prop_map(Expr::UIntLit),
-        any::<bool>().prop_map(Expr::BoolLit),
-        any::<u32>().prop_map(Expr::IpLit),
-        "[a-z ]{0,8}".prop_map(Expr::StrLit),
-        arb_name().prop_map(Expr::Param),
-    ];
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(l, r, op)| Expr::Binary {
-                op,
-                left: Box::new(l),
-                right: Box::new(r),
-            }),
-            inner.clone().prop_map(|a| Expr::Unary {
-                op: gs_gsql::ast::UnOp::Not,
-                arg: Box::new(a)
-            }),
-            (arb_name(), proptest::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(n, args)| Expr::Func { name: n, args }),
-        ]
-    })
-}
-
-fn arb_binop() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Div),
-        Just(BinOp::Mod),
-        Just(BinOp::And),
-        Just(BinOp::Or),
-        Just(BinOp::Eq),
-        Just(BinOp::Ne),
-        Just(BinOp::Lt),
-        Just(BinOp::Le),
-        Just(BinOp::Gt),
-        Just(BinOp::Ge),
-        Just(BinOp::BitAnd),
-        Just(BinOp::BitOr),
-        Just(BinOp::BitXor),
-    ]
-}
-
-fn arb_query() -> impl Strategy<Value = Query> {
-    (
-        arb_name(),
-        proptest::collection::vec((arb_expr(), proptest::option::of(arb_name())), 1..4),
-        arb_name(),
-        proptest::option::of(arb_expr()),
-        proptest::collection::vec((arb_expr(), proptest::option::of(arb_name())), 0..3),
-    )
-        .prop_map(|(qname, projs, table, where_c, group)| Query {
-            defines: vec![("query_name".into(), qname)],
-            body: QueryBody::Select(SelectBody {
-                projections: projs
-                    .into_iter()
-                    .map(|(e, a)| SelectItem { expr: e, alias: a })
-                    .collect(),
-                from: vec![TableRef { interface: None, name: table, alias: None }],
-                where_clause: where_c,
-                group_by: group
-                    .into_iter()
-                    .map(|(e, a)| SelectItem { expr: e, alias: a })
-                    .collect(),
-                having: None,
-            }),
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn print_reparse_is_identity(q in arb_query()) {
-        let text = print_query(&q);
-        let q2 = gs_gsql::parse_query(&text)
-            .unwrap_or_else(|e| panic!("printed query failed to reparse: {e}\n{text}"));
-        prop_assert_eq!(q, q2, "roundtrip changed the AST:\n{}", text);
+        );
+        if !keyword {
+            return s;
+        }
     }
+}
 
-    #[test]
-    fn lexer_never_panics(src in "\\PC{0,64}") {
+const BINOPS: &[BinOp] = &[
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Mod,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+    BinOp::BitAnd,
+    BinOp::BitOr,
+    BinOp::BitXor,
+];
+
+fn arb_leaf(g: &mut Gen) -> Expr {
+    match g.usize(0..7) {
+        0 => Expr::Column { qualifier: None, name: arb_name(g) },
+        1 => Expr::Column { qualifier: Some(arb_name(g)), name: arb_name(g) },
+        2 => Expr::UIntLit(g.u64(0..10_000)),
+        3 => Expr::BoolLit(g.bool()),
+        4 => Expr::IpLit(g.any()),
+        5 => Expr::StrLit(g.string_of(b"abcdefghijklmnopqrstuvwxyz ", 0..8)),
+        _ => Expr::Param(arb_name(g)),
+    }
+}
+
+fn arb_expr_depth(g: &mut Gen, depth: usize) -> Expr {
+    if depth == 0 || g.usize(0..4) == 0 {
+        return arb_leaf(g);
+    }
+    match g.usize(0..3) {
+        0 => Expr::Binary {
+            op: *g.choice(BINOPS),
+            left: Box::new(arb_expr_depth(g, depth - 1)),
+            right: Box::new(arb_expr_depth(g, depth - 1)),
+        },
+        1 => Expr::Unary {
+            op: gs_gsql::ast::UnOp::Not,
+            arg: Box::new(arb_expr_depth(g, depth - 1)),
+        },
+        _ => {
+            let name = arb_name(g);
+            let args = g.vec_with(0..3, |g| arb_expr_depth(g, depth - 1));
+            Expr::Func { name, args }
+        }
+    }
+}
+
+fn arb_expr(g: &mut Gen) -> Expr {
+    arb_expr_depth(g, 4)
+}
+
+fn arb_query(g: &mut Gen) -> Query {
+    let qname = arb_name(g);
+    let projs = g.vec_with(1..4, |g| (arb_expr(g), g.option(arb_name)));
+    let table = arb_name(g);
+    let where_c = g.option(arb_expr);
+    let group = g.vec_with(0..3, |g| (arb_expr(g), g.option(arb_name)));
+    Query {
+        defines: vec![("query_name".into(), qname)],
+        body: QueryBody::Select(SelectBody {
+            projections: projs
+                .into_iter()
+                .map(|(e, a)| SelectItem { expr: e, alias: a })
+                .collect(),
+            from: vec![TableRef { interface: None, name: table, alias: None }],
+            where_clause: where_c,
+            group_by: group
+                .into_iter()
+                .map(|(e, a)| SelectItem { expr: e, alias: a })
+                .collect(),
+            having: None,
+        }),
+    }
+}
+
+fn assert_print_reparse_identity(q: &Query) {
+    let text = print_query(q);
+    let q2 = gs_gsql::parse_query(&text)
+        .unwrap_or_else(|e| panic!("printed query failed to reparse: {e}\n{text}"));
+    assert_eq!(*q, q2, "roundtrip changed the AST:\n{text}");
+}
+
+#[test]
+fn print_reparse_is_identity() {
+    check("print_reparse_is_identity", DEFAULT_CASES, |g| {
+        assert_print_reparse_identity(&arb_query(g));
+    });
+}
+
+/// Regression pinned from the retired proptest suite's saved-seed file:
+/// a WHERE clause whose left operand is itself an `Eq` chain,
+/// `(a = a) = a`, must survive print → reparse with its shape intact.
+#[test]
+fn print_reparse_regression_nested_eq() {
+    let a = || Expr::Column { qualifier: None, name: "a".into() };
+    let q = Query {
+        defines: vec![("query_name".into(), "a".into())],
+        body: QueryBody::Select(SelectBody {
+            projections: vec![SelectItem { expr: a(), alias: None }],
+            from: vec![TableRef { interface: None, name: "a".into(), alias: None }],
+            where_clause: Some(Expr::Binary {
+                op: BinOp::Eq,
+                left: Box::new(Expr::Binary {
+                    op: BinOp::Eq,
+                    left: Box::new(a()),
+                    right: Box::new(a()),
+                }),
+                right: Box::new(a()),
+            }),
+            group_by: vec![],
+            having: None,
+        }),
+    };
+    assert_print_reparse_identity(&q);
+}
+
+#[test]
+fn lexer_never_panics() {
+    check("lexer_never_panics", DEFAULT_CASES, |g| {
+        // Printable unicode plus awkward ASCII, like the original `\PC`.
+        let src: String = (0..g.usize(0..64))
+            .map(|_| {
+                if g.bool() {
+                    char::from(g.u8(0x20..0x7f))
+                } else {
+                    char::from_u32(g.u32(0xa0..0x2000)).unwrap_or('¤')
+                }
+            })
+            .collect();
         let _ = gs_gsql::lexer::lex(&src);
-    }
+    });
+}
 
-    #[test]
-    fn parser_never_panics(src in "[a-zA-Z0-9_.,;:()'$*/+<>=&|^ \\n-]{0,96}") {
+#[test]
+fn parser_never_panics() {
+    check("parser_never_panics", DEFAULT_CASES, |g| {
+        let src = g.string_of(
+            b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.,;:()'$*/+<>=&|^ \n-",
+            0..97,
+        );
         let _ = gs_gsql::parse_query(&src);
         let _ = gs_gsql::parse_program(&src);
-    }
+    });
+}
 
-    #[test]
-    fn analyzer_never_panics_on_valid_parse(src in "[a-zA-Z0-9_.,;()'$* ]{0,64}") {
+#[test]
+fn analyzer_never_panics_on_valid_parse() {
+    check("analyzer_never_panics_on_valid_parse", DEFAULT_CASES, |g| {
+        let src = g.string_of(
+            b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.,;()'$* ",
+            0..65,
+        );
         if let Ok(q) = gs_gsql::parse_query(&src) {
             let mut catalog = Catalog::with_builtins();
             catalog.add_interface(InterfaceDef {
@@ -125,10 +195,14 @@ proptest! {
             });
             let _ = gs_gsql::analyze(&q, &catalog);
         }
-    }
+    });
+}
 
-    #[test]
-    fn window_bounds_are_consistent(k1 in 0i64..50, k2 in 0i64..50) {
+#[test]
+fn window_bounds_are_consistent() {
+    check("window_bounds_are_consistent", DEFAULT_CASES, |g| {
+        let k1 = g.u64(0..50) as i64;
+        let k2 = g.u64(0..50) as i64;
         // B.time >= C.time - k1 AND B.time <= C.time + k2 must extract
         // window [-k1, k2] whenever non-empty.
         let src = format!(
@@ -141,9 +215,9 @@ proptest! {
         let q = gs_gsql::parse_query(&src).unwrap();
         let aq = gs_gsql::analyze(&q, &catalog).unwrap();
         let gs_gsql::plan::Plan::Join { window, .. } = &aq.plan else {
-            return Err(TestCaseError::fail("expected join plan"));
+            panic!("expected join plan");
         };
-        prop_assert_eq!(window.lo, -k1);
-        prop_assert_eq!(window.hi, k2);
-    }
+        assert_eq!(window.lo, -k1);
+        assert_eq!(window.hi, k2);
+    });
 }

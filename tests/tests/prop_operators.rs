@@ -1,6 +1,9 @@
 //! Property tests on operator invariants: merge sortedness, LFTA/HFTA
 //! aggregation equivalence, LPM-vs-linear-scan agreement, and shedder
 //! conservation.
+//!
+//! Runs on the in-repo deterministic harness ([`gs_tests::prop`]); the
+//! property assertions are unchanged from the original proptest suite.
 
 use gs_gsql::ast::AggFunc;
 use gs_gsql::plan::PExpr;
@@ -15,7 +18,7 @@ use gs_runtime::tuple::{tuples_of, StreamItem, Tuple};
 use gs_runtime::udf::lpm::LpmTrie;
 use gs_runtime::udf::{FileStore, UdfRegistry};
 use gs_runtime::{ParamBindings, Value};
-use proptest::prelude::*;
+use gs_tests::prop::{check, Gen, DEFAULT_CASES};
 use std::collections::BTreeMap;
 
 fn col_prog(i: usize) -> Program {
@@ -28,19 +31,19 @@ fn col_prog(i: usize) -> Program {
     .unwrap()
 }
 
-/// Sorted input streams for the merge.
-fn arb_sorted(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(0u64..500, 0..max_len).prop_map(|mut v| {
-        v.sort_unstable();
-        v
-    })
+/// Sorted input stream for the merge.
+fn arb_sorted(g: &mut Gen, max_len: usize) -> Vec<u64> {
+    let mut v = g.vec_with(0..max_len, |g| g.u64(0..500));
+    v.sort_unstable();
+    v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn merge_output_is_sorted_union(a in arb_sorted(60), b in arb_sorted(60), c in arb_sorted(60)) {
+#[test]
+fn merge_output_is_sorted_union() {
+    check("merge_output_is_sorted_union", DEFAULT_CASES, |g| {
+        let a = arb_sorted(g, 60);
+        let b = arb_sorted(g, 60);
+        let c = arb_sorted(g, 60);
         let mut m = MergeOp::new(3, 0, vec![0, 0, 0]);
         let mut out = Vec::new();
         // Round-robin feed preserving each stream's internal order.
@@ -68,29 +71,31 @@ proptest! {
             tuples_of(out).iter().map(|t| t.get(0).as_uint().unwrap()).collect();
         let mut expected = [a.clone(), b.clone(), c.clone()].concat();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected, "merge must be a sorted union");
-    }
+        assert_eq!(got, expected, "merge must be a sorted union");
+    });
+}
 
-    #[test]
-    fn split_aggregation_equals_exact(
-        rows in proptest::collection::vec((0u64..20, 0u64..8, 1u64..100), 0..300),
-        table_bits in 0u32..6,
-    ) {
+#[test]
+fn split_aggregation_equals_exact() {
+    check("split_aggregation_equals_exact", DEFAULT_CASES, |g| {
         // Input rows (bucket, key, weight), bucket nondecreasing after sort.
-        let mut rows = rows;
+        let mut rows = g.vec_with(0..300, |g| (g.u64(0..20), g.u64(0..8), g.u64(1..100)));
+        let table_bits = g.u32(0..6);
         rows.sort_by_key(|r| r.0);
 
-        let mk_core = || AggCore::new(
-            vec![col_prog(0), col_prog(1)],
-            vec![
-                (AggFunc::Count, None, DataType::UInt),
-                (AggFunc::Sum, Some(col_prog(2)), DataType::UInt),
-                (AggFunc::Min, Some(col_prog(2)), DataType::UInt),
-                (AggFunc::Max, Some(col_prog(2)), DataType::UInt),
-            ],
-            Some(0),
-            0,
-        );
+        let mk_core = || {
+            AggCore::new(
+                vec![col_prog(0), col_prog(1)],
+                vec![
+                    (AggFunc::Count, None, DataType::UInt),
+                    (AggFunc::Sum, Some(col_prog(2)), DataType::UInt),
+                    (AggFunc::Min, Some(col_prog(2)), DataType::UInt),
+                    (AggFunc::Max, Some(col_prog(2)), DataType::UInt),
+                ],
+                Some(0),
+                0,
+            )
+        };
         // Combine partials: count->sum(col2), sum->sum(col3), min->min(col4), max->max(col5).
         let combine = AggCore::new(
             vec![col_prog(0), col_prog(1)],
@@ -139,28 +144,33 @@ proptest! {
                 })
                 .collect()
         };
-        prop_assert_eq!(
+        assert_eq!(
             as_map(combined),
             as_map(direct),
             "LFTA partials + HFTA combine must equal exact aggregation"
         );
-    }
+    });
+}
 
-    #[test]
-    fn lpm_trie_agrees_with_linear_scan(seed in any::<u64>(), addrs in proptest::collection::vec(any::<u32>(), 1..64)) {
+#[test]
+fn lpm_trie_agrees_with_linear_scan() {
+    check("lpm_trie_agrees_with_linear_scan", DEFAULT_CASES, |g| {
+        let seed: u64 = g.any();
+        let addrs = g.vec_with(1..64, |g| g.any::<u32>());
         let entries = generate_prefixes(seed, 25);
         let trie = LpmTrie::parse_table(&render_table(&entries)).unwrap();
         for a in addrs {
-            prop_assert_eq!(trie.lookup(a), reference_lpm(&entries, a), "addr {:#x}", a);
+            assert_eq!(trie.lookup(a), reference_lpm(&entries, a), "addr {a:#x}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn shedder_conserves_items(
-        offers in proptest::collection::vec((0u32..6, any::<u8>()), 0..200),
-        cap in 1usize..32,
-        lpf in any::<bool>(),
-    ) {
+#[test]
+fn shedder_conserves_items() {
+    check("shedder_conserves_items", DEFAULT_CASES, |g| {
+        let offers = g.vec_with(0..200, |g| (g.u32(0..6), g.any::<u8>()));
+        let cap = g.usize(1..32);
+        let lpf: bool = g.bool();
         let policy = if lpf { DropPolicy::LeastProcessedFirst } else { DropPolicy::TailDrop };
         let mut s: Shedder<u8> = Shedder::new(cap, policy);
         let mut popped = 0u64;
@@ -175,18 +185,19 @@ proptest! {
         while s.pop().is_some() {
             rest += 1;
         }
-        prop_assert_eq!(
+        assert_eq!(
             popped + rest + s.total_dropped(),
             offers.len() as u64,
             "every offered item is delivered or counted dropped"
         );
-    }
+    });
+}
 
-    #[test]
-    fn banded_merge_never_out_of_band(
-        base in arb_sorted(80),
-        jitter in proptest::collection::vec(0u64..5, 0..80),
-    ) {
+#[test]
+fn banded_merge_never_out_of_band() {
+    check("banded_merge_never_out_of_band", DEFAULT_CASES, |g| {
+        let base = arb_sorted(g, 80);
+        let jitter = g.vec_with(0..80, |g| g.u64(0..5));
         // Input 0 is banded(5): values may lag the watermark by up to 5.
         let banded: Vec<u64> = base
             .iter()
@@ -207,20 +218,17 @@ proptest! {
         // Output is the sorted multiset union.
         let mut expected = [banded, base].concat();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
 }
 
 use gs_runtime::ops::join::{EmitMode, JoinConfig, JoinOp};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn sorted_join_always_monotone_banded_join_same_multiset(
-        base in proptest::collection::vec(0u64..200, 1..120),
-        jitter in proptest::collection::vec(0u64..4, 1..120),
-    ) {
+#[test]
+fn sorted_join_always_monotone_banded_join_same_multiset() {
+    check("sorted_join_always_monotone_banded_join_same_multiset", 128, |g| {
+        let base = g.vec_with(1..120, |g| g.u64(0..200));
+        let jitter = g.vec_with(1..120, |g| g.u64(0..4));
         // Both inputs banded(4): values lag a sorted walk by up to 4.
         let mut sorted_base = base.clone();
         sorted_base.sort_unstable();
@@ -260,15 +268,14 @@ proptest! {
         };
         let banded = run(mk(EmitMode::Banded));
         let sorted = run(mk(EmitMode::Sorted));
-        prop_assert!(
+        assert!(
             sorted.windows(2).all(|w| w[0] <= w[1]),
-            "sorted emission must be monotone: {:?}",
-            sorted
+            "sorted emission must be monotone: {sorted:?}"
         );
         let norm = |mut v: Vec<u64>| {
             v.sort_unstable();
             v
         };
-        prop_assert_eq!(norm(banded), norm(sorted), "emit mode must not change results");
-    }
+        assert_eq!(norm(banded), norm(sorted), "emit mode must not change results");
+    });
 }

@@ -7,6 +7,9 @@
 //! path embeds the protocol guard, and a false mismatch in either
 //! direction would either lose qualifying packets or leak work the LFTA
 //! then filters (safe but wasteful; a loss is a correctness bug).
+//!
+//! Runs on the in-repo deterministic harness ([`gs_tests::prop`]); the
+//! property assertions are unchanged from the original proptest suite.
 
 use gs_gsql::ast::BinOp;
 use gs_gsql::plan::{Literal, PExpr};
@@ -18,50 +21,50 @@ use gs_packet::PacketView;
 use gs_runtime::expr::{EvalScratch, PacketFields, Program};
 use gs_runtime::udf::{FileStore, UdfRegistry};
 use gs_runtime::ParamBindings;
-use proptest::prelude::*;
+use gs_tests::prop::{check, Gen};
 use std::collections::HashMap;
 
 /// Fields the pushdown compiler knows, with generators for literal values
 /// in a range that straddles realistic packet values.
-const FIELDS: &[&str] = &["Protocol", "tos", "ttl", "id", "totalLen", "srcIP", "destIP", "srcPort", "destPort"];
+const FIELDS: &[&str] =
+    &["Protocol", "tos", "ttl", "id", "totalLen", "srcIP", "destIP", "srcPort", "destPort"];
 
-fn arb_cmp() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Eq),
-        Just(BinOp::Ne),
-        Just(BinOp::Lt),
-        Just(BinOp::Le),
-        Just(BinOp::Gt),
-        Just(BinOp::Ge),
-    ]
-}
+const CMPS: &[BinOp] = &[BinOp::Eq, BinOp::Ne, BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge];
 
 /// One conjunct: (field index, op, literal).
-fn arb_conjunct() -> impl Strategy<Value = (usize, BinOp, u64)> {
-    (0..FIELDS.len(), arb_cmp(), prop_oneof![0u64..100, Just(80u64), Just(6), Just(64), 0u64..70000])
+fn arb_conjunct(g: &mut Gen) -> (usize, BinOp, u64) {
+    let field = g.usize(0..FIELDS.len());
+    let op = *g.choice(CMPS);
+    let lit = match g.usize(0..4) {
+        0 => g.u64(0..100),
+        1 => 80,
+        2 => *g.choice(&[6u64, 64]),
+        _ => g.u64(0..70000),
+    };
+    (field, op, lit)
 }
 
-fn arb_packet() -> impl Strategy<Value = CapPacket> {
-    (
-        any::<u32>(),           // src
-        any::<u32>(),           // dst
-        1024u16..65535,         // sport
-        prop_oneof![Just(80u16), Just(443), 1u16..1024], // dport
-        0u8..=255,              // ttl
-        0u8..=255,              // tos
-        any::<u16>(),           // id
-        0usize..200,            // payload
-        any::<bool>(),          // tcp or udp
-    )
-        .prop_map(|(src, dst, sport, dport, ttl, tos, id, plen, is_tcp)| {
-            let pay = vec![0xAAu8; plen];
-            let frame = if is_tcp {
-                FrameBuilder::tcp(src, dst, sport, dport).ttl(ttl).tos(tos).ip_id(id).payload(&pay).build_ethernet()
-            } else {
-                FrameBuilder::udp(src, dst, sport, dport).ttl(ttl).tos(tos).ip_id(id).payload(&pay).build_ethernet()
-            };
-            CapPacket::full(0, 0, LinkType::Ethernet, frame)
-        })
+fn arb_packet(g: &mut Gen) -> CapPacket {
+    let src: u32 = g.any();
+    let dst: u32 = g.any();
+    let sport = g.u16(1024..65535);
+    let dport = match g.usize(0..3) {
+        0 => 80,
+        1 => 443,
+        _ => g.u16(1..1024),
+    };
+    let ttl: u8 = g.any();
+    let tos: u8 = g.any();
+    let id: u16 = g.any();
+    let plen = g.usize(0..200);
+    let is_tcp: bool = g.bool();
+    let pay = vec![0xAAu8; plen];
+    let frame = if is_tcp {
+        FrameBuilder::tcp(src, dst, sport, dport).ttl(ttl).tos(tos).ip_id(id).payload(&pay).build_ethernet()
+    } else {
+        FrameBuilder::udp(src, dst, sport, dport).ttl(ttl).tos(tos).ip_id(id).payload(&pay).build_ethernet()
+    };
+    CapPacket::full(0, 0, LinkType::Ethernet, frame)
 }
 
 fn tcp_col(name: &str) -> PExpr {
@@ -71,14 +74,11 @@ fn tcp_col(name: &str) -> PExpr {
     PExpr::Col { index: i, ty }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(384))]
-
-    #[test]
-    fn bpf_pushdown_agrees_with_interpreter(
-        conjuncts in proptest::collection::vec(arb_conjunct(), 1..4),
-        pkts in proptest::collection::vec(arb_packet(), 1..24),
-    ) {
+#[test]
+fn bpf_pushdown_agrees_with_interpreter() {
+    check("bpf_pushdown_agrees_with_interpreter", 384, |g| {
+        let conjuncts = g.vec_with(1..4, arb_conjunct);
+        let pkts = g.vec_with(1..24, arb_packet);
         // Build the predicate both ways.
         let pexprs: Vec<PExpr> = conjuncts
             .iter()
@@ -108,7 +108,7 @@ proptest! {
             None,
         );
         let Some(bpf) = pd.program else {
-            return Err(TestCaseError::fail("tcp prefilter must always compile"));
+            panic!("tcp prefilter must always compile");
         };
         // Literals > u32::MAX are skipped by the compiler; only compiled
         // conjuncts participate in the equivalence check.
@@ -132,7 +132,7 @@ proptest! {
                 let src = PacketFields::new(&view, proto.fields);
                 progs.iter().all(|p| p.eval_bool(&src, &mut scratch))
             };
-            prop_assert_eq!(
+            assert_eq!(
                 bpf_accepts,
                 interp_accepts,
                 "BPF and interpreter disagree for {:?} on a {} packet",
@@ -140,5 +140,5 @@ proptest! {
                 if is_tcp { "tcp" } else { "non-tcp" }
             );
         }
-    }
+    });
 }
