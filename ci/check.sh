@@ -18,6 +18,13 @@ cargo test -q --offline
 echo "== offline bench compile =="
 cargo bench -p gs-bench --no-run --offline
 
+echo "== bench smoke run (quick mode) =="
+# One single-iteration sample per benchmark: proves the bench path runs
+# end to end (including the target/bench.json report) without spending
+# CI time on real measurements. Hermetic — in-repo harness only.
+GS_BENCH_QUICK=1 cargo bench -p gs-bench --offline
+test -f target/bench.json || { echo "FAIL: bench.json not written" >&2; exit 1; }
+
 echo "== manifest gate: no registry dependencies =="
 # Every dependency declaration in every manifest must be a path dependency
 # (or the bare workspace = true inheritance of one). Anything with a

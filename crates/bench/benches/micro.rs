@@ -305,6 +305,63 @@ fn bench_merge_join(c: &mut Criterion) {
     g.finish();
 }
 
+/// End-to-end deployment throughput: packets → inline LFTA → bounded
+/// channel → HFTA aggregate thread → subscription collectors. The query
+/// is a named-stream composition so the LFTA is a pure projection: one
+/// tuple per packet crosses the ready-queue, making transport cost (not
+/// operator cost) the measured quantity. Both streams are subscribed —
+/// "both streams are available to the application" (paper §3) — so the
+/// raw stream fans out to two consumers, exercising the batch-level
+/// cloning rule. `threaded_per_item` is the same pipeline at batch size
+/// 1 — the pre-batching transport — and the `threaded_batch_*` points
+/// sweep the size knob.
+fn bench_manager(c: &mut Criterion) {
+    use gigascope::manager::run_threaded;
+    use gigascope::Gigascope;
+
+    const N: usize = 20_000;
+    let pkts: Vec<CapPacket> = (0..N)
+        .map(|i| {
+            let f = FrameBuilder::tcp(0x0a000001 + (i % 7) as u32, 0xc0a80001, 1024, 80)
+                .payload(b"x")
+                .build_ethernet();
+            // 2000 packets per second of stream time: the aggregate
+            // closes a group (and the heartbeat punctuates) every 2000
+            // tuples.
+            CapPacket::full(i as u64 * 500_000, 0, LinkType::Ethernet, f)
+        })
+        .collect();
+    let mk = |batch: usize| {
+        let mut gs = Gigascope::new();
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+        gs.batch_size = batch;
+        gs.add_program(
+            "DEFINE { query_name raw; } Select time, len From eth0.tcp; \
+             DEFINE { query_name persec; } \
+             Select time, count(*), sum(len) From raw Group By time",
+        )
+        .unwrap();
+        gs
+    };
+    let mut g = c.benchmark_group("manager");
+    g.throughput(Throughput::Elements(N as u64));
+    let gs = mk(256);
+    g.bench_function("threaded_throughput", |b| {
+        b.iter(|| run_threaded(&gs, pkts.iter().cloned(), &["raw", "persec"]).unwrap())
+    });
+    let gs1 = mk(1);
+    g.bench_function("threaded_per_item", |b| {
+        b.iter(|| run_threaded(&gs1, pkts.iter().cloned(), &["raw", "persec"]).unwrap())
+    });
+    for batch in [8usize, 64, 1024] {
+        let gsb = mk(batch);
+        g.bench_function(&format!("threaded_batch_{batch}"), |b| {
+            b.iter(|| run_threaded(&gsb, pkts.iter().cloned(), &["raw", "persec"]).unwrap())
+        });
+    }
+    g.finish();
+}
+
 fn bench_defrag(c: &mut Criterion) {
     let pkts = sample_packets(512);
     let mut g = c.benchmark_group("defrag");
@@ -333,5 +390,6 @@ fn main() {
     bench_expr(&mut c);
     bench_frontend(&mut c);
     bench_merge_join(&mut c);
+    bench_manager(&mut c);
     bench_defrag(&mut c);
 }

@@ -13,6 +13,14 @@
 //! Timing model: warm up for ~50 ms, then take several timed batches and
 //! report the *fastest* batch (minimum is the standard low-noise
 //! estimator for micro-benchmarks; variance here is one-sided).
+//!
+//! Besides the console lines, every result is recorded and written to
+//! `target/bench.json` when the [`Harness`] drops (format documented in
+//! DESIGN.md §8), so runs can be diffed mechanically.
+//!
+//! Setting `GS_BENCH_QUICK=1` switches to smoke mode — no warmup
+//! calibration, a single short sample — for CI, where the point is that
+//! the benches still *run*, not the numbers they produce.
 
 use std::time::{Duration, Instant};
 
@@ -39,32 +47,99 @@ const WARMUP: Duration = Duration::from_millis(50);
 const SAMPLE: Duration = Duration::from_millis(120);
 const SAMPLES: usize = 5;
 
+fn quick_mode() -> bool {
+    std::env::var("GS_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// One completed measurement, kept for the JSON report.
+struct Record {
+    /// `group/function` metric name.
+    id: String,
+    ns_per_iter: f64,
+    /// Rate in elements (or bytes) per second, when declared.
+    throughput: Option<f64>,
+}
+
 /// The harness root; criterion's `Criterion` stand-in (aliased so bench
-/// files keep the upstream spelling).
+/// files keep the upstream spelling). Dropping it writes
+/// `target/bench.json`.
 #[derive(Default)]
-pub struct Harness {}
+pub struct Harness {
+    records: Vec<Record>,
+}
 
 /// Upstream-compatible name for [`Harness`].
 pub type Criterion = Harness;
 
 impl Harness {
     pub fn new() -> Harness {
-        Harness {}
+        Harness::default()
     }
 
     /// Open a named benchmark group.
-    pub fn benchmark_group(&mut self, name: &str) -> Group {
-        Group { name: name.to_string(), throughput: None }
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group { name: name.to_string(), throughput: None, records: &mut self.records }
+    }
+
+    /// Serialize the recorded results (hand-rolled JSON: no serde in the
+    /// hermetic workspace). Keys are `group/function` metric names.
+    fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        for (i, r) in self.records.iter().enumerate() {
+            s.push_str(&format!(
+                "  \"{}\": {{\"ns_per_iter\": {:.1}",
+                r.id.replace('"', "\\\""),
+                r.ns_per_iter
+            ));
+            if let Some(t) = r.throughput {
+                s.push_str(&format!(", \"throughput\": {t:.1}"));
+            }
+            s.push('}');
+            if i + 1 < self.records.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push('}');
+        s.push('\n');
+        s
+    }
+}
+
+impl Drop for Harness {
+    fn drop(&mut self) {
+        if self.records.is_empty() {
+            return;
+        }
+        // `cargo bench` runs the executable with the *package* dir as cwd,
+        // so the workspace `target/` sits one or two levels up; honor
+        // CARGO_TARGET_DIR when set. Failure to write is not worth
+        // failing a bench run over.
+        let dir = std::env::var("CARGO_TARGET_DIR")
+            .map(std::path::PathBuf::from)
+            .ok()
+            .or_else(|| {
+                ["target", "../target", "../../target"]
+                    .iter()
+                    .map(std::path::PathBuf::from)
+                    .find(|p| p.is_dir())
+            })
+            .unwrap_or_else(|| std::path::PathBuf::from("target"));
+        let path = dir.join("bench.json");
+        if std::fs::write(&path, self.to_json()).is_ok() {
+            println!("results written to {}", path.display());
+        }
     }
 }
 
 /// A named group of benchmarks sharing a throughput declaration.
-pub struct Group {
+pub struct Group<'a> {
     name: String,
     throughput: Option<Throughput>,
+    records: &'a mut Vec<Record>,
 }
 
-impl Group {
+impl Group<'_> {
     /// Declare the per-iteration work, enabling the rate column.
     pub fn throughput(&mut self, t: Throughput) {
         self.throughput = Some(t);
@@ -74,16 +149,23 @@ impl Group {
     pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
         let mut b = Bencher { ns_per_iter: f64::INFINITY };
         f(&mut b);
-        let rate = match self.throughput {
+        let (rate, per_sec) = match self.throughput {
             Some(Throughput::Elements(n)) => {
-                format!("{:>10.2} Melem/s", n as f64 * 1e3 / b.ns_per_iter)
+                let per_sec = n as f64 * 1e9 / b.ns_per_iter;
+                (format!("{:>10.2} Melem/s", per_sec / 1e6), Some(per_sec))
             }
             Some(Throughput::Bytes(n)) => {
-                format!("{:>10.2} MB/s", n as f64 * 1e3 / b.ns_per_iter)
+                let per_sec = n as f64 * 1e9 / b.ns_per_iter;
+                (format!("{:>10.2} MB/s", per_sec / 1e6), Some(per_sec))
             }
-            None => String::new(),
+            None => (String::new(), None),
         };
         println!("{:<34} {:>12.0} ns/iter  {}", format!("{}/{}", self.name, id), b.ns_per_iter, rate);
+        self.records.push(Record {
+            id: format!("{}/{}", self.name, id),
+            ns_per_iter: b.ns_per_iter,
+            throughput: per_sec,
+        });
         self
     }
 
@@ -129,7 +211,14 @@ impl Bencher {
 
 /// Calibrate a batch size against the target sample duration, then take
 /// [`SAMPLES`] timed batches and return the fastest ns/iteration.
+///
+/// Quick mode (`GS_BENCH_QUICK=1`) skips calibration and takes one
+/// single-iteration sample — a smoke test, not a measurement.
 fn measure(mut run_batch: impl FnMut(u64) -> Duration) -> f64 {
+    if quick_mode() {
+        let t = run_batch(1);
+        return t.as_nanos() as f64;
+    }
     // Calibration doubles the batch until one batch covers the warmup
     // budget, so each timed sample amortizes clock overhead.
     let mut batch = 1u64;

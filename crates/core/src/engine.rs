@@ -149,17 +149,20 @@ impl Engine {
 
     fn propagate(&mut self, sid: usize, items: Vec<StreamItem>) {
         let mut work = vec![(sid, items)];
-        while let Some((sid, items)) = work.pop() {
+        while let Some((sid, mut items)) = work.pop() {
             if let Some(name) = &self.collect[sid] {
                 let bucket = self.outputs.entry(name.clone()).or_default();
                 bucket.extend(items.iter().filter_map(|i| i.as_tuple().cloned()));
             }
             let consumers = self.consumers[sid].clone();
-            for (node_idx, port) in consumers {
+            for (i, (node_idx, port)) in consumers.iter().copied().enumerate() {
+                // Last consumer takes the item vector, earlier ones clone
+                // it — the same batch-level fan-out rule as the threaded
+                // manager.
+                let batch =
+                    if i + 1 == consumers.len() { std::mem::take(&mut items) } else { items.clone() };
                 let mut out = Vec::new();
-                for item in items.iter().cloned() {
-                    self.nodes[node_idx].node.push(port, item, &mut out);
-                }
+                self.nodes[node_idx].node.push_batch(port, batch, &mut out);
                 if !out.is_empty() {
                     work.push((self.nodes[node_idx].out_sid, out));
                 }

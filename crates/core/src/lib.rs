@@ -114,6 +114,11 @@ pub struct Gigascope {
     pub heartbeat: HeartbeatMode,
     /// Direct-mapped LFTA pre-aggregation table size, in slots.
     pub lfta_table_size: usize,
+    /// Transport batch size for the threaded manager: items per message on
+    /// the LFTA→HFTA and HFTA→HFTA ready-queues. Batches flush early on
+    /// punctuation (so ordering tokens are never delayed) and at stream
+    /// close. `1` reproduces item-at-a-time transport exactly.
+    pub batch_size: usize,
 }
 
 impl Default for Gigascope {
@@ -134,6 +139,7 @@ impl Gigascope {
             params: HashMap::new(),
             heartbeat: HeartbeatMode::Periodic { interval: 1 },
             lfta_table_size: 4096,
+            batch_size: 256,
         }
     }
 

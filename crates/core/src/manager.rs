@@ -22,6 +22,13 @@
 //! (std channels only signal disconnect when *all* senders drop, which a
 //! shared queue can't use per-port). Per-producer FIFO order is
 //! preserved, which is all the merge/join watermark logic requires.
+//!
+//! Transport is batched: producers accumulate up to
+//! [`Gigascope::batch_size`] items per [`Batcher`] and ship them as one
+//! queue message, amortizing the mutex/condvar cost of the bounded
+//! channel over the whole run. Punctuation, heartbeats, and stream close
+//! flush partial batches immediately, so ordering progress is never
+//! delayed behind a filling batch (see DESIGN.md on batched transport).
 
 use crate::{Error, Gigascope};
 use gs_packet::CapPacket;
@@ -38,8 +45,10 @@ pub const CHANNEL_CAPACITY: usize = 8_192;
 
 /// A tagged message on a node's shared ready-queue.
 enum Msg {
-    /// Payload for one input port.
-    Item(usize, StreamItem),
+    /// A run of items for one input port (never empty). Batching amortizes
+    /// the per-message queue cost — mutex, condvar wakeup, cache traffic —
+    /// over [`Gigascope::batch_size`] items instead of paying it per tuple.
+    Batch(usize, Vec<StreamItem>),
     /// The producer feeding this port is done; no more items will come.
     Close(usize),
 }
@@ -53,12 +62,75 @@ struct PortSender {
 }
 
 impl PortSender {
-    fn send(&self, item: StreamItem) {
-        let _ = self.tx.send(Msg::Item(self.port, item));
+    fn send_batch(&self, items: Vec<StreamItem>) {
+        debug_assert!(!items.is_empty());
+        let _ = self.tx.send(Msg::Batch(self.port, items));
     }
 
     fn close(&self) {
         let _ = self.tx.send(Msg::Close(self.port));
+    }
+}
+
+/// Per-producer output buffer: accumulates items and ships them to every
+/// consumer of the stream as one [`Msg::Batch`].
+///
+/// Flush policy (each bounds a different kind of latency):
+/// - **size** — the batch reaches its capacity;
+/// - **punctuation** — an ordering-update token arrived; flushing
+///   immediately means downstream watermark progress (merge release, agg
+///   window close) is never delayed behind a partially-filled batch;
+/// - **close** — the stream ends; whatever is buffered goes out before the
+///   `Close` marker.
+///
+/// Fan-out clones at batch granularity: the last consumer takes the
+/// buffered `Vec`, each extra consumer costs one `Vec` clone — not one
+/// clone per item per consumer.
+struct Batcher {
+    buf: Vec<StreamItem>,
+    cap: usize,
+}
+
+impl Batcher {
+    fn new(cap: usize) -> Batcher {
+        let cap = cap.max(1);
+        Batcher { buf: Vec::with_capacity(cap), cap }
+    }
+
+    /// Absorb produced items, flushing on the size and punctuation rules.
+    /// With `cap == 1` every item flushes by itself, reproducing
+    /// item-at-a-time transport exactly.
+    fn extend(&mut self, items: impl Iterator<Item = StreamItem>, senders: &[PortSender]) {
+        for item in items {
+            let is_punct = matches!(item, StreamItem::Punct(_));
+            self.buf.push(item);
+            if is_punct || self.buf.len() >= self.cap {
+                self.flush(senders);
+            }
+        }
+    }
+
+    fn flush(&mut self, senders: &[PortSender]) {
+        if self.buf.is_empty() || senders.is_empty() {
+            self.buf.clear();
+            return;
+        }
+        let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.cap));
+        for (i, tx) in senders.iter().enumerate() {
+            if i + 1 == senders.len() {
+                tx.send_batch(batch);
+                break;
+            }
+            tx.send_batch(batch.clone());
+        }
+    }
+
+    /// Flush the tail and close every consumer port.
+    fn close(&mut self, senders: &[PortSender]) {
+        self.flush(senders);
+        for tx in senders {
+            tx.close();
+        }
     }
 }
 
@@ -144,8 +216,12 @@ where
             let mut bucket = Vec::new();
             while let Ok(msg) = rx.recv() {
                 match msg {
-                    Msg::Item(_, StreamItem::Tuple(t)) => bucket.push(t),
-                    Msg::Item(..) => {}
+                    Msg::Batch(_, items) => {
+                        bucket.extend(items.into_iter().filter_map(|i| match i {
+                            StreamItem::Tuple(t) => Some(t),
+                            StreamItem::Punct(_) => None,
+                        }));
+                    }
                     Msg::Close(_) => break,
                 }
             }
@@ -155,40 +231,30 @@ where
     }
 
     // ---- Spawn node threads ---------------------------------------------
+    let batch_size = gs.batch_size;
     let mut handles = Vec::new();
     for (spec, (rx, n_ports)) in nodes.into_iter().zip(node_inputs) {
         let out_senders: Vec<PortSender> =
             producers.get(&spec.out_name).cloned().unwrap_or_default();
         let NodeSpec { mut node, .. } = spec;
         handles.push(thread::spawn(move || {
-            let send_all = |items: Vec<StreamItem>| {
-                for item in items {
-                    for (i, tx) in out_senders.iter().enumerate() {
-                        // Last consumer takes the original; others clone.
-                        if i + 1 == out_senders.len() {
-                            tx.send(item);
-                            break;
-                        }
-                        tx.send(item.clone());
-                    }
-                }
-            };
+            let mut batcher = Batcher::new(batch_size);
             let mut open: Vec<bool> = vec![true; n_ports];
             let mut open_count = n_ports;
             let mut out = Vec::new();
             while open_count > 0 {
                 match rx.recv() {
-                    Ok(Msg::Item(p, item)) => {
+                    Ok(Msg::Batch(p, items)) => {
                         out.clear();
-                        node.push(p, item, &mut out);
-                        send_all(std::mem::take(&mut out));
+                        node.push_batch(p, items, &mut out);
+                        batcher.extend(out.drain(..), &out_senders);
                     }
                     Ok(Msg::Close(p)) if open[p] => {
                         open[p] = false;
                         open_count -= 1;
                         out.clear();
                         node.finish_input(p, &mut out);
-                        send_all(std::mem::take(&mut out));
+                        batcher.extend(out.drain(..), &out_senders);
                     }
                     Ok(Msg::Close(_)) => {}
                     Err(_) => {
@@ -198,7 +264,7 @@ where
                             if std::mem::take(o) {
                                 out.clear();
                                 node.finish_input(p, &mut out);
-                                send_all(std::mem::take(&mut out));
+                                batcher.extend(out.drain(..), &out_senders);
                             }
                         }
                         open_count = 0;
@@ -207,11 +273,10 @@ where
             }
             out.clear();
             node.finish(&mut out);
-            send_all(out);
-            // This node's streams end: close every consumer port.
-            for tx in &out_senders {
-                tx.close();
-            }
+            batcher.extend(out.drain(..), &out_senders);
+            // This node's streams end: flush the tail batch, then close
+            // every consumer port.
+            batcher.close(&out_senders);
         }));
     }
 
@@ -228,6 +293,9 @@ where
     let mut last_hb: Option<u64> = None;
     let mut n_packets = 0u64;
     let mut out = Vec::new();
+    // One output batcher per LFTA: per-packet emissions accumulate and
+    // ship as one queue message per `batch_size` items.
+    let mut batchers: Vec<Batcher> = lftas.iter().map(|_| Batcher::new(batch_size)).collect();
     for pkt in packets {
         n_packets += 1;
         let clock = u64::from(pkt.time_sec());
@@ -237,7 +305,7 @@ where
             }
             out.clear();
             lfta.push_packet(&pkt, &mut out);
-            send_to(&lfta_senders[i], &mut out);
+            batchers[i].extend(out.drain(..), &lfta_senders[i]);
         }
         if let HeartbeatMode::Periodic { interval } = heartbeat {
             if last_hb.is_none_or(|l| clock >= l + interval.max(1)) {
@@ -245,7 +313,11 @@ where
                 for (i, (lfta, _)) in lftas.iter_mut().enumerate() {
                     out.clear();
                     lfta.heartbeat(clock, &mut out);
-                    send_to(&lfta_senders[i], &mut out);
+                    batchers[i].extend(out.drain(..), &lfta_senders[i]);
+                    // A heartbeat is a liveness signal even when it emits
+                    // nothing: ship whatever the batch holds so downstream
+                    // latency is bounded by the heartbeat interval.
+                    batchers[i].flush(&lfta_senders[i]);
                 }
             }
         }
@@ -253,13 +325,9 @@ where
     for (i, (lfta, _)) in lftas.iter_mut().enumerate() {
         out.clear();
         lfta.finish(&mut out);
-        send_to(&lfta_senders[i], &mut out);
-    }
-    // Close LFTA output streams port by port.
-    for senders in &lfta_senders {
-        for tx in senders {
-            tx.close();
-        }
+        batchers[i].extend(out.drain(..), &lfta_senders[i]);
+        // Flush the tail batch and close this LFTA's output stream.
+        batchers[i].close(&lfta_senders[i]);
     }
     drop(lfta_senders);
 
@@ -277,18 +345,6 @@ where
     Ok(ThreadedOutput { streams, packets: n_packets })
 }
 
-fn send_to(senders: &[PortSender], items: &mut Vec<StreamItem>) {
-    for item in items.drain(..) {
-        for (i, tx) in senders.iter().enumerate() {
-            if i + 1 == senders.len() {
-                tx.send(item);
-                break;
-            }
-            tx.send(item.clone());
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +354,87 @@ mod tests {
     fn pkt(ts_sec: u64, dport: u16, pay: &[u8]) -> CapPacket {
         let f = FrameBuilder::tcp(1, 2, 999, dport).payload(pay).build_ethernet();
         CapPacket::full(ts_sec * 1_000_000_000, 0, LinkType::Ethernet, f)
+    }
+
+    fn tuple_item(v: u64) -> StreamItem {
+        StreamItem::Tuple(Tuple::new(vec![gs_runtime::value::Value::UInt(v)]))
+    }
+
+    fn punct_item(v: u64) -> StreamItem {
+        StreamItem::Punct(gs_runtime::punct::Punct::new(0, gs_runtime::value::Value::UInt(v)))
+    }
+
+    /// Regression: punctuation must never wait for a batch to fill. A
+    /// partially-filled batch flushes the moment an ordering token is
+    /// appended — the flush bound for watermark progress is zero items.
+    #[test]
+    fn batcher_flushes_partial_batch_on_punct() {
+        let (tx, rx) = sync_channel::<Msg>(CHANNEL_CAPACITY);
+        let senders = vec![PortSender { tx, port: 3 }];
+        let mut b = Batcher::new(256);
+        b.extend((0..3).map(tuple_item), &senders);
+        assert!(rx.try_recv().is_err(), "3 tuples must sit in the 256-batch");
+        b.extend(std::iter::once(punct_item(9)), &senders);
+        match rx.try_recv() {
+            Ok(Msg::Batch(3, items)) => {
+                assert_eq!(items.len(), 4, "the punct ships WITH the buffered tuples");
+                assert!(matches!(items[3], StreamItem::Punct(_)));
+            }
+            other => panic!("expected an immediate batch, got {:?}", other.is_ok()),
+        }
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn batcher_flushes_on_size_and_close() {
+        let (tx, rx) = sync_channel::<Msg>(CHANNEL_CAPACITY);
+        let senders = vec![PortSender { tx, port: 0 }];
+        let mut b = Batcher::new(4);
+        b.extend((0..9).map(tuple_item), &senders);
+        let mut sizes = Vec::new();
+        while let Ok(Msg::Batch(_, items)) = rx.try_recv() {
+            sizes.push(items.len());
+        }
+        assert_eq!(sizes, vec![4, 4], "full batches ship, the 9th tuple waits");
+        b.close(&senders);
+        assert!(matches!(rx.try_recv(), Ok(Msg::Batch(_, ref items)) if items.len() == 1));
+        assert!(matches!(rx.try_recv(), Ok(Msg::Close(0))));
+    }
+
+    /// `batch_size == 1` must reproduce item-at-a-time transport: one
+    /// message per item, in order.
+    #[test]
+    fn batcher_size_one_is_item_at_a_time() {
+        let (tx, rx) = sync_channel::<Msg>(CHANNEL_CAPACITY);
+        let senders = vec![PortSender { tx, port: 0 }];
+        let mut b = Batcher::new(1);
+        b.extend([tuple_item(1), tuple_item(2)].into_iter(), &senders);
+        for expect in [1u64, 2] {
+            match rx.try_recv() {
+                Ok(Msg::Batch(_, items)) => {
+                    assert_eq!(items.len(), 1);
+                    assert_eq!(items[0].as_tuple().unwrap().get(0).as_uint(), Some(expect));
+                }
+                _ => panic!("expected one message per item"),
+            }
+        }
+    }
+
+    /// Fan-out clones per batch, not per item: both consumers see the
+    /// identical batch.
+    #[test]
+    fn batcher_fan_out_delivers_full_batch_to_every_consumer() {
+        let (tx_a, rx_a) = sync_channel::<Msg>(CHANNEL_CAPACITY);
+        let (tx_b, rx_b) = sync_channel::<Msg>(CHANNEL_CAPACITY);
+        let senders = vec![PortSender { tx: tx_a, port: 0 }, PortSender { tx: tx_b, port: 1 }];
+        let mut b = Batcher::new(3);
+        b.extend((0..3).map(tuple_item), &senders);
+        for rx in [&rx_a, &rx_b] {
+            match rx.try_recv() {
+                Ok(Msg::Batch(_, items)) => assert_eq!(items.len(), 3),
+                _ => panic!("both consumers must receive the batch"),
+            }
+        }
     }
 
     #[test]

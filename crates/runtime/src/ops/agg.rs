@@ -145,6 +145,27 @@ impl AggCore {
         Some(key.into_boxed_slice())
     }
 
+    /// Allocation-free variant of [`eval_key`](Self::eval_key): evaluates
+    /// the group key into a reused buffer. Returns false when any group
+    /// expression fails (the record is skipped, matching `eval_key`'s
+    /// `None`). The batched hot path compares this buffer against the
+    /// current group and only materializes a boxed key on a key change.
+    fn eval_key_into<S: FieldSource>(
+        &self,
+        src: &S,
+        scratch: &mut EvalScratch,
+        buf: &mut Vec<Value>,
+    ) -> bool {
+        buf.clear();
+        for p in &self.group_progs {
+            match p.eval(src, scratch) {
+                Some(v) => buf.push(v),
+                None => return false,
+            }
+        }
+        true
+    }
+
     fn fresh_accs(&self) -> Vec<Acc> {
         self.aggs.iter().map(|(f, _, ty)| Acc::new(*f, *ty)).collect()
     }
@@ -313,26 +334,81 @@ impl AggregateOp {
     }
 }
 
+impl AggregateOp {
+    fn push_punct(&mut self, p: &Punct, out: &mut Vec<StreamItem>) {
+        if let Some((col, div)) = self.punct_in {
+            if p.col == col {
+                if let Some(v) = p.low.as_uint() {
+                    let bound = v / div.max(1);
+                    self.inner.advance_bound(bound, out);
+                    if let Some(oc) = self.punct_out {
+                        out.push(StreamItem::Punct(Punct::new(oc, Value::UInt(bound))));
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl Operator for AggregateOp {
     fn push(&mut self, _port: usize, item: StreamItem, out: &mut Vec<StreamItem>) {
         match item {
             StreamItem::Tuple(t) => self.inner.update(&t, out),
-            StreamItem::Punct(p) => {
-                if let Some((col, div)) = self.punct_in {
-                    if p.col == col {
-                        if let Some(v) = p.low.as_uint() {
-                            let bound = v / div.max(1);
-                            self.inner.advance_bound(bound, out);
-                            if let Some(oc) = self.punct_out {
-                                out.push(StreamItem::Punct(Punct::new(
-                                    oc,
-                                    Value::UInt(bound),
-                                )));
+            StreamItem::Punct(p) => self.push_punct(&p, out),
+        }
+    }
+
+    /// Batched aggregation holds the current group's accumulators out of
+    /// the hash table between consecutive tuples: network streams have
+    /// strong temporal locality (the property the paper's direct-mapped
+    /// LFTA table exploits, §3), so runs of equal keys pay one table
+    /// lookup instead of one per tuple.
+    fn push_batch(&mut self, _port: usize, items: Vec<StreamItem>, out: &mut Vec<StreamItem>) {
+        // The hot entry is spilled back into the table before anything
+        // that inspects the whole group set (flush, punctuation).
+        let mut hot: Option<(Box<[Value]>, Vec<Acc>)> = None;
+        let mut keybuf: Vec<Value> = Vec::new();
+        for item in items {
+            match item {
+                StreamItem::Tuple(t) => {
+                    let agg = &mut self.inner;
+                    if !agg.core.eval_key_into(&t, &mut agg.scratch, &mut keybuf) {
+                        continue;
+                    }
+                    if let Some(v) = agg.core.flush_value(&keybuf) {
+                        if agg.watermark.is_none_or(|w| v > w) {
+                            agg.watermark = Some(v);
+                            if let Some((k, a)) = hot.take() {
+                                agg.groups.insert(k, a);
                             }
+                            agg.close_below(v.saturating_sub(agg.core.slack), out);
                         }
                     }
+                    if hot.as_ref().is_none_or(|(k, _)| k.as_ref() != keybuf.as_slice()) {
+                        if let Some((k, a)) = hot.take() {
+                            agg.groups.insert(k, a);
+                        }
+                        let key: Box<[Value]> = keybuf.clone().into_boxed_slice();
+                        let accs = agg
+                            .groups
+                            .remove(&key)
+                            .unwrap_or_else(|| agg.core.fresh_accs());
+                        hot = Some((key, accs));
+                    }
+                    let (_, accs) = hot.as_mut().expect("hot entry set above");
+                    agg.core.update_accs(accs, &t, &mut agg.scratch);
+                    agg.peak_groups = agg.peak_groups.max(agg.groups.len() + 1);
+                }
+                StreamItem::Punct(p) => {
+                    if let Some((k, a)) = hot.take() {
+                        self.inner.groups.insert(k, a);
+                    }
+                    self.push_punct(&p, out);
                 }
             }
+        }
+        if let Some((k, a)) = hot {
+            self.inner.groups.insert(k, a);
         }
     }
 
@@ -586,6 +662,50 @@ mod tests {
         assert!(out.iter().any(
             |i| matches!(i, StreamItem::Punct(p) if p.col == 0 && p.low == Value::UInt(6))
         ));
+    }
+
+    #[test]
+    fn push_batch_matches_item_pushes() {
+        // Runs of equal keys, key changes, flush advances, and interleaved
+        // punctuation: the batched path must produce the same tuples.
+        let mk = || AggregateOp::new(GroupAggregator::new(core()), Some((0, 1)), Some(0));
+        let items: Vec<StreamItem> = [
+            (1u64, 5u64),
+            (1, 3),
+            (1, 2), // run of key 1
+            (2, 10),
+            (2, 1), // advance + run of key 2
+            (1, 100), // late tuple for an already-closed bucket value
+            (3, 7),
+        ]
+        .iter()
+        .map(|&(a, b)| StreamItem::Tuple(tup(&[a, b])))
+        .chain([StreamItem::Punct(Punct::new(0, Value::UInt(4)))])
+        .collect();
+
+        let mut item_op = mk();
+        let mut item_out = Vec::new();
+        for it in items.clone() {
+            item_op.push(0, it, &mut item_out);
+        }
+        item_op.finish(&mut item_out);
+
+        let mut batch_op = mk();
+        let mut batch_out = Vec::new();
+        // Split into two batches to exercise hot-entry spill at the seam.
+        let mut items = items;
+        let tail = items.split_off(4);
+        batch_op.push_batch(0, items, &mut batch_out);
+        batch_op.push_batch(0, tail, &mut batch_out);
+        batch_op.finish(&mut batch_out);
+
+        let norm = |rows: Vec<Vec<u64>>| {
+            let mut r = rows;
+            r.sort();
+            r
+        };
+        assert_eq!(norm(as_rows(&item_out)), norm(as_rows(&batch_out)));
+        assert_eq!(item_op.aggregator().emitted, batch_op.aggregator().emitted);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::ops::join::{EmitMode, JoinConfig, JoinOp};
 use crate::ops::lfta::{Lfta, LftaKind};
 use crate::ops::merge::MergeOp;
 use crate::ops::select::{FilterOp, SelectProject};
-use crate::ops::{cascade, cascade_finish, Operator};
+use crate::ops::{cascade, cascade_batch, cascade_finish, Operator};
 use crate::params::ParamBindings;
 use crate::tuple::StreamItem;
 use crate::udf::{HandleResolver, UdfRegistry};
@@ -243,6 +243,28 @@ impl HftaNode {
         }
     }
 
+    /// Feed a whole batch into input `port`: the root consumes it via
+    /// [`Operator::push_batch`] and its output flows through the chain one
+    /// batch at a time, so per-stage setup amortizes across the batch.
+    pub fn push_batch(&mut self, port: usize, items: Vec<StreamItem>, out: &mut Vec<StreamItem>) {
+        match &mut self.root {
+            Some(root) => {
+                let mut mid = Vec::new();
+                match root {
+                    Root::Merge(m) => m.push_batch(port, items, &mut mid),
+                    Root::Join(j) => j.push_batch(port, items, &mut mid),
+                }
+                if !mid.is_empty() {
+                    cascade_batch(&mut self.chain, mid, out);
+                }
+            }
+            None => {
+                debug_assert_eq!(port, 0);
+                cascade_batch(&mut self.chain, items, out);
+            }
+        }
+    }
+
     /// One input stream ended: multi-input roots release the holds that
     /// input maintained; single-input nodes ignore this (use [`finish`]).
     ///
@@ -254,8 +276,8 @@ impl HftaNode {
                 Root::Merge(m) => m.finish_input(port, &mut mid),
                 Root::Join(j) => j.finish_input(port),
             }
-            for it in mid {
-                cascade(&mut self.chain, it, out);
+            if !mid.is_empty() {
+                cascade_batch(&mut self.chain, mid, out);
             }
         }
     }
@@ -268,8 +290,8 @@ impl HftaNode {
                 Root::Merge(m) => m.finish(&mut mid),
                 Root::Join(j) => j.finish(&mut mid),
             }
-            for it in mid {
-                cascade(&mut self.chain, it, out);
+            if !mid.is_empty() {
+                cascade_batch(&mut self.chain, mid, out);
             }
         }
         cascade_finish(&mut self.chain, out);

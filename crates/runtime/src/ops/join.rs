@@ -311,7 +311,11 @@ impl JoinOp {
         }
     }
 
-    fn push_side(&mut self, is_left: bool, t: Tuple, out: &mut Vec<StreamItem>) {
+    /// Probe-and-insert for one tuple, without GC or sorted release (the
+    /// callers decide whether those run per item or per batch; deferring
+    /// them never changes results — GC only removes entries the window
+    /// predicate already rejects, and release order comes from the heap).
+    fn absorb_tuple(&mut self, is_left: bool, t: Tuple, out: &mut Vec<StreamItem>) {
         let ord_col = if is_left { self.cfg.left_col } else { self.cfg.right_col };
         let Some(v) = t.get(ord_col).as_uint() else { return };
         let side = if is_left { &mut self.left } else { &mut self.right };
@@ -350,6 +354,26 @@ impl JoinOp {
             let side = if is_left { &mut self.left } else { &mut self.right };
             side.insert(key, v, t);
         }
+    }
+
+    /// Punctuation on the window column advances the side's watermark,
+    /// enabling GC of the opposite buffer even when the side is silent.
+    fn absorb_punct(&mut self, port: usize, p: &crate::punct::Punct) -> bool {
+        let Some(low) = p.low.as_uint() else { return false };
+        if port == 0 && p.col == self.cfg.left_col {
+            // Future left values >= low: express as watermark with the
+            // slack pre-compensated.
+            let wm = low.saturating_add(self.cfg.left_slack);
+            self.left.watermark = Some(self.left.watermark.map_or(wm, |w| w.max(wm)));
+        } else if port == 1 && p.col == self.cfg.right_col {
+            let wm = low.saturating_add(self.cfg.right_slack);
+            self.right.watermark = Some(self.right.watermark.map_or(wm, |w| w.max(wm)));
+        }
+        true
+    }
+
+    fn push_side(&mut self, is_left: bool, t: Tuple, out: &mut Vec<StreamItem>) {
+        self.absorb_tuple(is_left, t, out);
         self.gc();
         self.release_sorted(out);
         self.peak_buffered = self.peak_buffered.max(self.buffered());
@@ -377,26 +401,30 @@ impl Operator for JoinOp {
         match item {
             StreamItem::Tuple(t) => self.push_side(port == 0, t, out),
             StreamItem::Punct(p) => {
-                // Punctuation on the window column advances the side's
-                // watermark, enabling GC of the opposite buffer even when
-                // the side is silent.
-                if let Some(low) = p.low.as_uint() {
-                    if port == 0 && p.col == self.cfg.left_col {
-                        // Future left values >= low: express as watermark
-                        // with the slack pre-compensated.
-                        let wm = low.saturating_add(self.cfg.left_slack);
-                        self.left.watermark =
-                            Some(self.left.watermark.map_or(wm, |w| w.max(wm)));
-                    } else if port == 1 && p.col == self.cfg.right_col {
-                        let wm = low.saturating_add(self.cfg.right_slack);
-                        self.right.watermark =
-                            Some(self.right.watermark.map_or(wm, |w| w.max(wm)));
-                    }
+                if self.absorb_punct(port, &p) {
                     self.gc();
                     self.release_sorted(out);
                 }
             }
         }
+    }
+
+    fn push_batch(&mut self, port: usize, items: Vec<StreamItem>, out: &mut Vec<StreamItem>) {
+        // Probe-and-insert every item first, then GC / sorted-release once
+        // for the whole batch. Deferring GC is safe: dead buffer entries
+        // always fail the window predicate, so they can never produce a
+        // spurious match, they only linger until batch end.
+        for item in items {
+            match item {
+                StreamItem::Tuple(t) => self.absorb_tuple(port == 0, t, out),
+                StreamItem::Punct(p) => {
+                    self.absorb_punct(port, &p);
+                }
+            }
+        }
+        self.gc();
+        self.release_sorted(out);
+        self.peak_buffered = self.peak_buffered.max(self.buffered());
     }
 
     fn finish(&mut self, out: &mut Vec<StreamItem>) {
@@ -692,6 +720,67 @@ mod tests {
         let vals: Vec<u64> = rows(&out).iter().map(|r| r.0).collect();
         assert_eq!(vals.len(), 50);
         assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn push_batch_matches_item_pushes() {
+        for emit in [EmitMode::Banded, EmitMode::Sorted] {
+            let mk = || {
+                JoinOp::new(
+                    JoinConfig {
+                        left_col: 0,
+                        right_col: 0,
+                        lo: -1,
+                        hi: 1,
+                        left_slack: 1,
+                        right_slack: 1,
+                        eq_keys: vec![],
+                        emit,
+                        sort_out_col: 0,
+                    },
+                    None,
+                    vec![prog(&col(0)), prog(&col(1)), prog(&col(3))],
+                )
+            };
+            // Banded-within-1 arrivals on both sides, plus a punctuation
+            // mid-stream on the left.
+            let left: Vec<StreamItem> = [1u64, 3, 2, 4, 6, 5, 9, 8]
+                .iter()
+                .map(|&ts| tup(ts, 1))
+                .chain([StreamItem::Punct(crate::punct::Punct::new(0, Value::UInt(8)))])
+                .collect();
+            let right: Vec<StreamItem> =
+                [2u64, 1, 3, 5, 4, 7, 8, 10].iter().map(|&ts| tup(ts, 2)).collect();
+
+            let mut item_j = mk();
+            let mut item_out = Vec::new();
+            for it in left.iter().cloned() {
+                item_j.push(0, it, &mut item_out);
+            }
+            for it in right.iter().cloned() {
+                item_j.push(1, it, &mut item_out);
+            }
+            item_j.finish(&mut item_out);
+
+            let mut batch_j = mk();
+            let mut batch_out = Vec::new();
+            batch_j.push_batch(0, left, &mut batch_out);
+            batch_j.push_batch(1, right, &mut batch_out);
+            batch_j.finish(&mut batch_out);
+
+            let norm = |out: &[StreamItem]| {
+                let mut r = rows(out);
+                r.sort();
+                r
+            };
+            assert_eq!(norm(&item_out), norm(&batch_out), "emit mode {emit:?}");
+            assert_eq!(item_j.produced, batch_j.produced);
+            if emit == EmitMode::Sorted {
+                // The batch path must preserve the sorted-release contract.
+                let vals: Vec<u64> = rows(&batch_out).iter().map(|r| r.0).collect();
+                assert!(vals.windows(2).all(|w| w[0] <= w[1]), "{vals:?}");
+            }
+        }
     }
 
     #[test]

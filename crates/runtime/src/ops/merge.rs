@@ -129,6 +129,35 @@ impl MergeOp {
         }
     }
 
+    /// Buffer one item and update the input's bounds; returns whether the
+    /// item could affect the drainable set.
+    fn absorb(&mut self, port: usize, item: StreamItem) -> bool {
+        match item {
+            StreamItem::Tuple(t) => {
+                let Some(v) = t.get(self.on_col).as_uint() else { return false };
+                let input = &mut self.inputs[port];
+                input.watermark = Some(input.watermark.map_or(v, |w| w.max(v)));
+                let wm_bound = input.watermark.expect("just set").saturating_sub(self.slacks[port]);
+                input.future_bound =
+                    Some(input.future_bound.map_or(wm_bound, |b| b.max(wm_bound)));
+                self.seq += 1;
+                input.heap.push(Reverse(Entry { v, seq: self.seq, tuple: t }));
+                self.buffered += 1;
+                self.peak_buffered = self.peak_buffered.max(self.buffered);
+                true
+            }
+            StreamItem::Punct(p) => {
+                if p.col != self.on_col {
+                    return false;
+                }
+                let Some(low) = p.low.as_uint() else { return false };
+                let input = &mut self.inputs[port];
+                input.future_bound = Some(input.future_bound.map_or(low, |b| b.max(low)));
+                true
+            }
+        }
+    }
+
     /// Mark one input as exhausted.
     pub fn finish_input(&mut self, port: usize, out: &mut Vec<StreamItem>) {
         self.inputs[port].finished = true;
@@ -147,30 +176,22 @@ impl Operator for MergeOp {
     }
 
     fn push(&mut self, port: usize, item: StreamItem, out: &mut Vec<StreamItem>) {
-        match item {
-            StreamItem::Tuple(t) => {
-                let Some(v) = t.get(self.on_col).as_uint() else { return };
-                let input = &mut self.inputs[port];
-                input.watermark = Some(input.watermark.map_or(v, |w| w.max(v)));
-                let wm_bound = input.watermark.expect("just set").saturating_sub(self.slacks[port]);
-                input.future_bound =
-                    Some(input.future_bound.map_or(wm_bound, |b| b.max(wm_bound)));
-                self.seq += 1;
-                input.heap.push(Reverse(Entry { v, seq: self.seq, tuple: t }));
-                self.buffered += 1;
-                self.peak_buffered = self.peak_buffered.max(self.buffered);
-                self.drain_ready(out);
-            }
-            StreamItem::Punct(p) => {
-                if p.col == self.on_col {
-                    if let Some(low) = p.low.as_uint() {
-                        let input = &mut self.inputs[port];
-                        input.future_bound =
-                            Some(input.future_bound.map_or(low, |b| b.max(low)));
-                        self.drain_ready(out);
-                    }
-                }
-            }
+        if self.absorb(port, item) {
+            self.drain_ready(out);
+        }
+    }
+
+    /// Batched merge absorbs the whole batch into the input heap —
+    /// advancing the watermark and future bound as it goes — and re-peeks
+    /// the heaps once at the end, instead of running the k-way
+    /// smallest-safe-entry scan after every tuple.
+    fn push_batch(&mut self, port: usize, items: Vec<StreamItem>, out: &mut Vec<StreamItem>) {
+        let mut dirty = false;
+        for item in items {
+            dirty |= self.absorb(port, item);
+        }
+        if dirty {
+            self.drain_ready(out);
         }
     }
 
@@ -285,6 +306,35 @@ mod tests {
             out.iter().any(|i| matches!(i, StreamItem::Punct(p) if p.low == Value::UInt(5))),
             "downstream learns the merge's own bound"
         );
+    }
+
+    #[test]
+    fn push_batch_matches_item_pushes() {
+        let feed: Vec<(usize, u64)> =
+            vec![(0, 1), (0, 4), (1, 2), (1, 3), (0, 9), (1, 10), (0, 12), (1, 11)];
+        let mut item_m = MergeOp::new(2, 0, vec![0, 0]);
+        let mut item_out = Vec::new();
+        for &(p, v) in &feed {
+            item_m.push(p, tup(v), &mut item_out);
+        }
+        item_m.finish(&mut item_out);
+
+        let mut batch_m = MergeOp::new(2, 0, vec![0, 0]);
+        let mut batch_out = Vec::new();
+        // Per-port batches, interleaved, with a punct in the middle.
+        batch_m.push_batch(0, vec![tup(1), tup(4)], &mut batch_out);
+        batch_m.push_batch(1, vec![tup(2), tup(3)], &mut batch_out);
+        batch_m.push_batch(
+            0,
+            vec![tup(9), StreamItem::Punct(Punct::new(0, Value::UInt(9)))],
+            &mut batch_out,
+        );
+        batch_m.push_batch(1, vec![tup(10), tup(11)], &mut batch_out);
+        batch_m.push_batch(0, vec![tup(12)], &mut batch_out);
+        batch_m.push_batch(1, Vec::new(), &mut batch_out);
+        batch_m.finish(&mut batch_out);
+
+        assert_eq!(vals(&item_out), vals(&batch_out), "same tuples in the same order");
     }
 
     #[test]

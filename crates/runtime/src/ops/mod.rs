@@ -52,6 +52,21 @@ pub trait Operator: Send {
     /// Feed one item into `port`; outputs are appended to `out`.
     fn push(&mut self, port: usize, item: StreamItem, out: &mut Vec<StreamItem>);
 
+    /// Feed a whole batch into `port`; outputs are appended to `out`.
+    ///
+    /// Semantically identical to pushing each item in order — a batch of
+    /// one IS a plain push — but hot operators override it to hoist
+    /// per-call setup (group-table lookups for runs of equal keys, merge
+    /// heap drains, join GC) out of the inner loop. Overrides may emit
+    /// fewer intermediate punctuation tokens than the item-at-a-time
+    /// path (punctuation is an optimization, never required for
+    /// correctness) but must produce the same data tuples.
+    fn push_batch(&mut self, port: usize, items: Vec<StreamItem>, out: &mut Vec<StreamItem>) {
+        for item in items {
+            self.push(port, item, out);
+        }
+    }
+
     /// All inputs are exhausted: flush any remaining state.
     fn finish(&mut self, out: &mut Vec<StreamItem>);
 }
@@ -71,6 +86,25 @@ pub fn cascade(
         for it in cur.drain(..) {
             op.push(0, it, &mut next);
         }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    out.extend(cur);
+}
+
+/// Run a chain of single-input operators over a whole batch: each stage
+/// consumes the previous stage's output vector via [`Operator::push_batch`],
+/// so per-stage setup amortizes over the batch instead of repeating per
+/// item.
+pub fn cascade_batch(
+    ops: &mut [Box<dyn Operator>],
+    items: Vec<StreamItem>,
+    out: &mut Vec<StreamItem>,
+) {
+    debug_assert!(ops.iter().all(|o| o.n_inputs() == 1));
+    let mut cur = items;
+    let mut next = Vec::new();
+    for op in ops.iter_mut() {
+        op.push_batch(0, std::mem::take(&mut cur), &mut next);
         std::mem::swap(&mut cur, &mut next);
     }
     out.extend(cur);
@@ -129,6 +163,38 @@ mod tests {
         cascade(&mut ops, StreamItem::Tuple(Tuple::new(vec![Value::UInt(3)])), &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].as_tuple().unwrap().get(0), &Value::UInt(12));
+    }
+
+    #[test]
+    fn cascade_batch_matches_item_cascade() {
+        let items: Vec<StreamItem> =
+            (0..5u64).map(|v| StreamItem::Tuple(Tuple::new(vec![Value::UInt(v)]))).collect();
+        let mut item_ops: Vec<Box<dyn Operator>> = vec![Box::new(Doubler), Box::new(Doubler)];
+        let mut item_out = Vec::new();
+        for it in items.clone() {
+            cascade(&mut item_ops, it, &mut item_out);
+        }
+        let mut batch_ops: Vec<Box<dyn Operator>> = vec![Box::new(Doubler), Box::new(Doubler)];
+        let mut batch_out = Vec::new();
+        cascade_batch(&mut batch_ops, items, &mut batch_out);
+        assert_eq!(item_out, batch_out);
+    }
+
+    #[test]
+    fn default_push_batch_is_push_per_item() {
+        let mut op = Doubler;
+        let mut out = Vec::new();
+        op.push_batch(
+            0,
+            vec![
+                StreamItem::Tuple(Tuple::new(vec![Value::UInt(1)])),
+                StreamItem::Tuple(Tuple::new(vec![Value::UInt(2)])),
+            ],
+            &mut out,
+        );
+        let vals: Vec<u64> =
+            out.iter().filter_map(|i| i.as_tuple().map(|t| t.get(0).as_uint().unwrap())).collect();
+        assert_eq!(vals, vec![2, 4]);
     }
 
     #[test]

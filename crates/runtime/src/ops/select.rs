@@ -41,37 +41,56 @@ impl SelectProject {
     }
 }
 
+impl SelectProject {
+    fn push_tuple(&mut self, t: &Tuple, out: &mut Vec<StreamItem>) {
+        self.seen += 1;
+        if let Some(f) = &self.filter {
+            if !f.eval_bool(t, &mut self.scratch) {
+                return;
+            }
+        }
+        // Short-circuiting collect: a partial UDF / missing field
+        // discards the tuple.
+        let scratch = &mut self.scratch;
+        let projected: Option<Tuple> =
+            self.projections.iter().map(|p| p.eval(t, scratch)).collect();
+        if let Some(tuple) = projected {
+            self.kept += 1;
+            out.push(StreamItem::Tuple(tuple));
+        }
+    }
+
+    fn push_punct(&mut self, p: &Punct, out: &mut Vec<StreamItem>) {
+        for (in_col, out_col, div) in &self.punct_map {
+            if p.col == *in_col {
+                if let Some(v) = p.low.as_uint() {
+                    out.push(StreamItem::Punct(Punct::new(
+                        *out_col,
+                        Value::UInt(v / div.max(&1)),
+                    )));
+                }
+            }
+        }
+    }
+}
+
 impl Operator for SelectProject {
     fn push(&mut self, _port: usize, item: StreamItem, out: &mut Vec<StreamItem>) {
         match item {
-            StreamItem::Tuple(t) => {
-                self.seen += 1;
-                if let Some(f) = &self.filter {
-                    if !f.eval_bool(&t, &mut self.scratch) {
-                        return;
-                    }
-                }
-                let mut vals = Vec::with_capacity(self.projections.len());
-                for p in &self.projections {
-                    match p.eval(&t, &mut self.scratch) {
-                        Some(v) => vals.push(v),
-                        None => return, // partial UDF / missing field: discard
-                    }
-                }
-                self.kept += 1;
-                out.push(StreamItem::Tuple(Tuple::new(vals)));
-            }
-            StreamItem::Punct(p) => {
-                for (in_col, out_col, div) in &self.punct_map {
-                    if p.col == *in_col {
-                        if let Some(v) = p.low.as_uint() {
-                            out.push(StreamItem::Punct(Punct::new(
-                                *out_col,
-                                Value::UInt(v / div.max(&1)),
-                            )));
-                        }
-                    }
-                }
+            StreamItem::Tuple(t) => self.push_tuple(&t, out),
+            StreamItem::Punct(p) => self.push_punct(&p, out),
+        }
+    }
+
+    fn push_batch(&mut self, _port: usize, items: Vec<StreamItem>, out: &mut Vec<StreamItem>) {
+        // One reservation for the common all-tuples-pass case; the match
+        // dispatch stays, but counter updates and projected-tuple pushes
+        // hit a pre-grown vector.
+        out.reserve(items.len());
+        for item in items {
+            match item {
+                StreamItem::Tuple(t) => self.push_tuple(&t, out),
+                StreamItem::Punct(p) => self.push_punct(&p, out),
             }
         }
     }
@@ -108,6 +127,22 @@ impl Operator for FilterOp {
                 }
             }
             p @ StreamItem::Punct(_) => out.push(p),
+        }
+    }
+
+    fn push_batch(&mut self, _port: usize, items: Vec<StreamItem>, out: &mut Vec<StreamItem>) {
+        out.reserve(items.len());
+        for item in items {
+            match item {
+                StreamItem::Tuple(t) => {
+                    self.seen += 1;
+                    if self.pred.eval_bool(&t, &mut self.scratch) {
+                        self.kept += 1;
+                        out.push(StreamItem::Tuple(t));
+                    }
+                }
+                p @ StreamItem::Punct(_) => out.push(p),
+            }
         }
     }
 

@@ -33,12 +33,20 @@ impl Tuple {
         &self.vals
     }
 
-    /// Concatenate two tuples (join output construction).
+    /// Concatenate two tuples (join output construction). The chained
+    /// slice iterators are `TrustedLen`, so the joined storage is
+    /// allocated exactly once — no intermediate `Vec` growth.
     pub fn concat(&self, other: &Tuple) -> Tuple {
-        let mut v = Vec::with_capacity(self.vals.len() + other.vals.len());
-        v.extend_from_slice(&self.vals);
-        v.extend_from_slice(&other.vals);
-        Tuple::new(v)
+        Tuple { vals: self.vals.iter().chain(other.vals.iter()).cloned().collect() }
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    /// Build a tuple directly from a value iterator; with an exact-size
+    /// source (projection program lists, slice chains) the field storage
+    /// is allocated in one shot.
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Tuple {
+        Tuple { vals: iter.into_iter().collect() }
     }
 }
 
@@ -109,6 +117,22 @@ mod tests {
         assert_eq!(c.arity(), 3);
         assert_eq!(c.get(2), &Value::Bool(true));
         assert_eq!(a.values().len(), 2);
+    }
+
+    #[test]
+    fn from_iter_collects() {
+        let t: Tuple = (0..3u64).map(Value::UInt).collect();
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(2), &Value::UInt(2));
+        // Short-circuiting collection through Option works too (the
+        // projection paths discard on a failed program).
+        let some: Option<Tuple> = [Some(Value::UInt(1)), Some(Value::UInt(2))]
+            .into_iter()
+            .collect();
+        assert_eq!(some.unwrap().arity(), 2);
+        let none: Option<Tuple> =
+            [Some(Value::UInt(1)), None].into_iter().collect();
+        assert!(none.is_none());
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Property: the threaded manager with batched transport computes the
+//! same result as the deterministic synchronous engine, for every batch
+//! size — including 1, which must reproduce item-at-a-time transport
+//! exactly.
+//!
+//! Randomized query mixes (selection, split aggregation, two-interface
+//! merge, and all three at once) over randomized packet traces; outputs
+//! are compared under normalization (multiset of rows — the threaded run
+//! interleaves producers, so cross-group emission order is not pinned).
+//!
+//! Runs on the in-repo deterministic harness ([`gs_tests::prop`]). Case
+//! counts are modest: every case spawns the node/collector threads of up
+//! to three concurrent runs.
+
+use gigascope::manager::run_threaded;
+use gigascope::{Gigascope, Tuple};
+use gs_packet::builder::FrameBuilder;
+use gs_packet::capture::{CapPacket, LinkType};
+use gs_tests::prop::{check, Gen};
+
+/// Batch sizes under test: degenerate (item-at-a-time), tiny (forces
+/// partial batches and mid-batch punctuation), and the default.
+const BATCH_SIZES: [usize; 3] = [1, 3, 256];
+
+struct Template {
+    program: &'static str,
+    subscriptions: &'static [&'static str],
+}
+
+const TEMPLATES: [Template; 4] = [
+    // Pure selection: LFTA-only query, the capture loop is the producer.
+    Template {
+        program: "DEFINE { query_name sel; } \
+                  Select time, len From eth0.tcp Where destPort = 80",
+        subscriptions: &["sel"],
+    },
+    // Split aggregation over a named stream: LFTA projection feeds an
+    // HFTA group-by through the batched channel.
+    Template {
+        program: "DEFINE { query_name raw; } Select time, len From eth0.tcp; \
+                  DEFINE { query_name agg; } \
+                  Select time, count(*), sum(len) From raw Group By time",
+        subscriptions: &["agg"],
+    },
+    // Order-preserving merge of two interfaces.
+    Template {
+        program: "DEFINE { query_name a; } Select time From eth0.tcp; \
+                  DEFINE { query_name b; } Select time From eth1.tcp; \
+                  DEFINE { query_name m; } Merge a.time : b.time From a, b",
+        subscriptions: &["m"],
+    },
+    // The mix: all of the above deployed at once, with the raw stream
+    // fanned out to both its aggregate consumer and a subscription.
+    Template {
+        program: "DEFINE { query_name sel; } \
+                  Select time, len From eth0.tcp Where destPort = 80; \
+                  DEFINE { query_name raw; } Select time, len From eth0.tcp; \
+                  DEFINE { query_name agg; } \
+                  Select time, count(*), sum(len) From raw Group By time; \
+                  DEFINE { query_name a; } Select time From eth0.tcp; \
+                  DEFINE { query_name b; } Select time From eth1.tcp; \
+                  DEFINE { query_name m; } Merge a.time : b.time From a, b",
+        subscriptions: &["sel", "raw", "agg", "m"],
+    },
+];
+
+fn system(batch: usize, program: &str) -> Gigascope {
+    let mut gs = Gigascope::new();
+    gs.add_interface("eth0", 0, LinkType::Ethernet);
+    gs.add_interface("eth1", 1, LinkType::Ethernet);
+    gs.batch_size = batch;
+    gs.add_program(program).unwrap();
+    gs
+}
+
+/// A time-ordered trace with random inter-arrival gaps (multi-second
+/// jumps exercise heartbeat flushes), interface choice, port mix, and
+/// payload sizes.
+fn trace(g: &mut Gen) -> Vec<CapPacket> {
+    let n = g.usize(20..400);
+    let mut ts_ns = 0u64;
+    (0..n)
+        .map(|i| {
+            ts_ns += g.u64(0..3_000_000_000);
+            let dport = *g.choice(&[80u16, 80, 443, 25]);
+            let iface = g.u16(0..2);
+            let payload = vec![0u8; g.usize(0..64)];
+            let f = FrameBuilder::tcp(0x0a000000 + i as u32, 0xc0a80001, 1024, dport)
+                .payload(&payload)
+                .build_ethernet();
+            CapPacket::full(ts_ns, iface, LinkType::Ethernet, f)
+        })
+        .collect()
+}
+
+/// Multiset normalization: every tuple as its row of uints, sorted.
+fn norm(tuples: &[Tuple]) -> Vec<Vec<u64>> {
+    let mut rows: Vec<Vec<u64>> = tuples
+        .iter()
+        .map(|t| t.values().iter().filter_map(|v| v.as_uint()).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn threaded_batched_transport_matches_synchronous_engine() {
+    check("manager_batch_equivalence", 24, |g| {
+        let t = g.choice(&TEMPLATES);
+        let pkts = trace(g);
+
+        let gs = system(256, t.program);
+        let sync_out = gs.run_capture(pkts.iter().cloned(), t.subscriptions).unwrap();
+
+        for batch in BATCH_SIZES {
+            let gs = system(batch, t.program);
+            let thr_out = run_threaded(&gs, pkts.iter().cloned(), t.subscriptions).unwrap();
+            assert_eq!(thr_out.packets, pkts.len() as u64);
+            for name in t.subscriptions {
+                assert_eq!(
+                    norm(sync_out.stream(name)),
+                    norm(thr_out.stream(name)),
+                    "stream `{name}` diverged at batch size {batch}"
+                );
+            }
+        }
+    });
+}
+
+/// The merge template's output must stay time-ordered under threading at
+/// every batch size — ordering, not just the multiset, is the contract.
+#[test]
+fn threaded_merge_stays_ordered_at_every_batch_size() {
+    check("manager_batch_merge_order", 12, |g| {
+        let pkts = trace(g);
+        for batch in BATCH_SIZES {
+            let gs = system(batch, TEMPLATES[2].program);
+            let out = run_threaded(&gs, pkts.iter().cloned(), &["m"]).unwrap();
+            let times: Vec<u64> =
+                out.stream("m").iter().filter_map(|t| t.get(0).as_uint()).collect();
+            assert!(
+                times.windows(2).all(|w| w[0] <= w[1]),
+                "merge output out of order at batch size {batch}: {times:?}"
+            );
+        }
+    });
+}
