@@ -15,6 +15,16 @@ cargo build --release --offline
 echo "== offline test suite =="
 cargo test -q --offline
 
+echo "== self-monitoring property/stats tests =="
+# Explicit gate on the PR-3 suites (also covered by the full test run
+# above): shedding invariants and exact per-operator counter accounting.
+cargo test -q --offline -p gs-tests --test prop_qos --test end_to_end
+
+echo "== stats overhead gate (<=5% on threaded benches) =="
+# Interleaved stats-on/stats-off runs of the manager workload; exits
+# non-zero if self-monitoring costs more than 5%.
+GS_BENCH_QUICK=1 cargo run -q --release --offline -p gs-bench --bin stats_overhead
+
 echo "== offline bench compile =="
 cargo bench -p gs-bench --no-run --offline
 

@@ -349,6 +349,13 @@ fn bench_manager(c: &mut Criterion) {
     g.bench_function("threaded_throughput", |b| {
         b.iter(|| run_threaded(&gs, pkts.iter().cloned(), &["raw", "persec"]).unwrap())
     });
+    // Baseline without self-monitoring, for eyeballing the stats cost
+    // (the enforced <=5% gate lives in src/bin/stats_overhead.rs).
+    let mut gs_ns = mk(256);
+    gs_ns.stats_enabled = false;
+    g.bench_function("threaded_nostats", |b| {
+        b.iter(|| run_threaded(&gs_ns, pkts.iter().cloned(), &["raw", "persec"]).unwrap())
+    });
     let gs1 = mk(1);
     g.bench_function("threaded_per_item", |b| {
         b.iter(|| run_threaded(&gs1, pkts.iter().cloned(), &["raw", "persec"]).unwrap())

@@ -1,0 +1,92 @@
+//! CI gate: self-monitoring must stay (nearly) free.
+//!
+//! Runs the `manager/threaded_*` workload (the same raw→persec program
+//! `benches/micro.rs` uses) with `Gigascope::stats_enabled` on and off,
+//! strictly interleaved so machine drift hits both sides equally, and
+//! compares the *fastest* run of each (the minimum is the standard
+//! low-noise estimator; variance is one-sided). Exits non-zero if the
+//! stats path costs more than 5% on any scenario.
+//!
+//! `GS_BENCH_QUICK=1` shrinks the trace and round count for CI; the gate
+//! itself still applies — min-of-N interleaved runs are stable enough to
+//! hold a 5% line even on a shared machine.
+
+use gigascope::manager::run_threaded;
+use gigascope::Gigascope;
+use gs_packet::builder::FrameBuilder;
+use gs_packet::capture::{CapPacket, LinkType};
+use std::time::Instant;
+
+const THRESHOLD: f64 = 0.05;
+
+fn trace(n: usize) -> Vec<CapPacket> {
+    (0..n)
+        .map(|i| {
+            let f = FrameBuilder::tcp(0x0a00_0001 + (i % 7) as u32, 0xc0a8_0001, 1024, 80)
+                .payload(b"x")
+                .build_ethernet();
+            // 2000 packets per second of stream time, as in benches/micro.rs.
+            CapPacket::full(i as u64 * 500_000, 0, LinkType::Ethernet, f)
+        })
+        .collect()
+}
+
+fn system(batch: usize, stats: bool) -> Gigascope {
+    let mut gs = Gigascope::new();
+    gs.add_interface("eth0", 0, LinkType::Ethernet);
+    gs.batch_size = batch;
+    gs.stats_enabled = stats;
+    gs.add_program(
+        "DEFINE { query_name raw; } Select time, len From eth0.tcp; \
+         DEFINE { query_name persec; } \
+         Select time, count(*), sum(len) From raw Group By time",
+    )
+    .unwrap();
+    gs
+}
+
+fn run_once(gs: &Gigascope, pkts: &[CapPacket]) -> f64 {
+    let start = Instant::now();
+    let out = run_threaded(gs, pkts.iter().cloned(), &["raw", "persec"]).unwrap();
+    std::hint::black_box(out);
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let quick = std::env::var("GS_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let (n, rounds) = if quick { (4_000, 5) } else { (20_000, 9) };
+    let pkts = trace(n);
+    let mut failed = false;
+    for (name, batch) in [("threaded_throughput", 256), ("threaded_batch_64", 64)] {
+        let on = system(batch, true);
+        let off = system(batch, false);
+        // Warm both paths (thread spawn, allocator, page cache) before
+        // any timed round.
+        run_once(&on, &pkts);
+        run_once(&off, &pkts);
+        let (mut best_on, mut best_off) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..rounds {
+            best_on = best_on.min(run_once(&on, &pkts));
+            best_off = best_off.min(run_once(&off, &pkts));
+        }
+        let overhead = best_on / best_off - 1.0;
+        println!(
+            "manager/{name}: stats-on {:.3} ms, stats-off {:.3} ms, overhead {:+.2}%",
+            best_on * 1e3,
+            best_off * 1e3,
+            overhead * 100.0
+        );
+        if overhead > THRESHOLD {
+            eprintln!(
+                "FAIL: manager/{name} stats overhead {:.2}% exceeds {:.0}%",
+                overhead * 100.0,
+                THRESHOLD * 100.0
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("OK: stats overhead within {:.0}%", THRESHOLD * 100.0);
+}

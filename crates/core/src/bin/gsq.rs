@@ -264,5 +264,11 @@ fn main() {
                 s.packets_in, s.prefiltered, s.sampled_out, s.not_protocol, s.filtered, s.tuples_out
             );
         }
+        // The full self-monitoring snapshot — the same rows the built-in
+        // GS_STATS stream emits, one `stat <node> <counter> = <value>`
+        // line per registry entry.
+        for row in &out.stats.counters {
+            eprintln!("stat {} {} = {}", row.node, row.counter, row.value);
+        }
     }
 }

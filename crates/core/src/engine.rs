@@ -8,12 +8,16 @@
 //! on. The threaded deployment configuration lives in [`crate::manager`].
 
 use crate::{Error, Gigascope};
+use bytes::Bytes;
 use gs_runtime::ops::build::{build_hfta, build_lfta, BuildCtx, HftaNode};
 use gs_runtime::ops::lfta::{Lfta, LftaStats};
-use gs_runtime::punct::HeartbeatMode;
+use gs_runtime::punct::{HeartbeatMode, Punct};
+use gs_runtime::stats::{StatRow, StatsRegistry};
 use gs_runtime::tuple::{StreamItem, Tuple};
+use gs_runtime::value::Value;
 use gs_packet::CapPacket;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-run statistics.
 #[derive(Debug, Clone, Default)]
@@ -28,6 +32,20 @@ pub struct EngineStats {
     pub lfta_tables: HashMap<String, gs_runtime::ops::agg::DmStats>,
     /// Peak buffered tuples per merge/join node, keyed by query name.
     pub peak_buffered: HashMap<String, usize>,
+    /// Final stats-registry snapshot: `lfta:*` and `hfta:*` counter rows
+    /// (the same rows the built-in `GS_STATS` stream emits), taken after
+    /// every operator finished.
+    pub counters: Vec<StatRow>,
+}
+
+impl EngineStats {
+    /// Convenience lookup of one final counter value.
+    pub fn counter(&self, node: &str, counter: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|r| r.node == node && r.counter == counter)
+            .map(|r| r.value)
+    }
 }
 
 /// The collected output of a run.
@@ -72,6 +90,12 @@ pub struct Engine {
     stats: EngineStats,
     clock_sec: u64,
     last_heartbeat_sec: Option<u64>,
+    /// Every LFTA and operator registers its counters here; snapshots
+    /// feed the `GS_STATS` stream and the final [`EngineStats::counters`].
+    registry: Arc<StatsRegistry>,
+    /// Stream id of the built-in `GS_STATS` monitoring stream.
+    gs_stats_sid: usize,
+    stats_enabled: bool,
 }
 
 impl Engine {
@@ -88,6 +112,9 @@ impl Engine {
             stats: EngineStats::default(),
             clock_sec: 0,
             last_heartbeat_sec: None,
+            registry: Arc::new(StatsRegistry::new()),
+            gs_stats_sid: 0,
+            stats_enabled: gs.stats_enabled,
         };
         for dq in gs.queries() {
             let params = gs.params_for(&dq.name);
@@ -121,6 +148,16 @@ impl Engine {
                 engine.nodes.push(NodeHost { name: dq.name.clone(), node, out_sid });
             }
         }
+        // Register every counter source and claim the monitoring
+        // stream's id, so queries over GS_STATS (and direct
+        // subscriptions to it) wire up like any other stream.
+        for h in &engine.lftas {
+            engine.registry.register(format!("lfta:{}", h.lfta.name), h.lfta.stats_handle());
+        }
+        for n in &engine.nodes {
+            n.node.register_stats(&engine.registry, &n.name);
+        }
+        engine.gs_stats_sid = engine.sid("GS_STATS");
         Ok(engine)
     }
 
@@ -182,6 +219,52 @@ impl Engine {
             }
         }
         self.last_heartbeat_sec = Some(now);
+        self.emit_gs_stats();
+    }
+
+    /// Whether anything consumes the monitoring stream (a query over
+    /// GS_STATS or a direct subscription); snapshots are skipped
+    /// otherwise.
+    fn gs_stats_wanted(&self) -> bool {
+        self.stats_enabled
+            && (self.collect[self.gs_stats_sid].is_some()
+                || !self.consumers[self.gs_stats_sid].is_empty())
+    }
+
+    /// Publish every counter and propagate one registry snapshot as
+    /// `GS_STATS` tuples (`time, node, counter, value`) plus a
+    /// punctuation on `time` — the paper's "Gigascope monitors itself"
+    /// loop, riding the ordinary stream machinery.
+    fn emit_gs_stats(&mut self) {
+        if !self.gs_stats_wanted() {
+            return;
+        }
+        self.publish_all();
+        let clock = self.clock_sec;
+        let mut items: Vec<StreamItem> = self
+            .registry
+            .snapshot()
+            .into_iter()
+            .map(|r| {
+                StreamItem::Tuple(Tuple::new(vec![
+                    Value::UInt(clock),
+                    Value::Str(Bytes::from(r.node.into_bytes())),
+                    Value::Str(Bytes::from_static(r.counter.as_bytes())),
+                    Value::UInt(r.value),
+                ]))
+            })
+            .collect();
+        items.push(StreamItem::Punct(Punct::new(0, Value::UInt(clock))));
+        self.propagate(self.gs_stats_sid, items);
+    }
+
+    fn publish_all(&self) {
+        for h in &self.lftas {
+            h.lfta.publish_stats();
+        }
+        for n in &self.nodes {
+            n.node.publish_stats();
+        }
     }
 
     fn maybe_heartbeat(&mut self) {
@@ -243,6 +326,11 @@ impl Engine {
             }
             self.end_stream(sid);
         }
+        // One final monitoring snapshot at capture close, then end the
+        // GS_STATS stream so its consumers can finish. Ending it is
+        // unconditional: consumers wait on end-of-stream either way.
+        self.emit_gs_stats();
+        self.end_stream(self.gs_stats_sid);
         for i in 0..self.nodes.len() {
             let mut out = Vec::new();
             self.nodes[i].node.finish(&mut out);
@@ -268,6 +356,8 @@ impl Engine {
                 self.stats.peak_buffered.insert(n.name.clone(), peak);
             }
         }
+        self.publish_all();
+        self.stats.counters = self.registry.snapshot();
         RunOutput {
             streams: std::mem::take(&mut self.outputs),
             stats: std::mem::take(&mut self.stats),

@@ -33,9 +33,12 @@
 
 pub mod engine;
 pub mod manager;
+pub mod transport;
 
 pub use engine::{EngineStats, RunOutput};
 pub use gs_gsql::split::DeployedQuery;
+pub use gs_runtime::qos::DropPolicy;
+pub use gs_runtime::stats::StatRow;
 pub use gs_runtime::{ParamBindings, StreamItem, Tuple, Value};
 
 use gs_gsql::catalog::{Catalog, InterfaceDef, UdfCost, UdfSig};
@@ -101,6 +104,26 @@ pub struct QueryInfo {
     pub hoisted: bool,
 }
 
+/// Overload-shedding configuration for the threaded manager's bounded
+/// per-edge queues (paper §4: "highly processed tuples ... are more
+/// valuable than less-processed tuples").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedConfig {
+    /// What to drop when a consumer's queue is full.
+    pub policy: DropPolicy,
+    /// Queue capacity in messages (batches), per consumer.
+    pub capacity: usize,
+}
+
+impl Default for ShedConfig {
+    fn default() -> ShedConfig {
+        ShedConfig {
+            policy: DropPolicy::LeastProcessedFirst,
+            capacity: manager::CHANNEL_CAPACITY,
+        }
+    }
+}
+
 /// The Gigascope system: catalog, function registry, and the set of
 /// deployed queries. Build one, register interfaces and queries, then
 /// [`run_capture`](Gigascope::run_capture) over a packet source.
@@ -119,6 +142,16 @@ pub struct Gigascope {
     /// punctuation (so ordering tokens are never delayed) and at stream
     /// close. `1` reproduces item-at-a-time transport exactly.
     pub batch_size: usize,
+    /// Overload policy for the threaded manager's ready-queues. `None`
+    /// (the default) blocks producers when a queue fills — lossless
+    /// backpressure. `Some(cfg)` never blocks the capture loop: the
+    /// configured [`DropPolicy`] sheds instead, with every drop counted
+    /// in the `queue:*` stats.
+    pub shedding: Option<ShedConfig>,
+    /// Whether to publish per-operator counters and emit the built-in
+    /// `GS_STATS` stream during runs (default on; the hot-path counters
+    /// themselves are always maintained).
+    pub stats_enabled: bool,
 }
 
 impl Default for Gigascope {
@@ -140,6 +173,8 @@ impl Gigascope {
             heartbeat: HeartbeatMode::Periodic { interval: 1 },
             lfta_table_size: 4096,
             batch_size: 256,
+            shedding: None,
+            stats_enabled: true,
         }
     }
 

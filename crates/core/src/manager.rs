@@ -7,21 +7,21 @@
 //! subscribe to the output of a query, it submits the query name to the
 //! registry and receives a query handle in return." (paper §3)
 //!
-//! Here query nodes are threads and the shared-memory channels are
-//! bounded std `mpsc` channels (backpressure instead of unbounded
-//! growth). LFTAs run inline in the capture thread, exactly as the paper
-//! links them into the run time system; each HFTA runs on its own
-//! thread. This is the configuration the deployment-throughput
-//! experiment (E2) measures; the deterministic single-threaded engine is
-//! [`crate::engine`].
+//! Here query nodes are threads and the shared-memory channels are the
+//! bounded, shed-aware queues of [`crate::transport`]. LFTAs run inline
+//! in the capture thread, exactly as the paper links them into the run
+//! time system; each HFTA runs on its own thread. This is the
+//! configuration the deployment-throughput experiment (E2) measures; the
+//! deterministic single-threaded engine is [`crate::engine`].
 //!
 //! Fan-in without `select`: every node owns ONE bounded ready-queue; each
-//! upstream producer holds a clone of its `SyncSender` and tags messages
-//! with the destination port, so a node just blocks on `recv()` and
+//! upstream producer holds a clone of its sender and tags messages with
+//! the destination port, so a node just blocks on `recv()` and
 //! multiplexes by tag. End-of-stream is an explicit `Close(port)` message
-//! (std channels only signal disconnect when *all* senders drop, which a
-//! shared queue can't use per-port). Per-producer FIFO order is
-//! preserved, which is all the merge/join watermark logic requires.
+//! (disconnect only fires when *all* senders drop, which a shared queue
+//! can't use per-port). Per-producer FIFO order is preserved — shedding
+//! removes items but never reorders survivors — which is all the
+//! merge/join watermark logic requires.
 //!
 //! Transport is batched: producers accumulate up to
 //! [`Gigascope::batch_size`] items per [`Batcher`] and ship them as one
@@ -29,14 +29,25 @@
 //! channel over the whole run. Punctuation, heartbeats, and stream close
 //! flush partial batches immediately, so ordering progress is never
 //! delayed behind a filling batch (see DESIGN.md on batched transport).
+//!
+//! Self-monitoring (paper §4): every LFTA, operator, edge batcher, and
+//! queue registers its counters with a [`StatsRegistry`]; on each
+//! heartbeat round the capture thread snapshots the registry and emits
+//! the rows on the built-in `GS_STATS` stream, so ordinary GSQL queries
+//! observe the system's own behavior — including what overload shedding
+//! ([`Gigascope::shedding`]) drops when a consumer stalls.
 
+use crate::transport::{self, Admission};
 use crate::{Error, Gigascope};
+use bytes::Bytes;
 use gs_packet::CapPacket;
 use gs_runtime::ops::build::{build_hfta, build_lfta, BuildCtx};
-use gs_runtime::punct::HeartbeatMode;
+use gs_runtime::punct::{HeartbeatMode, Punct};
+use gs_runtime::stats::{Counter, StatRow, StatSource, StatsRegistry};
 use gs_runtime::tuple::{StreamItem, Tuple};
+use gs_runtime::value::Value;
 use std::collections::HashMap;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
 /// Ready-queue capacity per query node ("communication through shared
@@ -54,22 +65,66 @@ enum Msg {
 }
 
 /// One consumer endpoint: the consumer's shared queue plus the input
-/// port this producer feeds.
+/// port this producer feeds, tagged with the producing stream's
+/// processing depth (its level in the query chain) so
+/// least-processed-first shedding knows what the messages are worth.
 #[derive(Clone)]
 struct PortSender {
-    tx: SyncSender<Msg>,
+    tx: transport::Sender<Msg>,
     port: usize,
+    depth: u32,
 }
 
 impl PortSender {
     fn send_batch(&self, items: Vec<StreamItem>) {
         debug_assert!(!items.is_empty());
-        let _ = self.tx.send(Msg::Batch(self.port, items));
+        let weight = items.len() as u64;
+        self.tx.send(self.depth, weight, Msg::Batch(self.port, items));
     }
 
     fn close(&self) {
-        let _ = self.tx.send(Msg::Close(self.port));
+        // Close markers ride past capacity and policy: shedding one
+        // would leave the consumer waiting forever on an open port.
+        self.tx.send_control(Msg::Close(self.port));
     }
+}
+
+/// Counters of one producer edge (the [`Batcher`] in front of a stream's
+/// consumers), reported as `edge:<stream>` stats rows. The flush-cause
+/// tags say *why* batches shipped: by filling up (`flush_size`), by an
+/// ordering token that must not wait (`flush_punct`), by a heartbeat
+/// liveness bound (`flush_heartbeat`), or by end-of-stream
+/// (`flush_close`).
+#[derive(Debug, Default)]
+struct EdgeStats {
+    batches: Counter,
+    items: Counter,
+    flush_size: Counter,
+    flush_punct: Counter,
+    flush_heartbeat: Counter,
+    flush_close: Counter,
+}
+
+impl StatSource for EdgeStats {
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("batches", self.batches.get()),
+            ("items", self.items.get()),
+            ("flush_size", self.flush_size.get()),
+            ("flush_punct", self.flush_punct.get()),
+            ("flush_heartbeat", self.flush_heartbeat.get()),
+            ("flush_close", self.flush_close.get()),
+        ]
+    }
+}
+
+/// Why a batch left the buffer (see [`EdgeStats`]).
+#[derive(Clone, Copy)]
+enum FlushCause {
+    Size,
+    Punct,
+    Heartbeat,
+    Close,
 }
 
 /// Per-producer output buffer: accumulates items and ships them to every
@@ -89,12 +144,13 @@ impl PortSender {
 struct Batcher {
     buf: Vec<StreamItem>,
     cap: usize,
+    stats: Arc<EdgeStats>,
 }
 
 impl Batcher {
     fn new(cap: usize) -> Batcher {
         let cap = cap.max(1);
-        Batcher { buf: Vec::with_capacity(cap), cap }
+        Batcher { buf: Vec::with_capacity(cap), cap, stats: Arc::new(EdgeStats::default()) }
     }
 
     /// Absorb produced items, flushing on the size and punctuation rules.
@@ -104,16 +160,26 @@ impl Batcher {
         for item in items {
             let is_punct = matches!(item, StreamItem::Punct(_));
             self.buf.push(item);
-            if is_punct || self.buf.len() >= self.cap {
-                self.flush(senders);
+            if is_punct {
+                self.flush_as(senders, FlushCause::Punct);
+            } else if self.buf.len() >= self.cap {
+                self.flush_as(senders, FlushCause::Size);
             }
         }
     }
 
-    fn flush(&mut self, senders: &[PortSender]) {
+    fn flush_as(&mut self, senders: &[PortSender], cause: FlushCause) {
         if self.buf.is_empty() || senders.is_empty() {
             self.buf.clear();
             return;
+        }
+        self.stats.batches.inc();
+        self.stats.items.add(self.buf.len() as u64);
+        match cause {
+            FlushCause::Size => self.stats.flush_size.inc(),
+            FlushCause::Punct => self.stats.flush_punct.inc(),
+            FlushCause::Heartbeat => self.stats.flush_heartbeat.inc(),
+            FlushCause::Close => self.stats.flush_close.inc(),
         }
         let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.cap));
         for (i, tx) in senders.iter().enumerate() {
@@ -125,9 +191,15 @@ impl Batcher {
         }
     }
 
+    /// Ship a partial batch on a heartbeat: a liveness signal, so
+    /// downstream latency is bounded by the heartbeat interval.
+    fn flush_heartbeat(&mut self, senders: &[PortSender]) {
+        self.flush_as(senders, FlushCause::Heartbeat);
+    }
+
     /// Flush the tail and close every consumer port.
     fn close(&mut self, senders: &[PortSender]) {
-        self.flush(senders);
+        self.flush_as(senders, FlushCause::Close);
         for tx in senders {
             tx.close();
         }
@@ -141,6 +213,9 @@ pub struct ThreadedOutput {
     pub streams: HashMap<String, Vec<Tuple>>,
     /// Packets consumed by the capture loop.
     pub packets: u64,
+    /// Final stats-registry snapshot, taken after every node drained:
+    /// `lfta:*`, `hfta:*`, `edge:*`, and `queue:*` counters.
+    pub counters: Vec<StatRow>,
 }
 
 impl ThreadedOutput {
@@ -148,6 +223,27 @@ impl ThreadedOutput {
     pub fn stream(&self, name: &str) -> &[Tuple] {
         self.streams.get(name).map(Vec::as_slice).unwrap_or(&[])
     }
+
+    /// Convenience lookup of one final counter value.
+    pub fn counter(&self, node: &str, counter: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|r| r.node == node && r.counter == counter)
+            .map(|r| r.value)
+    }
+}
+
+/// Knobs for [`run_threaded_opts`] beyond the defaults of
+/// [`run_threaded`].
+#[derive(Debug, Clone, Default)]
+pub struct ThreadedOptions {
+    /// Subscribed streams whose collector threads hold off draining until
+    /// the node graph has finished — a deterministic stand-in for a
+    /// stalled consumer application. With [`Gigascope::shedding`] set the
+    /// queue sheds instead of wedging the capture loop; without it this
+    /// deadlocks exactly as a real stalled consumer would, so only use
+    /// stalls with shedding enabled.
+    pub stall: Vec<String>,
 }
 
 /// Run all deployed queries over `packets` with one thread per HFTA.
@@ -158,6 +254,19 @@ pub fn run_threaded<I>(
     gs: &Gigascope,
     packets: I,
     subscriptions: &[&str],
+) -> Result<ThreadedOutput, Error>
+where
+    I: Iterator<Item = CapPacket>,
+{
+    run_threaded_opts(gs, packets, subscriptions, ThreadedOptions::default())
+}
+
+/// [`run_threaded`] with explicit [`ThreadedOptions`].
+pub fn run_threaded_opts<I>(
+    gs: &Gigascope,
+    packets: I,
+    subscriptions: &[&str],
+    opts: ThreadedOptions,
 ) -> Result<ThreadedOutput, Error>
 where
     I: Iterator<Item = CapPacket>,
@@ -189,17 +298,45 @@ where
         }
     }
 
+    // Processing depth per stream, for least-processed-first shedding:
+    // LFTA outputs are level 0 (barely processed), each node's output is
+    // one past its deepest input. Streams with no known producer (the
+    // built-in GS_STATS monitoring stream) count as level 0.
+    let mut levels: HashMap<String, u32> = HashMap::new();
+    for (lfta, _) in &lftas {
+        levels.insert(lfta.name.clone(), 0);
+    }
+    for spec in &nodes {
+        let lvl = 1 + spec
+            .node
+            .inputs
+            .iter()
+            .map(|i| levels.get(i).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        levels.insert(spec.out_name.clone(), lvl);
+    }
+    let depth_of = |stream: &str| levels.get(stream).copied().unwrap_or(0);
+
+    let (capacity, admission) = match gs.shedding {
+        Some(cfg) => (cfg.capacity, Admission::Shed(cfg.policy)),
+        None => (CHANNEL_CAPACITY, Admission::Block),
+    };
+    let stats_enabled = gs.stats_enabled;
+    let registry = Arc::new(StatsRegistry::new());
+
     // Consumer endpoints per stream name (fan-out to every consumer).
     let mut producers: HashMap<String, Vec<PortSender>> = HashMap::new();
     // One shared ready-queue per node; every input port sends into it.
-    let mut node_inputs: Vec<(Receiver<Msg>, usize)> = Vec::new();
+    let mut node_inputs: Vec<(transport::Receiver<Msg>, usize)> = Vec::new();
     for spec in &nodes {
-        let (tx, rx) = sync_channel(CHANNEL_CAPACITY);
+        let (tx, rx, chan) = transport::channel(capacity, admission);
+        registry.register(format!("queue:{}", spec.out_name), chan);
         for (port, input) in spec.node.inputs.iter().enumerate() {
             producers
                 .entry(input.clone())
                 .or_default()
-                .push(PortSender { tx: tx.clone(), port });
+                .push(PortSender { tx: tx.clone(), port, depth: depth_of(input) });
         }
         node_inputs.push((rx, spec.node.inputs.len()));
     }
@@ -208,13 +345,28 @@ where
     // CHANNEL_CAPACITY tuples while the capture loop is still feeding
     // packets, and a full collector queue would back-pressure the node
     // graph into a deadlock if nothing consumed it until after capture.
+    let stall_gate = Arc::new((Mutex::new(false), Condvar::new()));
     let mut collectors: Vec<(String, thread::JoinHandle<Vec<Tuple>>)> = Vec::new();
     for name in subscriptions {
-        let (tx, rx) = sync_channel::<Msg>(CHANNEL_CAPACITY);
-        producers.entry((*name).to_string()).or_default().push(PortSender { tx, port: 0 });
+        let (tx, rx, chan) = transport::channel::<Msg>(capacity, admission);
+        registry.register(format!("queue:sub:{name}"), chan);
+        producers
+            .entry((*name).to_string())
+            .or_default()
+            .push(PortSender { tx, port: 0, depth: depth_of(name) });
+        let gate = opts.stall.iter().any(|s| s == name).then(|| stall_gate.clone());
         let drainer = thread::spawn(move || {
+            if let Some(g) = &gate {
+                // A deliberately stalled consumer: hold the queue shut
+                // until the graph finishes, then drain what survived.
+                let (released, cv) = &**g;
+                let mut open = released.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            }
             let mut bucket = Vec::new();
-            while let Ok(msg) = rx.recv() {
+            while let Some(msg) = rx.recv() {
                 match msg {
                     Msg::Batch(_, items) => {
                         bucket.extend(items.into_iter().filter_map(|i| match i {
@@ -230,34 +382,46 @@ where
         collectors.push(((*name).to_string(), drainer));
     }
 
+    // The self-monitoring stream's consumers (queries over GS_STATS and
+    // direct subscriptions); the capture thread is its producer.
+    let gs_stats_senders: Vec<PortSender> = producers.remove("GS_STATS").unwrap_or_default();
+
     // ---- Spawn node threads ---------------------------------------------
     let batch_size = gs.batch_size;
     let mut handles = Vec::new();
     for (spec, (rx, n_ports)) in nodes.into_iter().zip(node_inputs) {
         let out_senders: Vec<PortSender> =
             producers.get(&spec.out_name).cloned().unwrap_or_default();
-        let NodeSpec { mut node, .. } = spec;
+        let NodeSpec { mut node, out_name } = spec;
+        let batcher = Batcher::new(batch_size);
+        registry.register(format!("edge:{out_name}"), batcher.stats.clone());
+        node.register_stats(&registry, &out_name);
         handles.push(thread::spawn(move || {
-            let mut batcher = Batcher::new(batch_size);
+            let mut batcher = batcher;
             let mut open: Vec<bool> = vec![true; n_ports];
             let mut open_count = n_ports;
             let mut out = Vec::new();
             while open_count > 0 {
                 match rx.recv() {
-                    Ok(Msg::Batch(p, items)) => {
+                    Some(Msg::Batch(p, items)) => {
                         out.clear();
                         node.push_batch(p, items, &mut out);
                         batcher.extend(out.drain(..), &out_senders);
+                        if stats_enabled {
+                            // Per-message publish keeps registry
+                            // snapshots at most one batch stale.
+                            node.publish_stats();
+                        }
                     }
-                    Ok(Msg::Close(p)) if open[p] => {
+                    Some(Msg::Close(p)) if open[p] => {
                         open[p] = false;
                         open_count -= 1;
                         out.clear();
                         node.finish_input(p, &mut out);
                         batcher.extend(out.drain(..), &out_senders);
                     }
-                    Ok(Msg::Close(_)) => {}
-                    Err(_) => {
+                    Some(Msg::Close(_)) => {}
+                    None => {
                         // Every producer dropped without a Close (a panic
                         // upstream); flush what the still-open ports hold.
                         for (p, o) in open.iter_mut().enumerate() {
@@ -277,6 +441,8 @@ where
             // This node's streams end: flush the tail batch, then close
             // every consumer port.
             batcher.close(&out_senders);
+            // Final publish so the post-run snapshot has exact totals.
+            node.publish_stats();
         }));
     }
 
@@ -289,13 +455,24 @@ where
     // senders for their output streams.
     drop(producers);
 
+    for (lfta, _) in &lftas {
+        registry.register(format!("lfta:{}", lfta.name), lfta.stats_handle());
+    }
+
     let heartbeat = gs.heartbeat;
     let mut last_hb: Option<u64> = None;
     let mut n_packets = 0u64;
     let mut out = Vec::new();
     // One output batcher per LFTA: per-packet emissions accumulate and
     // ship as one queue message per `batch_size` items.
-    let mut batchers: Vec<Batcher> = lftas.iter().map(|_| Batcher::new(batch_size)).collect();
+    let mut batchers: Vec<Batcher> = lftas
+        .iter()
+        .map(|(l, _)| {
+            let b = Batcher::new(batch_size);
+            registry.register(format!("edge:{}", l.name), b.stats.clone());
+            b
+        })
+        .collect();
     for pkt in packets {
         n_packets += 1;
         let clock = u64::from(pkt.time_sec());
@@ -317,7 +494,13 @@ where
                     // A heartbeat is a liveness signal even when it emits
                     // nothing: ship whatever the batch holds so downstream
                     // latency is bounded by the heartbeat interval.
-                    batchers[i].flush(&lfta_senders[i]);
+                    batchers[i].flush_heartbeat(&lfta_senders[i]);
+                }
+                if stats_enabled && !gs_stats_senders.is_empty() {
+                    for (lfta, _) in &lftas {
+                        lfta.publish_stats();
+                    }
+                    emit_stats(&registry, clock, &gs_stats_senders);
                 }
             }
         }
@@ -329,9 +512,34 @@ where
         // Flush the tail batch and close this LFTA's output stream.
         batchers[i].close(&lfta_senders[i]);
     }
+    for (lfta, _) in &lftas {
+        lfta.publish_stats();
+    }
+    // Final monitoring snapshot at capture end, then close GS_STATS —
+    // always, even with stats off: consumers wait on the Close marker.
+    if stats_enabled && !gs_stats_senders.is_empty() {
+        let clock = last_hb.unwrap_or(0);
+        emit_stats(&registry, clock, &gs_stats_senders);
+    }
+    for tx in &gs_stats_senders {
+        tx.close();
+    }
+    drop(gs_stats_senders);
     drop(lfta_senders);
 
     // ---- Drain ------------------------------------------------------------
+    // Node threads first: with shedding enabled they finish even when a
+    // subscriber stalls (the queue sheds instead of back-pressuring), and
+    // collector drainers run concurrently regardless of join order.
+    for h in handles {
+        h.join().map_err(|_| Error::Config("query node thread panicked".to_string()))?;
+    }
+    // Release any deliberately stalled collectors to drain what survived.
+    {
+        let (released, cv) = &*stall_gate;
+        *released.lock().unwrap() = true;
+        cv.notify_all();
+    }
     let mut streams: HashMap<String, Vec<Tuple>> = HashMap::new();
     for (name, drainer) in collectors {
         let bucket = drainer
@@ -339,10 +547,34 @@ where
             .map_err(|_| Error::Config("subscription collector thread panicked".to_string()))?;
         streams.insert(name, bucket);
     }
-    for h in handles {
-        h.join().map_err(|_| Error::Config("query node thread panicked".to_string()))?;
+    let counters = registry.snapshot();
+    Ok(ThreadedOutput { streams, packets: n_packets, counters })
+}
+
+/// Snapshot the registry and ship it as one batch of `GS_STATS` tuples
+/// (`time, node, counter, value`) followed by a punctuation on `time`,
+/// so downstream watermarks advance with every monitoring round.
+fn emit_stats(registry: &StatsRegistry, clock: u64, senders: &[PortSender]) {
+    let mut items: Vec<StreamItem> = registry
+        .snapshot()
+        .into_iter()
+        .map(|r| {
+            StreamItem::Tuple(Tuple::new(vec![
+                Value::UInt(clock),
+                Value::Str(Bytes::from(r.node.into_bytes())),
+                Value::Str(Bytes::from_static(r.counter.as_bytes())),
+                Value::UInt(r.value),
+            ]))
+        })
+        .collect();
+    items.push(StreamItem::Punct(Punct::new(0, Value::UInt(clock))));
+    for (i, tx) in senders.iter().enumerate() {
+        if i + 1 == senders.len() {
+            tx.send_batch(items);
+            break;
+        }
+        tx.send_batch(items.clone());
     }
-    Ok(ThreadedOutput { streams, packets: n_packets })
 }
 
 #[cfg(test)]
@@ -364,54 +596,63 @@ mod tests {
         StreamItem::Punct(gs_runtime::punct::Punct::new(0, gs_runtime::value::Value::UInt(v)))
     }
 
+    fn test_endpoint(port: usize) -> (Vec<PortSender>, transport::Receiver<Msg>) {
+        let (tx, rx, _) = transport::channel::<Msg>(CHANNEL_CAPACITY, Admission::Block);
+        (vec![PortSender { tx, port, depth: 0 }], rx)
+    }
+
     /// Regression: punctuation must never wait for a batch to fill. A
     /// partially-filled batch flushes the moment an ordering token is
     /// appended — the flush bound for watermark progress is zero items.
     #[test]
     fn batcher_flushes_partial_batch_on_punct() {
-        let (tx, rx) = sync_channel::<Msg>(CHANNEL_CAPACITY);
-        let senders = vec![PortSender { tx, port: 3 }];
+        let (senders, rx) = test_endpoint(3);
         let mut b = Batcher::new(256);
         b.extend((0..3).map(tuple_item), &senders);
-        assert!(rx.try_recv().is_err(), "3 tuples must sit in the 256-batch");
+        assert!(rx.try_recv().is_none(), "3 tuples must sit in the 256-batch");
         b.extend(std::iter::once(punct_item(9)), &senders);
         match rx.try_recv() {
-            Ok(Msg::Batch(3, items)) => {
+            Some(Msg::Batch(3, items)) => {
                 assert_eq!(items.len(), 4, "the punct ships WITH the buffered tuples");
                 assert!(matches!(items[3], StreamItem::Punct(_)));
             }
-            other => panic!("expected an immediate batch, got {:?}", other.is_ok()),
+            other => panic!("expected an immediate batch, got {:?}", other.is_some()),
         }
-        assert!(rx.try_recv().is_err());
+        assert!(rx.try_recv().is_none());
+        assert_eq!(b.stats.flush_punct.get(), 1, "the flush is tagged with its cause");
+        assert_eq!(b.stats.flush_size.get(), 0);
+        assert_eq!(b.stats.items.get(), 4);
     }
 
     #[test]
     fn batcher_flushes_on_size_and_close() {
-        let (tx, rx) = sync_channel::<Msg>(CHANNEL_CAPACITY);
-        let senders = vec![PortSender { tx, port: 0 }];
+        let (senders, rx) = test_endpoint(0);
         let mut b = Batcher::new(4);
         b.extend((0..9).map(tuple_item), &senders);
         let mut sizes = Vec::new();
-        while let Ok(Msg::Batch(_, items)) = rx.try_recv() {
+        while let Some(Msg::Batch(_, items)) = rx.try_recv() {
             sizes.push(items.len());
         }
         assert_eq!(sizes, vec![4, 4], "full batches ship, the 9th tuple waits");
         b.close(&senders);
-        assert!(matches!(rx.try_recv(), Ok(Msg::Batch(_, ref items)) if items.len() == 1));
-        assert!(matches!(rx.try_recv(), Ok(Msg::Close(0))));
+        assert!(matches!(rx.try_recv(), Some(Msg::Batch(_, ref items)) if items.len() == 1));
+        assert!(matches!(rx.try_recv(), Some(Msg::Close(0))));
+        assert_eq!(b.stats.flush_size.get(), 2);
+        assert_eq!(b.stats.flush_close.get(), 1);
+        assert_eq!(b.stats.batches.get(), 3);
+        assert_eq!(b.stats.items.get(), 9, "no tuple lost or double-counted across flushes");
     }
 
     /// `batch_size == 1` must reproduce item-at-a-time transport: one
     /// message per item, in order.
     #[test]
     fn batcher_size_one_is_item_at_a_time() {
-        let (tx, rx) = sync_channel::<Msg>(CHANNEL_CAPACITY);
-        let senders = vec![PortSender { tx, port: 0 }];
+        let (senders, rx) = test_endpoint(0);
         let mut b = Batcher::new(1);
         b.extend([tuple_item(1), tuple_item(2)].into_iter(), &senders);
         for expect in [1u64, 2] {
             match rx.try_recv() {
-                Ok(Msg::Batch(_, items)) => {
+                Some(Msg::Batch(_, items)) => {
                     assert_eq!(items.len(), 1);
                     assert_eq!(items[0].as_tuple().unwrap().get(0).as_uint(), Some(expect));
                 }
@@ -424,17 +665,18 @@ mod tests {
     /// identical batch.
     #[test]
     fn batcher_fan_out_delivers_full_batch_to_every_consumer() {
-        let (tx_a, rx_a) = sync_channel::<Msg>(CHANNEL_CAPACITY);
-        let (tx_b, rx_b) = sync_channel::<Msg>(CHANNEL_CAPACITY);
-        let senders = vec![PortSender { tx: tx_a, port: 0 }, PortSender { tx: tx_b, port: 1 }];
+        let (mut senders, rx_a) = test_endpoint(0);
+        let (more, rx_b) = test_endpoint(1);
+        senders.extend(more);
         let mut b = Batcher::new(3);
         b.extend((0..3).map(tuple_item), &senders);
         for rx in [&rx_a, &rx_b] {
             match rx.try_recv() {
-                Ok(Msg::Batch(_, items)) => assert_eq!(items.len(), 3),
+                Some(Msg::Batch(_, items)) => assert_eq!(items.len(), 3),
                 _ => panic!("both consumers must receive the batch"),
             }
         }
+        assert_eq!(b.stats.batches.get(), 1, "fan-out is one edge batch, not one per consumer");
     }
 
     #[test]
@@ -510,5 +752,63 @@ mod tests {
         let out = run_threaded(&gs, pkts, &["m"]).unwrap();
         // The self-merge sees every tuple on both ports.
         assert_eq!(out.stream("m").len(), 2 * n as usize);
+    }
+
+    /// The final registry snapshot accounts every layer: LFTA counters,
+    /// per-operator counters, edge batcher flushes, and queue admissions.
+    #[test]
+    fn threaded_output_carries_final_counters() {
+        let mut gs = Gigascope::new();
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+        gs.add_program(
+            "DEFINE { query_name persec; } \
+             Select time, count(*) From eth0.tcp Where destPort = 80 Group By time",
+        )
+        .unwrap();
+        let pkts = (0..100u64).map(|i| pkt(i / 20, if i % 2 == 0 { 80 } else { 25 }, b"x"));
+        let out = run_threaded(&gs, pkts, &["persec"]).unwrap();
+        assert_eq!(out.counter("lfta:persec__lfta0", "packets_in"), Some(100));
+        // The port-25 half is rejected up front — by the pushed-down BPF
+        // prefilter or the residual predicate, whichever got the clause.
+        let rejected = out.counter("lfta:persec__lfta0", "prefiltered").unwrap()
+            + out.counter("lfta:persec__lfta0", "filtered").unwrap();
+        assert_eq!(rejected, 50);
+        // The HFTA super-aggregate saw every LFTA partial and emitted the
+        // 5 time buckets.
+        assert_eq!(out.counter("hfta:persec/0:aggregate", "tuples_out"), Some(5));
+        let edge_items = out.counter("edge:persec__lfta0", "items").unwrap();
+        assert!(edge_items > 0, "LFTA edge shipped its partials");
+        assert!(out.counter("queue:persec", "enqueued").unwrap() > 0);
+        assert_eq!(out.counter("queue:persec", "shed_batches"), Some(0));
+    }
+
+    /// A stalled subscriber with shedding enabled must not wedge the
+    /// pipeline: the run completes, drops happen at the stalled queue
+    /// under least-processed-first, and the drops are visible in stats.
+    #[test]
+    fn stalled_subscription_sheds_instead_of_deadlocking() {
+        let mut gs = Gigascope::new();
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+        gs.batch_size = 1; // many messages, so the tiny queue overflows
+        gs.shedding = Some(crate::ShedConfig {
+            policy: gs_runtime::qos::DropPolicy::LeastProcessedFirst,
+            capacity: 4,
+        });
+        gs.add_program("DEFINE { query_name sel; } Select time From eth0.tcp").unwrap();
+        let pkts = (0..500u64).map(|i| pkt(i / 100, 80, b"x"));
+        let out = run_threaded_opts(
+            &gs,
+            pkts,
+            &["sel"],
+            ThreadedOptions { stall: vec!["sel".to_string()] },
+        )
+        .unwrap();
+        let shed = out.counter("queue:sub:sel", "shed_items").unwrap();
+        assert!(shed > 0, "the stalled queue must shed");
+        assert!(
+            (out.stream("sel").len() as u64) + shed >= 500,
+            "every tuple is either delivered or accounted as shed"
+        );
+        assert!(out.stream("sel").len() < 500, "something was actually dropped");
     }
 }

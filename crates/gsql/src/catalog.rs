@@ -109,6 +109,23 @@ impl Catalog {
             handle_params: vec![],
             cost: UdfCost::Cheap,
         });
+        // The self-monitoring stream (paper §4: "Gigascope monitors
+        // itself" using ordinary streams). The engines periodically emit
+        // one row per (node, counter) pair of the stats registry, so any
+        // GSQL query can read `GS_STATS` like a packet-derived stream.
+        c.add_stream(
+            "GS_STATS",
+            vec![
+                ColumnInfo {
+                    name: "time".into(),
+                    ty: DataType::UInt,
+                    order: OrderProp::Increasing { strict: false },
+                },
+                ColumnInfo { name: "node".into(), ty: DataType::Str, order: OrderProp::None },
+                ColumnInfo { name: "counter".into(), ty: DataType::Str, order: OrderProp::None },
+                ColumnInfo { name: "value".into(), ty: DataType::UInt, order: OrderProp::None },
+            ],
+        );
         c
     }
 
@@ -211,6 +228,16 @@ mod tests {
         let payload = s.iter().find(|c| c.name == "payload").unwrap();
         assert_eq!(payload.ty, DataType::Str);
         assert!(c.protocol_schema("nosuch").is_none());
+    }
+
+    #[test]
+    fn gs_stats_stream_is_builtin() {
+        let c = Catalog::with_builtins();
+        let s = c.stream("GS_STATS").unwrap();
+        let names: Vec<&str> = s.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["time", "node", "counter", "value"]);
+        assert_eq!(s[0].order, OrderProp::Increasing { strict: false });
+        assert_eq!(s[1].ty, DataType::Str);
     }
 
     #[test]

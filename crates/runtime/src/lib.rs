@@ -21,6 +21,9 @@
 //!   IP-defragmentation node;
 //! - [`qos`]: overload shedding policies (the paper's "highly processed
 //!   tuples are more valuable" heuristic);
+//! - [`stats`]: the self-monitoring counters every layer keeps and the
+//!   registry that snapshots them (paper §4 — Gigascope monitors itself
+//!   with ordinary streams);
 //! - [`params`]: query-parameter bindings and handle registration.
 
 #![warn(missing_docs)]
@@ -30,6 +33,7 @@ pub mod ops;
 pub mod params;
 pub mod punct;
 pub mod qos;
+pub mod stats;
 pub mod tuple;
 pub mod udf;
 pub mod value;

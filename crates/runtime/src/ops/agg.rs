@@ -20,6 +20,7 @@
 use crate::expr::{EvalScratch, FieldSource, Program};
 use crate::ops::Operator;
 use crate::punct::Punct;
+use crate::stats::OpCounters;
 use crate::tuple::{StreamItem, Tuple};
 use crate::value::Value;
 use gs_gsql::ast::AggFunc;
@@ -27,6 +28,7 @@ use gs_gsql::types::DataType;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// One aggregate accumulator.
 #[derive(Debug, Clone)]
@@ -316,6 +318,10 @@ pub struct AggregateOp {
     punct_in: Option<(usize, u64)>,
     /// Output column index of the flush attribute (for forwarded puncts).
     punct_out: Option<usize>,
+    tuples_in: u64,
+    batches: u64,
+    puncts: u64,
+    stats: Arc<OpCounters>,
 }
 
 impl AggregateOp {
@@ -325,7 +331,15 @@ impl AggregateOp {
         punct_in: Option<(usize, u64)>,
         punct_out: Option<usize>,
     ) -> AggregateOp {
-        AggregateOp { inner, punct_in, punct_out }
+        AggregateOp {
+            inner,
+            punct_in,
+            punct_out,
+            tuples_in: 0,
+            batches: 0,
+            puncts: 0,
+            stats: Arc::new(OpCounters::default()),
+        }
     }
 
     /// Shared-state access for diagnostics.
@@ -336,6 +350,7 @@ impl AggregateOp {
 
 impl AggregateOp {
     fn push_punct(&mut self, p: &Punct, out: &mut Vec<StreamItem>) {
+        self.puncts += 1;
         if let Some((col, div)) = self.punct_in {
             if p.col == col {
                 if let Some(v) = p.low.as_uint() {
@@ -353,7 +368,10 @@ impl AggregateOp {
 impl Operator for AggregateOp {
     fn push(&mut self, _port: usize, item: StreamItem, out: &mut Vec<StreamItem>) {
         match item {
-            StreamItem::Tuple(t) => self.inner.update(&t, out),
+            StreamItem::Tuple(t) => {
+                self.tuples_in += 1;
+                self.inner.update(&t, out);
+            }
             StreamItem::Punct(p) => self.push_punct(&p, out),
         }
     }
@@ -366,11 +384,13 @@ impl Operator for AggregateOp {
     fn push_batch(&mut self, _port: usize, items: Vec<StreamItem>, out: &mut Vec<StreamItem>) {
         // The hot entry is spilled back into the table before anything
         // that inspects the whole group set (flush, punctuation).
+        self.batches += 1;
         let mut hot: Option<(Box<[Value]>, Vec<Acc>)> = None;
         let mut keybuf: Vec<Value> = Vec::new();
         for item in items {
             match item {
                 StreamItem::Tuple(t) => {
+                    self.tuples_in += 1;
                     let agg = &mut self.inner;
                     if !agg.core.eval_key_into(&t, &mut agg.scratch, &mut keybuf) {
                         continue;
@@ -414,6 +434,23 @@ impl Operator for AggregateOp {
 
     fn finish(&mut self, out: &mut Vec<StreamItem>) {
         self.inner.finish(out);
+    }
+
+    fn kind(&self) -> &'static str {
+        "aggregate"
+    }
+
+    fn stats_handle(&self) -> Option<Arc<OpCounters>> {
+        Some(self.stats.clone())
+    }
+
+    fn publish_stats(&self) {
+        self.stats.tuples_in.set(self.tuples_in);
+        self.stats.tuples_out.set(self.inner.emitted);
+        self.stats.batches_in.set(self.batches);
+        self.stats.puncts_in.set(self.puncts);
+        self.stats.groups_evicted.set(self.inner.emitted);
+        self.stats.peak_held.set(self.inner.peak_groups as u64);
     }
 }
 

@@ -14,6 +14,7 @@ use crate::ops::merge::MergeOp;
 use crate::ops::select::{FilterOp, SelectProject};
 use crate::ops::{cascade, cascade_batch, cascade_finish, Operator};
 use crate::params::ParamBindings;
+use crate::stats::StatsRegistry;
 use crate::tuple::StreamItem;
 use crate::udf::{HandleResolver, UdfRegistry};
 use crate::RuntimeError;
@@ -310,6 +311,42 @@ impl HftaNode {
         match &self.root {
             Some(Root::Join(j)) => Some((j.buffered(), j.peak_buffered)),
             _ => None,
+        }
+    }
+
+    /// Register every operator's counter block under
+    /// `hfta:<query>/<i>:<kind>` — index 0 is the root when present,
+    /// then the chain bottom-up.
+    pub fn register_stats(&self, registry: &StatsRegistry, query: &str) {
+        let mut i = 0usize;
+        if let Some(root) = &self.root {
+            let (kind, handle) = match root {
+                Root::Merge(m) => (Operator::kind(m), m.stats_handle()),
+                Root::Join(j) => (Operator::kind(&**j), j.stats_handle()),
+            };
+            if let Some(h) = handle {
+                registry.register(format!("hfta:{query}/{i}:{kind}"), h);
+            }
+            i += 1;
+        }
+        for op in &self.chain {
+            if let Some(h) = op.stats_handle() {
+                registry.register(format!("hfta:{query}/{i}:{}", op.kind()), h);
+            }
+            i += 1;
+        }
+    }
+
+    /// Publish every operator's plain counters into its shared block.
+    pub fn publish_stats(&self) {
+        if let Some(root) = &self.root {
+            match root {
+                Root::Merge(m) => m.publish_stats(),
+                Root::Join(j) => j.publish_stats(),
+            }
+        }
+        for op in &self.chain {
+            op.publish_stats();
         }
     }
 }

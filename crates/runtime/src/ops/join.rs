@@ -15,9 +15,11 @@
 
 use crate::expr::{EvalScratch, Program};
 use crate::ops::Operator;
+use crate::stats::OpCounters;
 use crate::tuple::{StreamItem, Tuple};
 use crate::value::Value;
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Configuration of a window join.
 pub struct JoinConfig {
@@ -77,6 +79,8 @@ struct Side {
     watermark: Option<u64>,
     done: bool,
     len: usize,
+    /// Entries discarded by window GC (no future match possible).
+    gc_dropped: u64,
 }
 
 impl Side {
@@ -156,6 +160,7 @@ impl Side {
         }
         self.forget_ts(ts);
         self.len -= 1;
+        self.gc_dropped += 1;
     }
 }
 
@@ -178,6 +183,10 @@ pub struct JoinOp {
     pub peak_pending: usize,
     /// Output tuples produced.
     pub produced: u64,
+    tuples_in: u64,
+    batches: u64,
+    puncts: u64,
+    stats: Arc<OpCounters>,
 }
 
 impl JoinOp {
@@ -195,6 +204,10 @@ impl JoinOp {
             peak_buffered: 0,
             peak_pending: 0,
             produced: 0,
+            tuples_in: 0,
+            batches: 0,
+            puncts: 0,
+            stats: Arc::new(OpCounters::default()),
         }
     }
 
@@ -316,6 +329,7 @@ impl JoinOp {
     /// them never changes results — GC only removes entries the window
     /// predicate already rejects, and release order comes from the heap).
     fn absorb_tuple(&mut self, is_left: bool, t: Tuple, out: &mut Vec<StreamItem>) {
+        self.tuples_in += 1;
         let ord_col = if is_left { self.cfg.left_col } else { self.cfg.right_col };
         let Some(v) = t.get(ord_col).as_uint() else { return };
         let side = if is_left { &mut self.left } else { &mut self.right };
@@ -359,6 +373,7 @@ impl JoinOp {
     /// Punctuation on the window column advances the side's watermark,
     /// enabling GC of the opposite buffer even when the side is silent.
     fn absorb_punct(&mut self, port: usize, p: &crate::punct::Punct) -> bool {
+        self.puncts += 1;
         let Some(low) = p.low.as_uint() else { return false };
         if port == 0 && p.col == self.cfg.left_col {
             // Future left values >= low: express as watermark with the
@@ -414,6 +429,7 @@ impl Operator for JoinOp {
         // for the whole batch. Deferring GC is safe: dead buffer entries
         // always fail the window predicate, so they can never produce a
         // spurious match, they only linger until batch end.
+        self.batches += 1;
         for item in items {
             match item {
                 StreamItem::Tuple(t) => self.absorb_tuple(port == 0, t, out),
@@ -433,6 +449,23 @@ impl Operator for JoinOp {
         self.left.clear();
         self.right.clear();
         self.release_sorted(out);
+    }
+
+    fn kind(&self) -> &'static str {
+        "join"
+    }
+
+    fn stats_handle(&self) -> Option<Arc<OpCounters>> {
+        Some(self.stats.clone())
+    }
+
+    fn publish_stats(&self) {
+        self.stats.tuples_in.set(self.tuples_in);
+        self.stats.tuples_out.set(self.produced);
+        self.stats.batches_in.set(self.batches);
+        self.stats.puncts_in.set(self.puncts);
+        self.stats.gc_dropped.set(self.left.gc_dropped + self.right.gc_dropped);
+        self.stats.peak_held.set(self.peak_buffered as u64);
     }
 }
 

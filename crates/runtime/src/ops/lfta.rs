@@ -17,11 +17,13 @@
 use crate::expr::{EvalScratch, PacketFields, Program};
 use crate::ops::agg::{DirectMappedAggregator, DmStats};
 use crate::punct::Punct;
+use crate::stats::{Counter, StatSource};
 use crate::tuple::{StreamItem, Tuple};
 use crate::value::Value;
 use gs_nic::bpf::BpfProgram;
 use gs_packet::interp::ProtocolDef;
 use gs_packet::{CapPacket, PacketView};
+use std::sync::Arc;
 
 /// What the LFTA does after filtering.
 pub enum LftaKind {
@@ -48,6 +50,43 @@ pub struct LftaStats {
     pub tuples_out: u64,
 }
 
+/// Shared (atomic) mirror of [`LftaStats`] plus the pre-aggregation
+/// table's eviction count, registered in the stats registry as
+/// `lfta:<stream>`. The capture thread owns the plain counters and
+/// publishes here via [`Lfta::publish_stats`] — on heartbeat rounds and
+/// at end of capture — so readers cost the hot path nothing.
+#[derive(Debug, Default)]
+pub struct LftaCounters {
+    /// Packets offered.
+    pub packets_in: Counter,
+    /// Packets rejected by the BPF prefilter.
+    pub prefiltered: Counter,
+    /// Packets dropped by analyst-requested sampling.
+    pub sampled_out: Counter,
+    /// Malformed / wrong-protocol packets.
+    pub not_protocol: Counter,
+    /// Packets rejected by the selection predicate.
+    pub filtered: Counter,
+    /// Output tuples emitted.
+    pub tuples_out: Counter,
+    /// Direct-mapped table collision evictions (aggregating LFTAs).
+    pub dm_evictions: Counter,
+}
+
+impl StatSource for LftaCounters {
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("packets_in", self.packets_in.get()),
+            ("prefiltered", self.prefiltered.get()),
+            ("sampled_out", self.sampled_out.get()),
+            ("not_protocol", self.not_protocol.get()),
+            ("filtered", self.filtered.get()),
+            ("tuples_out", self.tuples_out.get()),
+            ("dm_evictions", self.dm_evictions.get()),
+        ]
+    }
+}
+
 /// A compiled, instantiated LFTA.
 pub struct Lfta {
     /// Registered output stream name.
@@ -67,6 +106,7 @@ pub struct Lfta {
     scratch: EvalScratch,
     /// Execution counters.
     pub stats: LftaStats,
+    shared: Arc<LftaCounters>,
 }
 
 impl Lfta {
@@ -95,6 +135,27 @@ impl Lfta {
             sample_seed,
             scratch: EvalScratch::default(),
             stats: LftaStats::default(),
+            shared: Arc::new(LftaCounters::default()),
+        }
+    }
+
+    /// The shared counter block for stats registration.
+    pub fn stats_handle(&self) -> Arc<LftaCounters> {
+        self.shared.clone()
+    }
+
+    /// Publish the plain hot-path counters into the shared block. The
+    /// engines call this on heartbeat rounds and at end of capture, so
+    /// registry snapshots are at most one heartbeat stale.
+    pub fn publish_stats(&self) {
+        self.shared.packets_in.set(self.stats.packets_in);
+        self.shared.prefiltered.set(self.stats.prefiltered);
+        self.shared.sampled_out.set(self.stats.sampled_out);
+        self.shared.not_protocol.set(self.stats.not_protocol);
+        self.shared.filtered.set(self.stats.filtered);
+        self.shared.tuples_out.set(self.stats.tuples_out);
+        if let Some(dm) = self.dm_stats() {
+            self.shared.dm_evictions.set(dm.evictions);
         }
     }
 

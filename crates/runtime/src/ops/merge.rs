@@ -16,10 +16,12 @@
 
 use crate::ops::{Operator, OrderedTupleEntry as Entry};
 use crate::punct::Punct;
+use crate::stats::OpCounters;
 use crate::tuple::StreamItem;
 use crate::value::Value;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 struct Input {
     heap: BinaryHeap<Reverse<Entry>>,
@@ -55,6 +57,11 @@ pub struct MergeOp {
     /// unknown/lagging bound is holding buffered tuples back (the paper's
     /// on-demand punctuation trigger).
     pub starved: bool,
+    tuples_in: u64,
+    tuples_out: u64,
+    batches: u64,
+    puncts: u64,
+    stats: Arc<OpCounters>,
 }
 
 impl MergeOp {
@@ -82,6 +89,11 @@ impl MergeOp {
             buffered: 0,
             peak_buffered: 0,
             starved: false,
+            tuples_in: 0,
+            tuples_out: 0,
+            batches: 0,
+            puncts: 0,
+            stats: Arc::new(OpCounters::default()),
         }
     }
 
@@ -117,6 +129,7 @@ impl MergeOp {
             let Some((i, _, _)) = best else { break };
             let Reverse(e) = self.inputs[i].heap.pop().expect("peeked entry");
             self.buffered -= 1;
+            self.tuples_out += 1;
             out.push(StreamItem::Tuple(e.tuple));
         }
         self.starved = self.buffered > 0;
@@ -134,6 +147,7 @@ impl MergeOp {
     fn absorb(&mut self, port: usize, item: StreamItem) -> bool {
         match item {
             StreamItem::Tuple(t) => {
+                self.tuples_in += 1;
                 let Some(v) = t.get(self.on_col).as_uint() else { return false };
                 let input = &mut self.inputs[port];
                 input.watermark = Some(input.watermark.map_or(v, |w| w.max(v)));
@@ -147,6 +161,7 @@ impl MergeOp {
                 true
             }
             StreamItem::Punct(p) => {
+                self.puncts += 1;
                 if p.col != self.on_col {
                     return false;
                 }
@@ -186,6 +201,7 @@ impl Operator for MergeOp {
     /// the heaps once at the end, instead of running the k-way
     /// smallest-safe-entry scan after every tuple.
     fn push_batch(&mut self, port: usize, items: Vec<StreamItem>, out: &mut Vec<StreamItem>) {
+        self.batches += 1;
         let mut dirty = false;
         for item in items {
             dirty |= self.absorb(port, item);
@@ -200,6 +216,22 @@ impl Operator for MergeOp {
             i.finished = true;
         }
         self.drain_ready(out);
+    }
+
+    fn kind(&self) -> &'static str {
+        "merge"
+    }
+
+    fn stats_handle(&self) -> Option<Arc<OpCounters>> {
+        Some(self.stats.clone())
+    }
+
+    fn publish_stats(&self) {
+        self.stats.tuples_in.set(self.tuples_in);
+        self.stats.tuples_out.set(self.tuples_out);
+        self.stats.batches_in.set(self.batches);
+        self.stats.puncts_in.set(self.puncts);
+        self.stats.peak_held.set(self.peak_buffered as u64);
     }
 }
 

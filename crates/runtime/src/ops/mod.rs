@@ -14,7 +14,9 @@ pub mod lfta;
 pub mod merge;
 pub mod select;
 
+use crate::stats::OpCounters;
 use crate::tuple::{StreamItem, Tuple};
+use std::sync::Arc;
 
 /// Heap entry ordering tuples by an ordered-attribute value with an
 /// insertion sequence as tiebreak; shared by the merge operator's input
@@ -69,6 +71,25 @@ pub trait Operator: Send {
 
     /// All inputs are exhausted: flush any remaining state.
     fn finish(&mut self, out: &mut Vec<StreamItem>);
+
+    /// Short tag naming the operator kind in stats registrations
+    /// (`hfta:<query>/<i>:<kind>`).
+    fn kind(&self) -> &'static str {
+        "op"
+    }
+
+    /// The operator's shared counter block, when it keeps one. The
+    /// engine registers it in the [`StatsRegistry`](crate::stats::StatsRegistry)
+    /// at build time.
+    fn stats_handle(&self) -> Option<Arc<OpCounters>> {
+        None
+    }
+
+    /// Publish internal plain counters into the shared block (plain
+    /// stores — operators are single-writer). Called by the scheduler at
+    /// batch granularity; until the first call the shared block reads
+    /// zero.
+    fn publish_stats(&self) {}
 }
 
 /// Run a chain of single-input operators over one item: the output of each

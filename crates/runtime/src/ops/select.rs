@@ -3,8 +3,10 @@
 use crate::expr::{EvalScratch, Program};
 use crate::ops::Operator;
 use crate::punct::Punct;
+use crate::stats::OpCounters;
 use crate::tuple::{StreamItem, Tuple};
 use crate::value::Value;
+use std::sync::Arc;
 
 /// Filter + project in one pass. Punctuation is translated through the
 /// projection when the punctuated column survives as an identity (or
@@ -21,6 +23,9 @@ pub struct SelectProject {
     pub seen: u64,
     /// Tuples that passed the filter and projected successfully.
     pub kept: u64,
+    batches: u64,
+    puncts: u64,
+    stats: Arc<OpCounters>,
 }
 
 impl SelectProject {
@@ -37,6 +42,9 @@ impl SelectProject {
             scratch: EvalScratch::default(),
             seen: 0,
             kept: 0,
+            batches: 0,
+            puncts: 0,
+            stats: Arc::new(OpCounters::default()),
         }
     }
 }
@@ -61,6 +69,7 @@ impl SelectProject {
     }
 
     fn push_punct(&mut self, p: &Punct, out: &mut Vec<StreamItem>) {
+        self.puncts += 1;
         for (in_col, out_col, div) in &self.punct_map {
             if p.col == *in_col {
                 if let Some(v) = p.low.as_uint() {
@@ -86,6 +95,7 @@ impl Operator for SelectProject {
         // One reservation for the common all-tuples-pass case; the match
         // dispatch stays, but counter updates and projected-tuple pushes
         // hit a pre-grown vector.
+        self.batches += 1;
         out.reserve(items.len());
         for item in items {
             match item {
@@ -96,6 +106,21 @@ impl Operator for SelectProject {
     }
 
     fn finish(&mut self, _out: &mut Vec<StreamItem>) {}
+
+    fn kind(&self) -> &'static str {
+        "select"
+    }
+
+    fn stats_handle(&self) -> Option<Arc<OpCounters>> {
+        Some(self.stats.clone())
+    }
+
+    fn publish_stats(&self) {
+        self.stats.tuples_in.set(self.seen);
+        self.stats.tuples_out.set(self.kept);
+        self.stats.batches_in.set(self.batches);
+        self.stats.puncts_in.set(self.puncts);
+    }
 }
 
 /// Pure filter: drops tuples failing the predicate, passes punctuation
@@ -107,12 +132,23 @@ pub struct FilterOp {
     pub seen: u64,
     /// Tuples kept.
     pub kept: u64,
+    batches: u64,
+    puncts: u64,
+    stats: Arc<OpCounters>,
 }
 
 impl FilterOp {
     /// Build from a compiled boolean program.
     pub fn new(pred: Program) -> FilterOp {
-        FilterOp { pred, scratch: EvalScratch::default(), seen: 0, kept: 0 }
+        FilterOp {
+            pred,
+            scratch: EvalScratch::default(),
+            seen: 0,
+            kept: 0,
+            batches: 0,
+            puncts: 0,
+            stats: Arc::new(OpCounters::default()),
+        }
     }
 }
 
@@ -126,11 +162,15 @@ impl Operator for FilterOp {
                     out.push(StreamItem::Tuple(t));
                 }
             }
-            p @ StreamItem::Punct(_) => out.push(p),
+            p @ StreamItem::Punct(_) => {
+                self.puncts += 1;
+                out.push(p);
+            }
         }
     }
 
     fn push_batch(&mut self, _port: usize, items: Vec<StreamItem>, out: &mut Vec<StreamItem>) {
+        self.batches += 1;
         out.reserve(items.len());
         for item in items {
             match item {
@@ -141,12 +181,30 @@ impl Operator for FilterOp {
                         out.push(StreamItem::Tuple(t));
                     }
                 }
-                p @ StreamItem::Punct(_) => out.push(p),
+                p @ StreamItem::Punct(_) => {
+                    self.puncts += 1;
+                    out.push(p);
+                }
             }
         }
     }
 
     fn finish(&mut self, _out: &mut Vec<StreamItem>) {}
+
+    fn kind(&self) -> &'static str {
+        "filter"
+    }
+
+    fn stats_handle(&self) -> Option<Arc<OpCounters>> {
+        Some(self.stats.clone())
+    }
+
+    fn publish_stats(&self) {
+        self.stats.tuples_in.set(self.seen);
+        self.stats.tuples_out.set(self.kept);
+        self.stats.batches_in.set(self.batches);
+        self.stats.puncts_in.set(self.puncts);
+    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,36 @@ pub enum DropPolicy {
     LeastProcessedFirst,
 }
 
+/// Outcome of one [`Shedder::offer`]: what, if anything, was dropped.
+///
+/// Callers that account for shed work (the manager counts every dropped
+/// batch and its tuples) get the victim back instead of a bare boolean.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Offer<T> {
+    /// The buffer had room; nothing was dropped.
+    Accepted,
+    /// The arriving item was buffered at the cost of a shallower
+    /// buffered item, returned here with its depth.
+    AcceptedEvicting(u32, T),
+    /// The buffer was full and the policy dropped the arriving item.
+    Rejected(u32, T),
+}
+
+impl<T> Offer<T> {
+    /// Whether the arriving item was kept.
+    pub fn kept(&self) -> bool {
+        !matches!(self, Offer::Rejected(..))
+    }
+
+    /// The dropped item (arriving or evicted), if any.
+    pub fn dropped(self) -> Option<(u32, T)> {
+        match self {
+            Offer::Accepted => None,
+            Offer::AcceptedEvicting(d, t) | Offer::Rejected(d, t) => Some((d, t)),
+        }
+    }
+}
+
 /// A bounded buffer with value-aware shedding.
 ///
 /// ```
@@ -31,7 +61,7 @@ pub enum DropPolicy {
 /// let mut s = Shedder::new(1, DropPolicy::LeastProcessedFirst);
 /// s.offer(0, "raw packet");
 /// // A highly processed tuple evicts the raw one (the paper's heuristic).
-/// assert!(s.offer(3, "joined result"));
+/// assert!(s.offer(3, "joined result").kept());
 /// assert_eq!(s.pop().unwrap().1, "joined result");
 /// ```
 #[derive(Debug)]
@@ -64,17 +94,18 @@ impl<T> Shedder<T> {
         self.dropped_by_depth[i] += 1;
     }
 
-    /// Offer an item of the given processing depth. Returns `true` if the
-    /// arriving item was kept (possibly at the cost of a buffered one).
-    pub fn offer(&mut self, depth: u32, item: T) -> bool {
+    /// Offer an item of the given processing depth. When the buffer is
+    /// full the [`DropPolicy`] picks a victim, returned in the
+    /// [`Offer`] so callers can account for (or inspect) what was shed.
+    pub fn offer(&mut self, depth: u32, item: T) -> Offer<T> {
         if self.buf.len() < self.capacity {
             self.buf.push_back((depth, item));
-            return true;
+            return Offer::Accepted;
         }
         match self.policy {
             DropPolicy::TailDrop => {
                 self.count_drop(depth);
-                false
+                Offer::Rejected(depth, item)
             }
             DropPolicy::LeastProcessedFirst => {
                 // Find the shallowest buffered item.
@@ -85,16 +116,24 @@ impl<T> Shedder<T> {
                     .min_by_key(|(_, (d, _))| *d)
                     .expect("buffer is full, hence non-empty");
                 if min_depth < depth {
-                    self.buf.remove(idx);
-                    self.count_drop(min_depth);
+                    let (d, evicted) = self.buf.remove(idx).expect("index from enumerate");
+                    self.count_drop(d);
                     self.buf.push_back((depth, item));
-                    true
+                    Offer::AcceptedEvicting(d, evicted)
                 } else {
                     self.count_drop(depth);
-                    false
+                    Offer::Rejected(depth, item)
                 }
             }
         }
+    }
+
+    /// Buffer an item unconditionally, bypassing capacity and policy.
+    /// For control messages (stream-close markers) that must never be
+    /// shed: dropping one would wedge the consumer waiting on it. The
+    /// transient overshoot is bounded by the number of producers.
+    pub fn force(&mut self, depth: u32, item: T) {
+        self.buf.push_back((depth, item));
     }
 
     /// Take the oldest buffered item.
@@ -122,12 +161,24 @@ impl<T> Shedder<T> {
 mod tests {
     use super::*;
 
+    /// The `Shedder` doc example, as a plain unit test so `cargo test`
+    /// without doctests (and future refactors of the example) still
+    /// cover it.
+    #[test]
+    fn doc_example_offer() {
+        let mut s = Shedder::new(1, DropPolicy::LeastProcessedFirst);
+        s.offer(0, "raw packet");
+        // A highly processed tuple evicts the raw one (the paper's heuristic).
+        assert!(s.offer(3, "joined result").kept());
+        assert_eq!(s.pop().unwrap().1, "joined result");
+    }
+
     #[test]
     fn tail_drop_ignores_value() {
         let mut s = Shedder::new(2, DropPolicy::TailDrop);
-        assert!(s.offer(0, "a"));
-        assert!(s.offer(0, "b"));
-        assert!(!s.offer(9, "precious"));
+        assert!(s.offer(0, "a").kept());
+        assert!(s.offer(0, "b").kept());
+        assert_eq!(s.offer(9, "precious"), Offer::Rejected(9, "precious"));
         assert_eq!(s.total_dropped(), 1);
         assert_eq!(s.pop().unwrap().1, "a");
     }
@@ -137,22 +188,31 @@ mod tests {
         let mut s = Shedder::new(2, DropPolicy::LeastProcessedFirst);
         s.offer(0, "raw1");
         s.offer(3, "agg");
-        // A deeper item evicts the shallow one.
-        assert!(s.offer(5, "joined"));
+        // A deeper item evicts the shallow one — and the victim comes back.
+        assert_eq!(s.offer(5, "joined"), Offer::AcceptedEvicting(0, "raw1"));
         assert_eq!(s.len(), 2);
         assert_eq!(s.dropped_by_depth[0], 1);
         // A shallow item cannot evict deeper ones.
-        assert!(!s.offer(1, "raw2"));
+        assert_eq!(s.offer(1, "raw2"), Offer::Rejected(1, "raw2"));
         assert_eq!(s.dropped_by_depth[1], 1);
         let kept: Vec<&str> = std::iter::from_fn(|| s.pop().map(|(_, v)| v)).collect();
         assert_eq!(kept, vec!["agg", "joined"]);
     }
 
+    /// On an equal-depth tie, LeastProcessedFirst behaves as tail drop:
+    /// the resident item is kept, the arriving one is rejected, and the
+    /// drop is charged to the arriving item's depth.
     #[test]
-    fn equal_depth_prefers_resident() {
+    fn equal_depth_ties_tail_drop_the_arrival() {
         let mut s = Shedder::new(1, DropPolicy::LeastProcessedFirst);
         s.offer(2, "first");
-        assert!(!s.offer(2, "second"), "ties keep the already-buffered item");
+        assert_eq!(
+            s.offer(2, "second"),
+            Offer::Rejected(2, "second"),
+            "ties keep the already-buffered item"
+        );
+        assert_eq!(s.dropped_by_depth[2], 1, "the drop is charged at the tie depth");
+        assert_eq!(s.len(), 1, "nothing was evicted");
         assert_eq!(s.pop().unwrap().1, "first");
     }
 
@@ -162,5 +222,16 @@ mod tests {
         s.offer(0, ());
         s.offer(100, ());
         assert_eq!(*s.dropped_by_depth.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn force_bypasses_capacity_and_policy() {
+        let mut s = Shedder::new(1, DropPolicy::LeastProcessedFirst);
+        assert!(s.offer(5, "deep").kept());
+        s.force(0, "close marker");
+        assert_eq!(s.len(), 2, "force overshoots capacity");
+        assert_eq!(s.total_dropped(), 0);
+        assert_eq!(s.pop().unwrap().1, "deep");
+        assert_eq!(s.pop().unwrap().1, "close marker");
     }
 }

@@ -1,6 +1,7 @@
 //! End-to-end integration: GSQL text in, packets in, correct tuples out —
 //! checked against oracle computations over the same packets.
 
+use gigascope::manager::run_threaded;
 use gigascope::{Gigascope, ParamBindings, Value};
 use gs_netgen::{MixConfig, PacketMix};
 use gs_packet::builder::FrameBuilder;
@@ -416,4 +417,124 @@ fn invalid_sample_probability_rejected() {
     assert!(gs
         .add_program("DEFINE { query_name q2; sample 0; } Select time From eth0.tcp")
         .is_err());
+}
+
+// ---------------------------------------------------------------------
+// Self-monitoring: stats accuracy
+// ---------------------------------------------------------------------
+
+/// A two-interface select → merge → aggregate pipeline whose per-operator
+/// tuple counts are known exactly from the trace construction.
+const STATS_PROGRAM: &str =
+    "DEFINE { query_name s0; } Select time From eth0.tcp Where destPort = 80; \
+     DEFINE { query_name s1; } Select time From eth1.tcp Where destPort = 80; \
+     DEFINE { query_name m; } Merge s0.time : s1.time From s0, s1; \
+     DEFINE { query_name agg; } Select time, count(*) From m Group By time";
+
+/// 600 packets, 10 ms apart (seconds 0..=5), alternating interfaces;
+/// every third packet goes to port 80. Per interface: 300 packets seen,
+/// 100 to port 80, so the merge sees 200 and the aggregate emits one
+/// group per second = 6.
+fn stats_trace() -> Vec<CapPacket> {
+    (0..600u64)
+        .map(|i| {
+            let dport = if i % 3 == 0 { 80 } else { 443 };
+            let f = FrameBuilder::tcp(0x0a00_0000 + i as u32, 0xc0a8_0001, 1024, dport)
+                .build_ethernet();
+            CapPacket::full(i * 10_000_000, (i % 2) as u16, LinkType::Ethernet, f)
+        })
+        .collect()
+}
+
+/// `(node, counter, expected)` for `stats_trace` through `STATS_PROGRAM`,
+/// required to hold on either engine at any batch size.
+const EXACT_COUNTS: [(&str, &str, u64); 10] = [
+    ("lfta:s0", "packets_in", 300),
+    ("lfta:s0", "tuples_out", 100),
+    ("lfta:s1", "packets_in", 300),
+    ("lfta:s1", "tuples_out", 100),
+    ("hfta:m/0:merge", "tuples_in", 200),
+    ("hfta:m/0:merge", "tuples_out", 200),
+    ("hfta:agg/0:aggregate", "tuples_in", 200),
+    ("hfta:agg/0:aggregate", "tuples_out", 6),
+    ("hfta:agg/1:select", "tuples_in", 6),
+    ("hfta:agg/1:select", "tuples_out", 6),
+];
+
+#[test]
+fn operator_counters_are_exact_in_the_sync_engine() {
+    let mut gs = system();
+    gs.add_program(STATS_PROGRAM).unwrap();
+    let out = gs.run_capture(stats_trace().into_iter(), &["agg"]).unwrap();
+    assert_eq!(out.stream("agg").len(), 6);
+    for (node, counter, want) in EXACT_COUNTS {
+        assert_eq!(out.stats.counter(node, counter), Some(want), "{node}.{counter}");
+    }
+    // The 200 non-port-80 packets per LFTA are rejected up front — by the
+    // pushed-down BPF prefilter or the residual predicate, whichever got
+    // the Where clause.
+    for lfta in ["lfta:s0", "lfta:s1"] {
+        let rejected = out.stats.counter(lfta, "prefiltered").unwrap()
+            + out.stats.counter(lfta, "filtered").unwrap();
+        assert_eq!(rejected, 200, "{lfta} rejections");
+    }
+}
+
+/// The same exact counts through the threaded manager at batch sizes
+/// straddling the trace's punctuation boundaries: batching must never
+/// lose or double-count a tuple.
+#[test]
+fn operator_counters_are_batch_invariant_in_the_threaded_manager() {
+    let pkts = stats_trace();
+    for batch in [1usize, 3, 256] {
+        let mut gs = system();
+        gs.batch_size = batch;
+        gs.add_program(STATS_PROGRAM).unwrap();
+        let out = run_threaded(&gs, pkts.iter().cloned(), &["agg"]).unwrap();
+        assert_eq!(out.stream("agg").len(), 6, "batch {batch}");
+        for (node, counter, want) in EXACT_COUNTS {
+            assert_eq!(out.counter(node, counter), Some(want), "batch {batch} {node}.{counter}");
+        }
+        // Edge accounting closes: every flushed batch has exactly one
+        // recorded cause, and each LFTA's 100 tuples all crossed its edge
+        // (items also counts punctuations, so >=).
+        for edge in ["edge:s0", "edge:s1"] {
+            let batches = out.counter(edge, "batches").unwrap();
+            let by_cause: u64 = ["flush_size", "flush_punct", "flush_heartbeat", "flush_close"]
+                .iter()
+                .map(|c| out.counter(edge, c).unwrap())
+                .sum();
+            assert_eq!(batches, by_cause, "batch {batch} {edge} flush causes");
+            assert!(out.counter(edge, "items").unwrap() >= 100, "batch {batch} {edge} items");
+        }
+    }
+}
+
+fn node_is(v: &Value, name: &str) -> bool {
+    matches!(v, Value::Str(s) if s.as_ref() == name.as_bytes())
+}
+
+/// GS_STATS is an ordinary queryable stream in the synchronous engine
+/// too: snapshots are emitted at heartbeat rounds plus a final one, so a
+/// GSQL query over it sees per-operator counters rising monotonically to
+/// the exact final total.
+#[test]
+fn gs_stats_is_queryable_in_the_sync_engine() {
+    let mut gs = system();
+    gs.add_program(
+        "DEFINE { query_name q; } Select time, count(*) From eth0.tcp Group By time; \
+         DEFINE { query_name watch; } \
+         Select time, node, counter, value From GS_STATS Where counter = 'packets_in'",
+    )
+    .unwrap();
+    let out = gs.run_capture(stats_trace().into_iter(), &["q", "watch"]).unwrap();
+    let vals: Vec<u64> = out
+        .stream("watch")
+        .iter()
+        .filter(|t| node_is(t.get(1), "lfta:q__lfta0"))
+        .map(|t| t.get(3).as_uint().unwrap())
+        .collect();
+    assert!(vals.len() >= 2, "snapshots mid-run plus a final one; got {vals:?}");
+    assert!(vals.windows(2).all(|w| w[0] <= w[1]), "counters are monotone: {vals:?}");
+    assert_eq!(*vals.last().unwrap(), 300, "final snapshot has the exact packet total");
 }
