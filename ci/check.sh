@@ -20,10 +20,24 @@ echo "== self-monitoring property/stats tests =="
 # above): shedding invariants and exact per-operator counter accounting.
 cargo test -q --offline -p gs-tests --test prop_qos --test end_to_end
 
+echo "== partition-parallel property tests =="
+# Explicit gate on the PR-4 suite (also covered by the full test run
+# above): the partition-parallel rewrite is output-invisible at every
+# parallelism x batch point, with and without shedding.
+cargo test -q --offline -p gs-tests --test prop_parallel
+
 echo "== stats overhead gate (<=5% on threaded benches) =="
 # Interleaved stats-on/stats-off runs of the manager workload; exits
 # non-zero if self-monitoring costs more than 5%.
 GS_BENCH_QUICK=1 cargo run -q --release --offline -p gs-bench --bin stats_overhead
+
+echo "== partition-parallel gate (par4 not slower than par1) =="
+# Interleaved parallelism-1/parallelism-4 runs of the multi-key manager
+# workload; exits non-zero if the partitioned run costs more than 10%.
+# On hosts with fewer than 4 logical CPUs the numbers are printed but
+# the comparison is skipped (the >=1.5x speedup figure is a manual
+# measurement on a >=4-core machine).
+GS_BENCH_QUICK=1 cargo run -q --release --offline -p gs-bench --bin parallel_gate
 
 echo "== offline bench compile =="
 cargo bench -p gs-bench --no-run --offline
@@ -34,6 +48,12 @@ echo "== bench smoke run (quick mode) =="
 # CI time on real measurements. Hermetic — in-repo harness only.
 GS_BENCH_QUICK=1 cargo bench -p gs-bench --offline
 test -f target/bench.json || { echo "FAIL: bench.json not written" >&2; exit 1; }
+# The parallelism sweep must land in the report: both the par1 baseline
+# and the par4 sharded point.
+for key in "manager/threaded_par1" "manager/threaded_par4"; do
+    grep -q "$key" target/bench.json ||
+        { echo "FAIL: $key missing from bench.json" >&2; exit 1; }
+done
 
 echo "== manifest gate: no registry dependencies =="
 # Every dependency declaration in every manifest must be a path dependency

@@ -366,6 +366,38 @@ fn bench_manager(c: &mut Criterion) {
             b.iter(|| run_threaded(&gsb, pkts.iter().cloned(), &["raw", "persec"]).unwrap())
         });
     }
+    // Partition-parallel HFTA execution: the same pipeline with a
+    // multi-key aggregate (1024 source addresses, so the hash router
+    // actually spreads groups) rewritten into K shard instances plus a
+    // reunifying merge. par1 is the mandated no-op baseline; the
+    // par4-not-slower gate lives in src/bin/parallel_gate.rs.
+    let multi: Vec<CapPacket> = (0..N)
+        .map(|i| {
+            let f = FrameBuilder::tcp(0x0a000000 + (i % 1024) as u32, 0xc0a80001, 1024, 80)
+                .payload(b"x")
+                .build_ethernet();
+            CapPacket::full(i as u64 * 500_000, 0, LinkType::Ethernet, f)
+        })
+        .collect();
+    let mk_par = |par: usize| {
+        let mut gs = Gigascope::new();
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+        gs.batch_size = 256;
+        gs.parallelism = par;
+        gs.add_program(
+            "DEFINE { query_name raw; } Select time, srcIP, len From eth0.tcp; \
+             DEFINE { query_name persrc; } \
+             Select time, srcIP, count(*), sum(len) From raw Group By time, srcIP",
+        )
+        .unwrap();
+        gs
+    };
+    for par in [1usize, 4] {
+        let gsp = mk_par(par);
+        g.bench_function(&format!("threaded_par{par}"), |b| {
+            b.iter(|| run_threaded(&gsp, multi.iter().cloned(), &["persrc"]).unwrap())
+        });
+    }
     g.finish();
 }
 

@@ -11,6 +11,7 @@ use crate::{Error, Gigascope};
 use bytes::Bytes;
 use gs_runtime::ops::build::{build_hfta, build_lfta, BuildCtx, HftaNode};
 use gs_runtime::ops::lfta::{Lfta, LftaStats};
+use gs_runtime::ops::router::KeyRouter;
 use gs_runtime::punct::{HeartbeatMode, Punct};
 use gs_runtime::stats::{StatRow, StatsRegistry};
 use gs_runtime::tuple::{StreamItem, Tuple};
@@ -76,12 +77,23 @@ struct NodeHost {
     out_sid: usize,
 }
 
+/// Hash router feeding the K partition instances of one rewritten HFTA,
+/// installed on the partitioned input stream. Tuples go to exactly one
+/// partition; punctuation is broadcast to all of them.
+struct EngineRouter {
+    router: KeyRouter,
+    /// Node indices of the partition instances, in partition order.
+    targets: Vec<usize>,
+}
+
 /// The wired-up execution graph.
 pub struct Engine {
     lftas: Vec<LftaHost>,
     nodes: Vec<NodeHost>,
     /// stream id -> (node index, port) consumers.
     consumers: Vec<Vec<(usize, usize)>>,
+    /// stream id -> hash router over that stream's partition instances.
+    routers: HashMap<usize, EngineRouter>,
     /// stream id -> collection bucket.
     collect: Vec<Option<String>>,
     stream_ids: HashMap<String, usize>,
@@ -105,6 +117,7 @@ impl Engine {
             lftas: Vec::new(),
             nodes: Vec::new(),
             consumers: Vec::new(),
+            routers: HashMap::new(),
             collect: Vec::new(),
             stream_ids: HashMap::new(),
             heartbeat: gs.heartbeat,
@@ -138,14 +151,48 @@ impl Engine {
                 engine.lftas.push(LftaHost { lfta, iface_id, out_sid });
             }
             if let Some(hplan) = &dq.hfta {
-                let node = build_hfta(hplan, &ctx)?;
-                let node_idx = engine.nodes.len();
-                for (port, input) in node.inputs.iter().enumerate() {
-                    let sid = engine.sid(input);
-                    engine.consumers[sid].push((node_idx, port));
+                if let Some(part) = gs.parallel_rewrite(dq) {
+                    // K partition instances fed by a hash router on the
+                    // input stream (not via the consumer map, which
+                    // would duplicate every tuple into every shard)...
+                    let mut progs = Vec::with_capacity(part.hash_exprs.len());
+                    for e in &part.hash_exprs {
+                        progs.push(ctx.prog(e).map_err(Error::Runtime)?);
+                    }
+                    let in_sid = engine.sid(&part.input);
+                    let mut targets = Vec::with_capacity(part.partitions.len());
+                    for (pname, pplan) in &part.partitions {
+                        let node = build_hfta(pplan, &ctx)?;
+                        targets.push(engine.nodes.len());
+                        let out_sid = engine.sid(pname);
+                        engine.nodes.push(NodeHost { name: pname.clone(), node, out_sid });
+                    }
+                    let k = targets.len();
+                    engine
+                        .routers
+                        .insert(in_sid, EngineRouter { router: KeyRouter::new(progs, k), targets });
+                    // ... reunified by an ordinary merge node wired
+                    // through the consumer map. Inserted after the
+                    // partitions so `run`'s in-order finish flushes the
+                    // shards into the merge before the merge finishes.
+                    let node = build_hfta(&part.merge, &ctx)?;
+                    let node_idx = engine.nodes.len();
+                    for (port, input) in node.inputs.iter().enumerate() {
+                        let sid = engine.sid(input);
+                        engine.consumers[sid].push((node_idx, port));
+                    }
+                    let out_sid = engine.sid(&dq.name);
+                    engine.nodes.push(NodeHost { name: dq.name.clone(), node, out_sid });
+                } else {
+                    let node = build_hfta(hplan, &ctx)?;
+                    let node_idx = engine.nodes.len();
+                    for (port, input) in node.inputs.iter().enumerate() {
+                        let sid = engine.sid(input);
+                        engine.consumers[sid].push((node_idx, port));
+                    }
+                    let out_sid = engine.sid(&dq.name);
+                    engine.nodes.push(NodeHost { name: dq.name.clone(), node, out_sid });
                 }
-                let out_sid = engine.sid(&dq.name);
-                engine.nodes.push(NodeHost { name: dq.name.clone(), node, out_sid });
             }
         }
         // Register every counter source and claim the monitoring
@@ -191,17 +238,53 @@ impl Engine {
                 let bucket = self.outputs.entry(name.clone()).or_default();
                 bucket.extend(items.iter().filter_map(|i| i.as_tuple().cloned()));
             }
+            let has_router = self.routers.contains_key(&sid);
             let consumers = self.consumers[sid].clone();
             for (i, (node_idx, port)) in consumers.iter().copied().enumerate() {
                 // Last consumer takes the item vector, earlier ones clone
                 // it — the same batch-level fan-out rule as the threaded
-                // manager.
-                let batch =
-                    if i + 1 == consumers.len() { std::mem::take(&mut items) } else { items.clone() };
+                // manager. A router counts as one more consumer.
+                let batch = if i + 1 == consumers.len() && !has_router {
+                    std::mem::take(&mut items)
+                } else {
+                    items.clone()
+                };
                 let mut out = Vec::new();
                 self.nodes[node_idx].node.push_batch(port, batch, &mut out);
                 if !out.is_empty() {
                     work.push((self.nodes[node_idx].out_sid, out));
+                }
+            }
+            if has_router {
+                // Split the batch per partition: tuples go to their
+                // hashed shard, punctuation is broadcast to every shard
+                // (each shard's watermark must keep advancing or the
+                // reunifying merge would hold output forever).
+                let router = self.routers.get_mut(&sid).expect("checked above");
+                let mut parts: Vec<Vec<StreamItem>> = vec![Vec::new(); router.targets.len()];
+                for item in std::mem::take(&mut items) {
+                    match &item {
+                        StreamItem::Tuple(t) => {
+                            let b = router.router.route(t);
+                            parts[b].push(item);
+                        }
+                        StreamItem::Punct(_) => {
+                            for p in &mut parts {
+                                p.push(item.clone());
+                            }
+                        }
+                    }
+                }
+                let targets = router.targets.clone();
+                for (batch, node_idx) in parts.into_iter().zip(targets) {
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    let mut out = Vec::new();
+                    self.nodes[node_idx].node.push_batch(0, batch, &mut out);
+                    if !out.is_empty() {
+                        work.push((self.nodes[node_idx].out_sid, out));
+                    }
                 }
             }
         }
@@ -455,6 +538,50 @@ mod tests {
             .collect();
         rows.sort();
         assert_eq!(rows, vec![(1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn parallel_aggregation_matches_single_instance() {
+        let program = "DEFINE { query_name raw; } \
+             Select time, destPort, len From eth0.tcp; \
+             DEFINE { query_name perport; } \
+             Select time, destPort, count(*), sum(len) From raw Group By time, destPort";
+        let mk = || {
+            let mut pkts = Vec::new();
+            for s in 1..=4u64 {
+                for k in 0..6u16 {
+                    pkts.push(pkt(s, 0, 8000 + (k % 3), &[k as u8]));
+                }
+            }
+            pkts
+        };
+        let run = |parallelism: usize| {
+            let mut gs = system();
+            gs.parallelism = parallelism;
+            gs.add_program(program).unwrap();
+            gs.run_capture(mk().into_iter(), &["perport"]).unwrap()
+        };
+        let rows = |out: &RunOutput| {
+            let mut v: Vec<Vec<u64>> = out
+                .stream("perport")
+                .iter()
+                .map(|t| (0..4).map(|i| t.get(i).as_uint().unwrap()).collect())
+                .collect();
+            v.sort();
+            v
+        };
+        let base = run(1);
+        let par = run(3);
+        assert_eq!(rows(&base), rows(&par), "sharded run computes the same groups");
+        // The reunifying merge keeps the flush column nondecreasing.
+        let times: Vec<u64> =
+            par.stream("perport").iter().map(|t| t.get(0).as_uint().unwrap()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "merge order preserved: {times:?}");
+        // Per-partition stats registered under the shard names.
+        assert!(
+            par.stats.counters.iter().any(|r| r.node.starts_with("hfta:perport#1")),
+            "shard instances report their own counters"
+        );
     }
 
     #[test]

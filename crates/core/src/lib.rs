@@ -152,6 +152,15 @@ pub struct Gigascope {
     /// `GS_STATS` stream during runs (default on; the hot-path counters
     /// themselves are always maintained).
     pub stats_enabled: bool,
+    /// Partition-parallel degree for eligible aggregation HFTAs. At `1`
+    /// (the default) deployment is exactly today's single-instance plans.
+    /// At `K ≥ 2`, each group-by HFTA whose §2.1 ordering properties
+    /// permit it is rewritten into K shards fed by a hash-of-group-key
+    /// router plus an order-preserving merge reunifying the shard
+    /// outputs on the temporal attribute; ineligible HFTAs deploy
+    /// unchanged. Applies to both the threaded manager and the
+    /// synchronous engine, which therefore stay equivalent.
+    pub parallelism: usize,
 }
 
 impl Default for Gigascope {
@@ -175,6 +184,7 @@ impl Gigascope {
             batch_size: 256,
             shedding: None,
             stats_enabled: true,
+            parallelism: 1,
         }
     }
 
@@ -321,6 +331,26 @@ impl Gigascope {
 
     pub(crate) fn resolver(&self) -> &FileStore {
         &self.resolver
+    }
+
+    /// The partition-parallel rewrite for one deployed query, when
+    /// `parallelism ≥ 2` and the HFTA is eligible. The built-in
+    /// `GS_STATS` stream is produced out of band by the schedulers
+    /// themselves, so aggregates over it stay on the single-instance
+    /// path.
+    pub(crate) fn parallel_rewrite(
+        &self,
+        dq: &DeployedQuery,
+    ) -> Option<gs_gsql::parallel::PartitionedHfta> {
+        if self.parallelism < 2 {
+            return None;
+        }
+        let hfta = dq.hfta.as_ref()?;
+        let part = gs_gsql::parallel::partition_hfta(&dq.name, hfta, self.parallelism)?;
+        if part.input == "GS_STATS" {
+            return None;
+        }
+        Some(part)
     }
 }
 

@@ -103,6 +103,10 @@ struct EdgeStats {
     flush_punct: Counter,
     flush_heartbeat: Counter,
     flush_close: Counter,
+    /// Flushes that found no consumer endpoint: the buffered items were
+    /// discarded, not shipped. They still count toward `items` so the
+    /// loss is visible in `GS_STATS` instead of silently vanishing.
+    flush_noconsumer: Counter,
 }
 
 impl StatSource for EdgeStats {
@@ -114,6 +118,7 @@ impl StatSource for EdgeStats {
             ("flush_punct", self.flush_punct.get()),
             ("flush_heartbeat", self.flush_heartbeat.get()),
             ("flush_close", self.flush_close.get()),
+            ("flush_noconsumer", self.flush_noconsumer.get()),
         ]
     }
 }
@@ -169,7 +174,15 @@ impl Batcher {
     }
 
     fn flush_as(&mut self, senders: &[PortSender], cause: FlushCause) {
-        if self.buf.is_empty() || senders.is_empty() {
+        if self.buf.is_empty() {
+            return;
+        }
+        if senders.is_empty() {
+            // Nobody subscribed to or consumes this stream: the items
+            // are dropped here, but the edge accounts them (`items` +
+            // `flush_noconsumer`) so the loss shows up in GS_STATS.
+            self.stats.items.add(self.buf.len() as u64);
+            self.stats.flush_noconsumer.inc();
             self.buf.clear();
             return;
         }
@@ -202,6 +215,95 @@ impl Batcher {
         self.flush_as(senders, FlushCause::Close);
         for tx in senders {
             tx.close();
+        }
+    }
+}
+
+/// Partitioning router edge: splits one produced stream across the K
+/// partition instances of a rewritten HFTA. Tuples are hashed on the
+/// group key and buffered in a per-partition [`Batcher`] (registered as
+/// `edge:<partition>:in`), so routed transport batches exactly like any
+/// other edge; punctuation — and [`close`](RouterEdge::close) — is
+/// broadcast to every partition, since each shard's watermark must keep
+/// advancing for the reunifying merge to release output.
+struct RouterEdge {
+    router: gs_runtime::ops::router::KeyRouter,
+    /// One `(input batcher, queue endpoint)` per partition, in order.
+    parts: Vec<(Batcher, PortSender)>,
+}
+
+impl RouterEdge {
+    fn push(&mut self, item: StreamItem) {
+        match &item {
+            StreamItem::Tuple(t) => {
+                let k = self.router.route(t);
+                let (b, s) = &mut self.parts[k];
+                b.extend(std::iter::once(item), std::slice::from_ref(s));
+            }
+            StreamItem::Punct(_) => {
+                for (b, s) in &mut self.parts {
+                    b.extend(std::iter::once(item.clone()), std::slice::from_ref(s));
+                }
+            }
+        }
+    }
+
+    fn flush_heartbeat(&mut self) {
+        for (b, s) in &mut self.parts {
+            b.flush_heartbeat(std::slice::from_ref(s));
+        }
+    }
+
+    fn close(&mut self) {
+        for (b, s) in &mut self.parts {
+            b.close(std::slice::from_ref(s));
+        }
+    }
+}
+
+/// Everything one producer's output feeds: the plain fan-out batcher for
+/// ordinary consumers plus any partitioning routers installed on the
+/// stream. Items only enter the plain batcher when it has somewhere to
+/// ship them — a router-only stream must not account its entire output
+/// as `flush_noconsumer` drops.
+struct OutputEdge {
+    batcher: Batcher,
+    senders: Vec<PortSender>,
+    routers: Vec<RouterEdge>,
+}
+
+impl OutputEdge {
+    fn extend(&mut self, items: impl Iterator<Item = StreamItem>) {
+        let OutputEdge { batcher, senders, routers } = self;
+        if routers.is_empty() {
+            batcher.extend(items, senders);
+            return;
+        }
+        for item in items {
+            let n = routers.len();
+            for r in &mut routers[..n - 1] {
+                r.push(item.clone());
+            }
+            if senders.is_empty() {
+                routers[n - 1].push(item);
+            } else {
+                routers[n - 1].push(item.clone());
+                batcher.extend(std::iter::once(item), senders);
+            }
+        }
+    }
+
+    fn flush_heartbeat(&mut self) {
+        self.batcher.flush_heartbeat(&self.senders);
+        for r in &mut self.routers {
+            r.flush_heartbeat();
+        }
+    }
+
+    fn close(&mut self) {
+        self.batcher.close(&self.senders);
+        for r in &mut self.routers {
+            r.close();
         }
     }
 }
@@ -275,9 +377,22 @@ where
     struct NodeSpec {
         node: gs_runtime::ops::build::HftaNode,
         out_name: String,
+        /// Index into `router_groups` when this node is a partition
+        /// instance fed by a hash router rather than the shared
+        /// producer fan-out.
+        routed: Option<usize>,
+    }
+    /// One rewritten HFTA's routing plan, collected while building nodes
+    /// and turned into a [`RouterEdge`] once the partition queues exist.
+    struct RouterGroup {
+        input: String,
+        progs: Vec<gs_runtime::expr::Program>,
+        /// `(partition stream name, its queue endpoint)`, in order.
+        members: Vec<(String, PortSender)>,
     }
     let mut lftas = Vec::new();
     let mut nodes: Vec<NodeSpec> = Vec::new();
+    let mut router_groups: Vec<RouterGroup> = Vec::new();
     for dq in gs.queries() {
         let params = gs.params_for(&dq.name);
         params.validate(&dq.params).map_err(Error::Runtime)?;
@@ -294,7 +409,40 @@ where
             lftas.push((lfta, iface_id));
         }
         if let Some(hplan) = &dq.hfta {
-            nodes.push(NodeSpec { node: build_hfta(hplan, &ctx)?, out_name: dq.name.clone() });
+            if let Some(part) = gs.parallel_rewrite(dq) {
+                // K partition instances fed by a hash-of-group-key
+                // router, reunified by an ordinary merge node that
+                // consumes the partition streams through the regular
+                // producer fan-out.
+                let mut progs = Vec::with_capacity(part.hash_exprs.len());
+                for e in &part.hash_exprs {
+                    progs.push(ctx.prog(e).map_err(Error::Runtime)?);
+                }
+                let gidx = router_groups.len();
+                router_groups.push(RouterGroup {
+                    input: part.input.clone(),
+                    progs,
+                    members: Vec::new(),
+                });
+                for (pname, pplan) in &part.partitions {
+                    nodes.push(NodeSpec {
+                        node: build_hfta(pplan, &ctx)?,
+                        out_name: pname.clone(),
+                        routed: Some(gidx),
+                    });
+                }
+                nodes.push(NodeSpec {
+                    node: build_hfta(&part.merge, &ctx)?,
+                    out_name: dq.name.clone(),
+                    routed: None,
+                });
+            } else {
+                nodes.push(NodeSpec {
+                    node: build_hfta(hplan, &ctx)?,
+                    out_name: dq.name.clone(),
+                    routed: None,
+                });
+            }
         }
     }
 
@@ -332,11 +480,21 @@ where
     for spec in &nodes {
         let (tx, rx, chan) = transport::channel(capacity, admission);
         registry.register(format!("queue:{}", spec.out_name), chan);
-        for (port, input) in spec.node.inputs.iter().enumerate() {
-            producers
-                .entry(input.clone())
-                .or_default()
-                .push(PortSender { tx: tx.clone(), port, depth: depth_of(input) });
+        if let Some(g) = spec.routed {
+            // A partition instance: its single input port is fed by the
+            // group's router, not the shared producer fan-out (which
+            // would duplicate every tuple into every shard).
+            let input = &spec.node.inputs[0];
+            router_groups[g]
+                .members
+                .push((spec.out_name.clone(), PortSender { tx, port: 0, depth: depth_of(input) }));
+        } else {
+            for (port, input) in spec.node.inputs.iter().enumerate() {
+                producers
+                    .entry(input.clone())
+                    .or_default()
+                    .push(PortSender { tx: tx.clone(), port, depth: depth_of(input) });
+            }
         }
         node_inputs.push((rx, spec.node.inputs.len()));
     }
@@ -386,18 +544,43 @@ where
     // direct subscriptions); the capture thread is its producer.
     let gs_stats_senders: Vec<PortSender> = producers.remove("GS_STATS").unwrap_or_default();
 
-    // ---- Spawn node threads ---------------------------------------------
     let batch_size = gs.batch_size;
+    // Partitioning router edges, keyed by the stream they split. Each
+    // partition's input-side batcher registers as `edge:<partition>:in`
+    // so routed transport is accounted per shard.
+    let mut router_edges: HashMap<String, Vec<RouterEdge>> = HashMap::new();
+    for g in router_groups {
+        let k = g.members.len();
+        let parts: Vec<(Batcher, PortSender)> = g
+            .members
+            .into_iter()
+            .map(|(pname, s)| {
+                let b = Batcher::new(batch_size);
+                registry.register(format!("edge:{pname}:in"), b.stats.clone());
+                (b, s)
+            })
+            .collect();
+        router_edges.entry(g.input).or_default().push(RouterEdge {
+            router: gs_runtime::ops::router::KeyRouter::new(g.progs, k),
+            parts,
+        });
+    }
+
+    // ---- Spawn node threads ---------------------------------------------
     let mut handles = Vec::new();
     for (spec, (rx, n_ports)) in nodes.into_iter().zip(node_inputs) {
         let out_senders: Vec<PortSender> =
             producers.get(&spec.out_name).cloned().unwrap_or_default();
-        let NodeSpec { mut node, out_name } = spec;
+        let NodeSpec { mut node, out_name, .. } = spec;
         let batcher = Batcher::new(batch_size);
         registry.register(format!("edge:{out_name}"), batcher.stats.clone());
         node.register_stats(&registry, &out_name);
+        let mut edge = OutputEdge {
+            batcher,
+            senders: out_senders,
+            routers: router_edges.remove(&out_name).unwrap_or_default(),
+        };
         handles.push(thread::spawn(move || {
-            let mut batcher = batcher;
             let mut open: Vec<bool> = vec![true; n_ports];
             let mut open_count = n_ports;
             let mut out = Vec::new();
@@ -406,7 +589,7 @@ where
                     Some(Msg::Batch(p, items)) => {
                         out.clear();
                         node.push_batch(p, items, &mut out);
-                        batcher.extend(out.drain(..), &out_senders);
+                        edge.extend(out.drain(..));
                         if stats_enabled {
                             // Per-message publish keeps registry
                             // snapshots at most one batch stale.
@@ -418,7 +601,7 @@ where
                         open_count -= 1;
                         out.clear();
                         node.finish_input(p, &mut out);
-                        batcher.extend(out.drain(..), &out_senders);
+                        edge.extend(out.drain(..));
                     }
                     Some(Msg::Close(_)) => {}
                     None => {
@@ -428,7 +611,7 @@ where
                             if std::mem::take(o) {
                                 out.clear();
                                 node.finish_input(p, &mut out);
-                                batcher.extend(out.drain(..), &out_senders);
+                                edge.extend(out.drain(..));
                             }
                         }
                         open_count = 0;
@@ -437,20 +620,32 @@ where
             }
             out.clear();
             node.finish(&mut out);
-            batcher.extend(out.drain(..), &out_senders);
+            edge.extend(out.drain(..));
             // This node's streams end: flush the tail batch, then close
-            // every consumer port.
-            batcher.close(&out_senders);
+            // every consumer port (and every routed partition).
+            edge.close();
             // Final publish so the post-run snapshot has exact totals.
             node.publish_stats();
         }));
     }
 
     // ---- Capture loop (this thread) --------------------------------------
-    let lfta_senders: Vec<Vec<PortSender>> = lftas
+    // One output edge per LFTA: per-packet emissions accumulate in the
+    // edge batcher and ship as one queue message per `batch_size` items
+    // (plus any partitioning routers installed on the LFTA's stream).
+    let mut lfta_edges: Vec<OutputEdge> = lftas
         .iter()
-        .map(|(l, _)| producers.get(&l.name).cloned().unwrap_or_default())
+        .map(|(l, _)| {
+            let b = Batcher::new(batch_size);
+            registry.register(format!("edge:{}", l.name), b.stats.clone());
+            OutputEdge {
+                batcher: b,
+                senders: producers.get(&l.name).cloned().unwrap_or_default(),
+                routers: router_edges.remove(&l.name).unwrap_or_default(),
+            }
+        })
         .collect();
+    debug_assert!(router_edges.is_empty(), "every routed stream has a producer");
     // Drop the producer map so node threads hold the only remaining
     // senders for their output streams.
     drop(producers);
@@ -463,16 +658,6 @@ where
     let mut last_hb: Option<u64> = None;
     let mut n_packets = 0u64;
     let mut out = Vec::new();
-    // One output batcher per LFTA: per-packet emissions accumulate and
-    // ship as one queue message per `batch_size` items.
-    let mut batchers: Vec<Batcher> = lftas
-        .iter()
-        .map(|(l, _)| {
-            let b = Batcher::new(batch_size);
-            registry.register(format!("edge:{}", l.name), b.stats.clone());
-            b
-        })
-        .collect();
     for pkt in packets {
         n_packets += 1;
         let clock = u64::from(pkt.time_sec());
@@ -482,7 +667,7 @@ where
             }
             out.clear();
             lfta.push_packet(&pkt, &mut out);
-            batchers[i].extend(out.drain(..), &lfta_senders[i]);
+            lfta_edges[i].extend(out.drain(..));
         }
         if let HeartbeatMode::Periodic { interval } = heartbeat {
             if last_hb.is_none_or(|l| clock >= l + interval.max(1)) {
@@ -490,11 +675,11 @@ where
                 for (i, (lfta, _)) in lftas.iter_mut().enumerate() {
                     out.clear();
                     lfta.heartbeat(clock, &mut out);
-                    batchers[i].extend(out.drain(..), &lfta_senders[i]);
+                    lfta_edges[i].extend(out.drain(..));
                     // A heartbeat is a liveness signal even when it emits
                     // nothing: ship whatever the batch holds so downstream
                     // latency is bounded by the heartbeat interval.
-                    batchers[i].flush_heartbeat(&lfta_senders[i]);
+                    lfta_edges[i].flush_heartbeat();
                 }
                 if stats_enabled && !gs_stats_senders.is_empty() {
                     for (lfta, _) in &lftas {
@@ -508,9 +693,9 @@ where
     for (i, (lfta, _)) in lftas.iter_mut().enumerate() {
         out.clear();
         lfta.finish(&mut out);
-        batchers[i].extend(out.drain(..), &lfta_senders[i]);
+        lfta_edges[i].extend(out.drain(..));
         // Flush the tail batch and close this LFTA's output stream.
-        batchers[i].close(&lfta_senders[i]);
+        lfta_edges[i].close();
     }
     for (lfta, _) in &lftas {
         lfta.publish_stats();
@@ -525,7 +710,7 @@ where
         tx.close();
     }
     drop(gs_stats_senders);
-    drop(lfta_senders);
+    drop(lfta_edges);
 
     // ---- Drain ------------------------------------------------------------
     // Node threads first: with shedding enabled they finish even when a
@@ -661,6 +846,23 @@ mod tests {
         }
     }
 
+    /// Regression: a flush with no consumer endpoints used to clear the
+    /// buffer with zero counter movement, so the dropped items were
+    /// invisible to GS_STATS. They now count as `items` under a
+    /// `flush_noconsumer` cause (and never as shipped `batches`).
+    #[test]
+    fn batcher_accounts_flushes_with_no_consumer() {
+        let senders: Vec<PortSender> = Vec::new();
+        let mut b = Batcher::new(4);
+        b.extend((0..9).map(tuple_item), &senders);
+        b.close(&senders);
+        assert_eq!(b.stats.items.get(), 9, "every dropped item is accounted");
+        assert_eq!(b.stats.flush_noconsumer.get(), 3, "two size flushes plus the close tail");
+        assert_eq!(b.stats.batches.get(), 0, "nothing was actually shipped");
+        assert_eq!(b.stats.flush_size.get(), 0);
+        assert_eq!(b.stats.flush_close.get(), 0);
+    }
+
     /// Fan-out clones per batch, not per item: both consumers see the
     /// identical batch.
     #[test]
@@ -705,6 +907,55 @@ mod tests {
         };
         assert_eq!(norm(sync_out.stream("persec")), norm(thr_out.stream("persec")));
         assert_eq!(thr_out.packets, 200);
+    }
+
+    /// Partition-parallel deployment computes the same answers as the
+    /// single-instance plan and registers per-shard stats.
+    #[test]
+    fn threaded_parallel_aggregation_matches_single_instance() {
+        let program = "DEFINE { query_name raw; } \
+             Select time, destPort, len From eth0.tcp; \
+             DEFINE { query_name perport; } \
+             Select time, destPort, count(*), sum(len) From raw Group By time, destPort";
+        let mk = || {
+            (0..240u64).map(|i| pkt(i / 60, 8000 + (i % 5) as u16, b"xy")).collect::<Vec<_>>()
+        };
+        let run = |parallelism: usize| {
+            let mut gs = Gigascope::new();
+            gs.add_interface("eth0", 0, LinkType::Ethernet);
+            gs.parallelism = parallelism;
+            gs.add_program(program).unwrap();
+            run_threaded(&gs, mk().into_iter(), &["perport"]).unwrap()
+        };
+        let norm = |out: &ThreadedOutput| {
+            let mut v: Vec<Vec<u64>> = out
+                .stream("perport")
+                .iter()
+                .map(|t| (0..4).map(|i| t.get(i).as_uint().unwrap()).collect())
+                .collect();
+            v.sort();
+            v
+        };
+        let base = run(1);
+        let par = run(4);
+        assert_eq!(norm(&base), norm(&par), "sharded deployment computes the same groups");
+        let times: Vec<u64> =
+            par.stream("perport").iter().map(|t| t.get(0).as_uint().unwrap()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "merge order preserved: {times:?}");
+        // Every shard has its own queue, input edge, and operator stats;
+        // the shards together saw every routed tuple exactly once.
+        let routed: u64 = (0..4)
+            .map(|k| par.counter(&format!("edge:perport#{k}:in"), "items").unwrap())
+            .sum();
+        // The single-instance run's `raw` edge shipped each tuple and
+        // punct once; routing delivers tuples once and puncts per shard.
+        let produced = base.counter("edge:raw", "items").unwrap();
+        assert!(
+            routed >= produced && produced > 0,
+            "tuples route to exactly one shard, puncts to all: {routed} vs {produced}"
+        );
+        assert!(par.counter("queue:perport#2", "enqueued").unwrap() > 0);
+        assert!(par.counter("hfta:perport#3/0:aggregate", "tuples_in").is_some());
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod error;
 pub mod explain;
 pub mod lexer;
 pub mod ordering;
+pub mod parallel;
 pub mod parser;
 pub mod plan;
 pub mod pretty;
@@ -43,6 +44,7 @@ pub use ast::{Expr, Query, QueryBody};
 pub use catalog::{Catalog, UdfCost, UdfSig};
 pub use error::GsqlError;
 pub use ordering::OrderProp;
+pub use parallel::{partition_hfta, PartitionedHfta};
 pub use ast::{InterfaceDecl, ProgramAst};
 pub use parser::{parse_program, parse_program_full, parse_query};
 pub use plan::{ColumnInfo, Plan, Schema};

@@ -72,6 +72,16 @@ impl OrderProp {
         }
     }
 
+    /// Whether the attribute can reunify hash-partitioned copies of its
+    /// stream through an order-preserving merge: the merge watermark
+    /// logic tracks a running maximum, so the attribute must be
+    /// increasing (possibly within a band). Decreasing attributes have
+    /// slack but run against the watermark direction; grouped and
+    /// nonrepeating orders give no global progress bound at all.
+    pub fn partition_mergeable(&self) -> bool {
+        matches!(self, OrderProp::Increasing { .. } | OrderProp::BandedIncreasing { .. })
+    }
+
     /// Imputed property after dividing the attribute by a positive
     /// constant (the `time/60` bucket idiom): monotonicity survives but
     /// strictness does not; bands shrink by the divisor (rounded up).
@@ -187,6 +197,16 @@ mod tests {
         let p = OrderProp::BandedIncreasing { band: 31 }.after_div(10);
         assert_eq!(p, OrderProp::BandedIncreasing { band: 4 });
         assert_eq!(OrderProp::Increasing { strict: true }.after_div(0), OrderProp::None);
+    }
+
+    #[test]
+    fn partition_mergeable_requires_increasing() {
+        assert!(OrderProp::Increasing { strict: true }.partition_mergeable());
+        assert!(OrderProp::BandedIncreasing { band: 30 }.partition_mergeable());
+        assert!(!OrderProp::Decreasing { strict: true }.partition_mergeable());
+        assert!(!OrderProp::MonotoneNonrepeating.partition_mergeable());
+        assert!(!OrderProp::IncreasingInGroup { group: vec!["a".into()] }.partition_mergeable());
+        assert!(!OrderProp::None.partition_mergeable());
     }
 
     #[test]

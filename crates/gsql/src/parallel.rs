@@ -1,0 +1,275 @@
+//! Partition-parallel rewrite of aggregation HFTAs.
+//!
+//! A group-by HFTA is embarrassingly parallel in its group key: hashing
+//! the full key routes every tuple of a logical group to the same shard,
+//! each shard sees a *subsequence* of the original stream (so every §2.1
+//! ordering property of the input still holds per shard), and each shard
+//! therefore stays a streaming aggregate. The shards are reunified by the
+//! existing order-preserving merge on the aggregate's temporal (flush)
+//! attribute, which survives to the HFTA output ordered.
+//!
+//! The rewrite is applied at *deployment* time (engine/manager build), not
+//! in the catalog: registered plans, EXPLAIN output, and `parallelism = 1`
+//! runs are untouched.
+
+use crate::ordering::OrderProp;
+use crate::plan::{PExpr, Plan};
+use crate::types::DataType;
+
+/// The result of rewriting one HFTA into K partition instances plus a
+/// reunifying merge.
+#[derive(Debug, Clone)]
+pub struct PartitionedHfta {
+    /// The shard plans, named `<query>#<k>`: each is a full copy of the
+    /// original HFTA chain fed a hash-partitioned subsequence of the
+    /// input stream.
+    pub partitions: Vec<(String, Plan)>,
+    /// The reunifying plan: an order-preserving [`Plan::Merge`] over the
+    /// shard output streams on the surviving flush column.
+    pub merge: Plan,
+    /// The single input stream the original HFTA scanned; the deployer
+    /// installs the hash router on this stream's edge.
+    pub input: String,
+    /// The aggregate's group-key expressions, valid over `input`'s
+    /// schema. Hashing the evaluated key picks the shard.
+    pub hash_exprs: Vec<PExpr>,
+}
+
+/// Try to rewrite `hfta` (deployed as query `name`) into `k` partition
+/// instances plus a reunifying merge. Returns `None` when `k < 2` or the
+/// plan is ineligible, in which case the caller deploys the plan as-is.
+///
+/// Eligibility (per the §2.1 ordering rules):
+///
+/// - the plan is a chain `Project/Filter* → Aggregate → Filter* →
+///   StreamScan` — exactly one aggregate over exactly one input stream;
+/// - the aggregate has a flush attribute whose imputed order is
+///   increasing (possibly banded), i.e. [`OrderProp::partition_mergeable`];
+/// - no group expression calls a UDF (hash routing must be a pure
+///   function of the tuple, cheap enough to run once per routed tuple);
+/// - the flush column survives to the root schema as an identity column
+///   reference through every projection, still partition-mergeable and
+///   of uint type there — that column is what the merge reunifies on.
+pub fn partition_hfta(name: &str, hfta: &Plan, k: usize) -> Option<PartitionedHfta> {
+    if k < 2 {
+        return None;
+    }
+    // Peel the chain above the aggregate, remembering it top-down so the
+    // flush column can be traced back up to the root schema.
+    let mut above: Vec<&Plan> = Vec::new();
+    let mut node = hfta;
+    let agg = loop {
+        match node {
+            Plan::Project { input, .. } | Plan::Filter { input, .. } => {
+                above.push(node);
+                node = input;
+            }
+            Plan::Aggregate { .. } => break node,
+            _ => return None,
+        }
+    };
+    let Plan::Aggregate { group, flush_group_idx, input, schema: agg_schema, .. } = agg else {
+        unreachable!("loop breaks only on Aggregate")
+    };
+    let fi = (*flush_group_idx)?;
+    if !agg_schema.get(fi)?.order.partition_mergeable() {
+        return None;
+    }
+    if group.iter().any(|(_, e)| e.has_call()) {
+        return None;
+    }
+    // Below the aggregate: only schema-preserving filters down to a
+    // single stream scan, so the group key can be evaluated directly on
+    // the routed input tuples (a filter's schema IS its input's schema).
+    let mut below = &**input;
+    let stream = loop {
+        match below {
+            Plan::Filter { input, .. } => below = input,
+            Plan::StreamScan { stream, .. } => break stream.clone(),
+            _ => return None,
+        }
+    };
+    // Trace the flush column from the aggregate's output to the root: it
+    // must survive every projection as an identity column reference.
+    let mut on_col = fi;
+    for n in above.iter().rev() {
+        match n {
+            Plan::Filter { .. } => {}
+            Plan::Project { cols, .. } => {
+                on_col = cols
+                    .iter()
+                    .position(|(_, e)| matches!(e, PExpr::Col { index, .. } if *index == on_col))?;
+            }
+            _ => unreachable!("above holds only Project/Filter nodes"),
+        }
+    }
+    let root_schema = hfta.schema();
+    let on = root_schema.get(on_col)?;
+    if !on.order.partition_mergeable() || on.ty != DataType::UInt {
+        return None;
+    }
+
+    // K identical copies of the whole chain (pre-agg filters, aggregate,
+    // HAVING, combine projection): each shard computes final answers for
+    // the groups hashed to it.
+    let partitions: Vec<(String, Plan)> =
+        (0..k).map(|i| (format!("{name}#{i}"), hfta.clone())).collect();
+    // The merge output keeps only the reunified column's order (weakened
+    // by the interleave, e.g. strictness is lost); all other columns are
+    // interleaved across shards and lose their ordering.
+    let mut merged_schema = root_schema.clone();
+    for (i, c) in merged_schema.iter_mut().enumerate() {
+        c.order = if i == on_col {
+            root_schema[on_col].order.merge_meet(&root_schema[on_col].order)
+        } else {
+            OrderProp::None
+        };
+    }
+    let merge = Plan::Merge {
+        inputs: partitions
+            .iter()
+            .map(|(pname, _)| Plan::StreamScan {
+                stream: pname.clone(),
+                schema: root_schema.clone(),
+            })
+            .collect(),
+        on_col,
+        schema: merged_schema,
+    };
+    let hash_exprs = group.iter().map(|(_, e)| e.clone()).collect();
+    Some(PartitionedHfta { partitions, merge, input: stream, hash_exprs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AggFunc, BinOp};
+    use crate::plan::{AggSpec, ColumnInfo, Literal};
+
+    fn uintcol(name: &str, order: OrderProp) -> ColumnInfo {
+        ColumnInfo { name: name.into(), ty: DataType::UInt, order }
+    }
+
+    fn col(i: usize) -> PExpr {
+        PExpr::Col { index: i, ty: DataType::UInt }
+    }
+
+    /// `Project(Aggregate(StreamScan))` with group (time, key) flushing
+    /// on time — the canonical eligible shape.
+    fn eligible_hfta() -> Plan {
+        let scan = Plan::StreamScan {
+            stream: "src".into(),
+            schema: vec![
+                uintcol("time", OrderProp::Increasing { strict: false }),
+                uintcol("key", OrderProp::None),
+                uintcol("len", OrderProp::None),
+            ],
+        };
+        let agg_schema = vec![
+            uintcol("time", OrderProp::Increasing { strict: false }),
+            uintcol("key", OrderProp::None),
+            uintcol("cnt", OrderProp::None),
+        ];
+        let agg = Plan::Aggregate {
+            group: vec![("time".into(), col(0)), ("key".into(), col(1))],
+            aggs: vec![AggSpec {
+                name: "cnt".into(),
+                func: AggFunc::Count,
+                arg: None,
+                ty: DataType::UInt,
+            }],
+            flush_group_idx: Some(0),
+            input: Box::new(scan),
+            schema: agg_schema.clone(),
+        };
+        Plan::Project {
+            // Reorders columns: the flush column lands at index 1.
+            cols: vec![("cnt".into(), col(2)), ("time".into(), col(0))],
+            input: Box::new(agg),
+            schema: vec![
+                uintcol("cnt", OrderProp::None),
+                uintcol("time", OrderProp::Increasing { strict: false }),
+            ],
+        }
+    }
+
+    #[test]
+    fn rewrites_eligible_aggregate() {
+        let part = partition_hfta("q", &eligible_hfta(), 3).expect("eligible");
+        assert_eq!(part.input, "src");
+        let names: Vec<&str> = part.partitions.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["q#0", "q#1", "q#2"]);
+        assert_eq!(part.hash_exprs, vec![col(0), col(1)]);
+        let Plan::Merge { inputs, on_col, schema } = &part.merge else {
+            panic!("merge root expected");
+        };
+        assert_eq!(inputs.len(), 3);
+        assert_eq!(*on_col, 1, "flush column traced through the projection");
+        assert_eq!(schema[1].order, OrderProp::Increasing { strict: false });
+        assert_eq!(schema[0].order, OrderProp::None, "non-merge columns lose order");
+    }
+
+    #[test]
+    fn parallelism_one_is_a_no_op() {
+        assert!(partition_hfta("q", &eligible_hfta(), 1).is_none());
+        assert!(partition_hfta("q", &eligible_hfta(), 0).is_none());
+    }
+
+    #[test]
+    fn rejects_ineligible_shapes() {
+        // No flush attribute: groups never close incrementally.
+        let mut p = eligible_hfta();
+        if let Plan::Project { input, .. } = &mut p {
+            if let Plan::Aggregate { flush_group_idx, .. } = &mut **input {
+                *flush_group_idx = None;
+            }
+        }
+        assert!(partition_hfta("q", &p, 2).is_none());
+
+        // Flush attribute not partition-mergeable (grouped order only).
+        let mut p = eligible_hfta();
+        if let Plan::Project { input, .. } = &mut p {
+            if let Plan::Aggregate { schema, .. } = &mut **input {
+                schema[0].order = OrderProp::IncreasingInGroup { group: vec!["key".into()] };
+            }
+        }
+        assert!(partition_hfta("q", &p, 2).is_none());
+
+        // UDF in the group key: routing must stay a pure hash.
+        let mut p = eligible_hfta();
+        if let Plan::Project { input, .. } = &mut p {
+            if let Plan::Aggregate { group, .. } = &mut **input {
+                group[1].1 = PExpr::Call {
+                    udf: "f".into(),
+                    args: vec![col(1)],
+                    ret: DataType::UInt,
+                    partial: false,
+                };
+            }
+        }
+        assert!(partition_hfta("q", &p, 2).is_none());
+
+        // Flush column projected away: nothing to merge on.
+        let mut p = eligible_hfta();
+        if let Plan::Project { cols, .. } = &mut p {
+            cols[1].1 = PExpr::Binary {
+                op: BinOp::Add,
+                left: Box::new(col(0)),
+                right: Box::new(PExpr::Lit(Literal::UInt(1))),
+                ty: DataType::UInt,
+            };
+        }
+        assert!(partition_hfta("q", &p, 2).is_none());
+
+        // Non-chain plan (merge leaf) is left alone.
+        let m = Plan::Merge {
+            inputs: vec![
+                Plan::StreamScan { stream: "a".into(), schema: vec![] },
+                Plan::StreamScan { stream: "b".into(), schema: vec![] },
+            ],
+            on_col: 0,
+            schema: vec![],
+        };
+        assert!(partition_hfta("q", &m, 2).is_none());
+    }
+}

@@ -39,7 +39,10 @@ pub struct BuildCtx<'a> {
 }
 
 impl<'a> BuildCtx<'a> {
-    fn prog(&self, pe: &PExpr) -> Result<Program, RuntimeError> {
+    /// Compile one expression against this context's bindings. Public so
+    /// deployers can compile auxiliary programs (the partition router's
+    /// hash key) with exactly the plan operators' semantics.
+    pub fn prog(&self, pe: &PExpr) -> Result<Program, RuntimeError> {
         Program::compile(pe, self.params, self.registry, self.resolver)
     }
 }

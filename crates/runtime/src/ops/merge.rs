@@ -106,9 +106,24 @@ impl MergeOp {
         Some(b)
     }
 
+    /// Recompute the heartbeat-starvation flag. The operator is starved
+    /// whenever buffered tuples are being held back: either no safe bound
+    /// exists yet (some input has produced nothing), or some input's head
+    /// entry sits above the bound — every input has punctuated, but one
+    /// input's bound lags the buffered minimum. Both cases mean only an
+    /// out-of-band heartbeat can restore progress.
+    fn update_starved(&mut self) {
+        self.starved = match self.safe_bound() {
+            None => self.buffered > 0,
+            Some(bound) => {
+                self.inputs.iter().any(|i| i.heap.peek().is_some_and(|Reverse(e)| e.v > bound))
+            }
+        };
+    }
+
     fn drain_ready(&mut self, out: &mut Vec<StreamItem>) {
         let Some(bound) = self.safe_bound() else {
-            self.starved = self.buffered > 0;
+            self.update_starved();
             return;
         };
         loop {
@@ -132,7 +147,7 @@ impl MergeOp {
             self.tuples_out += 1;
             out.push(StreamItem::Tuple(e.tuple));
         }
-        self.starved = self.buffered > 0;
+        self.update_starved();
         // Forward progress downstream, once per bound advance.
         if self.inputs.iter().all(|i| !i.finished)
             && self.last_punct_bound.is_none_or(|b| bound > b)
@@ -193,6 +208,11 @@ impl Operator for MergeOp {
     fn push(&mut self, port: usize, item: StreamItem, out: &mut Vec<StreamItem>) {
         if self.absorb(port, item) {
             self.drain_ready(out);
+        } else {
+            // Off-column punctuation (or an unmergeable tuple) can't move
+            // the bound, but the starvation flag must stay honest — the
+            // on-demand heartbeat trigger reads it between pushes.
+            self.update_starved();
         }
     }
 
@@ -208,6 +228,8 @@ impl Operator for MergeOp {
         }
         if dirty {
             self.drain_ready(out);
+        } else {
+            self.update_starved();
         }
     }
 
@@ -381,6 +403,31 @@ mod tests {
         m.push(2, tup(6), &mut out);
         m.finish(&mut out);
         assert_eq!(vals(&out), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    /// Regression: a punctuated-but-slow input gives every input a bound,
+    /// yet its lagging bound holds the other side's tuples back — the
+    /// operator must still report starvation so the on-demand heartbeat
+    /// trigger fires, and an off-column punct must not stale the flag.
+    #[test]
+    fn lagging_punctuated_input_reports_starvation() {
+        let mut m = MergeOp::new(2, 0, vec![0, 0]);
+        let mut out = Vec::new();
+        // Input 1 is alive (it punctuated) but far behind: bound = 0.
+        m.push(1, StreamItem::Punct(Punct::new(0, Value::UInt(0))), &mut out);
+        for v in 1..=100u64 {
+            m.push(0, tup(v), &mut out);
+        }
+        assert_eq!(m.buffered(), 100, "every input has a bound, tuples still held");
+        assert!(m.starved, "held-back tuples with a lagging bound are starvation");
+        // An off-column punct changes nothing and must not clear the flag.
+        m.push(1, StreamItem::Punct(Punct::new(5, Value::UInt(1_000))), &mut out);
+        assert!(m.starved, "off-column punctuation must not clear starvation");
+        // The real punct catches input 1 up and drains everything.
+        m.push(1, StreamItem::Punct(Punct::new(0, Value::UInt(1_000))), &mut out);
+        assert_eq!(vals(&out).len(), 100);
+        assert_eq!(m.buffered(), 0);
+        assert!(!m.starved);
     }
 
     #[test]

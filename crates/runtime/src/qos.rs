@@ -69,10 +69,17 @@ pub struct Shedder<T> {
     buf: VecDeque<(u32, T)>,
     capacity: usize,
     policy: DropPolicy,
-    /// Items dropped, by their processing depth (index = depth, saturated
-    /// at the vector's end).
+    /// Items dropped, by their processing depth (index = depth). Grows on
+    /// demand so deep query chains are accounted at their true depth
+    /// rather than saturated into the last bucket; capped at
+    /// [`MAX_DEPTH_BUCKETS`] as a guard against absurd depth values.
     pub dropped_by_depth: Vec<u64>,
 }
+
+/// Upper bound on [`Shedder::dropped_by_depth`] growth: depths at or past
+/// this are charged to the final bucket. No realistic query chain comes
+/// anywhere near it; it only bounds allocation against corrupt depths.
+pub const MAX_DEPTH_BUCKETS: usize = 1 << 16;
 
 impl<T> Shedder<T> {
     /// Create a shedder with the given capacity and policy.
@@ -90,7 +97,10 @@ impl<T> Shedder<T> {
     }
 
     fn count_drop(&mut self, depth: u32) {
-        let i = (depth as usize).min(self.dropped_by_depth.len() - 1);
+        let i = (depth as usize).min(MAX_DEPTH_BUCKETS - 1);
+        if i >= self.dropped_by_depth.len() {
+            self.dropped_by_depth.resize(i + 1, 0);
+        }
         self.dropped_by_depth[i] += 1;
     }
 
@@ -216,11 +226,29 @@ mod tests {
         assert_eq!(s.pop().unwrap().1, "first");
     }
 
+    /// Regression: depths past the initial 8 buckets used to saturate
+    /// into bucket 7, conflating every deep drop. The vector now grows so
+    /// each depth keeps its own bucket.
     #[test]
-    fn depth_counter_saturates() {
+    fn depth_counter_grows_past_initial_buckets() {
         let mut s = Shedder::new(1, DropPolicy::TailDrop);
         s.offer(0, ());
+        s.offer(8, ());
         s.offer(100, ());
+        assert_eq!(s.dropped_by_depth[8], 1, "depth 8 gets its own bucket");
+        assert_eq!(s.dropped_by_depth[100], 1, "depth 100 gets its own bucket");
+        assert_eq!(s.dropped_by_depth.len(), 101);
+        assert_eq!(s.total_dropped(), 2);
+    }
+
+    /// Growth is capped: an absurd depth charges the final bucket rather
+    /// than allocating gigabytes of counters.
+    #[test]
+    fn depth_counter_caps_growth() {
+        let mut s = Shedder::new(1, DropPolicy::TailDrop);
+        s.offer(0, ());
+        s.offer(u32::MAX, ());
+        assert_eq!(s.dropped_by_depth.len(), MAX_DEPTH_BUCKETS);
         assert_eq!(*s.dropped_by_depth.last().unwrap(), 1);
     }
 
