@@ -26,6 +26,15 @@ echo "== partition-parallel property tests =="
 # parallelism x batch point, with and without shedding.
 cargo test -q --offline -p gs-tests --test prop_parallel
 
+echo "== faults gate: containment, quarantine, watchdog recovery =="
+# Explicit gate on the PR-5 fault-isolation suites (also covered by the
+# full test run above). Everything is offline and fixed-seed: the fault
+# matrix (parallelism x shedding x batch with injected panics), the
+# truncated-packet decoding properties, and the
+# stalled-subscription-recovers-within-watchdog smoke test.
+cargo test -q --offline -p gs-tests --test prop_faults --test prop_truncate --test watchdog
+cargo test -q --offline -p gs-tests --test watchdog stalled_subscription_recovers_within_watchdog
+
 echo "== stats overhead gate (<=5% on threaded benches) =="
 # Interleaved stats-on/stats-off runs of the manager workload; exits
 # non-zero if self-monitoring costs more than 5%.

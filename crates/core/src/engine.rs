@@ -7,8 +7,10 @@
 //! construction, which the test suite and the experiment harnesses rely
 //! on. The threaded deployment configuration lives in [`crate::manager`].
 
+use crate::health::{FaultReason, HealthBoard, RunHealth};
 use crate::{Error, Gigascope};
 use bytes::Bytes;
+use gs_runtime::faults::NodeInjector;
 use gs_runtime::ops::build::{build_hfta, build_lfta, BuildCtx, HftaNode};
 use gs_runtime::ops::lfta::{Lfta, LftaStats};
 use gs_runtime::ops::router::KeyRouter;
@@ -18,6 +20,7 @@ use gs_runtime::tuple::{StreamItem, Tuple};
 use gs_runtime::value::Value;
 use gs_packet::CapPacket;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Per-run statistics.
@@ -37,6 +40,9 @@ pub struct EngineStats {
     /// (the same rows the built-in `GS_STATS` stream emits), taken after
     /// every operator finished.
     pub counters: Vec<StatRow>,
+    /// Which queries ran clean and which were quarantined (a panicked
+    /// operator fails its own chain; siblings are unaffected).
+    pub health: RunHealth,
 }
 
 impl EngineStats {
@@ -92,8 +98,9 @@ pub struct Engine {
     nodes: Vec<NodeHost>,
     /// stream id -> (node index, port) consumers.
     consumers: Vec<Vec<(usize, usize)>>,
-    /// stream id -> hash router over that stream's partition instances.
-    routers: HashMap<usize, EngineRouter>,
+    /// stream id -> hash routers over that stream's partition instances
+    /// (one per partitioned query reading the stream).
+    routers: HashMap<usize, Vec<EngineRouter>>,
     /// stream id -> collection bucket.
     collect: Vec<Option<String>>,
     stream_ids: HashMap<String, usize>,
@@ -108,6 +115,14 @@ pub struct Engine {
     /// Stream id of the built-in `GS_STATS` monitoring stream.
     gs_stats_sid: usize,
     stats_enabled: bool,
+    /// Quarantine bookkeeping: every containment decision lands here.
+    board: HealthBoard,
+    /// Per-node quarantine flags — a failed node (and its transitive
+    /// downstream) is never pushed to or finished again; its query keeps
+    /// the clean prefix collected before the fault.
+    failed: Vec<bool>,
+    /// Armed fault injectors by node index ([`Gigascope::faults`]).
+    injectors: HashMap<usize, NodeInjector>,
 }
 
 impl Engine {
@@ -128,6 +143,9 @@ impl Engine {
             registry: Arc::new(StatsRegistry::new()),
             gs_stats_sid: 0,
             stats_enabled: gs.stats_enabled,
+            board: HealthBoard::new(),
+            failed: Vec::new(),
+            injectors: HashMap::new(),
         };
         for dq in gs.queries() {
             let params = gs.params_for(&dq.name);
@@ -170,7 +188,9 @@ impl Engine {
                     let k = targets.len();
                     engine
                         .routers
-                        .insert(in_sid, EngineRouter { router: KeyRouter::new(progs, k), targets });
+                        .entry(in_sid)
+                        .or_default()
+                        .push(EngineRouter { router: KeyRouter::new(progs, k), targets });
                     // ... reunified by an ordinary merge node wired
                     // through the consumer map. Inserted after the
                     // partitions so `run`'s in-order finish flushes the
@@ -204,8 +224,85 @@ impl Engine {
         for n in &engine.nodes {
             n.node.register_stats(&engine.registry, &n.name);
         }
+        engine.failed = vec![false; engine.nodes.len()];
+        if let Some(plan) = &gs.faults {
+            // Arm the configured faults per node; the `faults` stats
+            // node only exists when a plan does, so a default run's
+            // GS_STATS row set is unchanged.
+            engine.registry.register("faults".to_string(), engine.board.stats.clone());
+            for (idx, n) in engine.nodes.iter().enumerate() {
+                if let Some(inj) = plan.armed(&n.name, &engine.board.stats) {
+                    engine.injectors.insert(idx, inj);
+                }
+            }
+        }
         engine.gs_stats_sid = engine.sid("GS_STATS");
         Ok(engine)
+    }
+
+    /// Quarantine `root` after a contained fault: mark it and every
+    /// transitive downstream node failed, and record each owning query
+    /// on the health board (the root with its own reason, collateral as
+    /// `Upstream(origin)`).
+    fn quarantine(&mut self, root: usize, reason: FaultReason) {
+        let origin = self.nodes[root].name.clone();
+        self.board.record(&origin, reason);
+        self.failed[root] = true;
+        let mut stack = vec![self.nodes[root].out_sid];
+        while let Some(sid) = stack.pop() {
+            let mut downstream: Vec<usize> =
+                self.consumers[sid].iter().map(|&(n, _)| n).collect();
+            for r in self.routers.get(&sid).into_iter().flatten() {
+                downstream.extend(r.targets.iter().copied());
+            }
+            for n in downstream {
+                if !self.failed[n] {
+                    self.failed[n] = true;
+                    let name = self.nodes[n].name.clone();
+                    self.board.record(&name, FaultReason::Upstream(origin.clone()));
+                    stack.push(self.nodes[n].out_sid);
+                }
+            }
+        }
+    }
+
+    /// Feed one batch to one node inside the containment boundary.
+    /// Quarantined nodes discard their input; a panic (injected or
+    /// organic) quarantines the node's chain instead of unwinding out
+    /// of the run.
+    fn push_node(
+        &mut self,
+        node_idx: usize,
+        port: usize,
+        mut batch: Vec<StreamItem>,
+        work: &mut Vec<(usize, Vec<StreamItem>)>,
+    ) {
+        if self.failed[node_idx] {
+            return;
+        }
+        let mut out = Vec::new();
+        let inj = self.injectors.get_mut(&node_idx);
+        let node = &mut self.nodes[node_idx].node;
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(inj) = inj {
+                inj.on_batch(&mut batch);
+            }
+            node.push_batch(port, batch, &mut out);
+        }));
+        match run {
+            Ok(()) => {
+                if !out.is_empty() {
+                    work.push((self.nodes[node_idx].out_sid, out));
+                }
+            }
+            Err(payload) => {
+                self.board.stats.faults_contained.inc();
+                self.quarantine(
+                    node_idx,
+                    FaultReason::Panic(crate::manager::panic_message(payload.as_ref())),
+                );
+            }
+        }
     }
 
     fn sid(&mut self, name: &str) -> usize {
@@ -249,41 +346,43 @@ impl Engine {
                 } else {
                     items.clone()
                 };
-                let mut out = Vec::new();
-                self.nodes[node_idx].node.push_batch(port, batch, &mut out);
-                if !out.is_empty() {
-                    work.push((self.nodes[node_idx].out_sid, out));
-                }
+                self.push_node(node_idx, port, batch, &mut work);
             }
             if has_router {
                 // Split the batch per partition: tuples go to their
                 // hashed shard, punctuation is broadcast to every shard
                 // (each shard's watermark must keep advancing or the
-                // reunifying merge would hold output forever).
-                let router = self.routers.get_mut(&sid).expect("checked above");
-                let mut parts: Vec<Vec<StreamItem>> = vec![Vec::new(); router.targets.len()];
-                for item in std::mem::take(&mut items) {
-                    match &item {
-                        StreamItem::Tuple(t) => {
-                            let b = router.router.route(t);
-                            parts[b].push(item);
-                        }
-                        StreamItem::Punct(_) => {
-                            for p in &mut parts {
-                                p.push(item.clone());
+                // reunifying merge would hold output forever). Several
+                // partitioned queries may read the same stream — each
+                // gets its own router over its own shards.
+                let n_routers = self.routers.get(&sid).map_or(0, Vec::len);
+                for ri in 0..n_routers {
+                    let router = &mut self.routers.get_mut(&sid).expect("checked above")[ri];
+                    let mut parts: Vec<Vec<StreamItem>> = vec![Vec::new(); router.targets.len()];
+                    let batch = if ri + 1 == n_routers {
+                        std::mem::take(&mut items)
+                    } else {
+                        items.clone()
+                    };
+                    for item in batch {
+                        match &item {
+                            StreamItem::Tuple(t) => {
+                                let b = router.router.route(t);
+                                parts[b].push(item);
+                            }
+                            StreamItem::Punct(_) => {
+                                for p in &mut parts {
+                                    p.push(item.clone());
+                                }
                             }
                         }
                     }
-                }
-                let targets = router.targets.clone();
-                for (batch, node_idx) in parts.into_iter().zip(targets) {
-                    if batch.is_empty() {
-                        continue;
-                    }
-                    let mut out = Vec::new();
-                    self.nodes[node_idx].node.push_batch(0, batch, &mut out);
-                    if !out.is_empty() {
-                        work.push((self.nodes[node_idx].out_sid, out));
+                    let targets = router.targets.clone();
+                    for (batch, node_idx) in parts.into_iter().zip(targets) {
+                        if batch.is_empty() {
+                            continue;
+                        }
+                        self.push_node(node_idx, 0, batch, &mut work);
                     }
                 }
             }
@@ -415,8 +514,19 @@ impl Engine {
         self.emit_gs_stats();
         self.end_stream(self.gs_stats_sid);
         for i in 0..self.nodes.len() {
+            if self.failed[i] {
+                // Quarantined: its downstream is quarantined too, so
+                // there is nobody to flush into or close.
+                continue;
+            }
             let mut out = Vec::new();
-            self.nodes[i].node.finish(&mut out);
+            let node = &mut self.nodes[i].node;
+            let run = catch_unwind(AssertUnwindSafe(|| node.finish(&mut out)));
+            if run.is_err() {
+                self.board.stats.faults_contained.inc();
+                self.quarantine(i, FaultReason::Panic("panic while finishing".to_string()));
+                continue;
+            }
             let sid = self.nodes[i].out_sid;
             if !out.is_empty() {
                 self.propagate(sid, out);
@@ -441,6 +551,7 @@ impl Engine {
         }
         self.publish_all();
         self.stats.counters = self.registry.snapshot();
+        self.stats.health = self.board.report();
         RunOutput {
             streams: std::mem::take(&mut self.outputs),
             stats: std::mem::take(&mut self.stats),
@@ -450,8 +561,17 @@ impl Engine {
     fn end_stream(&mut self, sid: usize) {
         let consumers = self.consumers[sid].clone();
         for (node_idx, port) in consumers {
+            if self.failed[node_idx] {
+                continue;
+            }
             let mut out = Vec::new();
-            self.nodes[node_idx].node.finish_input(port, &mut out);
+            let node = &mut self.nodes[node_idx].node;
+            let run = catch_unwind(AssertUnwindSafe(|| node.finish_input(port, &mut out)));
+            if run.is_err() {
+                self.board.stats.faults_contained.inc();
+                self.quarantine(node_idx, FaultReason::Panic("panic at end of input".to_string()));
+                continue;
+            }
             if !out.is_empty() {
                 let out_sid = self.nodes[node_idx].out_sid;
                 self.propagate(out_sid, out);
@@ -609,6 +729,69 @@ mod tests {
         let times: Vec<u64> =
             out.stream("tcpdest").iter().map(|t| t.get(0).as_uint().unwrap()).collect();
         assert_eq!(times, vec![1, 2, 3, 4, 5], "merge preserves time order");
+    }
+
+    /// Containment in the synchronous engine: an injected panic fails
+    /// only the targeted query's chain; siblings and the run survive.
+    #[test]
+    fn injected_panic_quarantines_only_the_targeted_query() {
+        let program = "DEFINE { query_name good; } \
+             Select time, count(*) From eth0.tcp Group By time; \
+             DEFINE { query_name bad; } \
+             Select time, sum(len) From eth0.tcp Group By time";
+        let mk = || (0..120u64).map(|i| pkt(i / 30, 0, 80, b"xy")).collect::<Vec<_>>();
+        let run = |faults: Option<crate::FaultPlan>| {
+            let mut gs = system();
+            gs.add_program(program).unwrap();
+            gs.faults = faults;
+            gs.run_capture(mk().into_iter(), &["good", "bad"]).unwrap()
+        };
+        let clean = run(None);
+        assert!(clean.stats.health.all_ok());
+        let faulty = run(Some(crate::FaultPlan::new().panic_at("bad", 2)));
+        assert!(faulty.stats.health.failed("bad"));
+        assert!(!faulty.stats.health.failed("good"));
+        assert_eq!(faulty.stream("good"), clean.stream("good"), "sibling is byte-identical");
+        assert!(faulty.stream("bad").len() <= clean.stream("bad").len());
+        assert_eq!(faulty.stats.counter("faults", "faults_contained"), Some(1));
+        assert_eq!(clean.stats.counter("faults", "faults_contained"), None);
+    }
+
+    /// A dead partition shard fails only its own query; with the shard
+    /// marked failed the reunifying merge is quarantined, not starved.
+    #[test]
+    fn shard_panic_fails_only_the_partitioned_query() {
+        let program = "DEFINE { query_name raw; } \
+             Select time, destPort, len From eth0.tcp; \
+             DEFINE { query_name perport; } \
+             Select time, destPort, count(*) From raw Group By time, destPort; \
+             DEFINE { query_name persec; } \
+             Select time, count(*) From raw Group By time";
+        let mk = || {
+            let mut pkts = Vec::new();
+            for s in 1..=4u64 {
+                for k in 0..6u16 {
+                    pkts.push(pkt(s, 0, 8000 + (k % 3), &[k as u8]));
+                }
+            }
+            pkts
+        };
+        let run = |faults: Option<crate::FaultPlan>| {
+            let mut gs = system();
+            gs.parallelism = 3;
+            gs.add_program(program).unwrap();
+            gs.faults = faults;
+            gs.run_capture(mk().into_iter(), &["perport", "persec"]).unwrap()
+        };
+        let clean = run(None);
+        let faulty = run(Some(crate::FaultPlan::new().panic_at("perport#1", 1)));
+        assert!(faulty.stats.health.failed("perport"), "the shard's query fails");
+        assert!(!faulty.stats.health.failed("persec"), "the sibling over the same input is fine");
+        assert_eq!(faulty.stream("persec"), clean.stream("persec"));
+        assert!(matches!(
+            faulty.stats.health.of("perport"),
+            crate::QueryHealth::Failed { reason: FaultReason::Panic(_) }
+        ));
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Run-health reporting: which queries finished cleanly, which were
+//! quarantined, and why.
+//!
+//! A faulted node (panicked operator, stalled consumer, corrupted
+//! transport) must fail *its* query chain and nothing else: Gigascope
+//! runs at the capture point, and the paper's §4 self-monitoring exists
+//! precisely so operators can keep watching the monitor while one query
+//! misbehaves. The engines record every quarantine decision on a shared
+//! [`HealthBoard`]; the final [`RunHealth`] report rides on
+//! [`ThreadedOutput`](crate::manager::ThreadedOutput) and
+//! [`EngineStats`](crate::engine::EngineStats).
+
+use gs_runtime::faults::FaultStats;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Why a query chain was quarantined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultReason {
+    /// An operator of the chain panicked; the payload message survives.
+    Panic(String),
+    /// An upstream node of the chain faulted first; the origin node is
+    /// named so the report distinguishes root causes from collateral.
+    Upstream(String),
+    /// The watchdog force-closed the chain's queue after repeated
+    /// no-progress checks.
+    Stalled,
+}
+
+impl std::fmt::Display for FaultReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultReason::Panic(msg) => write!(f, "panic: {msg}"),
+            FaultReason::Upstream(node) => write!(f, "upstream fault at `{node}`"),
+            FaultReason::Stalled => write!(f, "stalled (watchdog forced close)"),
+        }
+    }
+}
+
+/// The health of one query at the end of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryHealth {
+    /// Ran to completion; its output is exactly the fault-free output.
+    Ok,
+    /// Quarantined mid-run: output is a clean prefix/subset of the
+    /// fault-free output, and the rest of the run was unaffected.
+    Failed {
+        /// What took the chain down.
+        reason: FaultReason,
+    },
+}
+
+/// A fault marker propagated in-band through the node graph (the
+/// `Msg::Fault` payload): names the node where containment happened and
+/// why, so every downstream consumer can attribute its own quarantine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeFault {
+    /// The node (output stream name) where the fault originated.
+    pub node: String,
+    /// The originating reason.
+    pub reason: FaultReason,
+}
+
+/// Per-run health report: one entry per deployed query (and per
+/// subscribed stream), `Ok` unless quarantined.
+#[derive(Debug, Clone, Default)]
+pub struct RunHealth {
+    failures: HashMap<String, FaultReason>,
+}
+
+impl RunHealth {
+    /// Health of `query` (queries never recorded as failed are `Ok`).
+    pub fn of(&self, query: &str) -> QueryHealth {
+        match self.failures.get(query) {
+            Some(r) => QueryHealth::Failed { reason: r.clone() },
+            None => QueryHealth::Ok,
+        }
+    }
+
+    /// Whether `query` failed.
+    pub fn failed(&self, query: &str) -> bool {
+        self.failures.contains_key(query)
+    }
+
+    /// Whether every query ran clean.
+    pub fn all_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The failed queries and their reasons, sorted by query name.
+    pub fn failures(&self) -> Vec<(&str, &FaultReason)> {
+        let mut v: Vec<_> = self.failures.iter().map(|(k, r)| (k.as_str(), r)).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+}
+
+/// The owning query of a node's output stream: partition shards
+/// (`perport#2`) and mangled LFTA streams (`perport__lfta0`) both
+/// belong to their base query.
+pub fn query_of(stream: &str) -> &str {
+    let s = stream.split_once('#').map_or(stream, |(q, _)| q);
+    s.split_once("__lfta").map_or(s, |(q, _)| q)
+}
+
+/// Shared, poison-tolerant recorder the engines write quarantine
+/// decisions to while a run is in flight. Tolerance matters here more
+/// than anywhere: the board is written by threads that just survived a
+/// panic, so a poisoned mutex must not cascade the abort it prevented.
+#[derive(Default)]
+pub struct HealthBoard {
+    failures: Mutex<HashMap<String, FaultReason>>,
+    /// Containment accounting shared with the stats registry.
+    pub stats: Arc<FaultStats>,
+}
+
+impl HealthBoard {
+    /// Fresh board, all queries implicitly healthy.
+    pub fn new() -> HealthBoard {
+        HealthBoard::default()
+    }
+
+    /// Record `stream`'s owning query as failed. First reason wins (the
+    /// root cause arrives before its collateral); returns whether this
+    /// call was the first for the query.
+    pub fn record(&self, stream: &str, reason: FaultReason) -> bool {
+        let query = query_of(stream).to_string();
+        let mut map = self.failures.lock().unwrap_or_else(PoisonError::into_inner);
+        if map.contains_key(&query) {
+            return false;
+        }
+        map.insert(query, reason);
+        self.stats.queries_failed.inc();
+        true
+    }
+
+    /// Snapshot into the final report.
+    pub fn report(&self) -> RunHealth {
+        RunHealth {
+            failures: self.failures.lock().unwrap_or_else(PoisonError::into_inner).clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_of_strips_shard_and_lfta_mangling() {
+        assert_eq!(query_of("perport"), "perport");
+        assert_eq!(query_of("perport#3"), "perport");
+        assert_eq!(query_of("perport__lfta0"), "perport");
+        assert_eq!(query_of("perport#3__x"), "perport");
+    }
+
+    #[test]
+    fn first_reason_wins_and_counts_once() {
+        let b = HealthBoard::new();
+        assert!(b.record("q#1", FaultReason::Panic("boom".into())));
+        assert!(!b.record("q", FaultReason::Stalled), "already failed: not re-recorded");
+        assert!(b.record("other", FaultReason::Stalled));
+        let r = b.report();
+        assert!(r.failed("q") && r.failed("other") && !r.failed("rest"));
+        assert_eq!(r.of("q"), QueryHealth::Failed { reason: FaultReason::Panic("boom".into()) });
+        assert_eq!(b.stats.queries_failed.get(), 2);
+        assert_eq!(r.failures().len(), 2);
+        assert!(!r.all_ok());
+        assert!(RunHealth::default().all_ok());
+    }
+
+    #[test]
+    fn board_survives_poisoning() {
+        let b = Arc::new(HealthBoard::new());
+        let b2 = b.clone();
+        // Poison the board's mutex by panicking while holding it.
+        let _ = std::thread::spawn(move || {
+            let _g = b2.failures.lock().unwrap();
+            panic!("poison");
+        })
+        .join();
+        assert!(b.record("q", FaultReason::Stalled), "poison-tolerant: still records");
+        assert!(b.report().failed("q"));
+    }
+}

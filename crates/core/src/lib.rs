@@ -32,14 +32,19 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod health;
 pub mod manager;
 pub mod transport;
+pub mod watchdog;
 
 pub use engine::{EngineStats, RunOutput};
 pub use gs_gsql::split::DeployedQuery;
+pub use gs_runtime::faults::{FaultKind, FaultPlan, FaultSpec};
 pub use gs_runtime::qos::DropPolicy;
 pub use gs_runtime::stats::StatRow;
 pub use gs_runtime::{ParamBindings, StreamItem, Tuple, Value};
+pub use health::{FaultReason, NodeFault, QueryHealth, RunHealth};
+pub use watchdog::WatchdogConfig;
 
 use gs_gsql::catalog::{Catalog, InterfaceDef, UdfCost, UdfSig};
 use gs_gsql::plan::Schema;
@@ -161,6 +166,17 @@ pub struct Gigascope {
     /// unchanged. Applies to both the threaded manager and the
     /// synchronous engine, which therefore stay equivalent.
     pub parallelism: usize,
+    /// Liveness supervision for the threaded manager. `None` (the
+    /// default) spawns no supervisor and leaves behavior exactly as
+    /// before; `Some(cfg)` starts a watchdog that force-closes queues
+    /// making no progress over the configured interval and reports the
+    /// owning query `Failed{Stalled}` in the run's [`RunHealth`].
+    pub watchdog: Option<WatchdogConfig>,
+    /// Deterministic fault-injection campaign. `None` (the default)
+    /// arms nothing and costs nothing on the batch path; `Some(plan)`
+    /// injects the plan's faults into the targeted nodes in both
+    /// engines and surfaces containment in the `faults` stats node.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for Gigascope {
@@ -185,6 +201,8 @@ impl Gigascope {
             shedding: None,
             stats_enabled: true,
             parallelism: 1,
+            watchdog: None,
+            faults: None,
         }
     }
 
@@ -223,27 +241,37 @@ impl Gigascope {
 
     /// Parse, analyze, split, and register every query in `gsql`.
     /// Later queries (and later programs) may read earlier ones by name.
+    ///
+    /// Registration is atomic per program: GSQL that references an
+    /// undefined interface or stream, or re-defines a query name (within
+    /// the program or against an earlier program), is rejected with
+    /// `Err` and leaves the system exactly as it was — no query of a
+    /// failed program is partially registered.
     pub fn add_program(&mut self, gsql: &str) -> Result<Vec<QueryInfo>, Error> {
         let program = gs_gsql::parse_program_full(gsql)?;
+        // Validate every query against a staging catalog; commit only
+        // if the whole program is well-formed.
+        let mut staged = self.catalog.clone();
         for d in &program.interfaces {
-            self.add_interface(&d.name, d.id, d.link);
+            staged.add_interface(InterfaceDef { name: d.name.clone(), id: d.id, link: d.link });
         }
         let queries = program.queries;
         let mut infos = Vec::with_capacity(queries.len());
+        let mut deployed = Vec::with_capacity(queries.len());
         for q in &queries {
-            let aq = gs_gsql::analyze(q, &self.catalog)?;
-            if self.catalog.stream(&aq.name).is_some() {
+            let aq = gs_gsql::analyze(q, &staged)?;
+            if staged.stream(&aq.name).is_some() {
                 return Err(Error::Config(format!("query `{}` is already registered", aq.name)));
             }
-            let dq = split_query(&aq, &self.catalog)?;
+            let dq = split_query(&aq, &staged)?;
             // Register the LFTA streams and the query's own stream so
             // downstream queries can subscribe by name.
             for l in &dq.lftas {
                 if l.name != dq.name {
-                    self.catalog.add_stream(&l.name, l.plan.schema().clone());
+                    staged.add_stream(&l.name, l.plan.schema().clone());
                 }
             }
-            self.catalog.add_stream(&dq.name, dq.schema.clone());
+            staged.add_stream(&dq.name, dq.schema.clone());
             let mut warnings = aq.warnings.clone();
             if aq.sample.is_some() && dq.lftas.is_empty() {
                 warnings.push(
@@ -263,8 +291,10 @@ impl Gigascope {
                 warnings,
                 hoisted: q.is_hoisted(),
             });
-            self.deployed.push(dq);
+            deployed.push(dq);
         }
+        self.catalog = staged;
+        self.deployed.extend(deployed);
         Ok(infos)
     }
 
@@ -367,6 +397,36 @@ mod tests {
             .add_program("DEFINE { query_name q; } Select time From eth0.tcp")
             .unwrap_err();
         assert!(matches!(err, Error::Config(_)));
+    }
+
+    #[test]
+    fn undefined_interface_rejected_without_panic() {
+        let mut gs = Gigascope::new();
+        // No interfaces registered at all.
+        let err = gs.add_program("DEFINE { query_name q; } Select time From eth9.tcp");
+        assert!(err.is_err(), "undefined interface is an Err, not a panic");
+        // And with one registered, referencing another still fails.
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+        assert!(gs.add_program("DEFINE { query_name q; } Select time From wan3.udp").is_err());
+        assert!(gs.queries().is_empty(), "nothing was registered");
+    }
+
+    #[test]
+    fn failed_program_registers_nothing() {
+        let mut gs = Gigascope::new();
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+        // Second query re-defines the first's name: the whole program
+        // must be rejected atomically.
+        let err = gs.add_program(
+            "DEFINE { query_name a; } Select time From eth0.tcp \
+             DEFINE { query_name a; } Select time From eth0.udp",
+        );
+        assert!(err.is_err());
+        assert!(gs.queries().is_empty(), "query `a` was not half-registered");
+        assert!(gs.schema("a").is_none(), "its stream is not in the catalog");
+        // The name is still available for a good program.
+        gs.add_program("DEFINE { query_name a; } Select time From eth0.tcp").unwrap();
+        assert_eq!(gs.queries().len(), 1);
     }
 
     #[test]

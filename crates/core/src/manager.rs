@@ -37,7 +37,9 @@
 //! observe the system's own behavior — including what overload shedding
 //! ([`Gigascope::shedding`]) drops when a consumer stalls.
 
-use crate::transport::{self, Admission};
+use crate::health::{FaultReason, HealthBoard, NodeFault, RunHealth};
+use crate::transport::{self, Admission, Channel};
+use crate::watchdog::{Watchdog, WatchdogStats};
 use crate::{Error, Gigascope};
 use bytes::Bytes;
 use gs_packet::CapPacket;
@@ -47,7 +49,8 @@ use gs_runtime::stats::{Counter, StatRow, StatSource, StatsRegistry};
 use gs_runtime::tuple::{StreamItem, Tuple};
 use gs_runtime::value::Value;
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
 
 /// Ready-queue capacity per query node ("communication through shared
@@ -62,6 +65,11 @@ enum Msg {
     Batch(usize, Vec<StreamItem>),
     /// The producer feeding this port is done; no more items will come.
     Close(usize),
+    /// The producer feeding this port faulted. The port is closed (no
+    /// more items will come, like [`Msg::Close`]) and the receiver's
+    /// whole query chain is quarantined, attributing the failure to the
+    /// named origin node.
+    Fault(usize, NodeFault),
 }
 
 /// One consumer endpoint: the consumer's shared queue plus the input
@@ -86,6 +94,12 @@ impl PortSender {
         // Close markers ride past capacity and policy: shedding one
         // would leave the consumer waiting forever on an open port.
         self.tx.send_control(Msg::Close(self.port));
+    }
+
+    fn fault(&self, f: NodeFault) {
+        // Fault markers are control traffic for the same reason Close
+        // is: dropping one would leave the consumer waiting forever.
+        self.tx.send_control(Msg::Fault(self.port, f));
     }
 }
 
@@ -259,6 +273,13 @@ impl RouterEdge {
             b.close(std::slice::from_ref(s));
         }
     }
+
+    fn fault(&mut self, f: &NodeFault) {
+        for (b, s) in &mut self.parts {
+            b.buf.clear();
+            s.fault(f.clone());
+        }
+    }
 }
 
 /// Everything one producer's output feeds: the plain fan-out batcher for
@@ -306,6 +327,20 @@ impl OutputEdge {
             r.close();
         }
     }
+
+    /// Quarantine this producer's output: discard whatever sits in the
+    /// batch buffers (a faulted node's partial output may be mid-fault
+    /// garbage) and replace the Close handshake with an in-band fault
+    /// marker on every consumer port and every routed partition.
+    fn fault(&mut self, f: &NodeFault) {
+        self.batcher.buf.clear();
+        for tx in &self.senders {
+            tx.fault(f.clone());
+        }
+        for r in &mut self.routers {
+            r.fault(f);
+        }
+    }
 }
 
 /// Result of a threaded run.
@@ -318,6 +353,10 @@ pub struct ThreadedOutput {
     /// Final stats-registry snapshot, taken after every node drained:
     /// `lfta:*`, `hfta:*`, `edge:*`, and `queue:*` counters.
     pub counters: Vec<StatRow>,
+    /// Which queries ran clean and which were quarantined (panicked
+    /// operator, upstream fault, watchdog-forced close) — a faulted
+    /// query fails alone; its siblings' outputs are unaffected.
+    pub health: RunHealth,
 }
 
 impl ThreadedOutput {
@@ -473,13 +512,29 @@ where
     let stats_enabled = gs.stats_enabled;
     let registry = Arc::new(StatsRegistry::new());
 
+    // Fault-isolation plumbing: the shared health board every
+    // containment decision lands on, and the queues the watchdog
+    // supervises. The `faults` and `watchdog` stat nodes only register
+    // when the corresponding feature is configured, so a default run's
+    // GS_STATS row set (and the stats-overhead gate) is unchanged.
+    let board = Arc::new(HealthBoard::new());
+    if gs.faults.is_some() || gs.watchdog.is_some() {
+        registry.register("faults".to_string(), board.stats.clone());
+    }
+    let watchdog_stats = Arc::new(WatchdogStats::default());
+    if gs.watchdog.is_some() {
+        registry.register("watchdog".to_string(), watchdog_stats.clone());
+    }
+    let mut watch_targets: Vec<(String, Arc<Channel<Msg>>)> = Vec::new();
+
     // Consumer endpoints per stream name (fan-out to every consumer).
     let mut producers: HashMap<String, Vec<PortSender>> = HashMap::new();
     // One shared ready-queue per node; every input port sends into it.
     let mut node_inputs: Vec<(transport::Receiver<Msg>, usize)> = Vec::new();
     for spec in &nodes {
         let (tx, rx, chan) = transport::channel(capacity, admission);
-        registry.register(format!("queue:{}", spec.out_name), chan);
+        registry.register(format!("queue:{}", spec.out_name), chan.clone());
+        watch_targets.push((spec.out_name.clone(), chan));
         if let Some(g) = spec.routed {
             // A partition instance: its single input port is fed by the
             // group's router, not the shared producer fan-out (which
@@ -507,20 +562,23 @@ where
     let mut collectors: Vec<(String, thread::JoinHandle<Vec<Tuple>>)> = Vec::new();
     for name in subscriptions {
         let (tx, rx, chan) = transport::channel::<Msg>(capacity, admission);
-        registry.register(format!("queue:sub:{name}"), chan);
+        registry.register(format!("queue:sub:{name}"), chan.clone());
+        watch_targets.push(((*name).to_string(), chan));
         producers
             .entry((*name).to_string())
             .or_default()
             .push(PortSender { tx, port: 0, depth: depth_of(name) });
         let gate = opts.stall.iter().any(|s| s == name).then(|| stall_gate.clone());
+        let sub_board = board.clone();
+        let sub_name = (*name).to_string();
         let drainer = thread::spawn(move || {
             if let Some(g) = &gate {
                 // A deliberately stalled consumer: hold the queue shut
                 // until the graph finishes, then drain what survived.
                 let (released, cv) = &**g;
-                let mut open = released.lock().unwrap();
+                let mut open = released.lock().unwrap_or_else(PoisonError::into_inner);
                 while !*open {
-                    open = cv.wait(open).unwrap();
+                    open = cv.wait(open).unwrap_or_else(PoisonError::into_inner);
                 }
             }
             let mut bucket = Vec::new();
@@ -533,6 +591,12 @@ where
                         }));
                     }
                     Msg::Close(_) => break,
+                    Msg::Fault(_, f) => {
+                        // The producing chain faulted: keep the clean
+                        // prefix collected so far and report the root.
+                        sub_board.record(&sub_name, FaultReason::Upstream(f.node));
+                        break;
+                    }
                 }
             }
             bucket
@@ -567,7 +631,7 @@ where
     }
 
     // ---- Spawn node threads ---------------------------------------------
-    let mut handles = Vec::new();
+    let mut handles: Vec<(String, thread::JoinHandle<()>)> = Vec::new();
     for (spec, (rx, n_ports)) in nodes.into_iter().zip(node_inputs) {
         let out_senders: Vec<PortSender> =
             producers.get(&spec.out_name).cloned().unwrap_or_default();
@@ -580,53 +644,107 @@ where
             senders: out_senders,
             routers: router_edges.remove(&out_name).unwrap_or_default(),
         };
-        handles.push(thread::spawn(move || {
-            let mut open: Vec<bool> = vec![true; n_ports];
-            let mut open_count = n_ports;
-            let mut out = Vec::new();
-            while open_count > 0 {
-                match rx.recv() {
-                    Some(Msg::Batch(p, items)) => {
-                        out.clear();
-                        node.push_batch(p, items, &mut out);
-                        edge.extend(out.drain(..));
-                        if stats_enabled {
-                            // Per-message publish keeps registry
-                            // snapshots at most one batch stale.
-                            node.publish_stats();
-                        }
-                    }
-                    Some(Msg::Close(p)) if open[p] => {
-                        open[p] = false;
-                        open_count -= 1;
-                        out.clear();
-                        node.finish_input(p, &mut out);
-                        edge.extend(out.drain(..));
-                    }
-                    Some(Msg::Close(_)) => {}
-                    None => {
-                        // Every producer dropped without a Close (a panic
-                        // upstream); flush what the still-open ports hold.
-                        for (p, o) in open.iter_mut().enumerate() {
-                            if std::mem::take(o) {
+        let node_board = board.clone();
+        let mut injector = gs.faults.as_ref().and_then(|p| p.armed(&out_name, &board.stats));
+        let thread_name = out_name.clone();
+        handles.push((
+            out_name.clone(),
+            thread::spawn(move || {
+                // Port state lives OUTSIDE the containment boundary so the
+                // post-fault quarantine drain knows which ports are still
+                // open; the boundary itself costs nothing on the hot path.
+                let mut open: Vec<bool> = vec![true; n_ports];
+                let mut open_count = n_ports;
+                let run = catch_unwind(AssertUnwindSafe(|| -> Option<NodeFault> {
+                    let mut out = Vec::new();
+                    while open_count > 0 {
+                        match rx.recv() {
+                            Some(Msg::Batch(p, mut items)) => {
+                                if let Some(inj) = injector.as_mut() {
+                                    // Inside the boundary: an injected panic
+                                    // exercises the real containment path.
+                                    inj.on_batch(&mut items);
+                                }
+                                out.clear();
+                                node.push_batch(p, items, &mut out);
+                                edge.extend(out.drain(..));
+                                if stats_enabled {
+                                    // Per-message publish keeps registry
+                                    // snapshots at most one batch stale.
+                                    node.publish_stats();
+                                }
+                            }
+                            Some(Msg::Close(p)) if open[p] => {
+                                open[p] = false;
+                                open_count -= 1;
                                 out.clear();
                                 node.finish_input(p, &mut out);
                                 edge.extend(out.drain(..));
                             }
+                            Some(Msg::Close(_)) => {}
+                            Some(Msg::Fault(p, f)) => {
+                                // An upstream chain member died: this node's
+                                // query is collateral. The port is closed by
+                                // definition of the marker.
+                                if open[p] {
+                                    open[p] = false;
+                                    open_count -= 1;
+                                }
+                                return Some(f);
+                            }
+                            None => {
+                                // Every producer dropped without a Close, or
+                                // the watchdog force-closed this queue; flush
+                                // what the still-open ports hold.
+                                for (p, o) in open.iter_mut().enumerate() {
+                                    if std::mem::take(o) {
+                                        out.clear();
+                                        node.finish_input(p, &mut out);
+                                        edge.extend(out.drain(..));
+                                    }
+                                }
+                                open_count = 0;
+                            }
                         }
-                        open_count = 0;
+                    }
+                    out.clear();
+                    node.finish(&mut out);
+                    edge.extend(out.drain(..));
+                    None
+                }));
+                match run {
+                    Ok(None) => {
+                        // Clean end-of-stream: flush the tail batch, then
+                        // close every consumer port (and routed partition).
+                        edge.close();
+                        // Final publish so the post-run snapshot is exact.
+                        node.publish_stats();
+                    }
+                    Ok(Some(fault)) => {
+                        // Quarantined by an upstream fault: record it (a
+                        // no-op if the root cause already named this query),
+                        // forward the origin downstream, then keep draining
+                        // so sibling producers never wedge on our queue.
+                        node_board
+                            .record(&thread_name, FaultReason::Upstream(fault.node.clone()));
+                        edge.fault(&fault);
+                        drain_quarantined(&rx, &mut open, &mut open_count);
+                        node.publish_stats();
+                    }
+                    Err(payload) => {
+                        // The operator itself panicked (injected or organic):
+                        // the containment boundary turns the abort into a
+                        // quarantined query.
+                        node_board.stats.faults_contained.inc();
+                        let reason = FaultReason::Panic(panic_message(payload.as_ref()));
+                        node_board.record(&thread_name, reason.clone());
+                        edge.fault(&NodeFault { node: thread_name.clone(), reason });
+                        drain_quarantined(&rx, &mut open, &mut open_count);
+                        // The node is mid-panic state: don't touch it again.
                     }
                 }
-            }
-            out.clear();
-            node.finish(&mut out);
-            edge.extend(out.drain(..));
-            // This node's streams end: flush the tail batch, then close
-            // every consumer port (and every routed partition).
-            edge.close();
-            // Final publish so the post-run snapshot has exact totals.
-            node.publish_stats();
-        }));
+            }),
+        ));
     }
 
     // ---- Capture loop (this thread) --------------------------------------
@@ -653,6 +771,15 @@ where
     for (lfta, _) in &lftas {
         registry.register(format!("lfta:{}", lfta.name), lfta.stats_handle());
     }
+
+    // The liveness supervisor, once every queue exists. It watches node
+    // and subscription queues for pending work with a frozen dequeue
+    // counter and force-closes the wedged ones, so even a stalled
+    // consumer without shedding (the PR 3 deadlock) ends as a
+    // `Failed{Stalled}` query instead of a hung run.
+    let watchdog = gs
+        .watchdog
+        .map(|cfg| Watchdog::spawn(cfg, watch_targets, board.clone(), watchdog_stats.clone()));
 
     let heartbeat = gs.heartbeat;
     let mut last_hb: Option<u64> = None;
@@ -715,25 +842,71 @@ where
     // ---- Drain ------------------------------------------------------------
     // Node threads first: with shedding enabled they finish even when a
     // subscriber stalls (the queue sheds instead of back-pressuring), and
-    // collector drainers run concurrently regardless of join order.
-    for h in handles {
-        h.join().map_err(|_| Error::Config("query node thread panicked".to_string()))?;
+    // collector drainers run concurrently regardless of join order. A
+    // faulted node's thread still joins cleanly — containment converted
+    // the panic into a quarantine before the thread returned — so a join
+    // error here means the recovery code itself died; record it rather
+    // than abort the whole run.
+    for (name, h) in handles {
+        if h.join().is_err() {
+            board.stats.faults_contained.inc();
+            board.record(&name, FaultReason::Panic("node thread aborted".to_string()));
+        }
     }
     // Release any deliberately stalled collectors to drain what survived.
     {
         let (released, cv) = &*stall_gate;
-        *released.lock().unwrap() = true;
+        *released.lock().unwrap_or_else(PoisonError::into_inner) = true;
         cv.notify_all();
     }
     let mut streams: HashMap<String, Vec<Tuple>> = HashMap::new();
     for (name, drainer) in collectors {
-        let bucket = drainer
-            .join()
-            .map_err(|_| Error::Config("subscription collector thread panicked".to_string()))?;
-        streams.insert(name, bucket);
+        match drainer.join() {
+            Ok(bucket) => {
+                streams.insert(name, bucket);
+            }
+            Err(_) => {
+                board.record(&name, FaultReason::Panic("collector thread panicked".to_string()));
+                streams.insert(name, Vec::new());
+            }
+        }
+    }
+    if let Some(dog) = watchdog {
+        dog.stop();
     }
     let counters = registry.snapshot();
-    Ok(ThreadedOutput { streams, packets: n_packets, counters })
+    Ok(ThreadedOutput { streams, packets: n_packets, counters, health: board.report() })
+}
+
+/// Post-quarantine input drain: a faulted node must keep consuming (and
+/// discarding) its queue until every port closes, otherwise upstream
+/// producers under [`Admission::Block`] would wedge forever on the
+/// abandoned queue — the hang this layer exists to prevent.
+fn drain_quarantined(rx: &transport::Receiver<Msg>, open: &mut [bool], open_count: &mut usize) {
+    while *open_count > 0 {
+        match rx.recv() {
+            Some(Msg::Close(p)) | Some(Msg::Fault(p, _)) => {
+                if open[p] {
+                    open[p] = false;
+                    *open_count -= 1;
+                }
+            }
+            Some(Msg::Batch(..)) => {}
+            None => *open_count = 0,
+        }
+    }
+}
+
+/// Best-effort text of a caught panic payload (`panic!` with a string
+/// literal or a formatted message covers everything we raise).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 /// Snapshot the registry and ship it as one batch of `GS_STATS` tuples
@@ -1031,6 +1204,50 @@ mod tests {
         assert!(edge_items > 0, "LFTA edge shipped its partials");
         assert!(out.counter("queue:persec", "enqueued").unwrap() > 0);
         assert_eq!(out.counter("queue:persec", "shed_batches"), Some(0));
+    }
+
+    /// The tentpole invariant at unit scale: an injected operator panic
+    /// neither hangs nor aborts the run — `run_threaded` returns `Ok`,
+    /// the faulted query is `Failed{Panic}` with a clean-prefix output,
+    /// and the sibling query's output is byte-identical to a fault-free
+    /// run.
+    #[test]
+    fn injected_panic_quarantines_one_query_and_spares_siblings() {
+        let program = "DEFINE { query_name good; } \
+             Select time, count(*) From eth0.tcp Group By time; \
+             DEFINE { query_name bad; } \
+             Select time, sum(len) From eth0.tcp Group By time";
+        let mk = || (0..200u64).map(|i| pkt(i / 40, 80, b"xy")).collect::<Vec<_>>();
+        let run = |faults: Option<crate::FaultPlan>| {
+            let mut gs = Gigascope::new();
+            gs.add_interface("eth0", 0, LinkType::Ethernet);
+            gs.batch_size = 8;
+            gs.add_program(program).unwrap();
+            gs.faults = faults;
+            run_threaded(&gs, mk().into_iter(), &["good", "bad"]).unwrap()
+        };
+        let clean = run(None);
+        assert!(clean.health.all_ok());
+        let faulty = run(Some(crate::FaultPlan::new().panic_at("bad", 2)));
+        assert!(faulty.health.failed("bad"), "the targeted query is quarantined");
+        assert!(matches!(
+            faulty.health.of("bad"),
+            crate::QueryHealth::Failed { reason: FaultReason::Panic(_) }
+        ));
+        assert!(!faulty.health.failed("good"), "the sibling is untouched");
+        assert_eq!(
+            faulty.stream("good"),
+            clean.stream("good"),
+            "sibling output is byte-identical to the fault-free run"
+        );
+        assert!(
+            faulty.stream("bad").len() <= clean.stream("bad").len(),
+            "the faulted query keeps at most a clean prefix"
+        );
+        assert_eq!(faulty.counter("faults", "fault_injected"), Some(1));
+        assert_eq!(faulty.counter("faults", "faults_contained"), Some(1));
+        assert!(faulty.counter("faults", "queries_failed").unwrap() >= 1);
+        assert_eq!(clean.counter("faults", "fault_injected"), None, "no plan, no stats node");
     }
 
     /// A stalled subscriber with shedding enabled must not wedge the

@@ -19,7 +19,14 @@
 
 use gs_runtime::qos::{DropPolicy, Offer, Shedder};
 use gs_runtime::stats::StatSource;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Poison-tolerant lock: a mutex whose holder panicked (inside a
+/// containment boundary) stays usable instead of cascading the abort
+/// through every other thread that touches the queue.
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// What a full queue does to an arriving message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +42,10 @@ pub enum Admission {
 pub struct QueueStats {
     /// Messages accepted onto the queue (data and control).
     pub enqueued: u64,
+    /// Messages taken off the queue by the consumer — the watchdog's
+    /// progress signal: pending work with `dequeued` frozen means the
+    /// consumer has wedged.
+    pub dequeued: u64,
     /// Times a producer found the queue full and had to wait
     /// ([`Admission::Block`] only; one count per blocking episode).
     pub stalls: u64,
@@ -42,6 +53,9 @@ pub struct QueueStats {
     pub shed_batches: u64,
     /// Tuples inside those shed batches (the sum of their weights).
     pub shed_items: u64,
+    /// Messages discarded by a watchdog force-close (`1+` means this
+    /// queue's consumer was declared dead).
+    pub forced_drops: u64,
 }
 
 struct Inner<T> {
@@ -50,6 +64,9 @@ struct Inner<T> {
     shedder: Shedder<(u64, T)>,
     senders: usize,
     receiver_alive: bool,
+    /// Set by [`Channel::force_close`]: the watchdog declared the
+    /// consumer dead. Sends become no-ops, `recv` reports end-of-stream.
+    closed: bool,
     stats: QueueStats,
 }
 
@@ -64,13 +81,45 @@ pub struct Channel<T> {
 
 impl<T: Send> StatSource for Channel<T> {
     fn counters(&self) -> Vec<(&'static str, u64)> {
-        let s = self.inner.lock().unwrap().stats;
+        let s = lock(&self.inner).stats;
         vec![
             ("enqueued", s.enqueued),
+            ("dequeued", s.dequeued),
             ("stalls", s.stalls),
             ("shed_batches", s.shed_batches),
             ("shed_items", s.shed_items),
+            ("forced_drops", s.forced_drops),
         ]
+    }
+}
+
+impl<T: Send> Channel<T> {
+    /// Progress probe for the watchdog: `(messages dequeued so far,
+    /// messages pending right now)`.
+    pub fn progress(&self) -> (u64, usize) {
+        let inner = lock(&self.inner);
+        (inner.stats.dequeued, inner.shedder.len())
+    }
+
+    /// Declare the consumer dead: discard everything buffered (counted
+    /// as `forced_drops`), make further sends no-ops, report
+    /// end-of-stream to the receiver, and wake every blocked producer.
+    /// Returns the number of discarded messages. Idempotent.
+    pub fn force_close(&self) -> u64 {
+        let mut inner = lock(&self.inner);
+        if inner.closed {
+            return 0;
+        }
+        inner.closed = true;
+        let mut dropped = 0;
+        while inner.shedder.pop().is_some() {
+            dropped += 1;
+        }
+        inner.stats.forced_drops += dropped;
+        drop(inner);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+        dropped
     }
 }
 
@@ -100,6 +149,7 @@ pub fn channel<T: Send>(
             shedder: Shedder::new(capacity.max(1), policy),
             senders: 1,
             receiver_alive: true,
+            closed: false,
             stats: QueueStats::default(),
         }),
         not_empty: Condvar::new(),
@@ -116,18 +166,25 @@ impl<T> Sender<T> {
     /// silently discards if the receiver is gone (matching the manager's
     /// former `let _ = tx.send(..)` behavior).
     pub fn send(&self, depth: u32, weight: u64, msg: T) {
-        let mut inner = self.chan.inner.lock().unwrap();
-        if !inner.receiver_alive {
+        let mut inner = lock(&self.chan.inner);
+        if !inner.receiver_alive || inner.closed {
             return;
         }
         match self.chan.admission {
             Admission::Block => {
                 if inner.shedder.len() >= self.chan.capacity {
                     inner.stats.stalls += 1;
-                    while inner.shedder.len() >= self.chan.capacity && inner.receiver_alive {
-                        inner = self.chan.not_full.wait(inner).unwrap();
+                    while inner.shedder.len() >= self.chan.capacity
+                        && inner.receiver_alive
+                        && !inner.closed
+                    {
+                        inner = self
+                            .chan
+                            .not_full
+                            .wait(inner)
+                            .unwrap_or_else(PoisonError::into_inner);
                     }
-                    if !inner.receiver_alive {
+                    if !inner.receiver_alive || inner.closed {
                         return;
                     }
                 }
@@ -156,8 +213,8 @@ impl<T> Sender<T> {
     /// and never shed. The transient overshoot is bounded by the number
     /// of producers, each of which closes once.
     pub fn send_control(&self, msg: T) {
-        let mut inner = self.chan.inner.lock().unwrap();
-        if !inner.receiver_alive {
+        let mut inner = lock(&self.chan.inner);
+        if !inner.receiver_alive || inner.closed {
             return;
         }
         inner.shedder.force(u32::MAX, (0, msg));
@@ -169,14 +226,14 @@ impl<T> Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Sender<T> {
-        self.chan.inner.lock().unwrap().senders += 1;
+        lock(&self.chan.inner).senders += 1;
         Sender { chan: self.chan.clone() }
     }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut inner = self.chan.inner.lock().unwrap();
+        let mut inner = lock(&self.chan.inner);
         inner.senders -= 1;
         let last = inner.senders == 0;
         drop(inner);
@@ -190,11 +247,16 @@ impl<T> Drop for Sender<T> {
 
 impl<T> Receiver<T> {
     /// Take the oldest buffered message; `None` once every sender has
-    /// dropped and the queue is drained (disconnect).
+    /// dropped and the queue is drained (disconnect), or immediately
+    /// after a watchdog [`force_close`](Channel::force_close).
     pub fn recv(&self) -> Option<T> {
-        let mut inner = self.chan.inner.lock().unwrap();
+        let mut inner = lock(&self.chan.inner);
         loop {
+            if inner.closed {
+                return None;
+            }
             if let Some((_, (_, msg))) = inner.shedder.pop() {
+                inner.stats.dequeued += 1;
                 drop(inner);
                 self.chan.not_full.notify_one();
                 return Some(msg);
@@ -202,14 +264,26 @@ impl<T> Receiver<T> {
             if inner.senders == 0 {
                 return None;
             }
-            inner = self.chan.not_empty.wait(inner).unwrap();
+            inner = self
+                .chan
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Non-blocking [`recv`](Receiver::recv): `None` when nothing is
     /// currently buffered (whether or not senders remain).
     pub fn try_recv(&self) -> Option<T> {
-        let msg = self.chan.inner.lock().unwrap().shedder.pop();
+        let mut inner = lock(&self.chan.inner);
+        if inner.closed {
+            return None;
+        }
+        let msg = inner.shedder.pop();
+        if msg.is_some() {
+            inner.stats.dequeued += 1;
+        }
+        drop(inner);
         msg.map(|(_, (_, m))| {
             self.chan.not_full.notify_one();
             m
@@ -219,7 +293,7 @@ impl<T> Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.chan.inner.lock().unwrap().receiver_alive = false;
+        lock(&self.chan.inner).receiver_alive = false;
         // Unblock producers waiting for space; their sends become no-ops.
         self.chan.not_full.notify_all();
     }
@@ -318,10 +392,42 @@ mod tests {
 
     #[test]
     fn channel_reports_queue_stats_rows() {
-        let (tx, _rx, chan) = channel(8, Admission::Block);
+        let (tx, rx, chan) = channel(8, Admission::Block);
         tx.send(0, 1, ());
+        rx.recv();
         let rows = chan.counters();
         assert_eq!(rows[0], ("enqueued", 1));
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[1], ("dequeued", 1));
+        assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn progress_tracks_dequeues_and_pending() {
+        let (tx, rx, chan) = channel(8, Admission::Block);
+        tx.send(0, 1, 1);
+        tx.send(0, 1, 2);
+        assert_eq!(chan.progress(), (0, 2));
+        rx.recv();
+        assert_eq!(chan.progress(), (1, 1));
+    }
+
+    #[test]
+    fn force_close_drains_unblocks_and_ends_stream() {
+        let (tx, rx, chan) = channel(1, Admission::Block);
+        tx.send(0, 1, 1);
+        let chan2 = chan.clone();
+        let producer = thread::spawn(move || {
+            tx.send(0, 1, 2); // blocks until the force-close below
+            tx.send(0, 1, 3); // no-op afterwards
+            tx.send_control(4); // also a no-op
+        });
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(chan2.force_close(), 1, "the buffered message is discarded");
+        assert_eq!(chan2.force_close(), 0, "idempotent");
+        producer.join().unwrap();
+        assert_eq!(rx.recv(), None, "receiver sees end-of-stream");
+        assert_eq!(rx.try_recv(), None);
+        let stats = lock(&chan.inner).stats;
+        assert_eq!(stats.forced_drops, 1);
     }
 }

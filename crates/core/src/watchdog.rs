@@ -1,0 +1,240 @@
+//! Liveness supervision for the threaded manager.
+//!
+//! A wedged consumer — a subscription callback that never returns, an
+//! operator deadlocked on a poisoned resource — leaves its ready-queue
+//! with pending messages and a frozen dequeue counter. Back-pressure
+//! then propagates the wedge upstream until the whole run hangs at
+//! join time (the PR 3 `ThreadedOptions{stall}` scenario). The
+//! [`Watchdog`] turns that hang into a contained failure: it polls
+//! every queue's `(dequeued, pending)` progress signature, re-checks
+//! suspects with exponential backoff, and after the configured number
+//! of strikes force-closes the queue and records the owning query
+//! `Failed{Stalled}` on the [`HealthBoard`].
+//!
+//! Force-closing ([`Channel::force_close`]) discards buffered work,
+//! turns sends into no-ops, and reports end-of-stream to the consumer,
+//! so producers unblock, the node chain drains normally, and the run's
+//! joins complete — sibling queries never notice.
+
+use crate::health::{FaultReason, HealthBoard};
+use crate::transport::Channel;
+use gs_runtime::stats::{Counter, StatSource};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Tuning for the supervisor thread on [`Gigascope`](crate::Gigascope).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Base polling interval in milliseconds. A queue with pending work
+    /// and no progress since the previous check earns a strike and is
+    /// re-checked with exponential backoff (`poll_ms << strikes`).
+    pub poll_ms: u64,
+    /// Consecutive no-progress strikes before the queue is declared
+    /// stalled and force-closed.
+    pub rechecks: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig { poll_ms: 200, rechecks: 3 }
+    }
+}
+
+/// Watchdog accounting, registered as the `watchdog` stats node (and
+/// thus a `GS_STATS` row) whenever a watchdog is configured.
+#[derive(Debug, Default)]
+pub struct WatchdogStats {
+    /// No-progress strikes observed across all queues.
+    pub stalls_detected: Counter,
+    /// Queues force-closed after exhausting their rechecks.
+    pub forced_closes: Counter,
+}
+
+impl StatSource for WatchdogStats {
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("stalls_detected", self.stalls_detected.get()),
+            ("forced_closes", self.forced_closes.get()),
+        ]
+    }
+}
+
+/// One supervised queue: the stream whose consumer it feeds, the
+/// channel to probe, and the strike ledger.
+struct Target<T: Send> {
+    stream: String,
+    chan: Arc<Channel<T>>,
+    last_dequeued: u64,
+    strikes: u32,
+    /// Poll tick (monotonic check counter) when this target is next due
+    /// for inspection — the exponential backoff between rechecks.
+    due_tick: u64,
+    dead: bool,
+}
+
+/// The supervisor handle: spawn with [`Watchdog::spawn`], stop with
+/// [`Watchdog::stop`] once the run's joins complete.
+pub struct Watchdog {
+    shutdown: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Start supervising `targets` (pairs of consumer stream name and
+    /// queue). Stalls are recorded on `board` and counted on `stats`.
+    pub fn spawn<T: Send + 'static>(
+        cfg: WatchdogConfig,
+        targets: Vec<(String, Arc<Channel<T>>)>,
+        board: Arc<HealthBoard>,
+        stats: Arc<WatchdogStats>,
+    ) -> Watchdog {
+        let shutdown = Arc::new((Mutex::new(false), Condvar::new()));
+        let shut = shutdown.clone();
+        let mut targets: Vec<Target<T>> = targets
+            .into_iter()
+            .map(|(stream, chan)| Target {
+                stream,
+                chan,
+                last_dequeued: 0,
+                strikes: 0,
+                due_tick: 1,
+                dead: false,
+            })
+            .collect();
+        let poll = Duration::from_millis(cfg.poll_ms.max(1));
+        let handle = std::thread::Builder::new()
+            .name("gs-watchdog".into())
+            .spawn(move || {
+                let (flag, cv) = &*shut;
+                let mut tick: u64 = 0;
+                loop {
+                    let mut stop = flag.lock().unwrap_or_else(PoisonError::into_inner);
+                    while !*stop {
+                        let (g, timed_out) = cv
+                            .wait_timeout(stop, poll)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        stop = g;
+                        if timed_out.timed_out() {
+                            break;
+                        }
+                    }
+                    if *stop {
+                        return;
+                    }
+                    drop(stop);
+                    tick += 1;
+                    for t in targets.iter_mut().filter(|t| !t.dead) {
+                        if tick < t.due_tick {
+                            continue;
+                        }
+                        let (dequeued, pending) = t.chan.progress();
+                        if pending == 0 || dequeued != t.last_dequeued {
+                            // Progressing (or idle): clear the ledger.
+                            t.last_dequeued = dequeued;
+                            t.strikes = 0;
+                            t.due_tick = tick + 1;
+                            continue;
+                        }
+                        t.strikes += 1;
+                        stats.stalls_detected.inc();
+                        if t.strikes >= cfg.rechecks {
+                            t.chan.force_close();
+                            stats.forced_closes.inc();
+                            board.record(&t.stream, FaultReason::Stalled);
+                            board.stats.faults_contained.inc();
+                            t.dead = true;
+                        } else {
+                            // Exponential backoff before the re-check.
+                            t.due_tick = tick + (1u64 << t.strikes.min(16));
+                        }
+                    }
+                }
+            })
+            .expect("spawn watchdog thread");
+        Watchdog { shutdown, handle: Some(handle) }
+    }
+
+    /// Stop the supervisor and join its thread.
+    pub fn stop(mut self) {
+        let (flag, cv) = &*self.shutdown;
+        *flag.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{channel, Admission};
+
+    fn fast() -> WatchdogConfig {
+        WatchdogConfig { poll_ms: 5, rechecks: 2 }
+    }
+
+    #[test]
+    fn stalled_queue_is_force_closed_and_recorded() {
+        let (tx, rx, chan) = channel(4, Admission::Block);
+        tx.send(0, 1, 7u32); // pending work nobody ever consumes
+        let board = Arc::new(HealthBoard::new());
+        let stats = Arc::new(WatchdogStats::default());
+        let dog = Watchdog::spawn(
+            fast(),
+            vec![("stuck#0".to_string(), chan)],
+            board.clone(),
+            stats.clone(),
+        );
+        // Strike at tick 1, backoff, strike 2 → force close. Wait for it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !board.report().failed("stuck") {
+            assert!(std::time::Instant::now() < deadline, "watchdog never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        dog.stop();
+        assert_eq!(
+            board.report().of("stuck"),
+            crate::health::QueryHealth::Failed { reason: FaultReason::Stalled }
+        );
+        assert!(stats.stalls_detected.get() >= 2);
+        assert_eq!(stats.forced_closes.get(), 1);
+        assert_eq!(rx.recv(), None, "consumer sees end-of-stream after force close");
+    }
+
+    #[test]
+    fn progressing_queue_is_left_alone() {
+        let (tx, rx, chan) = channel(4, Admission::Block);
+        let board = Arc::new(HealthBoard::new());
+        let stats = Arc::new(WatchdogStats::default());
+        let dog = Watchdog::spawn(
+            fast(),
+            vec![("busy".to_string(), chan)],
+            board.clone(),
+            stats.clone(),
+        );
+        for i in 0..20 {
+            tx.send(0, 1, i);
+            assert_eq!(rx.recv(), Some(i));
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        dog.stop();
+        assert!(board.report().all_ok());
+        assert_eq!(stats.forced_closes.get(), 0);
+    }
+
+    #[test]
+    fn stop_joins_promptly() {
+        let board = Arc::new(HealthBoard::new());
+        let stats = Arc::new(WatchdogStats::default());
+        let dog = Watchdog::spawn(
+            WatchdogConfig { poll_ms: 10_000, rechecks: 3 },
+            Vec::<(String, Arc<crate::transport::Channel<u32>>)>::new(),
+            board,
+            stats,
+        );
+        let t0 = std::time::Instant::now();
+        dog.stop(); // must not wait out the 10s poll
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+}

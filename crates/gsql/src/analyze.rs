@@ -1190,6 +1190,29 @@ mod tests {
     }
 
     #[test]
+    fn unknown_stream_rejected_without_panic() {
+        // A bare FROM name that is neither a registered stream nor a
+        // protocol must fail analysis cleanly, not unwind.
+        let e = run_err("Select time From nosuchstream");
+        assert!(e.message.contains("unknown stream or protocol"), "{}", e.message);
+        // Merge over an undefined stream takes the same path.
+        let e = analyze(
+            &parse_query("Merge a.time : b.time From nostream_a a, nostream_b b").unwrap(),
+            &catalog(),
+        )
+        .unwrap_err();
+        assert!(e.message.contains("unknown"), "{}", e.message);
+    }
+
+    #[test]
+    fn protocol_without_default_interface_rejected() {
+        // An interface-less catalog cannot resolve a bare protocol scan.
+        let bare = Catalog::with_builtins();
+        let e = analyze(&parse_query("Select time From tcp").unwrap(), &bare).unwrap_err();
+        assert!(e.message.contains("no default interface"), "{}", e.message);
+    }
+
+    #[test]
     fn bare_column_outside_group_rejected() {
         let e = run_err("Select srcIP, count(*) From eth0.ip Group By destIP");
         assert!(e.message.contains("GROUP BY"), "{}", e.message);

@@ -21,6 +21,9 @@
 //!   IP-defragmentation node;
 //! - [`qos`]: overload shedding policies (the paper's "highly processed
 //!   tuples are more valuable" heuristic);
+//! - [`faults`]: deterministic fault injection (seeded panics, poisoned
+//!   locks, slow consumers, corrupt tuples) driving the engines'
+//!   containment and quarantine machinery;
 //! - [`stats`]: the self-monitoring counters every layer keeps and the
 //!   registry that snapshots them (paper §4 — Gigascope monitors itself
 //!   with ordinary streams);
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod expr;
+pub mod faults;
 pub mod ops;
 pub mod params;
 pub mod punct;

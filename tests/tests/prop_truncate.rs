@@ -1,0 +1,184 @@
+//! Property tests: packet decoding never panics on truncated input.
+//!
+//! A capture card's snap length, a corrupted ring buffer, or a hostile
+//! sender can all hand the LFTA layer a prefix of a frame. Decoding must
+//! degrade to `Other`/`None` fields (so the protocol prefilter drops the
+//! tuple), never unwind. These properties feed **every prefix** of valid
+//! TCP, UDP, IPv6, and Netflow frames — plus pure noise — through
+//! [`PacketView::parse`] and every field accessor.
+
+use bytes::Bytes;
+use gs_packet::builder::FrameBuilder;
+use gs_packet::capture::{CapPacket, LinkType};
+use gs_packet::ether::{EtherHeader, MacAddr, ETHERTYPE_IPV6};
+use gs_packet::ipv6::Ipv6Header;
+use gs_packet::netflow::NetflowRecord;
+use gs_packet::tcp::TcpHeader;
+use gs_packet::view::PacketView;
+use gs_tests::prop::{check, Gen};
+
+/// Parse one buffer and touch every accessor; any panic fails the case.
+fn exercise(link: LinkType, data: Vec<u8>) {
+    let v = PacketView::parse(CapPacket::full(1_000, 0, link, Bytes::from(data)));
+    let _ = v.ip_version();
+    let _ = v.ip_protocol();
+    let _ = v.ipv4();
+    let _ = v.ipv6();
+    let _ = v.tcp();
+    let _ = v.udp();
+    let _ = v.icmp();
+    let _ = v.payload().map(|p| p.len());
+    let _ = (&v.netflow, &v.bgp);
+}
+
+/// Feed every prefix of `frame` through the decoder, as both a full
+/// capture and a snapped one (cap_len < wire_len).
+fn all_prefixes(link: LinkType, frame: &[u8]) {
+    for cut in 0..=frame.len() {
+        exercise(link, frame[..cut].to_vec());
+        let cap = CapPacket::full(1_000, 0, link, Bytes::from(frame.to_vec())).snap(cut);
+        let v = PacketView::parse(cap);
+        let _ = v.payload().map(|p| p.len());
+    }
+}
+
+fn arb_ipv4_frame(g: &mut Gen) -> (LinkType, Bytes) {
+    let src = g.u32(1..u32::MAX);
+    let dst = g.u32(1..u32::MAX);
+    let sp = g.u16(1..u16::MAX);
+    let dp = g.u16(1..u16::MAX);
+    let payload = g.bytes(0..64);
+    let b = if g.bool() {
+        FrameBuilder::tcp(src, dst, sp, dp).payload(&payload)
+    } else {
+        FrameBuilder::udp(src, dst, sp, dp).payload(&payload)
+    };
+    if g.bool() {
+        (LinkType::Ethernet, b.build_ethernet())
+    } else {
+        (LinkType::RawIp, b.build_raw_ip())
+    }
+}
+
+/// Hand-assembled IPv6 frame (the builder is IPv4-only): fixed header,
+/// TCP transport, optional Ethernet encapsulation.
+fn arb_ipv6_frame(g: &mut Gen) -> (LinkType, Vec<u8>) {
+    let payload = g.bytes(0..48);
+    let mut l4 = Vec::new();
+    TcpHeader {
+        src_port: g.u16(1..u16::MAX),
+        dst_port: g.u16(1..u16::MAX),
+        seq: g.u32(0..u32::MAX),
+        ack: 0,
+        header_len: 20,
+        flags: 0x10,
+        window: 65535,
+        checksum: 0,
+        urgent: 0,
+    }
+    .encode(&mut l4)
+    .expect("fixed 20-byte header");
+    l4.extend_from_slice(&payload);
+    let mut ip = Vec::new();
+    Ipv6Header {
+        traffic_class: g.u8(0..u8::MAX),
+        flow_label: g.u32(0..0x10_0000),
+        payload_len: l4.len() as u16,
+        next_header: gs_packet::ip::PROTO_TCP,
+        hop_limit: 64,
+        src: (u128::from(g.u64(1..u64::MAX)) << 64) | u128::from(g.u64(1..u64::MAX)),
+        dst: (u128::from(g.u64(1..u64::MAX)) << 64) | u128::from(g.u64(1..u64::MAX)),
+    }
+    .encode(&mut ip);
+    ip.extend_from_slice(&l4);
+    if g.bool() {
+        let mut frame = Vec::with_capacity(14 + ip.len());
+        EtherHeader {
+            dst: MacAddr([2, 0, 0, 0, 0, 2]),
+            src: MacAddr([2, 0, 0, 0, 0, 1]),
+            ethertype: ETHERTYPE_IPV6,
+        }
+        .encode(&mut frame);
+        frame.extend_from_slice(&ip);
+        (LinkType::Ethernet, frame)
+    } else {
+        (LinkType::RawIp, ip)
+    }
+}
+
+fn arb_netflow_frame(g: &mut Gen) -> Vec<u8> {
+    let rec = NetflowRecord {
+        src_addr: g.u32(0..u32::MAX),
+        dst_addr: g.u32(0..u32::MAX),
+        packets: g.u32(0..u32::MAX),
+        octets: g.u32(0..u32::MAX),
+        first: g.u32(0..u32::MAX),
+        last: g.u32(0..u32::MAX),
+        src_port: g.u16(0..u16::MAX),
+        dst_port: g.u16(0..u16::MAX),
+        tcp_flags: g.u8(0..u8::MAX),
+        protocol: g.u8(0..u8::MAX),
+        tos: g.u8(0..u8::MAX),
+        src_as: g.u16(0..u16::MAX),
+        dst_as: g.u16(0..u16::MAX),
+    };
+    let mut buf = Vec::new();
+    rec.encode(&mut buf);
+    buf
+}
+
+#[test]
+fn every_prefix_of_ipv4_frames_decodes_without_panic() {
+    check("truncate_ipv4", 64, |g| {
+        let (link, frame) = arb_ipv4_frame(g);
+        all_prefixes(link, &frame);
+    });
+}
+
+#[test]
+fn every_prefix_of_ipv6_frames_decodes_without_panic() {
+    check("truncate_ipv6", 64, |g| {
+        let (link, frame) = arb_ipv6_frame(g);
+        all_prefixes(link, &frame);
+    });
+}
+
+#[test]
+fn every_prefix_of_netflow_records_decodes_without_panic() {
+    check("truncate_netflow", 64, |g| {
+        let frame = arb_netflow_frame(g);
+        all_prefixes(LinkType::NetflowRecord, &frame);
+    });
+}
+
+#[test]
+fn random_noise_decodes_without_panic() {
+    check("truncate_noise", 128, |g| {
+        let data = g.bytes(0..128);
+        for link in [
+            LinkType::Ethernet,
+            LinkType::RawIp,
+            LinkType::NetflowRecord,
+            LinkType::BgpUpdate,
+        ] {
+            exercise(link, data.clone());
+        }
+    });
+}
+
+/// Flipping bytes inside otherwise-valid frames (length fields, version
+/// nibbles, header-length fields) must also degrade, not unwind.
+#[test]
+fn corrupted_header_bytes_decode_without_panic() {
+    check("truncate_corrupt", 64, |g| {
+        let (link, frame) = arb_ipv4_frame(g);
+        let mut data = frame.to_vec();
+        if !data.is_empty() {
+            for _ in 0..g.usize(1..4) {
+                let at = g.usize(0..data.len());
+                data[at] = g.u8(0..u8::MAX);
+            }
+        }
+        exercise(link, data);
+    });
+}

@@ -1,0 +1,107 @@
+//! Watchdog smoke tests: a stalled subscription — the consumer simply
+//! never returns, no shedding configured to relieve the back-pressure —
+//! used to wedge the whole threaded run at join time. With a watchdog
+//! armed the run must complete: the wedged queue is force-closed within
+//! the watchdog interval, the stalled query is `Failed{Stalled}` on the
+//! health board, sibling queries still deliver everything, and the
+//! recovery is visible through the ordinary GS_STATS counters. With
+//! `watchdog: None` and no faults, nothing changes: no extra stats
+//! nodes, all-ok health, identical output.
+
+use gigascope::manager::{run_threaded, run_threaded_opts, ThreadedOptions, CHANNEL_CAPACITY};
+use gigascope::{FaultReason, Gigascope, QueryHealth, WatchdogConfig};
+use gs_packet::builder::FrameBuilder;
+use gs_packet::capture::{CapPacket, LinkType};
+use std::time::{Duration, Instant};
+
+const PROGRAM: &str = "DEFINE { query_name sel; } Select time From eth0.tcp; \
+     DEFINE { query_name ok; } Select time, len From eth0.tcp";
+
+fn system(watchdog: Option<WatchdogConfig>) -> Gigascope {
+    let mut gs = Gigascope::new();
+    gs.add_interface("eth0", 0, LinkType::Ethernet);
+    gs.batch_size = 1; // one message per packet: the queue really fills
+    gs.watchdog = watchdog;
+    gs.add_program(PROGRAM).unwrap();
+    gs
+}
+
+fn pkts(n: u64) -> impl Iterator<Item = CapPacket> + Clone {
+    (0..n).map(|i| {
+        let f = FrameBuilder::tcp(10 + i as u32, 20, 1024, 80).payload(b"x").build_ethernet();
+        CapPacket::full(i * 1_000_000, 0, LinkType::Ethernet, f)
+    })
+}
+
+/// The CI gate's smoke test: `stalled-subscription-recovers-within-watchdog`.
+#[test]
+fn stalled_subscription_recovers_within_watchdog() {
+    // Enough packets to overrun the stalled queue's capacity, so without
+    // the watchdog the capture loop blocks forever (the PR 3 wedge).
+    let n = (CHANNEL_CAPACITY + CHANNEL_CAPACITY / 2) as u64;
+    let gs = system(Some(WatchdogConfig { poll_ms: 20, rechecks: 2 }));
+    let t0 = Instant::now();
+    let out = run_threaded_opts(
+        &gs,
+        pkts(n),
+        &["sel", "ok"],
+        ThreadedOptions { stall: vec!["sel".to_string()] },
+    )
+    .unwrap();
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "recovery took {:?} — not within the watchdog interval",
+        t0.elapsed()
+    );
+    assert_eq!(out.packets, n, "every packet was captured after the force-close");
+
+    // The stalled query is detected and quarantined...
+    assert_eq!(
+        out.health.of("sel"),
+        QueryHealth::Failed { reason: FaultReason::Stalled },
+        "stalled query not recorded: {:?}",
+        out.health.failures()
+    );
+    // ...while the sibling never notices the wedge.
+    assert!(!out.health.failed("ok"));
+    assert_eq!(out.stream("ok").len() as u64, n, "sibling lost tuples");
+
+    // The recovery is observable through GS_STATS counters.
+    assert!(out.counter("watchdog", "forced_closes").unwrap() >= 1);
+    assert!(out.counter("watchdog", "stalls_detected").unwrap() >= 2);
+    assert!(out.counter("faults", "queries_failed").unwrap() >= 1);
+    let forced_drops: u64 = out
+        .counters
+        .iter()
+        .filter(|r| r.counter == "forced_drops")
+        .map(|r| r.value)
+        .sum();
+    assert!(forced_drops > 0, "force-close drained nothing?");
+}
+
+/// False-positive check: a healthy run under an aggressive watchdog is
+/// left alone — progressing queues never strike out.
+#[test]
+fn healthy_run_is_not_disturbed_by_watchdog() {
+    let gs = system(Some(WatchdogConfig { poll_ms: 5, rechecks: 2 }));
+    let out = run_threaded(&gs, pkts(2_000), &["sel", "ok"]).unwrap();
+    assert!(out.health.all_ok(), "healthy run failed: {:?}", out.health.failures());
+    assert_eq!(out.counter("watchdog", "forced_closes"), Some(0));
+    assert_eq!(out.stream("sel").len(), 2_000);
+    assert_eq!(out.stream("ok").len(), 2_000);
+}
+
+/// `watchdog: None` with no faults is the exact pre-existing engine:
+/// same output, all-ok health, and no `watchdog`/`faults` stats nodes
+/// (the stats-overhead budget is untouched).
+#[test]
+fn disabled_watchdog_changes_nothing() {
+    let with = run_threaded(&system(Some(WatchdogConfig::default())), pkts(500), &["sel", "ok"])
+        .unwrap();
+    let without = run_threaded(&system(None), pkts(500), &["sel", "ok"]).unwrap();
+    assert!(without.health.all_ok());
+    assert_eq!(with.stream("sel"), without.stream("sel"));
+    assert_eq!(with.stream("ok"), without.stream("ok"));
+    assert_eq!(without.counter("watchdog", "forced_closes"), None, "stats node must not exist");
+    assert_eq!(without.counter("faults", "queries_failed"), None, "stats node must not exist");
+}
