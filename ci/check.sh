@@ -48,6 +48,14 @@ echo "== partition-parallel gate (par4 not slower than par1) =="
 # measurement on a >=4-core machine).
 GS_BENCH_QUICK=1 cargo run -q --release --offline -p gs-bench --bin parallel_gate
 
+echo "== columnar gate (columnar >= 2x row transport) =="
+# Interleaved row/columnar runs of the aggregation-heavy manager
+# workload; exits non-zero if columnar transport is less than 2x the
+# row-transport throughput. On hosts with fewer than 4 logical CPUs the
+# numbers are printed but the comparison is skipped (the pipeline
+# stages serialize, so the ratio measures nothing).
+GS_BENCH_QUICK=1 cargo run -q --release --offline -p gs-bench --bin columnar_gate
+
 echo "== offline bench compile =="
 cargo bench -p gs-bench --no-run --offline
 
@@ -57,9 +65,12 @@ echo "== bench smoke run (quick mode) =="
 # CI time on real measurements. Hermetic — in-repo harness only.
 GS_BENCH_QUICK=1 cargo bench -p gs-bench --offline
 test -f target/bench.json || { echo "FAIL: bench.json not written" >&2; exit 1; }
-# The parallelism sweep must land in the report: both the par1 baseline
-# and the par4 sharded point.
-for key in "manager/threaded_par1" "manager/threaded_par4"; do
+# The parallelism sweep must land in the report (par1 baseline and the
+# par4 sharded point), and so must both transport series: the columnar
+# points and their row-transport references.
+for key in "manager/threaded_par1" "manager/threaded_par4" \
+           "manager/threaded_throughput" "manager/threaded_throughput_row" \
+           "manager/threaded_agg" "manager/threaded_agg_row"; do
     grep -q "$key" target/bench.json ||
         { echo "FAIL: $key missing from bench.json" >&2; exit 1; }
 done

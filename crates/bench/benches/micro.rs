@@ -398,6 +398,48 @@ fn bench_manager(c: &mut Criterion) {
             b.iter(|| run_threaded(&gsp, multi.iter().cloned(), &["persrc"]).unwrap())
         });
     }
+    // Row-transport reference point for the headline workload: the same
+    // pipeline with `Gigascope::columnar` off, so bench.json always
+    // carries both the row and the columnar series side by side.
+    let mut gs_row = mk(256);
+    gs_row.columnar = false;
+    g.bench_function("threaded_throughput_row", |b| {
+        b.iter(|| run_threaded(&gs_row, pkts.iter().cloned(), &["raw", "persec"]).unwrap())
+    });
+    // Aggregation-heavy workload for the columnar gate: a four-function
+    // multi-key aggregate over bursty sources (each source emits runs of
+    // 32 packets, as flows do), so the columnar run-detection loop in
+    // the hash-agg has real runs to fold. `threaded_agg` is the columnar
+    // series, `threaded_agg_row` the pre-columnar row transport; the
+    // enforced >=2x ratio lives in src/bin/columnar_gate.rs.
+    let bursty: Vec<CapPacket> = (0..N)
+        .map(|i| {
+            let f = FrameBuilder::tcp(0x0a00_0000 + ((i / 32) % 256) as u32, 0xc0a8_0001, 1024, 80)
+                .payload(b"x")
+                .build_ethernet();
+            CapPacket::full(i as u64 * 500_000, 0, LinkType::Ethernet, f)
+        })
+        .collect();
+    let mk_agg = |columnar: bool| {
+        let mut gs = Gigascope::new();
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+        gs.batch_size = 256;
+        gs.columnar = columnar;
+        gs.add_program(
+            "DEFINE { query_name raw; } Select time, srcIP, len From eth0.tcp; \
+             DEFINE { query_name persrc; } \
+             Select time, srcIP, count(*), sum(len), min(len), max(len) From raw \
+             Group By time, srcIP",
+        )
+        .unwrap();
+        gs
+    };
+    for (name, columnar) in [("threaded_agg", true), ("threaded_agg_row", false)] {
+        let gsa = mk_agg(columnar);
+        g.bench_function(name, |b| {
+            b.iter(|| run_threaded(&gsa, bursty.iter().cloned(), &["persrc"]).unwrap())
+        });
+    }
     g.finish();
 }
 

@@ -1,0 +1,100 @@
+//! CI gate: columnar (SoA) batch execution must actually be faster.
+//!
+//! Runs the `manager/threaded_agg*` workload from `benches/micro.rs` — a
+//! four-function multi-key aggregate over bursty sources, so the
+//! columnar run-detection loop has real runs to fold — once with
+//! `Gigascope::columnar` on and once with the pre-columnar row
+//! transport, strictly interleaved so machine drift hits both sides
+//! equally, comparing the *fastest* run of each (the minimum is the
+//! standard low-noise estimator; variance is one-sided). Exits non-zero
+//! if the columnar run is not at least 2x the row throughput.
+//!
+//! The comparison only means anything when the capture loop, the two
+//! HFTA threads, and the collectors can actually run concurrently: on
+//! hosts with fewer than 4 logical CPUs the numbers are still printed
+//! but the gate is skipped.
+//!
+//! `GS_BENCH_QUICK=1` shrinks the trace and round count for CI; the gate
+//! itself still applies.
+
+use gigascope::manager::run_threaded;
+use gigascope::Gigascope;
+use gs_packet::builder::FrameBuilder;
+use gs_packet::capture::{CapPacket, LinkType};
+use std::time::Instant;
+
+/// Required columnar-over-row speedup on the fastest runs.
+const REQUIRED_SPEEDUP: f64 = 2.0;
+
+fn trace(n: usize) -> Vec<CapPacket> {
+    (0..n)
+        .map(|i| {
+            // Bursty sources: each emits runs of 32 packets, as flows
+            // do, matching the `manager/threaded_agg` bench.
+            let f = FrameBuilder::tcp(0x0a00_0000 + ((i / 32) % 256) as u32, 0xc0a8_0001, 1024, 80)
+                .payload(b"x")
+                .build_ethernet();
+            // 2000 packets per second of stream time, as in benches/micro.rs.
+            CapPacket::full(i as u64 * 500_000, 0, LinkType::Ethernet, f)
+        })
+        .collect()
+}
+
+fn system(columnar: bool) -> Gigascope {
+    let mut gs = Gigascope::new();
+    gs.add_interface("eth0", 0, LinkType::Ethernet);
+    gs.batch_size = 256;
+    gs.columnar = columnar;
+    gs.add_program(
+        "DEFINE { query_name raw; } Select time, srcIP, len From eth0.tcp; \
+         DEFINE { query_name persrc; } \
+         Select time, srcIP, count(*), sum(len), min(len), max(len) From raw \
+         Group By time, srcIP",
+    )
+    .unwrap();
+    gs
+}
+
+fn run_once(gs: &Gigascope, pkts: &[CapPacket]) -> f64 {
+    let start = Instant::now();
+    let out = run_threaded(gs, pkts.iter().cloned(), &["persrc"]).unwrap();
+    std::hint::black_box(out);
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let quick = std::env::var("GS_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let (n, rounds) = if quick { (4_000, 5) } else { (20_000, 9) };
+    let pkts = trace(n);
+    let row = system(false);
+    let col = system(true);
+    // Warm both paths (thread spawn, allocator, page cache) before any
+    // timed round.
+    run_once(&row, &pkts);
+    run_once(&col, &pkts);
+    let (mut best_row, mut best_col) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..rounds {
+        best_row = best_row.min(run_once(&row, &pkts));
+        best_col = best_col.min(run_once(&col, &pkts));
+    }
+    println!(
+        "manager/threaded_agg_row {:.3} ms, manager/threaded_agg {:.3} ms, speedup {:.2}x",
+        best_row * 1e3,
+        best_col * 1e3,
+        best_row / best_col
+    );
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores < 4 {
+        println!("SKIP: {cores} logical CPU(s) < 4 — columnar gate not meaningful here");
+        return;
+    }
+    if best_col * REQUIRED_SPEEDUP > best_row {
+        eprintln!(
+            "FAIL: columnar transport is only {:.2}x the row transport (required {:.1}x)",
+            best_row / best_col,
+            REQUIRED_SPEEDUP
+        );
+        std::process::exit(1);
+    }
+    println!("OK: columnar transport >= {REQUIRED_SPEEDUP:.1}x row transport");
+}

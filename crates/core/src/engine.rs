@@ -6,6 +6,11 @@
 //! immediately when their input streams produce items. Deterministic by
 //! construction, which the test suite and the experiment harnesses rely
 //! on. The threaded deployment configuration lives in [`crate::manager`].
+//!
+//! This engine always executes row-at-a-time and ignores
+//! [`Gigascope::columnar`]: there is no transport hop to amortize, and
+//! its deterministic row output is the equivalence reference the
+//! columnar property tests compare the threaded manager against.
 
 use crate::health::{FaultReason, HealthBoard, RunHealth};
 use crate::{Error, Gigascope};

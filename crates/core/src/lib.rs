@@ -177,6 +177,16 @@ pub struct Gigascope {
     /// injects the plan's faults into the targeted nodes in both
     /// engines and surfaces containment in the `faults` stats node.
     pub faults: Option<FaultPlan>,
+    /// Columnar (SoA) transport on the threaded manager's edges. When on
+    /// (the default) and `batch_size > 1`, producers ship batches as one
+    /// typed vector per schema column and single-input HFTA chains
+    /// execute on them natively (vectorized kernels, selection vectors);
+    /// rows materialize only at boundaries that need them (merge, join,
+    /// subscriptions). `false` restores the pre-columnar row transport
+    /// everywhere, and `batch_size == 1` implies the row path regardless
+    /// — both produce byte-identical output to the columnar path. The
+    /// synchronous engine is always row-based.
+    pub columnar: bool,
 }
 
 impl Default for Gigascope {
@@ -203,6 +213,7 @@ impl Gigascope {
             parallelism: 1,
             watchdog: None,
             faults: None,
+            columnar: true,
         }
     }
 

@@ -43,6 +43,7 @@ use crate::watchdog::{Watchdog, WatchdogStats};
 use crate::{Error, Gigascope};
 use bytes::Bytes;
 use gs_packet::CapPacket;
+use gs_runtime::batch::{ColBuilder, ColumnBatch};
 use gs_runtime::ops::build::{build_hfta, build_lfta, BuildCtx};
 use gs_runtime::punct::{HeartbeatMode, Punct};
 use gs_runtime::stats::{Counter, StatRow, StatSource, StatsRegistry};
@@ -63,6 +64,13 @@ enum Msg {
     /// the per-message queue cost — mutex, condvar wakeup, cache traffic —
     /// over [`Gigascope::batch_size`] items instead of paying it per tuple.
     Batch(usize, Vec<StreamItem>),
+    /// A columnar (SoA) batch for one input port with its at-most-one
+    /// trailing punctuation rider — the batcher flushes on every
+    /// punctuation, so a shipped batch never holds more than one, always
+    /// last. Semantically identical to the [`Msg::Batch`] of its
+    /// materialized rows; only shipped when [`Gigascope::columnar`] is on
+    /// and `batch_size > 1`.
+    Cols(usize, ColumnBatch, Option<Punct>),
     /// The producer feeding this port is done; no more items will come.
     Close(usize),
     /// The producer feeding this port faulted. The port is closed (no
@@ -88,6 +96,12 @@ impl PortSender {
         debug_assert!(!items.is_empty());
         let weight = items.len() as u64;
         self.tx.send(self.depth, weight, Msg::Batch(self.port, items));
+    }
+
+    fn send_cols(&self, cb: ColumnBatch, punct: Option<Punct>) {
+        // Weight matches the row path: tuple count plus the rider.
+        let weight = cb.n_rows() as u64 + u64::from(punct.is_some());
+        self.tx.send(self.depth, weight, Msg::Cols(self.port, cb, punct));
     }
 
     fn close(&self) {
@@ -162,20 +176,49 @@ enum FlushCause {
 /// clone per item per consumer.
 struct Batcher {
     buf: Vec<StreamItem>,
+    /// Columnar accumulation: `Some` when this edge ships SoA batches
+    /// ([`Gigascope::columnar`] with `batch_size > 1`). Row items are
+    /// transposed in as they arrive; already-columnar output passes
+    /// through zero-copy. `buf` stays empty in this mode.
+    col: Option<ColBuilder>,
     cap: usize,
     stats: Arc<EdgeStats>,
 }
 
 impl Batcher {
-    fn new(cap: usize) -> Batcher {
+    fn new(cap: usize, columnar: bool) -> Batcher {
         let cap = cap.max(1);
-        Batcher { buf: Vec::with_capacity(cap), cap, stats: Arc::new(EdgeStats::default()) }
+        Batcher {
+            buf: Vec::with_capacity(if columnar { 0 } else { cap }),
+            col: columnar.then(ColBuilder::new),
+            cap,
+            stats: Arc::new(EdgeStats::default()),
+        }
     }
 
     /// Absorb produced items, flushing on the size and punctuation rules.
     /// With `cap == 1` every item flushes by itself, reproducing
     /// item-at-a-time transport exactly.
     fn extend(&mut self, items: impl Iterator<Item = StreamItem>, senders: &[PortSender]) {
+        if self.col.is_some() {
+            for item in items {
+                match item {
+                    StreamItem::Tuple(t) => {
+                        let b = self.col.as_mut().expect("columnar mode");
+                        b.push_tuple(&t);
+                        if b.len() >= self.cap {
+                            self.flush_cols_as(senders, FlushCause::Size, None);
+                        }
+                    }
+                    // The punctuation ships as the batch's trailing rider,
+                    // preserving the flush-on-punct latency rule.
+                    StreamItem::Punct(p) => {
+                        self.flush_cols_as(senders, FlushCause::Punct, Some(p));
+                    }
+                }
+            }
+            return;
+        }
         for item in items {
             let is_punct = matches!(item, StreamItem::Punct(_));
             self.buf.push(item);
@@ -184,6 +227,66 @@ impl Batcher {
             } else if self.buf.len() >= self.cap {
                 self.flush_as(senders, FlushCause::Size);
             }
+        }
+    }
+
+    /// Columnar mode: append one live row of another batch (the routed
+    /// scatter path), flushing on size.
+    fn push_row_from(&mut self, src: &ColumnBatch, row: usize, senders: &[PortSender]) {
+        let b = self.col.as_mut().expect("columnar mode");
+        b.push_row(src, row);
+        if b.len() >= self.cap {
+            self.flush_cols_as(senders, FlushCause::Size, None);
+        }
+    }
+
+    /// Columnar mode: flush whatever the builder holds as one
+    /// [`Msg::Cols`] with `punct` as its trailing rider. An empty batch
+    /// still ships when it carries a rider — ordering tokens are never
+    /// dropped.
+    fn flush_cols_as(
+        &mut self,
+        senders: &[PortSender],
+        cause: FlushCause,
+        punct: Option<Punct>,
+    ) {
+        let cb = self.col.as_mut().expect("columnar mode").finish();
+        self.ship_cols(cb, punct, senders, cause);
+    }
+
+    /// Ship an already-columnar batch downstream (zero-copy on the last
+    /// consumer). Callers must flush any builder content first so
+    /// per-producer FIFO order holds.
+    fn ship_cols(
+        &mut self,
+        cb: ColumnBatch,
+        punct: Option<Punct>,
+        senders: &[PortSender],
+        cause: FlushCause,
+    ) {
+        if cb.is_empty() && punct.is_none() {
+            return;
+        }
+        let n = cb.n_rows() as u64 + u64::from(punct.is_some());
+        if senders.is_empty() {
+            self.stats.items.add(n);
+            self.stats.flush_noconsumer.inc();
+            return;
+        }
+        self.stats.batches.inc();
+        self.stats.items.add(n);
+        match cause {
+            FlushCause::Size => self.stats.flush_size.inc(),
+            FlushCause::Punct => self.stats.flush_punct.inc(),
+            FlushCause::Heartbeat => self.stats.flush_heartbeat.inc(),
+            FlushCause::Close => self.stats.flush_close.inc(),
+        }
+        for (i, tx) in senders.iter().enumerate() {
+            if i + 1 == senders.len() {
+                tx.send_cols(cb, punct);
+                break;
+            }
+            tx.send_cols(cb.clone(), punct.clone());
         }
     }
 
@@ -221,14 +324,30 @@ impl Batcher {
     /// Ship a partial batch on a heartbeat: a liveness signal, so
     /// downstream latency is bounded by the heartbeat interval.
     fn flush_heartbeat(&mut self, senders: &[PortSender]) {
-        self.flush_as(senders, FlushCause::Heartbeat);
+        if self.col.is_some() {
+            self.flush_cols_as(senders, FlushCause::Heartbeat, None);
+        } else {
+            self.flush_as(senders, FlushCause::Heartbeat);
+        }
     }
 
     /// Flush the tail and close every consumer port.
     fn close(&mut self, senders: &[PortSender]) {
-        self.flush_as(senders, FlushCause::Close);
+        if self.col.is_some() {
+            self.flush_cols_as(senders, FlushCause::Close, None);
+        } else {
+            self.flush_as(senders, FlushCause::Close);
+        }
         for tx in senders {
             tx.close();
+        }
+    }
+
+    /// Discard buffered content without shipping (quarantine path).
+    fn clear(&mut self) {
+        self.buf.clear();
+        if let Some(b) = &mut self.col {
+            let _ = b.finish();
         }
     }
 }
@@ -244,6 +363,8 @@ struct RouterEdge {
     router: gs_runtime::ops::router::KeyRouter,
     /// One `(input batcher, queue endpoint)` per partition, in order.
     parts: Vec<(Batcher, PortSender)>,
+    /// Reused per-row partition buffer for the columnar scatter.
+    scratch: Vec<u32>,
 }
 
 impl RouterEdge {
@@ -262,6 +383,27 @@ impl RouterEdge {
         }
     }
 
+    /// Columnar scatter: partitions for every live row are computed in
+    /// one vectorized pass straight off the columns, then each row is
+    /// copied (typed) into its partition's builder. The punctuation
+    /// rider broadcasts to every partition, flushing each — the same
+    /// watermark-progress rule as the row path.
+    fn push_cols(&mut self, cb: &ColumnBatch, punct: Option<Punct>) {
+        self.scratch.clear();
+        let mut parts = std::mem::take(&mut self.scratch);
+        self.router.route_batch(cb, &mut parts);
+        for (row, &k) in parts.iter().enumerate() {
+            let (b, s) = &mut self.parts[k as usize];
+            b.push_row_from(cb, row, std::slice::from_ref(s));
+        }
+        self.scratch = parts;
+        if let Some(p) = punct {
+            for (b, s) in &mut self.parts {
+                b.flush_cols_as(std::slice::from_ref(s), FlushCause::Punct, Some(p.clone()));
+            }
+        }
+    }
+
     fn flush_heartbeat(&mut self) {
         for (b, s) in &mut self.parts {
             b.flush_heartbeat(std::slice::from_ref(s));
@@ -276,7 +418,7 @@ impl RouterEdge {
 
     fn fault(&mut self, f: &NodeFault) {
         for (b, s) in &mut self.parts {
-            b.buf.clear();
+            b.clear();
             s.fault(f.clone());
         }
     }
@@ -314,6 +456,23 @@ impl OutputEdge {
         }
     }
 
+    /// Absorb a batch that is still columnar at the top of a node's
+    /// chain: routers scatter it by vectorized key hash; ordinary
+    /// consumers receive it zero-copy after any transposed row content
+    /// flushes (FIFO order). Mirrors [`extend`](OutputEdge::extend)'s
+    /// rule that a router-only stream never touches the plain batcher.
+    fn extend_cols(&mut self, cb: ColumnBatch, punct: Option<Punct>) {
+        let OutputEdge { batcher, senders, routers } = self;
+        for r in routers.iter_mut() {
+            r.push_cols(&cb, punct.clone());
+        }
+        if senders.is_empty() && !routers.is_empty() {
+            return;
+        }
+        batcher.flush_cols_as(senders, FlushCause::Size, None);
+        batcher.ship_cols(cb, punct, senders, FlushCause::Size);
+    }
+
     fn flush_heartbeat(&mut self) {
         self.batcher.flush_heartbeat(&self.senders);
         for r in &mut self.routers {
@@ -333,7 +492,7 @@ impl OutputEdge {
     /// garbage) and replace the Close handshake with an in-band fault
     /// marker on every consumer port and every routed partition.
     fn fault(&mut self, f: &NodeFault) {
-        self.batcher.buf.clear();
+        self.batcher.clear();
         for tx in &self.senders {
             tx.fault(f.clone());
         }
@@ -590,6 +749,9 @@ where
                             StreamItem::Punct(_) => None,
                         }));
                     }
+                    Msg::Cols(_, cb, _) => {
+                        bucket.extend((0..cb.n_rows()).map(|r| cb.row_tuple(r)));
+                    }
                     Msg::Close(_) => break,
                     Msg::Fault(_, f) => {
                         // The producing chain faulted: keep the clean
@@ -609,6 +771,12 @@ where
     let gs_stats_senders: Vec<PortSender> = producers.remove("GS_STATS").unwrap_or_default();
 
     let batch_size = gs.batch_size;
+    // Columnar transport only pays off when batches amortize the
+    // transpose; at `batch_size == 1` the row path is both cheaper and
+    // the compatibility reference, so the gate turns the whole graph's
+    // batchers columnar together (Cols messages then exist everywhere
+    // or nowhere — no mixed-mode edges).
+    let columnar = gs.columnar && batch_size > 1;
     // Partitioning router edges, keyed by the stream they split. Each
     // partition's input-side batcher registers as `edge:<partition>:in`
     // so routed transport is accounted per shard.
@@ -619,7 +787,7 @@ where
             .members
             .into_iter()
             .map(|(pname, s)| {
-                let b = Batcher::new(batch_size);
+                let b = Batcher::new(batch_size, columnar);
                 registry.register(format!("edge:{pname}:in"), b.stats.clone());
                 (b, s)
             })
@@ -627,6 +795,7 @@ where
         router_edges.entry(g.input).or_default().push(RouterEdge {
             router: gs_runtime::ops::router::KeyRouter::new(g.progs, k),
             parts,
+            scratch: Vec::new(),
         });
     }
 
@@ -636,7 +805,7 @@ where
         let out_senders: Vec<PortSender> =
             producers.get(&spec.out_name).cloned().unwrap_or_default();
         let NodeSpec { mut node, out_name, .. } = spec;
-        let batcher = Batcher::new(batch_size);
+        let batcher = Batcher::new(batch_size, columnar);
         registry.register(format!("edge:{out_name}"), batcher.stats.clone());
         node.register_stats(&registry, &out_name);
         let mut edge = OutputEdge {
@@ -671,6 +840,27 @@ where
                                 if stats_enabled {
                                     // Per-message publish keeps registry
                                     // snapshots at most one batch stale.
+                                    node.publish_stats();
+                                }
+                            }
+                            Some(Msg::Cols(p, cb, punct)) => {
+                                out.clear();
+                                if let Some(inj) = injector.as_mut() {
+                                    // Fault injection hooks the row stream;
+                                    // materialize so injected panics and drops
+                                    // compose with columnar transport.
+                                    let mut items = cb.into_items(punct);
+                                    inj.on_batch(&mut items);
+                                    node.push_batch(p, items, &mut out);
+                                    edge.extend(out.drain(..));
+                                } else if let Some((cb, rider)) =
+                                    node.push_cols(p, cb, punct, &mut out)
+                                {
+                                    edge.extend_cols(cb, rider);
+                                } else {
+                                    edge.extend(out.drain(..));
+                                }
+                                if stats_enabled {
                                     node.publish_stats();
                                 }
                             }
@@ -754,7 +944,7 @@ where
     let mut lfta_edges: Vec<OutputEdge> = lftas
         .iter()
         .map(|(l, _)| {
-            let b = Batcher::new(batch_size);
+            let b = Batcher::new(batch_size, columnar);
             registry.register(format!("edge:{}", l.name), b.stats.clone());
             OutputEdge {
                 batcher: b,
@@ -891,7 +1081,7 @@ fn drain_quarantined(rx: &transport::Receiver<Msg>, open: &mut [bool], open_coun
                     *open_count -= 1;
                 }
             }
-            Some(Msg::Batch(..)) => {}
+            Some(Msg::Batch(..)) | Some(Msg::Cols(..)) => {}
             None => *open_count = 0,
         }
     }
@@ -965,7 +1155,7 @@ mod tests {
     #[test]
     fn batcher_flushes_partial_batch_on_punct() {
         let (senders, rx) = test_endpoint(3);
-        let mut b = Batcher::new(256);
+        let mut b = Batcher::new(256, false);
         b.extend((0..3).map(tuple_item), &senders);
         assert!(rx.try_recv().is_none(), "3 tuples must sit in the 256-batch");
         b.extend(std::iter::once(punct_item(9)), &senders);
@@ -985,7 +1175,7 @@ mod tests {
     #[test]
     fn batcher_flushes_on_size_and_close() {
         let (senders, rx) = test_endpoint(0);
-        let mut b = Batcher::new(4);
+        let mut b = Batcher::new(4, false);
         b.extend((0..9).map(tuple_item), &senders);
         let mut sizes = Vec::new();
         while let Some(Msg::Batch(_, items)) = rx.try_recv() {
@@ -1006,7 +1196,7 @@ mod tests {
     #[test]
     fn batcher_size_one_is_item_at_a_time() {
         let (senders, rx) = test_endpoint(0);
-        let mut b = Batcher::new(1);
+        let mut b = Batcher::new(1, false);
         b.extend([tuple_item(1), tuple_item(2)].into_iter(), &senders);
         for expect in [1u64, 2] {
             match rx.try_recv() {
@@ -1026,7 +1216,7 @@ mod tests {
     #[test]
     fn batcher_accounts_flushes_with_no_consumer() {
         let senders: Vec<PortSender> = Vec::new();
-        let mut b = Batcher::new(4);
+        let mut b = Batcher::new(4, false);
         b.extend((0..9).map(tuple_item), &senders);
         b.close(&senders);
         assert_eq!(b.stats.items.get(), 9, "every dropped item is accounted");
@@ -1043,7 +1233,7 @@ mod tests {
         let (mut senders, rx_a) = test_endpoint(0);
         let (more, rx_b) = test_endpoint(1);
         senders.extend(more);
-        let mut b = Batcher::new(3);
+        let mut b = Batcher::new(3, false);
         b.extend((0..3).map(tuple_item), &senders);
         for rx in [&rx_a, &rx_b] {
             match rx.try_recv() {

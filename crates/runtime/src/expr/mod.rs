@@ -13,6 +13,8 @@
 //! malformed packet) or a partial-UDF miss aborts evaluation, discarding
 //! the tuple — the paper's foreign-key-join semantics.
 
+pub mod vector;
+
 use crate::params::ParamBindings;
 use crate::tuple::Tuple;
 use crate::udf::{HandleResolver, ScalarUdf, UdfRegistry};

@@ -7,9 +7,12 @@
 //! - [`punct`]: ordering-update tokens (punctuation) that unblock
 //!   multi-stream operators when one input runs dry (paper §3,
 //!   "Unblocking Operators");
+//! - [`batch`]: columnar (structure-of-arrays) batches with selection
+//!   vectors — the hot-path representation between HFTA operators;
 //! - [`expr`]: the expression compiler — GSQL's C/C++ code generation
 //!   becomes flat register-machine programs evaluated without per-tuple
-//!   allocation;
+//!   allocation, plus vectorized kernels over columnar batches
+//!   ([`expr::vector`]);
 //! - [`udf`]: the function library — longest-prefix match over a loaded
 //!   prefix table (`getlpmid`), a Thompson-NFA regular-expression engine
 //!   (`str_match_regex`), and friends — with pass-by-handle parameter
@@ -31,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod expr;
 pub mod faults;
 pub mod ops;

@@ -17,6 +17,8 @@
 //! materialized tuples (HFTA) and raw packets through the interpretation
 //! library (LFTA).
 
+use crate::batch::{ColStep, ColumnBatch};
+use crate::expr::vector::VecVal;
 use crate::expr::{EvalScratch, FieldSource, Program};
 use crate::ops::Operator;
 use crate::punct::Punct;
@@ -216,6 +218,85 @@ fn hash_key(key: &[Value]) -> u64 {
     h.finish()
 }
 
+/// Spill the batched paths' cached hot `(key, accs)` entry back into the
+/// group table.
+///
+/// Invariant (the hot-entry seam): while a batch is being folded, the
+/// current group's accumulators live *outside* `groups`. Every
+/// table-wide operation — watermark flush (`close_below`), punctuation
+/// (`advance_bound`), and batch end (after which `publish_stats`, a
+/// GS_STATS snapshot, eviction, or `finish` may inspect the table) —
+/// MUST be preceded by a spill, or the hot group is invisible to the
+/// flush: it would survive its own close, be double-emitted later, or be
+/// missing from open-group accounting.
+#[inline]
+fn spill_hot(
+    groups: &mut HashMap<Box<[Value]>, Vec<Acc>>,
+    hot: &mut Option<(Box<[Value]>, Vec<Acc>)>,
+) {
+    if let Some((k, a)) = hot.take() {
+        groups.insert(k, a);
+    }
+}
+
+/// Fold rows `i..j` of a vector-evaluated argument into one accumulator.
+///
+/// Exactly equivalent to calling [`Acc::update`] per row in order —
+/// integer sums use closed forms (wrapping arithmetic distributes mod
+/// 2^64), float sums fold sequentially because float addition is not
+/// associative and the result must match the row path bit-for-bit.
+fn fold_run(acc: &mut Acc, argv: Option<&VecVal>, i: usize, j: usize) {
+    let Some(argv) = argv else {
+        // count(*): every row of the run counts.
+        if let Acc::Count(c) = acc {
+            *c += (j - i) as u64;
+        }
+        return;
+    };
+    match acc {
+        Acc::Count(c) => {
+            // count(expr): rows whose argument failed don't count.
+            *c += (i..j).filter(|&r| argv.valid(r)).count() as u64;
+        }
+        Acc::SumU(s) => match argv {
+            VecVal::Scalar(v) => {
+                if let Some(x) = v.as_uint() {
+                    *s = s.wrapping_add(x.wrapping_mul((j - i) as u64));
+                }
+            }
+            _ => {
+                for r in i..j {
+                    if let Some(x) = argv.get(r).and_then(|v| v.as_uint()) {
+                        *s = s.wrapping_add(x);
+                    }
+                }
+            }
+        },
+        Acc::SumF(s) => match argv {
+            VecVal::Scalar(v) => {
+                if let Some(x) = v.as_float() {
+                    for _ in i..j {
+                        *s += x;
+                    }
+                }
+            }
+            _ => {
+                for r in i..j {
+                    if let Some(x) = argv.get(r).and_then(|v| v.as_float()) {
+                        *s += x;
+                    }
+                }
+            }
+        },
+        Acc::Min(_) | Acc::Max(_) => {
+            for r in i..j {
+                let v = argv.get(r);
+                acc.update(v.as_ref());
+            }
+        }
+    }
+}
+
 /// Sort closed groups so the flush attribute is nondecreasing in the
 /// output (the imputed ordering property of the aggregate's output).
 fn sort_closed(closed: &mut [(Box<[Value]>, Vec<Acc>)], flush_idx: Option<usize>) {
@@ -382,8 +463,8 @@ impl Operator for AggregateOp {
     /// LFTA table exploits, §3), so runs of equal keys pay one table
     /// lookup instead of one per tuple.
     fn push_batch(&mut self, _port: usize, items: Vec<StreamItem>, out: &mut Vec<StreamItem>) {
-        // The hot entry is spilled back into the table before anything
-        // that inspects the whole group set (flush, punctuation).
+        // See `spill_hot`: the hot entry is spilled back into the table
+        // before anything that inspects the whole group set.
         self.batches += 1;
         let mut hot: Option<(Box<[Value]>, Vec<Acc>)> = None;
         let mut keybuf: Vec<Value> = Vec::new();
@@ -398,16 +479,12 @@ impl Operator for AggregateOp {
                     if let Some(v) = agg.core.flush_value(&keybuf) {
                         if agg.watermark.is_none_or(|w| v > w) {
                             agg.watermark = Some(v);
-                            if let Some((k, a)) = hot.take() {
-                                agg.groups.insert(k, a);
-                            }
+                            spill_hot(&mut agg.groups, &mut hot);
                             agg.close_below(v.saturating_sub(agg.core.slack), out);
                         }
                     }
                     if hot.as_ref().is_none_or(|(k, _)| k.as_ref() != keybuf.as_slice()) {
-                        if let Some((k, a)) = hot.take() {
-                            agg.groups.insert(k, a);
-                        }
+                        spill_hot(&mut agg.groups, &mut hot);
                         let key: Box<[Value]> = keybuf.clone().into_boxed_slice();
                         let accs = agg
                             .groups
@@ -420,16 +497,109 @@ impl Operator for AggregateOp {
                     agg.peak_groups = agg.peak_groups.max(agg.groups.len() + 1);
                 }
                 StreamItem::Punct(p) => {
-                    if let Some((k, a)) = hot.take() {
-                        self.inner.groups.insert(k, a);
-                    }
+                    spill_hot(&mut self.inner.groups, &mut hot);
                     self.push_punct(&p, out);
                 }
             }
         }
-        if let Some((k, a)) = hot {
-            self.inner.groups.insert(k, a);
+        spill_hot(&mut self.inner.groups, &mut hot);
+    }
+
+    fn col_capable(&self) -> bool {
+        true
+    }
+
+    /// Columnar aggregation: group keys and aggregate arguments are
+    /// vector-evaluated once for the whole batch, then runs of equal
+    /// keys (network streams have strong temporal locality) each pay one
+    /// hot-entry check and fold their argument slices with per-column
+    /// loops. The hot-entry spill invariant (`spill_hot`) is identical
+    /// to the row path's.
+    fn push_cols(&mut self, cols: ColumnBatch, punct: Option<Punct>) -> ColStep {
+        let keys: Option<Vec<VecVal>> = {
+            let core = &self.inner.core;
+            core.group_progs.iter().map(|p| p.eval_vec(&cols)).collect()
+        };
+        let args: Option<Vec<Option<VecVal>>> = {
+            let core = &self.inner.core;
+            core.aggs
+                .iter()
+                .map(|(_, arg, _)| match arg {
+                    None => Some(None),
+                    Some(p) => p.eval_vec(&cols).map(Some),
+                })
+                .collect()
+        };
+        let (Some(keys), Some(args)) = (keys, args) else {
+            // A program without a vector kernel: whole batch via rows.
+            let mut out = Vec::new();
+            self.push_batch(0, cols.into_items(punct), &mut out);
+            return ColStep::Rows(out);
+        };
+        self.batches += 1;
+        let n = cols.n_rows();
+        self.tuples_in += n as u64;
+        let mut out = Vec::new();
+        let mut hot: Option<(Box<[Value]>, Vec<Acc>)> = None;
+        {
+            let agg = &mut self.inner;
+            let mut i = 0;
+            while i < n {
+                // A row whose key failed to evaluate is skipped, exactly
+                // like the row path's `eval_key_into` miss.
+                if !keys.iter().all(|k| k.valid(i)) {
+                    i += 1;
+                    continue;
+                }
+                // Extend the run of adjacent rows with this key.
+                let mut j = i + 1;
+                while j < n
+                    && keys.iter().all(|k| k.valid(j))
+                    && keys.iter().all(|k| k.rows_eq(i, j))
+                {
+                    j += 1;
+                }
+                // Watermark advance: every row of the run shares the
+                // flush value, so one check covers the run.
+                let fv = agg
+                    .core
+                    .flush_idx
+                    .and_then(|fi| keys[fi].get(i))
+                    .and_then(|v| v.as_uint());
+                if let Some(v) = fv {
+                    if agg.watermark.is_none_or(|w| v > w) {
+                        agg.watermark = Some(v);
+                        spill_hot(&mut agg.groups, &mut hot);
+                        agg.close_below(v.saturating_sub(agg.core.slack), &mut out);
+                    }
+                }
+                let differs = hot.as_ref().is_none_or(|(k, _)| {
+                    k.iter().zip(&keys).any(|(kv, col)| col.get(i).as_ref() != Some(kv))
+                });
+                if differs {
+                    spill_hot(&mut agg.groups, &mut hot);
+                    let key: Box<[Value]> = keys
+                        .iter()
+                        .map(|k| k.get(i).expect("validity checked above"))
+                        .collect::<Vec<_>>()
+                        .into_boxed_slice();
+                    let accs =
+                        agg.groups.remove(&key).unwrap_or_else(|| agg.core.fresh_accs());
+                    hot = Some((key, accs));
+                }
+                let (_, accs) = hot.as_mut().expect("hot entry set above");
+                for (acc, argv) in accs.iter_mut().zip(&args) {
+                    fold_run(acc, argv.as_ref(), i, j);
+                }
+                agg.peak_groups = agg.peak_groups.max(agg.groups.len() + 1);
+                i = j;
+            }
+            spill_hot(&mut agg.groups, &mut hot);
         }
+        if let Some(p) = punct {
+            self.push_punct(&p, &mut out);
+        }
+        ColStep::Rows(out)
     }
 
     fn finish(&mut self, out: &mut Vec<StreamItem>) {
@@ -743,6 +913,109 @@ mod tests {
         };
         assert_eq!(norm(as_rows(&item_out)), norm(as_rows(&batch_out)));
         assert_eq!(item_op.aggregator().emitted, batch_op.aggregator().emitted);
+    }
+
+    #[test]
+    fn push_cols_matches_push_batch() {
+        use crate::batch::ColumnBatch;
+        // Same shape as `push_batch_matches_item_pushes`, but the batch
+        // arrives columnar with the punctuation as a rider.
+        let mk = || AggregateOp::new(GroupAggregator::new(core()), Some((0, 1)), Some(0));
+        let tuples: Vec<Tuple> = [
+            (1u64, 5u64),
+            (1, 3),
+            (1, 2),
+            (2, 10),
+            (2, 1),
+            (1, 100),
+            (3, 7),
+        ]
+        .iter()
+        .map(|&(a, b)| tup(&[a, b]))
+        .collect();
+        let punct = Punct::new(0, Value::UInt(4));
+
+        let mut row_op = mk();
+        let mut row_out = Vec::new();
+        let items: Vec<StreamItem> = tuples
+            .iter()
+            .cloned()
+            .map(StreamItem::Tuple)
+            .chain([StreamItem::Punct(punct.clone())])
+            .collect();
+        row_op.push_batch(0, items, &mut row_out);
+        row_op.finish(&mut row_out);
+
+        let mut col_op = mk();
+        let cb = ColumnBatch::from_tuples(&tuples);
+        let ColStep::Rows(mut col_out) = col_op.push_cols(cb, Some(punct)) else {
+            panic!("aggregation output is row-shaped");
+        };
+        col_op.finish(&mut col_out);
+
+        assert_eq!(as_rows(&row_out), as_rows(&col_out));
+        assert_eq!(row_op.aggregator().emitted, col_op.aggregator().emitted);
+        assert_eq!(
+            row_op.aggregator().open_groups(),
+            col_op.aggregator().open_groups()
+        );
+    }
+
+    #[test]
+    fn punct_mid_batch_spills_hot_group() {
+        use crate::batch::ColumnBatch;
+        // The hot-entry seam (satellite regression): a punctuation token
+        // lands mid-batch while a hot group's accumulators live outside
+        // the table. The flush must see the full pre-punct accumulation —
+        // if the hot entry is not spilled first, the group either
+        // survives its own close or is emitted with missing rows.
+        let mk = || AggregateOp::new(GroupAggregator::new(core()), Some((0, 1)), Some(0));
+
+        // Key 5 is hot (a run), the punct closes bucket 5, then key 5
+        // resumes — which must open a FRESH group, not resurrect state.
+        let head: Vec<StreamItem> = [(5u64, 1u64), (5, 2), (5, 4)]
+            .iter()
+            .map(|&(a, b)| StreamItem::Tuple(tup(&[a, b])))
+            .collect();
+        let punct = Punct::new(0, Value::UInt(6));
+        let tail: Vec<StreamItem> =
+            [(5u64, 100u64), (5, 200)].iter().map(|&(a, b)| StreamItem::Tuple(tup(&[a, b]))).collect();
+
+        // Row path: one batch interleaving punct between the runs.
+        let mut op = mk();
+        let mut out = Vec::new();
+        let items: Vec<StreamItem> = head
+            .iter()
+            .cloned()
+            .chain([StreamItem::Punct(punct.clone())])
+            .chain(tail.iter().cloned())
+            .collect();
+        op.push_batch(0, items, &mut out);
+        // The punct must have closed group 5 with all three head rows.
+        assert_eq!(as_rows(&out), vec![vec![5, 3, 7]], "flush sees the hot run");
+        assert_eq!(op.aggregator().open_groups(), 1, "resumed key 5 is a fresh group");
+        out.clear();
+        op.finish(&mut out);
+        assert_eq!(as_rows(&out), vec![vec![5, 2, 300]]);
+
+        // Columnar path: punct rides after the head batch, tail follows.
+        let mut op = mk();
+        let head_t: Vec<Tuple> = [(5u64, 1u64), (5, 2), (5, 4)].iter().map(|&(a, b)| tup(&[a, b])).collect();
+        let tail_t: Vec<Tuple> =
+            [(5u64, 100u64), (5, 200)].iter().map(|&(a, b)| tup(&[a, b])).collect();
+        let ColStep::Rows(mut out) =
+            op.push_cols(ColumnBatch::from_tuples(&head_t), Some(punct))
+        else {
+            panic!("row-shaped");
+        };
+        assert_eq!(as_rows(&out), vec![vec![5, 3, 7]], "columnar flush sees the hot run");
+        let ColStep::Rows(more) = op.push_cols(ColumnBatch::from_tuples(&tail_t), None) else {
+            panic!("row-shaped");
+        };
+        out.extend(more);
+        assert_eq!(op.aggregator().open_groups(), 1);
+        op.finish(&mut out);
+        assert_eq!(as_rows(&out)[1..], [vec![5, 2, 300]]);
     }
 
     #[test]

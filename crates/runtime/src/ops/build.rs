@@ -6,8 +6,10 @@
 //! bound, handles pre-processed, and BPF prefilters recompiled against
 //! the bound parameter values.
 
+use crate::batch::{ColStep, ColumnBatch};
 use crate::expr::Program;
 use crate::ops::agg::{AggCore, AggregateOp, DirectMappedAggregator, GroupAggregator};
+use crate::punct::Punct;
 use crate::ops::join::{EmitMode, JoinConfig, JoinOp};
 use crate::ops::lfta::{Lfta, LftaKind};
 use crate::ops::merge::MergeOp;
@@ -267,6 +269,49 @@ impl HftaNode {
                 cascade_batch(&mut self.chain, items, out);
             }
         }
+    }
+
+    /// Feed a columnar batch (with its at-most-one trailing punctuation
+    /// rider) into a single-input node. Each chain operator runs its
+    /// columnar path; as soon as one returns row-shaped output the
+    /// remaining stages run row-at-a-time. Returns `Some((cols, punct))`
+    /// when the batch survives the whole chain columnar — the caller
+    /// ships it downstream without materializing rows. Multi-input roots
+    /// are row boundaries: the batch is materialized into
+    /// [`push_batch`](HftaNode::push_batch) (port 0) and `None` returned.
+    pub fn push_cols(
+        &mut self,
+        port: usize,
+        cols: ColumnBatch,
+        punct: Option<Punct>,
+        out: &mut Vec<StreamItem>,
+    ) -> Option<(ColumnBatch, Option<Punct>)> {
+        if self.root.is_some() {
+            self.push_batch(port, cols.into_items(punct), out);
+            return None;
+        }
+        debug_assert_eq!(port, 0);
+        let mut cur = cols;
+        let mut rider = punct;
+        for i in 0..self.chain.len() {
+            match self.chain[i].push_cols(cur, rider) {
+                ColStep::Cols(cb, p) => {
+                    cur = cb;
+                    rider = p;
+                }
+                ColStep::Rows(items) => {
+                    if i + 1 < self.chain.len() {
+                        if !items.is_empty() {
+                            cascade_batch(&mut self.chain[i + 1..], items, out);
+                        }
+                    } else {
+                        out.extend(items);
+                    }
+                    return None;
+                }
+            }
+        }
+        Some((cur, rider))
     }
 
     /// One input stream ended: multi-input roots release the holds that

@@ -20,6 +20,12 @@ use std::collections::HashMap;
 /// IP reassembly timer.
 pub const REASSEMBLY_TIMEOUT_SEC: u64 = 30;
 
+/// Largest reassembled payload: the output datagram's `total_len` field
+/// is 16 bits and the rebuilt header is a fixed 20 bytes, so any
+/// fragment reaching past `65_535 - 20` bytes describes a datagram that
+/// cannot be encoded — it is rejected, never silently wrapped.
+pub const MAX_PAYLOAD_LEN: u32 = u16::MAX as u32 - 20;
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct FragKey {
     src: u32,
@@ -29,7 +35,9 @@ struct FragKey {
 }
 
 struct Reassembly {
-    /// (offset, payload bytes) pieces seen so far.
+    /// (offset, payload bytes) pieces seen so far, kept offset-sorted
+    /// and disjoint: arriving fragments are trimmed against existing
+    /// coverage before insertion (see [`Reassembly::insert`]).
     pieces: Vec<(u32, Vec<u8>)>,
     /// Total datagram payload length, known once the last fragment is seen.
     total_len: Option<u32>,
@@ -42,19 +50,56 @@ struct Reassembly {
 }
 
 impl Reassembly {
+    /// Add `data` at byte offset `off`, keeping `pieces` sorted and
+    /// disjoint. Ranges already covered are trimmed off the arriving
+    /// fragment — the *first* arrival of any byte wins, so a duplicated
+    /// or overlapping fragment (retransmission, or a deliberate
+    /// overlap-evasion train) can never rewrite bytes that an earlier
+    /// fragment already contributed.
+    fn insert(&mut self, off: u32, data: &[u8]) {
+        let end = off + data.len() as u32;
+        if off == end {
+            return;
+        }
+        let mut cur = off;
+        let mut add: Vec<(u32, Vec<u8>)> = Vec::new();
+        for (s, d) in &self.pieces {
+            let pe = *s + d.len() as u32;
+            if pe <= cur {
+                continue;
+            }
+            if *s >= end {
+                break;
+            }
+            if *s > cur {
+                // The gap before this piece is genuinely new coverage.
+                add.push((cur, data[(cur - off) as usize..(*s - off) as usize].to_vec()));
+            }
+            cur = cur.max(pe);
+            if cur >= end {
+                break;
+            }
+        }
+        if cur < end {
+            add.push((cur, data[(cur - off) as usize..(end - off) as usize].to_vec()));
+        }
+        if !add.is_empty() {
+            self.pieces.extend(add);
+            self.pieces.sort_unstable_by_key(|p| p.0);
+        }
+    }
+
     fn covered(&self) -> Option<u32> {
         let total = self.total_len?;
         self.first_header.as_ref()?;
-        // Merge intervals; the pieces are few, sort each time.
-        let mut iv: Vec<(u32, u32)> =
-            self.pieces.iter().map(|(off, d)| (*off, off + d.len() as u32)).collect();
-        iv.sort_unstable();
+        // Pieces are sorted and disjoint: a hole is the only way a
+        // piece can start past the running end.
         let mut end = 0u32;
-        for (s, e) in iv {
-            if s > end {
+        for (s, d) in &self.pieces {
+            if *s > end {
                 return None; // hole
             }
-            end = end.max(e);
+            end = *s + d.len() as u32;
         }
         (end >= total).then_some(total)
     }
@@ -71,6 +116,10 @@ pub struct DefragStats {
     pub reassembled: u64,
     /// Reassemblies abandoned on timeout.
     pub timed_out: u64,
+    /// Fragments describing a datagram too large for a 16-bit
+    /// `total_len` (payload past [`MAX_PAYLOAD_LEN`]); the whole
+    /// reassembly is dropped rather than emitted with a wrapped length.
+    pub oversized: u64,
 }
 
 /// The defragmentation node.
@@ -136,6 +185,15 @@ impl Defragmenter {
         let hdr_end = l3 + usize::from(ih.header_len);
         let Some(payload) = cap.data.get(hdr_end..) else { return };
         let key = FragKey { src: ih.src, dst: ih.dst, protocol: ih.protocol, id: ih.id };
+        if ih.frag_offset() + payload.len() as u32 > MAX_PAYLOAD_LEN {
+            // This fragment reaches past what the rebuilt header's
+            // 16-bit total_len can describe (a "ping of death" train):
+            // the datagram is invalid as a whole, so poison it — drop
+            // any partial state and count the rejection.
+            self.stats.oversized += 1;
+            self.table.remove(&key);
+            return;
+        }
         let entry = self.table.entry(key).or_insert_with(|| Reassembly {
             pieces: Vec::new(),
             total_len: None,
@@ -144,11 +202,11 @@ impl Defragmenter {
             iface: cap.iface,
             started_sec: cap.time_sec().into(),
         });
-        entry.pieces.push((ih.frag_offset(), payload.to_vec()));
-        if ih.frag_offset() == 0 {
+        entry.insert(ih.frag_offset(), payload);
+        if ih.frag_offset() == 0 && entry.first_header.is_none() {
             entry.first_header = Some(ih);
         }
-        if !ih.more_fragments() {
+        if !ih.more_fragments() && entry.total_len.is_none() {
             entry.total_len = Some(ih.frag_offset() + payload.len() as u32);
         }
 
@@ -156,7 +214,8 @@ impl Defragmenter {
             let entry = self.table.remove(&key).expect("entry just updated");
             let header = entry.first_header.expect("covered() checked it");
             // Rebuild the datagram: fresh IPv4 header (no frag bits) plus
-            // the reassembled payload.
+            // the reassembled payload. Pieces are disjoint, so no copy
+            // can rewrite another's bytes.
             let mut payload = vec![0u8; total as usize];
             for (off, d) in &entry.pieces {
                 let s = *off as usize;
@@ -325,6 +384,104 @@ mod tests {
         d.gc(REASSEMBLY_TIMEOUT_SEC + 1);
         assert_eq!(d.pending(), 0);
         assert_eq!(d.stats.timed_out, 1);
+    }
+
+    /// Hand-built raw-IP fragment: `off` is the byte offset (multiple
+    /// of 8 unless it is the last fragment), `more` the MF flag.
+    fn raw_frag(id: u16, off: u32, data: &[u8], more: bool) -> CapPacket {
+        let mut b = Vec::new();
+        Ipv4Header {
+            header_len: 20,
+            tos: 0,
+            total_len: (20 + data.len()) as u16,
+            id,
+            flags_frag: ((off / 8) as u16) | if more { gs_packet::ip::FLAG_MF } else { 0 },
+            ttl: 64,
+            protocol: gs_packet::ip::PROTO_TCP,
+            checksum: 0,
+            src: 0x0a000001,
+            dst: 0x0a000002,
+        }
+        .encode(&mut b)
+        .unwrap();
+        b.extend_from_slice(data);
+        CapPacket::full(0, 0, LinkType::RawIp, bytes::Bytes::from(b))
+    }
+
+    #[test]
+    fn overlapping_fragments_first_arrival_wins() {
+        // A covers [0, 16) with 0xAA; B covers [8, 24) with 0xBB and is
+        // the last fragment. The overlap [8, 16) must keep A's bytes —
+        // a later fragment may never rewrite accepted coverage.
+        let mut d = Defragmenter::new();
+        let mut out = Vec::new();
+        d.push(raw_frag(11, 0, &[0xAA; 16], true), &mut out);
+        d.push(raw_frag(11, 8, &[0xBB; 16], false), &mut out);
+        assert_eq!(d.stats.reassembled, 1);
+        let pkt = out.pop().expect("complete datagram");
+        let mut want = vec![0xAA; 16];
+        want.extend_from_slice(&[0xBB; 8]);
+        assert_eq!(&pkt.data[20..], &want[..], "overlap region keeps first-arrival bytes");
+    }
+
+    #[test]
+    fn duplicated_and_overlapping_train_reassembles_once() {
+        // A train with mid-stream duplicates and an overlapping filler:
+        // [0,48) dup, [40,88) overlapping the first, [48,96) dup, then
+        // the last piece [96,120). Every byte must come from its first
+        // arrival and exactly one datagram must emerge.
+        let payload: Vec<u8> = (0..120u32).map(|i| (i * 3) as u8).collect();
+        let mut d = Defragmenter::new();
+        let mut out = Vec::new();
+        let train: Vec<(u32, &[u8], bool)> = vec![
+            (0, &payload[0..48], true),
+            (0, &payload[0..48], true),        // exact duplicate
+            (40, &payload[40..88], true),      // overlaps [40,48)
+            (48, &payload[48..96], true),      // overlaps [48,88)
+            (48, &payload[48..96], true),      // duplicate of the above
+            (96, &payload[96..120], false),
+        ];
+        for (off, data, more) in train {
+            d.push(raw_frag(12, off, data, more), &mut out);
+        }
+        assert_eq!(d.stats.reassembled, 1, "exactly one datagram");
+        assert_eq!(d.pending(), 0);
+        let pkt = out.pop().expect("complete datagram");
+        assert_eq!(&pkt.data[20..], &payload[..]);
+    }
+
+    #[test]
+    fn oversized_datagram_rejected_at_length_boundary() {
+        // 65,515 payload bytes is the largest datagram a 20-byte header
+        // and 16-bit total_len can describe; it must reassemble with
+        // total_len == 65,535, not wrap.
+        let max = super::MAX_PAYLOAD_LEN as usize; // 65,515
+        let payload: Vec<u8> = (0..max).map(|i| i as u8).collect();
+        let mut d = Defragmenter::new();
+        let mut out = Vec::new();
+        let chunk = 8192usize;
+        let mut off = 0usize;
+        while off < max {
+            let end = (off + chunk).min(max);
+            d.push(raw_frag(13, off as u32, &payload[off..end], end < max), &mut out);
+            off = end;
+        }
+        assert_eq!(d.stats.reassembled, 1);
+        let v = PacketView::parse(out.pop().unwrap());
+        assert_eq!(v.ipv4().unwrap().total_len, u16::MAX, "largest encodable datagram");
+
+        // One byte more and the total_len would wrap to 0: the fragment
+        // must be rejected and any partial state for the datagram
+        // dropped.
+        let mut d = Defragmenter::new();
+        let mut out = Vec::new();
+        d.push(raw_frag(14, 0, &[1u8; 64], true), &mut out);
+        assert_eq!(d.pending(), 1);
+        let tail = vec![2u8; 4];
+        d.push(raw_frag(14, 65_512, &tail, false), &mut out); // ends at 65,516
+        assert!(out.is_empty(), "no wrapped-length datagram is emitted");
+        assert_eq!(d.stats.oversized, 1);
+        assert_eq!(d.pending(), 0, "poisoned reassembly is dropped");
     }
 
     #[test]

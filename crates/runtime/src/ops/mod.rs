@@ -15,6 +15,8 @@ pub mod merge;
 pub mod router;
 pub mod select;
 
+use crate::batch::{ColStep, ColumnBatch};
+use crate::punct::Punct;
 use crate::stats::OpCounters;
 use crate::tuple::{StreamItem, Tuple};
 use std::sync::Arc;
@@ -68,6 +70,27 @@ pub trait Operator: Send {
         for item in items {
             self.push(port, item, out);
         }
+    }
+
+    /// Whether the operator has a native columnar path — i.e. its
+    /// [`push_cols`](Operator::push_cols) does better than the row
+    /// fallback. Only meaningful for single-input operators.
+    fn col_capable(&self) -> bool {
+        false
+    }
+
+    /// Feed a columnar batch (always port 0 — multi-input operators are
+    /// row boundaries) with its at-most-one trailing punctuation rider.
+    ///
+    /// Semantically identical to materializing the rows and calling
+    /// [`push_batch`](Operator::push_batch) — which is exactly what the
+    /// default does. Columnar overrides return [`ColStep::Cols`] when
+    /// their output can stay columnar, [`ColStep::Rows`] when it is
+    /// row-shaped (aggregation emissions).
+    fn push_cols(&mut self, cols: ColumnBatch, punct: Option<Punct>) -> ColStep {
+        let mut out = Vec::new();
+        self.push_batch(0, cols.into_items(punct), &mut out);
+        ColStep::Rows(out)
     }
 
     /// All inputs are exhausted: flush any remaining state.

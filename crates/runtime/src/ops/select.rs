@@ -1,5 +1,13 @@
 //! Selection / projection over tuple streams.
+//!
+//! Both operators here have native columnar paths: filtering rewrites
+//! the batch's selection vector in place (no data movement), and
+//! projection evaluates each output column with the vector kernels,
+//! falling back to row-at-a-time evaluation when a program has no
+//! kernel.
 
+use crate::batch::{ColStep, ColumnBatch, RowView};
+use crate::expr::vector::VecVal;
 use crate::expr::{EvalScratch, Program};
 use crate::ops::Operator;
 use crate::punct::Punct;
@@ -7,6 +15,19 @@ use crate::stats::OpCounters;
 use crate::tuple::{StreamItem, Tuple};
 use crate::value::Value;
 use std::sync::Arc;
+
+/// Live-row indices passing `pred`: one vectorized pass when a kernel
+/// exists, otherwise a row-at-a-time pass — same selection either way.
+fn filter_keep(pred: &Program, cb: &ColumnBatch, scratch: &mut EvalScratch) -> Vec<u32> {
+    let n = cb.n_rows();
+    match pred.eval_vec(cb) {
+        Some(v) => (0..n).filter(|&i| v.truthy(i)).map(|i| i as u32).collect(),
+        None => (0..n)
+            .filter(|&i| pred.eval_bool(&RowView::new(cb, i), scratch))
+            .map(|i| i as u32)
+            .collect(),
+    }
+}
 
 /// Filter + project in one pass. Punctuation is translated through the
 /// projection when the punctuated column survives as an identity (or
@@ -70,13 +91,16 @@ impl SelectProject {
 
     fn push_punct(&mut self, p: &Punct, out: &mut Vec<StreamItem>) {
         self.puncts += 1;
+        let mut ps = Vec::new();
+        self.translate_punct(p, &mut ps);
+        out.extend(ps.into_iter().map(StreamItem::Punct));
+    }
+
+    fn translate_punct(&self, p: &Punct, out: &mut Vec<Punct>) {
         for (in_col, out_col, div) in &self.punct_map {
             if p.col == *in_col {
                 if let Some(v) = p.low.as_uint() {
-                    out.push(StreamItem::Punct(Punct::new(
-                        *out_col,
-                        Value::UInt(v / div.max(&1)),
-                    )));
+                    out.push(Punct::new(*out_col, Value::UInt(v / div.max(&1))));
                 }
             }
         }
@@ -103,6 +127,86 @@ impl Operator for SelectProject {
                 StreamItem::Punct(p) => self.push_punct(&p, out),
             }
         }
+    }
+
+    fn col_capable(&self) -> bool {
+        true
+    }
+
+    fn push_cols(&mut self, cols: ColumnBatch, punct: Option<Punct>) -> ColStep {
+        self.batches += 1;
+        let n = cols.n_rows();
+        self.seen += n as u64;
+        // Filter pass: rewrite the selection vector.
+        let cb = match &self.filter {
+            None => cols,
+            Some(f) => {
+                let keep = filter_keep(f, &cols, &mut self.scratch);
+                if keep.len() == n {
+                    cols
+                } else {
+                    cols.narrow(keep)
+                }
+            }
+        };
+        let m = cb.n_rows();
+        // Vectorized projections; any kernel miss falls the whole batch
+        // back to row evaluation (output columns must stay aligned).
+        let mut vecs = Vec::with_capacity(self.projections.len());
+        let all_vec = self.projections.iter().all(|p| match p.eval_vec(&cb) {
+            Some(v) => {
+                vecs.push(v);
+                true
+            }
+            None => false,
+        });
+        if all_vec {
+            // A row where any projection failed is discarded — the row
+            // path's short-circuiting collect.
+            let keep: Option<Vec<u32>> = if vecs.iter().any(VecVal::any_invalid) {
+                Some(
+                    (0..m)
+                        .filter(|&i| vecs.iter().all(|v| v.valid(i)))
+                        .map(|i| i as u32)
+                        .collect(),
+                )
+            } else {
+                None
+            };
+            self.kept += keep.as_ref().map_or(m, Vec::len) as u64;
+            let out_cols =
+                vecs.into_iter().map(|v| v.into_column(keep.as_deref(), m)).collect();
+            let out_cb = ColumnBatch::from_columns(out_cols);
+            let mut ps = Vec::new();
+            if let Some(p) = &punct {
+                self.puncts += 1;
+                self.translate_punct(p, &mut ps);
+            }
+            return if ps.len() <= 1 {
+                ColStep::Cols(out_cb, ps.pop())
+            } else {
+                // One input token translating to several output tokens
+                // cannot ride a columnar batch — materialize.
+                let mut items = out_cb.into_items(None);
+                items.extend(ps.into_iter().map(StreamItem::Punct));
+                ColStep::Rows(items)
+            };
+        }
+        let mut out = Vec::with_capacity(m + 1);
+        for i in 0..m {
+            let rv = RowView::new(&cb, i);
+            let scratch = &mut self.scratch;
+            let projected: Option<Tuple> =
+                self.projections.iter().map(|p| p.eval(&rv, scratch)).collect();
+            if let Some(t) = projected {
+                self.kept += 1;
+                out.push(StreamItem::Tuple(t));
+            }
+        }
+        if let Some(p) = punct {
+            self.push_punct(&p, &mut out);
+        }
+        ColStep::Rows(out)
     }
 
     fn finish(&mut self, _out: &mut Vec<StreamItem>) {}
@@ -187,6 +291,23 @@ impl Operator for FilterOp {
                 }
             }
         }
+    }
+
+    fn col_capable(&self) -> bool {
+        true
+    }
+
+    fn push_cols(&mut self, cols: ColumnBatch, punct: Option<Punct>) -> ColStep {
+        self.batches += 1;
+        let n = cols.n_rows();
+        self.seen += n as u64;
+        if punct.is_some() {
+            self.puncts += 1;
+        }
+        let keep = filter_keep(&self.pred, &cols, &mut self.scratch);
+        self.kept += keep.len() as u64;
+        let cb = if keep.len() == n { cols } else { cols.narrow(keep) };
+        ColStep::Cols(cb, punct)
     }
 
     fn finish(&mut self, _out: &mut Vec<StreamItem>) {}

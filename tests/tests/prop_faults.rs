@@ -200,6 +200,37 @@ fn injected_panic_fails_one_query_and_run_still_completes() {
     });
 }
 
+/// Fault injection composes with columnar transport exactly as with row
+/// transport: the injector sees the materialized row stream, so at the
+/// same batch size a faulted columnar run and a faulted row run agree on
+/// which queries failed and on the sibling's output multiset.
+#[test]
+fn faults_compose_with_columnar_transport() {
+    check("fault_columnar", 4, |g| {
+        let pkts = trace(g);
+        let run = |columnar: bool| {
+            let mut gs = system(256, 1, false);
+            gs.columnar = columnar;
+            gs.faults = Some(plan(1));
+            run_threaded(&gs, pkts.iter().cloned(), &SUBS).unwrap()
+        };
+        let row = run(false);
+        let col = run(true);
+        assert_eq!(col.packets, pkts.len() as u64, "columnar capture wedged under fault");
+        assert_eq!(
+            row.health.failures(),
+            col.health.failures(),
+            "fault containment differs between transports"
+        );
+        assert!(col.counter("faults", "fault_injected").unwrap() >= 1);
+        assert_eq!(
+            norm(row.stream("sib")),
+            norm(col.stream("sib")),
+            "sibling output differs between transports under fault"
+        );
+    });
+}
+
 /// The other injector kinds must also be contained: a poisoned shared
 /// lock and a corrupt (column-truncated) tuple both quarantine at most
 /// the targeted query and never hang the run.

@@ -127,6 +127,50 @@ fn threaded_batched_transport_matches_synchronous_engine() {
     });
 }
 
+/// Columnar (SoA) transport is a pure representation change: for every
+/// template and batch size, a threaded run with [`Gigascope::columnar`]
+/// on produces the same multiset as the pre-columnar row transport
+/// (`columnar = false`) and as the synchronous engine. Batch size 1
+/// additionally pins byte-identical output — the columnar gate is off
+/// there, so the run must reproduce item-at-a-time transport exactly.
+#[test]
+fn columnar_transport_matches_row_transport_and_sync() {
+    check("manager_columnar_equivalence", 16, |g| {
+        let t = g.choice(&TEMPLATES);
+        let pkts = trace(g);
+
+        let sync_out =
+            system(256, t.program).run_capture(pkts.iter().cloned(), t.subscriptions).unwrap();
+
+        for batch in BATCH_SIZES {
+            let mut row_gs = system(batch, t.program);
+            row_gs.columnar = false;
+            let row_out = run_threaded(&row_gs, pkts.iter().cloned(), t.subscriptions).unwrap();
+            let col_gs = system(batch, t.program); // columnar defaults on
+            let col_out = run_threaded(&col_gs, pkts.iter().cloned(), t.subscriptions).unwrap();
+            for name in t.subscriptions {
+                assert_eq!(
+                    norm(row_out.stream(name)),
+                    norm(col_out.stream(name)),
+                    "columnar != row transport on `{name}` at batch {batch}"
+                );
+                assert_eq!(
+                    norm(sync_out.stream(name)),
+                    norm(col_out.stream(name)),
+                    "columnar != sync on `{name}` at batch {batch}"
+                );
+                if batch == 1 {
+                    assert_eq!(
+                        row_out.stream(name),
+                        col_out.stream(name),
+                        "batch size 1 must be byte-identical on `{name}`"
+                    );
+                }
+            }
+        }
+    });
+}
+
 /// The merge template's output must stay time-ordered under threading at
 /// every batch size — ordering, not just the multiset, is the contract.
 #[test]
