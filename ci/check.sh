@@ -56,6 +56,20 @@ echo "== columnar gate (columnar >= 2x row transport) =="
 # stages serialize, so the ratio measures nothing).
 GS_BENCH_QUICK=1 cargo run -q --release --offline -p gs-bench --bin columnar_gate
 
+echo "== shared prefilter property tests =="
+# Explicit gate on the PR-7 suite (also covered by the full test run
+# above): shared-prefilter-on output and counters are bit-identical to
+# per-query evaluation across sync/threaded/parallel/quarantine runs.
+cargo test -q --offline -p gs-tests --test prop_prefilter
+
+echo "== shared prefilter gate (100 queries: shared >= 5x unshared) =="
+# Interleaved shared-on/shared-off runs of the 100-query registration
+# workload; exits non-zero below 5x. Runs at the full trace length (the
+# whole gate is ~2s): the ratio measures steady-state dispatch, and the
+# quick trace leaves engine build a visible fraction of a run. Skipped
+# (numbers still printed) on hosts with fewer than 4 logical CPUs.
+cargo run -q --release --offline -p gs-bench --bin prefilter_gate
+
 echo "== offline bench compile =="
 cargo bench -p gs-bench --no-run --offline
 
@@ -70,7 +84,11 @@ test -f target/bench.json || { echo "FAIL: bench.json not written" >&2; exit 1; 
 # points and their row-transport references.
 for key in "manager/threaded_par1" "manager/threaded_par4" \
            "manager/threaded_throughput" "manager/threaded_throughput_row" \
-           "manager/threaded_agg" "manager/threaded_agg_row"; do
+           "manager/threaded_agg" "manager/threaded_agg_row" \
+           "prefilter/registration_scaling_q1" \
+           "prefilter/registration_scaling_q10" \
+           "prefilter/registration_scaling_q100" \
+           "prefilter/registration_scaling_q100_unshared"; do
     grep -q "$key" target/bench.json ||
         { echo "FAIL: $key missing from bench.json" >&2; exit 1; }
 done

@@ -443,6 +443,56 @@ fn bench_manager(c: &mut Criterion) {
     g.finish();
 }
 
+/// Registration scaling of the shared cross-query prefilter (DESIGN
+/// §14): N per-port selection queries drawn from a 20-port pool, so the
+/// shared pass dedupes them to at most 20 distinct atoms/BPF programs
+/// and dispatch cost tracks distinct *signatures*, not registrations.
+/// The q1/q10/q100 series is the scaling curve; `q100_unshared` is the
+/// same 100 registrations with per-LFTA evaluation, the denominator of
+/// the enforced >=5x ratio in `src/bin/prefilter_gate.rs`.
+fn bench_prefilter(c: &mut Criterion) {
+    use gigascope::Gigascope;
+    use gs_netgen::mix::{MixConfig, PacketMix};
+
+    const PORTS: [u16; 20] = [
+        80, 443, 53, 25, 8080, 22, 123, 161, 1433, 3306, 5060, 5432, 6379, 8443, 9090, 1024, 2048,
+        4096, 3128, 179,
+    ];
+    let program = |n: usize| -> String {
+        (0..n)
+            .map(|i| {
+                format!(
+                    "DEFINE {{ query_name q{i}; }} \
+                     Select time, destPort From eth0.tcp Where destPort = {};\n",
+                    PORTS[i % PORTS.len()]
+                )
+            })
+            .collect()
+    };
+    let mk = |n: usize, shared: bool| {
+        let mut gs = Gigascope::new();
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+        gs.shared_prefilter = shared;
+        gs.add_program(&program(n)).unwrap();
+        gs
+    };
+    let pkts: Vec<CapPacket> =
+        PacketMix::new(MixConfig { seed: 7, duration_ms: 160, ..MixConfig::default() }).collect();
+    let mut g = c.benchmark_group("prefilter");
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    for n in [1usize, 10, 100] {
+        let gs = mk(n, true);
+        g.bench_function(&format!("registration_scaling_q{n}"), |b| {
+            b.iter(|| gs.run_capture(pkts.iter().cloned(), &[]).unwrap())
+        });
+    }
+    let gs = mk(100, false);
+    g.bench_function("registration_scaling_q100_unshared", |b| {
+        b.iter(|| gs.run_capture(pkts.iter().cloned(), &[]).unwrap())
+    });
+    g.finish();
+}
+
 fn bench_defrag(c: &mut Criterion) {
     let pkts = sample_packets(512);
     let mut g = c.benchmark_group("defrag");
@@ -472,5 +522,6 @@ fn main() {
     bench_frontend(&mut c);
     bench_merge_join(&mut c);
     bench_manager(&mut c);
+    bench_prefilter(&mut c);
     bench_defrag(&mut c);
 }

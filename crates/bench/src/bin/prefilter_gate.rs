@@ -1,0 +1,107 @@
+//! CI gate: the shared cross-query prefilter must actually pay off.
+//!
+//! Registers the 100-query netgen mix from `benches/micro.rs`
+//! (`prefilter/registration_scaling_*`) — 100 per-port selection queries
+//! drawn from a 20-port pool, so the shared pass dedupes them to 20
+//! distinct atoms and BPF programs — and runs the same trace through the
+//! synchronous engine with [`Gigascope::shared_prefilter`] on and off,
+//! strictly interleaved so machine drift hits both sides equally,
+//! comparing the *fastest* run of each (the minimum is the standard
+//! low-noise estimator; variance is one-sided). Exits non-zero if the
+//! shared pass is not at least 5x the per-query (unshared) evaluation.
+//!
+//! On hosts with fewer than 4 logical CPUs the numbers are still printed
+//! but the gate is skipped — background load on a small host lands
+//! asymmetrically on whichever side is running and the ratio measures
+//! scheduling, not the prefilter.
+//!
+//! `GS_BENCH_QUICK=1` shrinks the trace and round count for CI; the gate
+//! itself still applies.
+
+use gigascope::Gigascope;
+use gs_netgen::mix::{MixConfig, PacketMix};
+use gs_packet::capture::{CapPacket, LinkType};
+use std::time::Instant;
+
+/// Required shared-over-unshared speedup on the fastest 100-query runs.
+const REQUIRED_SPEEDUP: f64 = 5.0;
+
+/// Distinct destination ports the generated queries cycle through: 100
+/// registrations share 20 distinct predicates.
+const PORTS: [u16; 20] = [
+    80, 443, 53, 25, 8080, 22, 123, 161, 1433, 3306, 5060, 5432, 6379, 8443, 9090, 1024, 2048,
+    4096, 3128, 179,
+];
+
+fn program(n: usize) -> String {
+    (0..n)
+        .map(|i| {
+            format!(
+                "DEFINE {{ query_name q{i}; }} \
+                 Select time, destPort From eth0.tcp Where destPort = {};\n",
+                PORTS[i % PORTS.len()]
+            )
+        })
+        .collect()
+}
+
+fn trace(duration_ms: u64) -> Vec<CapPacket> {
+    let cfg = MixConfig { seed: 7, duration_ms, ..MixConfig::default() };
+    PacketMix::new(cfg).collect()
+}
+
+fn system(n_queries: usize, shared: bool) -> Gigascope {
+    let mut gs = Gigascope::new();
+    gs.add_interface("eth0", 0, LinkType::Ethernet);
+    gs.shared_prefilter = shared;
+    gs.add_program(&program(n_queries)).unwrap();
+    gs
+}
+
+fn run_once(gs: &Gigascope, pkts: &[CapPacket]) -> f64 {
+    let start = Instant::now();
+    let out = gs.run_capture(pkts.iter().cloned(), &[]).unwrap();
+    std::hint::black_box(out);
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let quick = std::env::var("GS_BENCH_QUICK").is_ok_and(|v| v == "1");
+    // Keep the quick trace long enough that the one-time engine build
+    // (query compile + registration) stays a small fraction of a run;
+    // the gate measures steady-state dispatch, not setup.
+    let (duration_ms, rounds) = if quick { (160, 5) } else { (400, 9) };
+    let pkts = trace(duration_ms);
+    let shared = system(100, true);
+    let unshared = system(100, false);
+    // Warm both paths (allocator, page cache) before any timed round.
+    run_once(&shared, &pkts);
+    run_once(&unshared, &pkts);
+    let (mut best_shared, mut best_unshared) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..rounds {
+        best_unshared = best_unshared.min(run_once(&unshared, &pkts));
+        best_shared = best_shared.min(run_once(&shared, &pkts));
+    }
+    println!(
+        "prefilter/q100_unshared {:.3} ms, prefilter/q100_shared {:.3} ms, \
+         speedup {:.2}x over {} packets",
+        best_unshared * 1e3,
+        best_shared * 1e3,
+        best_unshared / best_shared,
+        pkts.len()
+    );
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores < 4 {
+        println!("SKIP: {cores} logical CPU(s) < 4 — prefilter gate not meaningful here");
+        return;
+    }
+    if best_shared * REQUIRED_SPEEDUP > best_unshared {
+        eprintln!(
+            "FAIL: shared prefilter is only {:.2}x the unshared evaluation (required {:.1}x)",
+            best_unshared / best_shared,
+            REQUIRED_SPEEDUP
+        );
+        std::process::exit(1);
+    }
+    println!("OK: shared prefilter >= {REQUIRED_SPEEDUP:.1}x unshared at 100 queries");
+}

@@ -180,6 +180,13 @@ fn main() {
 
     if args.explain {
         print!("{}", gs.explain_all());
+        // The cross-query shared prefilter plan: deduplicated atom table
+        // plus each LFTA's required-atom bitmask assignment.
+        match gs.explain_prefilter() {
+            Ok(Some(plan)) => print!("\n{plan}"),
+            Ok(None) => {}
+            Err(e) => eprintln!("gsq: explain prefilter: {e}"),
+        }
         return;
     }
 

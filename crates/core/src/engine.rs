@@ -18,6 +18,7 @@ use bytes::Bytes;
 use gs_runtime::faults::NodeInjector;
 use gs_runtime::ops::build::{build_hfta, build_lfta, BuildCtx, HftaNode};
 use gs_runtime::ops::lfta::{Lfta, LftaStats};
+use gs_runtime::ops::prefilter::{LftaSlot, PrefilterCache, SharedPrefilter};
 use gs_runtime::ops::router::KeyRouter;
 use gs_runtime::punct::{HeartbeatMode, Punct};
 use gs_runtime::stats::{StatRow, StatsRegistry};
@@ -82,6 +83,12 @@ struct LftaHost {
     out_sid: usize,
 }
 
+impl LftaSlot for LftaHost {
+    fn lfta_mut(&mut self) -> &mut Lfta {
+        &mut self.lfta
+    }
+}
+
 struct NodeHost {
     name: String,
     node: HftaNode,
@@ -128,11 +135,30 @@ pub struct Engine {
     failed: Vec<bool>,
     /// Armed fault injectors by node index ([`Gigascope::faults`]).
     injectors: HashMap<usize, NodeInjector>,
+    /// Cross-query shared prefilter pass ([`Gigascope::shared_prefilter`]);
+    /// `None` runs each LFTA fully privately.
+    shared: Option<SharedPrefilter>,
+    /// Reused per-LFTA output buffers for shared dispatch.
+    shared_outs: Vec<Vec<StreamItem>>,
+    /// Rendered shared-prefilter plan (atom table + bitmasks), for explain.
+    prefilter_plan: Option<String>,
 }
 
 impl Engine {
     /// Instantiate every deployed query of `gs`.
     pub fn build(gs: &Gigascope) -> Result<Engine, Error> {
+        Self::build_inner(gs, false)
+    }
+
+    /// Like [`Engine::build`], but also renders the shared-prefilter
+    /// plan text for explain output. Ordinary runs skip the rendering:
+    /// it walks every atom and bitmask, which is wasted work on the
+    /// build-per-capture path.
+    pub fn build_explained(gs: &Gigascope) -> Result<Engine, Error> {
+        Self::build_inner(gs, true)
+    }
+
+    fn build_inner(gs: &Gigascope, render_plan: bool) -> Result<Engine, Error> {
         let mut engine = Engine {
             lftas: Vec::new(),
             nodes: Vec::new(),
@@ -151,6 +177,9 @@ impl Engine {
             board: HealthBoard::new(),
             failed: Vec::new(),
             injectors: HashMap::new(),
+            shared: None,
+            shared_outs: Vec::new(),
+            prefilter_plan: None,
         };
         for dq in gs.queries() {
             let params = gs.params_for(&dq.name);
@@ -226,6 +255,29 @@ impl Engine {
         for h in &engine.lftas {
             engine.registry.register(format!("lfta:{}", h.lfta.name), h.lfta.stats_handle());
         }
+        if gs.shared_prefilter && !engine.lftas.is_empty() {
+            // Dedup structurally equal compiled BPF programs, then build
+            // the shared cross-query pass over the final LFTA vector.
+            let mut cache = PrefilterCache::new();
+            for h in &mut engine.lftas {
+                h.lfta.intern_prefilter(&mut |p| cache.intern(p));
+            }
+            let mut sp = SharedPrefilter::new();
+            for h in &engine.lftas {
+                sp.add_lfta(&h.lfta, h.iface_id);
+            }
+            sp.register_stats(&engine.registry);
+            if render_plan {
+                engine.prefilter_plan = Some(sp.describe(&|e, proto| {
+                    match gs.catalog().protocol_schema(proto.name) {
+                        Some(s) => gs_gsql::explain::expr_str(e, &s),
+                        None => format!("{e:?}"),
+                    }
+                }));
+            }
+            engine.shared_outs = (0..engine.lftas.len()).map(|_| Vec::new()).collect();
+            engine.shared = Some(sp);
+        }
         for n in &engine.nodes {
             n.node.register_stats(&engine.registry, &n.name);
         }
@@ -243,6 +295,11 @@ impl Engine {
         }
         engine.gs_stats_sid = engine.sid("GS_STATS");
         Ok(engine)
+    }
+
+    /// The rendered shared-prefilter plan, when the pass is active.
+    pub(crate) fn describe_prefilter(&self) -> Option<String> {
+        self.prefilter_plan.clone()
     }
 
     /// Quarantine `root` after a contained fault: mark it and every
@@ -426,6 +483,11 @@ impl Engine {
         if !self.gs_stats_wanted() {
             return;
         }
+        // The shared pass batches per-LFTA counter deltas; fold them in
+        // before publishing so the snapshot sees exact counts.
+        if let Some(sp) = self.shared.as_mut() {
+            sp.flush_stats(&mut self.lftas);
+        }
         self.publish_all();
         let clock = self.clock_sec;
         let mut items: Vec<StreamItem> = self
@@ -448,6 +510,9 @@ impl Engine {
     fn publish_all(&self) {
         for h in &self.lftas {
             h.lfta.publish_stats();
+        }
+        if let Some(sp) = &self.shared {
+            sp.publish_stats();
         }
         for n in &self.nodes {
             n.node.publish_stats();
@@ -488,15 +553,33 @@ impl Engine {
         for pkt in packets {
             self.stats.packets += 1;
             self.clock_sec = u64::from(pkt.time_sec());
-            for i in 0..self.lftas.len() {
-                if self.lftas[i].iface_id != pkt.iface {
-                    continue;
+            if let Some(mut sp) = self.shared.take() {
+                // Shared cross-query pass: one parse, each distinct
+                // program/protocol/atom evaluated once, LFTAs dispatched
+                // off the memoized verdicts.
+                let mut outs = std::mem::take(&mut self.shared_outs);
+                sp.dispatch(&pkt, &mut self.lftas, &mut outs);
+                // Only the slots whose tail ran can hold output — skip
+                // the rest instead of scanning all N out-vectors.
+                for &i in sp.hit_slots() {
+                    if !outs[i].is_empty() {
+                        let sid = self.lftas[i].out_sid;
+                        self.propagate(sid, std::mem::take(&mut outs[i]));
+                    }
                 }
-                let mut out = Vec::new();
-                self.lftas[i].lfta.push_packet(&pkt, &mut out);
-                if !out.is_empty() {
-                    let sid = self.lftas[i].out_sid;
-                    self.propagate(sid, out);
+                self.shared_outs = outs;
+                self.shared = Some(sp);
+            } else {
+                for i in 0..self.lftas.len() {
+                    if self.lftas[i].iface_id != pkt.iface {
+                        continue;
+                    }
+                    let mut out = Vec::new();
+                    self.lftas[i].lfta.push_packet(&pkt, &mut out);
+                    if !out.is_empty() {
+                        let sid = self.lftas[i].out_sid;
+                        self.propagate(sid, out);
+                    }
                 }
             }
             self.maybe_heartbeat();
@@ -539,7 +622,10 @@ impl Engine {
             self.end_stream(sid);
         }
 
-        // Gather statistics.
+        // Gather statistics (folding any batched shared-pass deltas first).
+        if let Some(sp) = self.shared.as_mut() {
+            sp.flush_stats(&mut self.lftas);
+        }
         for h in &self.lftas {
             self.stats.lfta.insert(h.lfta.name.clone(), h.lfta.stats);
             if let Some(dm) = h.lfta.dm_stats() {

@@ -187,6 +187,19 @@ pub struct Gigascope {
     /// — both produce byte-identical output to the columnar path. The
     /// synchronous engine is always row-based.
     pub columnar: bool,
+    /// Cross-query shared prefilter. When on (the default), both engines
+    /// parse each packet once, evaluate every *distinct* BPF program,
+    /// protocol match, and predicate atom across all registered LFTAs
+    /// once, and dispatch each LFTA off the memoized verdicts via a
+    /// precomputed required-atom bitmask — per-packet cost grows with the
+    /// number of distinct predicates, not the number of queries. `false`
+    /// restores fully private per-LFTA evaluation. Both produce identical
+    /// outputs and per-LFTA counters; the shared pass is rebuilt from the
+    /// registered query set at the start of every run, so
+    /// [`add_program`](Gigascope::add_program) /
+    /// [`remove_program`](Gigascope::remove_program) take effect on the
+    /// next run.
+    pub shared_prefilter: bool,
 }
 
 impl Default for Gigascope {
@@ -214,6 +227,7 @@ impl Gigascope {
             watchdog: None,
             faults: None,
             columnar: true,
+            shared_prefilter: true,
         }
     }
 
@@ -309,6 +323,48 @@ impl Gigascope {
         Ok(infos)
     }
 
+    /// Unregister a deployed query and its streams. Fails if any other
+    /// deployed query subscribes to one of its streams (remove dependents
+    /// first). The shared prefilter's atom table and bitmasks are rebuilt
+    /// from the surviving query set at the start of the next run.
+    pub fn remove_program(&mut self, query: &str) -> Result<(), Error> {
+        let idx = self
+            .deployed
+            .iter()
+            .position(|d| d.name == query)
+            .ok_or_else(|| Error::Config(format!("unknown query `{query}`")))?;
+        // Streams this query publishes: its own name plus intermediate
+        // LFTA streams.
+        let mut published: Vec<&str> = vec![&self.deployed[idx].name];
+        for l in &self.deployed[idx].lftas {
+            if l.name != self.deployed[idx].name {
+                published.push(&l.name);
+            }
+        }
+        for (i, other) in self.deployed.iter().enumerate() {
+            if i == idx {
+                continue;
+            }
+            if let Some(h) = &other.hfta {
+                for up in h.upstream_streams() {
+                    if published.contains(&up.as_str()) {
+                        return Err(Error::Config(format!(
+                            "cannot remove `{query}`: query `{}` reads its stream `{up}`",
+                            other.name
+                        )));
+                    }
+                }
+            }
+        }
+        let published: Vec<String> = published.into_iter().map(String::from).collect();
+        for name in &published {
+            self.catalog.remove_stream(name);
+        }
+        self.params.remove(query);
+        self.deployed.remove(idx);
+        Ok(())
+    }
+
     /// Bind query parameters for the next run ("specified at query
     /// instantiation time and ... changed on-the-fly", §3). Parameters are
     /// rebound by calling this again between runs.
@@ -348,6 +404,17 @@ impl Gigascope {
     /// Render the deployed plans of every registered query.
     pub fn explain_all(&self) -> String {
         self.deployed.iter().map(gs_gsql::explain::explain).collect::<Vec<_>>().join("\n")
+    }
+
+    /// Render the shared cross-query prefilter plan: the deduplicated
+    /// atom table and each LFTA's required-atom bitmask assignment.
+    /// `None` when no LFTAs are deployed or the shared prefilter is off.
+    pub fn explain_prefilter(&self) -> Result<Option<String>, Error> {
+        if !self.shared_prefilter {
+            return Ok(None);
+        }
+        let exec = engine::Engine::build_explained(self)?;
+        Ok(exec.describe_prefilter())
     }
 
     /// Run all deployed queries over a time-ordered capture stream,

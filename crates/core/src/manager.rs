@@ -45,6 +45,7 @@ use bytes::Bytes;
 use gs_packet::CapPacket;
 use gs_runtime::batch::{ColBuilder, ColumnBatch};
 use gs_runtime::ops::build::{build_hfta, build_lfta, BuildCtx};
+use gs_runtime::ops::prefilter::{PrefilterCache, SharedPrefilter};
 use gs_runtime::punct::{HeartbeatMode, Punct};
 use gs_runtime::stats::{Counter, StatRow, StatSource, StatsRegistry};
 use gs_runtime::tuple::{StreamItem, Tuple};
@@ -962,6 +963,24 @@ where
         registry.register(format!("lfta:{}", lfta.name), lfta.stats_handle());
     }
 
+    // The cross-query shared prefilter: dedup compiled BPF programs, then
+    // build one pass over the final LFTA vector (dispatch is by index).
+    let mut shared = if gs.shared_prefilter && !lftas.is_empty() {
+        let mut cache = PrefilterCache::new();
+        for (lfta, _) in &mut lftas {
+            lfta.intern_prefilter(&mut |p| cache.intern(p));
+        }
+        let mut sp = SharedPrefilter::new();
+        for (lfta, iface) in &lftas {
+            sp.add_lfta(lfta, *iface);
+        }
+        sp.register_stats(&registry);
+        Some(sp)
+    } else {
+        None
+    };
+    let mut shared_outs: Vec<Vec<StreamItem>> = (0..lftas.len()).map(|_| Vec::new()).collect();
+
     // The liveness supervisor, once every queue exists. It watches node
     // and subscription queues for pending work with a frozen dequeue
     // counter and force-closes the wedged ones, so even a stalled
@@ -978,13 +997,28 @@ where
     for pkt in packets {
         n_packets += 1;
         let clock = u64::from(pkt.time_sec());
-        for (i, (lfta, iface)) in lftas.iter_mut().enumerate() {
-            if *iface != pkt.iface {
-                continue;
+        match shared.as_mut() {
+            Some(sp) => {
+                sp.dispatch(&pkt, &mut lftas, &mut shared_outs);
+                // Only the slots whose tail ran can hold output — skip
+                // the rest instead of scanning all N out-vectors.
+                for &i in sp.hit_slots() {
+                    let o = &mut shared_outs[i];
+                    if !o.is_empty() {
+                        lfta_edges[i].extend(o.drain(..));
+                    }
+                }
             }
-            out.clear();
-            lfta.push_packet(&pkt, &mut out);
-            lfta_edges[i].extend(out.drain(..));
+            None => {
+                for (i, (lfta, iface)) in lftas.iter_mut().enumerate() {
+                    if *iface != pkt.iface {
+                        continue;
+                    }
+                    out.clear();
+                    lfta.push_packet(&pkt, &mut out);
+                    lfta_edges[i].extend(out.drain(..));
+                }
+            }
         }
         if let HeartbeatMode::Periodic { interval } = heartbeat {
             if last_hb.is_none_or(|l| clock >= l + interval.max(1)) {
@@ -999,8 +1033,16 @@ where
                     lfta_edges[i].flush_heartbeat();
                 }
                 if stats_enabled && !gs_stats_senders.is_empty() {
+                    // Fold the shared pass's batched per-LFTA deltas in
+                    // before publishing so the snapshot sees exact counts.
+                    if let Some(sp) = shared.as_mut() {
+                        sp.flush_stats(&mut lftas);
+                    }
                     for (lfta, _) in &lftas {
                         lfta.publish_stats();
+                    }
+                    if let Some(sp) = &shared {
+                        sp.publish_stats();
                     }
                     emit_stats(&registry, clock, &gs_stats_senders);
                 }
@@ -1014,8 +1056,14 @@ where
         // Flush the tail batch and close this LFTA's output stream.
         lfta_edges[i].close();
     }
+    if let Some(sp) = shared.as_mut() {
+        sp.flush_stats(&mut lftas);
+    }
     for (lfta, _) in &lftas {
         lfta.publish_stats();
+    }
+    if let Some(sp) = &shared {
+        sp.publish_stats();
     }
     // Final monitoring snapshot at capture end, then close GS_STATS —
     // always, even with stats off: consumers wait on the Close marker.

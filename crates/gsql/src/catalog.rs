@@ -160,6 +160,12 @@ impl Catalog {
         self.streams.get(name)
     }
 
+    /// Unregister a named stream (query removal). Returns whether the
+    /// stream was present.
+    pub fn remove_stream(&mut self, name: &str) -> bool {
+        self.streams.remove(name).is_some()
+    }
+
     /// Register a UDF prototype (replacing any previous one of that name).
     pub fn add_udf(&mut self, sig: UdfSig) {
         self.udfs.insert(sig.name.clone(), sig);

@@ -180,6 +180,141 @@ fn field_load(field: &str, l3: u32) -> Option<FieldLoad> {
     }
 }
 
+/// One atomic conjunct of a query's selection predicate, normalized for
+/// cross-query sharing.
+///
+/// Two queries that filter on the same protocol with equivalent conjuncts
+/// (after parameter substitution and constant-side normalization) produce
+/// atoms with equal `key`s, so the shared prefilter evaluates the conjunct
+/// once per packet and both queries read the same verdict bit.
+#[derive(Debug, Clone)]
+pub struct Atom {
+    /// Canonical identity: protocol name plus the normalized rendering.
+    pub key: String,
+    /// The normalized, parameter-substituted conjunct, over the protocol
+    /// schema's column indices.
+    pub expr: PExpr,
+}
+
+/// Result of [`extract_atoms`]: the shareable atoms plus the conjuncts
+/// that must stay private to the query.
+#[derive(Debug, Clone, Default)]
+pub struct AtomSplit {
+    /// Shareable atomic conjuncts (deduplicated within the query).
+    pub atoms: Vec<Atom>,
+    /// Conjuncts that did not atomize (UDF calls or unbound parameters);
+    /// the query evaluates these itself after dispatch.
+    pub residual: Vec<PExpr>,
+}
+
+/// Split a query's selection conjuncts into shareable atoms and a private
+/// residual.
+///
+/// A conjunct atomizes when it is UDF-free and every parameter it mentions
+/// has a binding (so the substituted expression is a closed function of the
+/// packet). Atomized conjuncts are normalized — parameters replaced by
+/// their literals, top-level `literal cmp column` comparisons mirrored to
+/// `column cmp literal` — and keyed on the protocol name plus a canonical
+/// rendering, so structurally equivalent predicates from different queries
+/// collide into one shared table entry.
+pub fn extract_atoms(
+    protocol: &str,
+    conjuncts: &[PExpr],
+    params: &HashMap<String, Literal>,
+) -> AtomSplit {
+    let mut split = AtomSplit::default();
+    for c in conjuncts {
+        match subst_params(c, params) {
+            Some(e) => {
+                let e = normalize_mirror(e);
+                let mut key = String::new();
+                key.push_str(protocol);
+                key.push(':');
+                canon(&e, &mut key);
+                if !split.atoms.iter().any(|a| a.key == key) {
+                    split.atoms.push(Atom { key, expr: e });
+                }
+            }
+            None => split.residual.push(c.clone()),
+        }
+    }
+    split
+}
+
+/// Replace bound parameters with their literals; `None` when the
+/// expression contains a UDF call or an unbound parameter.
+fn subst_params(e: &PExpr, params: &HashMap<String, Literal>) -> Option<PExpr> {
+    match e {
+        PExpr::Param { name, .. } => params.get(name).cloned().map(PExpr::Lit),
+        PExpr::Lit(_) | PExpr::Col { .. } => Some(e.clone()),
+        PExpr::Unary { op, arg } => {
+            Some(PExpr::Unary { op: *op, arg: Box::new(subst_params(arg, params)?) })
+        }
+        PExpr::Binary { op, left, right, ty } => Some(PExpr::Binary {
+            op: *op,
+            left: Box::new(subst_params(left, params)?),
+            right: Box::new(subst_params(right, params)?),
+            ty: *ty,
+        }),
+        PExpr::Call { .. } => None,
+    }
+}
+
+/// Put the constant on the right of a top-level comparison so `80 =
+/// destPort` and `destPort = 80` share a key.
+fn normalize_mirror(e: PExpr) -> PExpr {
+    if let PExpr::Binary { op, left, right, ty } = &e {
+        if op.is_comparison() && matches!(**left, PExpr::Lit(_)) && !matches!(**right, PExpr::Lit(_))
+        {
+            return PExpr::Binary {
+                op: mirror(*op),
+                left: right.clone(),
+                right: left.clone(),
+                ty: *ty,
+            };
+        }
+    }
+    e
+}
+
+/// Deterministic structural rendering used for atom identity.
+fn canon(e: &PExpr, out: &mut String) {
+    use std::fmt::Write;
+    match e {
+        PExpr::Col { index, .. } => {
+            let _ = write!(out, "#{index}");
+        }
+        PExpr::Lit(l) => {
+            let _ = write!(out, "{l:?}");
+        }
+        PExpr::Param { name, .. } => {
+            let _ = write!(out, "${name}");
+        }
+        PExpr::Unary { op, arg } => {
+            let _ = write!(out, "{op:?}(");
+            canon(arg, out);
+            out.push(')');
+        }
+        PExpr::Binary { op, left, right, .. } => {
+            let _ = write!(out, "{op:?}(");
+            canon(left, out);
+            out.push(',');
+            canon(right, out);
+            out.push(')');
+        }
+        PExpr::Call { udf, args, .. } => {
+            let _ = write!(out, "{udf}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                canon(a, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
 /// Tiny assembler: straight-line tests that each either fall through or
 /// jump to a shared reject label at the end.
 struct Asm {
@@ -426,6 +561,72 @@ mod tests {
         let prog = pd.program.unwrap();
         assert!(prog.accepts(&FrameBuilder::tcp(1, 2, 9, 80).build_raw_ip()));
         assert!(!prog.accepts(&FrameBuilder::tcp(1, 2, 9, 81).build_raw_ip()));
+    }
+
+    #[test]
+    fn atoms_dedupe_and_mirror() {
+        // `destPort = 80` and `80 = destPort` share one key.
+        let a = cmp(col("destPort"), BinOp::Eq, 80);
+        let b = PExpr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(PExpr::Lit(Literal::UInt(80))),
+            right: Box::new(col("destPort")),
+            ty: DataType::Bool,
+        };
+        let s1 = extract_atoms("tcp", std::slice::from_ref(&a), &HashMap::new());
+        let s2 = extract_atoms("tcp", std::slice::from_ref(&b), &HashMap::new());
+        assert_eq!(s1.atoms.len(), 1);
+        assert_eq!(s1.atoms[0].key, s2.atoms[0].key);
+        assert!(s1.residual.is_empty() && s2.residual.is_empty());
+        // Mirroring an ordering comparison flips the operator.
+        let c = PExpr::Binary {
+            op: BinOp::Lt,
+            left: Box::new(PExpr::Lit(Literal::UInt(5))),
+            right: Box::new(col("ttl")),
+            ty: DataType::Bool,
+        };
+        let d = cmp(col("ttl"), BinOp::Gt, 5);
+        let s3 = extract_atoms("tcp", std::slice::from_ref(&c), &HashMap::new());
+        let s4 = extract_atoms("tcp", std::slice::from_ref(&d), &HashMap::new());
+        assert_eq!(s3.atoms[0].key, s4.atoms[0].key);
+        // Different protocols never share, even with identical expressions.
+        let s5 = extract_atoms("udp", std::slice::from_ref(&a), &HashMap::new());
+        assert_ne!(s1.atoms[0].key, s5.atoms[0].key);
+    }
+
+    #[test]
+    fn atoms_substitute_bound_params_and_reject_unbound() {
+        let conj = PExpr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(col("destPort")),
+            right: Box::new(PExpr::Param { name: "port".into(), ty: DataType::UInt }),
+            ty: DataType::Bool,
+        };
+        let mut params = HashMap::new();
+        params.insert("port".to_string(), Literal::UInt(443));
+        let bound = extract_atoms("tcp", std::slice::from_ref(&conj), &params);
+        assert_eq!(bound.atoms.len(), 1);
+        // Bound param keys match the equivalent literal form.
+        let lit = cmp(col("destPort"), BinOp::Eq, 443);
+        let lit_split = extract_atoms("tcp", std::slice::from_ref(&lit), &HashMap::new());
+        assert_eq!(bound.atoms[0].key, lit_split.atoms[0].key);
+        // Unbound param -> residual, not an atom.
+        let unbound = extract_atoms("tcp", std::slice::from_ref(&conj), &HashMap::new());
+        assert!(unbound.atoms.is_empty());
+        assert_eq!(unbound.residual.len(), 1);
+    }
+
+    #[test]
+    fn udf_calls_stay_residual() {
+        let call = PExpr::Call {
+            udf: "str_regex_match".into(),
+            args: vec![col("destPort")],
+            ret: DataType::Bool,
+            partial: false,
+        };
+        let s = extract_atoms("tcp", std::slice::from_ref(&call), &HashMap::new());
+        assert!(s.atoms.is_empty());
+        assert_eq!(s.residual.len(), 1);
     }
 
     #[test]

@@ -226,6 +226,213 @@ impl BpfProgram {
     pub fn accepts(&self, pkt: &[u8]) -> bool {
         self.run(pkt) != 0
     }
+
+    /// Concatenate several verified programs into one that accepts (with
+    /// value `accept`) iff ANY member accepts, and rejects only when every
+    /// member rejects.
+    ///
+    /// Members run in order: a non-last member's reject (`RetImm(0)`)
+    /// becomes a jump to the start of the next member, and every accept
+    /// becomes `RetImm(accept)`; the last member keeps its rejects. This is
+    /// the merged cross-query capture-point filter — the union rejects a
+    /// packet exactly when every per-LFTA prefilter would have, so the
+    /// fast-reject path can charge `prefiltered` to every query at once.
+    ///
+    /// Returns `None` when `members` is empty, when a member uses `RetA`
+    /// (its accept/reject split is data-dependent and cannot be rewritten
+    /// statically), or when the concatenation would exceed [`MAX_INSNS`].
+    ///
+    /// Classic-BPF caveat: an out-of-bounds load rejects the whole run, so
+    /// a packet too short for an early member's loads is rejected even if a
+    /// later member would accept it. The union is exact on packets long
+    /// enough for every member's loads — the same behavior a real NIC BPF
+    /// engine gives a concatenated filter. In-process dispatch therefore
+    /// never drops through this program; it memoizes each member's own
+    /// verdict instead (`gs_runtime::ops::prefilter`).
+    pub fn union(members: &[&BpfProgram], accept: u32) -> Option<BpfProgram> {
+        debug_assert!(accept != 0, "union accept value must be nonzero");
+        if members.is_empty() {
+            return None;
+        }
+        let total: usize = members.iter().map(|p| p.insns.len()).sum();
+        if total > MAX_INSNS {
+            return None;
+        }
+        if members.iter().any(|p| p.insns.iter().any(|i| matches!(i, Insn::RetA))) {
+            return None;
+        }
+        let mut out = Vec::with_capacity(total);
+        let last = members.len() - 1;
+        let mut start = 0usize;
+        for (mi, prog) in members.iter().enumerate() {
+            let next_start = start + prog.insns.len();
+            for (pc, insn) in prog.insns.iter().enumerate() {
+                let abs = start + pc;
+                out.push(match *insn {
+                    Insn::RetImm(0) if mi != last => Insn::Ja((next_start - abs - 1) as u32),
+                    Insn::RetImm(0) => Insn::RetImm(0),
+                    Insn::RetImm(_) => Insn::RetImm(accept),
+                    other => other,
+                });
+            }
+            start = next_start;
+        }
+        BpfProgram::new(out).ok()
+    }
+}
+
+/// Marker bit ORed into the accumulator by a family probe so an accept
+/// return is distinguishable from the reject value 0 even when `A == 0`.
+/// Sound because family prefixes end in a byte/halfword load (`A <=
+/// 0xffff`).
+const PROBE_MARK: u32 = 0x0001_0000;
+
+/// The recovered final comparison of a factored family member: the
+/// member accepts iff `A cmp k` (xor `invert`) where `A` is the probed
+/// accumulator value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailTest {
+    cmp: TailCmp,
+    k: u32,
+    invert: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TailCmp {
+    Eq,
+    Gt,
+    Ge,
+}
+
+impl TailTest {
+    /// The member's verdict given the probed comparison value.
+    #[inline]
+    pub fn verdict(&self, a: u32) -> bool {
+        let hit = match self.cmp {
+            TailCmp::Eq => a == self.k,
+            TailCmp::Gt => a > self.k,
+            TailCmp::Ge => a >= self.k,
+        };
+        hit != self.invert
+    }
+}
+
+/// A family of programs identical except for the constant of their final
+/// comparison — the shape `gs-gsql`'s prefilter compiler emits for
+/// `field cmp const` predicates (`... load; Jcmp(k); RetImm(acc);
+/// RetImm(0)`). The shared prefix runs once per packet via a probe
+/// program; each member's verdict is then one host-side integer compare,
+/// so N same-shape filters cost one interpretation instead of N.
+pub struct JeqFamily {
+    probe: BpfProgram,
+    tests: Vec<TailTest>,
+}
+
+impl JeqFamily {
+    /// Partition `progs` into factored families (with member indices into
+    /// `progs`, parallel to each family's [`tests`](JeqFamily::tests))
+    /// and the left-over indices that must be interpreted individually.
+    pub fn factor_all(progs: &[&BpfProgram]) -> (Vec<(JeqFamily, Vec<usize>)>, Vec<usize>) {
+        let mut groups: Vec<(&[Insn], Vec<(usize, TailTest)>)> = Vec::new();
+        let mut loose = Vec::new();
+        for (i, p) in progs.iter().enumerate() {
+            match family_shape(p.insns()) {
+                Some((prefix, test)) => match groups.iter_mut().find(|(g, _)| *g == prefix) {
+                    Some((_, members)) => members.push((i, test)),
+                    None => groups.push((prefix, vec![(i, test)])),
+                },
+                None => loose.push(i),
+            }
+        }
+        let mut families = Vec::new();
+        for (prefix, members) in groups {
+            if members.len() < 2 {
+                // A family of one saves nothing over direct interpretation.
+                loose.extend(members.iter().map(|&(i, _)| i));
+                continue;
+            }
+            let mut insns = prefix.to_vec();
+            insns.push(Insn::Or(PROBE_MARK));
+            insns.push(Insn::RetA);
+            insns.push(Insn::RetImm(0));
+            let Ok(probe) = BpfProgram::new(insns) else {
+                loose.extend(members.iter().map(|&(i, _)| i));
+                continue;
+            };
+            families.push((
+                JeqFamily { probe, tests: members.iter().map(|&(_, t)| t).collect() },
+                members.iter().map(|&(i, _)| i).collect(),
+            ));
+        }
+        (families, loose)
+    }
+
+    /// Run the shared prefix over `pkt`. `None` means the prefix rejected
+    /// (every member rejects); `Some(a)` is the accumulator value each
+    /// member's [`TailTest`] compares against.
+    #[inline]
+    pub fn probe(&self, pkt: &[u8]) -> Option<u32> {
+        match self.probe.run(pkt) {
+            0 => None,
+            r => Some(r & 0xffff),
+        }
+    }
+
+    /// Per-member tail comparisons, parallel to the member index list
+    /// returned by [`factor_all`](JeqFamily::factor_all).
+    pub fn tests(&self) -> &[TailTest] {
+        &self.tests
+    }
+}
+
+/// Match `[prefix.., Jcmp(k, 0, 1) | Jcmp(k, 1, 0), RetImm(acc != 0),
+/// RetImm(0)]` under the conditions that make the probe rewrite exact:
+/// the prefix ends in a byte/halfword load (so `A <= 0xffff` at the
+/// comparison and [`PROBE_MARK`] is unambiguous), never returns accept
+/// itself, and no prefix jump lands on the comparison or the accept (a
+/// jump to the final reject is fine — the probe keeps that insn).
+fn family_shape(insns: &[Insn]) -> Option<(&[Insn], TailTest)> {
+    let n = insns.len();
+    if n < 4 {
+        return None;
+    }
+    let (cmp, k, invert) = match insns[n - 3] {
+        Insn::Jeq(k, 0, 1) => (TailCmp::Eq, k, false),
+        Insn::Jeq(k, 1, 0) => (TailCmp::Eq, k, true),
+        Insn::Jgt(k, 0, 1) => (TailCmp::Gt, k, false),
+        Insn::Jgt(k, 1, 0) => (TailCmp::Gt, k, true),
+        Insn::Jge(k, 0, 1) => (TailCmp::Ge, k, false),
+        Insn::Jge(k, 1, 0) => (TailCmp::Ge, k, true),
+        _ => return None,
+    };
+    match insns[n - 2] {
+        Insn::RetImm(a) if a != 0 => {}
+        _ => return None,
+    }
+    if insns[n - 1] != Insn::RetImm(0) {
+        return None;
+    }
+    let prefix = &insns[..n - 3];
+    match prefix.last()? {
+        Insn::LdB(_) | Insn::LdH(_) | Insn::LdIndB(_) | Insn::LdIndH(_) => {}
+        _ => return None,
+    }
+    for (pc, insn) in prefix.iter().enumerate() {
+        let targets: [usize; 2] = match *insn {
+            Insn::Jeq(_, jt, jf)
+            | Insn::Jgt(_, jt, jf)
+            | Insn::Jge(_, jt, jf)
+            | Insn::Jset(_, jt, jf) => [pc + 1 + jt as usize, pc + 1 + jf as usize],
+            Insn::Ja(j) => [pc + 1 + j as usize; 2],
+            Insn::RetA => return None,
+            Insn::RetImm(v) if v != 0 => return None,
+            _ => continue,
+        };
+        if targets.iter().any(|&t| t == n - 2 || t == n - 3) {
+            return None;
+        }
+    }
+    Some((prefix, TailTest { cmp, k, invert }))
 }
 
 #[inline]
@@ -372,6 +579,110 @@ mod tests {
     #[test]
     fn accept_all_returns_snaplen() {
         assert_eq!(accept_all(96).run(&[1, 2, 3]), 96);
+    }
+
+    #[test]
+    fn union_accepts_iff_any_member_accepts() {
+        let f80 = tcp_dst_port_filter(80);
+        let f25 = tcp_dst_port_filter(25);
+        let u = BpfProgram::union(&[&f80, &f25], u32::MAX).unwrap();
+        let p80 = FrameBuilder::tcp(1, 2, 999, 80).payload(b"x").build_ethernet();
+        let p25 = FrameBuilder::tcp(1, 2, 999, 25).payload(b"x").build_ethernet();
+        let p53 = FrameBuilder::tcp(1, 2, 999, 53).payload(b"x").build_ethernet();
+        assert!(u.accepts(&p80));
+        assert!(u.accepts(&p25));
+        assert!(!u.accepts(&p53));
+        // Equivalence over a spread of frames, including non-TCP and short ones.
+        let udp = FrameBuilder::udp(1, 2, 999, 80).payload(b"x").build_ethernet();
+        for pkt in [&p80[..], &p25, &p53, &udp, &[0u8; 6], &[]] {
+            assert_eq!(u.accepts(pkt), f80.accepts(pkt) || f25.accepts(pkt));
+        }
+    }
+
+    #[test]
+    fn union_returns_uniform_accept_value() {
+        let f80 = tcp_dst_port_filter(80);
+        let u = BpfProgram::union(&[&f80, &accept_all(60)], 96).unwrap();
+        let p80 = FrameBuilder::tcp(1, 2, 999, 80).payload(b"x").build_ethernet();
+        assert_eq!(u.run(&p80), 96);
+        // The accept-all member catches packets the port filter rejects...
+        let p25 = FrameBuilder::tcp(1, 2, 999, 25).payload(b"x").build_ethernet();
+        assert_eq!(u.run(&p25), 96);
+        // ...but a packet too short for the first member's loads hits the
+        // classic-BPF out-of-bounds reject before reaching it.
+        assert_eq!(u.run(&[0u8; 6]), 0);
+    }
+
+    #[test]
+    fn union_rejects_ret_a_and_empty() {
+        let ra = BpfProgram::new(vec![Insn::LdImm(1), Insn::RetA]).unwrap();
+        assert!(BpfProgram::union(&[&ra], 1).is_none());
+        assert!(BpfProgram::union(&[], 1).is_none());
+    }
+
+    #[test]
+    fn union_of_single_program_preserves_verdicts() {
+        let f = tcp_dst_port_filter(80);
+        let u = BpfProgram::union(&[&f], u32::MAX).unwrap();
+        let yes = FrameBuilder::tcp(1, 2, 999, 80).payload(b"x").build_ethernet();
+        let no = FrameBuilder::tcp(1, 2, 999, 81).payload(b"x").build_ethernet();
+        assert!(u.accepts(&yes) && !u.accepts(&no));
+    }
+
+    /// A corpus of frames exercising every branch of the port filters:
+    /// matching/near-miss TCP, UDP, fragments, garbage, and empty.
+    fn frame_corpus() -> Vec<Vec<u8>> {
+        let mut c: Vec<Vec<u8>> = [80u16, 443, 25, 53, 8080, 0, 65535]
+            .iter()
+            .map(|&p| FrameBuilder::tcp(1, 2, 999, p).payload(b"x").build_ethernet().to_vec())
+            .collect();
+        c.push(FrameBuilder::udp(1, 2, 999, 80).payload(b"x").build_ethernet().to_vec());
+        c.push(
+            FrameBuilder::tcp(1, 2, 999, 80)
+                .payload(&[0u8; 32])
+                .fragment(4, false)
+                .build_ethernet()
+                .to_vec(),
+        );
+        c.push(vec![0u8; 6]);
+        c.push(Vec::new());
+        c
+    }
+
+    #[test]
+    fn family_factors_same_shape_port_filters() {
+        let progs = [tcp_dst_port_filter(80), tcp_dst_port_filter(443), tcp_dst_port_filter(25)];
+        let refs: Vec<&BpfProgram> = progs.iter().collect();
+        let (families, loose) = JeqFamily::factor_all(&refs);
+        assert_eq!(families.len(), 1);
+        assert!(loose.is_empty());
+        let (fam, members) = &families[0];
+        assert_eq!(members, &[0, 1, 2]);
+        for pkt in frame_corpus() {
+            let probed = fam.probe(&pkt);
+            for (t, &mi) in fam.tests().iter().zip(members) {
+                let fast = probed.is_some_and(|a| t.verdict(a));
+                assert_eq!(
+                    fast,
+                    progs[mi].accepts(&pkt),
+                    "member {mi} diverged on {} bytes",
+                    pkt.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn family_leaves_foreign_shapes_loose() {
+        let port = tcp_dst_port_filter(80);
+        let all = accept_all(96);
+        let ra = BpfProgram::new(vec![Insn::LdImm(1), Insn::RetA]).unwrap();
+        let refs: Vec<&BpfProgram> = vec![&port, &all, &ra];
+        let (families, mut loose) = JeqFamily::factor_all(&refs);
+        // One port filter alone is not worth a probe; everything is loose.
+        assert!(families.is_empty());
+        loose.sort_unstable();
+        assert_eq!(loose, vec![0, 1, 2]);
     }
 
     #[test]

@@ -38,6 +38,18 @@ impl<I: Iterator<Item = CapPacket>> CapturePath<I> {
         self
     }
 
+    /// Install the merged cross-query prefilter: the union of every
+    /// registered query's program, so the capture point keeps a packet iff
+    /// at least one query could still want it. When the union cannot be
+    /// built (see [`BpfProgram::union`]) no filter is installed — the
+    /// capture point then passes everything, which is always safe.
+    pub fn with_filter_union(self, members: &[&BpfProgram]) -> Self {
+        match BpfProgram::union(members, u32::MAX) {
+            Some(u) => self.with_filter(u),
+            None => self,
+        }
+    }
+
     /// Packets seen on the wire so far.
     pub fn seen(&self) -> u64 {
         self.seen
@@ -105,6 +117,18 @@ mod tests {
         assert_eq!(n, 5);
         assert_eq!(path.seen(), 10);
         assert_eq!(path.passed(), 5);
+    }
+
+    #[test]
+    fn filter_union_passes_any_member_match() {
+        let f80 = tcp_dst_port_filter(80);
+        let f25 = tcp_dst_port_filter(25);
+        let path = CapturePath::new(pkts().into_iter()).with_filter_union(&[&f80, &f25]);
+        // Every test packet is port 80 or 25, so the union keeps all of them.
+        assert_eq!(path.count(), 10);
+        let f53 = tcp_dst_port_filter(53);
+        let path = CapturePath::new(pkts().into_iter()).with_filter_union(&[&f80, &f53]);
+        assert_eq!(path.count(), 5);
     }
 
     #[test]

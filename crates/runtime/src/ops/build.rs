@@ -11,20 +11,21 @@ use crate::expr::Program;
 use crate::ops::agg::{AggCore, AggregateOp, DirectMappedAggregator, GroupAggregator};
 use crate::punct::Punct;
 use crate::ops::join::{EmitMode, JoinConfig, JoinOp};
-use crate::ops::lfta::{Lfta, LftaKind};
+use crate::ops::lfta::{Lfta, LftaKind, SharedSplit};
 use crate::ops::merge::MergeOp;
 use crate::ops::select::{FilterOp, SelectProject};
 use crate::ops::{cascade, cascade_batch, cascade_finish, Operator};
 use crate::params::ParamBindings;
 use crate::stats::StatsRegistry;
 use crate::tuple::StreamItem;
-use crate::udf::{HandleResolver, UdfRegistry};
+use crate::udf::{FileStore, HandleResolver, UdfRegistry};
 use crate::RuntimeError;
 use gs_gsql::ast::BinOp;
 use gs_gsql::catalog::Catalog;
 use gs_gsql::ordering::OrderProp;
 use gs_gsql::plan::{Literal, PExpr, Plan, Schema};
 use gs_gsql::split::LftaSpec;
+use std::sync::Arc;
 
 /// Everything needed to instantiate compiled queries.
 pub struct BuildCtx<'a> {
@@ -158,6 +159,39 @@ pub fn build_lfta(spec: &LftaSpec, ctx: &BuildCtx<'_>) -> Result<Lfta, RuntimeEr
         None => None,
     };
 
+    // Predicate split for the shared cross-query prefilter: conjuncts
+    // that canonicalize to parameter-free atoms are evaluated once per
+    // packet across all queries; whatever cannot be shared (UDF calls,
+    // unbound parameters, atoms that fail to compile standalone) stays in
+    // a per-LFTA residual program.
+    let shared_split = match filter_pred {
+        Some(pred) => {
+            let conjuncts = pred.conjuncts_owned();
+            let split =
+                gs_gsql::pushdown::extract_atoms(protocol, &conjuncts, &ctx.params.as_literals());
+            let mut atoms = Vec::new();
+            let mut residual_exprs = split.residual;
+            let udfs = UdfRegistry::with_builtins();
+            let files = FileStore::new();
+            for atom in split.atoms {
+                // Sharing requires the atom to compile in isolation; on
+                // failure keep the conjunct in the residual (the original
+                // expression, with parameters, which `ctx.prog` can bind).
+                if Program::compile(&atom.expr, &ParamBindings::new(), &udfs, &files).is_ok() {
+                    atoms.push(atom);
+                } else {
+                    residual_exprs.push(atom.expr);
+                }
+            }
+            let residual = match and_fold_pexpr(residual_exprs) {
+                Some(e) => Some(ctx.prog(&e)?),
+                None => None,
+            };
+            Some(SharedSplit { atoms, residual })
+        }
+        None => None,
+    };
+
     let (kind, punct_src) = if let Some((group, aggs, flush_idx, schema)) = aggregate {
         let (core, punct_in) = build_agg_core(ctx, group, aggs, flush_idx, schema)?;
         let punct_src = match (flush_idx, punct_in) {
@@ -196,12 +230,15 @@ pub fn build_lfta(spec: &LftaSpec, ctx: &BuildCtx<'_>) -> Result<Lfta, RuntimeEr
     let mut lfta = Lfta::new(
         spec.name.clone(),
         proto_def,
-        prefilter,
+        prefilter.map(Arc::new),
         spec.snaplen,
         filter,
         kind,
         punct_src,
     );
+    if let Some(split) = shared_split {
+        lfta.set_shared_split(split);
+    }
     if let Some(p) = spec.sample {
         lfta.set_sample(p);
     }

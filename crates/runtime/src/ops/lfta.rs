@@ -20,6 +20,7 @@ use crate::punct::Punct;
 use crate::stats::{Counter, StatSource};
 use crate::tuple::{StreamItem, Tuple};
 use crate::value::Value;
+use gs_gsql::pushdown::Atom;
 use gs_nic::bpf::BpfProgram;
 use gs_packet::interp::ProtocolDef;
 use gs_packet::{CapPacket, PacketView};
@@ -87,14 +88,32 @@ impl StatSource for LftaCounters {
     }
 }
 
+/// The split of an LFTA's selection predicate for cross-query sharing:
+/// the shareable atoms (evaluated centrally, once per packet across all
+/// queries) and the private residual (evaluated by this LFTA after
+/// dispatch).
+pub struct SharedSplit {
+    /// Shareable atomic conjuncts, keyed for cross-query deduplication.
+    pub atoms: Vec<Atom>,
+    /// AND-fold of the non-shareable conjuncts; `None` when every
+    /// conjunct atomized.
+    pub residual: Option<Program>,
+}
+
 /// A compiled, instantiated LFTA.
 pub struct Lfta {
     /// Registered output stream name.
     pub name: String,
     protocol: &'static ProtocolDef,
-    prefilter: Option<BpfProgram>,
+    /// Compiled BPF prefilter, shared (`Arc`) so queries with identical
+    /// programs reference one compilation.
+    prefilter: Option<Arc<BpfProgram>>,
     snaplen: Option<usize>,
     filter: Option<Program>,
+    /// Predicate split for the shared prefilter; `None` when the build
+    /// did not compute one (the full `filter` is then evaluated after
+    /// shared dispatch, which is always correct).
+    shared_split: Option<SharedSplit>,
     kind: LftaKind,
     /// Punctuation source: `(output column, scan field, divisor)` — the
     /// ordered output column equals `field / divisor` of the packet.
@@ -114,7 +133,7 @@ impl Lfta {
     pub fn new(
         name: String,
         protocol: &'static ProtocolDef,
-        prefilter: Option<BpfProgram>,
+        prefilter: Option<Arc<BpfProgram>>,
         snaplen: Option<usize>,
         filter: Option<Program>,
         kind: LftaKind,
@@ -129,6 +148,7 @@ impl Lfta {
             prefilter,
             snaplen,
             filter,
+            shared_split: None,
             kind,
             punct_src,
             sample_threshold: u64::MAX,
@@ -168,6 +188,14 @@ impl Lfta {
         self.sample_threshold = if p >= 1.0 { u64::MAX } else { (p * u64::MAX as f64) as u64 };
     }
 
+    /// Whether analyst-requested sampling is active. Sampled LFTAs need
+    /// the per-packet admission hash; unsampled ones can have their
+    /// admission counted in bulk by the shared dispatcher.
+    #[inline]
+    pub fn sampling_enabled(&self) -> bool {
+        self.sample_threshold != u64::MAX
+    }
+
     #[inline]
     fn sampled_in(&self, cap: &CapPacket) -> bool {
         if self.sample_threshold == u64::MAX {
@@ -182,9 +210,7 @@ impl Lfta {
 
     /// Process one captured packet, appending output items.
     pub fn push_packet(&mut self, cap: &CapPacket, out: &mut Vec<StreamItem>) {
-        self.stats.packets_in += 1;
-        if !self.sampled_in(cap) {
-            self.stats.sampled_out += 1;
+        if !self.admit(cap) {
             return;
         }
         if let Some(f) = &self.prefilter {
@@ -193,6 +219,48 @@ impl Lfta {
                 return;
             }
         }
+        self.push_accepted(cap, out);
+    }
+
+    /// Shared-dispatch entry: account a packet offered to this LFTA and
+    /// run the sampling decision. Returns `false` when the packet is
+    /// sampled out (already counted).
+    #[inline]
+    pub fn admit(&mut self, cap: &CapPacket) -> bool {
+        self.stats.packets_in += 1;
+        if !self.sampled_in(cap) {
+            self.stats.sampled_out += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Shared-dispatch entry: the central pass ran this LFTA's BPF
+    /// program and it rejected the packet.
+    #[inline]
+    pub fn note_prefiltered(&mut self) {
+        self.stats.prefiltered += 1;
+    }
+
+    /// Shared-dispatch entry: the central protocol match rejected the
+    /// packet.
+    #[inline]
+    pub fn note_not_protocol(&mut self) {
+        self.stats.not_protocol += 1;
+    }
+
+    /// Shared-dispatch entry: a required shared atom was false.
+    #[inline]
+    pub fn note_filtered(&mut self) {
+        self.stats.filtered += 1;
+    }
+
+    /// Run the private stages after admission and prefiltering: snap,
+    /// parse, protocol match, full predicate, then the projection or
+    /// pre-aggregation tail. The shared dispatcher falls back to this
+    /// when its full-packet parse cannot stand in for this LFTA's
+    /// snapped parse.
+    pub fn push_accepted(&mut self, cap: &CapPacket, out: &mut Vec<StreamItem>) {
         let snapped;
         let cap = match self.snaplen {
             Some(s) if cap.data.len() > s => {
@@ -213,12 +281,37 @@ impl Lfta {
                 return;
             }
         }
+        self.run_tail(&fields, out);
+    }
+
+    /// Shared-dispatch tail: sampling, prefilter, protocol match and the
+    /// shared atoms have already been applied and accounted centrally;
+    /// evaluate the private residual predicate over the shared parse and
+    /// run the projection/aggregation stage.
+    pub fn push_matched(&mut self, view: &PacketView, out: &mut Vec<StreamItem>) {
+        let fields = PacketFields::new(view, self.protocol.fields);
+        let residual = match &self.shared_split {
+            Some(split) => split.residual.as_ref(),
+            // No split computed: no atoms were shared for this LFTA, so
+            // the full predicate is the residual.
+            None => self.filter.as_ref(),
+        };
+        if let Some(f) = residual {
+            if !f.eval_bool(&fields, &mut self.scratch) {
+                self.stats.filtered += 1;
+                return;
+            }
+        }
+        self.run_tail(&fields, out);
+    }
+
+    fn run_tail(&mut self, fields: &PacketFields<'_>, out: &mut Vec<StreamItem>) {
         let before = out.len();
         match &mut self.kind {
             LftaKind::Project(progs) => {
                 let mut vals = Vec::with_capacity(progs.len());
                 for p in progs.iter() {
-                    match p.eval(&fields, &mut self.scratch) {
+                    match p.eval(fields, &mut self.scratch) {
                         Some(v) => vals.push(v),
                         None => {
                             self.stats.not_protocol += 1;
@@ -228,7 +321,7 @@ impl Lfta {
                 }
                 out.push(StreamItem::Tuple(Tuple::new(vals)));
             }
-            LftaKind::Aggregate(dm) => dm.update(&fields, out),
+            LftaKind::Aggregate(dm) => dm.update(fields, out),
         }
         self.stats.tuples_out += (out.len() - before) as u64;
     }
@@ -268,6 +361,41 @@ impl Lfta {
     /// The protocol this LFTA interprets.
     pub fn protocol_name(&self) -> &'static str {
         self.protocol.name
+    }
+
+    /// The protocol definition this LFTA interprets.
+    pub fn protocol_def(&self) -> &'static ProtocolDef {
+        self.protocol
+    }
+
+    /// The compiled BPF prefilter, when one exists.
+    pub fn prefilter_program(&self) -> Option<&Arc<BpfProgram>> {
+        self.prefilter.as_ref()
+    }
+
+    /// Re-point the prefilter at a canonical shared handle — `intern`
+    /// maps a program to its deduplicated `Arc` (see
+    /// `ops::prefilter::PrefilterCache`), so queries with structurally
+    /// equal programs share one compilation.
+    pub fn intern_prefilter(&mut self, intern: &mut dyn FnMut(Arc<BpfProgram>) -> Arc<BpfProgram>) {
+        if let Some(p) = self.prefilter.take() {
+            self.prefilter = Some(intern(p));
+        }
+    }
+
+    /// The NIC snap length, when the query allows truncation.
+    pub fn snaplen(&self) -> Option<usize> {
+        self.snaplen
+    }
+
+    /// The predicate split computed for the shared prefilter, if any.
+    pub fn shared_split(&self) -> Option<&SharedSplit> {
+        self.shared_split.as_ref()
+    }
+
+    /// Install the predicate split for shared dispatch (build time only).
+    pub fn set_shared_split(&mut self, split: SharedSplit) {
+        self.shared_split = Some(split);
     }
 }
 
@@ -341,7 +469,7 @@ mod tests {
         let mut lfta = Lfta::new(
             "t".into(),
             tcp(),
-            Some(gs_nic::bpf::tcp_dst_port_filter(80)),
+            Some(Arc::new(gs_nic::bpf::tcp_dst_port_filter(80))),
             None,
             None,
             LftaKind::Project(vec![prog(&field("destPort"))]),

@@ -12,6 +12,7 @@ pub mod defrag;
 pub mod join;
 pub mod lfta;
 pub mod merge;
+pub mod prefilter;
 pub mod router;
 pub mod select;
 

@@ -1,0 +1,232 @@
+//! Property: the cross-query shared prefilter is a pure execution
+//! strategy — for every random multi-query mix, engine, parallelism and
+//! batch size, a shared-on run produces exactly the same outputs,
+//! per-query LFTA counters, and health verdicts as a shared-off run.
+//!
+//! The shared pass replays each LFTA's private decision sequence
+//! (admission → BPF prefilter → protocol → predicate) off memoized
+//! per-distinct verdicts, so equality must hold to the counter, not just
+//! the output multiset.
+
+use gigascope::manager::run_threaded;
+use gigascope::{FaultPlan, Gigascope, QueryHealth, Tuple};
+use gs_packet::builder::FrameBuilder;
+use gs_packet::capture::{CapPacket, LinkType};
+use gs_tests::prop::{check, Gen};
+
+/// Random query pool. Overlapping ports across templates force atom
+/// sharing; the UDP and no-filter templates exercise distinct protocols
+/// and empty masks; the sampled template exercises admission ordering.
+fn gen_program(g: &mut Gen) -> (String, Vec<String>) {
+    let n = g.usize(2..6);
+    let mut program = String::new();
+    let mut names = Vec::new();
+    for i in 0..n {
+        let name = format!("q{i}");
+        let body = match g.usize(0..6) {
+            0 => format!("Select time, destPort From eth0.tcp Where destPort = {}", 80),
+            1 => format!(
+                "Select time From eth0.tcp Where destPort = {} and srcPort = {}",
+                *g.choice(&[80u16, 443]),
+                *g.choice(&[1024u16, 2048])
+            ),
+            2 => "Select time, len From eth0.udp Where destPort = 53".to_string(),
+            3 => "Select time, len From eth0.tcp".to_string(),
+            4 => format!(
+                "Select time, count(*) From eth0.tcp Where destPort = {} Group By time",
+                *g.choice(&[80u16, 443, 25])
+            ),
+            _ => format!(
+                "Select time, srcIP, count(*) From eth0.ip Where Protocol = {} \
+                 Group By time, srcIP",
+                *g.choice(&[6u8, 17])
+            ),
+        };
+        program.push_str(&format!("DEFINE {{ query_name {name}; }} {body};\n"));
+        names.push(name);
+    }
+    (program, names)
+}
+
+/// A time-ordered mixed trace: TCP on the shared ports, UDP, and odd
+/// near-miss ports, with payload sizes crossing the snap boundary.
+fn trace(g: &mut Gen) -> Vec<CapPacket> {
+    let n = g.usize(30..300);
+    let mut ts_ns = 0u64;
+    (0..n)
+        .map(|i| {
+            ts_ns += g.u64(0..2_500_000_000);
+            let payload = vec![0u8; g.usize(0..180)];
+            let src = 0x0a00_0000 + (i as u32 % 7);
+            let f = if g.usize(0..4) == 0 {
+                FrameBuilder::udp(src, 0xc0a8_0001, 5353, *g.choice(&[53u16, 5060]))
+                    .payload(&payload)
+                    .build_ethernet()
+            } else {
+                let dport = *g.choice(&[80u16, 80, 443, 25, 1024, 9999]);
+                FrameBuilder::tcp(src, 0xc0a8_0001, *g.choice(&[1024u16, 2048, 3000]), dport)
+                    .payload(&payload)
+                    .build_ethernet()
+            };
+            CapPacket::full(ts_ns, 0, LinkType::Ethernet, f)
+        })
+        .collect()
+}
+
+fn system(program: &str, shared: bool, parallelism: usize, batch: usize) -> Gigascope {
+    let mut gs = Gigascope::new();
+    gs.add_interface("eth0", 0, LinkType::Ethernet);
+    gs.shared_prefilter = shared;
+    gs.parallelism = parallelism;
+    gs.batch_size = batch;
+    gs.add_program(program).unwrap();
+    gs
+}
+
+/// Lossless multiset normalization: every full row, sorted. Group-by
+/// queries drain `HashMap` groups on flush, so emission order *within* a
+/// time bucket is per-instance (true of two shared-off runs too) — the
+/// multiset is the deterministic contract, and the per-LFTA counter
+/// equality below pins the execution itself.
+fn norm(tuples: &[Tuple]) -> Vec<String> {
+    let mut rows: Vec<String> = tuples.iter().map(|t| format!("{t:?}")).collect();
+    rows.sort();
+    rows
+}
+
+/// Synchronous engine: shared-on must be *byte-identical* to shared-off —
+/// same tuples in the same order, same per-LFTA counters, clean health.
+#[test]
+fn shared_prefilter_is_identity_on_sync_engine() {
+    check("prefilter_sync_equivalence", 32, |g| {
+        let (program, names) = gen_program(g);
+        let pkts = trace(g);
+        let subs: Vec<&str> = names.iter().map(String::as_str).collect();
+
+        let on = system(&program, true, 1, 256).run_capture(pkts.iter().cloned(), &subs).unwrap();
+        let off = system(&program, false, 1, 256).run_capture(pkts.iter().cloned(), &subs).unwrap();
+
+        for name in &names {
+            assert_eq!(
+                norm(on.stream(name)),
+                norm(off.stream(name)),
+                "stream `{name}` diverged\n{program}"
+            );
+        }
+        assert_eq!(on.stats.lfta, off.stats.lfta, "per-LFTA counters diverged\n{program}");
+        assert!(on.stats.health.all_ok() && off.stats.health.all_ok());
+    });
+}
+
+/// Threaded manager: shared-on matches shared-off (and the synchronous
+/// engine) across parallelism {1, 4} × batch {1, 256}.
+#[test]
+fn shared_prefilter_is_identity_on_threaded_manager() {
+    check("prefilter_threaded_equivalence", 10, |g| {
+        let (program, names) = gen_program(g);
+        let pkts = trace(g);
+        let subs: Vec<&str> = names.iter().map(String::as_str).collect();
+
+        let sync_out =
+            system(&program, true, 1, 256).run_capture(pkts.iter().cloned(), &subs).unwrap();
+
+        for parallelism in [1usize, 4] {
+            for batch in [1usize, 256] {
+                let on = run_threaded(
+                    &system(&program, true, parallelism, batch),
+                    pkts.iter().cloned(),
+                    &subs,
+                )
+                .unwrap();
+                let off = run_threaded(
+                    &system(&program, false, parallelism, batch),
+                    pkts.iter().cloned(),
+                    &subs,
+                )
+                .unwrap();
+                for name in &names {
+                    assert_eq!(
+                        norm(on.stream(name)),
+                        norm(off.stream(name)),
+                        "stream `{name}` diverged at par={parallelism} batch={batch}\n{program}"
+                    );
+                    assert_eq!(
+                        norm(sync_out.stream(name)),
+                        norm(on.stream(name)),
+                        "shared threaded != sync on `{name}` at par={parallelism} batch={batch}"
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// Quarantining one query must leave the shared pass intact for its
+/// siblings: the faulty query's HFTA is contained identically with the
+/// prefilter on and off, and sibling outputs and LFTA counters match.
+#[test]
+fn quarantine_leaves_shared_pass_intact_for_siblings() {
+    let program = "DEFINE { query_name raw; } Select time, len From eth0.tcp; \
+                   DEFINE { query_name agg; } \
+                   Select time, count(*), sum(len) From raw Group By time; \
+                   DEFINE { query_name sib; } \
+                   Select time, destPort From eth0.tcp Where destPort = 80";
+    check("prefilter_quarantine", 12, |g| {
+        let pkts = trace(g);
+        let run = |shared: bool| {
+            let mut gs = system(program, shared, 1, 256);
+            gs.faults = Some(FaultPlan::new().panic_at("agg", 1));
+            gs.run_capture(pkts.iter().cloned(), &["agg", "sib", "raw"]).unwrap()
+        };
+        let on = run(true);
+        let off = run(false);
+        // The faulted query is quarantined the same way either mode.
+        assert!(on.stats.health.failed("agg"));
+        assert_eq!(on.stats.health.failed("agg"), off.stats.health.failed("agg"));
+        // Siblings are untouched: same outputs, same LFTA counters.
+        for name in ["sib", "raw"] {
+            assert_eq!(on.stream(name), off.stream(name), "sibling `{name}` diverged");
+        }
+        assert_eq!(on.stats.lfta, off.stats.lfta);
+        assert!(matches!(on.stats.health.of("sib"), QueryHealth::Ok));
+    });
+}
+
+/// `remove_program` unregisters a query's streams and the shared pass is
+/// rebuilt from the survivors on the next run.
+#[test]
+fn remove_program_rebuilds_shared_pass() {
+    let mut gs = Gigascope::new();
+    gs.add_interface("eth0", 0, LinkType::Ethernet);
+    gs.add_program(
+        "DEFINE { query_name keep; } Select time, destPort From eth0.tcp Where destPort = 80; \
+         DEFINE { query_name drop_me; } Select time From eth0.tcp Where srcPort = 25",
+    )
+    .unwrap();
+    let before = gs.explain_prefilter().unwrap().unwrap();
+    assert!(before.contains("lfta drop_me"));
+
+    // A dependent query blocks removal of its upstream.
+    gs.add_program("DEFINE { query_name dep; } Select time, count(*) From keep Group By time")
+        .unwrap();
+    assert!(gs.remove_program("keep").is_err());
+    gs.remove_program("dep").unwrap();
+    gs.remove_program("drop_me").unwrap();
+
+    let after = gs.explain_prefilter().unwrap().unwrap();
+    assert!(!after.contains("lfta drop_me"), "{after}");
+    assert!(after.contains("lfta keep"), "{after}");
+
+    // The survivor still runs, and its stream name is reusable.
+    let pkts: Vec<CapPacket> = (0..10)
+        .map(|i| {
+            let f = FrameBuilder::tcp(1, 2, 999, if i % 2 == 0 { 80 } else { 25 })
+                .payload(b"x")
+                .build_ethernet();
+            CapPacket::full(i * 1_000_000_000, 0, LinkType::Ethernet, f)
+        })
+        .collect();
+    let out = gs.run_capture(pkts.into_iter(), &["keep"]).unwrap();
+    assert_eq!(out.stream("keep").len(), 5);
+    gs.add_program("DEFINE { query_name drop_me; } Select time From eth0.udp").unwrap();
+}
