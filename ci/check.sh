@@ -70,6 +70,60 @@ echo "== shared prefilter gate (100 queries: shared >= 5x unshared) =="
 # (numbers still printed) on hosts with fewer than 4 logical CPUs.
 cargo run -q --release --offline -p gs-bench --bin prefilter_gate
 
+echo "== daemon protocol/lifecycle tests =="
+# Explicit gate on the PR-8 suites (also covered by the full test run
+# above): randomized session equivalence vs one-shot runs, adversarial
+# wire decoding, register/unregister churn, and auto-restart after
+# injected panics.
+cargo test -q --offline -p gs-tests \
+    --test prop_daemon --test daemon_lifecycle --test daemon_restart
+
+echo "== daemon gate: scripted gsqd/gsq session on loopback =="
+# Boot the real daemon binary on an ephemeral loopback port, run a full
+# scripted client session against it (register, subscribe, two epochs
+# of result frames, health poll, unregister, shutdown), and require a
+# clean exit on both sides with no leftover process.
+rm -f target/gsqd.port target/gsqd_session.out
+cat > target/ci_daemon.gsql <<'EOF'
+DEFINE { query_name perport; }
+Select time, destPort, count(*) From eth0.tcp Group By time, destPort
+EOF
+target/release/gsqd --listen 127.0.0.1:0 --synthetic 40x50 --epoch-gap 0 \
+    --port-file target/gsqd.port &
+GSQD_PID=$!
+for _ in $(seq 1 100); do
+    [ -s target/gsqd.port ] && break
+    sleep 0.1
+done
+[ -s target/gsqd.port ] || { kill "$GSQD_PID" 2>/dev/null; echo "FAIL: gsqd never wrote its port file" >&2; exit 1; }
+if ! target/release/gsq --connect "$(cat target/gsqd.port)" --ping \
+        --program target/ci_daemon.gsql --subscribe perport --epochs 2 \
+        --health --unregister perport --shutdown > target/gsqd_session.out; then
+    kill "$GSQD_PID" 2>/dev/null
+    echo "FAIL: scripted gsq session exited non-zero" >&2
+    exit 1
+fi
+# The daemon must exit cleanly in response to the client's SHUTDOWN.
+GSQD_RC=0
+for _ in $(seq 1 100); do
+    kill -0 "$GSQD_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$GSQD_PID" 2>/dev/null; then
+    kill -9 "$GSQD_PID"
+    echo "FAIL: gsqd still running after SHUTDOWN" >&2
+    exit 1
+fi
+wait "$GSQD_PID" || GSQD_RC=$?
+[ "$GSQD_RC" -eq 0 ] || { echo "FAIL: gsqd exited $GSQD_RC" >&2; exit 1; }
+# The session must have produced at least one result frame and the
+# health report for the registered query.
+grep -q '^# perport epoch' target/gsqd_session.out ||
+    { echo "FAIL: no result frames in the scripted session" >&2; exit 1; }
+grep -q '^health,perport,' target/gsqd_session.out ||
+    { echo "FAIL: no health row in the scripted session" >&2; exit 1; }
+echo "OK: daemon session clean"
+
 echo "== offline bench compile =="
 cargo bench -p gs-bench --no-run --offline
 

@@ -16,6 +16,20 @@
 //!   --heartbeat <off|N|ondemand>  LFTA heartbeat policy (default 1 second)
 //!   --explain                print the deployed plans and exit (no run)
 //!   --stats                  print LFTA/engine statistics to stderr
+//!
+//! daemon client mode (`gsqd` wire protocol over TCP):
+//!   --connect <addr>         talk to a running gsqd instead of running locally
+//!   --epochs <n>             read n epochs of frames per subscribed stream
+//!   --health                 poll per-query lifecycle health
+//!   --unregister <name>      unregister a query
+//!   --ping                   liveness probe
+//!   --shutdown               stop the daemon after the other actions
+//!
+//! In connect mode `--program` registers the program with the daemon,
+//! `--subscribe` subscribes to its output streams, and `--stats` polls
+//! the daemon's GS_STATS counters. Actions run in order: ping,
+//! register, subscribe, read epochs, health, stats, unregister,
+//! shutdown.
 //! ```
 //!
 //! Output is CSV: `stream,field1,field2,...` with a header per stream.
@@ -39,6 +53,12 @@ struct Args {
     heartbeat: HeartbeatMode,
     explain: bool,
     stats: bool,
+    connect: Option<String>,
+    epochs: u64,
+    health: bool,
+    unregister: Option<String>,
+    ping: bool,
+    shutdown: bool,
 }
 
 fn usage(msg: &str) -> ! {
@@ -70,6 +90,12 @@ fn parse_args() -> Args {
         heartbeat: HeartbeatMode::Periodic { interval: 1 },
         explain: false,
         stats: false,
+        connect: None,
+        epochs: 0,
+        health: false,
+        unregister: None,
+        ping: false,
+        shutdown: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -118,6 +144,12 @@ fn parse_args() -> Args {
             }
             "--explain" => args.explain = true,
             "--stats" => args.stats = true,
+            "--connect" => args.connect = Some(val()),
+            "--epochs" => args.epochs = val().parse().unwrap_or_else(|_| usage("bad epochs")),
+            "--health" => args.health = true,
+            "--unregister" => args.unregister = Some(val()),
+            "--ping" => args.ping = true,
+            "--shutdown" => args.shutdown = true,
             "--help" | "-h" => usage("help"),
             other => usage(&format!("unknown flag `{other}`")),
         }
@@ -142,8 +174,79 @@ fn parse_value(s: &str) -> Value {
     }
 }
 
+/// Daemon client mode: run the requested protocol actions in order
+/// against a live `gsqd`.
+fn connect_mode(args: &Args, addr: &str) {
+    use gigascope::server::client::Client;
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("gsq: connect {addr}: {e}");
+        exit(1);
+    });
+    let _ = client.set_timeout(Some(std::time::Duration::from_secs(120)));
+    let fail = |what: &str, e: &dyn std::fmt::Display| -> ! {
+        eprintln!("gsq: {what}: {e}");
+        exit(1);
+    };
+
+    if args.ping {
+        client.ping().unwrap_or_else(|e| fail("ping", &e));
+        println!("# pong");
+    }
+    if let Some(path) = &args.program {
+        let text = if path == "-" {
+            let mut s = String::new();
+            std::io::stdin()
+                .read_to_string(&mut s)
+                .unwrap_or_else(|e| fail("reading stdin", &e));
+            s
+        } else {
+            std::fs::read_to_string(path).unwrap_or_else(|e| fail(path, &e))
+        };
+        let names = client.register(&text).unwrap_or_else(|e| fail("register", &e));
+        println!("# registered {}", names.join(","));
+    }
+    for stream in &args.subscribe {
+        client.subscribe(stream).unwrap_or_else(|e| fail("subscribe", &e));
+    }
+    for _ in 0..args.epochs {
+        for stream in &args.subscribe {
+            let (epoch, rows) =
+                client.read_epoch(stream).unwrap_or_else(|e| fail("read_epoch", &e));
+            println!("# {stream} epoch {epoch}: {} rows", rows.len());
+            for t in rows {
+                let row: Vec<String> = t.values().iter().map(|v| v.to_string()).collect();
+                println!("{stream},{}", row.join(","));
+            }
+        }
+    }
+    if args.health {
+        let rows = client.health().unwrap_or_else(|e| fail("health", &e));
+        for r in rows {
+            println!("health,{},{:?},{},{}", r.query, r.state, r.restarts, r.reason);
+        }
+    }
+    if args.stats {
+        let rows = client.stats().unwrap_or_else(|e| fail("stats", &e));
+        for (node, counter, value) in rows {
+            eprintln!("stat,{node},{counter},{value}");
+        }
+    }
+    if let Some(name) = &args.unregister {
+        client.unregister(name).unwrap_or_else(|e| fail("unregister", &e));
+        println!("# unregistered {name}");
+    }
+    if args.shutdown {
+        client.shutdown().unwrap_or_else(|e| fail("shutdown", &e));
+        println!("# daemon shutting down");
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(addr) = args.connect.clone() {
+        connect_mode(&args, &addr);
+        return;
+    }
     let Some(program_path) = &args.program else { usage("--program is required") };
     let program = if program_path == "-" {
         let mut s = String::new();

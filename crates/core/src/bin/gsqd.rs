@@ -1,0 +1,153 @@
+//! `gsqd` — the always-on Gigascope query daemon.
+//!
+//! ```text
+//! gsqd [options]
+//!
+//! options:
+//!   --listen <addr>          bind address (default 127.0.0.1:5123; :0 picks a port)
+//!   --program <file>         GSQL program to register at startup
+//!   --iface <name=id[:link]> register an interface (default: eth0=0:ether)
+//!   --trace <file>           replay a .gsc capture trace every epoch
+//!   --synthetic <mbps>x<ms>  synthetic mix per epoch (default 100x100)
+//!   --seed <n>               base synthetic seed; epoch k uses seed+k
+//!   --epoch-gap <ms>         pacing between epochs (default 100)
+//!   --restart-budget <n>     automatic restarts per query (default 3)
+//!   --backoff <n>            base restart backoff in epochs (default 1)
+//!   --parallelism <n>        HFTA parallelism degree (default 1)
+//!   --heartbeat <off|N|ondemand>  LFTA heartbeat policy (default 1 s)
+//!   --port-file <path>       write the bound address to a file (CI uses
+//!                            this with --listen …:0)
+//! ```
+//!
+//! The daemon serves the `gsqd` wire protocol until a client sends
+//! SHUTDOWN (see `gsq --connect`). Clients REGISTER/UNREGISTER GSQL
+//! programs, SUBSCRIBE to output streams, and poll HEALTH/STATS at
+//! runtime; quarantined queries are restarted automatically with
+//! bounded, backed-off retries.
+
+use gigascope::server::{self, DaemonConfig, PacketSource};
+use gs_packet::capture::LinkType;
+use gs_runtime::punct::HeartbeatMode;
+use std::process::exit;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("gsqd: {msg}\n\nusage: gsqd [--listen addr] [--program file] [--iface name=id[:link]]");
+    eprintln!("            [--trace file.gsc | --synthetic <mbps>x<ms>] [--seed n] [--epoch-gap ms]");
+    eprintln!("            [--restart-budget n] [--backoff n] [--parallelism n]");
+    eprintln!("            [--heartbeat off|N|ondemand] [--port-file path]");
+    exit(2);
+}
+
+fn parse_link(s: &str) -> LinkType {
+    match s {
+        "ether" | "ethernet" => LinkType::Ethernet,
+        "rawip" | "ip" => LinkType::RawIp,
+        "netflow" => LinkType::NetflowRecord,
+        "bgp" => LinkType::BgpUpdate,
+        other => usage(&format!("unknown link type `{other}`")),
+    }
+}
+
+fn main() {
+    let mut config = DaemonConfig {
+        listen: "127.0.0.1:5123".to_string(),
+        epoch_gap_ms: 100,
+        ..DaemonConfig::default()
+    };
+    let mut synthetic = (100.0f64, 100u64);
+    let mut seed = 0u64;
+    let mut trace: Option<String> = None;
+    let mut port_file: Option<String> = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")));
+        match flag.as_str() {
+            "--listen" => config.listen = val(),
+            "--program" => {
+                let path = val();
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("gsqd: {path}: {e}");
+                    exit(1);
+                });
+                config.initial_program = Some(text);
+            }
+            "--iface" => {
+                let v = val();
+                let (name, rest) =
+                    v.split_once('=').unwrap_or_else(|| usage("--iface name=id[:link]"));
+                let (id, link) = match rest.split_once(':') {
+                    Some((id, link)) => (id, parse_link(link)),
+                    None => (rest, LinkType::Ethernet),
+                };
+                let id: u16 = id.parse().unwrap_or_else(|_| usage("interface id must be a number"));
+                config.ifaces.push((name.to_string(), id, link));
+            }
+            "--trace" => trace = Some(val()),
+            "--synthetic" => {
+                let v = val();
+                let (mbps, ms) =
+                    v.split_once('x').unwrap_or_else(|| usage("--synthetic <mbps>x<ms>"));
+                synthetic = (
+                    mbps.parse().unwrap_or_else(|_| usage("bad mbps")),
+                    ms.parse().unwrap_or_else(|_| usage("bad ms")),
+                );
+            }
+            "--seed" => seed = val().parse().unwrap_or_else(|_| usage("bad seed")),
+            "--epoch-gap" => {
+                config.epoch_gap_ms = val().parse().unwrap_or_else(|_| usage("bad epoch gap"))
+            }
+            "--restart-budget" => {
+                config.restart_budget = val().parse().unwrap_or_else(|_| usage("bad budget"))
+            }
+            "--backoff" => {
+                config.backoff_base = val().parse().unwrap_or_else(|_| usage("bad backoff"))
+            }
+            "--parallelism" => {
+                config.parallelism = val().parse().unwrap_or_else(|_| usage("bad parallelism"))
+            }
+            "--heartbeat" => {
+                let v = val();
+                config.heartbeat = match v.as_str() {
+                    "off" => HeartbeatMode::Off,
+                    "ondemand" => HeartbeatMode::OnDemand,
+                    n => HeartbeatMode::Periodic {
+                        interval: n.parse().unwrap_or_else(|_| usage("bad heartbeat")),
+                    },
+                };
+            }
+            "--port-file" => port_file = Some(val()),
+            "--help" | "-h" => usage("help"),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    config.source = match trace {
+        Some(path) => {
+            let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+                eprintln!("gsqd: {path}: {e}");
+                exit(1);
+            });
+            let packets = gs_packet::capture::read_trace(&bytes).unwrap_or_else(|e| {
+                eprintln!("gsqd: {path}: {e}");
+                exit(1);
+            });
+            PacketSource::Replay(packets)
+        }
+        None => PacketSource::Synthetic { mbps: synthetic.0, epoch_ms: synthetic.1, seed },
+    };
+
+    let mut daemon = server::start(config).unwrap_or_else(|e| {
+        eprintln!("gsqd: {e}");
+        exit(1);
+    });
+    eprintln!("gsqd: listening on {}", daemon.addr());
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, daemon.addr().to_string()) {
+            eprintln!("gsqd: writing {path}: {e}");
+            exit(1);
+        }
+    }
+    daemon.wait();
+    eprintln!("gsqd: shut down");
+}

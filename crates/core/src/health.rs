@@ -69,6 +69,13 @@ pub struct RunHealth {
 }
 
 impl RunHealth {
+    /// Build a report from explicit `(query, reason)` entries — used by
+    /// the daemon supervisor's unit tests to exercise lifecycle
+    /// transitions without running an engine.
+    pub fn from_failures(failures: impl IntoIterator<Item = (String, FaultReason)>) -> RunHealth {
+        RunHealth { failures: failures.into_iter().collect() }
+    }
+
     /// Health of `query` (queries never recorded as failed are `Ok`).
     pub fn of(&self, query: &str) -> QueryHealth {
         match self.failures.get(query) {

@@ -34,6 +34,7 @@
 pub mod engine;
 pub mod health;
 pub mod manager;
+pub mod server;
 pub mod transport;
 pub mod watchdog;
 

@@ -534,9 +534,16 @@ impl ThreadedOutput {
     }
 }
 
+/// A live subscription observer: called from the subscribed stream's
+/// collector thread with each drained batch of tuples, in stream order,
+/// while the run is still in flight. The `gsqd` daemon's frame fan-out
+/// rides on these; the tuples are also collected into
+/// [`ThreadedOutput::streams`] as usual.
+pub type SubscriptionTap = Arc<dyn Fn(&[Tuple]) + Send + Sync>;
+
 /// Knobs for [`run_threaded_opts`] beyond the defaults of
 /// [`run_threaded`].
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct ThreadedOptions {
     /// Subscribed streams whose collector threads hold off draining until
     /// the node graph has finished — a deterministic stand-in for a
@@ -545,6 +552,28 @@ pub struct ThreadedOptions {
     /// deadlocks exactly as a real stalled consumer would, so only use
     /// stalls with shedding enabled.
     pub stall: Vec<String>,
+    /// Live observers per subscribed stream: `(stream name, tap)`. The
+    /// stream must also appear in the run's subscription list; batches
+    /// reach the tap from the stream's own collector drainer as they
+    /// arrive, so the concatenation of tap calls equals the collected
+    /// stream, in order.
+    pub taps: Vec<(String, SubscriptionTap)>,
+    /// Deployed queries to leave out of this run entirely (no LFTAs, no
+    /// HFTA node, no producer for their streams). The daemon's lifecycle
+    /// supervisor parks quarantined queries here while they sit out
+    /// their restart backoff; consumers of an excluded query's streams
+    /// simply see empty inputs.
+    pub exclude: Vec<String>,
+}
+
+impl std::fmt::Debug for ThreadedOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedOptions")
+            .field("stall", &self.stall)
+            .field("taps", &self.taps.iter().map(|(n, _)| n).collect::<Vec<_>>())
+            .field("exclude", &self.exclude)
+            .finish()
+    }
 }
 
 /// Run all deployed queries over `packets` with one thread per HFTA.
@@ -593,6 +622,9 @@ where
     let mut nodes: Vec<NodeSpec> = Vec::new();
     let mut router_groups: Vec<RouterGroup> = Vec::new();
     for dq in gs.queries() {
+        if opts.exclude.iter().any(|e| e == &dq.name) {
+            continue;
+        }
         let params = gs.params_for(&dq.name);
         params.validate(&dq.params).map_err(Error::Runtime)?;
         let ctx = BuildCtx {
@@ -731,6 +763,8 @@ where
         let gate = opts.stall.iter().any(|s| s == name).then(|| stall_gate.clone());
         let sub_board = board.clone();
         let sub_name = (*name).to_string();
+        let tap: Option<SubscriptionTap> =
+            opts.taps.iter().find(|(n, _)| n == name).map(|(_, t)| t.clone());
         let drainer = thread::spawn(move || {
             if let Some(g) = &gate {
                 // A deliberately stalled consumer: hold the queue shut
@@ -743,6 +777,7 @@ where
             }
             let mut bucket = Vec::new();
             while let Some(msg) = rx.recv() {
+                let start = bucket.len();
                 match msg {
                     Msg::Batch(_, items) => {
                         bucket.extend(items.into_iter().filter_map(|i| match i {
@@ -759,6 +794,11 @@ where
                         // prefix collected so far and report the root.
                         sub_board.record(&sub_name, FaultReason::Upstream(f.node));
                         break;
+                    }
+                }
+                if bucket.len() > start {
+                    if let Some(t) = &tap {
+                        t(&bucket[start..]);
                     }
                 }
             }
@@ -1506,7 +1546,7 @@ mod tests {
             &gs,
             pkts,
             &["sel"],
-            ThreadedOptions { stall: vec!["sel".to_string()] },
+            ThreadedOptions { stall: vec!["sel".to_string()], ..Default::default() },
         )
         .unwrap();
         let shed = out.counter("queue:sub:sel", "shed_items").unwrap();

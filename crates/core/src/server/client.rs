@@ -1,0 +1,219 @@
+//! Synchronous client for the `gsqd` wire protocol — the library
+//! behind `gsq --connect` and the protocol test battery.
+//!
+//! The daemon interleaves asynchronous TUPLES frames with request
+//! replies on the one socket, so the client buffers any TUPLES frames
+//! it encounters while waiting for a reply and hands them back later
+//! through [`Client::next_tuples`] / [`Client::read_epoch`]. Per-stream
+//! frame order is preserved throughout.
+
+use crate::server::wire::{self, HealthRow, StatsRow, TuplesFrame, WireError};
+use crate::Tuple;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure; the connection is unusable.
+    Transport(WireError),
+    /// The daemon answered ERR; the connection is still good.
+    Rejected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport: {e}"),
+            ClientError::Rejected(m) => write!(f, "daemon: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Transport(e)
+    }
+}
+
+/// One synchronous protocol session.
+pub struct Client {
+    stream: TcpStream,
+    /// TUPLES frames received while waiting for something else, in
+    /// arrival order.
+    inbox: VecDeque<TuplesFrame>,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream, inbox: VecDeque::new() })
+    }
+
+    /// Set a read timeout (tests use this so a daemon bug can't hang
+    /// the suite); `None` blocks forever.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Send a raw frame (the adversarial tests drive this directly).
+    pub fn send_raw(&mut self, opcode: u8, payload: &[u8]) -> io::Result<()> {
+        wire::write_frame(&mut self.stream, opcode, payload)
+    }
+
+    /// Write arbitrary bytes, bypassing framing entirely (garbage
+    /// injection in the adversarial tests).
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        use io::Write;
+        self.stream.write_all(bytes)
+    }
+
+    /// Read the next frame of any kind.
+    pub fn read_frame(&mut self) -> Result<(u8, Vec<u8>), WireError> {
+        wire::read_frame(&mut self.stream, wire::MAX_FRAME)
+    }
+
+    /// Send `opcode` and read frames until a non-TUPLES reply arrives,
+    /// buffering any TUPLES passed over.
+    fn request(&mut self, opcode: u8, payload: &[u8]) -> Result<(u8, Vec<u8>), WireError> {
+        wire::write_frame(&mut self.stream, opcode, payload)?;
+        loop {
+            let (op, body) = self.read_frame()?;
+            if op == wire::TUPLES {
+                self.inbox.push_back(wire::decode_tuples(&body)?);
+                continue;
+            }
+            return Ok((op, body));
+        }
+    }
+
+    /// Issue a request whose reply must be OK; returns the info string.
+    fn expect_ok(&mut self, opcode: u8, payload: &[u8]) -> Result<String, ClientError> {
+        match self.request(opcode, payload)? {
+            (wire::OK, body) => Ok(String::from_utf8_lossy(&body).into_owned()),
+            (wire::ERR, body) => Err(ClientError::Rejected(String::from_utf8_lossy(&body).into_owned())),
+            (op, _) => Err(ClientError::Transport(WireError::Protocol(format!(
+                "unexpected reply opcode 0x{op:02x}"
+            )))),
+        }
+    }
+
+    /// REGISTER a GSQL program; returns the deployed query names.
+    pub fn register(&mut self, gsql: &str) -> Result<Vec<String>, ClientError> {
+        let names = self.expect_ok(wire::REGISTER, gsql.as_bytes())?;
+        Ok(names.split(',').filter(|s| !s.is_empty()).map(str::to_string).collect())
+    }
+
+    /// UNREGISTER a query by name.
+    pub fn unregister(&mut self, name: &str) -> Result<(), ClientError> {
+        self.expect_ok(wire::UNREGISTER, name.as_bytes()).map(|_| ())
+    }
+
+    /// SUBSCRIBE this connection to a stream (frames begin next epoch).
+    pub fn subscribe(&mut self, stream: &str) -> Result<(), ClientError> {
+        self.expect_ok(wire::SUBSCRIBE, stream.as_bytes()).map(|_| ())
+    }
+
+    /// UNSUBSCRIBE this connection from a stream.
+    pub fn unsubscribe(&mut self, stream: &str) -> Result<(), ClientError> {
+        self.expect_ok(wire::UNSUBSCRIBE, stream.as_bytes()).map(|_| ())
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(wire::PING, b"")? {
+            (wire::PONG, _) => Ok(()),
+            (op, _) => Err(ClientError::Transport(WireError::Protocol(format!(
+                "expected PONG, got 0x{op:02x}"
+            )))),
+        }
+    }
+
+    /// Current lifecycle health of every registered query.
+    pub fn health(&mut self) -> Result<Vec<HealthRow>, ClientError> {
+        match self.request(wire::HEALTH, b"")? {
+            (wire::HEALTH_RPT, body) => Ok(wire::decode_health(&body)?),
+            (wire::ERR, body) => Err(ClientError::Rejected(String::from_utf8_lossy(&body).into_owned())),
+            (op, _) => Err(ClientError::Transport(WireError::Protocol(format!(
+                "expected HEALTH_RPT, got 0x{op:02x}"
+            )))),
+        }
+    }
+
+    /// Daemon + last-epoch GS_STATS counter rows.
+    pub fn stats(&mut self) -> Result<Vec<StatsRow>, ClientError> {
+        match self.request(wire::STATS, b"")? {
+            (wire::STATS_RPT, body) => Ok(wire::decode_stats(&body)?),
+            (wire::ERR, body) => Err(ClientError::Rejected(String::from_utf8_lossy(&body).into_owned())),
+            (op, _) => Err(ClientError::Transport(WireError::Protocol(format!(
+                "expected STATS_RPT, got 0x{op:02x}"
+            )))),
+        }
+    }
+
+    /// Block until the daemon has completed `n` epochs; returns the
+    /// completed-epoch count at reply time.
+    pub fn wait_epoch(&mut self, n: u64) -> Result<u64, ClientError> {
+        let mut payload = Vec::with_capacity(8);
+        wire::put_u64(&mut payload, n);
+        let done = self.expect_ok(wire::WAIT_EPOCH, &payload)?;
+        done.parse().map_err(|_| {
+            ClientError::Transport(WireError::Protocol(format!("bad epoch count `{done}`")))
+        })
+    }
+
+    /// Ask the daemon to stop after the current epoch.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.expect_ok(wire::SHUTDOWN, b"").map(|_| ())
+    }
+
+    /// The next TUPLES frame, buffered or from the wire.
+    pub fn next_tuples(&mut self) -> Result<TuplesFrame, WireError> {
+        if let Some(f) = self.inbox.pop_front() {
+            return Ok(f);
+        }
+        let (op, body) = self.read_frame()?;
+        if op != wire::TUPLES {
+            return Err(WireError::Protocol(format!("unsolicited frame 0x{op:02x}")));
+        }
+        wire::decode_tuples(&body)
+    }
+
+    /// Collect one full epoch of `stream`: every row up to and
+    /// including the zero-row end-of-epoch marker. Frames of other
+    /// subscribed streams encountered along the way stay buffered in
+    /// arrival order.
+    pub fn read_epoch(&mut self, stream: &str) -> Result<(u64, Vec<Tuple>), WireError> {
+        let mut rows = Vec::new();
+        loop {
+            let frame = match self.inbox.iter().position(|f| f.stream == stream) {
+                Some(i) => self.inbox.remove(i).expect("position just found"),
+                None => {
+                    // Nothing buffered for this stream: read from the
+                    // wire (not via the inbox, which would just cycle
+                    // other streams' frames).
+                    let (op, body) = self.read_frame()?;
+                    if op != wire::TUPLES {
+                        return Err(WireError::Protocol(format!("unsolicited frame 0x{op:02x}")));
+                    }
+                    let f = wire::decode_tuples(&body)?;
+                    if f.stream != stream {
+                        self.inbox.push_back(f);
+                        continue;
+                    }
+                    f
+                }
+            };
+            if frame.rows.is_empty() {
+                return Ok((frame.epoch, rows));
+            }
+            rows.extend(frame.rows);
+        }
+    }
+}

@@ -1,0 +1,593 @@
+//! `gsqd`: the always-on query daemon.
+//!
+//! The paper positions Gigascope as an operational system that runs
+//! continuously at the monitoring point; `gsq` is a one-shot runner.
+//! This module closes the gap with a long-running daemon that remote
+//! clients reconfigure at runtime over a std-only, length-prefixed
+//! binary protocol ([`wire`]): REGISTER/UNREGISTER GSQL programs,
+//! SUBSCRIBE to named output streams, poll HEALTH and GS_STATS, and
+//! shut the daemon down — all over a plain [`std::net::TcpStream`].
+//!
+//! # Epochs
+//!
+//! The threaded manager builds its node graph once per run, so instead
+//! of mutating a live graph the daemon runs back-to-back **epochs**:
+//! each epoch is one complete [`run_threaded_opts`] over that epoch's
+//! packets ([`PacketSource::epoch_packets`]). Registrations,
+//! removals, subscription changes, and lifecycle decisions all apply
+//! at epoch boundaries, which makes the daemon's behavior exactly
+//! reproducible: the frames a subscriber receives for epoch `k` equal
+//! the one-shot engine's output over the same packets — the invariant
+//! the protocol test battery checks.
+//!
+//! Result frames fan out from the manager's subscription drains (a
+//! [`SubscriptionTap`] per subscribed stream) onto per-connection
+//! outbound queues; a zero-row TUPLES frame after the run is the
+//! end-of-epoch marker. Data frames ride a shed-on-overflow queue so a
+//! slow client loses its own newest frames instead of wedging the
+//! engine; control replies and epoch markers are never shed.
+//!
+//! The [`supervisor`] watches each epoch's [`RunHealth`] and
+//! reprovisions quarantined queries with bounded, exponentially
+//! backed-off restarts — see that module for the lifecycle state
+//! machine.
+
+pub mod client;
+mod conn;
+pub mod supervisor;
+pub mod wire;
+
+use crate::manager::{run_threaded_opts, SubscriptionTap, ThreadedOptions};
+use crate::{Error, Gigascope};
+use gs_netgen::{MixConfig, PacketMix};
+use gs_packet::capture::LinkType;
+use gs_packet::CapPacket;
+use gs_runtime::faults::FaultPlan;
+use gs_runtime::punct::HeartbeatMode;
+use gs_runtime::stats::{Counter, StatRow, StatSource, StatsRegistry};
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::Duration;
+use supervisor::Supervisor;
+
+/// Where each epoch's packets come from.
+#[derive(Debug, Clone)]
+pub enum PacketSource {
+    /// Deterministic synthetic traffic: epoch `k` replays the standard
+    /// mix generator with seed `seed + k`, so any epoch's packets can
+    /// be regenerated independently (the equivalence tests do).
+    Synthetic {
+        /// Total offered load in Mbit/s (HTTP mix up to 60, the rest
+        /// background).
+        mbps: f64,
+        /// Simulated capture duration per epoch, in milliseconds.
+        epoch_ms: u64,
+        /// Base seed; epoch `k` uses `seed.wrapping_add(k)`.
+        seed: u64,
+    },
+    /// Replay the same fixed trace every epoch.
+    Replay(Vec<CapPacket>),
+}
+
+impl PacketSource {
+    /// The packets of epoch `epoch`, regenerable by anyone holding the
+    /// same source description.
+    pub fn epoch_packets(&self, epoch: u64) -> Vec<CapPacket> {
+        match self {
+            PacketSource::Synthetic { mbps, epoch_ms, seed } => PacketMix::new(MixConfig {
+                seed: seed.wrapping_add(epoch),
+                duration_ms: *epoch_ms,
+                http_rate_mbps: mbps.min(60.0),
+                background_rate_mbps: (mbps - 60.0).max(0.0),
+                ..MixConfig::default()
+            })
+            .collect(),
+            PacketSource::Replay(packets) => packets.clone(),
+        }
+    }
+}
+
+/// Daemon-level counters, registered as the `daemon` stats node.
+#[derive(Debug, Default)]
+pub struct DaemonStats {
+    /// Epochs completed since startup.
+    pub epochs: Counter,
+    /// Connections accepted.
+    pub connections: Counter,
+    /// Successful REGISTER operations.
+    pub registers: Counter,
+    /// Successful UNREGISTER operations.
+    pub unregisters: Counter,
+    /// Epochs whose engine build/run failed outright (not per-query
+    /// quarantines — those are health rows).
+    pub run_errors: Counter,
+}
+
+impl StatSource for DaemonStats {
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("epochs", self.epochs.get()),
+            ("connections", self.connections.get()),
+            ("registers", self.registers.get()),
+            ("unregisters", self.unregisters.get()),
+            ("run_errors", self.run_errors.get()),
+        ]
+    }
+}
+
+/// Everything a `gsqd` instance needs to start.
+pub struct DaemonConfig {
+    /// Bind address (`127.0.0.1:0` picks a free loopback port).
+    pub listen: String,
+    /// Per-epoch packet supply.
+    pub source: PacketSource,
+    /// Interfaces to register (`eth0=0:ether` when empty).
+    pub ifaces: Vec<(String, u16, LinkType)>,
+    /// LFTA heartbeat policy for every epoch's run.
+    pub heartbeat: HeartbeatMode,
+    /// Engine batch size.
+    pub batch_size: usize,
+    /// HFTA parallelism degree.
+    pub parallelism: usize,
+    /// GSQL program to register before the first epoch.
+    pub initial_program: Option<String>,
+    /// Automatic restarts allowed per query before it goes `Dead`.
+    pub restart_budget: u64,
+    /// Backoff after a query's first charged failure, in epochs
+    /// (doubles per failure).
+    pub backoff_base: u64,
+    /// Fault campaign applied during [`fault_epochs`](Self::fault_epochs)
+    /// (tests and demos; `None` in production).
+    pub faults: Option<FaultPlan>,
+    /// Epoch ids during which [`faults`](Self::faults) is armed.
+    pub fault_epochs: Range<u64>,
+    /// Idle pacing between epochs, in milliseconds (tests use 0).
+    pub epoch_gap_ms: u64,
+    /// Per-connection outbound queue capacity, in frames; overflow
+    /// sheds that connection's newest data frames.
+    pub conn_queue_frames: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            listen: "127.0.0.1:0".to_string(),
+            source: PacketSource::Synthetic { mbps: 100.0, epoch_ms: 100, seed: 0 },
+            ifaces: Vec::new(),
+            heartbeat: HeartbeatMode::Periodic { interval: 1 },
+            batch_size: 256,
+            parallelism: 1,
+            initial_program: None,
+            restart_budget: 3,
+            backoff_base: 1,
+            faults: None,
+            fault_epochs: 0..0,
+            epoch_gap_ms: 0,
+            conn_queue_frames: 1024,
+        }
+    }
+}
+
+/// Poison-tolerant lock (the daemon outlives any panicking holder).
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// An operation a connection handler queued for the engine to apply at
+/// the next epoch boundary. The engine always replies (or drains with
+/// an error at shutdown), so handlers can block on the channel.
+pub(crate) enum PendingOp {
+    /// REGISTER a GSQL program; reply carries the deployed query names.
+    Register {
+        /// Program text.
+        gsql: String,
+        /// Reply channel: `Ok(info)` or `Err(message)`.
+        reply: mpsc::Sender<Result<String, String>>,
+    },
+    /// UNREGISTER one query by name.
+    Unregister {
+        /// Query name.
+        name: String,
+        /// Reply channel.
+        reply: mpsc::Sender<Result<String, String>>,
+    },
+}
+
+/// One connection's interest in one stream.
+pub(crate) struct SubEndpoint {
+    /// Owning connection id.
+    pub conn: u64,
+    /// That connection's outbound frame queue.
+    pub sender: crate::transport::Sender<Vec<u8>>,
+}
+
+/// Per-connection server-side state the engine and teardown paths need.
+pub(crate) struct ConnState {
+    /// Socket clone used to force-close the connection at shutdown.
+    pub stream: TcpStream,
+    /// Outbound queue shared with the connection's writer thread.
+    pub chan: Arc<crate::transport::Channel<Vec<u8>>>,
+}
+
+/// Snapshot the handlers serve without touching the engine.
+#[derive(Default)]
+pub(crate) struct Snapshot {
+    /// Number of completed epochs (epoch ids `0..epochs_done`).
+    pub epochs_done: u64,
+    /// Lifecycle rows as of the last boundary.
+    pub health: Vec<wire::HealthRow>,
+    /// The last completed epoch's engine counters.
+    pub counters: Vec<StatRow>,
+}
+
+/// Mutable daemon state shared between the engine loop, the acceptor,
+/// and every connection handler. One mutex; all critical sections are
+/// short (the engine runs epochs outside it).
+pub(crate) struct Control {
+    /// Operations awaiting the next epoch boundary.
+    pub pending: Vec<PendingOp>,
+    /// Stream name → subscribed endpoints.
+    pub subs: HashMap<String, Vec<SubEndpoint>>,
+    /// Live connections by id.
+    pub conns: HashMap<u64, ConnState>,
+    /// Read-mostly state for HEALTH/STATS/WAIT_EPOCH.
+    pub snapshot: Snapshot,
+    /// Set once the engine has exited; further ops are refused.
+    pub stopped: bool,
+    /// Next connection id.
+    pub next_conn: u64,
+}
+
+pub(crate) struct Shared {
+    pub ctl: Mutex<Control>,
+    /// Signaled at every epoch completion and at shutdown.
+    pub epoch_cv: Condvar,
+    pub shutdown: AtomicBool,
+    /// Daemon-lifetime stats registry: `daemon`, `daemon:restart:<q>`,
+    /// and `daemon:conn:<id>` nodes.
+    pub registry: Arc<StatsRegistry>,
+    pub stats: Arc<DaemonStats>,
+    /// Our own bound address (the shutdown path pokes it to unblock
+    /// `accept`).
+    pub addr: SocketAddr,
+    /// Per-connection outbound queue capacity.
+    pub conn_queue_frames: usize,
+}
+
+impl Shared {
+    /// Wake everything that might be blocked on daemon progress.
+    pub(crate) fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.epoch_cv.notify_all();
+        // Unblock the acceptor's blocking `accept`.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running daemon. Dropping the handle shuts it down and joins its
+/// threads.
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    engine: Option<thread::JoinHandle<()>>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The daemon's bound address (useful with `listen = "…:0"`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon-lifetime stats registry (`daemon`,
+    /// `daemon:restart:<q>`, `daemon:conn:<id>` nodes) — the churn
+    /// tests compare its row set against a baseline.
+    pub fn registry(&self) -> Arc<StatsRegistry> {
+        self.shared.registry.clone()
+    }
+
+    /// Block until the daemon stops on its own (a client's SHUTDOWN
+    /// frame) — the `gsqd` binary's main loop.
+    pub fn wait(&mut self) {
+        if let Some(h) = self.engine.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stop the daemon: finish the current epoch, close every
+    /// connection, join the engine and acceptor threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.request_shutdown();
+        if let Some(h) = self.engine.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Start a daemon from `config`: bind, register the initial program
+/// (if any), spawn the engine loop and the acceptor.
+pub fn start(config: DaemonConfig) -> Result<DaemonHandle, Error> {
+    let mut gs = Gigascope::new();
+    gs.heartbeat = config.heartbeat;
+    gs.batch_size = config.batch_size;
+    gs.parallelism = config.parallelism;
+    if config.ifaces.is_empty() {
+        gs.add_interface("eth0", 0, LinkType::Ethernet);
+    }
+    for (name, id, link) in &config.ifaces {
+        gs.add_interface(name, *id, *link);
+    }
+
+    let registry = Arc::new(StatsRegistry::new());
+    let stats = Arc::new(DaemonStats::default());
+    registry.register("daemon", stats.clone());
+    let mut supervisor = Supervisor::new(config.restart_budget, config.backoff_base, registry.clone());
+
+    if let Some(program) = &config.initial_program {
+        for info in gs.add_program(program)? {
+            supervisor.track(&info.name);
+        }
+        stats.registers.inc();
+    }
+
+    let listener = TcpListener::bind(&config.listen)
+        .map_err(|e| Error::Config(format!("bind {}: {e}", config.listen)))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| Error::Config(format!("local_addr: {e}")))?;
+
+    let shared = Arc::new(Shared {
+        ctl: Mutex::new(Control {
+            pending: Vec::new(),
+            subs: HashMap::new(),
+            conns: HashMap::new(),
+            snapshot: Snapshot { health: supervisor.rows(), ..Snapshot::default() },
+            stopped: false,
+            next_conn: 0,
+        }),
+        epoch_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        registry,
+        stats,
+        addr,
+        conn_queue_frames: config.conn_queue_frames.max(8),
+    });
+
+    let engine = {
+        let shared = shared.clone();
+        let source = config.source.clone();
+        let faults = config.faults.clone();
+        let fault_epochs = config.fault_epochs.clone();
+        let gap = config.epoch_gap_ms;
+        thread::Builder::new()
+            .name("gsqd-engine".to_string())
+            .spawn(move || engine_loop(gs, supervisor, source, faults, fault_epochs, gap, shared))
+            .map_err(|e| Error::Config(format!("spawn engine: {e}")))?
+    };
+    let accept = {
+        let shared = shared.clone();
+        thread::Builder::new()
+            .name("gsqd-accept".to_string())
+            .spawn(move || conn::accept_loop(listener, shared))
+            .map_err(|e| Error::Config(format!("spawn acceptor: {e}")))?
+    };
+
+    Ok(DaemonHandle { addr, shared, engine: Some(engine), accept: Some(accept) })
+}
+
+/// Apply one queued operation at an epoch boundary. The reply is sent
+/// over the handler's channel; a dropped handler (disconnected client)
+/// makes the send a no-op, which is correct — the operation still
+/// applied.
+/// Apply one queued operation; returns the reply to deliver *after*
+/// the boundary's snapshot update (so a client that saw OK observes
+/// its effect in the very next HEALTH poll).
+fn apply_op(
+    op: PendingOp,
+    gs: &mut Gigascope,
+    sup: &mut Supervisor,
+    stats: &DaemonStats,
+) -> (mpsc::Sender<Result<String, String>>, Result<String, String>) {
+    match op {
+        PendingOp::Register { gsql, reply } => {
+            let result = match gs.add_program(&gsql) {
+                Ok(infos) => {
+                    for info in &infos {
+                        sup.track(&info.name);
+                    }
+                    stats.registers.inc();
+                    let names: Vec<&str> = infos.iter().map(|i| i.name.as_str()).collect();
+                    Ok(names.join(","))
+                }
+                Err(e) => Err(e.to_string()),
+            };
+            (reply, result)
+        }
+        PendingOp::Unregister { name, reply } => {
+            let result = match gs.remove_program(&name) {
+                Ok(()) => {
+                    sup.untrack(&name);
+                    stats.unregisters.inc();
+                    Ok(name)
+                }
+                Err(e) => Err(e.to_string()),
+            };
+            (reply, result)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn engine_loop(
+    mut gs: Gigascope,
+    mut supervisor: Supervisor,
+    source: PacketSource,
+    faults: Option<FaultPlan>,
+    fault_epochs: Range<u64>,
+    epoch_gap_ms: u64,
+    shared: Arc<Shared>,
+) {
+    let mut epoch: u64 = 0;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        // ---- Epoch boundary: apply ops, wake backoffs, clone taps ----
+        let (opts, sub_names, markers) = {
+            let mut ctl = lock(&shared.ctl);
+            let replies: Vec<_> = ctl
+                .pending
+                .drain(..)
+                .map(|op| apply_op(op, &mut gs, &mut supervisor, &shared.stats))
+                .collect();
+            let excluded = supervisor.excluded(epoch);
+            ctl.snapshot.health = supervisor.rows();
+            for (reply, result) in replies {
+                let _ = reply.send(result);
+            }
+
+            let mut sub_names: Vec<String> = Vec::new();
+            let mut taps: Vec<(String, SubscriptionTap)> = Vec::new();
+            // Streams owed an end-of-epoch marker: every subscribed
+            // stream that names a deployed query, excluded or not (a
+            // backoff epoch is an *empty* epoch, not a missing one).
+            let mut markers: Vec<(String, Vec<crate::transport::Sender<Vec<u8>>>)> = Vec::new();
+            for (stream, eps) in ctl.subs.iter() {
+                if eps.is_empty() || !gs.queries().iter().any(|d| &d.name == stream) {
+                    continue;
+                }
+                let senders: Vec<_> = eps.iter().map(|e| e.sender.clone()).collect();
+                markers.push((stream.clone(), senders.clone()));
+                if excluded.contains(stream) {
+                    continue;
+                }
+                sub_names.push(stream.clone());
+                let name = stream.clone();
+                taps.push((
+                    stream.clone(),
+                    Arc::new(move |batch: &[crate::Tuple]| {
+                        if batch.is_empty() {
+                            return;
+                        }
+                        let frame = wire::encode_frame(
+                            wire::TUPLES,
+                            &wire::encode_tuples(&name, epoch, batch),
+                        );
+                        for s in &senders {
+                            s.send(1, batch.len() as u64, frame.clone());
+                        }
+                    }) as SubscriptionTap,
+                ));
+            }
+            // Deterministic build order regardless of HashMap iteration.
+            sub_names.sort();
+            markers.sort_by(|a, b| a.0.cmp(&b.0));
+            (ThreadedOptions { taps, exclude: excluded, ..ThreadedOptions::default() }, sub_names, markers)
+        };
+
+        // ---- Run the epoch (engine holds no locks) -------------------
+        let active_queries =
+            gs.queries().iter().filter(|d| !opts.exclude.iter().any(|e| e == &d.name)).count();
+        let ran = if active_queries > 0 {
+            gs.faults = match (&faults, fault_epochs.contains(&epoch)) {
+                (Some(plan), true) => Some(plan.clone()),
+                _ => None,
+            };
+            let packets = source.epoch_packets(epoch);
+            let sub_refs: Vec<&str> = sub_names.iter().map(String::as_str).collect();
+            match run_threaded_opts(&gs, packets.into_iter(), &sub_refs, opts) {
+                Ok(out) => {
+                    supervisor.observe(epoch, &out.health);
+                    let mut ctl = lock(&shared.ctl);
+                    ctl.snapshot.counters = out.counters;
+                    drop(ctl);
+                    true
+                }
+                Err(_) => {
+                    shared.stats.run_errors.inc();
+                    false
+                }
+            }
+        } else {
+            true // an empty epoch completes trivially
+        };
+
+        // ---- Close the epoch: markers, snapshot, wake waiters --------
+        {
+            let mut ctl = lock(&shared.ctl);
+            if active_queries == 0 {
+                // Counters describe "the last completed epoch"; an
+                // empty catalog has none (the churn test's baseline).
+                ctl.snapshot.counters.clear();
+            }
+            for (stream, senders) in markers {
+                let frame =
+                    wire::encode_frame(wire::TUPLES, &wire::encode_tuples(&stream, epoch, &[]));
+                for s in &senders {
+                    // Markers are control frames: losing one would make
+                    // the client miscount epochs forever.
+                    s.send_control(frame.clone());
+                }
+            }
+            ctl.snapshot.health = supervisor.rows();
+            ctl.snapshot.epochs_done = epoch + 1;
+            shared.stats.epochs.set(epoch + 1);
+            shared.epoch_cv.notify_all();
+        }
+        epoch += 1;
+
+        // ---- Pace ----------------------------------------------------
+        let gap = if active_queries == 0 || !ran {
+            // Idle (or failing) daemon: don't spin the boundary hot.
+            epoch_gap_ms.max(1)
+        } else {
+            epoch_gap_ms
+        };
+        let mut slept = 0;
+        while slept < gap && !shared.shutdown.load(Ordering::SeqCst) {
+            let step = (gap - slept).min(10);
+            thread::sleep(Duration::from_millis(step));
+            slept += step;
+        }
+    }
+
+    // ---- Teardown: refuse stragglers, close every connection ---------
+    let mut ctl = lock(&shared.ctl);
+    ctl.stopped = true;
+    for op in ctl.pending.drain(..) {
+        let reply = match op {
+            PendingOp::Register { reply, .. } => reply,
+            PendingOp::Unregister { reply, .. } => reply,
+        };
+        let _ = reply.send(Err("daemon shutting down".to_string()));
+    }
+    // Give writers a short grace to flush already-queued replies (a
+    // final "OK shutting down" should reach its client) before cutting
+    // the sockets.
+    let deadline = std::time::Instant::now() + Duration::from_millis(200);
+    while ctl.conns.values().any(|c| c.chan.progress().1 > 0)
+        && std::time::Instant::now() < deadline
+    {
+        drop(ctl);
+        thread::sleep(Duration::from_millis(2));
+        ctl = lock(&shared.ctl);
+    }
+    for conn in ctl.conns.values() {
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        conn.chan.force_close();
+    }
+    shared.epoch_cv.notify_all();
+}

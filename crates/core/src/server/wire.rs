@@ -1,0 +1,553 @@
+//! The `gsqd` wire protocol: std-only, length-prefixed binary frames.
+//!
+//! Hermetic by constraint (no tokio, no serde, no protobuf): every frame
+//! is hand-encoded, like the `GS_STATS` rows the engines already emit.
+//! A frame is
+//!
+//! ```text
+//! +----------------+--------+------------------+
+//! | len: u32 BE    | opcode | payload          |
+//! +----------------+--------+------------------+
+//! ```
+//!
+//! where `len` counts the opcode byte plus the payload (so `len >= 1`),
+//! capped at [`MAX_FRAME`]. Integers are big-endian; strings are
+//! `u32 BE length + UTF-8 bytes`; tuple values are a tag byte plus the
+//! tag-specific payload (see [`put_value`]). Anything that violates the
+//! framing — a zero length, an oversized length, a payload shorter than
+//! its declared fields, bad UTF-8 — decodes to a [`WireError`], never a
+//! panic: the daemon answers with [`ERR`] and, for framing-level damage,
+//! closes that one connection while sibling sessions keep running.
+
+use gs_runtime::tuple::Tuple;
+use gs_runtime::value::Value;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on one frame's `len` field (opcode + payload), in bytes.
+/// Large enough for a full epoch's tuple batch, small enough that a
+/// hostile 4 GiB length prefix is rejected before any allocation.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Ceiling the daemon applies to *client* frames (a GSQL program or a
+/// stream name; nothing a client sends legitimately approaches this).
+pub const MAX_REQUEST: u32 = 1024 * 1024;
+
+// ---- Opcodes: client -> daemon -------------------------------------------
+
+/// Register a GSQL program (payload: program text).
+pub const REGISTER: u8 = 0x01;
+/// Unregister a query by name (payload: query name).
+pub const UNREGISTER: u8 = 0x02;
+/// Subscribe this connection to a named output stream (payload: name).
+pub const SUBSCRIBE: u8 = 0x03;
+/// Drop this connection's subscription to a stream (payload: name).
+pub const UNSUBSCRIBE: u8 = 0x04;
+/// Poll per-query lifecycle health (empty payload).
+pub const HEALTH: u8 = 0x05;
+/// Poll the daemon + last-epoch GS_STATS counters (empty payload).
+pub const STATS: u8 = 0x06;
+/// Liveness probe (empty payload).
+pub const PING: u8 = 0x07;
+/// Block until the daemon has completed the given epoch (payload: u64).
+pub const WAIT_EPOCH: u8 = 0x08;
+/// Stop the daemon after the current epoch (empty payload).
+pub const SHUTDOWN: u8 = 0x0F;
+
+// ---- Opcodes: daemon -> client -------------------------------------------
+
+/// Success reply (payload: context-dependent UTF-8 info string).
+pub const OK: u8 = 0x80;
+/// Failure reply (payload: UTF-8 message). The connection stays open
+/// unless the error was framing-level.
+pub const ERR: u8 = 0x81;
+/// A batch of result tuples on a subscribed stream. Payload: stream
+/// name, epoch u64, row count u32, then each row as `u16 arity` +
+/// values. A zero-row TUPLES frame is the end-of-epoch marker: every
+/// row of that (stream, epoch) has been delivered.
+pub const TUPLES: u8 = 0x82;
+/// Health report. Payload: u32 count, then per query: name, state u8
+/// (0 = running, 1 = backoff, 2 = failed/dead), restarts u64, reason.
+pub const HEALTH_RPT: u8 = 0x83;
+/// Stats report. Payload: u32 count, then per row: node, counter, u64.
+pub const STATS_RPT: u8 = 0x84;
+/// Reply to [`PING`].
+pub const PONG: u8 = 0x85;
+
+// ---- Value tags ----------------------------------------------------------
+
+const TAG_BOOL: u8 = 0;
+const TAG_UINT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_IP: u8 = 3;
+const TAG_STR: u8 = 4;
+
+/// Everything that can go wrong decoding a frame or a payload.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level failure (includes EOF mid-frame).
+    Io(io::Error),
+    /// The length prefix exceeds the allowed maximum.
+    Oversized(u32),
+    /// Structurally invalid content (zero length, short payload, bad
+    /// tag, bad UTF-8...).
+    Protocol(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io: {e}"),
+            WireError::Oversized(n) => write!(f, "declared frame length {n} exceeds maximum"),
+            WireError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+fn proto(msg: impl Into<String>) -> WireError {
+    WireError::Protocol(msg.into())
+}
+
+// ---- Frame I/O -----------------------------------------------------------
+
+/// Write one frame (length prefix, opcode, payload).
+pub fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> io::Result<()> {
+    let len = 1 + payload.len();
+    debug_assert!(len <= MAX_FRAME as usize, "oversized outbound frame");
+    let mut buf = Vec::with_capacity(4 + len);
+    buf.extend_from_slice(&(len as u32).to_be_bytes());
+    buf.push(opcode);
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)
+}
+
+/// Encode one frame into a byte vector (the fan-out path: encode once,
+/// clone the bytes per subscriber).
+pub fn encode_frame(opcode: u8, payload: &[u8]) -> Vec<u8> {
+    let len = 1 + payload.len();
+    let mut buf = Vec::with_capacity(4 + len);
+    buf.extend_from_slice(&(len as u32).to_be_bytes());
+    buf.push(opcode);
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Read one frame, enforcing `max_len` on the declared length *before*
+/// allocating or consuming the body. Returns `(opcode, payload)`.
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<(u8, Vec<u8>), WireError> {
+    let mut len4 = [0u8; 4];
+    r.read_exact(&mut len4)?;
+    let len = u32::from_be_bytes(len4);
+    if len == 0 {
+        return Err(proto("zero-length frame"));
+    }
+    if len > max_len {
+        return Err(WireError::Oversized(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let opcode = body[0];
+    body.remove(0);
+    Ok((opcode, body))
+}
+
+// ---- Payload encoding ----------------------------------------------------
+
+/// Append a `u32` big-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append a `u64` big-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Append one tuple value: tag byte + tag-specific payload. Floats ship
+/// as raw IEEE-754 bits, so every value round-trips exactly.
+pub fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Bool(b) => {
+            buf.push(TAG_BOOL);
+            buf.push(u8::from(*b));
+        }
+        Value::UInt(n) => {
+            buf.push(TAG_UINT);
+            put_u64(buf, *n);
+        }
+        Value::Float(f) => {
+            buf.push(TAG_FLOAT);
+            put_u64(buf, f.to_bits());
+        }
+        Value::Ip(ip) => {
+            buf.push(TAG_IP);
+            put_u32(buf, *ip);
+        }
+        Value::Str(s) => {
+            buf.push(TAG_STR);
+            put_u32(buf, s.len() as u32);
+            buf.extend_from_slice(s);
+        }
+    }
+}
+
+/// Append one tuple: `u16` arity + values.
+pub fn put_tuple(buf: &mut Vec<u8>, t: &Tuple) {
+    put_u32(buf, t.arity() as u32);
+    for v in t.values() {
+        put_value(buf, v);
+    }
+}
+
+// ---- Payload decoding ----------------------------------------------------
+
+/// Bounds-checked cursor over one frame's payload. Every accessor
+/// returns `Err` instead of panicking when the payload is shorter than
+/// its declared fields — adversarial bytes must cost at most one
+/// connection.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, off: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.off
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(proto(format!("payload truncated: need {n}, have {}", self.remaining())));
+        }
+        let s = &self.buf[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| proto("invalid UTF-8 in string"))
+    }
+
+    /// One tuple value (inverse of [`put_value`]).
+    pub fn value(&mut self) -> Result<Value, WireError> {
+        match self.u8()? {
+            TAG_BOOL => Ok(Value::Bool(self.u8()? != 0)),
+            TAG_UINT => Ok(Value::UInt(self.u64()?)),
+            TAG_FLOAT => Ok(Value::Float(f64::from_bits(self.u64()?))),
+            TAG_IP => Ok(Value::Ip(self.u32()?)),
+            TAG_STR => {
+                let n = self.u32()? as usize;
+                let b = self.take(n)?;
+                Ok(Value::Str(bytes::Bytes::copy_from_slice(b)))
+            }
+            t => Err(proto(format!("unknown value tag {t}"))),
+        }
+    }
+
+    /// One tuple (inverse of [`put_tuple`]).
+    pub fn tuple(&mut self) -> Result<Tuple, WireError> {
+        let arity = self.u32()? as usize;
+        if arity > self.remaining() {
+            // Each value costs at least one byte: a declared arity past
+            // the remaining payload is structurally impossible.
+            return Err(proto(format!("tuple arity {arity} exceeds payload")));
+        }
+        let mut vals = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            vals.push(self.value()?);
+        }
+        Ok(Tuple::new(vals))
+    }
+
+    /// Require the payload to be fully consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(proto(format!("{} trailing payload bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+// ---- Typed frames used by both halves ------------------------------------
+
+/// One decoded [`TUPLES`] frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuplesFrame {
+    /// The subscribed stream the rows belong to.
+    pub stream: String,
+    /// The daemon epoch that produced them.
+    pub epoch: u64,
+    /// The rows (empty for the end-of-epoch marker).
+    pub rows: Vec<Tuple>,
+}
+
+/// Encode a [`TUPLES`] payload.
+pub fn encode_tuples(stream: &str, epoch: u64, rows: &[Tuple]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(32 + rows.len() * 16);
+    put_str(&mut p, stream);
+    put_u64(&mut p, epoch);
+    put_u32(&mut p, rows.len() as u32);
+    for t in rows {
+        put_tuple(&mut p, t);
+    }
+    p
+}
+
+/// Decode a [`TUPLES`] payload.
+pub fn decode_tuples(payload: &[u8]) -> Result<TuplesFrame, WireError> {
+    let mut r = Reader::new(payload);
+    let stream = r.str()?;
+    let epoch = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut rows = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        rows.push(r.tuple()?);
+    }
+    r.finish()?;
+    Ok(TuplesFrame { stream, epoch, rows })
+}
+
+/// Lifecycle state of one registered query, as reported over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifeState {
+    /// Deployed and running every epoch.
+    Running,
+    /// Quarantined; sitting out its restart backoff.
+    Backoff,
+    /// Exceeded the restart budget; permanently failed until
+    /// re-registered.
+    Dead,
+}
+
+impl LifeState {
+    fn to_u8(self) -> u8 {
+        match self {
+            LifeState::Running => 0,
+            LifeState::Backoff => 1,
+            LifeState::Dead => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<LifeState, WireError> {
+        match v {
+            0 => Ok(LifeState::Running),
+            1 => Ok(LifeState::Backoff),
+            2 => Ok(LifeState::Dead),
+            other => Err(proto(format!("unknown lifecycle state {other}"))),
+        }
+    }
+}
+
+/// One row of a [`HEALTH_RPT`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthRow {
+    /// Registered query name.
+    pub query: String,
+    /// Current lifecycle state.
+    pub state: LifeState,
+    /// Automatic restarts performed so far.
+    pub restarts: u64,
+    /// Last quarantine reason (empty if never quarantined).
+    pub reason: String,
+}
+
+/// Encode a [`HEALTH_RPT`] payload.
+pub fn encode_health(rows: &[HealthRow]) -> Vec<u8> {
+    let mut p = Vec::new();
+    put_u32(&mut p, rows.len() as u32);
+    for r in rows {
+        put_str(&mut p, &r.query);
+        p.push(r.state.to_u8());
+        put_u64(&mut p, r.restarts);
+        put_str(&mut p, &r.reason);
+    }
+    p
+}
+
+/// Decode a [`HEALTH_RPT`] payload.
+pub fn decode_health(payload: &[u8]) -> Result<Vec<HealthRow>, WireError> {
+    let mut r = Reader::new(payload);
+    let n = r.u32()? as usize;
+    let mut rows = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        rows.push(HealthRow {
+            query: r.str()?,
+            state: LifeState::from_u8(r.u8()?)?,
+            restarts: r.u64()?,
+            reason: r.str()?,
+        });
+    }
+    r.finish()?;
+    Ok(rows)
+}
+
+/// One row of a [`STATS_RPT`]: `(node, counter, value)`.
+pub type StatsRow = (String, String, u64);
+
+/// Encode a [`STATS_RPT`] payload from registry snapshot rows.
+pub fn encode_stats(rows: &[gs_runtime::stats::StatRow]) -> Vec<u8> {
+    let mut p = Vec::new();
+    put_u32(&mut p, rows.len() as u32);
+    for r in rows {
+        put_str(&mut p, &r.node);
+        put_str(&mut p, r.counter);
+        put_u64(&mut p, r.value);
+    }
+    p
+}
+
+/// Decode a [`STATS_RPT`] payload.
+pub fn decode_stats(payload: &[u8]) -> Result<Vec<StatsRow>, WireError> {
+    let mut r = Reader::new(payload);
+    let n = r.u32()? as usize;
+    let mut rows = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        rows.push((r.str()?, r.str()?, r.u64()?));
+    }
+    r.finish()?;
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn frames_round_trip_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, REGISTER, b"Select time From eth0.tcp").unwrap();
+        write_frame(&mut buf, PING, b"").unwrap();
+        let mut cur = &buf[..];
+        let (op, body) = read_frame(&mut cur, MAX_FRAME).unwrap();
+        assert_eq!((op, body.as_slice()), (REGISTER, &b"Select time From eth0.tcp"[..]));
+        let (op, body) = read_frame(&mut cur, MAX_FRAME).unwrap();
+        assert_eq!((op, body.len()), (PING, 0));
+        assert!(matches!(read_frame(&mut cur, MAX_FRAME), Err(WireError::Io(_))), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_and_zero_lengths_are_rejected_before_reading_bodies() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            read_frame(&mut &buf[..], MAX_REQUEST),
+            Err(WireError::Oversized(u32::MAX))
+        ));
+        let zero = 0u32.to_be_bytes();
+        assert!(matches!(read_frame(&mut &zero[..], MAX_REQUEST), Err(WireError::Protocol(_))));
+    }
+
+    #[test]
+    fn values_and_tuples_round_trip_exactly() {
+        let t = Tuple::new(vec![
+            Value::Bool(true),
+            Value::UInt(u64::MAX),
+            Value::Float(-0.1),
+            Value::Float(f64::NAN),
+            Value::Ip(0x0a000001),
+            Value::Str(Bytes::from_static(b"payload \xff bytes are not UTF-8")),
+        ]);
+        let payload = encode_tuples("s", 7, std::slice::from_ref(&t));
+        let f = decode_tuples(&payload).unwrap();
+        assert_eq!((f.stream.as_str(), f.epoch, f.rows.len()), ("s", 7, 1));
+        let got = &f.rows[0];
+        assert_eq!(got.get(0), &Value::Bool(true));
+        assert_eq!(got.get(1), &Value::UInt(u64::MAX));
+        assert_eq!(got.get(2), &Value::Float(-0.1));
+        assert!(matches!(got.get(3), Value::Float(x) if x.is_nan()), "NaN bits survive");
+        assert_eq!(got.get(4), &Value::Ip(0x0a000001));
+        assert_eq!(got.get(5), t.get(5));
+    }
+
+    #[test]
+    fn truncated_payloads_error_instead_of_panicking() {
+        let t = Tuple::new(vec![Value::UInt(1), Value::Str(Bytes::from_static(b"abc"))]);
+        let payload = encode_tuples("stream", 3, &[t]);
+        for cut in 0..payload.len() {
+            assert!(decode_tuples(&payload[..cut]).is_err(), "prefix {cut} must not decode");
+        }
+        // Trailing garbage is also rejected.
+        let mut noisy = payload.clone();
+        noisy.push(0);
+        assert!(decode_tuples(&noisy).is_err());
+    }
+
+    #[test]
+    fn absurd_declared_counts_do_not_allocate() {
+        // A tuple claiming 2^32-1 values inside a 12-byte payload.
+        let mut p = Vec::new();
+        put_str(&mut p, "s");
+        put_u64(&mut p, 0);
+        put_u32(&mut p, 1); // one row...
+        put_u32(&mut p, u32::MAX); // ...claiming u32::MAX values
+        assert!(decode_tuples(&p).is_err());
+    }
+
+    #[test]
+    fn health_and_stats_round_trip() {
+        let rows = vec![
+            HealthRow {
+                query: "good".into(),
+                state: LifeState::Running,
+                restarts: 0,
+                reason: String::new(),
+            },
+            HealthRow {
+                query: "bad".into(),
+                state: LifeState::Dead,
+                restarts: 3,
+                reason: "panic: injected".into(),
+            },
+        ];
+        assert_eq!(decode_health(&encode_health(&rows)).unwrap(), rows);
+        let stats = vec![gs_runtime::stats::StatRow {
+            node: "daemon".into(),
+            counter: "epochs",
+            value: 12,
+        }];
+        assert_eq!(
+            decode_stats(&encode_stats(&stats)).unwrap(),
+            vec![("daemon".to_string(), "epochs".to_string(), 12)]
+        );
+    }
+}

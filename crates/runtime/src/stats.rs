@@ -87,6 +87,17 @@ impl StatsRegistry {
         self.sources.lock().unwrap().push((node.into(), source));
     }
 
+    /// Remove every source registered under `node`. Long-lived registries
+    /// (the `gsqd` daemon's) register per-query and per-connection nodes
+    /// dynamically; without removal an UNREGISTER or a disconnect would
+    /// leak its counter rows forever. Returns whether anything was removed.
+    pub fn unregister(&self, node: &str) -> bool {
+        let mut sources = self.sources.lock().unwrap();
+        let before = sources.len();
+        sources.retain(|(n, _)| n != node);
+        sources.len() != before
+    }
+
     /// Snapshot every registered counter, sorted by (node, counter).
     pub fn snapshot(&self) -> Vec<StatRow> {
         let sources = self.sources.lock().unwrap();
@@ -192,5 +203,18 @@ mod tests {
         // Live: a later mutation is visible without re-registering.
         b.puncts_in.set(3);
         assert_eq!(reg.value("node_b", "puncts_in"), Some(3));
+    }
+
+    #[test]
+    fn unregister_removes_all_rows_for_the_node() {
+        let reg = StatsRegistry::new();
+        reg.register("keep", Arc::new(OpCounters::default()));
+        reg.register("gone", Arc::new(OpCounters::default()));
+        reg.register("gone", Arc::new(OpCounters::default()));
+        assert!(reg.unregister("gone"));
+        assert!(!reg.unregister("gone"), "already removed");
+        let rows = reg.snapshot();
+        assert!(rows.iter().all(|r| r.node == "keep"), "only `keep` rows survive");
+        assert_eq!(rows.len(), 7);
     }
 }

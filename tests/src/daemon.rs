@@ -1,0 +1,56 @@
+//! Shared helpers for the `gsqd` protocol test battery.
+//!
+//! The daemon's core invariant is *epoch equivalence*: the frames a
+//! subscriber receives for epoch `k` must equal a one-shot
+//! `run_threaded` over [`PacketSource::epoch_packets`]`(k)` with an
+//! identically-configured system. These helpers build that one-shot
+//! reference and normalize outputs for comparison (threaded runs
+//! interleave producers, so cross-group emission order is not pinned —
+//! rows compare as sorted multisets).
+
+use gigascope::manager::run_threaded;
+use gigascope::server::{DaemonConfig, PacketSource};
+use gigascope::{Gigascope, Tuple};
+use gs_packet::capture::LinkType;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A low-rate synthetic source that keeps per-epoch runs fast: ~20 ms
+/// of mixed traffic per epoch, seeded per test case.
+pub fn small_source(seed: u64) -> PacketSource {
+    PacketSource::Synthetic { mbps: 20.0, epoch_ms: 20, seed }
+}
+
+/// A daemon config for tests: loopback auto-port, no pacing, the given
+/// source.
+pub fn test_config(source: PacketSource) -> DaemonConfig {
+    DaemonConfig { source, epoch_gap_ms: 0, ..DaemonConfig::default() }
+}
+
+/// The read timeout used by every test client: long enough for a busy
+/// CI machine, short enough that a daemon bug can't hang the suite.
+pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One-shot reference: run `program` over epoch `epoch` of `source`
+/// with the same engine knobs [`test_config`] uses (the
+/// `Gigascope::new` defaults), returning each subscription's rows.
+pub fn one_shot_epoch(
+    program: &str,
+    source: &PacketSource,
+    epoch: u64,
+    subscriptions: &[&str],
+) -> HashMap<String, Vec<Tuple>> {
+    let mut gs = Gigascope::new();
+    gs.add_interface("eth0", 0, LinkType::Ethernet);
+    gs.add_program(program).expect("reference program must deploy");
+    let out = run_threaded(&gs, source.epoch_packets(epoch).into_iter(), subscriptions)
+        .expect("reference run must succeed");
+    out.streams
+}
+
+/// Order-insensitive normal form of a row set.
+pub fn norm(rows: &[Tuple]) -> Vec<String> {
+    let mut v: Vec<String> = rows.iter().map(|t| t.to_string()).collect();
+    v.sort();
+    v
+}

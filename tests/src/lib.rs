@@ -5,6 +5,7 @@
 use gs_packet::{CapPacket, PacketView};
 use std::collections::BTreeMap;
 
+pub mod daemon;
 pub mod prop;
 
 /// Oracle: per-second counts of TCP packets to `port`, computed by direct

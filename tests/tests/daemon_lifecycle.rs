@@ -1,0 +1,124 @@
+//! Lifecycle churn: register and unregister queries repeatedly while
+//! packets flow, and prove nothing leaks.
+//!
+//! After every unregister the daemon must return to baseline:
+//!
+//! - the catalog accepts the same name again (and again, and again);
+//! - the daemon-lifetime `StatsRegistry` holds no `daemon:restart:<q>`
+//!   node for removed queries, and disconnect removes the
+//!   `daemon:conn:<id>` node;
+//! - subscriptions don't duplicate across re-registration (an old
+//!   endpoint surviving an unregister would double every frame, which
+//!   the one-shot equivalence check catches).
+
+use gigascope::server::client::Client;
+use gigascope::server::{self, wire::LifeState};
+use gs_tests::daemon::{norm, one_shot_epoch, small_source, test_config, CLIENT_TIMEOUT};
+
+const PROGRAM: &str = "DEFINE { query_name churn_raw; } Select time, len From eth0.tcp; \
+     DEFINE { query_name churn_agg; } \
+     Select time, count(*), sum(len) From churn_raw Group By time";
+
+/// A distinct program the odd rounds interleave, so churn covers both
+/// same-name and distinct-name reuse.
+const OTHER: &str = "DEFINE { query_name churn_other; } \
+     Select time, destPort From eth0.tcp Where destPort = 80";
+
+#[test]
+fn register_unregister_churn_returns_to_baseline() {
+    let source = small_source(0xC0FFEE);
+    let mut daemon = server::start(test_config(source.clone())).expect("daemon start");
+    let registry = daemon.registry();
+
+    let mut client = Client::connect(daemon.addr()).expect("connect");
+    client.set_timeout(Some(CLIENT_TIMEOUT)).expect("timeout");
+
+    // Baseline: the daemon-lifetime registry before anything is
+    // registered, minus per-connection nodes (ids grow monotonically
+    // across the run by design).
+    let baseline = |reg: &gs_runtime::stats::StatsRegistry| -> Vec<String> {
+        let mut nodes: Vec<String> = reg
+            .snapshot()
+            .into_iter()
+            .map(|r| r.node)
+            .filter(|n| !n.starts_with("daemon:conn:"))
+            .collect();
+        nodes.sort();
+        nodes.dedup();
+        nodes
+    };
+    let clean = baseline(&registry);
+    assert_eq!(clean, vec!["daemon".to_string()], "fresh daemon has only its own node");
+
+    for round in 0..8 {
+        // Register (same two names every round; a leak in the catalog
+        // or the supervisor would make this fail from round 1).
+        let names = client.register(PROGRAM).expect("register must succeed after unregister");
+        assert_eq!(names, vec!["churn_raw".to_string(), "churn_agg".to_string()]);
+        if round % 2 == 1 {
+            client.register(OTHER).expect("distinct name registers alongside");
+        }
+
+        // While live: restart nodes exist, health lists the queries.
+        assert_eq!(registry.value("daemon:restart:churn_agg", "restarts"), Some(0));
+        let health = client.health().expect("health");
+        assert!(health.iter().all(|r| r.state == LifeState::Running));
+
+        // Packets flow to a subscriber and match the one-shot engine —
+        // a duplicated subscription endpoint or a stale catalog entry
+        // would break equality.
+        client.subscribe("churn_agg").expect("subscribe");
+        let (epoch, rows) = client.read_epoch("churn_agg").expect("one full epoch");
+        let reference = one_shot_epoch(PROGRAM, &source, epoch, &["churn_agg"]);
+        assert_eq!(
+            norm(&rows),
+            norm(&reference["churn_agg"]),
+            "round {round}: daemon epoch {epoch} diverges"
+        );
+        client.unsubscribe("churn_agg").expect("unsubscribe");
+
+        // Dependents first: removing the producer while a consumer
+        // reads it must be refused, then succeed in dependency order.
+        assert!(
+            client.unregister("churn_raw").is_err(),
+            "removing a stream with a live dependent must be refused"
+        );
+        client.unregister("churn_agg").expect("unregister consumer");
+        client.unregister("churn_raw").expect("unregister producer");
+        if round % 2 == 1 {
+            client.unregister("churn_other").expect("unregister other");
+        }
+
+        // Back to baseline: no restart nodes, no health rows.
+        assert_eq!(baseline(&registry), clean, "round {round}: leaked stats nodes");
+        assert!(client.health().expect("health").is_empty(), "round {round}: leaked health rows");
+    }
+
+    // Engine counters also drain once the catalog is empty.
+    let done = client.wait_epoch(0).expect("poll");
+    client.wait_epoch(done + 2).expect("two empty epochs");
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.iter().all(|(n, _, _)| n == "daemon" || n.starts_with("daemon:conn:")),
+        "engine counters must clear on an empty catalog: {stats:?}"
+    );
+
+    // Disconnect removes this connection's stats node.
+    let my_conns = || {
+        registry
+            .snapshot()
+            .into_iter()
+            .filter(|r| r.node.starts_with("daemon:conn:"))
+            .map(|r| r.node)
+            .collect::<std::collections::BTreeSet<_>>()
+    };
+    assert!(!my_conns().is_empty(), "live connection has a stats node");
+    drop(client);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while !my_conns().is_empty() && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(my_conns().is_empty(), "disconnect must remove the daemon:conn node");
+
+    daemon.shutdown();
+}

@@ -203,6 +203,7 @@ fn shedding_output_is_subset_of_sync_with_merge_order() {
             } else {
                 Vec::new()
             },
+            ..Default::default()
         };
         let thr_out = run_threaded_opts(&gs, pkts.iter().cloned(), t.subscriptions, opts).unwrap();
 
@@ -284,7 +285,7 @@ fn gs_stats_query_sees_live_counters_and_shed_drops() {
         &gs,
         pkts,
         &["sel", "shedwatch", "opwatch"],
-        ThreadedOptions { stall: vec!["sel".to_string()] },
+        ThreadedOptions { stall: vec!["sel".to_string()], ..Default::default() },
     )
     .unwrap();
 

@@ -45,7 +45,7 @@ fn stalled_subscription_recovers_within_watchdog() {
         &gs,
         pkts(n),
         &["sel", "ok"],
-        ThreadedOptions { stall: vec!["sel".to_string()] },
+        ThreadedOptions { stall: vec!["sel".to_string()], ..Default::default() },
     )
     .unwrap();
     assert!(
