@@ -78,6 +78,22 @@ echo "== daemon protocol/lifecycle tests =="
 cargo test -q --offline -p gs-tests \
     --test prop_daemon --test daemon_lifecycle --test daemon_restart
 
+echo "== checkpoint/restore property tests =="
+# Explicit gate on the PR-9 suites (also covered by the full test run
+# above): snapshot codec rejection of every truncation prefix and random
+# corruption with empty-window fallback, chunked capture/restore and
+# seeded-fault retry equivalence vs continuous runs, and carry-state
+# daemon sessions (window spanning epochs, fault + replay from
+# checkpoint) matching the one-shot engine.
+cargo test -q --offline -p gs-tests \
+    --test prop_snapshot --test prop_checkpoint --test daemon_carry
+
+echo "== snapshot overhead gate (<=5% on threaded benches) =="
+# Interleaved carry-mode (restore + capture) vs plain runs of the
+# manager workload; exits non-zero if checkpointing costs more than 5%
+# on the steady-state path.
+GS_BENCH_QUICK=1 cargo run -q --release --offline -p gs-bench --bin snapshot_overhead
+
 echo "== daemon gate: scripted gsqd/gsq session on loopback =="
 # Boot the real daemon binary on an ephemeral loopback port, run a full
 # scripted client session against it (register, subscribe, two epochs
@@ -123,6 +139,81 @@ grep -q '^# perport epoch' target/gsqd_session.out ||
 grep -q '^health,perport,' target/gsqd_session.out ||
     { echo "FAIL: no health row in the scripted session" >&2; exit 1; }
 echo "OK: daemon session clean"
+
+echo "== checkpoint gate: carry-state session == uninterrupted one-shot run =="
+# Boot the real daemon in carry-state mode over one continuous 1.2 s
+# synthetic trace sliced into six 200 ms epoch chunks (70 Mbps: above
+# the 60 Mbps HTTP cap, so background traffic spreads destPorts and the
+# aggregate closes one 1-second window mid-session while the second is
+# held to the flush tail), with a seeded panic injected into the
+# aggregate's HFTA mid-window. The query must
+# auto-restart, restore its checkpoint, replay the missed epochs, and
+# the session's total output (epochs + post-SHUTDOWN flush tail) must
+# be row-for-row identical to a local one-shot gsq run over the same
+# continuous trace. Ten empty lead-in epochs give the client time to
+# subscribe before the first real packet, so the comparison is total.
+rm -f target/gsqd_ckpt.port target/gsqd_ckpt_session.out
+cat > target/ci_carry.gsql <<'EOF'
+DEFINE { query_name raw; }
+Select time, destPort, len From eth0.tcp;
+DEFINE { query_name agg; }
+Select time, destPort, count(*), sum(len) From raw Group By time, destPort
+EOF
+target/release/gsqd --listen 127.0.0.1:0 --chunked 70x200x6 --lead-in 10 \
+    --seed 7 --carry-state --fault-panic agg@1 --fault-epochs 12..13 \
+    --restart-budget 3 --backoff 1 --epoch-gap 50 \
+    --program target/ci_carry.gsql --port-file target/gsqd_ckpt.port &
+GSQD_PID=$!
+for _ in $(seq 1 200); do
+    [ -s target/gsqd_ckpt.port ] && break
+    sleep 0.05
+done
+[ -s target/gsqd_ckpt.port ] || { kill "$GSQD_PID" 2>/dev/null; echo "FAIL: carry gsqd never wrote its port file" >&2; exit 1; }
+# Real chunks run in epochs 10..15; reading 16 epochs from the first
+# subscribed boundary covers them all (empty epochs follow the last
+# chunk), and --drain collects the flush tail after SHUTDOWN.
+if ! target/release/gsq --connect "$(cat target/gsqd_ckpt.port)" \
+        --subscribe agg --epochs 16 --health --shutdown --drain \
+        > target/gsqd_ckpt_session.out; then
+    kill "$GSQD_PID" 2>/dev/null
+    echo "FAIL: carry-state gsq session exited non-zero" >&2
+    exit 1
+fi
+GSQD_RC=0
+for _ in $(seq 1 100); do
+    kill -0 "$GSQD_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$GSQD_PID" 2>/dev/null; then
+    kill -9 "$GSQD_PID"
+    echo "FAIL: carry gsqd still running after SHUTDOWN" >&2
+    exit 1
+fi
+wait "$GSQD_PID" || GSQD_RC=$?
+[ "$GSQD_RC" -eq 0 ] || { echo "FAIL: carry gsqd exited $GSQD_RC" >&2; exit 1; }
+# The injected fault must have charged exactly one restart and the
+# query must be back to Running when the session polls health.
+grep -q '^health,agg,Running,1,' target/gsqd_ckpt_session.out ||
+    { echo "FAIL: no restarted-and-running health row in the carry session" >&2; exit 1; }
+# Total-output equivalence: the carry session's agg rows must be
+# exactly the rows of an uninterrupted local run over the same
+# continuous trace (sorted CSV diff = multiset equality).
+target/release/gsq --program target/ci_carry.gsql --synthetic 70x1200 \
+    --seed 7 --subscribe agg > target/gsqd_ckpt_reference.out
+grep '^agg,' target/gsqd_ckpt_session.out | sort > target/gsqd_ckpt_got.csv
+grep '^agg,' target/gsqd_ckpt_reference.out | sort > target/gsqd_ckpt_want.csv
+# The trace must be rich enough that the diff means something: several
+# groups (each row's count/sum covers thousands of packets — an
+# undercounted restart window shows up as a changed sum) across at
+# least two 1-second time buckets, so a window provably spanned epoch
+# boundaries and the second bucket arrived via the shutdown flush tail.
+[ "$(wc -l < target/gsqd_ckpt_want.csv)" -ge 4 ] ||
+    { echo "FAIL: reference run produced fewer than 4 agg rows" >&2; exit 1; }
+[ "$(cut -d, -f2 target/gsqd_ckpt_want.csv | sort -u | wc -l)" -ge 2 ] ||
+    { echo "FAIL: reference run covers fewer than 2 time buckets" >&2; exit 1; }
+diff -u target/gsqd_ckpt_want.csv target/gsqd_ckpt_got.csv ||
+    { echo "FAIL: carry session output diverges from the one-shot run" >&2; exit 1; }
+echo "OK: checkpointed session matches the uninterrupted run"
 
 echo "== offline bench compile =="
 cargo bench -p gs-bench --no-run --offline

@@ -1,0 +1,129 @@
+//! CI gate: checkpoint/restore must stay cheap on the steady-state path.
+//!
+//! A carry-state daemon epoch differs from a plain run in exactly two
+//! ways: it *restores* the previous cut at build time and *captures* a
+//! new one at punctuation-aligned end-of-input. This gate runs the same
+//! raw→persec workload as `stats_overhead` in both modes, strictly
+//! interleaved so machine drift hits both sides equally, compares the
+//! fastest run of each (minimum is the standard low-noise estimator),
+//! and exits non-zero if the snapshot path costs more than 5%.
+//!
+//! Both timed sides process the *second half* of the trace; the carry
+//! side first restores a real checkpoint captured over the first half
+//! (the daemon's steady state — time continues past the cut), so the
+//! decode path, table rebuild, and watermark seeding are all on the
+//! clock, not just an empty-map fast path.
+//!
+//! `GS_BENCH_QUICK=1` shrinks the trace and round count for CI; the gate
+//! itself still applies.
+
+use gigascope::manager::{run_threaded, run_threaded_opts, ThreadedOptions};
+use gigascope::Gigascope;
+use gs_packet::builder::FrameBuilder;
+use gs_packet::capture::{CapPacket, LinkType};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+const THRESHOLD: f64 = 0.05;
+const SUBS: [&str; 2] = ["raw", "persec"];
+
+fn trace(n: usize) -> Vec<CapPacket> {
+    (0..n)
+        .map(|i| {
+            let f = FrameBuilder::tcp(0x0a00_0001 + (i % 7) as u32, 0xc0a8_0001, 1024, 80)
+                .payload(b"x")
+                .build_ethernet();
+            // 2000 packets per second of stream time, as in benches/micro.rs.
+            CapPacket::full(i as u64 * 500_000, 0, LinkType::Ethernet, f)
+        })
+        .collect()
+}
+
+fn system(batch: usize) -> Gigascope {
+    let mut gs = Gigascope::new();
+    gs.add_interface("eth0", 0, LinkType::Ethernet);
+    gs.batch_size = batch;
+    gs.add_program(
+        "DEFINE { query_name raw; } Select time, len From eth0.tcp; \
+         DEFINE { query_name persec; } \
+         Select time, count(*), sum(len) From raw Group By time",
+    )
+    .unwrap();
+    gs
+}
+
+fn run_plain(gs: &Gigascope, pkts: &[CapPacket]) -> f64 {
+    let start = Instant::now();
+    let out = run_threaded(gs, pkts.iter().cloned(), &SUBS).unwrap();
+    std::hint::black_box(out);
+    start.elapsed().as_secs_f64()
+}
+
+/// One carry-mode epoch: restore the prior cut, process, capture a new
+/// cut — the daemon's steady state with `--carry-state`.
+fn run_carry(gs: &Gigascope, pkts: &[CapPacket], snaps: &Arc<HashMap<String, Vec<u8>>>) -> f64 {
+    let start = Instant::now();
+    let opts = ThreadedOptions {
+        capture: true,
+        restore: Some(Arc::clone(snaps)),
+        ..ThreadedOptions::default()
+    };
+    let out = run_threaded_opts(gs, pkts.iter().cloned(), &SUBS, opts).unwrap();
+    assert!(out.health.notes().is_empty(), "checkpoint must restore clean");
+    std::hint::black_box(out);
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let quick = std::env::var("GS_BENCH_QUICK").is_ok_and(|v| v == "1");
+    // Quick mode shrinks the trace but keeps a high round count: the
+    // minimum estimator needs more samples on a short run for both
+    // sides to reach their floor (see stats_overhead).
+    // Timed runs cover half the trace, so double the sizes from
+    // stats_overhead to keep the measured work comparable.
+    let (n, rounds) = if quick { (8_000, 15) } else { (40_000, 9) };
+    let pkts = trace(n);
+    let timed = &pkts[n / 2..];
+    let mut failed = false;
+    for (name, batch) in [("threaded_throughput", 256), ("threaded_batch_64", 64)] {
+        let gs = system(batch);
+        // A real checkpoint to restore every round: capture over the
+        // first half leaves the last 1-second window open in the cut.
+        let warm = ThreadedOptions { capture: true, ..ThreadedOptions::default() };
+        let snaps = Arc::new(
+            run_threaded_opts(&gs, pkts[..n / 2].iter().cloned(), &SUBS, warm)
+                .unwrap()
+                .snapshots,
+        );
+        assert!(!snaps.is_empty(), "capture produced no checkpoint");
+        // Warm both paths (thread spawn, allocator, page cache) before
+        // any timed round.
+        run_carry(&gs, timed, &snaps);
+        run_plain(&gs, timed);
+        let (mut best_carry, mut best_plain) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..rounds {
+            best_carry = best_carry.min(run_carry(&gs, timed, &snaps));
+            best_plain = best_plain.min(run_plain(&gs, timed));
+        }
+        let overhead = best_carry / best_plain - 1.0;
+        println!(
+            "manager/{name}: carry {:.3} ms, plain {:.3} ms, overhead {:+.2}%",
+            best_carry * 1e3,
+            best_plain * 1e3,
+            overhead * 100.0
+        );
+        if overhead > THRESHOLD {
+            eprintln!(
+                "FAIL: manager/{name} snapshot overhead {:.2}% exceeds {:.0}%",
+                overhead * 100.0,
+                THRESHOLD * 100.0
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("OK: snapshot overhead within {:.0}%", THRESHOLD * 100.0);
+}

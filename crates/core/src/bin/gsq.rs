@@ -24,6 +24,9 @@
 //!   --unregister <name>      unregister a query
 //!   --ping                   liveness probe
 //!   --shutdown               stop the daemon after the other actions
+//!   --drain                  after --shutdown, keep printing tuple frames
+//!                            until the daemon closes the socket (collects
+//!                            the carry-mode flush tail)
 //!
 //! In connect mode `--program` registers the program with the daemon,
 //! `--subscribe` subscribes to its output streams, and `--stats` polls
@@ -59,6 +62,7 @@ struct Args {
     unregister: Option<String>,
     ping: bool,
     shutdown: bool,
+    drain: bool,
 }
 
 fn usage(msg: &str) -> ! {
@@ -96,6 +100,7 @@ fn parse_args() -> Args {
         unregister: None,
         ping: false,
         shutdown: false,
+        drain: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -150,6 +155,7 @@ fn parse_args() -> Args {
             "--unregister" => args.unregister = Some(val()),
             "--ping" => args.ping = true,
             "--shutdown" => args.shutdown = true,
+            "--drain" => args.drain = true,
             "--help" | "-h" => usage("help"),
             other => usage(&format!("unknown flag `{other}`")),
         }
@@ -238,6 +244,18 @@ fn connect_mode(args: &Args, addr: &str) {
     if args.shutdown {
         client.shutdown().unwrap_or_else(|e| fail("shutdown", &e));
         println!("# daemon shutting down");
+    }
+    if args.drain {
+        // Carry-state shutdown runs a flush epoch that emits the held
+        // window tails before closing subscriber sockets; print those
+        // final frames until the daemon hangs up.
+        while let Ok(frame) = client.next_tuples() {
+            println!("# {} flush: {} rows", frame.stream, frame.rows.len());
+            for t in frame.rows {
+                let row: Vec<String> = t.values().iter().map(|v| v.to_string()).collect();
+                println!("{},{}", frame.stream, row.join(","));
+            }
+        }
     }
 }
 

@@ -9,7 +9,21 @@
 //!   --iface <name=id[:link]> register an interface (default: eth0=0:ether)
 //!   --trace <file>           replay a .gsc capture trace every epoch
 //!   --synthetic <mbps>x<ms>  synthetic mix per epoch (default 100x100)
+//!   --chunked <mbps>x<ms>x<n> ONE continuous synthetic trace sliced into n
+//!                            per-epoch chunks (time advances across epochs;
+//!                            the shape --carry-state needs)
+//!   --lead-in <n>            prepend n empty chunks to a --chunked source,
+//!                            giving a client time to SUBSCRIBE before the
+//!                            first real packet (CI equivalence checks)
 //!   --seed <n>               base synthetic seed; epoch k uses seed+k
+//!   --carry-state            carry operator state across epochs: windows
+//!                            spanning epoch boundaries aggregate as one
+//!                            continuous run, restarted queries resume from
+//!                            their last checkpoint and replay missed epochs,
+//!                            and shutdown flushes the held tails
+//!   --fault-panic <node>@<batch>  arm a deterministic panic injection at the
+//!                            named node's n-th batch (CI/demo)
+//!   --fault-epochs <lo>..<hi>  epoch ids during which the fault is armed
 //!   --epoch-gap <ms>         pacing between epochs (default 100)
 //!   --restart-budget <n>     automatic restarts per query (default 3)
 //!   --backoff <n>            base restart backoff in epochs (default 1)
@@ -32,7 +46,9 @@ use std::process::exit;
 
 fn usage(msg: &str) -> ! {
     eprintln!("gsqd: {msg}\n\nusage: gsqd [--listen addr] [--program file] [--iface name=id[:link]]");
-    eprintln!("            [--trace file.gsc | --synthetic <mbps>x<ms>] [--seed n] [--epoch-gap ms]");
+    eprintln!("            [--trace file.gsc | --synthetic <mbps>x<ms> | --chunked <mbps>x<ms>x<n>]");
+    eprintln!("            [--seed n] [--lead-in n] [--carry-state] [--epoch-gap ms]");
+    eprintln!("            [--fault-panic node@batch] [--fault-epochs lo..hi]");
     eprintln!("            [--restart-budget n] [--backoff n] [--parallelism n]");
     eprintln!("            [--heartbeat off|N|ondemand] [--port-file path]");
     exit(2);
@@ -55,7 +71,9 @@ fn main() {
         ..DaemonConfig::default()
     };
     let mut synthetic = (100.0f64, 100u64);
+    let mut chunked: Option<(f64, u64, u64)> = None;
     let mut seed = 0u64;
+    let mut lead_in = 0usize;
     let mut trace: Option<String> = None;
     let mut port_file: Option<String> = None;
 
@@ -93,7 +111,44 @@ fn main() {
                     ms.parse().unwrap_or_else(|_| usage("bad ms")),
                 );
             }
+            "--chunked" => {
+                let v = val();
+                let mut parts = v.split('x');
+                let mbps: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--chunked <mbps>x<ms>x<epochs>"));
+                let ms: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--chunked <mbps>x<ms>x<epochs>"));
+                let n: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--chunked <mbps>x<ms>x<epochs>"));
+                chunked = Some((mbps, ms, n));
+            }
             "--seed" => seed = val().parse().unwrap_or_else(|_| usage("bad seed")),
+            "--lead-in" => lead_in = val().parse().unwrap_or_else(|_| usage("bad --lead-in")),
+            "--carry-state" => config.carry_state = true,
+            "--fault-panic" => {
+                let v = val();
+                let (node, batch) =
+                    v.split_once('@').unwrap_or_else(|| usage("--fault-panic node@batch"));
+                let batch: u64 =
+                    batch.parse().unwrap_or_else(|_| usage("bad --fault-panic batch"));
+                config.faults = Some(
+                    config.faults.take().unwrap_or_default().panic_at(node.to_string(), batch),
+                );
+            }
+            "--fault-epochs" => {
+                let v = val();
+                let (lo, hi) =
+                    v.split_once("..").unwrap_or_else(|| usage("--fault-epochs lo..hi"));
+                let lo: u64 = lo.parse().unwrap_or_else(|_| usage("bad --fault-epochs"));
+                let hi: u64 = hi.parse().unwrap_or_else(|_| usage("bad --fault-epochs"));
+                config.fault_epochs = lo..hi;
+            }
             "--epoch-gap" => {
                 config.epoch_gap_ms = val().parse().unwrap_or_else(|_| usage("bad epoch gap"))
             }
@@ -134,8 +189,22 @@ fn main() {
             });
             PacketSource::Replay(packets)
         }
-        None => PacketSource::Synthetic { mbps: synthetic.0, epoch_ms: synthetic.1, seed },
+        None => match chunked {
+            Some((mbps, ms, n)) => PacketSource::chunked_synthetic(mbps, ms, n, seed),
+            None => PacketSource::Synthetic { mbps: synthetic.0, epoch_ms: synthetic.1, seed },
+        },
     };
+    if lead_in > 0 {
+        // Empty lead-in epochs are only meaningful for a time-continuous
+        // source; for the per-epoch sources the first real epoch already
+        // starts at clock zero.
+        let PacketSource::Chunked(chunks) = &mut config.source else {
+            usage("--lead-in requires --chunked");
+        };
+        let mut led = vec![Vec::new(); lead_in];
+        led.append(chunks);
+        *chunks = led;
+    }
 
     let mut daemon = server::start(config).unwrap_or_else(|e| {
         eprintln!("gsqd: {e}");

@@ -66,6 +66,7 @@ pub struct NodeFault {
 #[derive(Debug, Clone, Default)]
 pub struct RunHealth {
     failures: HashMap<String, FaultReason>,
+    notes: Vec<(String, String)>,
 }
 
 impl RunHealth {
@@ -73,7 +74,7 @@ impl RunHealth {
     /// the daemon supervisor's unit tests to exercise lifecycle
     /// transitions without running an engine.
     pub fn from_failures(failures: impl IntoIterator<Item = (String, FaultReason)>) -> RunHealth {
-        RunHealth { failures: failures.into_iter().collect() }
+        RunHealth { failures: failures.into_iter().collect(), notes: Vec::new() }
     }
 
     /// Health of `query` (queries never recorded as failed are `Ok`).
@@ -100,6 +101,20 @@ impl RunHealth {
         v.sort_by_key(|(k, _)| *k);
         v
     }
+
+    /// Non-fatal advisories recorded during the run, in arrival order:
+    /// `(query, message)` pairs. A rejected operator-state snapshot
+    /// (torn, corrupt, wrong shape) lands here — the query still runs,
+    /// from empty windows, and the degradation is reported instead of
+    /// silently absorbed.
+    pub fn notes(&self) -> &[(String, String)] {
+        &self.notes
+    }
+
+    /// The advisory notes recorded against one query.
+    pub fn notes_of(&self, query: &str) -> Vec<&str> {
+        self.notes.iter().filter(|(q, _)| q == query).map(|(_, m)| m.as_str()).collect()
+    }
 }
 
 /// The owning query of a node's output stream: partition shards
@@ -117,6 +132,7 @@ pub fn query_of(stream: &str) -> &str {
 #[derive(Default)]
 pub struct HealthBoard {
     failures: Mutex<HashMap<String, FaultReason>>,
+    notes: Mutex<Vec<(String, String)>>,
     /// Containment accounting shared with the stats registry.
     pub stats: Arc<FaultStats>,
 }
@@ -141,10 +157,19 @@ impl HealthBoard {
         true
     }
 
+    /// Record a non-fatal advisory against `stream`'s owning query (same
+    /// name normalization as [`HealthBoard::record`]). The query keeps
+    /// running; the note rides out on [`RunHealth::notes`].
+    pub fn note(&self, stream: &str, message: String) {
+        let query = query_of(stream).to_string();
+        self.notes.lock().unwrap_or_else(PoisonError::into_inner).push((query, message));
+    }
+
     /// Snapshot into the final report.
     pub fn report(&self) -> RunHealth {
         RunHealth {
             failures: self.failures.lock().unwrap_or_else(PoisonError::into_inner).clone(),
+            notes: self.notes.lock().unwrap_or_else(PoisonError::into_inner).clone(),
         }
     }
 }
@@ -174,6 +199,19 @@ mod tests {
         assert_eq!(r.failures().len(), 2);
         assert!(!r.all_ok());
         assert!(RunHealth::default().all_ok());
+    }
+
+    #[test]
+    fn notes_are_advisory_not_failures() {
+        let b = HealthBoard::new();
+        b.note("q#2", "snapshot rejected (bad checksum); resuming empty".to_string());
+        b.note("other__lfta0", "lfta snapshot rejected".to_string());
+        let r = b.report();
+        assert!(r.all_ok(), "notes never fail a query");
+        assert_eq!(r.notes().len(), 2);
+        assert_eq!(r.notes_of("q"), vec!["snapshot rejected (bad checksum); resuming empty"]);
+        assert_eq!(r.notes_of("other").len(), 1);
+        assert!(r.notes_of("absent").is_empty());
     }
 
     #[test]

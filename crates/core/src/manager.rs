@@ -47,6 +47,7 @@ use gs_runtime::batch::{ColBuilder, ColumnBatch};
 use gs_runtime::ops::build::{build_hfta, build_lfta, BuildCtx};
 use gs_runtime::ops::prefilter::{PrefilterCache, SharedPrefilter};
 use gs_runtime::punct::{HeartbeatMode, Punct};
+use gs_runtime::snapshot::{SnapError, SnapReader, SnapWriter};
 use gs_runtime::stats::{Counter, StatRow, StatSource, StatsRegistry};
 use gs_runtime::tuple::{StreamItem, Tuple};
 use gs_runtime::value::Value;
@@ -517,6 +518,11 @@ pub struct ThreadedOutput {
     /// operator, upstream fault, watchdog-forced close) — a faulted
     /// query fails alone; its siblings' outputs are unaffected.
     pub health: RunHealth,
+    /// Sealed operator-state snapshots captured at end of input when
+    /// [`ThreadedOptions::capture`] was set, keyed `hfta:<stream>` /
+    /// `lfta:<stream>`. Faulted nodes record nothing — their state is
+    /// mid-panic garbage, and restoring it would resurrect the fault.
+    pub snapshots: HashMap<String, Vec<u8>>,
 }
 
 impl ThreadedOutput {
@@ -564,6 +570,22 @@ pub struct ThreadedOptions {
     /// their restart backoff; consumers of an excluded query's streams
     /// simply see empty inputs.
     pub exclude: Vec<String>,
+    /// Capture operator state instead of flushing it: at end of input
+    /// every node skips its `finish_input`/`finish` flush (open windows
+    /// stay open), serializes its state through
+    /// [`gs_runtime::snapshot`], and the sealed bytes ride out on
+    /// [`ThreadedOutput::snapshots`]. The capture point is a consistent
+    /// cut — every edge has drained before any node serializes — so a
+    /// follow-up run restoring the map continues exactly where this one
+    /// stopped.
+    pub capture: bool,
+    /// Sealed snapshots (a previous run's [`ThreadedOutput::snapshots`])
+    /// to restore before processing. Keys that match no built node are
+    /// ignored; nodes with no entry start empty; a torn/corrupt/
+    /// mismatched entry is rejected whole — the node is rebuilt pristine
+    /// (empty windows) and the rejection is reported on
+    /// [`RunHealth::notes`], never a crash, never partial state.
+    pub restore: Option<Arc<HashMap<String, Vec<u8>>>>,
 }
 
 impl std::fmt::Debug for ThreadedOptions {
@@ -572,8 +594,23 @@ impl std::fmt::Debug for ThreadedOptions {
             .field("stall", &self.stall)
             .field("taps", &self.taps.iter().map(|(n, _)| n).collect::<Vec<_>>())
             .field("exclude", &self.exclude)
+            .field("capture", &self.capture)
+            .field("restore", &self.restore.as_ref().map(|m| m.len()))
             .finish()
     }
+}
+
+/// Open a sealed snapshot and run `f` over its payload, requiring full
+/// consumption: integrity (magic, version, checksum) is verified before
+/// `f` sees a byte, and trailing garbage after a structurally valid
+/// payload is rejected like any other protocol error.
+fn open_snapshot(
+    bytes: &[u8],
+    f: impl FnOnce(&mut SnapReader<'_>) -> Result<(), SnapError>,
+) -> Result<(), SnapError> {
+    let mut r = SnapReader::open(bytes)?;
+    f(&mut r)?;
+    r.finish()
 }
 
 /// Run all deployed queries over `packets` with one thread per HFTA.
@@ -618,6 +655,32 @@ where
         /// `(partition stream name, its queue endpoint)`, in order.
         members: Vec<(String, PortSender)>,
     }
+    /// Build one HFTA node and, when a prior run's sealed snapshot is on
+    /// offer, restore it — at build time, before any thread spawns, so a
+    /// rejected snapshot (torn, corrupt, wrong shape) can fall back to a
+    /// pristine rebuild from the plan instead of trusting a half-applied
+    /// decode. The rejection lands in `notes` for the health report.
+    fn build_restored(
+        plan: &gs_gsql::plan::Plan,
+        ctx: &BuildCtx<'_>,
+        name: &str,
+        restore: Option<&HashMap<String, Vec<u8>>>,
+        notes: &mut Vec<(String, String)>,
+    ) -> Result<gs_runtime::ops::build::HftaNode, Error> {
+        let mut node = build_hfta(plan, ctx)?;
+        if let Some(bytes) = restore.and_then(|m| m.get(&format!("hfta:{name}"))) {
+            if let Err(e) = open_snapshot(bytes, |r| node.restore_state(r)) {
+                node = build_hfta(plan, ctx)?;
+                notes.push((
+                    name.to_string(),
+                    format!("snapshot rejected ({e}); resuming from empty windows"),
+                ));
+            }
+        }
+        Ok(node)
+    }
+    let restore_map = opts.restore.as_deref();
+    let mut restore_notes: Vec<(String, String)> = Vec::new();
     let mut lftas = Vec::new();
     let mut nodes: Vec<NodeSpec> = Vec::new();
     let mut router_groups: Vec<RouterGroup> = Vec::new();
@@ -635,7 +698,17 @@ where
             lfta_table_size: gs.lfta_table_size,
         };
         for spec in &dq.lftas {
-            let lfta = build_lfta(spec, &ctx)?;
+            let mut lfta = build_lfta(spec, &ctx)?;
+            if let Some(bytes) = restore_map.and_then(|m| m.get(&format!("lfta:{}", lfta.name))) {
+                if let Err(e) = open_snapshot(bytes, |r| lfta.restore_state(r)) {
+                    let name = lfta.name.clone();
+                    lfta = build_lfta(spec, &ctx)?;
+                    restore_notes.push((
+                        name,
+                        format!("lfta snapshot rejected ({e}); resuming from empty state"),
+                    ));
+                }
+            }
             let iface_id = crate::engine::lfta_iface_id(gs, spec)?;
             lftas.push((lfta, iface_id));
         }
@@ -657,19 +730,25 @@ where
                 });
                 for (pname, pplan) in &part.partitions {
                     nodes.push(NodeSpec {
-                        node: build_hfta(pplan, &ctx)?,
+                        node: build_restored(pplan, &ctx, pname, restore_map, &mut restore_notes)?,
                         out_name: pname.clone(),
                         routed: Some(gidx),
                     });
                 }
                 nodes.push(NodeSpec {
-                    node: build_hfta(&part.merge, &ctx)?,
+                    node: build_restored(
+                        &part.merge,
+                        &ctx,
+                        &dq.name,
+                        restore_map,
+                        &mut restore_notes,
+                    )?,
                     out_name: dq.name.clone(),
                     routed: None,
                 });
             } else {
                 nodes.push(NodeSpec {
-                    node: build_hfta(hplan, &ctx)?,
+                    node: build_restored(hplan, &ctx, &dq.name, restore_map, &mut restore_notes)?,
                     out_name: dq.name.clone(),
                     routed: None,
                 });
@@ -710,6 +789,9 @@ where
     // when the corresponding feature is configured, so a default run's
     // GS_STATS row set (and the stats-overhead gate) is unchanged.
     let board = Arc::new(HealthBoard::new());
+    for (name, msg) in restore_notes.drain(..) {
+        board.note(&name, msg);
+    }
     if gs.faults.is_some() || gs.watchdog.is_some() {
         registry.register("faults".to_string(), board.stats.clone());
     }
@@ -841,6 +923,13 @@ where
     }
 
     // ---- Spawn node threads ---------------------------------------------
+    // Capture plumbing: the shared map every node serializes into when
+    // the run ends in capture mode. A node writes its entry exactly once,
+    // after its last input closed and before it closes its own output —
+    // so by the time the main thread joins the handles, the map holds a
+    // consistent cut of the whole graph.
+    let capture = opts.capture;
+    let snap_sink: Arc<Mutex<HashMap<String, Vec<u8>>>> = Arc::new(Mutex::new(HashMap::new()));
     let mut handles: Vec<(String, thread::JoinHandle<()>)> = Vec::new();
     for (spec, (rx, n_ports)) in nodes.into_iter().zip(node_inputs) {
         let out_senders: Vec<PortSender> =
@@ -856,6 +945,7 @@ where
         };
         let node_board = board.clone();
         let mut injector = gs.faults.as_ref().and_then(|p| p.armed(&out_name, &board.stats));
+        let sink = snap_sink.clone();
         let thread_name = out_name.clone();
         handles.push((
             out_name.clone(),
@@ -908,9 +998,11 @@ where
                             Some(Msg::Close(p)) if open[p] => {
                                 open[p] = false;
                                 open_count -= 1;
-                                out.clear();
-                                node.finish_input(p, &mut out);
-                                edge.extend(out.drain(..));
+                                if !capture {
+                                    out.clear();
+                                    node.finish_input(p, &mut out);
+                                    edge.extend(out.drain(..));
+                                }
                             }
                             Some(Msg::Close(_)) => {}
                             Some(Msg::Fault(p, f)) => {
@@ -928,7 +1020,7 @@ where
                                 // the watchdog force-closed this queue; flush
                                 // what the still-open ports hold.
                                 for (p, o) in open.iter_mut().enumerate() {
-                                    if std::mem::take(o) {
+                                    if std::mem::take(o) && !capture {
                                         out.clear();
                                         node.finish_input(p, &mut out);
                                         edge.extend(out.drain(..));
@@ -938,9 +1030,21 @@ where
                             }
                         }
                     }
-                    out.clear();
-                    node.finish(&mut out);
-                    edge.extend(out.drain(..));
+                    if capture {
+                        // End of chunk, not end of stream: hold the open
+                        // windows in a sealed snapshot instead of
+                        // flushing them — the continuation run restores
+                        // this entry and the windows finish there.
+                        let mut w = SnapWriter::new();
+                        node.snapshot_state(&mut w);
+                        sink.lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .insert(format!("hfta:{thread_name}"), w.seal());
+                    } else {
+                        out.clear();
+                        node.finish(&mut out);
+                        edge.extend(out.drain(..));
+                    }
                     None
                 }));
                 match run {
@@ -1090,9 +1194,20 @@ where
         }
     }
     for (i, (lfta, _)) in lftas.iter_mut().enumerate() {
-        out.clear();
-        lfta.finish(&mut out);
-        lfta_edges[i].extend(out.drain(..));
+        if capture {
+            // Same cut as the node threads: the direct-mapped table's
+            // open epochs ride out in the snapshot, not downstream.
+            let mut w = SnapWriter::new();
+            lfta.snapshot_state(&mut w);
+            snap_sink
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(format!("lfta:{}", lfta.name), w.seal());
+        } else {
+            out.clear();
+            lfta.finish(&mut out);
+            lfta_edges[i].extend(out.drain(..));
+        }
         // Flush the tail batch and close this LFTA's output stream.
         lfta_edges[i].close();
     }
@@ -1153,7 +1268,10 @@ where
         dog.stop();
     }
     let counters = registry.snapshot();
-    Ok(ThreadedOutput { streams, packets: n_packets, counters, health: board.report() })
+    // Every node thread joined above, so the sink holds the complete cut
+    // (faulted nodes contributed nothing — by design).
+    let snapshots = std::mem::take(&mut *snap_sink.lock().unwrap_or_else(PoisonError::into_inner));
+    Ok(ThreadedOutput { streams, packets: n_packets, counters, health: board.report(), snapshots })
 }
 
 /// Post-quarantine input drain: a faulted node must keep consuming (and

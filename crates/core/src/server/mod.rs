@@ -37,6 +37,7 @@ mod conn;
 pub mod supervisor;
 pub mod wire;
 
+use crate::health::{query_of, RunHealth};
 use crate::manager::{run_threaded_opts, SubscriptionTap, ThreadedOptions};
 use crate::{Error, Gigascope};
 use gs_netgen::{MixConfig, PacketMix};
@@ -71,6 +72,14 @@ pub enum PacketSource {
     },
     /// Replay the same fixed trace every epoch.
     Replay(Vec<CapPacket>),
+    /// Pre-sliced chunks of one continuous trace: epoch `k` replays
+    /// chunk `k`; epochs past the last chunk are empty. Unlike
+    /// [`PacketSource::Replay`]/[`PacketSource::Synthetic`], virtual
+    /// time advances monotonically across epochs — the shape carried
+    /// operator state ([`DaemonConfig::carry_state`]) requires, since a
+    /// restored watermark must never sit ahead of the next epoch's
+    /// clock.
+    Chunked(Vec<Vec<CapPacket>>),
 }
 
 impl PacketSource {
@@ -87,7 +96,34 @@ impl PacketSource {
             })
             .collect(),
             PacketSource::Replay(packets) => packets.clone(),
+            PacketSource::Chunked(chunks) => {
+                chunks.get(epoch as usize).cloned().unwrap_or_default()
+            }
         }
+    }
+
+    /// One continuous synthetic trace of `epochs * epoch_ms` virtual
+    /// milliseconds, sliced into per-epoch chunks on window boundaries
+    /// (chunk `k` covers `[k*epoch_ms, (k+1)*epoch_ms)`). The
+    /// concatenation of every epoch's packets is exactly the continuous
+    /// trace — the reference the carry-mode equivalence tests compare
+    /// against.
+    pub fn chunked_synthetic(mbps: f64, epoch_ms: u64, epochs: u64, seed: u64) -> PacketSource {
+        let all: Vec<CapPacket> = PacketMix::new(MixConfig {
+            seed,
+            duration_ms: epoch_ms.max(1) * epochs.max(1),
+            http_rate_mbps: mbps.min(60.0),
+            background_rate_mbps: (mbps - 60.0).max(0.0),
+            ..MixConfig::default()
+        })
+        .collect();
+        let n = epochs.max(1) as usize;
+        let mut chunks: Vec<Vec<CapPacket>> = (0..n).map(|_| Vec::new()).collect();
+        for p in all {
+            let k = ((p.ts_ns / 1_000_000) / epoch_ms.max(1)) as usize;
+            chunks[k.min(n - 1)].push(p);
+        }
+        PacketSource::Chunked(chunks)
     }
 }
 
@@ -147,6 +183,17 @@ pub struct DaemonConfig {
     pub fault_epochs: Range<u64>,
     /// Idle pacing between epochs, in milliseconds (tests use 0).
     pub epoch_gap_ms: u64,
+    /// Carry operator state across epochs: every epoch runs in capture
+    /// mode (open windows snapshot instead of flushing), the next epoch
+    /// restores the cut, a reprovisioned query resumes from its last
+    /// good checkpoint and replays the epochs it missed, and shutdown
+    /// runs a final flush epoch that emits the held tails. Off by
+    /// default: the per-epoch equivalence invariant (epoch `k`'s frames
+    /// equal the one-shot engine over epoch `k`'s packets) only holds
+    /// without carry. Use with a time-continuous source
+    /// ([`PacketSource::Chunked`]) — per-epoch clocks that restart at
+    /// zero would trip restored watermarks.
+    pub carry_state: bool,
     /// Per-connection outbound queue capacity, in frames; overflow
     /// sheds that connection's newest data frames.
     pub conn_queue_frames: usize,
@@ -167,6 +214,7 @@ impl Default for DaemonConfig {
             faults: None,
             fault_epochs: 0..0,
             epoch_gap_ms: 0,
+            carry_state: false,
             conn_queue_frames: 1024,
         }
     }
@@ -375,9 +423,12 @@ pub fn start(config: DaemonConfig) -> Result<DaemonHandle, Error> {
         let faults = config.faults.clone();
         let fault_epochs = config.fault_epochs.clone();
         let gap = config.epoch_gap_ms;
+        let carry = config.carry_state;
         thread::Builder::new()
             .name("gsqd-engine".to_string())
-            .spawn(move || engine_loop(gs, supervisor, source, faults, fault_epochs, gap, shared))
+            .spawn(move || {
+                engine_loop(gs, supervisor, source, faults, fault_epochs, gap, carry, shared)
+            })
             .map_err(|e| Error::Config(format!("spawn engine: {e}")))?
     };
     let accept = {
@@ -433,6 +484,226 @@ fn apply_op(
     }
 }
 
+/// Marker fan-out: `(stream, that stream's subscriber queues)`.
+type MarkerFanout = Vec<(String, Vec<crate::transport::Sender<Vec<u8>>>)>;
+
+/// Build the subscription fan-out for one run over `ctl.subs`: live
+/// taps (data frames tagged `epoch`) for every subscribed deployed
+/// stream in `tap_set`, and end-of-run marker senders for every
+/// subscribed deployed stream in `marker_set`. Sorted for a
+/// deterministic build order regardless of HashMap iteration.
+fn build_fanout(
+    ctl: &Control,
+    gs: &Gigascope,
+    tap_set: &[String],
+    marker_set: &[String],
+    epoch: u64,
+) -> (Vec<(String, SubscriptionTap)>, Vec<String>, MarkerFanout) {
+    let mut sub_names: Vec<String> = Vec::new();
+    let mut taps: Vec<(String, SubscriptionTap)> = Vec::new();
+    let mut markers: MarkerFanout = Vec::new();
+    for (stream, eps) in ctl.subs.iter() {
+        if eps.is_empty() || !gs.queries().iter().any(|d| &d.name == stream) {
+            continue;
+        }
+        let senders: Vec<_> = eps.iter().map(|e| e.sender.clone()).collect();
+        if marker_set.iter().any(|s| s == stream) {
+            markers.push((stream.clone(), senders.clone()));
+        }
+        if !tap_set.iter().any(|s| s == stream) {
+            continue;
+        }
+        sub_names.push(stream.clone());
+        let name = stream.clone();
+        taps.push((
+            stream.clone(),
+            Arc::new(move |batch: &[crate::Tuple]| {
+                if batch.is_empty() {
+                    return;
+                }
+                let frame =
+                    wire::encode_frame(wire::TUPLES, &wire::encode_tuples(&name, epoch, batch));
+                for s in &senders {
+                    s.send(1, batch.len() as u64, frame.clone());
+                }
+            }) as SubscriptionTap,
+        ));
+    }
+    sub_names.sort();
+    markers.sort_by(|a, b| a.0.cmp(&b.0));
+    (taps, sub_names, markers)
+}
+
+/// Send the end-of-epoch marker (a zero-row TUPLES frame tagged
+/// `epoch`) to every fan-out entry `skip` doesn't veto. Markers are
+/// control frames: losing one would make the client miscount epochs
+/// forever.
+fn send_markers(markers: &MarkerFanout, epoch: u64, skip: impl Fn(&str) -> bool) {
+    for (stream, senders) in markers {
+        if skip(stream) {
+            continue;
+        }
+        let frame = wire::encode_frame(wire::TUPLES, &wire::encode_tuples(stream, epoch, &[]));
+        for s in senders {
+            s.send_control(frame.clone());
+        }
+    }
+}
+
+/// The query owning a manager snapshot key (`hfta:<stream>` /
+/// `lfta:<stream>`, shard/LFTA mangling included).
+fn snapshot_owner(key: &str) -> &str {
+    query_of(key.split_once(':').map_or(key, |(_, s)| s))
+}
+
+/// Fold one capture run's sealed snapshots into the carried checkpoint,
+/// skipping every entry owned by a query the run quarantined: its cut
+/// is incomplete (the faulted node wrote nothing), and restoring the
+/// surviving fragments would be silently wrong. The failed query keeps
+/// its previous checkpoint and replays the epoch from there.
+fn merge_snapshots(
+    carry: &mut HashMap<String, Vec<u8>>,
+    snaps: HashMap<String, Vec<u8>>,
+    health: &RunHealth,
+) {
+    for (k, v) in snaps {
+        if !health.failed(snapshot_owner(&k)) {
+            carry.insert(k, v);
+        }
+    }
+}
+
+/// The transitive upstream closure of `parts` among deployed queries:
+/// every query whose output stream a member (transitively) reads
+/// through a `StreamScan`. A catch-up replay must run these as support
+/// queries — without its producers a laggard would replay over empty
+/// inputs and checkpoint silently wrong state.
+fn upstream_closure(gs: &Gigascope, parts: &[String]) -> Vec<String> {
+    let mut need: Vec<String> = parts.to_vec();
+    let mut i = 0;
+    while i < need.len() {
+        let q = need[i].clone();
+        i += 1;
+        let Some(dq) = gs.queries().iter().find(|d| d.name == q) else { continue };
+        let Some(h) = &dq.hfta else { continue };
+        for s in h.upstream_streams() {
+            let owner = query_of(&s).to_string();
+            if owner != q
+                && gs.queries().iter().any(|d| d.name == owner)
+                && !need.contains(&owner)
+            {
+                need.push(owner);
+            }
+        }
+    }
+    need
+}
+
+/// Carry-mode catch-up replay: any runnable query whose replay cursor
+/// sits behind the current epoch re-processes the epochs it missed
+/// (backoff epochs, faulted epochs) from its last good checkpoint,
+/// oldest epoch first, with fault injection disarmed — a replay is a
+/// retry. Missed tuples and markers reach subscribers tagged with the
+/// epoch they belong to, before the current epoch runs, so each
+/// stream's frame sequence stays in epoch order. Packets are
+/// regenerable from the source by construction.
+///
+/// Upstream producers of a laggard run as *support* queries: included
+/// in the replay so the laggard's inputs are real, but untapped (their
+/// subscribers already saw this epoch), uncheckpointed (their cursor
+/// already advanced), and started from empty state. A stateless
+/// upstream (the common LFTA projection/selection) reproduces its
+/// epoch output exactly; a stateful upstream makes the replay
+/// approximate — the price of losing its mid-epoch history.
+fn catch_up(
+    gs: &mut Gigascope,
+    supervisor: &mut Supervisor,
+    source: &PacketSource,
+    carry: &mut HashMap<String, Vec<u8>>,
+    behind: &mut HashMap<String, u64>,
+    epoch: u64,
+    excluded: &[String],
+    shared: &Arc<Shared>,
+) {
+    // Queries that fault *during* replay sit the rest of this catch-up
+    // out (their cursor holds; the supervisor's backoff governs the
+    // next attempt), so every iteration either advances a cursor or
+    // shrinks the runnable set — the loop terminates.
+    let mut benched: Vec<String> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let runnable: Vec<String> = gs
+            .queries()
+            .iter()
+            .map(|d| d.name.clone())
+            .filter(|q| !excluded.contains(q) && !benched.contains(q))
+            .collect();
+        let Some(e) = runnable
+            .iter()
+            .filter_map(|q| behind.get(q).copied())
+            .filter(|b| *b < epoch)
+            .min()
+        else {
+            break;
+        };
+        let parts: Vec<String> =
+            runnable.iter().filter(|q| behind.get(*q) == Some(&e)).cloned().collect();
+        let included = upstream_closure(gs, &parts);
+        let (taps, sub_names, markers) = {
+            let ctl = lock(&shared.ctl);
+            build_fanout(&ctl, gs, &parts, &parts, e)
+        };
+        // Restore only the laggards' own checkpoints: a support query
+        // must not restore its *current* (post-epoch-`e`) state into a
+        // replay of epoch `e`.
+        let restore: HashMap<String, Vec<u8>> = carry
+            .iter()
+            .filter(|(k, _)| parts.iter().any(|q| q == snapshot_owner(k)))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let opts = ThreadedOptions {
+            taps,
+            exclude: gs
+                .queries()
+                .iter()
+                .map(|d| d.name.clone())
+                .filter(|q| !included.contains(q))
+                .collect(),
+            capture: true,
+            restore: (!restore.is_empty()).then(|| Arc::new(restore)),
+            ..ThreadedOptions::default()
+        };
+        gs.faults = None;
+        let sub_refs: Vec<&str> = sub_names.iter().map(String::as_str).collect();
+        let packets = source.epoch_packets(e);
+        match run_threaded_opts(gs, packets.into_iter(), &sub_refs, opts) {
+            Ok(out) => {
+                supervisor.observe(epoch, &out.health);
+                for q in &parts {
+                    if out.health.failed(q) {
+                        benched.push(q.clone());
+                    } else {
+                        behind.insert(q.clone(), e + 1);
+                    }
+                }
+                send_markers(&markers, e, |s| out.health.failed(s));
+                let own: HashMap<String, Vec<u8>> = out
+                    .snapshots
+                    .into_iter()
+                    .filter(|(k, _)| parts.iter().any(|q| q == snapshot_owner(k)))
+                    .collect();
+                merge_snapshots(carry, own, &out.health);
+            }
+            Err(_) => {
+                shared.stats.run_errors.inc();
+                break;
+            }
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn engine_loop(
     mut gs: Gigascope,
@@ -441,66 +712,96 @@ fn engine_loop(
     faults: Option<FaultPlan>,
     fault_epochs: Range<u64>,
     epoch_gap_ms: u64,
+    carry_state: bool,
     shared: Arc<Shared>,
 ) {
     let mut epoch: u64 = 0;
+    // Carry mode: the last good sealed snapshot of every node (the
+    // daemon's checkpoint), and each query's replay cursor — the next
+    // epoch id whose packets it has not yet processed.
+    let mut carry: HashMap<String, Vec<u8>> = HashMap::new();
+    let mut behind: HashMap<String, u64> = HashMap::new();
     while !shared.shutdown.load(Ordering::SeqCst) {
         // ---- Epoch boundary: apply ops, wake backoffs, clone taps ----
-        let (opts, sub_names, markers) = {
+        let (mut opts, sub_names, markers, running) = {
             let mut ctl = lock(&shared.ctl);
+            let mut removed: Vec<String> = Vec::new();
             let replies: Vec<_> = ctl
                 .pending
                 .drain(..)
-                .map(|op| apply_op(op, &mut gs, &mut supervisor, &shared.stats))
+                .map(|op| {
+                    if let PendingOp::Unregister { name, .. } = &op {
+                        removed.push(name.clone());
+                    }
+                    apply_op(op, &mut gs, &mut supervisor, &shared.stats)
+                })
                 .collect();
             let excluded = supervisor.excluded(epoch);
             ctl.snapshot.health = supervisor.rows();
             for (reply, result) in replies {
                 let _ = reply.send(result);
             }
-
-            let mut sub_names: Vec<String> = Vec::new();
-            let mut taps: Vec<(String, SubscriptionTap)> = Vec::new();
-            // Streams owed an end-of-epoch marker: every subscribed
-            // stream that names a deployed query, excluded or not (a
-            // backoff epoch is an *empty* epoch, not a missing one).
-            let mut markers: Vec<(String, Vec<crate::transport::Sender<Vec<u8>>>)> = Vec::new();
-            for (stream, eps) in ctl.subs.iter() {
-                if eps.is_empty() || !gs.queries().iter().any(|d| &d.name == stream) {
-                    continue;
-                }
-                let senders: Vec<_> = eps.iter().map(|e| e.sender.clone()).collect();
-                markers.push((stream.clone(), senders.clone()));
-                if excluded.contains(stream) {
-                    continue;
-                }
-                sub_names.push(stream.clone());
-                let name = stream.clone();
-                taps.push((
-                    stream.clone(),
-                    Arc::new(move |batch: &[crate::Tuple]| {
-                        if batch.is_empty() {
-                            return;
-                        }
-                        let frame = wire::encode_frame(
-                            wire::TUPLES,
-                            &wire::encode_tuples(&name, epoch, batch),
-                        );
-                        for s in &senders {
-                            s.send(1, batch.len() as u64, frame.clone());
-                        }
-                    }) as SubscriptionTap,
-                ));
+            // Reap checkpoints that can never be restored again:
+            // unregistered queries (a re-REGISTER is a fresh life that
+            // must start from empty windows) and Dead ones (excluded
+            // until re-registered). Without this, lifecycle churn would
+            // leak dead queries' carried state forever.
+            for q in removed.iter().chain(supervisor.dead().iter()) {
+                carry.retain(|k, _| snapshot_owner(k) != q);
+                behind.remove(q);
             }
-            // Deterministic build order regardless of HashMap iteration.
-            sub_names.sort();
-            markers.sort_by(|a, b| a.0.cmp(&b.0));
-            (ThreadedOptions { taps, exclude: excluded, ..ThreadedOptions::default() }, sub_names, markers)
+            let running: Vec<String> = gs
+                .queries()
+                .iter()
+                .map(|d| d.name.clone())
+                .filter(|q| !excluded.contains(q))
+                .collect();
+            // Marker policy: without carry, every subscribed deployed
+            // stream gets a marker, excluded or not (a backoff epoch is
+            // an *empty* epoch, not a missing one). With carry, a
+            // stream's marker is sent only when its epoch actually ran
+            // — catch-up replay delivers the missed ones later, in
+            // epoch order, so subscribers still see exactly one marker
+            // per (stream, epoch).
+            let marker_set: Vec<String> = if carry_state {
+                running.clone()
+            } else {
+                gs.queries().iter().map(|d| d.name.clone()).collect()
+            };
+            let (taps, sub_names, markers) = build_fanout(&ctl, &gs, &running, &marker_set, epoch);
+            (
+                ThreadedOptions { taps, exclude: excluded, ..ThreadedOptions::default() },
+                sub_names,
+                markers,
+                running,
+            )
         };
+        if carry_state {
+            for dq in gs.queries() {
+                behind.entry(dq.name.clone()).or_insert(epoch);
+            }
+            // Replay whatever the runnable queries missed, THEN set up
+            // the current epoch to restore the (now caught-up) cut.
+            catch_up(
+                &mut gs,
+                &mut supervisor,
+                &source,
+                &mut carry,
+                &mut behind,
+                epoch,
+                &opts.exclude,
+                &shared,
+            );
+            opts.capture = true;
+            if !carry.is_empty() {
+                opts.restore = Some(Arc::new(carry.clone()));
+            }
+        }
 
         // ---- Run the epoch (engine holds no locks) -------------------
         let active_queries =
             gs.queries().iter().filter(|d| !opts.exclude.iter().any(|e| e == &d.name)).count();
+        let mut epoch_health = RunHealth::default();
         let ran = if active_queries > 0 {
             gs.faults = match (&faults, fault_epochs.contains(&epoch)) {
                 (Some(plan), true) => Some(plan.clone()),
@@ -511,9 +812,18 @@ fn engine_loop(
             match run_threaded_opts(&gs, packets.into_iter(), &sub_refs, opts) {
                 Ok(out) => {
                     supervisor.observe(epoch, &out.health);
+                    if carry_state {
+                        for q in &running {
+                            if !out.health.failed(q) {
+                                behind.insert(q.clone(), epoch + 1);
+                            }
+                        }
+                        merge_snapshots(&mut carry, out.snapshots, &out.health);
+                    }
                     let mut ctl = lock(&shared.ctl);
                     ctl.snapshot.counters = out.counters;
                     drop(ctl);
+                    epoch_health = out.health;
                     true
                 }
                 Err(_) => {
@@ -533,15 +843,10 @@ fn engine_loop(
                 // empty catalog has none (the churn test's baseline).
                 ctl.snapshot.counters.clear();
             }
-            for (stream, senders) in markers {
-                let frame =
-                    wire::encode_frame(wire::TUPLES, &wire::encode_tuples(&stream, epoch, &[]));
-                for s in &senders {
-                    // Markers are control frames: losing one would make
-                    // the client miscount epochs forever.
-                    s.send_control(frame.clone());
-                }
-            }
+            // With carry, a failed (or errored) epoch sends no marker
+            // for the affected stream — its replay will, keeping the
+            // subscriber's epoch sequence gapless and in order.
+            send_markers(&markers, epoch, |s| carry_state && (!ran || epoch_health.failed(s)));
             ctl.snapshot.health = supervisor.rows();
             ctl.snapshot.epochs_done = epoch + 1;
             shared.stats.epochs.set(epoch + 1);
@@ -556,11 +861,62 @@ fn engine_loop(
         } else {
             epoch_gap_ms
         };
-        let mut slept = 0;
-        while slept < gap && !shared.shutdown.load(Ordering::SeqCst) {
-            let step = (gap - slept).min(10);
-            thread::sleep(Duration::from_millis(step));
-            slept += step;
+        if gap == 0 {
+            // Zero-gap pacing must still hand the core back between
+            // epochs: without this the boundary hot-loops and starves
+            // sibling threads (the `--epoch-gap 0` busy-spin bug).
+            thread::yield_now();
+        } else {
+            let mut slept = 0;
+            while slept < gap && !shared.shutdown.load(Ordering::SeqCst) {
+                let step = (gap - slept).min(10);
+                thread::sleep(Duration::from_millis(step));
+                slept += step;
+            }
+        }
+    }
+
+    // ---- Carry-mode shutdown flush -----------------------------------
+    // Capture mode held every open window in the checkpoint instead of
+    // flushing it; one final flush run (no packets, restore, capture
+    // OFF) emits those tails so the session's total output equals one
+    // continuous run over every epoch's packets. Only fully caught-up
+    // queries flush — a query still in backoff holds a stale cut whose
+    // tail would be wrong mid-stream.
+    if carry_state && !carry.is_empty() {
+        let excluded = supervisor.excluded(epoch);
+        let flush: Vec<String> = gs
+            .queries()
+            .iter()
+            .map(|d| d.name.clone())
+            .filter(|q| !excluded.contains(q) && behind.get(q).is_none_or(|b| *b >= epoch))
+            .collect();
+        if !flush.is_empty() {
+            let (taps, sub_names, markers) = {
+                let ctl = lock(&shared.ctl);
+                build_fanout(&ctl, &gs, &flush, &flush, epoch)
+            };
+            let opts = ThreadedOptions {
+                taps,
+                exclude: gs
+                    .queries()
+                    .iter()
+                    .map(|d| d.name.clone())
+                    .filter(|q| !flush.contains(q))
+                    .collect(),
+                capture: false,
+                restore: Some(Arc::new(std::mem::take(&mut carry))),
+                ..ThreadedOptions::default()
+            };
+            gs.faults = None;
+            let sub_refs: Vec<&str> = sub_names.iter().map(String::as_str).collect();
+            if let Ok(out) = run_threaded_opts(&gs, std::iter::empty(), &sub_refs, opts) {
+                send_markers(&markers, epoch, |s| out.health.failed(s));
+                let mut ctl = lock(&shared.ctl);
+                ctl.snapshot.epochs_done = epoch + 1;
+                shared.stats.epochs.set(epoch + 1);
+                shared.epoch_cv.notify_all();
+            }
         }
     }
 

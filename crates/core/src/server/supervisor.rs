@@ -152,6 +152,21 @@ impl Supervisor {
         }
     }
 
+    /// Queries whose restart budget is exhausted (`Dead`), sorted. The
+    /// carry layer reaps their checkpoints: a Dead query never runs
+    /// again until re-registered, and a re-registration is a fresh life
+    /// that must start from empty windows.
+    pub fn dead(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.state == QState::Dead)
+            .map(|(name, _)| name.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Wire-format health rows, sorted by query name.
     pub fn rows(&self) -> Vec<HealthRow> {
         let mut rows: Vec<HealthRow> = self

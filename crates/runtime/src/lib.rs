@@ -27,6 +27,8 @@
 //! - [`faults`]: deterministic fault injection (seeded panics, poisoned
 //!   locks, slow consumers, corrupt tuples) driving the engines'
 //!   containment and quarantine machinery;
+//! - [`snapshot`]: versioned, checksummed operator-state snapshots — the
+//!   hand-rolled binary format checkpoint/restore is built on;
 //! - [`stats`]: the self-monitoring counters every layer keeps and the
 //!   registry that snapshots them (paper §4 — Gigascope monitors itself
 //!   with ordinary streams);
@@ -41,6 +43,7 @@ pub mod ops;
 pub mod params;
 pub mod punct;
 pub mod qos;
+pub mod snapshot;
 pub mod stats;
 pub mod tuple;
 pub mod udf;

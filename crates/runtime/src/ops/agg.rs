@@ -22,6 +22,7 @@ use crate::expr::vector::VecVal;
 use crate::expr::{EvalScratch, FieldSource, Program};
 use crate::ops::Operator;
 use crate::punct::Punct;
+use crate::snapshot::{proto, SnapError, SnapReader, SnapWriter};
 use crate::stats::OpCounters;
 use crate::tuple::{StreamItem, Tuple};
 use crate::value::Value;
@@ -114,6 +115,88 @@ impl Acc {
             Acc::Min(m) | Acc::Max(m) => m.clone().unwrap_or(Value::UInt(0)),
         }
     }
+
+    /// Serialize this accumulator (variant tag + payload).
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        match self {
+            Acc::Count(c) => {
+                w.put_u8(0);
+                w.put_u64(*c);
+            }
+            Acc::SumU(s) => {
+                w.put_u8(1);
+                w.put_u64(*s);
+            }
+            Acc::SumF(s) => {
+                w.put_u8(2);
+                w.put_f64(*s);
+            }
+            Acc::Min(m) | Acc::Max(m) => {
+                w.put_u8(if matches!(self, Acc::Min(_)) { 3 } else { 4 });
+                match m {
+                    Some(v) => {
+                        w.put_u8(1);
+                        w.put_value(v);
+                    }
+                    None => w.put_u8(0),
+                }
+            }
+        }
+    }
+
+    /// Decode one accumulator.
+    pub fn restore(r: &mut SnapReader<'_>) -> Result<Acc, SnapError> {
+        let opt_value = |r: &mut SnapReader<'_>| -> Result<Option<Value>, SnapError> {
+            match r.get_u8()? {
+                0 => Ok(None),
+                1 => Ok(Some(r.get_value()?)),
+                b => Err(proto(format!("bad option byte {b}"))),
+            }
+        };
+        match r.get_u8()? {
+            0 => Ok(Acc::Count(r.get_u64()?)),
+            1 => Ok(Acc::SumU(r.get_u64()?)),
+            2 => Ok(Acc::SumF(r.get_f64()?)),
+            3 => Ok(Acc::Min(opt_value(r)?)),
+            4 => Ok(Acc::Max(opt_value(r)?)),
+            t => Err(proto(format!("bad accumulator tag {t}"))),
+        }
+    }
+}
+
+/// Serialize one `(group key, accumulators)` pair.
+fn snap_group(w: &mut SnapWriter, key: &[Value], accs: &[Acc]) {
+    w.put_values(key);
+    w.put_u32(accs.len() as u32);
+    for a in accs {
+        a.snapshot(w);
+    }
+}
+
+/// Decode one `(group key, accumulators)` pair, validating the shape
+/// against the restoring operator's core (a mismatched snapshot must be
+/// rejected, not folded into a differently-shaped table).
+fn read_group(
+    r: &mut SnapReader<'_>,
+    core: &AggCore,
+) -> Result<(Box<[Value]>, Vec<Acc>), SnapError> {
+    let key = r.get_values()?.into_boxed_slice();
+    if key.len() != core.group_progs.len() {
+        return Err(proto(format!(
+            "group key arity {} != {}",
+            key.len(),
+            core.group_progs.len()
+        )));
+    }
+    let n = r.get_count(2)?;
+    if n != core.aggs.len() {
+        return Err(proto(format!("accumulator count {n} != {}", core.aggs.len())));
+    }
+    let mut accs = Vec::with_capacity(n);
+    for _ in 0..n {
+        accs.push(Acc::restore(r)?);
+    }
+    Ok((key, accs))
 }
 
 /// Shared configuration: compiled group and aggregate expressions.
@@ -298,11 +381,27 @@ fn fold_run(acc: &mut Acc, argv: Option<&VecVal>, i: usize, j: usize) {
 }
 
 /// Sort closed groups so the flush attribute is nondecreasing in the
-/// output (the imputed ordering property of the aggregate's output).
+/// output (the imputed ordering property of the aggregate's output),
+/// breaking flush-value ties by the full group key. The tie-break makes
+/// the emission order a *total* deterministic function of the group set
+/// rather than of hash-table iteration order — so a run restored from a
+/// checkpoint emits byte-for-byte what the uninterrupted run emits, and
+/// two runs over the same trace always agree.
 fn sort_closed(closed: &mut [(Box<[Value]>, Vec<Acc>)], flush_idx: Option<usize>) {
-    if let Some(i) = flush_idx {
-        closed.sort_by(|(a, _), (b, _)| a[i].total_cmp(&b[i]));
-    }
+    let key_cmp = |a: &[Value], b: &[Value]| {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    };
+    closed.sort_by(|(a, _), (b, _)| {
+        let primary = match flush_idx {
+            Some(i) => a[i].total_cmp(&b[i]),
+            None => std::cmp::Ordering::Equal,
+        };
+        primary.then_with(|| key_cmp(a, b))
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -388,6 +487,36 @@ impl GroupAggregator {
     /// Currently open groups.
     pub fn open_groups(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Serialize the open-group table, watermark, and emission counters.
+    /// Only called at a quiescent point, so there is no hot entry to
+    /// spill (see `spill_hot`: the hot entry exists only *within* one
+    /// `push_batch`/`push_cols` call).
+    pub fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_u32(self.groups.len() as u32);
+        for (key, accs) in &self.groups {
+            snap_group(w, key, accs);
+        }
+        w.put_opt_u64(self.watermark);
+        w.put_u64(self.emitted);
+        w.put_u64(self.peak_groups as u64);
+    }
+
+    /// Restore state written by [`snapshot_into`](Self::snapshot_into).
+    pub fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_count(4)?;
+        self.groups.clear();
+        self.groups.reserve(n);
+        for _ in 0..n {
+            let (key, accs) = read_group(r, &self.core)?;
+            self.groups.insert(key, accs);
+        }
+        self.watermark = r.get_opt_u64()?;
+        self.emitted = r.get_u64()?;
+        self.peak_groups = r.get_u64()? as usize;
+        self.peak_groups = self.peak_groups.max(self.groups.len());
+        Ok(())
     }
 }
 
@@ -622,6 +751,21 @@ impl Operator for AggregateOp {
         self.stats.groups_evicted.set(self.inner.emitted);
         self.stats.peak_held.set(self.inner.peak_groups as u64);
     }
+
+    fn snapshot(&self, w: &mut SnapWriter) {
+        self.inner.snapshot_into(w);
+        w.put_u64(self.tuples_in);
+        w.put_u64(self.batches);
+        w.put_u64(self.puncts);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.inner.restore_from(r)?;
+        self.tuples_in = r.get_u64()?;
+        self.batches = r.get_u64()?;
+        self.puncts = r.get_u64()?;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -752,6 +896,58 @@ impl DirectMappedAggregator {
     /// Table size in slots.
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Serialize the occupied slots (with their indices — the table must
+    /// restore bit-identically even if the hash function ever changes),
+    /// the watermark, and the table statistics.
+    pub fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_u32(self.slots.len() as u32);
+        w.put_u32(self.occupancy() as u32);
+        for (i, s) in self.slots.iter().enumerate() {
+            if let Some(slot) = s {
+                w.put_u32(i as u32);
+                snap_group(w, &slot.key, &slot.accs);
+            }
+        }
+        w.put_opt_u64(self.watermark);
+        w.put_u64(self.stats.inputs);
+        w.put_u64(self.stats.outputs);
+        w.put_u64(self.stats.evictions);
+    }
+
+    /// Restore state written by [`snapshot_into`](Self::snapshot_into).
+    pub fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let cap = r.get_u32()? as usize;
+        if cap != self.slots.len() {
+            return Err(proto(format!(
+                "direct-mapped capacity {cap} != {}",
+                self.slots.len()
+            )));
+        }
+        let n = r.get_count(4)?;
+        if n > cap {
+            return Err(proto(format!("occupancy {n} exceeds capacity {cap}")));
+        }
+        for s in &mut self.slots {
+            *s = None;
+        }
+        for _ in 0..n {
+            let idx = r.get_u32()? as usize;
+            if idx >= self.slots.len() {
+                return Err(proto(format!("slot index {idx} out of range")));
+            }
+            let (key, accs) = read_group(r, &self.core)?;
+            if self.slots[idx].is_some() {
+                return Err(proto(format!("duplicate slot index {idx}")));
+            }
+            self.slots[idx] = Some(Slot { key, accs });
+        }
+        self.watermark = r.get_opt_u64()?;
+        self.stats.inputs = r.get_u64()?;
+        self.stats.outputs = r.get_u64()?;
+        self.stats.evictions = r.get_u64()?;
+        Ok(())
     }
 }
 
@@ -1136,5 +1332,107 @@ mod tests {
         let dm = DirectMappedAggregator::new(core(), 100);
         assert_eq!(dm.capacity(), 128, "rounded to a power of two");
         assert_eq!(dm.occupancy(), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_continues_exactly() {
+        // Cut a stream mid-window, snapshot, restore into a freshly built
+        // operator, feed the tail: concatenated output must equal the
+        // uninterrupted run tuple for tuple, and the counters carry over.
+        let mk = || AggregateOp::new(GroupAggregator::new(core()), Some((0, 1)), Some(0));
+        let items: Vec<StreamItem> = [(1u64, 5u64), (1, 3), (2, 10), (2, 1), (3, 7), (3, 2)]
+            .iter()
+            .map(|&(a, b)| StreamItem::Tuple(tup(&[a, b])))
+            .collect();
+        let (head, tail) = items.split_at(3); // cut mid-window of bucket 2
+
+        let mut cont = mk();
+        let mut cont_out = Vec::new();
+        cont.push_batch(0, items.clone(), &mut cont_out);
+        cont.finish(&mut cont_out);
+
+        let mut first = mk();
+        let mut split_out = Vec::new();
+        first.push_batch(0, head.to_vec(), &mut split_out);
+        let mut w = SnapWriter::new();
+        Operator::snapshot(&first, &mut w);
+        let sealed = w.seal();
+
+        let mut second = mk();
+        let mut r = SnapReader::open(&sealed).expect("open");
+        Operator::restore(&mut second, &mut r).expect("restore");
+        r.finish().expect("payload fully consumed");
+        second.push_batch(0, tail.to_vec(), &mut split_out);
+        second.finish(&mut split_out);
+
+        assert_eq!(as_rows(&cont_out), as_rows(&split_out));
+        assert_eq!(second.aggregator().emitted, cont.aggregator().emitted);
+        assert_eq!(second.aggregator().peak_groups, cont.aggregator().peak_groups);
+    }
+
+    #[test]
+    fn snapshot_shape_mismatch_is_rejected() {
+        // A snapshot taken from a 2-agg operator must not restore into a
+        // 1-agg operator: the shape check fires a Protocol error.
+        let mut donor = AggregateOp::new(GroupAggregator::new(core()), None, None);
+        let mut out = Vec::new();
+        donor.push(0, StreamItem::Tuple(tup(&[1, 5])), &mut out);
+        let mut w = SnapWriter::new();
+        Operator::snapshot(&donor, &mut w);
+        let sealed = w.seal();
+
+        let slim_core = AggCore::new(
+            vec![prog(0)],
+            vec![(AggFunc::Count, None, DataType::UInt)],
+            Some(0),
+            0,
+        );
+        let mut slim = AggregateOp::new(GroupAggregator::new(slim_core), None, None);
+        let mut r = SnapReader::open(&sealed).expect("open");
+        assert!(matches!(
+            Operator::restore(&mut slim, &mut r),
+            Err(SnapError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn direct_mapped_snapshot_restore_continues_exactly() {
+        let mk = || DirectMappedAggregator::new(core(), 4);
+        let data: Vec<[u64; 2]> =
+            (0..40).map(|i| [i / 8, if i % 5 == 0 { 2 } else { i % 3 }]).collect();
+        let (head, tail) = data.split_at(17);
+
+        let mut cont = mk();
+        let mut cont_out = Vec::new();
+        for d in &data {
+            cont.update(&tup(d), &mut cont_out);
+        }
+        cont.finish(&mut cont_out);
+
+        let mut first = mk();
+        let mut split_out = Vec::new();
+        for d in head {
+            first.update(&tup(d), &mut split_out);
+        }
+        let mut w = SnapWriter::new();
+        first.snapshot_into(&mut w);
+        let sealed = w.seal();
+
+        let mut second = mk();
+        let mut r = SnapReader::open(&sealed).expect("open");
+        second.restore_from(&mut r).expect("restore");
+        r.finish().expect("payload fully consumed");
+        for d in tail {
+            second.update(&tup(d), &mut split_out);
+        }
+        second.finish(&mut split_out);
+
+        assert_eq!(as_rows(&cont_out), as_rows(&split_out));
+        assert_eq!(second.stats, cont.stats);
+
+        // Capacity mismatch is rejected, not silently remapped.
+        let mut bigger = DirectMappedAggregator::new(core(), 8);
+        let mut r = SnapReader::open(&sealed).expect("open");
+        assert!(matches!(bigger.restore_from(&mut r), Err(SnapError::Protocol(_))));
     }
 }

@@ -16,6 +16,7 @@ use crate::ops::merge::MergeOp;
 use crate::ops::select::{FilterOp, SelectProject};
 use crate::ops::{cascade, cascade_batch, cascade_finish, Operator};
 use crate::params::ParamBindings;
+use crate::snapshot::{SnapError, SnapReader, SnapWriter};
 use crate::stats::StatsRegistry;
 use crate::tuple::StreamItem;
 use crate::udf::{FileStore, HandleResolver, UdfRegistry};
@@ -433,6 +434,61 @@ impl HftaNode {
         for op in &self.chain {
             op.publish_stats();
         }
+    }
+
+    /// Serialize every operator's state in pipeline order: a structure
+    /// byte (root present + chain length, so a mismatched topology is
+    /// rejected on restore), the root, then the chain bottom-up. Called
+    /// at a quiescent point — all inputs drained up to the capture cut.
+    pub fn snapshot_state(&self, w: &mut SnapWriter) {
+        w.put_bool(self.root.is_some());
+        w.put_u32(self.chain.len() as u32);
+        if let Some(root) = &self.root {
+            match root {
+                Root::Merge(m) => {
+                    w.put_u8(0);
+                    Operator::snapshot(m, w);
+                }
+                Root::Join(j) => {
+                    w.put_u8(1);
+                    Operator::snapshot(&**j, w);
+                }
+            }
+        }
+        for op in &self.chain {
+            Operator::snapshot(op.as_ref(), w);
+        }
+    }
+
+    /// Restore state written by [`snapshot_state`](Self::snapshot_state)
+    /// into a freshly built node of the same plan.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let has_root = r.get_bool()?;
+        let chain_len = r.get_u32()? as usize;
+        if has_root != self.root.is_some() || chain_len != self.chain.len() {
+            return Err(crate::snapshot::proto(format!(
+                "hfta shape mismatch: snapshot root={has_root} chain={chain_len}, \
+                 build root={} chain={}",
+                self.root.is_some(),
+                self.chain.len()
+            )));
+        }
+        if let Some(root) = &mut self.root {
+            let tag = r.get_u8()?;
+            match (root, tag) {
+                (Root::Merge(m), 0) => Operator::restore(m, r)?,
+                (Root::Join(j), 1) => Operator::restore(&mut **j, r)?,
+                (_, t) => {
+                    return Err(crate::snapshot::proto(format!(
+                        "hfta root tag {t} does not match build"
+                    )))
+                }
+            }
+        }
+        for op in &mut self.chain {
+            Operator::restore(op.as_mut(), r)?;
+        }
+        Ok(())
     }
 }
 

@@ -15,6 +15,7 @@
 
 use crate::expr::{EvalScratch, Program};
 use crate::ops::Operator;
+use crate::snapshot::{proto, SnapError, SnapReader, SnapWriter};
 use crate::stats::OpCounters;
 use crate::tuple::{StreamItem, Tuple};
 use crate::value::Value;
@@ -161,6 +162,54 @@ impl Side {
         self.forget_ts(ts);
         self.len -= 1;
         self.gc_dropped += 1;
+    }
+
+    /// Serialize the buffer in insertion order. The i-th occurrence of a
+    /// key in `order` corresponds to the i-th entry of that key's bucket
+    /// (both are insertion-ordered and kept 1:1 consistent), so pairing
+    /// each order record with its tuple is a per-key cursor walk.
+    fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_u32(self.order.len() as u32);
+        let mut cursors: HashMap<&Key, usize> = HashMap::new();
+        for (ts, key) in &self.order {
+            let i = cursors.entry(key).or_insert(0);
+            let (bts, tuple) =
+                &self.buckets.get(key).expect("order/bucket consistency")[*i];
+            debug_assert_eq!(bts, ts, "order/bucket entries pair in insertion order");
+            *i += 1;
+            w.put_u64(*ts);
+            w.put_values(key);
+            w.put_tuple(tuple);
+        }
+        w.put_u64(self.compact_countdown as u64);
+        w.put_opt_u64(self.watermark);
+        w.put_bool(self.done);
+        w.put_u64(self.gc_dropped);
+    }
+
+    /// Rebuild the buffer by replaying [`insert`](Side::insert) in the
+    /// serialized insertion order (restores buckets, order queue,
+    /// ts-multiset, and length together).
+    fn restore_from(&mut self, r: &mut SnapReader<'_>, key_arity: usize) -> Result<(), SnapError> {
+        let n = r.get_count(13)?; // ts + key count + >=1-byte tuple
+        self.clear();
+        for _ in 0..n {
+            let ts = r.get_u64()?;
+            let key: Key = r.get_values()?.into_boxed_slice();
+            if key.len() != key_arity {
+                return Err(proto(format!(
+                    "join key arity {} != {key_arity}",
+                    key.len()
+                )));
+            }
+            let tuple = r.get_tuple()?;
+            self.insert(key, ts, tuple);
+        }
+        self.compact_countdown = r.get_u64()? as usize;
+        self.watermark = r.get_opt_u64()?;
+        self.done = r.get_bool()?;
+        self.gc_dropped = r.get_u64()?;
+        Ok(())
     }
 }
 
@@ -466,6 +515,47 @@ impl Operator for JoinOp {
         self.stats.puncts_in.set(self.puncts);
         self.stats.gc_dropped.set(self.left.gc_dropped + self.right.gc_dropped);
         self.stats.peak_held.set(self.peak_buffered as u64);
+    }
+
+    /// Both window buffers, the sorted-release heap, and the counters.
+    fn snapshot(&self, w: &mut SnapWriter) {
+        self.left.snapshot_into(w);
+        self.right.snapshot_into(w);
+        w.put_u32(self.pending.len() as u32);
+        for std::cmp::Reverse(e) in self.pending.iter() {
+            w.put_u64(e.v);
+            w.put_u64(e.seq);
+            w.put_tuple(&e.tuple);
+        }
+        w.put_u64(self.pending_seq);
+        w.put_u64(self.peak_buffered as u64);
+        w.put_u64(self.peak_pending as u64);
+        w.put_u64(self.produced);
+        w.put_u64(self.tuples_in);
+        w.put_u64(self.batches);
+        w.put_u64(self.puncts);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let arity = self.cfg.eq_keys.len();
+        self.left.restore_from(r, arity)?;
+        self.right.restore_from(r, arity)?;
+        let k = r.get_count(17)?;
+        self.pending.clear();
+        for _ in 0..k {
+            let v = r.get_u64()?;
+            let seq = r.get_u64()?;
+            let tuple = r.get_tuple()?;
+            self.pending.push(std::cmp::Reverse(PendingEntry { v, seq, tuple }));
+        }
+        self.pending_seq = r.get_u64()?;
+        self.peak_buffered = (r.get_u64()? as usize).max(self.buffered());
+        self.peak_pending = (r.get_u64()? as usize).max(self.pending.len());
+        self.produced = r.get_u64()?;
+        self.tuples_in = r.get_u64()?;
+        self.batches = r.get_u64()?;
+        self.puncts = r.get_u64()?;
+        Ok(())
     }
 }
 
@@ -813,6 +903,79 @@ mod tests {
                 let vals: Vec<u64> = rows(&batch_out).iter().map(|r| r.0).collect();
                 assert!(vals.windows(2).all(|w| w[0] <= w[1]), "{vals:?}");
             }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_continues_exactly() {
+        use crate::snapshot::{SnapReader, SnapWriter};
+        // Both emit modes, band window, hash key: cut mid-window with
+        // tuples buffered on both sides (and, in Sorted mode, results
+        // held in the release heap); restore into a fresh join and feed
+        // the tail — the combined output must equal the uninterrupted
+        // run's, in the same order.
+        for emit in [EmitMode::Banded, EmitMode::Sorted] {
+            let mk = || {
+                JoinOp::new(
+                    JoinConfig {
+                        left_col: 0,
+                        right_col: 0,
+                        lo: -1,
+                        hi: 1,
+                        left_slack: 1,
+                        right_slack: 1,
+                        eq_keys: vec![(1, 1)],
+                        emit,
+                        sort_out_col: 0,
+                    },
+                    None,
+                    vec![prog(&col(0)), prog(&col(1)), prog(&col(3))],
+                )
+            };
+            let feed: Vec<(usize, u64, u64)> = vec![
+                (0, 1, 7),
+                (1, 2, 7),
+                (0, 3, 8),
+                (1, 3, 8),
+                (0, 2, 7),
+                (1, 4, 7),
+                (0, 5, 8),
+                (1, 5, 8),
+                (0, 6, 7),
+                (1, 7, 7),
+            ];
+            let (head, tail) = feed.split_at(5);
+
+            let mut cont = mk();
+            let mut cont_out = Vec::new();
+            for &(p, ts, v) in &feed {
+                cont.push(p, tup(ts, v), &mut cont_out);
+            }
+            cont.finish(&mut cont_out);
+
+            let mut first = mk();
+            let mut split_out = Vec::new();
+            for &(p, ts, v) in head {
+                first.push(p, tup(ts, v), &mut split_out);
+            }
+            assert!(first.buffered() > 0, "cut point holds window state");
+            let mut w = SnapWriter::new();
+            Operator::snapshot(&first, &mut w);
+            let sealed = w.seal();
+
+            let mut second = mk();
+            let mut r = SnapReader::open(&sealed).expect("open");
+            Operator::restore(&mut second, &mut r).expect("restore");
+            r.finish().expect("payload fully consumed");
+            assert_eq!(second.buffered(), first.buffered());
+            for &(p, ts, v) in tail {
+                second.push(p, tup(ts, v), &mut split_out);
+            }
+            second.finish(&mut split_out);
+
+            assert_eq!(rows(&cont_out), rows(&split_out), "emit mode {emit:?}");
+            assert_eq!(second.produced, cont.produced);
+            assert_eq!(second.peak_buffered, cont.peak_buffered);
         }
     }
 

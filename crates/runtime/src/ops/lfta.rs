@@ -17,6 +17,7 @@
 use crate::expr::{EvalScratch, PacketFields, Program};
 use crate::ops::agg::{DirectMappedAggregator, DmStats};
 use crate::punct::Punct;
+use crate::snapshot::{proto, SnapError, SnapReader, SnapWriter};
 use crate::stats::{Counter, StatSource};
 use crate::tuple::{StreamItem, Tuple};
 use crate::value::Value;
@@ -397,6 +398,44 @@ impl Lfta {
     pub fn set_shared_split(&mut self, split: SharedSplit) {
         self.shared_split = Some(split);
     }
+
+    /// Serialize the LFTA's mutable state: the direct-mapped table (for
+    /// aggregating LFTAs) and the execution counters. Projection LFTAs
+    /// are stateless beyond counters, recorded with a kind tag so a
+    /// mismatched restore is rejected.
+    pub fn snapshot_state(&self, w: &mut SnapWriter) {
+        match &self.kind {
+            LftaKind::Project(_) => w.put_u8(0),
+            LftaKind::Aggregate(dm) => {
+                w.put_u8(1);
+                dm.snapshot_into(w);
+            }
+        }
+        w.put_u64(self.stats.packets_in);
+        w.put_u64(self.stats.prefiltered);
+        w.put_u64(self.stats.sampled_out);
+        w.put_u64(self.stats.not_protocol);
+        w.put_u64(self.stats.filtered);
+        w.put_u64(self.stats.tuples_out);
+    }
+
+    /// Restore state written by [`snapshot_state`](Self::snapshot_state)
+    /// into a freshly built LFTA of the same shape.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let tag = r.get_u8()?;
+        match (&mut self.kind, tag) {
+            (LftaKind::Project(_), 0) => {}
+            (LftaKind::Aggregate(dm), 1) => dm.restore_from(r)?,
+            (_, t) => return Err(proto(format!("lfta kind tag {t} does not match build"))),
+        }
+        self.stats.packets_in = r.get_u64()?;
+        self.stats.prefiltered = r.get_u64()?;
+        self.stats.sampled_out = r.get_u64()?;
+        self.stats.not_protocol = r.get_u64()?;
+        self.stats.filtered = r.get_u64()?;
+        self.stats.tuples_out = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -562,6 +601,75 @@ mod tests {
         let mut out = Vec::new();
         lfta.heartbeat(180, &mut out);
         assert!(matches!(&out[0], StreamItem::Punct(p) if p.col == 0 && p.low == Value::UInt(3)));
+    }
+
+    #[test]
+    fn snapshot_restore_continues_exactly() {
+        // Cut an aggregating LFTA mid-window; the restored one must
+        // continue the open groups (same emissions, same counters) as if
+        // capture never stopped.
+        let mk = || {
+            let core = AggCore::new(
+                vec![prog(&field("time"))],
+                vec![(AggFunc::Count, None, DataType::UInt)],
+                Some(0),
+                0,
+            );
+            Lfta::new(
+                "agg".into(),
+                tcp(),
+                None,
+                None,
+                Some(port80_filter()),
+                LftaKind::Aggregate(Box::new(DirectMappedAggregator::new(core, 64))),
+                Some((0, tcp().field_index("time").unwrap(), 1)),
+            )
+        };
+        let packets: Vec<CapPacket> =
+            (0..20).map(|i| pkt(i / 4, if i % 3 == 0 { 80 } else { 81 }, b"x")).collect();
+        let (head, tail) = packets.split_at(9); // cut inside time bucket 2
+
+        let mut cont = mk();
+        let mut cont_out = Vec::new();
+        for p in &packets {
+            cont.push_packet(p, &mut cont_out);
+        }
+        cont.finish(&mut cont_out);
+
+        let mut first = mk();
+        let mut split_out = Vec::new();
+        for p in head {
+            first.push_packet(p, &mut split_out);
+        }
+        let mut w = crate::snapshot::SnapWriter::new();
+        first.snapshot_state(&mut w);
+        let sealed = w.seal();
+
+        let mut second = mk();
+        let mut r = crate::snapshot::SnapReader::open(&sealed).expect("open");
+        second.restore_state(&mut r).expect("restore");
+        r.finish().expect("payload fully consumed");
+        for p in tail {
+            second.push_packet(p, &mut split_out);
+        }
+        second.finish(&mut split_out);
+
+        assert_eq!(cont_out, split_out);
+        assert_eq!(second.stats, cont.stats);
+        assert_eq!(second.dm_stats(), cont.dm_stats());
+
+        // A projection LFTA must refuse an aggregate snapshot.
+        let mut proj = Lfta::new(
+            "p".into(),
+            tcp(),
+            None,
+            None,
+            None,
+            LftaKind::Project(vec![prog(&field("destPort"))]),
+            None,
+        );
+        let mut r = crate::snapshot::SnapReader::open(&sealed).expect("open");
+        assert!(proj.restore_state(&mut r).is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use crate::ops::{Operator, OrderedTupleEntry as Entry};
 use crate::punct::Punct;
+use crate::snapshot::{SnapError, SnapReader, SnapWriter};
 use crate::stats::OpCounters;
 use crate::tuple::StreamItem;
 use crate::value::Value;
@@ -255,6 +256,68 @@ impl Operator for MergeOp {
         self.stats.puncts_in.set(self.puncts);
         self.stats.peak_held.set(self.peak_buffered as u64);
     }
+
+    /// Per-input heads (buffered entries + watermark/bound + starved and
+    /// finished flags) plus the global sequence and counters.
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.put_u32(self.inputs.len() as u32);
+        for input in &self.inputs {
+            w.put_u32(input.heap.len() as u32);
+            // Heap iteration order is arbitrary; restore re-pushes, and
+            // (v, seq) ordering makes the rebuilt heap equivalent.
+            for Reverse(e) in input.heap.iter() {
+                w.put_u64(e.v);
+                w.put_u64(e.seq);
+                w.put_tuple(&e.tuple);
+            }
+            w.put_opt_u64(input.watermark);
+            w.put_opt_u64(input.future_bound);
+            w.put_bool(input.finished);
+        }
+        w.put_u64(self.seq);
+        w.put_opt_u64(self.last_punct_bound);
+        w.put_u64(self.peak_buffered as u64);
+        w.put_bool(self.starved);
+        w.put_u64(self.tuples_in);
+        w.put_u64(self.tuples_out);
+        w.put_u64(self.batches);
+        w.put_u64(self.puncts);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_u32()? as usize;
+        if n != self.inputs.len() {
+            return Err(crate::snapshot::proto(format!(
+                "merge input count {n} != {}",
+                self.inputs.len()
+            )));
+        }
+        let mut buffered = 0;
+        for input in &mut self.inputs {
+            let k = r.get_count(17)?; // v + seq + >=1-byte tuple
+            input.heap.clear();
+            for _ in 0..k {
+                let v = r.get_u64()?;
+                let seq = r.get_u64()?;
+                let tuple = r.get_tuple()?;
+                input.heap.push(Reverse(Entry { v, seq, tuple }));
+            }
+            buffered += k;
+            input.watermark = r.get_opt_u64()?;
+            input.future_bound = r.get_opt_u64()?;
+            input.finished = r.get_bool()?;
+        }
+        self.buffered = buffered;
+        self.seq = r.get_u64()?;
+        self.last_punct_bound = r.get_opt_u64()?;
+        self.peak_buffered = (r.get_u64()? as usize).max(buffered);
+        self.starved = r.get_bool()?;
+        self.tuples_in = r.get_u64()?;
+        self.tuples_out = r.get_u64()?;
+        self.batches = r.get_u64()?;
+        self.puncts = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -438,5 +501,53 @@ mod tests {
         assert!(vals(&out).is_empty());
         m.finish_input(1, &mut out);
         assert_eq!(vals(&out), vec![9]);
+    }
+
+    #[test]
+    fn snapshot_restore_continues_exactly() {
+        use crate::snapshot::{SnapReader, SnapWriter};
+        // Cut a two-input feed while tuples are buffered and one side is
+        // starved; restore into a fresh merge and feed the tail — output
+        // must equal the uninterrupted run, and the starved flag, bounds,
+        // and counters survive the trip.
+        let feed: Vec<(usize, u64)> =
+            vec![(0, 1), (0, 4), (1, 2), (0, 9), (1, 3), (1, 10), (0, 12), (1, 11)];
+        let (head, tail) = feed.split_at(4);
+
+        let mut cont = MergeOp::new(2, 0, vec![0, 0]);
+        let mut cont_out = Vec::new();
+        for &(p, v) in &feed {
+            cont.push(p, tup(v), &mut cont_out);
+        }
+        cont.finish(&mut cont_out);
+
+        let mut first = MergeOp::new(2, 0, vec![0, 0]);
+        let mut split_out = Vec::new();
+        for &(p, v) in head {
+            first.push(p, tup(v), &mut split_out);
+        }
+        assert!(first.buffered() > 0, "cut point holds buffered tuples");
+        let mut w = SnapWriter::new();
+        Operator::snapshot(&first, &mut w);
+        let sealed = w.seal();
+
+        let mut second = MergeOp::new(2, 0, vec![0, 0]);
+        let mut r = SnapReader::open(&sealed).expect("open");
+        Operator::restore(&mut second, &mut r).expect("restore");
+        r.finish().expect("payload fully consumed");
+        assert_eq!(second.buffered(), first.buffered());
+        assert_eq!(second.starved, first.starved);
+        for &(p, v) in tail {
+            second.push(p, tup(v), &mut split_out);
+        }
+        second.finish(&mut split_out);
+
+        assert_eq!(vals(&cont_out), vals(&split_out), "same tuples in the same order");
+        assert_eq!(second.peak_buffered, cont.peak_buffered);
+
+        // An input-count mismatch is rejected.
+        let mut three = MergeOp::new(3, 0, vec![0, 0, 0]);
+        let mut r = SnapReader::open(&sealed).expect("open");
+        assert!(Operator::restore(&mut three, &mut r).is_err());
     }
 }

@@ -18,6 +18,7 @@ pub mod select;
 
 use crate::batch::{ColStep, ColumnBatch};
 use crate::punct::Punct;
+use crate::snapshot::{SnapError, SnapReader, SnapWriter};
 use crate::stats::OpCounters;
 use crate::tuple::{StreamItem, Tuple};
 use std::sync::Arc;
@@ -115,6 +116,26 @@ pub trait Operator: Send {
     /// batch granularity; until the first call the shared block reads
     /// zero.
     fn publish_stats(&self) {}
+
+    /// Serialize the operator's mutable state into `w` so an identically
+    /// built operator can [`restore`](Operator::restore) it and continue
+    /// as if the stream had never stopped. Called only at a quiescent
+    /// point (between batches, all inputs drained up to a consistent
+    /// cut), so per-call transients (the hash-agg hot entry, scratch
+    /// buffers) never need encoding. Stateless operators keep the no-op
+    /// default.
+    fn snapshot(&self, w: &mut SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restore state previously written by [`snapshot`](Operator::snapshot)
+    /// into a freshly built operator of the same shape. On error the
+    /// operator may be partially modified and must be discarded (the
+    /// engine falls back to a fresh build + empty-window replay).
+    fn restore(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// Run a chain of single-input operators over one item: the output of each

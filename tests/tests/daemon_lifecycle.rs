@@ -13,6 +13,7 @@
 
 use gigascope::server::client::Client;
 use gigascope::server::{self, wire::LifeState};
+use gigascope::FaultPlan;
 use gs_tests::daemon::{norm, one_shot_epoch, small_source, test_config, CLIENT_TIMEOUT};
 
 const PROGRAM: &str = "DEFINE { query_name churn_raw; } Select time, len From eth0.tcp; \
@@ -119,6 +120,73 @@ fn register_unregister_churn_returns_to_baseline() {
         std::thread::sleep(std::time::Duration::from_millis(5));
     }
     assert!(my_conns().is_empty(), "disconnect must remove the daemon:conn node");
+
+    daemon.shutdown();
+}
+
+/// The Dead path of the same round-trip: a query that exhausts its
+/// restart budget keeps its `daemon:restart:<q>` stats node while it
+/// sits Dead (the death certificate is observable), but UNREGISTER must
+/// reap the node with the catalog entry — and a re-REGISTER under the
+/// same name is a fresh life with a zeroed restart count, not an heir
+/// to the old one's exhausted budget.
+#[test]
+fn dead_query_unregister_reaps_stats_and_reregister_starts_fresh() {
+    let source = small_source(0xD1ED);
+    let mut config = test_config(source);
+    // Every epoch panics churn_agg's HFTA on its first batch; budget 1
+    // means the second charged failure retires it.
+    config.faults = Some(FaultPlan::new().panic_at("churn_agg", 1));
+    config.fault_epochs = 0..u64::MAX;
+    config.restart_budget = 1;
+    config.backoff_base = 1;
+    let mut daemon = server::start(config).expect("daemon start");
+    let registry = daemon.registry();
+    let mut client = Client::connect(daemon.addr()).expect("connect");
+    client.set_timeout(Some(CLIENT_TIMEOUT)).expect("timeout");
+
+    for round in 0..3 {
+        client.register(PROGRAM).expect("register");
+
+        // Wait out the budget: restarts burn down, then Dead.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let health = client.health().expect("health");
+            let agg = health.iter().find(|r| r.query == "churn_agg").expect("agg row");
+            if agg.state == LifeState::Dead {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "round {round}: churn_agg never went Dead: {health:?}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        // Dead but registered: the stats node is the death certificate.
+        assert_eq!(registry.value("daemon:restart:churn_agg", "dead"), Some(1));
+        assert_eq!(registry.value("daemon:restart:churn_agg", "restarts"), Some(1));
+
+        // UNREGISTER the Dead query (dependency order) and verify the
+        // registry returns to baseline: no leaked restart node.
+        client.unregister("churn_agg").expect("unregister dead consumer");
+        client.unregister("churn_raw").expect("unregister producer");
+        assert_eq!(
+            registry.value("daemon:restart:churn_agg", "restarts"),
+            None,
+            "round {round}: a Dead query's stats node must be reaped on UNREGISTER"
+        );
+        assert!(
+            client.health().expect("health").is_empty(),
+            "round {round}: health rows must drain with the catalog"
+        );
+    }
+
+    // A fresh registration after a Dead round starts at zero.
+    client.register(PROGRAM).expect("re-register after death");
+    let health = client.health().expect("health");
+    let agg = health.iter().find(|r| r.query == "churn_agg").expect("agg row");
+    assert_eq!(agg.restarts, 0, "fresh life, fresh budget");
+    assert_eq!(registry.value("daemon:restart:churn_agg", "dead"), Some(0));
 
     daemon.shutdown();
 }

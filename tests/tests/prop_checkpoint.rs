@@ -1,0 +1,279 @@
+//! Properties of operator-state checkpoint/restore through the threaded
+//! manager — the engine half of the daemon's carry-state mode.
+//!
+//! **Continuity**: splitting one time-ordered trace into consecutive
+//! chunks and running them as capture→restore→…→flush produces exactly
+//! the output of a single continuous `run_threaded` over the whole
+//! trace — windows spanning chunk boundaries aggregate as if the run
+//! never stopped. At parallelism 1 the comparison pins exact tuples
+//! *and order*; partitioned runs compare as multisets (cross-shard tie
+//! order is not pinned even without checkpoints).
+//!
+//! **Recovery**: a seeded fault (panic on the target's first batch)
+//! killing one chunk's run, followed by a retry of the same chunk from
+//! the previous checkpoint with faults disarmed, yields the same total
+//! output as the uninterrupted fault-free run. The fault fires before
+//! any output escapes, so discard-and-retry is exact — the same
+//! contract the daemon's catch-up replay relies on.
+//!
+//! Both properties run across parallelism {1, 4} × batch {1, 256}.
+
+use gigascope::manager::{run_threaded, run_threaded_opts, ThreadedOptions};
+use gigascope::{FaultPlan, Gigascope, Tuple};
+use gs_packet::builder::FrameBuilder;
+use gs_packet::capture::{CapPacket, LinkType};
+use gs_tests::prop::{check, Gen};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const PARALLELISM: [usize; 2] = [1, 4];
+const BATCH_SIZES: [usize; 2] = [1, 256];
+
+struct Template {
+    program: &'static str,
+    subscriptions: &'static [&'static str],
+}
+
+const TEMPLATES: [Template; 3] = [
+    // Split aggregation over a shared stream: hash-agg HFTA state (and
+    // at parallelism 4, per-shard state reunified by a merge).
+    Template {
+        program: "DEFINE { query_name raw; } \
+                  Select time, destPort, len From eth0.tcp; \
+                  DEFINE { query_name agg; } \
+                  Select time, destPort, count(*), sum(len) From raw \
+                  Group By time, destPort; \
+                  DEFINE { query_name sib; } \
+                  Select time, count(*), sum(len) From raw Group By time",
+        subscriptions: &["agg", "sib", "raw"],
+    },
+    // Interface-direct aggregate: the LFTA's direct-mapped sub-agg
+    // table checkpoints below a super-aggregate HFTA.
+    Template {
+        program: "DEFINE { query_name tot; } \
+                  Select time, count(*), sum(len) From eth0.tcp Group By time",
+        subscriptions: &["tot"],
+    },
+    // Order-preserving merge: held rows and per-input watermarks must
+    // survive the boundary or the reunified order breaks.
+    Template {
+        program: "DEFINE { query_name a; } Select time From eth0.tcp; \
+                  DEFINE { query_name b; } Select time From eth1.tcp; \
+                  DEFINE { query_name m; } Merge a.time : b.time From a, b",
+        subscriptions: &["m", "a", "b"],
+    },
+];
+
+fn system(program: &str, batch: usize, parallelism: usize) -> Gigascope {
+    let mut gs = Gigascope::new();
+    gs.add_interface("eth0", 0, LinkType::Ethernet);
+    gs.add_interface("eth1", 1, LinkType::Ethernet);
+    gs.batch_size = batch;
+    gs.parallelism = parallelism;
+    gs.add_program(program).unwrap();
+    gs
+}
+
+/// A time-ordered trace with multi-second jumps (so group windows both
+/// close mid-chunk and span chunk boundaries), two interfaces, and a
+/// port mix wide enough to spread partition shards.
+fn trace(g: &mut Gen) -> Vec<CapPacket> {
+    let n = g.usize(30..250);
+    let mut ts_ns = 0u64;
+    (0..n)
+        .map(|i| {
+            ts_ns += g.u64(0..2_500_000_000);
+            let dport = *g.choice(&[80u16, 443, 25, 53, 8080, 993]);
+            let iface = g.u16(0..2);
+            let payload = vec![0u8; g.usize(0..64)];
+            let f = FrameBuilder::tcp(0x0a000000 + i as u32, 0xc0a80001, 1024, dport)
+                .payload(&payload)
+                .build_ethernet();
+            CapPacket::full(ts_ns, iface, LinkType::Ethernet, f)
+        })
+        .collect()
+}
+
+/// Split a trace into `k` consecutive chunks at random cut points
+/// (empty chunks allowed: an idle epoch must be a no-op).
+fn split(g: &mut Gen, pkts: &[CapPacket], k: usize) -> Vec<Vec<CapPacket>> {
+    let mut cuts: Vec<usize> = (0..k - 1).map(|_| g.usize(0..pkts.len() + 1)).collect();
+    cuts.sort_unstable();
+    let mut chunks = Vec::with_capacity(k);
+    let mut at = 0;
+    for c in cuts {
+        chunks.push(pkts[at..c].to_vec());
+        at = c;
+    }
+    chunks.push(pkts[at..].to_vec());
+    chunks
+}
+
+/// Multiset normalization: every tuple as its row of uints, sorted.
+fn norm(tuples: &[Tuple]) -> Vec<Vec<u64>> {
+    let mut rows: Vec<Vec<u64>> = tuples
+        .iter()
+        .map(|t| t.values().iter().filter_map(|v| v.as_uint()).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn assert_matches(
+    got: &HashMap<String, Vec<Tuple>>,
+    want: &HashMap<String, Vec<Tuple>>,
+    subs: &[&str],
+    parallelism: usize,
+    what: &str,
+) {
+    static EMPTY: Vec<Tuple> = Vec::new();
+    for name in subs {
+        let g = got.get(*name).unwrap_or(&EMPTY);
+        let w = want.get(*name).unwrap_or(&EMPTY);
+        if parallelism == 1 {
+            assert_eq!(g, w, "{what}: stream `{name}` diverged (exact order, parallelism 1)");
+        } else {
+            assert_eq!(norm(g), norm(w), "{what}: stream `{name}` diverged (multiset)");
+        }
+    }
+}
+
+#[test]
+fn chunked_capture_restore_equals_continuous_run() {
+    check("checkpoint_continuity", 10, |g| {
+        let t = g.choice(&TEMPLATES);
+        let pkts = trace(g);
+        let k = g.usize(2..5);
+        let chunks = split(g, &pkts, k);
+
+        for parallelism in PARALLELISM {
+            for batch in BATCH_SIZES {
+                let reference =
+                    run_threaded(&system(t.program, batch, parallelism), pkts.iter().cloned(), t.subscriptions)
+                        .expect("continuous run")
+                        .streams;
+
+                let mut acc: HashMap<String, Vec<Tuple>> = HashMap::new();
+                let mut carry: Option<Arc<HashMap<String, Vec<u8>>>> = None;
+                for (i, chunk) in chunks.iter().enumerate() {
+                    let last = i + 1 == chunks.len();
+                    let opts = ThreadedOptions {
+                        capture: !last,
+                        restore: carry.take(),
+                        ..ThreadedOptions::default()
+                    };
+                    let out = run_threaded_opts(
+                        &system(t.program, batch, parallelism),
+                        chunk.iter().cloned(),
+                        t.subscriptions,
+                        opts,
+                    )
+                    .expect("chunk run");
+                    assert!(out.health.all_ok(), "chunk {i} must run clean");
+                    assert!(
+                        out.health.notes().is_empty(),
+                        "an intact checkpoint must restore without notes: {:?}",
+                        out.health.notes()
+                    );
+                    if !last {
+                        assert!(!out.snapshots.is_empty(), "capture must produce snapshots");
+                        carry = Some(Arc::new(out.snapshots));
+                    }
+                    for (k, v) in out.streams {
+                        acc.entry(k).or_default().extend(v);
+                    }
+                }
+                assert_matches(
+                    &acc,
+                    &reference,
+                    t.subscriptions,
+                    parallelism,
+                    &format!("par {parallelism} batch {batch}"),
+                );
+            }
+        }
+    });
+}
+
+/// Seeded-fault recovery: the `agg` chunk run is killed on its first
+/// batch (both the unpartitioned node and shard 0 are targeted so the
+/// fault fires at every parallelism), the whole attempt is discarded,
+/// and the chunk is retried from the prior checkpoint with faults
+/// disarmed. Total output ≡ the uninterrupted fault-free run.
+#[test]
+fn fault_retry_from_checkpoint_equals_uninterrupted_run() {
+    const PROGRAM: &str = TEMPLATES[0].program;
+    const SUBS: [&str; 1] = ["agg"];
+    check("checkpoint_fault_retry", 8, |g| {
+        let pkts = trace(g);
+        let chunks = split(g, &pkts, 3);
+        let fault_chunk = g.usize(0..chunks.len());
+
+        for parallelism in PARALLELISM {
+            for batch in BATCH_SIZES {
+                let reference =
+                    run_threaded(&system(PROGRAM, batch, parallelism), pkts.iter().cloned(), &SUBS)
+                        .expect("continuous run")
+                        .streams;
+
+                let mut acc: HashMap<String, Vec<Tuple>> = HashMap::new();
+                let mut carry: Option<Arc<HashMap<String, Vec<u8>>>> = None;
+                for (i, chunk) in chunks.iter().enumerate() {
+                    let last = i + 1 == chunks.len();
+                    let opts = ThreadedOptions {
+                        capture: !last,
+                        restore: carry.clone(),
+                        ..ThreadedOptions::default()
+                    };
+                    if i == fault_chunk && !chunk.is_empty() {
+                        // Faulted attempt: discarded wholesale. Panic on
+                        // batch 1 means nothing escaped to subscribers.
+                        let mut gs = system(PROGRAM, batch, parallelism);
+                        gs.faults =
+                            Some(FaultPlan::new().panic_at("agg", 1).panic_at("agg#0", 1));
+                        let out = run_threaded_opts(
+                            &gs,
+                            chunk.iter().cloned(),
+                            &SUBS,
+                            opts.clone(),
+                        )
+                        .expect("faulted run still returns");
+                        assert!(out.health.failed("agg"), "the injected fault must fire");
+                        // The faulted node (and the reunifying merge
+                        // downstream of it) must not checkpoint
+                        // mid-panic state; healthy sibling shards may,
+                        // but the whole attempt is discarded anyway.
+                        assert!(
+                            !out.snapshots.contains_key("hfta:agg")
+                                && !out.snapshots.contains_key("hfta:agg#0"),
+                            "a faulted node must not checkpoint mid-panic state"
+                        );
+                    }
+                    // The (re)try: same chunk, same prior checkpoint,
+                    // faults off.
+                    let out = run_threaded_opts(
+                        &system(PROGRAM, batch, parallelism),
+                        chunk.iter().cloned(),
+                        &SUBS,
+                        opts,
+                    )
+                    .expect("retry run");
+                    assert!(out.health.all_ok(), "retry must run clean");
+                    if !last {
+                        carry = Some(Arc::new(out.snapshots));
+                    }
+                    for (k, v) in out.streams {
+                        acc.entry(k).or_default().extend(v);
+                    }
+                }
+                assert_matches(
+                    &acc,
+                    &reference,
+                    &SUBS,
+                    parallelism,
+                    &format!("fault chunk {fault_chunk}, par {parallelism} batch {batch}"),
+                );
+            }
+        }
+    });
+}

@@ -1,0 +1,203 @@
+//! Property tests: torn and corrupt operator-state snapshots are
+//! rejected whole and degrade to an empty-window restart, never a crash
+//! and never silently wrong state.
+//!
+//! A checkpoint file can be truncated by a crash mid-write, scribbled
+//! on by a failing disk, or handed over from an incompatible build. The
+//! snapshot codec seals every payload behind a magic, a version byte,
+//! and a trailing FNV-1a checksum; these properties feed **every
+//! truncation prefix** and random byte corruptions of valid sealed
+//! snapshots through [`SnapReader::open`] (mirroring `prop_truncate`'s
+//! every-prefix discipline for packets), then drive the same garbage
+//! through a full threaded run's restore path and assert the engine
+//! falls back to pristine empty-window state with the rejection
+//! reported on [`RunHealth::notes`].
+
+use gigascope::health::query_of;
+use gigascope::manager::{run_threaded, run_threaded_opts, ThreadedOptions};
+use gigascope::{Gigascope, Tuple};
+use gs_packet::builder::FrameBuilder;
+use gs_packet::capture::{CapPacket, LinkType};
+use gs_runtime::snapshot::{SnapReader, SnapWriter};
+use gs_tests::prop::{check, Gen};
+use std::sync::Arc;
+
+/// A sealed snapshot with a random mix of every field kind the
+/// operators actually serialize.
+fn arb_sealed(g: &mut Gen) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    for _ in 0..g.usize(1..12) {
+        match g.usize(0..7) {
+            0 => w.put_u8(g.u8(0..u8::MAX)),
+            1 => w.put_u32(g.u32(0..u32::MAX)),
+            2 => w.put_u64(g.u64(0..u64::MAX)),
+            3 => w.put_f64(g.u64(0..1 << 52) as f64),
+            4 => w.put_bytes(&g.bytes(0..32)),
+            5 => w.put_str("group"),
+            6 => w.put_opt_u64(if g.bool() { Some(g.u64(0..u64::MAX)) } else { None }),
+            _ => unreachable!(),
+        }
+    }
+    w.seal()
+}
+
+#[test]
+fn every_truncation_prefix_of_a_sealed_snapshot_is_rejected() {
+    check("snapshot_truncate", 64, |g| {
+        let sealed = arb_sealed(g);
+        assert!(SnapReader::open(&sealed).is_ok(), "the untouched seal must verify");
+        for cut in 0..sealed.len() {
+            assert!(
+                SnapReader::open(&sealed[..cut]).is_err(),
+                "truncation to {cut}/{} bytes must be rejected",
+                sealed.len()
+            );
+        }
+    });
+}
+
+#[test]
+fn corrupted_and_padded_snapshots_are_rejected() {
+    check("snapshot_corrupt", 64, |g| {
+        let sealed = arb_sealed(g);
+        // Any single flipped byte — magic, version, payload, or the
+        // checksum itself — must break verification.
+        let mut torn = sealed.clone();
+        let at = g.usize(0..torn.len());
+        torn[at] ^= g.u8(1..u8::MAX).max(1);
+        assert!(
+            SnapReader::open(&torn).is_err(),
+            "flipped byte at {at}/{} must be rejected",
+            torn.len()
+        );
+        // Trailing garbage shifts the checksum window: also rejected.
+        let mut padded = sealed;
+        padded.extend(g.bytes(1..9));
+        assert!(SnapReader::open(&padded).is_err(), "trailing garbage must be rejected");
+    });
+}
+
+// ---- End-to-end fallback through the engine's restore path ----------
+
+/// Split aggregation plus an interface-direct super-aggregate, so a
+/// capture produces both `hfta:*` and `lfta:*` (direct-mapped table)
+/// snapshot entries.
+const PROGRAM: &str = "DEFINE { query_name raw; } \
+     Select time, destPort, len From eth0.tcp; \
+     DEFINE { query_name agg; } \
+     Select time, destPort, count(*), sum(len) From raw Group By time, destPort; \
+     DEFINE { query_name tot; } \
+     Select time, count(*), sum(len) From eth0.tcp Group By time";
+const SUBS: [&str; 3] = ["agg", "tot", "raw"];
+
+fn system() -> Gigascope {
+    let mut gs = Gigascope::new();
+    gs.add_interface("eth0", 0, LinkType::Ethernet);
+    gs.add_program(PROGRAM).unwrap();
+    gs
+}
+
+/// A time-ordered trace (same shape as the manager properties).
+fn trace(g: &mut Gen) -> Vec<CapPacket> {
+    let n = g.usize(30..200);
+    let mut ts_ns = 0u64;
+    (0..n)
+        .map(|i| {
+            ts_ns += g.u64(0..2_000_000_000);
+            let dport = *g.choice(&[80u16, 443, 25, 53]);
+            let payload = vec![0u8; g.usize(0..64)];
+            let f = FrameBuilder::tcp(0x0a000000 + i as u32, 0xc0a80001, 1024, dport)
+                .payload(&payload)
+                .build_ethernet();
+            CapPacket::full(ts_ns, 0, LinkType::Ethernet, f)
+        })
+        .collect()
+}
+
+/// Multiset normalization: every tuple as its row of uints, sorted.
+fn norm(tuples: &[Tuple]) -> Vec<Vec<u64>> {
+    let mut rows: Vec<Vec<u64>> = tuples
+        .iter()
+        .map(|t| t.values().iter().filter_map(|v| v.as_uint()).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// The query a manager snapshot key (`hfta:<stream>` / `lfta:<stream>`)
+/// belongs to.
+fn owner(key: &str) -> &str {
+    query_of(key.split_once(':').map_or(key, |(_, s)| s))
+}
+
+/// Restoring a map in which one entry is torn (truncated or bit-flipped
+/// at a random offset) must run to completion from empty windows for
+/// the damaged query — byte-for-byte what a fresh start produces — with
+/// the rejection reported as a health note, while intact entries still
+/// restore.
+#[test]
+fn torn_restore_falls_back_to_empty_windows_with_a_note() {
+    check("snapshot_fallback", 12, |g| {
+        let pkts = trace(g);
+        let cut = g.usize(1..pkts.len());
+        let (first, second) = pkts.split_at(cut);
+
+        // A real checkpoint to damage.
+        let opts = ThreadedOptions { capture: true, ..ThreadedOptions::default() };
+        let snaps = run_threaded_opts(&system(), first.iter().cloned(), &SUBS, opts)
+            .expect("capture run")
+            .snapshots;
+        assert!(
+            snaps.keys().any(|k| k.starts_with("hfta:"))
+                && snaps.keys().any(|k| k.starts_with("lfta:")),
+            "capture must cover both layers: {:?}",
+            snaps.keys().collect::<Vec<_>>()
+        );
+
+        // Damage every entry of one query (a query's state may span an
+        // LFTA and an HFTA layer; fresh-start equivalence needs the
+        // whole cut gone). Entries of other queries stay intact.
+        let mut keys: Vec<&String> = snaps.keys().collect();
+        keys.sort();
+        let victim = (*g.choice(&keys)).clone();
+        let victim_query = owner(&victim).to_string();
+        let mut damaged = snaps.clone();
+        for (key, bytes) in damaged.iter_mut() {
+            if owner(key) != victim_query {
+                continue;
+            }
+            if g.bool() {
+                bytes.truncate(g.usize(0..bytes.len()));
+            } else {
+                let at = g.usize(0..bytes.len());
+                bytes[at] ^= g.u8(1..u8::MAX).max(1);
+            }
+        }
+
+        let opts = ThreadedOptions {
+            restore: Some(Arc::new(damaged)),
+            ..ThreadedOptions::default()
+        };
+        let out = run_threaded_opts(&system(), second.iter().cloned(), &SUBS, opts)
+            .expect("restore run must not crash on a torn snapshot");
+        assert!(out.health.all_ok(), "a torn snapshot must not fail the query");
+        assert!(
+            !out.health.notes_of(&victim_query).is_empty(),
+            "rejection of `{victim}` must be reported on RunHealth::notes"
+        );
+
+        // The damaged query's output equals a fresh empty-window run
+        // over the same packets. (Intact siblings restored state, so
+        // only the victim is compared against from-empty.)
+        let fresh = run_threaded(&system(), second.iter().cloned(), &SUBS).expect("fresh run");
+        for name in SUBS {
+            if query_of(name) == victim_query {
+                assert_eq!(
+                    norm(out.stream(name)),
+                    norm(fresh.stream(name)),
+                    "victim `{name}` must resume from empty windows"
+                );
+            }
+        }
+    });
+}
