@@ -215,6 +215,111 @@ diff -u target/gsqd_ckpt_want.csv target/gsqd_ckpt_got.csv ||
     { echo "FAIL: carry session output diverges from the one-shot run" >&2; exit 1; }
 echo "OK: checkpointed session matches the uninterrupted run"
 
+echo "== durable store property/daemon tests =="
+# Explicit gate on the PR-10 suites (also covered by the full test run
+# above): every injected disk crash point and every on-disk truncation
+# prefix recovers to an epoch boundary with exactly-once emission, the
+# durable daemon resumes mid-window after a kill, ENOSPC dead-letters
+# into health instead of stopping the stream, and the atomic port-file
+# write never exposes a torn read.
+cargo test -q --offline -p gs-tests \
+    --test prop_durable --test daemon_durable --test durable_io
+
+echo "== durable overhead gate (<=10% over in-memory carry) =="
+# Times the per-epoch durable commit (segment publish + marker-log
+# fsync) against the carry-state epoch it rides on; exits non-zero if
+# durability costs more than 10% of the epoch.
+GS_BENCH_QUICK=1 cargo run -q --release --offline -p gs-bench --bin durable_overhead
+
+echo "== crash_restart_gate: kill -9 mid-window, resume from --state-dir =="
+# Boot the real daemon with a state dir over one continuous 1.2 s trace
+# in six 200 ms chunks. A first client reads through the last
+# real-traffic epoch — a marker frame is only sent after the epoch's
+# durable commit, so the client returning proves everything it printed
+# is covered by an on-disk cut — then the daemon is SIGKILLed with the
+# trace's second 1-second window still open, held only in the state
+# dir. A second daemon on the same state dir must log a recovery,
+# resume the epoch numbering (the chunked source is addressed by epoch,
+# so no packet is fed twice), and flush the held window tail at
+# shutdown. The combined output of both incarnations must be
+# row-for-row identical to an uninterrupted one-shot run — the window
+# that spans the crash is what makes the diff meaningful.
+rm -rf target/ci_state
+rm -f target/gsqd_crash.port target/gsqd_crash1.out target/gsqd_crash2.out \
+      target/gsqd_crash2.err
+cat > target/ci_crash.gsql <<'EOF'
+DEFINE { query_name raw; }
+Select time, destPort, len From eth0.tcp;
+DEFINE { query_name agg; }
+Select time, destPort, count(*), sum(len) From raw Group By time, destPort
+EOF
+target/release/gsqd --listen 127.0.0.1:0 --chunked 70x200x6 --lead-in 10 \
+    --seed 11 --carry-state --state-dir target/ci_state --epoch-gap 50 \
+    --program target/ci_crash.gsql --port-file target/gsqd_crash.port &
+GSQD_PID=$!
+for _ in $(seq 1 200); do
+    [ -s target/gsqd_crash.port ] && break
+    sleep 0.05
+done
+[ -s target/gsqd_crash.port ] || { kill "$GSQD_PID" 2>/dev/null; echo "FAIL: durable gsqd never wrote its port file" >&2; exit 1; }
+# Real chunks run in epochs 10..15; 16 epochs from the first subscribed
+# boundary covers them all. No --shutdown: the session just closes.
+if ! target/release/gsq --connect "$(cat target/gsqd_crash.port)" \
+        --subscribe agg --epochs 16 > target/gsqd_crash1.out; then
+    kill -9 "$GSQD_PID" 2>/dev/null
+    echo "FAIL: pre-crash gsq session exited non-zero" >&2
+    exit 1
+fi
+kill -9 "$GSQD_PID"
+wait "$GSQD_PID" 2>/dev/null || true
+rm -f target/gsqd_crash.port
+target/release/gsqd --listen 127.0.0.1:0 --chunked 70x200x6 --lead-in 10 \
+    --seed 11 --carry-state --state-dir target/ci_state --epoch-gap 50 \
+    --program target/ci_crash.gsql --port-file target/gsqd_crash.port \
+    2> target/gsqd_crash2.err &
+GSQD_PID=$!
+for _ in $(seq 1 200); do
+    [ -s target/gsqd_crash.port ] && break
+    sleep 0.05
+done
+[ -s target/gsqd_crash.port ] || { kill "$GSQD_PID" 2>/dev/null; echo "FAIL: restarted gsqd never wrote its port file" >&2; exit 1; }
+grep -q 'recovered' target/gsqd_crash2.err ||
+    { kill -9 "$GSQD_PID" 2>/dev/null; echo "FAIL: restarted gsqd did not report a recovery" >&2; exit 1; }
+if ! target/release/gsq --connect "$(cat target/gsqd_crash.port)" \
+        --subscribe agg --epochs 1 --shutdown --drain \
+        > target/gsqd_crash2.out; then
+    kill -9 "$GSQD_PID" 2>/dev/null
+    echo "FAIL: post-crash gsq session exited non-zero" >&2
+    exit 1
+fi
+GSQD_RC=0
+for _ in $(seq 1 100); do
+    kill -0 "$GSQD_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$GSQD_PID" 2>/dev/null; then
+    kill -9 "$GSQD_PID"
+    echo "FAIL: restarted gsqd still running after SHUTDOWN" >&2
+    exit 1
+fi
+wait "$GSQD_PID" || GSQD_RC=$?
+[ "$GSQD_RC" -eq 0 ] || { echo "FAIL: restarted gsqd exited $GSQD_RC" >&2; exit 1; }
+# The window tail held across the crash must actually arrive in the
+# second incarnation's flush — without it the equivalence below would
+# be vacuously about the pre-crash rows only.
+grep -q '^agg,' target/gsqd_crash2.out ||
+    { echo "FAIL: no flushed rows from the restarted daemon" >&2; exit 1; }
+target/release/gsq --program target/ci_crash.gsql --synthetic 70x1200 \
+    --seed 11 --subscribe agg > target/gsqd_crash_reference.out
+cat target/gsqd_crash1.out target/gsqd_crash2.out |
+    grep '^agg,' | sort > target/gsqd_crash_got.csv
+grep '^agg,' target/gsqd_crash_reference.out | sort > target/gsqd_crash_want.csv
+[ "$(cut -d, -f2 target/gsqd_crash_want.csv | sort -u | wc -l)" -ge 2 ] ||
+    { echo "FAIL: reference run covers fewer than 2 time buckets" >&2; exit 1; }
+diff -u target/gsqd_crash_want.csv target/gsqd_crash_got.csv ||
+    { echo "FAIL: kill -9 + restart output diverges from the one-shot run" >&2; exit 1; }
+echo "OK: kill -9 survivor matches the uninterrupted run"
+
 echo "== offline bench compile =="
 cargo bench -p gs-bench --no-run --offline
 

@@ -19,6 +19,11 @@
 //!
 //! daemon client mode (`gsqd` wire protocol over TCP):
 //!   --connect <addr>         talk to a running gsqd instead of running locally
+//!   --connect-retries <n>    initial-connect attempts (default 5; a refused
+//!                            connection retries with exponential backoff, so
+//!                            scripted sessions don't race daemon startup)
+//!   --connect-backoff-ms <n> base backoff between connect attempts, doubling
+//!                            per retry up to 2 s (default 100)
 //!   --epochs <n>             read n epochs of frames per subscribed stream
 //!   --health                 poll per-query lifecycle health
 //!   --unregister <name>      unregister a query
@@ -57,6 +62,8 @@ struct Args {
     explain: bool,
     stats: bool,
     connect: Option<String>,
+    connect_retries: u32,
+    connect_backoff_ms: u64,
     epochs: u64,
     health: bool,
     unregister: Option<String>,
@@ -95,6 +102,8 @@ fn parse_args() -> Args {
         explain: false,
         stats: false,
         connect: None,
+        connect_retries: 5,
+        connect_backoff_ms: 100,
         epochs: 0,
         health: false,
         unregister: None,
@@ -150,6 +159,14 @@ fn parse_args() -> Args {
             "--explain" => args.explain = true,
             "--stats" => args.stats = true,
             "--connect" => args.connect = Some(val()),
+            "--connect-retries" => {
+                args.connect_retries =
+                    val().parse().unwrap_or_else(|_| usage("bad --connect-retries"))
+            }
+            "--connect-backoff-ms" => {
+                args.connect_backoff_ms =
+                    val().parse().unwrap_or_else(|_| usage("bad --connect-backoff-ms"))
+            }
             "--epochs" => args.epochs = val().parse().unwrap_or_else(|_| usage("bad epochs")),
             "--health" => args.health = true,
             "--unregister" => args.unregister = Some(val()),
@@ -184,7 +201,12 @@ fn parse_value(s: &str) -> Value {
 /// against a live `gsqd`.
 fn connect_mode(args: &Args, addr: &str) {
     use gigascope::server::client::Client;
-    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+    let mut client = Client::connect_retry(
+        addr,
+        args.connect_retries,
+        std::time::Duration::from_millis(args.connect_backoff_ms),
+    )
+    .unwrap_or_else(|e| {
         eprintln!("gsq: connect {addr}: {e}");
         exit(1);
     });

@@ -29,8 +29,15 @@
 //!   --backoff <n>            base restart backoff in epochs (default 1)
 //!   --parallelism <n>        HFTA parallelism degree (default 1)
 //!   --heartbeat <off|N|ondemand>  LFTA heartbeat policy (default 1 s)
-//!   --port-file <path>       write the bound address to a file (CI uses
-//!                            this with --listen …:0)
+//!   --port-file <path>       write the bound address to a file, atomically
+//!                            (CI uses this with --listen …:0)
+//!   --state-dir <dir>        durable checkpoint directory (requires
+//!                            --carry-state): every epoch boundary's cut is
+//!                            persisted crash-consistently, and a restarted
+//!                            daemon pointed at the same directory resumes
+//!                            mid-window instead of starting empty
+//!   --retain <n>             checkpoints kept by the state dir's GC
+//!                            (default 3)
 //! ```
 //!
 //! The daemon serves the `gsqd` wire protocol until a client sends
@@ -51,6 +58,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("            [--fault-panic node@batch] [--fault-epochs lo..hi]");
     eprintln!("            [--restart-budget n] [--backoff n] [--parallelism n]");
     eprintln!("            [--heartbeat off|N|ondemand] [--port-file path]");
+    eprintln!("            [--state-dir dir] [--retain n]");
     exit(2);
 }
 
@@ -172,6 +180,10 @@ fn main() {
                 };
             }
             "--port-file" => port_file = Some(val()),
+            "--state-dir" => config.state_dir = Some(val().into()),
+            "--retain" => {
+                config.retain_checkpoints = val().parse().unwrap_or_else(|_| usage("bad --retain"))
+            }
             "--help" | "-h" => usage("help"),
             other => usage(&format!("unknown flag `{other}`")),
         }
@@ -212,7 +224,9 @@ fn main() {
     });
     eprintln!("gsqd: listening on {}", daemon.addr());
     if let Some(path) = port_file {
-        if let Err(e) = std::fs::write(&path, daemon.addr().to_string()) {
+        // Atomic publish (temp + fsync + rename): a reader polling the
+        // file sees the whole address or nothing, never a prefix.
+        if let Err(e) = gs_runtime::durable::atomic_write_file(&path, daemon.addr().to_string().as_bytes()) {
             eprintln!("gsqd: writing {path}: {e}");
             exit(1);
         }

@@ -56,6 +56,31 @@ impl Client {
         Ok(Client { stream, inbox: VecDeque::new() })
     }
 
+    /// Connect with bounded exponential backoff: up to `attempts`
+    /// tries, sleeping `base_delay` after the first failure and
+    /// doubling per retry (capped at 2 s). A scripted session started
+    /// alongside `gsqd` no longer races the daemon's bind — a refused
+    /// connection while the daemon is still starting just retries.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs,
+        attempts: u32,
+        base_delay: Duration,
+    ) -> io::Result<Client> {
+        let mut delay = base_delay;
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_secs(2));
+            }
+            match Client::connect(&addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("no connect attempts made")))
+    }
+
     /// Set a read timeout (tests use this so a daemon bug can't hang
     /// the suite); `None` blocks forever.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {

@@ -43,12 +43,14 @@ use crate::{Error, Gigascope};
 use gs_netgen::{MixConfig, PacketMix};
 use gs_packet::capture::LinkType;
 use gs_packet::CapPacket;
-use gs_runtime::faults::FaultPlan;
+use gs_runtime::durable::{DiskIo, DurableStats, DurableStore, FaultyDisk, RealDisk, Recovery};
+use gs_runtime::faults::{DiskFaultPlan, FaultPlan};
 use gs_runtime::punct::HeartbeatMode;
 use gs_runtime::stats::{Counter, StatRow, StatSource, StatsRegistry};
 use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::ops::Range;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
@@ -197,6 +199,18 @@ pub struct DaemonConfig {
     /// Per-connection outbound queue capacity, in frames; overflow
     /// sheds that connection's newest data frames.
     pub conn_queue_frames: usize,
+    /// Durable checkpoint directory. When set (requires
+    /// [`carry_state`](Self::carry_state)), every epoch boundary's cut
+    /// is persisted crash-consistently and a restarted daemon pointed
+    /// at the same directory resumes mid-window instead of replaying
+    /// from empty state.
+    pub state_dir: Option<PathBuf>,
+    /// Checkpoints the durable store's GC retains (older segments are
+    /// pruned at checkpoint boundaries). Clamped to at least 1.
+    pub retain_checkpoints: usize,
+    /// Disk-fault campaign applied to the durable store's IO (tests and
+    /// demos; `None` in production).
+    pub disk_faults: Option<DiskFaultPlan>,
 }
 
 impl Default for DaemonConfig {
@@ -216,6 +230,9 @@ impl Default for DaemonConfig {
             epoch_gap_ms: 0,
             carry_state: false,
             conn_queue_frames: 1024,
+            state_dir: None,
+            retain_checkpoints: 3,
+            disk_faults: None,
         }
     }
 }
@@ -295,6 +312,10 @@ pub(crate) struct Shared {
     /// Signaled at every epoch completion and at shutdown.
     pub epoch_cv: Condvar,
     pub shutdown: AtomicBool,
+    /// Crash-simulation shutdown ([`DaemonHandle::halt`]): exit without
+    /// the carry-mode flush epoch or the durable clean-shutdown record,
+    /// as a SIGKILL would.
+    pub abandon: AtomicBool,
     /// Daemon-lifetime stats registry: `daemon`, `daemon:restart:<q>`,
     /// and `daemon:conn:<id>` nodes.
     pub registry: Arc<StatsRegistry>,
@@ -360,6 +381,15 @@ impl DaemonHandle {
             let _ = h.join();
         }
     }
+
+    /// Stop the daemon *as a crash would*: no carry-mode flush epoch,
+    /// no durable clean-shutdown record — the in-process equivalent of
+    /// `kill -9` for the recovery tests. The durable state directory is
+    /// left exactly as the last boundary published it.
+    pub fn halt(&mut self) {
+        self.shared.abandon.store(true, Ordering::SeqCst);
+        self.shutdown();
+    }
 }
 
 impl Drop for DaemonHandle {
@@ -394,6 +424,41 @@ pub fn start(config: DaemonConfig) -> Result<DaemonHandle, Error> {
         stats.registers.inc();
     }
 
+    // Durable checkpoint store: open the state directory and run
+    // recovery before the first epoch, so the engine starts from the
+    // last crash-consistent cut instead of from empty state.
+    let mut durable: Option<DurableStore> = None;
+    let mut recovery = Recovery::default();
+    if let Some(dir) = &config.state_dir {
+        if !config.carry_state {
+            return Err(Error::Config(
+                "state_dir requires carry_state (a durable cut is a carried cut)".to_string(),
+            ));
+        }
+        let io: Arc<dyn DiskIo> = match &config.disk_faults {
+            Some(plan) => Arc::new(FaultyDisk::new(plan.clone())),
+            None => Arc::new(RealDisk),
+        };
+        let dstats = Arc::new(DurableStats::default());
+        let (store, rec) =
+            DurableStore::open(dir.clone(), io, config.retain_checkpoints, dstats.clone())
+                .map_err(|e| Error::Config(format!("state dir {}: {e}", dir.display())))?;
+        registry.register("durable", dstats);
+        for note in &rec.notes {
+            eprintln!("gsqd: recovery: {note}");
+        }
+        if rec.recovered {
+            eprintln!(
+                "gsqd: recovered durable state: resuming at epoch {} ({} carried nodes, {} durable markers)",
+                rec.next_epoch,
+                rec.carry.len(),
+                rec.markers.len()
+            );
+        }
+        durable = Some(store);
+        recovery = rec;
+    }
+
     let listener = TcpListener::bind(&config.listen)
         .map_err(|e| Error::Config(format!("bind {}: {e}", config.listen)))?;
     let addr = listener
@@ -411,6 +476,7 @@ pub fn start(config: DaemonConfig) -> Result<DaemonHandle, Error> {
         }),
         epoch_cv: Condvar::new(),
         shutdown: AtomicBool::new(false),
+        abandon: AtomicBool::new(false),
         registry,
         stats,
         addr,
@@ -427,7 +493,10 @@ pub fn start(config: DaemonConfig) -> Result<DaemonHandle, Error> {
         thread::Builder::new()
             .name("gsqd-engine".to_string())
             .spawn(move || {
-                engine_loop(gs, supervisor, source, faults, fault_epochs, gap, carry, shared)
+                engine_loop(
+                    gs, supervisor, source, faults, fault_epochs, gap, carry, durable, recovery,
+                    shared,
+                )
             })
             .map_err(|e| Error::Config(format!("spawn engine: {e}")))?
     };
@@ -573,6 +642,61 @@ fn merge_snapshots(
     }
 }
 
+/// The dead-letter note the durable layer surfaces through HEALTH:
+/// `(last failure message, failures so far)`.
+type DurableNote = Option<(String, u64)>;
+
+/// Append the durable layer's dead-letter note (if any) to a health
+/// report as a synthetic advisory row, so `gsq --health` surfaces a
+/// failing state disk without any query being marked unhealthy.
+fn with_durable_note(mut rows: Vec<wire::HealthRow>, note: &DurableNote) -> Vec<wire::HealthRow> {
+    if let Some((msg, fails)) = note {
+        rows.push(wire::HealthRow {
+            query: "durable:store".to_string(),
+            state: wire::LifeState::Running,
+            restarts: *fails,
+            reason: msg.clone(),
+        });
+    }
+    rows
+}
+
+/// Persist one epoch boundary: publish the cut crash-consistently, then
+/// commit the emitted `(stream, epoch)` markers to the durable log —
+/// in that order, and both *before* the caller sends the marker frames,
+/// so a durable marker always has a covering segment (the exactly-once
+/// invariant). A write that still fails after the store's bounded
+/// retries is dead-lettered: noted for HEALTH, counted in
+/// `durable:write_failed`, and the daemon keeps running on its
+/// in-memory cut.
+fn durable_commit(
+    durable: &mut Option<DurableStore>,
+    next_epoch: u64,
+    carry: &HashMap<String, Vec<u8>>,
+    cursors: &HashMap<String, u64>,
+    emitted_epoch: u64,
+    streams: &[String],
+    note: &mut DurableNote,
+) {
+    let Some(store) = durable.as_mut() else { return };
+    let fails = note.as_ref().map_or(0, |(_, n)| *n);
+    let result = store.checkpoint(next_epoch, carry, cursors, streams).and_then(|()| {
+        store.log_markers(emitted_epoch, streams).inspect_err(|_| {
+            // The segment landed but the marker record didn't; count it
+            // with the write failures so the counter reflects every
+            // dead-lettered durable write.
+            store.stats().write_failed.inc();
+        })
+    });
+    if let Err(e) = result {
+        let msg = format!(
+            "checkpoint dead-lettered at epoch boundary {next_epoch}: {e}; running on in-memory cut"
+        );
+        eprintln!("gsqd: durable: {msg}");
+        *note = Some((msg, fails + 1));
+    }
+}
+
 /// The transitive upstream closure of `parts` among deployed queries:
 /// every query whose output stream a member (transitively) reads
 /// through a `StreamScan`. A catch-up replay must run these as support
@@ -615,6 +739,7 @@ fn upstream_closure(gs: &Gigascope, parts: &[String]) -> Vec<String> {
 /// upstream (the common LFTA projection/selection) reproduces its
 /// epoch output exactly; a stateful upstream makes the replay
 /// approximate — the price of losing its mid-epoch history.
+#[allow(clippy::too_many_arguments)]
 fn catch_up(
     gs: &mut Gigascope,
     supervisor: &mut Supervisor,
@@ -623,6 +748,8 @@ fn catch_up(
     behind: &mut HashMap<String, u64>,
     epoch: u64,
     excluded: &[String],
+    durable: &mut Option<DurableStore>,
+    durable_note: &mut DurableNote,
     shared: &Arc<Shared>,
 ) {
     // Queries that fault *during* replay sit the rest of this catch-up
@@ -681,20 +808,28 @@ fn catch_up(
         match run_threaded_opts(gs, packets.into_iter(), &sub_refs, opts) {
             Ok(out) => {
                 supervisor.observe(epoch, &out.health);
+                let mut replayed: Vec<String> = Vec::new();
                 for q in &parts {
                     if out.health.failed(q) {
                         benched.push(q.clone());
                     } else {
                         behind.insert(q.clone(), e + 1);
+                        replayed.push(q.clone());
                     }
                 }
-                send_markers(&markers, e, |s| out.health.failed(s));
                 let own: HashMap<String, Vec<u8>> = out
                     .snapshots
                     .into_iter()
                     .filter(|(k, _)| parts.iter().any(|q| q == snapshot_owner(k)))
                     .collect();
                 merge_snapshots(carry, own, &out.health);
+                // The replay advanced cursors and is about to emit
+                // epoch `e`'s missed frames: publish the cut and commit
+                // the markers before any frame leaves the process. The
+                // engine counter to resume at is still `epoch` — the
+                // current boundary's epoch has not run yet.
+                durable_commit(durable, epoch, carry, behind, e, &replayed, durable_note);
+                send_markers(&markers, e, |s| out.health.failed(s));
             }
             Err(_) => {
                 shared.stats.run_errors.inc();
@@ -713,14 +848,34 @@ fn engine_loop(
     fault_epochs: Range<u64>,
     epoch_gap_ms: u64,
     carry_state: bool,
+    mut durable: Option<DurableStore>,
+    recovery: Recovery,
     shared: Arc<Shared>,
 ) {
-    let mut epoch: u64 = 0;
+    // Durable recovery seeds the engine state: resume at the recovered
+    // boundary with the restored cut and cursors instead of epoch 0
+    // from empty state.
+    let mut epoch: u64 = recovery.next_epoch;
     // Carry mode: the last good sealed snapshot of every node (the
     // daemon's checkpoint), and each query's replay cursor — the next
     // epoch id whose packets it has not yet processed.
-    let mut carry: HashMap<String, Vec<u8>> = HashMap::new();
-    let mut behind: HashMap<String, u64> = HashMap::new();
+    let mut carry: HashMap<String, Vec<u8>> = recovery.carry;
+    let mut behind: HashMap<String, u64> = recovery.cursors;
+    let mut durable_note: DurableNote = recovery
+        .notes
+        .first()
+        .map(|n| (format!("recovery: {n}"), 0));
+    // A recovered daemon pauses one epoch gap before its first
+    // boundary, so subscribers racing the restart can reattach before
+    // the resumed epoch's frames flow.
+    if recovery.recovered && epoch > 0 && epoch_gap_ms > 0 {
+        let mut slept = 0;
+        while slept < epoch_gap_ms && !shared.shutdown.load(Ordering::SeqCst) {
+            let step = (epoch_gap_ms - slept).min(10);
+            thread::sleep(Duration::from_millis(step));
+            slept += step;
+        }
+    }
     while !shared.shutdown.load(Ordering::SeqCst) {
         // ---- Epoch boundary: apply ops, wake backoffs, clone taps ----
         let (mut opts, sub_names, markers, running) = {
@@ -737,7 +892,7 @@ fn engine_loop(
                 })
                 .collect();
             let excluded = supervisor.excluded(epoch);
-            ctl.snapshot.health = supervisor.rows();
+            ctl.snapshot.health = with_durable_note(supervisor.rows(), &durable_note);
             for (reply, result) in replies {
                 let _ = reply.send(result);
             }
@@ -790,6 +945,8 @@ fn engine_loop(
                 &mut behind,
                 epoch,
                 &opts.exclude,
+                &mut durable,
+                &mut durable_note,
                 &shared,
             );
             opts.capture = true;
@@ -813,12 +970,26 @@ fn engine_loop(
                 Ok(out) => {
                     supervisor.observe(epoch, &out.health);
                     if carry_state {
+                        let mut completed: Vec<String> = Vec::new();
                         for q in &running {
                             if !out.health.failed(q) {
                                 behind.insert(q.clone(), epoch + 1);
+                                completed.push(q.clone());
                             }
                         }
                         merge_snapshots(&mut carry, out.snapshots, &out.health);
+                        // Publish this boundary's cut and commit the
+                        // epoch's markers durably before the close
+                        // block sends the marker frames.
+                        durable_commit(
+                            &mut durable,
+                            epoch + 1,
+                            &carry,
+                            &behind,
+                            epoch,
+                            &completed,
+                            &mut durable_note,
+                        );
                     }
                     let mut ctl = lock(&shared.ctl);
                     ctl.snapshot.counters = out.counters;
@@ -847,7 +1018,7 @@ fn engine_loop(
             // for the affected stream — its replay will, keeping the
             // subscriber's epoch sequence gapless and in order.
             send_markers(&markers, epoch, |s| carry_state && (!ran || epoch_health.failed(s)));
-            ctl.snapshot.health = supervisor.rows();
+            ctl.snapshot.health = with_durable_note(supervisor.rows(), &durable_note);
             ctl.snapshot.epochs_done = epoch + 1;
             shared.stats.epochs.set(epoch + 1);
             shared.epoch_cv.notify_all();
@@ -883,7 +1054,14 @@ fn engine_loop(
     // continuous run over every epoch's packets. Only fully caught-up
     // queries flush — a query still in backoff holds a stale cut whose
     // tail would be wrong mid-stream.
-    if carry_state && !carry.is_empty() {
+    // An abandoned engine ([`DaemonHandle::halt`]) dies like a SIGKILL:
+    // no flush epoch, no clean-shutdown record — the state directory is
+    // left exactly as the last boundary published it, for recovery to
+    // resume from.
+    let abandoned = shared.abandon.load(Ordering::SeqCst);
+    let had_carry = carry_state && !carry.is_empty();
+    let mut flushed = false;
+    if had_carry && !abandoned {
         let excluded = supervisor.excluded(epoch);
         let flush: Vec<String> = gs
             .queries()
@@ -911,11 +1089,32 @@ fn engine_loop(
             gs.faults = None;
             let sub_refs: Vec<&str> = sub_names.iter().map(String::as_str).collect();
             if let Ok(out) = run_threaded_opts(&gs, std::iter::empty(), &sub_refs, opts) {
+                // The flush emitted every held tail: record the clean
+                // shutdown (which retires all segments and markers)
+                // before the final marker frames go out.
+                if let Some(store) = durable.as_mut() {
+                    if let Err(e) = store.log_shutdown(epoch + 1) {
+                        eprintln!("gsqd: durable: shutdown record failed: {e}");
+                    }
+                }
+                flushed = true;
                 send_markers(&markers, epoch, |s| out.health.failed(s));
                 let mut ctl = lock(&shared.ctl);
                 ctl.snapshot.epochs_done = epoch + 1;
                 shared.stats.epochs.set(epoch + 1);
                 shared.epoch_cv.notify_all();
+            }
+        }
+    }
+    // A clean exit that never held carried state still records the
+    // shutdown, so the next start knows nothing was lost (and keeps the
+    // epoch numbering monotone across sessions). If there *was* carried
+    // state and the flush didn't complete, no record is written —
+    // recovery must resume and flush it later.
+    if !abandoned && !flushed && !had_carry {
+        if let Some(store) = durable.as_mut() {
+            if let Err(e) = store.log_shutdown(epoch) {
+                eprintln!("gsqd: durable: shutdown record failed: {e}");
             }
         }
     }

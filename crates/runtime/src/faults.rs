@@ -246,6 +246,143 @@ impl NodeInjector {
     }
 }
 
+// ---------------------------------------------------------------------
+// Disk faults: the durable checkpoint store's injection surface.
+// ---------------------------------------------------------------------
+
+/// One step of the durable store's crash-consistent write protocol.
+/// Checkpointing a cut is `TempWrite → TempFsync → Rename → DirFsync`;
+/// committing an epoch's emission markers is `LogAppend → LogFsync`.
+/// Faults target a `(boundary, step)` coordinate, so a plan names the
+/// exact interleaving point a process death interrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskOp {
+    /// Write the full sealed segment to its temporary name.
+    TempWrite,
+    /// Fsync the temporary segment file.
+    TempFsync,
+    /// Atomically rename the temporary file to its final segment name.
+    Rename,
+    /// Fsync the state directory (makes the rename durable).
+    DirFsync,
+    /// Append one record to the emission log.
+    LogAppend,
+    /// Fsync the emission log.
+    LogFsync,
+}
+
+/// How a targeted disk operation misbehaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskFaultKind {
+    /// The process dies *before* the step runs. Un-fsynced effects of
+    /// earlier steps are rolled back the way a machine crash would lose
+    /// them: `CrashBefore(TempFsync)` tears the just-written temp file
+    /// to half its bytes, `CrashBefore(DirFsync)` reverts the
+    /// not-yet-durable rename, `CrashBefore(LogFsync)` tears the
+    /// just-appended record mid-byte.
+    CrashBefore(DiskOp),
+    /// The step completes, then the process dies — the "lucky" crash
+    /// where the unsynced data happened to reach the platter.
+    CrashAfter(DiskOp),
+    /// A short write: only `keep` bytes of the payload land, then the
+    /// process dies. Meaningful for [`DiskOp::TempWrite`] and
+    /// [`DiskOp::LogAppend`].
+    ShortWrite {
+        /// Payload bytes that make it to disk before the crash.
+        keep: usize,
+    },
+    /// The step fails with `ENOSPC` — no crash, the process keeps
+    /// running (the dead-letter path). Fires on every matching step
+    /// from the spec's boundary on, up to `times` failures total.
+    Enospc {
+        /// How many times the error fires before the disk "recovers".
+        times: u32,
+    },
+}
+
+/// One injected disk fault: at which checkpoint boundary (1-based,
+/// counted by [`begin_boundary`](FaultyDisk)) and at which protocol
+/// step. Crash kinds match their boundary exactly; [`DiskFaultKind::Enospc`]
+/// matches every boundary from `at_boundary` on while it has failures
+/// left.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskFaultSpec {
+    /// 1-based checkpoint boundary the fault arms at.
+    pub at_boundary: u64,
+    /// Protocol step the fault targets.
+    pub op: DiskOp,
+    /// The misbehavior.
+    pub kind: DiskFaultKind,
+}
+
+/// A deterministic disk-fault campaign for the durable store. Like
+/// [`FaultPlan`], a plan is data: the same plan replays the same
+/// failure on any machine.
+#[derive(Debug, Clone, Default)]
+pub struct DiskFaultPlan {
+    /// The injected faults, in declaration order.
+    pub specs: Vec<DiskFaultSpec>,
+}
+
+impl DiskFaultPlan {
+    /// An empty plan (healthy disk).
+    pub fn new() -> DiskFaultPlan {
+        DiskFaultPlan::default()
+    }
+
+    /// Add a fault; builder-style.
+    pub fn with(mut self, at_boundary: u64, op: DiskOp, kind: DiskFaultKind) -> DiskFaultPlan {
+        self.specs.push(DiskFaultSpec { at_boundary, op, kind });
+        self
+    }
+
+    /// Crash the process just before `op` at checkpoint `n`.
+    pub fn crash_before(self, n: u64, op: DiskOp) -> DiskFaultPlan {
+        self.with(n, op, DiskFaultKind::CrashBefore(op))
+    }
+
+    /// Crash the process just after `op` at checkpoint `n`.
+    pub fn crash_after(self, n: u64, op: DiskOp) -> DiskFaultPlan {
+        self.with(n, op, DiskFaultKind::CrashAfter(op))
+    }
+
+    /// Fail `op` with ENOSPC `times` times starting at checkpoint `n`.
+    pub fn enospc(self, n: u64, op: DiskOp, times: u32) -> DiskFaultPlan {
+        self.with(n, op, DiskFaultKind::Enospc { times })
+    }
+
+    /// Whether any spec is a crash (latching) fault — the session
+    /// drivers use this to decide between restart-and-recover and
+    /// keep-running expectations.
+    pub fn has_crash(&self) -> bool {
+        self.specs.iter().any(|s| {
+            matches!(
+                s.kind,
+                DiskFaultKind::CrashBefore(_)
+                    | DiskFaultKind::CrashAfter(_)
+                    | DiskFaultKind::ShortWrite { .. }
+            )
+        })
+    }
+}
+
+/// The error every disk operation returns once a simulated crash has
+/// latched (and the error crash faults surface at the faulted call).
+pub fn crash_error() -> std::io::Error {
+    std::io::Error::other("simulated crash: process died")
+}
+
+/// Whether `e` is the simulated-crash error (as opposed to a retryable
+/// transient like the injected ENOSPC).
+pub fn is_crash_error(e: &std::io::Error) -> bool {
+    e.to_string().contains("simulated crash")
+}
+
+/// The injected ENOSPC error.
+pub fn enospc_error() -> std::io::Error {
+    std::io::Error::other("injected ENOSPC: no space left on device")
+}
+
 /// Really poison `m`: a scoped thread takes the lock and panics while
 /// holding it. The panic is the helper's own (caught at its join), so
 /// the calling thread keeps running with the mutex now poisoned.

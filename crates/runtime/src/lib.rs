@@ -29,6 +29,9 @@
 //!   containment and quarantine machinery;
 //! - [`snapshot`]: versioned, checksummed operator-state snapshots — the
 //!   hand-rolled binary format checkpoint/restore is built on;
+//! - [`durable`]: the durable checkpoint store — crash-consistent
+//!   segment files plus an append-only emission log, with the recovery
+//!   manager that resumes a killed daemon mid-window;
 //! - [`stats`]: the self-monitoring counters every layer keeps and the
 //!   registry that snapshots them (paper §4 — Gigascope monitors itself
 //!   with ordinary streams);
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod durable;
 pub mod expr;
 pub mod faults;
 pub mod ops;

@@ -355,6 +355,16 @@ impl<'a> SnapReader<'a> {
         Ok(n)
     }
 
+    /// The next big-endian u32 without consuming it — lets a caller
+    /// inspect a declared length (and reject it against a size cap)
+    /// before committing to the read.
+    pub fn peek_u32(&self) -> Option<u32> {
+        let s = self.buf.get(self.pos..self.pos + 4)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(s);
+        Some(u32::from_be_bytes(b))
+    }
+
     /// Length-prefixed byte string (shares no buffers; snapshots are
     /// short-lived).
     pub fn get_bytes(&mut self) -> Result<Vec<u8>, SnapError> {

@@ -1,0 +1,61 @@
+//! Atomic-publish regression tests for the durable IO helpers —
+//! chiefly the `gsqd --port-file` path: CI polls that file while the
+//! daemon is still starting, so a reader must see the whole previous
+//! value or the whole new value, never a torn prefix.
+
+use gs_runtime::durable::atomic_write_file;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Hammer `atomic_write_file` from a writer thread while a reader polls
+/// the same path: every read observes exactly one of the two payloads,
+/// in full. A plain `fs::write` reliably fails this on the first
+/// iterations (the reader catches the file mid-truncate or mid-write).
+#[test]
+fn concurrent_reader_never_observes_a_partial_port_file() {
+    let dir = std::env::temp_dir().join(format!("gs_durable_io_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("gsqd.port");
+
+    // Two visibly different full values of different lengths, so any
+    // torn or mixed state is detectable.
+    let a = b"127.0.0.1:5123".to_vec();
+    let b = b"[::1]:49152 # rebound after restart".to_vec();
+    atomic_write_file(&path, &a).expect("seed write");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let (path, a, b, stop) = (path.clone(), a.clone(), b.clone(), stop.clone());
+        std::thread::spawn(move || {
+            for i in 0..400 {
+                let payload = if i % 2 == 0 { &b } else { &a };
+                atomic_write_file(&path, payload).expect("atomic write");
+            }
+            stop.store(true, Ordering::SeqCst);
+        })
+    };
+
+    let mut reads = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        let got = std::fs::read(&path).expect("the file must always exist");
+        assert!(
+            got == a || got == b,
+            "torn read: {} bytes {:?}",
+            got.len(),
+            String::from_utf8_lossy(&got)
+        );
+        reads += 1;
+    }
+    writer.join().expect("writer thread");
+    assert!(reads > 0, "the reader must actually have raced the writer");
+
+    // No temp droppings survive the churn.
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .expect("list")
+        .map(|e| e.expect("entry").file_name().into_string().expect("name"))
+        .filter(|n| n != "gsqd.port")
+        .collect();
+    assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

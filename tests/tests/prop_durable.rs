@@ -1,0 +1,608 @@
+//! Properties of the durable checkpoint store under injected disk
+//! crashes — the storage half of `gsqd --state-dir`.
+//!
+//! The driver below speaks the daemon's exact boundary protocol at the
+//! library level: run an epoch, merge the cut, `checkpoint` (segment
+//! published crash-consistently), `log_markers` (the durable commit
+//! point), and only then count the epoch's rows as delivered — the same
+//! accounting as a marker-counting `gsq` client, whose `read_epoch`
+//! completes only on the end-of-epoch marker frame sent after the
+//! commit. A crash anywhere in that protocol ends the incarnation: the
+//! store is dropped (everything in memory dies with the process), the
+//! same directory is reopened, and the session resumes from whatever
+//! `Recovery` hands back.
+//!
+//! **Exactly-once**: for every injected crash point — before and after
+//! each of the six protocol steps, plus short writes to both files —
+//! the total confirmed output equals the uninterrupted run (exact rows
+//! and order at parallelism 1, multisets at 4), every `(stream, epoch)`
+//! marker is committed exactly once, and the recovered carry map is
+//! byte-identical to a cut the session actually published.
+//!
+//! **Truncation**: for *every byte prefix* of the emission log, and
+//! every byte prefix of the newest segment, recovery is never fatal and
+//! resuming yields exactly the reference output (recovery falls back
+//! past any boundary it can no longer prove was confirmed, and re-runs
+//! it).
+//!
+//! **Dead-letter**: a checkpoint that keeps failing with ENOSPC never
+//! stops the session — output continues on the in-memory cut and the
+//! failures are counted in `write_failed`.
+
+use gigascope::manager::{run_threaded, run_threaded_opts, ThreadedOptions};
+use gigascope::{Gigascope, Tuple};
+use gs_packet::builder::FrameBuilder;
+use gs_packet::capture::{CapPacket, LinkType};
+use gs_runtime::durable::{DiskIo, DurableStats, DurableStore, FaultyDisk, RealDisk, Recovery};
+use gs_runtime::faults::{DiskFaultKind, DiskFaultPlan, DiskOp};
+use gs_tests::prop::{check, Gen};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const PROGRAM: &str = "DEFINE { query_name raw; } \
+                       Select time, destPort, len From eth0.tcp; \
+                       DEFINE { query_name agg; } \
+                       Select time, destPort, count(*), sum(len) From raw \
+                       Group By time, destPort; \
+                       DEFINE { query_name sib; } \
+                       Select time, count(*), sum(len) From raw Group By time";
+const SUBS: [&str; 3] = ["agg", "sib", "raw"];
+
+const ALL_OPS: [DiskOp; 6] = [
+    DiskOp::TempWrite,
+    DiskOp::TempFsync,
+    DiskOp::Rename,
+    DiskOp::DirFsync,
+    DiskOp::LogAppend,
+    DiskOp::LogFsync,
+];
+
+static DIR_ID: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "gs_prop_durable_{tag}_{}_{}",
+        std::process::id(),
+        DIR_ID.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn system(batch: usize, parallelism: usize) -> Gigascope {
+    let mut gs = Gigascope::new();
+    gs.add_interface("eth0", 0, LinkType::Ethernet);
+    gs.add_interface("eth1", 1, LinkType::Ethernet);
+    gs.batch_size = batch;
+    gs.parallelism = parallelism;
+    gs.add_program(PROGRAM).unwrap();
+    gs
+}
+
+/// A time-ordered trace with multi-second jumps (windows close mid-epoch
+/// and span boundaries) — the same shape the checkpoint properties use.
+fn trace(g: &mut Gen) -> Vec<CapPacket> {
+    let n = g.usize(30..160);
+    let mut ts_ns = 0u64;
+    (0..n)
+        .map(|i| {
+            ts_ns += g.u64(0..2_500_000_000);
+            let dport = *g.choice(&[80u16, 443, 25, 53, 8080, 993]);
+            let payload = vec![0u8; g.usize(0..64)];
+            let f = FrameBuilder::tcp(0x0a000000 + i as u32, 0xc0a80001, 1024, dport)
+                .payload(&payload)
+                .build_ethernet();
+            CapPacket::full(ts_ns, 0, LinkType::Ethernet, f)
+        })
+        .collect()
+}
+
+fn split(g: &mut Gen, pkts: &[CapPacket], k: usize) -> Vec<Vec<CapPacket>> {
+    let mut cuts: Vec<usize> = (0..k - 1).map(|_| g.usize(0..pkts.len() + 1)).collect();
+    cuts.sort_unstable();
+    let mut chunks = Vec::with_capacity(k);
+    let mut at = 0;
+    for c in cuts {
+        chunks.push(pkts[at..c].to_vec());
+        at = c;
+    }
+    chunks.push(pkts[at..].to_vec());
+    chunks
+}
+
+fn norm(tuples: &[Tuple]) -> Vec<Vec<u64>> {
+    let mut rows: Vec<Vec<u64>> = tuples
+        .iter()
+        .map(|t| t.values().iter().filter_map(|v| v.as_uint()).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn assert_matches(
+    got: &HashMap<String, Vec<Tuple>>,
+    want: &HashMap<String, Vec<Tuple>>,
+    parallelism: usize,
+    what: &str,
+) {
+    static EMPTY: Vec<Tuple> = Vec::new();
+    for name in SUBS {
+        let g = got.get(name).unwrap_or(&EMPTY);
+        let w = want.get(name).unwrap_or(&EMPTY);
+        if parallelism == 1 {
+            assert_eq!(g, w, "{what}: stream `{name}` diverged (exact order, parallelism 1)");
+        } else {
+            assert_eq!(norm(g), norm(w), "{what}: stream `{name}` diverged (multiset)");
+        }
+    }
+}
+
+/// What one durable session produced, in the marker-counting client's
+/// accounting.
+struct SessionOut {
+    /// Confirmed rows per stream, in confirmation order.
+    acc: HashMap<String, Vec<Tuple>>,
+    /// Every `(stream, epoch)` marker durably committed, in order.
+    ledger: Vec<(String, u64)>,
+    /// How many times the session reopened the store after a crash.
+    recoveries: u64,
+}
+
+/// Drive one full chunked session through the daemon's durable boundary
+/// protocol, surviving at most one injected crash (the plan latches).
+/// Panics if the session cannot converge.
+fn run_session(
+    dir: &Path,
+    mut plan: Option<DiskFaultPlan>,
+    chunks: &[Vec<CapPacket>],
+    batch: usize,
+    parallelism: usize,
+) -> SessionOut {
+    let k = chunks.len();
+    let streams: Vec<String> = SUBS.iter().map(|s| s.to_string()).collect();
+    let mut acc: HashMap<String, Vec<Tuple>> = HashMap::new();
+    let mut ledger: Vec<(String, u64)> = Vec::new();
+    // Every cut this session published, by boundary: the recovered
+    // carry must be byte-identical to one of these.
+    let mut cuts: HashMap<u64, HashMap<String, Vec<u8>>> = HashMap::new();
+    cuts.insert(0, HashMap::new());
+    // Rows computed by an epoch whose commit crashed: confirmed
+    // retroactively iff the marker turns out to be durable.
+    let mut limbo: Option<(u64, HashMap<String, Vec<Tuple>>, bool)> = None;
+    let mut recoveries = 0u64;
+
+    for incarnation in 0..3 {
+        let io: Arc<dyn DiskIo> = match plan.take() {
+            Some(p) => Arc::new(FaultyDisk::new(p)),
+            None => Arc::new(RealDisk),
+        };
+        let stats = Arc::new(DurableStats::default());
+        let (mut store, rec): (DurableStore, Recovery) =
+            DurableStore::open(dir, io, 3, stats).expect("open/recovery is never fatal");
+        if incarnation > 0 {
+            recoveries += 1;
+            assert_eq!(
+                &rec.carry,
+                cuts.get(&rec.next_epoch).unwrap_or_else(|| panic!(
+                    "recovered to boundary {} which this session never published",
+                    rec.next_epoch
+                )),
+                "recovered carry must be byte-identical to the published cut"
+            );
+        }
+        // Retroactive commit: the crashed epoch counts iff its marker
+        // record is durable (the frames follow the marker atomically in
+        // this model; a real client that never got them also never got
+        // a marker to count).
+        if let Some((e, rows, was_flush)) = limbo.take() {
+            let durable = if was_flush {
+                rec.clean_shutdown
+            } else {
+                rec.markers.iter().any(|(_, me)| *me == e)
+            };
+            if durable {
+                if !was_flush {
+                    assert_eq!(
+                        rec.next_epoch,
+                        e + 1,
+                        "a durably marked epoch must not be re-run"
+                    );
+                    for s in &streams {
+                        assert!(
+                            rec.markers.contains(&(s.clone(), e)),
+                            "markers commit atomically per epoch"
+                        );
+                        ledger.push((s.clone(), e));
+                    }
+                }
+                for (s, rows) in rows {
+                    acc.entry(s).or_default().extend(rows);
+                }
+                if was_flush {
+                    return SessionOut { acc, ledger, recoveries };
+                }
+            } else if !was_flush {
+                assert!(
+                    rec.next_epoch <= e,
+                    "an unmarked epoch must be re-run, not skipped (resume {} > epoch {e})",
+                    rec.next_epoch
+                );
+            }
+        }
+
+        let mut carry: HashMap<String, Vec<u8>> = rec.carry;
+        let mut crashed = false;
+        for e in rec.next_epoch..k as u64 {
+            let opts = ThreadedOptions {
+                capture: true,
+                restore: (!carry.is_empty()).then(|| Arc::new(carry.clone())),
+                ..ThreadedOptions::default()
+            };
+            let out = run_threaded_opts(
+                &system(batch, parallelism),
+                chunks[e as usize].iter().cloned(),
+                &SUBS,
+                opts,
+            )
+            .expect("epoch run");
+            assert!(out.health.all_ok(), "epoch {e} must run clean");
+            carry = out.snapshots;
+            let cursors: HashMap<String, u64> =
+                streams.iter().map(|q| (q.clone(), e + 1)).collect();
+            cuts.insert(e + 1, carry.clone());
+            let commit = store
+                .checkpoint(e + 1, &carry, &cursors, &streams)
+                .and_then(|()| store.log_markers(e, &streams));
+            match commit {
+                Ok(()) => {
+                    for (s, rows) in out.streams {
+                        acc.entry(s).or_default().extend(rows);
+                    }
+                    for s in &streams {
+                        ledger.push((s.clone(), e));
+                    }
+                }
+                Err(err) => {
+                    assert!(err.is_crash(), "only injected crashes expected here: {err}");
+                    limbo = Some((e, out.streams, false));
+                    crashed = true;
+                    break;
+                }
+            }
+        }
+        if crashed {
+            continue;
+        }
+        // Shutdown flush: emit the held tails; the shutdown record is
+        // the flush's commit point (the daemon logs no markers for it).
+        let opts = ThreadedOptions {
+            capture: false,
+            restore: (!carry.is_empty()).then(|| Arc::new(carry.clone())),
+            ..ThreadedOptions::default()
+        };
+        let out = run_threaded_opts(
+            &system(batch, parallelism),
+            std::iter::empty::<CapPacket>(),
+            &SUBS,
+            opts,
+        )
+        .expect("flush run");
+        match store.log_shutdown(k as u64 + 1) {
+            Ok(()) => {
+                for (s, rows) in out.streams {
+                    acc.entry(s).or_default().extend(rows);
+                }
+                return SessionOut { acc, ledger, recoveries };
+            }
+            Err(err) => {
+                assert!(err.is_crash(), "only injected crashes expected here: {err}");
+                limbo = Some((k as u64, out.streams, true));
+            }
+        }
+    }
+    panic!("session failed to converge in 3 incarnations");
+}
+
+fn reference(
+    pkts: &[CapPacket],
+    batch: usize,
+    parallelism: usize,
+) -> HashMap<String, Vec<Tuple>> {
+    run_threaded(&system(batch, parallelism), pkts.iter().cloned(), &SUBS)
+        .expect("continuous run")
+        .streams
+}
+
+/// The crash matrix: every interleaving point of the boundary protocol,
+/// at parallelism {1, 4} × batch {1, 256}. Each session takes exactly
+/// one crash, recovers, resumes, and must reproduce the uninterrupted
+/// run with each `(stream, epoch)` marker committed exactly once.
+#[test]
+fn every_crash_point_recovers_exactly_once() {
+    check("durable_crash_matrix", 2, |g| {
+        let pkts = trace(g);
+        let k = 3usize;
+        let chunks = split(g, &pkts, k);
+        // Boundary b is the b-th checkpoint, i.e. the commit of epoch
+        // b-1; b = k lands the Log* faults on the last pre-flush epoch.
+        let b = g.u64(1..k as u64 + 1);
+
+        let mut plans: Vec<(String, DiskFaultPlan)> = Vec::new();
+        for op in ALL_OPS {
+            plans.push((
+                format!("crash_before({op:?})@{b}"),
+                DiskFaultPlan::new().crash_before(b, op),
+            ));
+            plans.push((
+                format!("crash_after({op:?})@{b}"),
+                DiskFaultPlan::new().crash_after(b, op),
+            ));
+        }
+        for op in [DiskOp::TempWrite, DiskOp::LogAppend] {
+            plans.push((
+                format!("short_write({op:?})@{b}"),
+                DiskFaultPlan::new().with(b, op, DiskFaultKind::ShortWrite { keep: 3 }),
+            ));
+        }
+
+        for parallelism in [1usize, 4] {
+            for batch in [1usize, 256] {
+                let want = reference(&pkts, batch, parallelism);
+                for (name, plan) in &plans {
+                    let dir = scratch_dir("matrix");
+                    let out =
+                        run_session(&dir, Some(plan.clone()), &chunks, batch, parallelism);
+                    let what = format!("{name}, par {parallelism} batch {batch}");
+                    assert_eq!(out.recoveries, 1, "{what}: the injected crash must fire");
+                    assert_matches(&out.acc, &want, parallelism, &what);
+                    // Marker ledger: every (stream, epoch) exactly once.
+                    let mut seen = out.ledger.clone();
+                    seen.sort();
+                    let mut expect: Vec<(String, u64)> = SUBS
+                        .iter()
+                        .flat_map(|s| (0..k as u64).map(move |e| (s.to_string(), e)))
+                        .collect();
+                    expect.sort();
+                    assert_eq!(
+                        seen, expect,
+                        "{what}: duplicated or missing (stream, epoch) markers"
+                    );
+                    let _ = std::fs::remove_dir_all(&dir);
+                }
+            }
+        }
+    });
+}
+
+/// Every byte prefix of the on-disk state recovers and resumes to the
+/// reference output. The log prefixes model torn appends (recovery
+/// falls back past boundaries it can no longer prove were confirmed);
+/// the segment prefixes model a torn publish (checksum fails, recovery
+/// falls back to the older cut and flags possible duplicates).
+#[test]
+fn every_truncation_prefix_recovers_and_resumes() {
+    check("durable_truncation_prefixes", 2, |g| {
+        let pkts = trace(g);
+        let k = 4usize;
+        let chunks = split(g, &pkts, k);
+        let (batch, parallelism) = (256usize, 1usize);
+        let want = reference(&pkts, batch, parallelism);
+
+        // Build a fully-committed state dir, remembering each epoch's
+        // rows: stop before the flush, as a kill -9 would.
+        let dir = scratch_dir("prefix");
+        let streams: Vec<String> = SUBS.iter().map(|s| s.to_string()).collect();
+        let mut carry: HashMap<String, Vec<u8>> = HashMap::new();
+        let mut per_epoch: Vec<HashMap<String, Vec<Tuple>>> = Vec::new();
+        {
+            let (mut store, _) = DurableStore::open(
+                &dir,
+                Arc::new(RealDisk),
+                3,
+                Arc::new(DurableStats::default()),
+            )
+            .expect("open");
+            for (e, chunk) in chunks.iter().enumerate() {
+                let opts = ThreadedOptions {
+                    capture: true,
+                    restore: (!carry.is_empty()).then(|| Arc::new(carry.clone())),
+                    ..ThreadedOptions::default()
+                };
+                let out = run_threaded_opts(
+                    &system(batch, parallelism),
+                    chunk.iter().cloned(),
+                    &SUBS,
+                    opts,
+                )
+                .expect("epoch run");
+                carry = out.snapshots;
+                let cursors: HashMap<String, u64> =
+                    streams.iter().map(|q| (q.clone(), e as u64 + 1)).collect();
+                store
+                    .checkpoint(e as u64 + 1, &carry, &cursors, &streams)
+                    .expect("checkpoint");
+                store.log_markers(e as u64, &streams).expect("markers");
+                per_epoch.push(out.streams);
+            }
+        }
+
+        // Resume a damaged copy and check the combined output.
+        let resume_and_check = |damaged: &Path, what: &str| {
+            let (_store, rec) = DurableStore::open(
+                damaged,
+                Arc::new(RealDisk),
+                3,
+                Arc::new(DurableStats::default()),
+            )
+            .unwrap_or_else(|e| panic!("{what}: recovery must never be fatal: {e}"));
+            assert!(
+                rec.next_epoch <= k as u64,
+                "{what}: recovery invented boundary {}",
+                rec.next_epoch
+            );
+            let mut acc: HashMap<String, Vec<Tuple>> = HashMap::new();
+            for epoch in per_epoch.iter().take(rec.next_epoch as usize) {
+                for (s, rows) in epoch {
+                    acc.entry(s.clone()).or_default().extend(rows.iter().cloned());
+                }
+            }
+            let mut carry = rec.carry;
+            for e in rec.next_epoch..k as u64 {
+                let opts = ThreadedOptions {
+                    capture: true,
+                    restore: (!carry.is_empty()).then(|| Arc::new(carry.clone())),
+                    ..ThreadedOptions::default()
+                };
+                let out = run_threaded_opts(
+                    &system(batch, parallelism),
+                    chunks[e as usize].iter().cloned(),
+                    &SUBS,
+                    opts,
+                )
+                .expect("resumed epoch");
+                carry = out.snapshots;
+                for (s, rows) in out.streams {
+                    acc.entry(s).or_default().extend(rows);
+                }
+            }
+            let opts = ThreadedOptions {
+                capture: false,
+                restore: (!carry.is_empty()).then(|| Arc::new(carry.clone())),
+                ..ThreadedOptions::default()
+            };
+            let out = run_threaded_opts(
+                &system(batch, parallelism),
+                std::iter::empty::<CapPacket>(),
+                &SUBS,
+                opts,
+            )
+            .expect("resumed flush");
+            for (s, rows) in out.streams {
+                acc.entry(s).or_default().extend(rows);
+            }
+            assert_matches(&acc, &want, parallelism, what);
+        };
+
+        let copy_dir = |suffix: &str| -> PathBuf {
+            let d = scratch_dir(suffix);
+            std::fs::create_dir_all(&d).unwrap();
+            for entry in std::fs::read_dir(&dir).unwrap() {
+                let entry = entry.unwrap();
+                std::fs::copy(entry.path(), d.join(entry.file_name())).unwrap();
+            }
+            d
+        };
+
+        // Every byte prefix of the emission log.
+        let log = dir.join("emit.log");
+        let log_len = std::fs::metadata(&log).unwrap().len() as usize;
+        for cut in 0..log_len {
+            let d = copy_dir("prefix_log");
+            let bytes = std::fs::read(&log).unwrap();
+            std::fs::write(d.join("emit.log"), &bytes[..cut]).unwrap();
+            resume_and_check(&d, &format!("log truncated to {cut}/{log_len}"));
+            let _ = std::fs::remove_dir_all(&d);
+        }
+
+        // Every byte prefix of the newest segment file.
+        let mut segs: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| {
+                let n = e.unwrap().file_name().into_string().unwrap();
+                n.ends_with(".gsck").then_some(n)
+            })
+            .collect();
+        segs.sort();
+        let newest = segs.last().expect("segments exist").clone();
+        let seg_len = std::fs::metadata(dir.join(&newest)).unwrap().len() as usize;
+        for cut in 0..seg_len {
+            let d = copy_dir("prefix_seg");
+            let bytes = std::fs::read(dir.join(&newest)).unwrap();
+            std::fs::write(d.join(&newest), &bytes[..cut]).unwrap();
+            resume_and_check(&d, &format!("segment {newest} truncated to {cut}/{seg_len}"));
+            let _ = std::fs::remove_dir_all(&d);
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
+/// ENOSPC on every checkpoint write from boundary 2 on: the store
+/// dead-letters each failure (counted in `write_failed`), the session
+/// keeps emitting on its in-memory cut, and total output is unchanged.
+#[test]
+fn enospc_dead_letters_and_keeps_running() {
+    check("durable_enospc_dead_letter", 3, |g| {
+        let pkts = trace(g);
+        let k = 3usize;
+        let chunks = split(g, &pkts, k);
+        let (batch, parallelism) = (256usize, 1usize);
+        let want = reference(&pkts, batch, parallelism);
+
+        let dir = scratch_dir("enospc");
+        let streams: Vec<String> = SUBS.iter().map(|s| s.to_string()).collect();
+        let stats = Arc::new(DurableStats::default());
+        let plan = DiskFaultPlan::new().enospc(2, DiskOp::TempWrite, 99);
+        let (mut store, _) =
+            DurableStore::open(&dir, Arc::new(FaultyDisk::new(plan)), 3, stats.clone())
+                .expect("open");
+
+        let mut acc: HashMap<String, Vec<Tuple>> = HashMap::new();
+        let mut carry: HashMap<String, Vec<u8>> = HashMap::new();
+        for (e, chunk) in chunks.iter().enumerate() {
+            let opts = ThreadedOptions {
+                capture: true,
+                restore: (!carry.is_empty()).then(|| Arc::new(carry.clone())),
+                ..ThreadedOptions::default()
+            };
+            let out = run_threaded_opts(
+                &system(batch, parallelism),
+                chunk.iter().cloned(),
+                &SUBS,
+                opts,
+            )
+            .expect("epoch run");
+            carry = out.snapshots;
+            let cursors: HashMap<String, u64> =
+                streams.iter().map(|q| (q.clone(), e as u64 + 1)).collect();
+            match store.checkpoint(e as u64 + 1, &carry, &cursors, &streams) {
+                Ok(()) => store.log_markers(e as u64, &streams).expect("markers"),
+                Err(err) => {
+                    // Dead-letter: not a crash, the session keeps
+                    // running on its in-memory cut and the frames still
+                    // go out (the daemon does exactly this).
+                    assert!(!err.is_crash(), "ENOSPC must not read as a crash: {err}");
+                }
+            }
+            for (s, rows) in out.streams {
+                acc.entry(s).or_default().extend(rows);
+            }
+        }
+        let opts = ThreadedOptions {
+            capture: false,
+            restore: (!carry.is_empty()).then(|| Arc::new(carry.clone())),
+            ..ThreadedOptions::default()
+        };
+        let out = run_threaded_opts(
+            &system(batch, parallelism),
+            std::iter::empty::<CapPacket>(),
+            &SUBS,
+            opts,
+        )
+        .expect("flush");
+        for (s, rows) in out.streams {
+            acc.entry(s).or_default().extend(rows);
+        }
+
+        assert_matches(&acc, &want, parallelism, "enospc dead-letter");
+        assert!(
+            stats.write_failed.get() >= (k as u64) - 1,
+            "every exhausted retry loop is counted: {}",
+            stats.write_failed.get()
+        );
+        assert_eq!(store.segment_count(), 1, "only the pre-fault checkpoint landed");
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}

@@ -201,3 +201,69 @@ fn torn_restore_falls_back_to_empty_windows_with_a_note() {
         }
     });
 }
+
+// ---- Size caps -------------------------------------------------------
+
+/// A group table the size real long-horizon aggregation reaches — a few
+/// MB of keyed entries — survives a seal/open round trip bit-exactly.
+/// The codec has no small-buffer assumptions: lengths, counts, and the
+/// trailing checksum all hold at this scale.
+#[test]
+fn large_group_tables_round_trip() {
+    check("snapshot_large_table", 2, |g| {
+        let n = g.usize(60_000..90_000);
+        let mut w = SnapWriter::new();
+        w.put_u32(n as u32);
+        let mut want = Vec::with_capacity(n);
+        for i in 0..n {
+            let key = format!("group-{i:08}");
+            let count = g.u64(0..u64::MAX);
+            let sum = g.u64(0..u64::MAX);
+            w.put_str(&key);
+            w.put_u64(count);
+            w.put_u64(sum);
+            want.push((key, count, sum));
+        }
+        let sealed = w.seal();
+        assert!(sealed.len() > 1 << 20, "the table must actually be MB-scale");
+
+        let mut r = SnapReader::open(&sealed).expect("open");
+        let back = r.get_count(8).expect("count");
+        assert_eq!(back, n);
+        for (key, count, sum) in want {
+            assert_eq!(r.get_str().expect("key"), key);
+            assert_eq!(r.get_u64().expect("count"), count);
+            assert_eq!(r.get_u64().expect("sum"), sum);
+        }
+        r.finish().expect("fully consumed");
+    });
+}
+
+/// A length field promising more bytes than the buffer holds is
+/// rejected *before* any allocation: `get_bytes` validates the declared
+/// length against the remaining payload, `get_count` bounds element
+/// counts the same way, and `peek_u32` exposes the declared length so
+/// callers with their own caps (the durable store's per-entry cap) can
+/// refuse without consuming anything.
+#[test]
+fn declared_lengths_beyond_the_buffer_are_rejected_before_allocation() {
+    // 4 GiB declared, 1 byte present.
+    let mut w = SnapWriter::new();
+    w.put_u32(u32::MAX);
+    w.put_u8(7);
+    let sealed = w.seal();
+    let mut r = SnapReader::open(&sealed).expect("seal verifies");
+    assert_eq!(r.peek_u32(), Some(u32::MAX), "peek exposes the declared length");
+    assert_eq!(r.peek_u32(), Some(u32::MAX), "peek must not consume");
+    assert!(r.get_bytes().is_err(), "oversized declared length must be refused");
+
+    // An element count that cannot fit the remaining payload.
+    let mut w = SnapWriter::new();
+    w.put_u32(u32::MAX);
+    let sealed = w.seal();
+    let mut r = SnapReader::open(&sealed).expect("seal verifies");
+    assert!(
+        r.get_count(8).is_err(),
+        "a count promising 32 GiB of elements must be refused"
+    );
+}
